@@ -1,0 +1,65 @@
+//! Criterion benchmarks of the native `lockin` locks on the host CPU:
+//! the real-hardware counterpart of Table 2 (uncontested cost) and of the
+//! contended single-lock microbenchmark.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lockin::{ClhLock, FutexMutex, Lock, McsLock, Mutexee, RawLock, TasLock, TicketLock, TtasLock};
+
+fn uncontested<L: RawLock + Send + Sync + 'static>(c: &mut Criterion, name: &str) {
+    let lock = Lock::<u64, L>::new(0);
+    c.bench_function(&format!("uncontested/{name}"), |b| {
+        b.iter(|| {
+            *lock.lock() += 1;
+        })
+    });
+}
+
+fn bench_uncontested(c: &mut Criterion) {
+    uncontested::<TasLock>(c, "TAS");
+    uncontested::<TtasLock>(c, "TTAS");
+    uncontested::<TicketLock>(c, "TICKET");
+    uncontested::<FutexMutex>(c, "MUTEX");
+    uncontested::<Mutexee>(c, "MUTEXEE");
+    let mcs = McsLock::new();
+    c.bench_function("uncontested/MCS", |b| b.iter(|| drop(mcs.lock())));
+    let clh = ClhLock::new();
+    c.bench_function("uncontested/CLH", |b| b.iter(|| drop(clh.lock())));
+}
+
+fn contended<L: RawLock + Send + Sync + 'static>(c: &mut Criterion, name: &str) {
+    let threads = 4usize;
+    c.bench_function(&format!("contended-4t/{name}"), |b| {
+        b.iter_custom(|iters| {
+            let lock = Arc::new(Lock::<u64, L>::new(0));
+            let per = iters / threads as u64 + 1;
+            let start = std::time::Instant::now();
+            std::thread::scope(|s| {
+                for _ in 0..threads {
+                    let lock = lock.clone();
+                    s.spawn(move || {
+                        for _ in 0..per {
+                            *lock.lock() += 1;
+                        }
+                    });
+                }
+            });
+            start.elapsed()
+        })
+    });
+}
+
+fn bench_contended(c: &mut Criterion) {
+    contended::<TtasLock>(c, "TTAS");
+    contended::<TicketLock>(c, "TICKET");
+    contended::<FutexMutex>(c, "MUTEX");
+    contended::<Mutexee>(c, "MUTEXEE");
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_uncontested, bench_contended
+}
+criterion_main!(benches);

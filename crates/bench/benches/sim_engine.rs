@@ -1,0 +1,34 @@
+//! Criterion benchmark of the discrete-event engine itself: simulated
+//! cycles per wall-clock second under a contended-lock workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use poly_locks_sim::{Dist, LockKind, LockParams, LockStress, LockStressConfig, SimLock};
+use poly_sim::{MachineConfig, PinPolicy, RunSpec, SimBuilder};
+
+fn engine_throughput(c: &mut Criterion) {
+    for kind in [LockKind::Ticket, LockKind::Mutexee] {
+        c.bench_function(&format!("sim-5Mcycles-8thr/{}", kind.label()), |b| {
+            b.iter(|| {
+                let mut sb = SimBuilder::new(MachineConfig::xeon());
+                let lock = SimLock::alloc(&mut sb, kind, 8, LockParams::default());
+                for _ in 0..8 {
+                    sb.spawn(
+                        Box::new(LockStress::new(
+                            vec![lock.clone()],
+                            LockStressConfig { cs: Dist::Fixed(1000), non_cs: Dist::Fixed(100) },
+                        )),
+                        PinPolicy::PaperOrder,
+                    );
+                }
+                sb.run(RunSpec { duration: 5_000_000, warmup: 0 }).total_ops
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = engine_throughput
+}
+criterion_main!(benches);

@@ -1,0 +1,107 @@
+//! Ablations of MUTEXEE's design choices and the futex-table size
+//! (DESIGN.md §5).
+
+use poly_bench::{banner, f2, horizon, lock_stress, xeon, Table};
+use poly_locks_sim::{Dist, LockKind, LockParams, LockStress, LockStressConfig, MutexeeParams, SimLock};
+use poly_sim::{PinPolicy, SimBuilder};
+
+fn main() {
+    banner("Ablations", "MUTEXEE design choices and futex-table sizing");
+    let h = horizon().scaled(0.5);
+
+    // (a) Spin budget: the paper's sensitivity analysis says spinning more
+    // than ~4000 cycles is crucial; 500 cycles behaves like MUTEX.
+    let mut t = Table::new(&["spin budget (cyc)", "thr (Kacq/s)", "TPP (Kacq/J)"]);
+    for budget in [500u64, 2_000, 4_000, 8_000, 16_000] {
+        let r = lock_stress(
+            LockKind::Mutexee,
+            20,
+            Dist::Fixed(2_000),
+            Dist::Uniform(0, 400),
+            1,
+            LockParams {
+                mutexee: MutexeeParams { spin_budget: budget, ..Default::default() },
+                ..Default::default()
+            },
+            h,
+        );
+        t.row(vec![budget.to_string(), format!("{:.0}", r.throughput / 1e3), f2(r.tpp / 1e3)]);
+    }
+    println!("### (a) MUTEXEE spin budget (20 threads, 2000-cycle CS)");
+    t.print();
+
+    // (b) Unlock user-space wait: removing it forces a futex wake per
+    // contended release (power and throughput both suffer).
+    let mut t = Table::new(&["unlock wait (cyc)", "thr (Kacq/s)", "TPP (Kacq/J)", "wake calls/op"]);
+    for wait in [0u64, 128, 384, 1_024] {
+        let r = lock_stress(
+            LockKind::Mutexee,
+            20,
+            Dist::Fixed(6_000),
+            Dist::Uniform(0, 400),
+            1,
+            LockParams {
+                mutexee: MutexeeParams {
+                    unlock_wait: wait.max(1),
+                    unlock_wait_mutex_mode: wait.max(1).min(128),
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+            h,
+        );
+        t.row(vec![
+            wait.to_string(),
+            format!("{:.0}", r.throughput / 1e3),
+            f2(r.tpp / 1e3),
+            f2(r.futex.wake_calls as f64 / r.total_ops.max(1) as f64),
+        ]);
+    }
+    println!("\n### (b) MUTEXEE unlock user-space wait (20 threads, 6000-cycle CS)");
+    t.print();
+
+    // (c) Mode adaptation on/off for long critical sections.
+    let mut t = Table::new(&["adaptation", "thr (Kacq/s)", "TPP (Kacq/J)"]);
+    for (label, period) in [("on (255)", 255u32), ("off", u32::MAX)] {
+        let r = lock_stress(
+            LockKind::Mutexee,
+            20,
+            Dist::Fixed(20_000),
+            Dist::Uniform(0, 400),
+            1,
+            LockParams {
+                mutexee: MutexeeParams { adapt_period: period, ..Default::default() },
+                ..Default::default()
+            },
+            h,
+        );
+        t.row(vec![label.into(), format!("{:.0}", r.throughput / 1e3), f2(r.tpp / 1e3)]);
+    }
+    println!("\n### (c) MUTEXEE spin/mutex mode adaptation (20000-cycle CS)");
+    t.print();
+
+    // (d) Futex hash-table size: kernel bucket contention with MUTEX.
+    let mut t = Table::new(&["buckets", "thr (Kacq/s)", "kernel-lock spin cyc/op"]);
+    for buckets in [1usize, 64, 256 * 40] {
+        let mut b = SimBuilder::new(xeon());
+        b.config_mut().futex.buckets = buckets;
+        let lock = SimLock::alloc(&mut b, LockKind::Mutex, 40, LockParams::default());
+        for _ in 0..40 {
+            b.spawn(
+                Box::new(LockStress::new(
+                    vec![lock.clone()],
+                    LockStressConfig { cs: Dist::Fixed(2_000), non_cs: Dist::Uniform(0, 400) },
+                )),
+                PinPolicy::PaperOrder,
+            );
+        }
+        let r = b.run(h.spec());
+        t.row(vec![
+            buckets.to_string(),
+            format!("{:.0}", r.throughput / 1e3),
+            format!("{:.0}", r.futex.bucket_spin_cycles as f64 / r.total_ops.max(1) as f64),
+        ]);
+    }
+    println!("\n### (d) Futex hash-table size under MUTEX (40 threads, one lock)");
+    t.print();
+}

@@ -1,0 +1,45 @@
+//! Figure 1: power and energy efficiency of a CopyOnWriteArrayList stress
+//! with MUTEX vs a spinlock (TTAS), at 10 and 20 threads.
+
+use poly_bench::{banner, f2, horizon, xeon, Table};
+use poly_locks_sim::LockKind;
+use poly_systems::build_cowlist;
+use poly_sim::SimBuilder;
+
+fn main() {
+    banner("Figure 1", "CopyOnWriteArrayList: mutex vs spinlock (relative to mutex)");
+    let h = horizon();
+    let mut t = Table::new(&["threads", "metric", "mutex", "spinlock", "spin/mutex"]);
+    for threads in [10usize, 20] {
+        let run = |kind| {
+            let mut b = SimBuilder::new(xeon());
+            build_cowlist(&mut b, kind, threads);
+            b.run(h.spec())
+        };
+        let mutex = run(LockKind::Mutex);
+        let spin = run(LockKind::Ttas);
+        t.row(vec![
+            threads.to_string(),
+            "power (W)".into(),
+            f2(mutex.avg_power.total_w),
+            f2(spin.avg_power.total_w),
+            f2(spin.avg_power.total_w / mutex.avg_power.total_w),
+        ]);
+        t.row(vec![
+            threads.to_string(),
+            "throughput (Mops/s)".into(),
+            f2(mutex.throughput / 1e6),
+            f2(spin.throughput / 1e6),
+            f2(spin.throughput / mutex.throughput),
+        ]);
+        t.row(vec![
+            threads.to_string(),
+            "TPP (Kops/J)".into(),
+            f2(mutex.tpp / 1e3),
+            f2(spin.tpp / 1e3),
+            f2(spin.tpp / mutex.tpp),
+        ]);
+    }
+    t.print();
+    println!("\npaper: spinlock ~1.5x power, ~2x throughput, ~1.25x TPP at 20 threads");
+}

@@ -1,0 +1,69 @@
+//! Figure 2: power breakdown (total/package/cores/DRAM) vs active
+//! hyper-threads, at minimum and maximum frequency.
+
+use poly_bench::{banner, f1, horizon, xeon, Table, VfSleeper};
+use poly_sim::{Op, OpResult, PinPolicy, Program, SimBuilder, ThreadRt, VfPoint};
+
+/// Sets the VF once, then hogs memory bandwidth forever.
+struct VfHog {
+    vf: VfPoint,
+    set: bool,
+    chunk: u64,
+}
+
+impl Program for VfHog {
+    fn resume(&mut self, rt: &mut ThreadRt<'_>, last: OpResult) -> Op {
+        if !self.set {
+            self.set = true;
+            return Op::SetVf(self.vf);
+        }
+        if !matches!(last, OpResult::Started) {
+            rt.counters.ops += 1;
+        }
+        Op::MemWork(self.chunk)
+    }
+}
+
+fn main() {
+    banner("Figure 2", "power breakdown of a memory-intensive benchmark");
+    let h = horizon().scaled(0.4);
+    for (label, khz) in [("Maximum Frequency", 2_800_000u64), ("Minimum Frequency", 1_200_000)] {
+        let mut t = Table::new(&["hyper-threads", "total W", "package W", "cores W", "DRAM W"]);
+        for n in [0usize, 1, 2, 5, 10, 15, 20, 25, 30, 35, 40] {
+            let vf = VfPoint::new(khz);
+            let mut b = SimBuilder::new(xeon());
+            let parked = b.alloc_line(1);
+            for _ in 0..n {
+                b.spawn(Box::new(VfHog { vf, set: false, chunk: 5_000 }), PinPolicy::PaperOrder);
+            }
+            if khz != 2_800_000 {
+                // Idle contexts keep their governor files at min too.
+                for _ in n..40 {
+                    b.spawn(
+                        Box::new(VfSleeper { vf, done: false, line: parked }),
+                        PinPolicy::PaperOrder,
+                    );
+                }
+            }
+            if b.thread_count() == 0 {
+                // Pure idle measurement needs at least one (sleeping) thread.
+                b.spawn(
+                    Box::new(VfSleeper { vf, done: false, line: parked }),
+                    PinPolicy::PaperOrder,
+                );
+            }
+            let r = b.run(h.spec());
+            t.row(vec![
+                n.to_string(),
+                f1(r.avg_power.total_w),
+                f1(r.avg_power.pkg_w),
+                f1(r.avg_power.cores_w),
+                f1(r.avg_power.dram_w),
+            ]);
+        }
+        println!("### {label}");
+        t.print();
+        println!();
+    }
+    println!("paper anchors: idle 55.5 W; 40 HT max-VF total ~206 W (pkg ~132, DRAM ~74)");
+}

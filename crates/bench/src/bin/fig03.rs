@@ -1,0 +1,31 @@
+//! Figure 3: power and CPI of the three waiting techniques (sleeping,
+//! global spinning, local spinning) on a lock that is never released.
+
+use poly_bench::{banner, f1, f2, horizon, xeon, Table};
+use poly_locks_sim::{WaitStyle, Waiter};
+use poly_sim::{PauseKind, PinPolicy, SimBuilder};
+
+fn main() {
+    banner("Figure 3", "power and CPI while waiting (lock never released)");
+    let h = horizon().scaled(0.4);
+    let styles = [
+        ("sleeping", WaitStyle::Sleep),
+        ("global spinning", WaitStyle::GlobalSpin),
+        ("local spinning", WaitStyle::LocalSpin(PauseKind::None)),
+    ];
+    let mut t = Table::new(&["threads", "style", "power W", "waiting CPI"]);
+    for n in [1usize, 5, 10, 20, 30, 40] {
+        for (label, style) in styles {
+            let mut b = SimBuilder::new(xeon());
+            let lock = b.alloc_line(1);
+            for _ in 0..n {
+                b.spawn(Box::new(Waiter::new(lock, style)), PinPolicy::PaperOrder);
+            }
+            let r = b.run(h.spec());
+            let cpi = if r.wait_cpi.instructions == 0 { f64::NAN } else { r.wait_cpi.cpi() };
+            t.row(vec![n.to_string(), label.into(), f1(r.avg_power.total_w), f2(cpi)]);
+        }
+    }
+    t.print();
+    println!("\npaper: sleeping ~idle power; local > global power; global CPI grows to ~530");
+}

@@ -1,0 +1,132 @@
+//! Figure 6: latency of futex operations — wake-up call latency and
+//! turnaround time vs the delay between sleep and wake-up calls.
+//!
+//! Mirrors the paper's microbenchmark: the two threads run in lock-step
+//! rounds (the sleeper announces each round before sleeping), the waker
+//! waits `delay` cycles after the announcement, publishes its wake-call
+//! issue time through a timestamp line, and wakes. Turnaround = sleeper
+//! resume time minus published issue time.
+
+use poly_bench::{banner, horizon, xeon, Table};
+use poly_sim::{
+    Cycles, FutexWaitResult, LineId, Op, OpResult, PinPolicy, Program, RmwKind, RunSpec,
+    SimBuilder, SpinCond, ThreadRt,
+};
+
+struct RoundSleeper {
+    word: LineId,
+    round: LineId,
+    tstamp: LineId,
+    st: u8,
+}
+impl Program for RoundSleeper {
+    fn resume(&mut self, rt: &mut ThreadRt<'_>, last: OpResult) -> Op {
+        match self.st {
+            0 => {
+                // Announce the round, then sleep.
+                self.st = 1;
+                Op::Rmw(self.round, RmwKind::FetchAdd(1))
+            }
+            1 => {
+                self.st = 2;
+                Op::FutexWait { line: self.word, expect: 0, timeout: None }
+            }
+            2 => {
+                assert!(matches!(last, OpResult::FutexWait(FutexWaitResult::Woken)));
+                // Read the waker's publish time; accumulate turnaround.
+                self.st = 3;
+                Op::Load(self.tstamp)
+            }
+            _ => {
+                let issued = last.value();
+                rt.counters.aux[0] += rt.now.saturating_sub(issued);
+                rt.counters.ops += 1;
+                self.st = 1;
+                Op::Rmw(self.round, RmwKind::FetchAdd(1))
+            }
+        }
+    }
+}
+
+struct RoundWaker {
+    word: LineId,
+    round: LineId,
+    tstamp: LineId,
+    delay: Cycles,
+    seen: u64,
+    issue_at: Cycles,
+    st: u8,
+}
+impl Program for RoundWaker {
+    fn resume(&mut self, rt: &mut ThreadRt<'_>, _last: OpResult) -> Op {
+        match self.st {
+            0 => {
+                // Wait for the sleeper to announce the next round.
+                self.st = 1;
+                self.seen += 1;
+                Op::SpinLoad {
+                    line: self.round,
+                    pause: poly_sim::PauseKind::Mbar,
+                    until: SpinCond::Equals(self.seen),
+                    max: None,
+                }
+            }
+            1 => {
+                self.st = 2;
+                Op::Work(self.delay.max(1))
+            }
+            2 => {
+                self.st = 3;
+                self.issue_at = rt.now;
+                Op::Rmw(self.tstamp, RmwKind::Store(rt.now))
+            }
+            3 => {
+                self.st = 4;
+                self.issue_at = rt.now;
+                Op::FutexWake { line: self.word, n: 1 }
+            }
+            _ => {
+                rt.counters.aux[1] += rt.now - self.issue_at;
+                rt.counters.aux[2] += 1;
+                self.st = 1;
+                self.seen += 1;
+                Op::SpinLoad {
+                    line: self.round,
+                    pause: poly_sim::PauseKind::Mbar,
+                    until: SpinCond::Equals(self.seen),
+                    max: None,
+                }
+            }
+        }
+    }
+}
+
+fn main() {
+    banner("Figure 6", "futex wake-call latency and turnaround vs sleep/wake delay");
+    let h = horizon();
+    let mut t = Table::new(&["delay (cyc)", "wake-up call (Kcyc)", "turnaround (Kcyc)"]);
+    for delay in [100u64, 1_000, 4_000, 10_000, 50_000, 100_000, 400_000, 1_000_000, 4_000_000] {
+        let mut b = SimBuilder::new(xeon());
+        let word = b.alloc_line(0);
+        let round = b.alloc_line(0);
+        let tstamp = b.alloc_line(0);
+        b.spawn(Box::new(RoundSleeper { word, round, tstamp, st: 0 }), PinPolicy::Ctx(0));
+        b.spawn(
+            Box::new(RoundWaker { word, round, tstamp, delay, seen: 0, issue_at: 0, st: 0 }),
+            PinPolicy::Ctx(2),
+        );
+        let rounds_wanted = 200u64.min(h.cycles / (delay + 40_000) + 3);
+        let dur = (delay + 40_000) * rounds_wanted;
+        let r = b.run(RunSpec { duration: dur.max(4_000_000), warmup: 0 });
+        let rounds = r.threads[0].ops.max(1);
+        let wake_calls = r.threads[1].aux[2].max(1);
+        t.row(vec![
+            delay.to_string(),
+            format!("{:.2}", r.threads[1].aux[1] as f64 / wake_calls as f64 / 1e3),
+            format!("{:.2}", r.threads[0].aux[0] as f64 / rounds as f64 / 1e3),
+        ]);
+    }
+    t.print();
+    println!("\npaper: turnaround >= ~7 Kcycles; wake call dearer at low delays (kernel-lock");
+    println!("contention with the in-flight sleep); turnaround explodes past ~600 Kcycles");
+}

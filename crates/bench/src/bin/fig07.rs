@@ -1,0 +1,42 @@
+//! Figure 7: power and communication throughput of sleeping, spinning and
+//! spin-then-sleep (`ss-T`) handovers.
+
+use poly_bench::{banner, f1, f2, horizon, xeon, Table};
+use poly_locks_sim::{SsMode, SsShared};
+use poly_sim::{PinPolicy, SimBuilder};
+
+fn main() {
+    banner("Figure 7", "power and handover throughput of sleep / spin / ss-T");
+    let h = horizon();
+    let modes = [
+        SsMode::SleepOnly,
+        SsMode::SpinOnly,
+        SsMode::SpinSleep(1),
+        SsMode::SpinSleep(10),
+        SsMode::SpinSleep(100),
+        SsMode::SpinSleep(1000),
+    ];
+    let mut power = Table::new(&["threads", "sleep", "spin", "ss-1", "ss-10", "ss-100", "ss-1000"]);
+    let mut thr = Table::new(&["threads", "sleep", "spin", "ss-1", "ss-10", "ss-100", "ss-1000"]);
+    for n in [1usize, 2, 4, 10, 20, 30, 40] {
+        let mut prow = vec![n.to_string()];
+        let mut trow = vec![n.to_string()];
+        for mode in modes {
+            let mut b = SimBuilder::new(xeon());
+            let sh = SsShared::alloc(&mut b, mode, n);
+            for tid in 0..n {
+                b.spawn(Box::new(sh.program(tid)), PinPolicy::PaperOrder);
+            }
+            let r = b.run(h.spec());
+            prow.push(f1(r.avg_power.total_w));
+            trow.push(f2(r.throughput / 1e6));
+        }
+        power.row(prow);
+        thr.row(trow);
+    }
+    println!("### Power (W)");
+    power.print();
+    println!("\n### Communication throughput (Mops/s)");
+    thr.print();
+    println!("\npaper: larger T -> lower power and higher throughput; spin collapses at scale");
+}

@@ -1,0 +1,42 @@
+//! Figure 9: 95th and 99.99th percentile acquisition latency of MUTEX and
+//! MUTEXEE vs critical-section length (single lock, 20 threads).
+
+use poly_bench::{banner, horizon, lock_stress, Table};
+use poly_locks_sim::{Dist, LockKind, LockParams};
+
+fn main() {
+    banner("Figure 9", "tail latency of a single MUTEX vs MUTEXEE (20 threads)");
+    let h = horizon();
+    let mut t = Table::new(&[
+        "CS (cyc)",
+        "MUTEX p95 (Kcyc)",
+        "MUTEXEE p95 (Kcyc)",
+        "MUTEX p99.99 (Mcyc)",
+        "MUTEXEE p99.99 (Mcyc)",
+    ]);
+    for cs in [500u64, 1_000, 2_000, 4_000, 8_000, 16_000] {
+        let run = |kind| {
+            lock_stress(
+                kind,
+                20,
+                Dist::Exp(cs),
+                Dist::Uniform(0, 600),
+                1,
+                LockParams::default(),
+                h,
+            )
+        };
+        let mutex = run(LockKind::Mutex);
+        let mutexee = run(LockKind::Mutexee);
+        t.row(vec![
+            cs.to_string(),
+            format!("{:.1}", mutex.acquire_latency.percentile(95.0) as f64 / 1e3),
+            format!("{:.1}", mutexee.acquire_latency.percentile(95.0) as f64 / 1e3),
+            format!("{:.2}", mutex.acquire_latency.percentile(99.99) as f64 / 1e6),
+            format!("{:.2}", mutexee.acquire_latency.percentile(99.99) as f64 / 1e6),
+        ]);
+    }
+    t.print();
+    println!("\npaper: MUTEXEE has far lower p95 below 4000-cycle CS, but much higher p99.99");
+    println!("(long-sleeping threads) — the fairness/efficiency trade-off");
+}

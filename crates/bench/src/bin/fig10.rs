@@ -1,0 +1,48 @@
+//! Figure 10: MUTEXEE without timeouts over with timeouts — throughput and
+//! TPP ratios as a function of the sleep timeout.
+
+use poly_bench::{banner, f2, horizon, lock_stress, Table};
+use poly_locks_sim::{Dist, LockKind, LockParams, MutexeeParams};
+
+fn main() {
+    banner("Figure 10", "MUTEXEE no-timeout / timeout ratios (CS 2000 cycles)");
+    let h = horizon();
+    // Timeouts from 8 us to 32 ms, in cycles at 2.8 GHz.
+    let timeouts_us = [8u64, 128, 1_000, 4_000, 16_000, 32_000];
+    let threads = [10usize, 20, 40];
+    let mut thr = Table::new(&["timeout \\ thr", "10", "20", "40"]);
+    let mut tpp = Table::new(&["timeout \\ thr", "10", "20", "40"]);
+    for us in timeouts_us {
+        let timeout_cycles = us * 2_800;
+        let mut trow = vec![format!("{us} us")];
+        let mut prow = vec![format!("{us} us")];
+        for n in threads {
+            let run = |timeout: Option<u64>| {
+                lock_stress(
+                    LockKind::Mutexee,
+                    n,
+                    Dist::Fixed(2_000),
+                    Dist::Uniform(0, 400),
+                    1,
+                    LockParams {
+                        mutexee: MutexeeParams { sleep_timeout: timeout, ..Default::default() },
+                        ..Default::default()
+                    },
+                    h,
+                )
+            };
+            let no = run(None);
+            let with = run(Some(timeout_cycles));
+            trow.push(f2(no.throughput / with.throughput.max(1.0)));
+            prow.push(f2(no.tpp / with.tpp.max(1e-9)));
+        }
+        thr.row(trow);
+        tpp.row(prow);
+    }
+    println!("### Throughput ratio (no timeout / with timeout)");
+    thr.print();
+    println!("\n### TPP ratio (no timeout / with timeout)");
+    tpp.print();
+    println!("\npaper: short timeouts cost up to 14x throughput / 24x TPP; past 16-32 ms the");
+    println!("ratios approach 1");
+}

@@ -1,0 +1,44 @@
+//! Figure 11: throughput and TPP with a single (global) lock.
+
+use poly_bench::{banner, f2, horizon, lock_stress, Table};
+use poly_locks_sim::{Dist, LockKind, LockParams};
+
+fn main() {
+    banner("Figure 11", "single global lock, 1000-cycle CS: throughput and TPP");
+    let h = horizon();
+    let kinds = [
+        LockKind::Mutex,
+        LockKind::Tas,
+        LockKind::Ttas,
+        LockKind::Ticket,
+        LockKind::Mcs,
+        LockKind::Mutexee,
+    ];
+    let mut thr = Table::new(&["threads", "MUTEX", "TAS", "TTAS", "TICKET", "MCS", "MUTEXEE"]);
+    let mut tpp = Table::new(&["threads", "MUTEX", "TAS", "TTAS", "TICKET", "MCS", "MUTEXEE"]);
+    for n in [1usize, 5, 10, 20, 30, 40, 50, 60] {
+        let mut trow = vec![n.to_string()];
+        let mut prow = vec![n.to_string()];
+        for kind in kinds {
+            let r = lock_stress(
+                kind,
+                n,
+                Dist::Fixed(1000),
+                Dist::Uniform(0, 200),
+                1,
+                LockParams::default(),
+                h,
+            );
+            trow.push(f2(r.throughput / 1e6));
+            prow.push(f2(r.tpp / 1e3));
+        }
+        thr.row(trow);
+        tpp.row(prow);
+    }
+    println!("### Throughput (Macq/s)");
+    thr.print();
+    println!("\n### TPP (Kacq/J)");
+    tpp.print();
+    println!("\npaper: MCS best spinlock <=40 threads; fair locks collapse past 40 threads;");
+    println!("MUTEXEE flat and best TPP; MUTEX worst under contention");
+}

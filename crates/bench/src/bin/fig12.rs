@@ -1,0 +1,85 @@
+//! Figure 12: correlation of throughput with TPP across many random
+//! configurations (normalized scatter).
+
+use poly_bench::{banner, f2, horizon, lock_stress, Table};
+use poly_locks_sim::{Dist, LockKind, LockParams};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    banner("Figure 12", "throughput vs TPP correlation across configurations");
+    let h = horizon().scaled(0.25);
+    let mut rng = SmallRng::seed_from_u64(0xF16_12);
+    let n_configs: usize = if std::env::var_os("POLY_QUICK").is_some() { 8 } else { 24 };
+    let kinds = [
+        LockKind::Mutex,
+        LockKind::Tas,
+        LockKind::Ttas,
+        LockKind::Ticket,
+        LockKind::Mcs,
+        LockKind::Mutexee,
+    ];
+    let mut points: Vec<(f64, f64)> = Vec::new();
+    let mut best_agree = 0usize;
+    for _ in 0..n_configs {
+        let threads = rng.random_range(1..=16usize);
+        let cs = rng.random_range(0..=8_000u64);
+        let n_locks = [1usize, 4, 16, 64, 512][rng.random_range(0..5usize)];
+        let mut best_thr = (0.0f64, 0usize);
+        let mut best_tpp = (0.0f64, 0usize);
+        for (i, kind) in kinds.iter().enumerate() {
+            let r = lock_stress(
+                *kind,
+                threads,
+                Dist::Fixed(cs.max(1)),
+                Dist::Uniform(0, 500),
+                n_locks,
+                LockParams::default(),
+                h,
+            );
+            points.push((r.throughput, r.tpp));
+            if r.throughput > best_thr.0 {
+                best_thr = (r.throughput, i);
+            }
+            if r.tpp > best_tpp.0 {
+                best_tpp = (r.tpp, i);
+            }
+        }
+        if best_thr.1 == best_tpp.1 {
+            best_agree += 1;
+        }
+    }
+    let max_thr = points.iter().map(|p| p.0).fold(0.0, f64::max);
+    let max_tpp = points.iter().map(|p| p.1).fold(0.0, f64::max);
+    // Pearson correlation of the normalized points.
+    let n = points.len() as f64;
+    let (mx, my) = (
+        points.iter().map(|p| p.0 / max_thr).sum::<f64>() / n,
+        points.iter().map(|p| p.1 / max_tpp).sum::<f64>() / n,
+    );
+    let (mut sxy, mut sxx, mut syy) = (0.0, 0.0, 0.0);
+    for (x, y) in &points {
+        let (dx, dy) = (x / max_thr - mx, y / max_tpp - my);
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    let r = sxy / (sxx.sqrt() * syy.sqrt());
+    let mut t = Table::new(&["metric", "value"]);
+    t.row(vec!["configurations".into(), (points.len() / kinds.len()).to_string()]);
+    t.row(vec!["data points".into(), points.len().to_string()]);
+    t.row(vec!["pearson r (norm thr vs norm TPP)".into(), f2(r)]);
+    t.row(vec![
+        "best-throughput lock == best-TPP lock".into(),
+        format!(
+            "{:.0}% of configs",
+            100.0 * best_agree as f64 / (points.len() / kinds.len()) as f64
+        ),
+    ]);
+    t.print();
+    println!("\nnormalized scatter (first 20 points):");
+    for (x, y) in points.iter().take(20) {
+        println!("  thr={:.3} tpp={:.3}", x / max_thr, y / max_tpp);
+    }
+    println!("\npaper: points hug the diagonal; best throughput == best TPP in 85% of configs");
+}

@@ -1,0 +1,79 @@
+//! Figures 13, 14 and 15: the six software systems with MUTEX, TICKET and
+//! MUTEXEE — normalized throughput, TPP and 99th-percentile latency.
+
+use poly_bench::{banner, f2, horizon, xeon, Table};
+use poly_locks_sim::LockKind;
+use poly_sim::{SimBuilder, SimReport};
+use poly_systems::PaperSystem;
+
+fn run(sys: PaperSystem, kind: LockKind, h: poly_bench::Horizon) -> SimReport {
+    let mut b = SimBuilder::new(xeon());
+    sys.build(&mut b, kind);
+    b.run(h.spec())
+}
+
+fn main() {
+    banner("Figures 13-15", "six systems, locks swapped (normalized to MUTEX)");
+    let h = horizon();
+    let mut thr = Table::new(&["system", "config", "TICKET", "MUTEXEE"]);
+    let mut tpp = Table::new(&["system", "config", "TICKET", "MUTEXEE"]);
+    let mut tail = Table::new(&["system", "config", "TICKET", "MUTEXEE"]);
+    let mut thr_sum = [0.0f64; 2];
+    let mut tpp_sum = [0.0f64; 2];
+    let mut cells = 0.0;
+    for sys in PaperSystem::paper_lineup() {
+        // MySQL's 96 threads make it the heaviest cell; trim its horizon.
+        let h = if sys.system_name() == "MySQL" { h.scaled(0.5) } else { h };
+        let mutex = run(sys, LockKind::Mutex, h);
+        let ticket = run(sys, LockKind::Ticket, h);
+        let mutexee = run(sys, LockKind::Mutexee, h);
+        let tr = [ticket.throughput / mutex.throughput, mutexee.throughput / mutex.throughput];
+        let pr = [ticket.tpp / mutex.tpp, mutexee.tpp / mutex.tpp];
+        thr.row(vec![
+            sys.system_name().into(),
+            sys.config_label(),
+            f2(tr[0]),
+            f2(tr[1]),
+        ]);
+        tpp.row(vec![
+            sys.system_name().into(),
+            sys.config_label(),
+            f2(pr[0]),
+            f2(pr[1]),
+        ]);
+        thr_sum[0] += tr[0];
+        thr_sum[1] += tr[1];
+        tpp_sum[0] += pr[0];
+        tpp_sum[1] += pr[1];
+        cells += 1.0;
+        if sys.in_tail_figure() {
+            let p99 = |r: &SimReport| r.acquire_latency.percentile(99.0) as f64;
+            tail.row(vec![
+                sys.system_name().into(),
+                sys.config_label(),
+                f2(p99(&ticket) / p99(&mutex).max(1.0)),
+                f2(p99(&mutexee) / p99(&mutex).max(1.0)),
+            ]);
+        }
+    }
+    thr.row(vec![
+        "Avg".into(),
+        "".into(),
+        f2(thr_sum[0] / cells),
+        f2(thr_sum[1] / cells),
+    ]);
+    tpp.row(vec![
+        "Avg".into(),
+        "".into(),
+        f2(tpp_sum[0] / cells),
+        f2(tpp_sum[1] / cells),
+    ]);
+    println!("### Figure 13 — normalized throughput (higher is better)");
+    thr.print();
+    println!("\n### Figure 14 — normalized TPP (higher is better)");
+    tpp.print();
+    println!("\n### Figure 15 — normalized 99th-percentile lock latency (lower is better)");
+    tail.print();
+    println!("\npaper: Avg TICKET 1.06/1.05, MUTEXEE 1.26/1.28; TICKET collapses on MySQL &");
+    println!("SQLite-64; MUTEXEE raises HamsterDB RD tails ~19x while gaining TPP");
+}

@@ -1,0 +1,21 @@
+//! Runs every figure/table reproduction in sequence (the paper's full
+//! evaluation). Equivalent to running each `fig*`/`tab*` binary.
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "fig01", "fig02", "fig03", "fig04", "fig05", "fig06", "tab44", "fig07", "fig08",
+        "fig09", "fig10", "tab51", "tab02", "fig11", "fig12", "fig13", "ablate",
+    ];
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir");
+    for bin in bins {
+        let path = dir.join(bin);
+        let status = Command::new(&path)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to run {}: {e}", path.display()));
+        assert!(status.success(), "{bin} failed");
+    }
+    println!("\nAll 17 experiment reproductions completed.");
+}

@@ -1,0 +1,41 @@
+//! §5.1 table: MUTEX vs MUTEXEE vs MUTEXEE-with-timeout at 20 threads.
+
+use poly_bench::{banner, horizon, lock_stress, Table};
+use poly_locks_sim::{Dist, LockKind, LockParams, MutexeeParams};
+
+fn main() {
+    banner("§5.1 table", "20 threads, 2000-cycle CS, 4 ms timeout");
+    let h = horizon();
+    let run = |kind: LockKind, timeout: Option<u64>| {
+        lock_stress(
+            kind,
+            20,
+            Dist::Fixed(2_000),
+            Dist::Uniform(0, 400),
+            1,
+            LockParams {
+                mutexee: MutexeeParams { sleep_timeout: timeout, ..Default::default() },
+                ..Default::default()
+            },
+            h,
+        )
+    };
+    let mutex = run(LockKind::Mutex, None);
+    let mutexee = run(LockKind::Mutexee, None);
+    let mutexee_to = run(LockKind::Mutexee, Some(4 * 2_800_000)); // 4 ms
+    let mut t = Table::new(&["lock", "thr (Kacq/s)", "TPP (Kacq/J)", "max latency (Mcyc)"]);
+    for (label, r) in [
+        ("MUTEX", &mutex),
+        ("MUTEXEE", &mutexee),
+        ("MUTEXEE timeout", &mutexee_to),
+    ] {
+        t.row(vec![
+            label.into(),
+            format!("{:.0}", r.throughput / 1e3),
+            format!("{:.1}", r.tpp / 1e3),
+            format!("{:.1}", r.acquire_latency.max() as f64 / 1e6),
+        ]);
+    }
+    t.print();
+    println!("\npaper: MUTEX 317/4.0/2.0 — MUTEXEE 855/10.9/206.5 — timeout 474/6.5/12.0");
+}

@@ -1,0 +1,149 @@
+//! Platform fine-tuning: measure the latencies MUTEXEE's budgets depend on.
+//!
+//! The paper ships "a script which runs the necessary microbenchmarks and
+//! reports the configuration parameters that can be used for that
+//! platform". This module is that script: it measures the futex sleep/wake
+//! round-trip and the cache-line transfer latency on the current host and
+//! converts them into [`MutexeeConfig`] budgets (spin long enough to cover
+//! waits shorter than a wake-up turnaround; watch the lock word in `unlock`
+//! for about one coherence latency).
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::futex::{futex_wait, futex_wake};
+use crate::mutexee::MutexeeConfig;
+use crate::spin::SpinPolicy;
+
+/// Measured platform latencies and the derived MUTEXEE configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct TuneReport {
+    /// One futex sleep + wake round-trip (the wake-up turnaround), in ns.
+    pub futex_roundtrip_ns: f64,
+    /// One cross-thread cache-line transfer, in ns.
+    pub line_transfer_ns: f64,
+    /// Cost of one pause iteration of the chosen policy, in ns.
+    pub pause_ns: f64,
+    /// The derived configuration.
+    pub config: MutexeeConfig,
+}
+
+/// Measures one pause iteration of `policy` in nanoseconds.
+pub fn measure_pause_ns(policy: SpinPolicy) -> f64 {
+    let iters = 200_000u32;
+    let start = Instant::now();
+    for _ in 0..iters {
+        policy.pause();
+    }
+    (start.elapsed().as_nanos() as f64 / f64::from(iters)).max(0.3)
+}
+
+/// Measures the futex sleep+wake round-trip (turnaround) in nanoseconds.
+pub fn measure_futex_roundtrip_ns() -> f64 {
+    let word = Arc::new(AtomicU32::new(0));
+    let word2 = word.clone();
+    let rounds = 300u32;
+    let echo = std::thread::spawn(move || {
+        for _ in 0..rounds {
+            while word2.load(Ordering::Acquire) != 1 {
+                let _ = futex_wait(&word2, 0, Some(Duration::from_millis(100)));
+            }
+            word2.store(0, Ordering::Release);
+            futex_wake(&word2, 1);
+        }
+    });
+    let start = Instant::now();
+    for _ in 0..rounds {
+        word.store(1, Ordering::Release);
+        futex_wake(&word, 1);
+        while word.load(Ordering::Acquire) != 0 {
+            let _ = futex_wait(&word, 1, Some(Duration::from_millis(100)));
+        }
+    }
+    let per_round = start.elapsed().as_nanos() as f64 / f64::from(rounds);
+    echo.join().expect("echo thread");
+    // One round contains two sleep/wake handovers.
+    per_round / 2.0
+}
+
+/// Measures a cross-thread cache-line transfer in nanoseconds using a
+/// spin-based ping-pong.
+pub fn measure_line_transfer_ns() -> f64 {
+    let word = Arc::new(AtomicU32::new(0));
+    let word2 = word.clone();
+    let rounds = 100_000u32;
+    let echo = std::thread::spawn(move || {
+        for _ in 0..rounds {
+            while word2.load(Ordering::Acquire) % 2 == 0 {
+                std::hint::spin_loop();
+            }
+            word2.fetch_add(1, Ordering::AcqRel);
+        }
+    });
+    let start = Instant::now();
+    for _ in 0..rounds {
+        word.fetch_add(1, Ordering::AcqRel);
+        while word.load(Ordering::Acquire) % 2 == 1 {
+            std::hint::spin_loop();
+        }
+    }
+    let per_round = start.elapsed().as_nanos() as f64 / f64::from(rounds);
+    echo.join().expect("echo thread");
+    // One round is two transfers.
+    (per_round / 2.0).max(1.0)
+}
+
+/// Runs all microbenchmarks and derives a [`MutexeeConfig`] for this host.
+pub fn tune() -> TuneReport {
+    let policy = SpinPolicy::Fence;
+    let pause_ns = measure_pause_ns(policy);
+    let futex_roundtrip_ns = measure_futex_roundtrip_ns();
+    let line_transfer_ns = measure_line_transfer_ns();
+    // The paper's rule: spinning in lock() must comfortably cover waits up
+    // to the futex turnaround (8000 cycles vs the 7000-cycle turnaround on
+    // the Xeon); the unlock watch is ~one maximum coherence latency.
+    let spin_budget = ((futex_roundtrip_ns * 1.15) / pause_ns).clamp(64.0, 1_000_000.0) as u32;
+    let unlock_wait = ((3.0 * line_transfer_ns) / pause_ns).clamp(2.0, 10_000.0) as u32;
+    TuneReport {
+        futex_roundtrip_ns,
+        line_transfer_ns,
+        pause_ns,
+        config: MutexeeConfig {
+            spin_budget,
+            spin_budget_mutex_mode: (spin_budget / 32).max(2),
+            unlock_wait,
+            unlock_wait_mutex_mode: (unlock_wait / 3).max(1),
+            ..MutexeeConfig::default()
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pause_measurement_is_positive() {
+        assert!(measure_pause_ns(SpinPolicy::Fence) > 0.0);
+    }
+
+    #[test]
+    fn line_transfer_is_sane() {
+        let ns = measure_line_transfer_ns();
+        assert!(ns > 0.5 && ns < 100_000.0, "transfer {ns} ns");
+    }
+
+    #[test]
+    fn tune_produces_usable_budgets() {
+        let report = tune();
+        assert!(report.config.spin_budget >= 64);
+        assert!(report.config.unlock_wait >= 2);
+        assert!(
+            report.config.spin_budget > report.config.spin_budget_mutex_mode,
+            "spin mode must out-spin mutex mode"
+        );
+        assert!(report.futex_roundtrip_ns > report.line_transfer_ns,
+            "sleeping must cost more than a line transfer");
+    }
+}

@@ -1,0 +1,137 @@
+//! A futex-based condition variable.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::time::Duration;
+
+use crate::futex::{futex_wait, futex_wake};
+use crate::raw::{Lock, LockGuard, RawLock};
+
+/// The standard sequence-counter futex condvar, usable with any
+/// [`RawLock`]-based [`Lock`] — the construction RocksDB's write queue and
+/// MySQL rely on, with the mutex algorithm swappable as in §6.
+///
+/// # Examples
+///
+/// ```
+/// use lockin::{Condvar, Lock, Mutexee};
+/// use std::time::Duration;
+///
+/// let ready = Lock::<bool, Mutexee>::new(false);
+/// let cv = Condvar::new();
+/// std::thread::scope(|s| {
+///     s.spawn(|| {
+///         *ready.lock() = true;
+///         cv.notify_one();
+///     });
+///     let mut g = ready.lock();
+///     while !*g {
+///         g = cv.wait_timeout(g, Duration::from_millis(50));
+///     }
+/// });
+/// ```
+#[derive(Debug, Default)]
+pub struct Condvar {
+    seq: AtomicU32,
+}
+
+impl Condvar {
+    /// Creates a condition variable.
+    pub const fn new() -> Self {
+        Self { seq: AtomicU32::new(0) }
+    }
+
+    /// Atomically releases the guard's lock and sleeps until notified;
+    /// reacquires the lock before returning. Spurious wakeups are possible,
+    /// as with `pthread_cond_wait` — always re-check the predicate.
+    pub fn wait<'a, T, L: RawLock>(&self, guard: LockGuard<'a, T, L>) -> LockGuard<'a, T, L> {
+        self.wait_inner(guard, None)
+    }
+
+    /// Like [`Condvar::wait`], but also returns after `timeout`.
+    pub fn wait_timeout<'a, T, L: RawLock>(
+        &self,
+        guard: LockGuard<'a, T, L>,
+        timeout: Duration,
+    ) -> LockGuard<'a, T, L> {
+        self.wait_inner(guard, Some(timeout))
+    }
+
+    fn wait_inner<'a, T, L: RawLock>(
+        &self,
+        guard: LockGuard<'a, T, L>,
+        timeout: Option<Duration>,
+    ) -> LockGuard<'a, T, L> {
+        let lock: &'a Lock<T, L> = LockGuard::lock_ref(&guard);
+        let seq = self.seq.load(Ordering::Acquire);
+        drop(guard);
+        let _ = futex_wait(&self.seq, seq, timeout);
+        lock.lock()
+    }
+
+    /// Wakes one waiter.
+    pub fn notify_one(&self) {
+        self.seq.fetch_add(1, Ordering::Release);
+        futex_wake(&self.seq, 1);
+    }
+
+    /// Wakes all waiters.
+    pub fn notify_all(&self) {
+        self.seq.fetch_add(1, Ordering::Release);
+        futex_wake(&self.seq, u32::MAX);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mutexee::Mutexee;
+    use std::sync::Arc;
+
+    #[test]
+    fn producer_consumer_roundtrips() {
+        let q = Arc::new(Lock::<Vec<u32>, Mutexee>::new(Vec::new()));
+        let cv = Arc::new(Condvar::new());
+        let (q2, cv2) = (q.clone(), cv.clone());
+        let consumer = std::thread::spawn(move || {
+            let mut got = Vec::new();
+            while got.len() < 100 {
+                let mut g = q2.lock();
+                while g.is_empty() {
+                    g = cv2.wait_timeout(g, Duration::from_millis(100));
+                }
+                got.append(&mut g);
+            }
+            got
+        });
+        for i in 0..100u32 {
+            q.lock().push(i);
+            cv.notify_one();
+        }
+        let got = consumer.join().unwrap();
+        assert_eq!(got.len(), 100);
+        assert_eq!(got[99], 99);
+    }
+
+    #[test]
+    fn notify_all_releases_many() {
+        let flag = Arc::new(Lock::<bool, Mutexee>::new(false));
+        let cv = Arc::new(Condvar::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let (f, c) = (flag.clone(), cv.clone());
+                std::thread::spawn(move || {
+                    let mut g = f.lock();
+                    while !*g {
+                        g = c.wait_timeout(g, Duration::from_millis(50));
+                    }
+                })
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(50));
+        *flag.lock() = true;
+        cv.notify_all();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

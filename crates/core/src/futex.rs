@@ -1,0 +1,217 @@
+//! The sleeping backend: raw `futex(2)` on Linux x86_64, a portable
+//! parking fallback elsewhere.
+//!
+//! The futex path issues the system call directly through `syscall` inline
+//! assembly, keeping the crate dependency-free. The fallback keeps the same
+//! semantics (value check under an internal lock, FIFO-ish wakes) on top of
+//! `std::sync` primitives, so every lock in this crate works on any
+//! platform — only the constants measured by [`crate::autotune`] differ.
+
+use std::sync::atomic::AtomicU32;
+use std::time::Duration;
+
+/// Why a [`futex_wait`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitOutcome {
+    /// Woken by a [`futex_wake`] (or spuriously).
+    Woken,
+    /// The word did not hold the expected value (`EAGAIN`).
+    ValueMismatch,
+    /// The timeout expired.
+    TimedOut,
+}
+
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+mod sys {
+    use super::*;
+
+    const SYS_FUTEX: i64 = 202;
+    const FUTEX_WAIT_PRIVATE: i64 = 0 | 128;
+    const FUTEX_WAKE_PRIVATE: i64 = 1 | 128;
+    const EAGAIN: i64 = -11;
+    const ETIMEDOUT: i64 = -110;
+
+    #[repr(C)]
+    struct Timespec {
+        tv_sec: i64,
+        tv_nsec: i64,
+    }
+
+    /// Issues the raw `futex` system call.
+    ///
+    /// # Safety
+    ///
+    /// `uaddr` must point to a live 4-byte-aligned futex word and `timeout`
+    /// must be null or point to a valid `Timespec`; both invariants are
+    /// upheld by the safe wrappers below.
+    unsafe fn futex(
+        uaddr: *const u32,
+        op: i64,
+        val: u32,
+        timeout: *const Timespec,
+    ) -> i64 {
+        let ret: i64;
+        // SAFETY: the Linux syscall ABI clobbers only rcx/r11; all six
+        // argument registers are passed per the x86_64 convention. The
+        // caller guarantees pointer validity.
+        unsafe {
+            std::arch::asm!(
+                "syscall",
+                inlateout("rax") SYS_FUTEX => ret,
+                in("rdi") uaddr,
+                in("rsi") op,
+                in("rdx") val as i64,
+                in("r10") timeout,
+                in("r8") 0i64,
+                in("r9") 0i64,
+                lateout("rcx") _,
+                lateout("r11") _,
+                options(nostack),
+            );
+        }
+        ret
+    }
+
+    pub fn wait(word: &AtomicU32, expect: u32, timeout: Option<Duration>) -> WaitOutcome {
+        let ts = timeout.map(|d| Timespec {
+            tv_sec: d.as_secs() as i64,
+            tv_nsec: i64::from(d.subsec_nanos()),
+        });
+        let ts_ptr = ts.as_ref().map_or(std::ptr::null(), std::ptr::from_ref);
+        // SAFETY: `word` is a live, aligned AtomicU32; `ts_ptr` is null or
+        // points at `ts` which outlives the call.
+        let r = unsafe { futex(word.as_ptr().cast_const(), FUTEX_WAIT_PRIVATE, expect, ts_ptr) };
+        match r {
+            EAGAIN => WaitOutcome::ValueMismatch,
+            ETIMEDOUT => WaitOutcome::TimedOut,
+            _ => WaitOutcome::Woken,
+        }
+    }
+
+    pub fn wake(word: &AtomicU32, n: u32) -> usize {
+        // SAFETY: `word` is a live, aligned AtomicU32; no timeout pointer.
+        let r = unsafe {
+            futex(word.as_ptr().cast_const(), FUTEX_WAKE_PRIVATE, n, std::ptr::null())
+        };
+        usize::try_from(r).unwrap_or(0)
+    }
+}
+
+#[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+mod sys {
+    use super::*;
+    use std::collections::HashMap;
+    use std::sync::atomic::Ordering;
+    use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+    #[derive(Default)]
+    struct Slot {
+        lock: Mutex<u64>, // wake generation
+        cv: Condvar,
+    }
+
+    fn registry() -> &'static Mutex<HashMap<usize, Arc<Slot>>> {
+        static REG: OnceLock<Mutex<HashMap<usize, Arc<Slot>>>> = OnceLock::new();
+        REG.get_or_init(Default::default)
+    }
+
+    fn slot_of(word: &AtomicU32) -> Arc<Slot> {
+        let key = std::ptr::from_ref(word) as usize;
+        registry().lock().unwrap().entry(key).or_default().clone()
+    }
+
+    pub fn wait(word: &AtomicU32, expect: u32, timeout: Option<Duration>) -> WaitOutcome {
+        let slot = slot_of(word);
+        let gen = slot.lock.lock().unwrap();
+        // The value check happens under the slot lock, mirroring the
+        // kernel's bucket-lock check: no wake can be lost in between.
+        if word.load(Ordering::SeqCst) != expect {
+            return WaitOutcome::ValueMismatch;
+        }
+        let start_gen = *gen;
+        let mut gen = gen;
+        let deadline = timeout.map(|d| std::time::Instant::now() + d);
+        while *gen == start_gen {
+            match deadline {
+                None => gen = slot.cv.wait(gen).unwrap(),
+                Some(dl) => {
+                    let now = std::time::Instant::now();
+                    if now >= dl {
+                        return WaitOutcome::TimedOut;
+                    }
+                    let (g, res) = slot.cv.wait_timeout(gen, dl - now).unwrap();
+                    gen = g;
+                    if res.timed_out() && *gen == start_gen {
+                        return WaitOutcome::TimedOut;
+                    }
+                }
+            }
+        }
+        WaitOutcome::Woken
+    }
+
+    pub fn wake(word: &AtomicU32, n: u32) -> usize {
+        let slot = slot_of(word);
+        let mut gen = slot.lock.lock().unwrap();
+        *gen += 1;
+        if n == 1 {
+            slot.cv.notify_one();
+        } else {
+            slot.cv.notify_all();
+        }
+        0
+    }
+}
+
+/// Sleeps on `word` while it holds `expect` (the check runs atomically with
+/// respect to wake-ups, like `FUTEX_WAIT`).
+pub fn futex_wait(word: &AtomicU32, expect: u32, timeout: Option<Duration>) -> WaitOutcome {
+    sys::wait(word, expect, timeout)
+}
+
+/// Wakes up to `n` sleepers on `word`; returns how many were woken (always
+/// 0 on the portable fallback, which cannot count).
+pub fn futex_wake(word: &AtomicU32, n: u32) -> usize {
+    sys::wake(word, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::Ordering;
+    use std::sync::Arc;
+
+    #[test]
+    fn mismatch_returns_immediately() {
+        let w = AtomicU32::new(7);
+        assert_eq!(futex_wait(&w, 0, None), WaitOutcome::ValueMismatch);
+    }
+
+    #[test]
+    fn timeout_fires() {
+        let w = AtomicU32::new(0);
+        let out = futex_wait(&w, 0, Some(Duration::from_millis(20)));
+        assert_eq!(out, WaitOutcome::TimedOut);
+    }
+
+    #[test]
+    fn wake_releases_sleeper() {
+        let w = Arc::new(AtomicU32::new(0));
+        let w2 = w.clone();
+        let h = std::thread::spawn(move || futex_wait(&w2, 0, Some(Duration::from_secs(10))));
+        // Let the sleeper get in, then flip the word and wake.
+        std::thread::sleep(Duration::from_millis(50));
+        w.store(1, Ordering::SeqCst);
+        while !h.is_finished() {
+            futex_wake(&w, 1);
+            std::thread::yield_now();
+        }
+        assert_eq!(h.join().unwrap(), WaitOutcome::Woken);
+    }
+
+    #[test]
+    fn wake_without_sleeper_is_harmless() {
+        let w = AtomicU32::new(0);
+        let _ = futex_wake(&w, 1);
+    }
+}

@@ -1,0 +1,75 @@
+//! `lockin` — the energy-aware lock library of "Unlocking Energy"
+//! (USENIX ATC 2016), as a native Rust crate.
+//!
+//! The paper's POLY conjecture says throughput and energy efficiency go
+//! hand in hand in lock algorithms, and backs it with `lockin`, a library
+//! of throughput-and-energy-tuned locks. This crate is that artifact,
+//! rebuilt in Rust:
+//!
+//! * [`Mutexee`] — the paper's optimized futex mutex: long `mfence`-paused
+//!   spinning before sleeping, user-space handover detection in `unlock`
+//!   (skipping the expensive `FUTEX_WAKE` whenever possible), spin/mutex
+//!   mode adaptation, optional sleep timeouts bounding tail latency;
+//! * [`FutexMutex`] — a faithful glibc-style mutex (Drepper's algorithm),
+//!   the paper's baseline;
+//! * [`TasLock`], [`TtasLock`], [`TicketLock`] — classic spinlocks with a
+//!   configurable [`SpinPolicy`] (the paper shows `mfence` pausing beats
+//!   `pause` on power);
+//! * [`McsLock`] and [`ClhLock`] — queue locks;
+//! * [`RwLock`] and [`Condvar`] built on the same primitives;
+//! * [`rapl`] — a reader for Intel RAPL energy counters via
+//!   `/sys/class/powercap`, and [`EnergyMeter`]/[`TppMeter`] for measuring
+//!   throughput-per-power the way the paper does;
+//! * [`autotune`] — the paper's "fine-tuning script": measures the
+//!   platform's futex and coherence latencies and derives [`MutexeeConfig`]
+//!   parameters.
+//!
+//! Sleeping locks use a raw `futex(2)` backend on Linux x86_64 (no
+//! dependencies beyond `std`) and fall back to a portable parking backend
+//! elsewhere.
+//!
+//! # Quick start
+//!
+//! ```
+//! use lockin::{Lock, Mutexee};
+//!
+//! let counter = Lock::<u64, Mutexee>::new(0);
+//! std::thread::scope(|s| {
+//!     for _ in 0..4 {
+//!         s.spawn(|| {
+//!             for _ in 0..1000 {
+//!                 *counter.lock() += 1;
+//!             }
+//!         });
+//!     }
+//! });
+//! assert_eq!(*counter.lock(), 4000);
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod autotune;
+mod clh;
+mod condvar;
+mod futex;
+mod mcs;
+mod meter;
+mod mutex;
+mod mutexee;
+pub mod rapl;
+mod raw;
+mod rwlock;
+mod spin;
+mod spinlocks;
+
+pub use clh::{ClhGuard, ClhLock};
+pub use condvar::Condvar;
+pub use futex::{futex_wait, futex_wake, WaitOutcome};
+pub use mcs::{McsGuard, McsLock};
+pub use meter::{EnergyMeter, EnergySample, TppMeter, TppReport};
+pub use mutex::FutexMutex;
+pub use mutexee::{Mutexee, MutexeeConfig, MutexeeMode};
+pub use raw::{Lock, LockGuard, RawLock};
+pub use rwlock::{RwLock, RwReadGuard, RwWriteGuard};
+pub use spin::SpinPolicy;
+pub use spinlocks::{TasLock, TicketLock, TtasLock};

@@ -1,0 +1,175 @@
+//! Intel RAPL energy counters via the Linux powercap interface.
+//!
+//! The paper measures every result with RAPL. On hosts that expose
+//! `/sys/class/powercap/intel-rapl*`, [`RaplReader`] samples the package,
+//! cores (PP0) and DRAM domains exactly like the paper's setup; elsewhere
+//! (containers, non-Intel machines) probing returns `None` and callers fall
+//! back to throughput-only reporting (see [`crate::TppMeter`]).
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// One RAPL domain (e.g. `package-0`, `core`, `dram`).
+#[derive(Debug, Clone)]
+pub struct RaplDomain {
+    /// Domain name as reported by the kernel.
+    pub name: String,
+    energy_path: PathBuf,
+    /// Wraparound range of the counter, in micro-joules.
+    pub max_energy_range_uj: u64,
+}
+
+/// A point-in-time sample of every discovered domain, in micro-joules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RaplSample {
+    /// `(domain name, energy counter in micro-joules)` pairs, in discovery
+    /// order.
+    pub energy_uj: Vec<(String, u64)>,
+}
+
+impl RaplSample {
+    /// Total energy across package domains (packages already include the
+    /// cores component), in joules.
+    pub fn total_package_j(&self) -> f64 {
+        self.energy_uj
+            .iter()
+            .filter(|(n, _)| n.starts_with("package"))
+            .map(|(_, uj)| *uj as f64 * 1e-6)
+            .sum()
+    }
+}
+
+/// Reader over the host's RAPL domains.
+#[derive(Debug, Clone)]
+pub struct RaplReader {
+    domains: Vec<RaplDomain>,
+}
+
+impl RaplReader {
+    /// Discovers RAPL domains; returns `None` when the host exposes none
+    /// (the common case in containers and on non-Intel hardware).
+    pub fn probe() -> Option<Self> {
+        Self::probe_at(Path::new("/sys/class/powercap"))
+    }
+
+    /// Discovery rooted at an arbitrary directory (testable).
+    pub fn probe_at(root: &Path) -> Option<Self> {
+        let mut domains = Vec::new();
+        let entries = fs::read_dir(root).ok()?;
+        let mut names: Vec<PathBuf> = entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("intel-rapl:"))
+            })
+            .collect();
+        names.sort();
+        for dir in names {
+            let name = fs::read_to_string(dir.join("name")).ok()?.trim().to_string();
+            let energy_path = dir.join("energy_uj");
+            if !energy_path.exists() {
+                continue;
+            }
+            let max_energy_range_uj = fs::read_to_string(dir.join("max_energy_range_uj"))
+                .ok()
+                .and_then(|s| s.trim().parse().ok())
+                .unwrap_or(u64::MAX);
+            domains.push(RaplDomain { name, energy_path, max_energy_range_uj });
+        }
+        if domains.is_empty() {
+            None
+        } else {
+            Some(Self { domains })
+        }
+    }
+
+    /// The discovered domains.
+    pub fn domains(&self) -> &[RaplDomain] {
+        &self.domains
+    }
+
+    /// Samples every domain.
+    pub fn sample(&self) -> std::io::Result<RaplSample> {
+        let mut energy_uj = Vec::with_capacity(self.domains.len());
+        for d in &self.domains {
+            let v = fs::read_to_string(&d.energy_path)?
+                .trim()
+                .parse::<u64>()
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+            energy_uj.push((d.name.clone(), v));
+        }
+        Ok(RaplSample { energy_uj })
+    }
+
+    /// Energy consumed between two samples, handling counter wraparound, in
+    /// joules per domain.
+    pub fn delta_j(&self, before: &RaplSample, after: &RaplSample) -> Vec<(String, f64)> {
+        before
+            .energy_uj
+            .iter()
+            .zip(&after.energy_uj)
+            .zip(&self.domains)
+            .map(|(((name, b), (_, a)), d)| {
+                let uj = if a >= b {
+                    a - b
+                } else {
+                    // The counter wrapped.
+                    d.max_energy_range_uj - b + a
+                };
+                (name.clone(), uj as f64 * 1e-6)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_rapl(dir: &Path, energies: &[(&str, u64)]) {
+        for (i, (name, uj)) in energies.iter().enumerate() {
+            let d = dir.join(format!("intel-rapl:{i}"));
+            fs::create_dir_all(&d).unwrap();
+            fs::write(d.join("name"), name).unwrap();
+            fs::write(d.join("energy_uj"), uj.to_string()).unwrap();
+            fs::write(d.join("max_energy_range_uj"), "262143328850").unwrap();
+        }
+    }
+
+    #[test]
+    fn probe_missing_root_returns_none() {
+        assert!(RaplReader::probe_at(Path::new("/nonexistent-rapl")).is_none());
+    }
+
+    #[test]
+    fn probe_and_sample_fake_tree() {
+        let tmp = std::env::temp_dir().join(format!("rapl-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&tmp);
+        fake_rapl(&tmp, &[("package-0", 1_000_000), ("package-1", 2_000_000)]);
+        let r = RaplReader::probe_at(&tmp).expect("fake domains discovered");
+        assert_eq!(r.domains().len(), 2);
+        let s1 = r.sample().unwrap();
+        assert!((s1.total_package_j() - 3.0).abs() < 1e-9);
+        // Bump the counters and check the delta.
+        fs::write(tmp.join("intel-rapl:0/energy_uj"), "1_500_000".replace('_', "")).unwrap();
+        let s2 = r.sample().unwrap();
+        let delta = r.delta_j(&s1, &s2);
+        assert!((delta[0].1 - 0.5).abs() < 1e-9);
+        let _ = fs::remove_dir_all(&tmp);
+    }
+
+    #[test]
+    fn wraparound_is_handled() {
+        let tmp = std::env::temp_dir().join(format!("rapl-wrap-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&tmp);
+        fake_rapl(&tmp, &[("package-0", 262_143_328_000)]);
+        let r = RaplReader::probe_at(&tmp).unwrap();
+        let s1 = r.sample().unwrap();
+        fs::write(tmp.join("intel-rapl:0/energy_uj"), "1000").unwrap();
+        let s2 = r.sample().unwrap();
+        let delta = r.delta_j(&s1, &s2);
+        assert!(delta[0].1 > 0.0, "wrapped delta must stay positive: {delta:?}");
+        let _ = fs::remove_dir_all(&tmp);
+    }
+}

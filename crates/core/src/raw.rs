@@ -1,0 +1,183 @@
+//! The `RawLock` abstraction and the guard-based data wrapper.
+
+use std::cell::UnsafeCell;
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+/// A mutual-exclusion primitive without associated data.
+///
+/// # Safety
+///
+/// Implementations must guarantee that between a return from
+/// [`RawLock::lock`] (or a `true` return from [`RawLock::try_lock`]) and
+/// the matching [`RawLock::unlock`], no other thread can observe the lock
+/// as held by itself — i.e. the lock provides real mutual exclusion with
+/// acquire/release semantics. [`Lock`] relies on this to hand out `&mut T`.
+pub unsafe trait RawLock: Default {
+    /// Acquires the lock, blocking (spinning and/or sleeping) until held.
+    fn lock(&self);
+
+    /// Attempts to acquire the lock without waiting.
+    fn try_lock(&self) -> bool;
+
+    /// Releases the lock.
+    ///
+    /// # Safety
+    ///
+    /// The caller must hold the lock (acquired through [`RawLock::lock`] or
+    /// a successful [`RawLock::try_lock`], not yet released).
+    unsafe fn unlock(&self);
+}
+
+/// Data guarded by a pluggable lock algorithm, in the style of
+/// `std::sync::Mutex`.
+///
+/// # Examples
+///
+/// ```
+/// use lockin::{Lock, TicketLock};
+/// let v = Lock::<Vec<u32>, TicketLock>::new(Vec::new());
+/// v.lock().push(7);
+/// assert_eq!(v.lock().len(), 1);
+/// ```
+pub struct Lock<T, L: RawLock> {
+    raw: L,
+    data: UnsafeCell<T>,
+}
+
+// SAFETY: the lock serializes access to `data`; `T: Send` suffices because
+// only one thread can reach the data at a time.
+unsafe impl<T: Send, L: RawLock + Send> Send for Lock<T, L> {}
+// SAFETY: `&Lock` only yields the data through mutual exclusion, so sharing
+// the lock across threads is sound for `T: Send`.
+unsafe impl<T: Send, L: RawLock + Send + Sync> Sync for Lock<T, L> {}
+
+impl<T, L: RawLock> Lock<T, L> {
+    /// Wraps `value` behind a default-configured lock.
+    pub fn new(value: T) -> Self {
+        Self { raw: L::default(), data: UnsafeCell::new(value) }
+    }
+
+    /// Wraps `value` behind an explicitly configured lock.
+    pub fn with_raw(value: T, raw: L) -> Self {
+        Self { raw, data: UnsafeCell::new(value) }
+    }
+
+    /// Acquires the lock, returning a guard that releases on drop.
+    pub fn lock(&self) -> LockGuard<'_, T, L> {
+        self.raw.lock();
+        LockGuard { lock: self }
+    }
+
+    /// Attempts to acquire without blocking.
+    pub fn try_lock(&self) -> Option<LockGuard<'_, T, L>> {
+        if self.raw.try_lock() {
+            Some(LockGuard { lock: self })
+        } else {
+            None
+        }
+    }
+
+    /// The underlying raw lock (for statistics such as
+    /// [`Mutexee::mode`](crate::Mutexee::mode)).
+    pub fn raw(&self) -> &L {
+        &self.raw
+    }
+
+    /// Consumes the wrapper, returning the data.
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+
+    /// Mutable access without locking (requires `&mut self`, hence
+    /// exclusive by construction).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.data.get_mut()
+    }
+}
+
+impl<T: fmt::Debug, L: RawLock> fmt::Debug for Lock<T, L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.try_lock() {
+            Some(g) => f.debug_struct("Lock").field("data", &*g).finish(),
+            None => f.write_str("Lock { <locked> }"),
+        }
+    }
+}
+
+/// RAII guard providing access to the protected data.
+pub struct LockGuard<'a, T, L: RawLock> {
+    lock: &'a Lock<T, L>,
+}
+
+impl<'a, T, L: RawLock> LockGuard<'a, T, L> {
+    /// The lock this guard belongs to (associated function, like
+    /// `std::sync::MutexGuard` helpers, to avoid shadowing `Deref`
+    /// methods). Used by [`crate::Condvar`] to reacquire after sleeping.
+    pub fn lock_ref(this: &Self) -> &'a Lock<T, L> {
+        this.lock
+    }
+}
+
+impl<T, L: RawLock> Deref for LockGuard<'_, T, L> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: the guard proves the lock is held, so access is exclusive.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T, L: RawLock> DerefMut for LockGuard<'_, T, L> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as above; `&mut self` additionally prevents aliasing the
+        // guard itself.
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T, L: RawLock> Drop for LockGuard<'_, T, L> {
+    fn drop(&mut self) {
+        // SAFETY: this guard was created by acquiring the lock and is the
+        // only release point.
+        unsafe { self.lock.raw.unlock() };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spinlocks::TtasLock;
+
+    #[test]
+    fn guard_round_trip() {
+        let l = Lock::<i32, TtasLock>::new(1);
+        *l.lock() += 41;
+        assert_eq!(*l.lock(), 42);
+        assert_eq!(l.into_inner(), 42);
+    }
+
+    #[test]
+    fn try_lock_fails_while_held() {
+        let l = Lock::<(), TtasLock>::new(());
+        let g = l.lock();
+        assert!(l.try_lock().is_none());
+        drop(g);
+        assert!(l.try_lock().is_some());
+    }
+
+    #[test]
+    fn get_mut_bypasses_locking() {
+        let mut l = Lock::<i32, TtasLock>::new(5);
+        *l.get_mut() = 6;
+        assert_eq!(*l.lock(), 6);
+    }
+
+    #[test]
+    fn debug_formats() {
+        let l = Lock::<i32, TtasLock>::new(3);
+        assert!(format!("{l:?}").contains('3'));
+        let g = l.lock();
+        assert!(format!("{l:?}").contains("locked"));
+        drop(g);
+    }
+}

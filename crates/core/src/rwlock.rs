@@ -1,0 +1,166 @@
+//! A reader-writer lock over a pluggable mutual-exclusion algorithm.
+
+use std::cell::UnsafeCell;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use crate::mutexee::Mutexee;
+use crate::raw::RawLock;
+use crate::spin::SpinPolicy;
+
+/// A reader-writer lock in the mutex-plus-reader-count style the paper
+/// swaps into Kyoto Cabinet: the underlying algorithm `L` serializes
+/// writers and reader registration, and a writer drains active readers
+/// while holding it.
+///
+/// # Examples
+///
+/// ```
+/// use lockin::{Mutexee, RwLock};
+/// let map = RwLock::<Vec<u32>, Mutexee>::new(vec![1, 2, 3]);
+/// assert_eq!(map.read().len(), 3);
+/// map.write().push(4);
+/// assert_eq!(map.read().len(), 4);
+/// ```
+pub struct RwLock<T, L: RawLock = Mutexee> {
+    lock: L,
+    readers: AtomicU32,
+    policy: SpinPolicy,
+    data: UnsafeCell<T>,
+}
+
+// SAFETY: writers hold `lock` exclusively with zero readers; readers only
+// share `&T`. `T: Send + Sync` is required because readers on several
+// threads alias `&T`.
+unsafe impl<T: Send, L: RawLock + Send> Send for RwLock<T, L> {}
+// SAFETY: as above.
+unsafe impl<T: Send + Sync, L: RawLock + Send + Sync> Sync for RwLock<T, L> {}
+
+impl<T, L: RawLock> RwLock<T, L> {
+    /// Wraps `value` behind a default-configured lock.
+    pub fn new(value: T) -> Self {
+        Self {
+            lock: L::default(),
+            readers: AtomicU32::new(0),
+            policy: SpinPolicy::Fence,
+            data: UnsafeCell::new(value),
+        }
+    }
+
+    /// Acquires shared (read) access.
+    pub fn read(&self) -> RwReadGuard<'_, T, L> {
+        self.lock.lock();
+        self.readers.fetch_add(1, Ordering::Acquire);
+        // SAFETY: registration happened under the lock.
+        unsafe { self.lock.unlock() };
+        RwReadGuard { rw: self }
+    }
+
+    /// Acquires exclusive (write) access.
+    pub fn write(&self) -> RwWriteGuard<'_, T, L> {
+        self.lock.lock();
+        while self.readers.load(Ordering::Acquire) != 0 {
+            self.policy.pause();
+        }
+        RwWriteGuard { rw: self }
+    }
+
+    /// Consumes the wrapper, returning the data.
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+}
+
+/// Shared-access guard of [`RwLock`].
+pub struct RwReadGuard<'a, T, L: RawLock> {
+    rw: &'a RwLock<T, L>,
+}
+
+impl<T, L: RawLock> Deref for RwReadGuard<'_, T, L> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: a positive reader count excludes writers.
+        unsafe { &*self.rw.data.get() }
+    }
+}
+
+impl<T, L: RawLock> Drop for RwReadGuard<'_, T, L> {
+    fn drop(&mut self) {
+        self.rw.readers.fetch_sub(1, Ordering::Release);
+    }
+}
+
+/// Exclusive-access guard of [`RwLock`].
+pub struct RwWriteGuard<'a, T, L: RawLock> {
+    rw: &'a RwLock<T, L>,
+}
+
+impl<T, L: RawLock> Deref for RwWriteGuard<'_, T, L> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: the writer holds the lock with zero readers.
+        unsafe { &*self.rw.data.get() }
+    }
+}
+
+impl<T, L: RawLock> DerefMut for RwWriteGuard<'_, T, L> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as above.
+        unsafe { &mut *self.rw.data.get() }
+    }
+}
+
+impl<T, L: RawLock> Drop for RwWriteGuard<'_, T, L> {
+    fn drop(&mut self) {
+        // SAFETY: the guard was created by acquiring the lock.
+        unsafe { self.rw.lock.unlock() };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spinlocks::TicketLock;
+
+    #[test]
+    fn readers_share_writers_exclude() {
+        let rw = RwLock::<u64, TicketLock>::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..5_000 {
+                        let before = *rw.read();
+                        let _ = before;
+                        *rw.write() += 1;
+                    }
+                });
+            }
+        });
+        assert_eq!(rw.into_inner(), 20_000);
+    }
+
+    #[test]
+    fn concurrent_readers_proceed() {
+        let rw = std::sync::Arc::new(RwLock::<u32, Mutexee>::new(7));
+        let r1 = rw.read();
+        let rw2 = rw.clone();
+        let h = std::thread::spawn(move || *rw2.read());
+        assert_eq!(h.join().unwrap(), 7, "second reader must not block");
+        drop(r1);
+    }
+
+    #[test]
+    fn writer_waits_for_readers() {
+        let rw = std::sync::Arc::new(RwLock::<u32, Mutexee>::new(0));
+        let r = rw.read();
+        let rw2 = rw.clone();
+        let h = std::thread::spawn(move || {
+            *rw2.write() = 1;
+        });
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        assert!(!h.is_finished(), "writer must wait while a reader is active");
+        drop(r);
+        h.join().unwrap();
+        assert_eq!(*rw.read(), 1);
+    }
+}

@@ -1,0 +1,85 @@
+//! Activity classes: what kind of instruction stream a context retires.
+
+/// The kind of work a hardware context is doing, power-wise.
+///
+/// The paper's central observation (§4.1–§4.2) is that, once a core is
+/// active, its power draw depends on the *retire rate and kind* of the
+/// instruction stream: a local spin loop retiring one L1 load per cycle burns
+/// more power than a global spin loop stalled on coherence misses, `pause`
+/// *increases* power over a plain load loop, while a memory barrier lowers it
+/// below the global-spinning level. Each class maps to a calibrated dynamic
+/// power in [`crate::PowerConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ActivityClass {
+    /// Ordinary critical-section / application work (mixed ALU + cache).
+    Work,
+    /// Memory-intensive streaming work (the paper's max-power benchmark).
+    MemIntensive,
+    /// Local spinning: load + test + jump hitting L1 every cycle.
+    LocalSpin,
+    /// Local spinning with an x86 `pause` in the loop body.
+    ///
+    /// Counter-intuitively this is the *most* power-hungry waiting loop on
+    /// the paper's machines (+4% over [`ActivityClass::LocalSpin`]).
+    LocalSpinPause,
+    /// Local spinning with a full/load memory barrier in the loop body.
+    ///
+    /// The paper's recommended pausing technique: the barrier stalls the
+    /// speculative load stream and drops power ~7% below
+    /// [`ActivityClass::LocalSpinPause`], below even global spinning.
+    LocalSpinMbar,
+    /// Global spinning: repeated atomic read-modify-write on a shared line.
+    ///
+    /// Mostly stalled on coherence transfers (CPI up to ~530), hence cheaper
+    /// than local spinning per the paper's Figure 3.
+    GlobalSpin,
+    /// Spinning on a kernel spinlock (futex hash-bucket lock).
+    KernelSpin,
+    /// Executing a system call's kernel path (futex bookkeeping etc.).
+    Syscall,
+    /// Blocked in `monitor/mwait`: the context is occupied but the core is in
+    /// an optimized low-power state.
+    Mwait,
+}
+
+impl ActivityClass {
+    /// All classes, handy for exhaustive tests and tables.
+    pub const ALL: [ActivityClass; 9] = [
+        ActivityClass::Work,
+        ActivityClass::MemIntensive,
+        ActivityClass::LocalSpin,
+        ActivityClass::LocalSpinPause,
+        ActivityClass::LocalSpinMbar,
+        ActivityClass::GlobalSpin,
+        ActivityClass::KernelSpin,
+        ActivityClass::Syscall,
+        ActivityClass::Mwait,
+    ];
+
+    /// Short lowercase label for tables and traces.
+    pub const fn label(&self) -> &'static str {
+        match self {
+            ActivityClass::Work => "work",
+            ActivityClass::MemIntensive => "mem",
+            ActivityClass::LocalSpin => "local",
+            ActivityClass::LocalSpinPause => "local-pause",
+            ActivityClass::LocalSpinMbar => "local-mbar",
+            ActivityClass::GlobalSpin => "global",
+            ActivityClass::KernelSpin => "kernel-spin",
+            ActivityClass::Syscall => "syscall",
+            ActivityClass::Mwait => "mwait",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn labels_are_unique() {
+        let labels: HashSet<_> = ActivityClass::ALL.iter().map(|c| c.label()).collect();
+        assert_eq!(labels.len(), ActivityClass::ALL.len());
+    }
+}

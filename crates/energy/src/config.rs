@@ -1,0 +1,239 @@
+//! Calibration constants for the power model.
+
+use crate::activity::ActivityClass;
+
+/// A power value interpolated between the minimum- and maximum-frequency
+/// calibration endpoints.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DomainPower {
+    /// Watts at the minimum VF point.
+    pub min_w: f64,
+    /// Watts at the maximum VF point.
+    pub max_w: f64,
+}
+
+impl DomainPower {
+    /// Constructs an interpolated power component.
+    pub const fn new(min_w: f64, max_w: f64) -> Self {
+        Self { min_w, max_w }
+    }
+
+    /// A component that does not depend on frequency.
+    pub const fn flat(w: f64) -> Self {
+        Self { min_w: w, max_w: w }
+    }
+
+    /// Watts at VF fraction `frac` in `[0, 1]` (0 = min, 1 = max).
+    pub fn at(&self, frac: f64) -> f64 {
+        self.min_w + (self.max_w - self.min_w) * frac
+    }
+}
+
+/// Per-activity-class dynamic power of one hardware context.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassPower {
+    /// Dynamic power drawn inside the core (counted in the RAPL cores/PP0
+    /// domain).
+    pub core_w: DomainPower,
+    /// Dynamic power drawn in DRAM by this context's memory traffic.
+    pub dram_w: DomainPower,
+}
+
+impl ClassPower {
+    const fn new(core_min: f64, core_max: f64, dram_min: f64, dram_max: f64) -> Self {
+        Self {
+            core_w: DomainPower::new(core_min, core_max),
+            dram_w: DomainPower::new(dram_min, dram_max),
+        }
+    }
+}
+
+/// Full calibration of the power model.
+///
+/// The shipped presets embed the anchors the paper reports for its two
+/// machines; see the crate documentation and `EXPERIMENTS.md` for the
+/// derivation. All "per socket"/"per core"/"per context" components are added
+/// according to the machine state tracked by [`crate::PowerModel`].
+#[derive(Debug, Clone)]
+pub struct PowerConfig {
+    /// Base (maximum) core frequency in kHz; simulation cycles are counted at
+    /// this frequency, so it also converts cycles to wall-clock seconds.
+    pub base_khz: u64,
+    /// Minimum DVFS frequency in kHz.
+    pub min_khz: u64,
+    /// Static power per socket, drawn even when every core is idle.
+    pub pkg_static_w: f64,
+    /// Uncore power per socket while at least one of its cores is in C0.
+    pub uncore_w: DomainPower,
+    /// Static power of a core in C0.
+    pub core_static_w: DomainPower,
+    /// Multipliers on [`PowerConfig::core_static_w`] for idle states
+    /// `[C0, C1, C3, C6]`.
+    pub cstate_factor: [f64; 4],
+    /// Multiplier on [`PowerConfig::core_static_w`] while every context of
+    /// the core is blocked in `monitor/mwait`.
+    pub mwait_core_factor: f64,
+    /// DRAM background power per socket (always drawn).
+    pub dram_background_w: f64,
+    /// Per-context dynamic power for each [`ActivityClass`].
+    class_power: [ClassPower; ActivityClass::ALL.len()],
+}
+
+impl PowerConfig {
+    /// Calibration for the paper's 2-socket Ivy Bridge Xeon (E5-2680 v2).
+    ///
+    /// Anchors reproduced exactly (within rounding):
+    /// * idle total 55.5 W (package 30.5 W + DRAM background 25 W),
+    /// * maximum 206 W with 40 memory-intensive hyper-threads at max VF
+    ///   (package 132 W of which cores ~96 W, DRAM 74 W),
+    /// * local spinning ≈ 140 W, global ≈ 136 W, `pause` ≈ 147 W,
+    ///   `mfence` ≈ 135 W at 40 waiting threads (Figures 3-4),
+    /// * `monitor/mwait` ≈ 1.5-1.6x below spinning (Figure 5),
+    /// * VF-min spinning ≈ 1.6x below VF-max (Figure 5).
+    pub fn xeon() -> Self {
+        Self {
+            base_khz: 2_800_000,
+            min_khz: 1_200_000,
+            pkg_static_w: 15.25,
+            uncore_w: DomainPower::new(3.4, 9.0),
+            core_static_w: DomainPower::new(1.0, 2.4),
+            cstate_factor: [1.0, 0.35, 0.12, 0.0],
+            mwait_core_factor: 0.30,
+            dram_background_w: 12.5,
+            class_power: Self::class_table_xeon(),
+        }
+    }
+
+    /// Calibration for the paper's Core i7-3770K desktop (1 socket, 4 cores).
+    ///
+    /// Scaled from the Xeon calibration to the desktop's 77 W TDP and
+    /// 1.6-3.5 GHz DVFS range; the paper states the Core-i7 results are "in
+    /// accordance" with the Xeon ones, so the class ordering is identical.
+    pub fn core_i7() -> Self {
+        Self {
+            base_khz: 3_500_000,
+            min_khz: 1_600_000,
+            pkg_static_w: 8.0,
+            uncore_w: DomainPower::new(2.4, 6.0),
+            core_static_w: DomainPower::new(1.4, 3.4),
+            cstate_factor: [1.0, 0.35, 0.12, 0.0],
+            mwait_core_factor: 0.30,
+            dram_background_w: 4.0,
+            class_power: Self::class_table_i7(),
+        }
+    }
+
+    fn class_table_xeon() -> [ClassPower; ActivityClass::ALL.len()] {
+        // Indexed by the order of `ActivityClass::ALL`:
+        // Work, MemIntensive, LocalSpin, LocalSpinPause, LocalSpinMbar,
+        // GlobalSpin, KernelSpin, Syscall, Mwait.
+        [
+            ClassPower::new(0.21, 0.72, 0.10, 0.20), // Work
+            ClassPower::new(0.52, 0.89, 0.90, 1.225), // MemIntensive
+            ClassPower::new(0.13, 0.46, 0.0, 0.0),   // LocalSpin
+            ClassPower::new(0.17, 0.63, 0.0, 0.0),   // LocalSpinPause
+            ClassPower::new(0.10, 0.33, 0.0, 0.0),   // LocalSpinMbar
+            ClassPower::new(0.11, 0.36, 0.0, 0.0),   // GlobalSpin
+            ClassPower::new(0.11, 0.36, 0.0, 0.0),   // KernelSpin
+            ClassPower::new(0.16, 0.55, 0.05, 0.10), // Syscall
+            ClassPower::new(0.0, 0.0, 0.0, 0.0),     // Mwait
+        ]
+    }
+
+    fn class_table_i7() -> [ClassPower; ActivityClass::ALL.len()] {
+        [
+            ClassPower::new(0.5, 1.9, 0.15, 0.35),
+            ClassPower::new(1.2, 2.4, 1.0, 1.6),
+            ClassPower::new(0.3, 1.2, 0.0, 0.0),
+            ClassPower::new(0.4, 1.65, 0.0, 0.0),
+            ClassPower::new(0.22, 0.85, 0.0, 0.0),
+            ClassPower::new(0.25, 0.95, 0.0, 0.0),
+            ClassPower::new(0.25, 0.95, 0.0, 0.0),
+            ClassPower::new(0.35, 1.45, 0.05, 0.15),
+            ClassPower::new(0.0, 0.0, 0.0, 0.0),
+        ]
+    }
+
+    /// Dynamic power entry for an activity class.
+    pub fn class(&self, class: ActivityClass) -> &ClassPower {
+        let idx = ActivityClass::ALL
+            .iter()
+            .position(|c| *c == class)
+            .expect("ActivityClass::ALL covers every class");
+        &self.class_power[idx]
+    }
+
+    /// Overrides the dynamic power entry for an activity class (used by
+    /// ablation benchmarks).
+    pub fn set_class(&mut self, class: ActivityClass, power: ClassPower) {
+        let idx = ActivityClass::ALL
+            .iter()
+            .position(|c| *c == class)
+            .expect("ActivityClass::ALL covers every class");
+        self.class_power[idx] = power;
+    }
+
+    /// Converts base-frequency cycles to seconds.
+    pub fn cycles_to_seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 / (self.base_khz as f64 * 1e3)
+    }
+
+    /// The machine-wide idle power (all cores in C6): package static plus
+    /// DRAM background, per socket, times the socket count.
+    pub fn idle_power_w(&self, sockets: usize) -> f64 {
+        (self.pkg_static_w + self.dram_background_w) * sockets as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xeon_idle_is_55_5_watts() {
+        let cfg = PowerConfig::xeon();
+        assert!((cfg.idle_power_w(2) - 55.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interpolation_hits_endpoints() {
+        let d = DomainPower::new(1.0, 3.0);
+        assert_eq!(d.at(0.0), 1.0);
+        assert_eq!(d.at(1.0), 3.0);
+        assert_eq!(d.at(0.5), 2.0);
+    }
+
+    #[test]
+    fn pause_burns_more_than_plain_local_spin() {
+        let cfg = PowerConfig::xeon();
+        let local = cfg.class(ActivityClass::LocalSpin).core_w.at(1.0);
+        let pause = cfg.class(ActivityClass::LocalSpinPause).core_w.at(1.0);
+        let mbar = cfg.class(ActivityClass::LocalSpinMbar).core_w.at(1.0);
+        let global = cfg.class(ActivityClass::GlobalSpin).core_w.at(1.0);
+        assert!(pause > local, "paper: pause increases spin power");
+        assert!(mbar < global, "paper: mbar drops below global spinning");
+        assert!(local > global, "paper: local spinning above global");
+    }
+
+    #[test]
+    fn mwait_draws_no_dynamic_power() {
+        let cfg = PowerConfig::xeon();
+        assert_eq!(cfg.class(ActivityClass::Mwait).core_w.at(1.0), 0.0);
+    }
+
+    #[test]
+    fn set_class_overrides() {
+        let mut cfg = PowerConfig::xeon();
+        cfg.set_class(
+            ActivityClass::LocalSpin,
+            ClassPower { core_w: DomainPower::flat(9.0), dram_w: DomainPower::flat(0.0) },
+        );
+        assert_eq!(cfg.class(ActivityClass::LocalSpin).core_w.at(0.3), 9.0);
+    }
+
+    #[test]
+    fn cycles_to_seconds_at_base_frequency() {
+        let cfg = PowerConfig::xeon();
+        assert!((cfg.cycles_to_seconds(2_800_000_000) - 1.0).abs() < 1e-12);
+    }
+}

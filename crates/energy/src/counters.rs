@@ -1,0 +1,175 @@
+//! RAPL-style monotonic energy counters.
+
+/// Monotonic energy counters in micro-joules, one set per socket, mirroring
+/// the RAPL domains the paper uses: package (PKG), cores (PP0) and DRAM.
+///
+/// Unlike real RAPL MSRs these counters are 64-bit and never wrap; the
+/// simulated executions are far too short to overflow `u64` micro-joules.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RaplCounters {
+    pkg_uj: Vec<u64>,
+    cores_uj: Vec<u64>,
+    dram_uj: Vec<u64>,
+    // Sub-microjoule residue carried between integrations so that rounding
+    // never loses energy (keeps the counters consistent with the analytic
+    // integral in long runs).
+    pkg_residue: Vec<f64>,
+    cores_residue: Vec<f64>,
+    dram_residue: Vec<f64>,
+}
+
+impl RaplCounters {
+    /// Creates zeroed counters for `sockets` packages.
+    pub fn new(sockets: usize) -> Self {
+        Self {
+            pkg_uj: vec![0; sockets],
+            cores_uj: vec![0; sockets],
+            dram_uj: vec![0; sockets],
+            pkg_residue: vec![0.0; sockets],
+            cores_residue: vec![0.0; sockets],
+            dram_residue: vec![0.0; sockets],
+        }
+    }
+
+    /// Number of sockets covered.
+    pub fn sockets(&self) -> usize {
+        self.pkg_uj.len()
+    }
+
+    /// Accumulates `seconds` of the given per-socket powers (in watts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seconds` is negative or any power is negative: energy
+    /// counters are monotonic by construction.
+    pub fn accumulate(&mut self, socket: usize, pkg_w: f64, cores_w: f64, dram_w: f64, seconds: f64) {
+        assert!(seconds >= 0.0, "cannot integrate negative time");
+        assert!(
+            pkg_w >= 0.0 && cores_w >= 0.0 && dram_w >= 0.0,
+            "power must be non-negative"
+        );
+        Self::add(&mut self.pkg_uj[socket], &mut self.pkg_residue[socket], pkg_w * seconds);
+        Self::add(&mut self.cores_uj[socket], &mut self.cores_residue[socket], cores_w * seconds);
+        Self::add(&mut self.dram_uj[socket], &mut self.dram_residue[socket], dram_w * seconds);
+    }
+
+    fn add(counter: &mut u64, residue: &mut f64, joules: f64) {
+        let uj = joules * 1e6 + *residue;
+        let whole = uj.floor();
+        *residue = uj - whole;
+        *counter += whole as u64;
+    }
+
+    /// Package-domain counter of `socket`, in micro-joules.
+    pub fn pkg_uj(&self, socket: usize) -> u64 {
+        self.pkg_uj[socket]
+    }
+
+    /// Cores-domain (PP0) counter of `socket`, in micro-joules.
+    pub fn cores_uj(&self, socket: usize) -> u64 {
+        self.cores_uj[socket]
+    }
+
+    /// DRAM-domain counter of `socket`, in micro-joules.
+    pub fn dram_uj(&self, socket: usize) -> u64 {
+        self.dram_uj[socket]
+    }
+
+    /// Snapshot of all domains summed over sockets, in joules.
+    pub fn reading(&self) -> EnergyReading {
+        EnergyReading {
+            pkg_j: self.pkg_uj.iter().sum::<u64>() as f64 * 1e-6,
+            cores_j: self.cores_uj.iter().sum::<u64>() as f64 * 1e-6,
+            dram_j: self.dram_uj.iter().sum::<u64>() as f64 * 1e-6,
+        }
+    }
+}
+
+/// A point-in-time energy snapshot summed over sockets, in joules.
+///
+/// `pkg_j` *includes* the cores component, exactly like RAPL's PKG domain
+/// includes PP0; the machine total is therefore `pkg_j + dram_j`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyReading {
+    /// Package-domain energy (includes the cores component).
+    pub pkg_j: f64,
+    /// Cores-domain (PP0) energy.
+    pub cores_j: f64,
+    /// DRAM-domain energy.
+    pub dram_j: f64,
+}
+
+impl EnergyReading {
+    /// Total machine energy: package plus DRAM.
+    pub fn total_j(&self) -> f64 {
+        self.pkg_j + self.dram_j
+    }
+
+    /// Energy difference `self - earlier`, for interval measurements.
+    pub fn since(&self, earlier: &EnergyReading) -> EnergyReading {
+        EnergyReading {
+            pkg_j: self.pkg_j - earlier.pkg_j,
+            cores_j: self.cores_j - earlier.cores_j,
+            dram_j: self.dram_j - earlier.dram_j,
+        }
+    }
+
+    /// Average power over `seconds`, in watts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seconds` is not strictly positive.
+    pub fn avg_power_w(&self, seconds: f64) -> f64 {
+        assert!(seconds > 0.0, "average power needs a positive interval");
+        self.total_j() / seconds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulate_is_monotonic_and_exact() {
+        let mut c = RaplCounters::new(2);
+        for _ in 0..1000 {
+            c.accumulate(0, 10.0, 4.0, 2.0, 0.001);
+            c.accumulate(1, 20.0, 8.0, 4.0, 0.001);
+        }
+        // 1000 x 1 ms = 1 s of integration.
+        assert_eq!(c.pkg_uj(0), 10_000_000);
+        assert_eq!(c.cores_uj(0), 4_000_000);
+        assert_eq!(c.dram_uj(0), 2_000_000);
+        assert_eq!(c.pkg_uj(1), 20_000_000);
+        let r = c.reading();
+        assert!((r.total_j() - (10.0 + 2.0 + 20.0 + 4.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn residue_preserves_tiny_slices() {
+        let mut c = RaplCounters::new(1);
+        // 1e6 slices of 1 us at 1 W = 1 J exactly, despite each slice being
+        // exactly one micro-joule.
+        for _ in 0..1_000_000 {
+            c.accumulate(0, 1.0, 0.0, 0.0, 1e-6);
+        }
+        assert!((c.reading().pkg_j - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn since_and_avg_power() {
+        let mut c = RaplCounters::new(1);
+        let before = c.reading();
+        c.accumulate(0, 100.0, 50.0, 20.0, 2.0);
+        let delta = c.reading().since(&before);
+        assert!((delta.avg_power_w(2.0) - 120.0).abs() < 1e-6);
+        assert!((delta.cores_j - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative time")]
+    fn negative_time_rejected() {
+        let mut c = RaplCounters::new(1);
+        c.accumulate(0, 1.0, 1.0, 1.0, -1.0);
+    }
+}

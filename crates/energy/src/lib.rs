@@ -1,0 +1,62 @@
+//! Calibrated power/energy model with RAPL-style counters.
+//!
+//! This crate models the power consumption of a multi-socket x86 machine the
+//! way the RAPL (Running Average Power Limit) interface exposes it: energy
+//! counters for the *package*, *cores* (PP0) and *DRAM* domains, one per
+//! socket. It is the energy substrate of the "Unlocking Energy"
+//! (USENIX ATC 2016) reproduction: the discrete-event simulator reports every
+//! context activity change to a [`PowerModel`], which lazily integrates
+//! piecewise-constant power into monotonic energy counters.
+//!
+//! # Model
+//!
+//! Instantaneous power is the sum of:
+//!
+//! * per-socket package static power (always drawn),
+//! * per-socket uncore power while at least one core of the socket is active,
+//! * per-core static power, scaled down in core idle states (C1/C3/C6),
+//! * per-hardware-context dynamic power, a function of the *activity class*
+//!   (what kind of instruction stream the context retires — memory-intensive
+//!   work, local spinning, `pause` spinning, `mfence` spinning, global
+//!   spinning, kernel lock spinning, `mwait` blocking, …) and the core's
+//!   voltage-frequency point,
+//! * DRAM background power plus per-context DRAM dynamic power.
+//!
+//! The calibration constants ship in [`PowerConfig::xeon`] and
+//! [`PowerConfig::core_i7`] and embed the paper's measured anchors (idle
+//! 55.5 W, maximum 206 W, local spinning a few percent above global spinning,
+//! `pause` +4% over plain local spinning, `mfence` −7% under `pause`,
+//! `monitor/mwait` roughly 1.5x below spinning).
+//!
+//! # Examples
+//!
+//! ```
+//! use poly_energy::{ActivityClass, MachineShape, PowerConfig, PowerModel};
+//!
+//! let shape = MachineShape::xeon();
+//! let mut model = PowerModel::new(PowerConfig::xeon(), shape);
+//! // All contexts idle: idle power.
+//! assert!((model.power().total_w - 55.5).abs() < 0.5);
+//! // Activate one context with memory-intensive work.
+//! model.set_ctx_activity(0, poly_energy::CtxPowerState::Active(ActivityClass::MemIntensive));
+//! model.advance(2_800_000_000); // one second at 2.8 GHz
+//! let reading = model.energy();
+//! assert!(reading.total_j() > 55.5);
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod activity;
+mod config;
+mod counters;
+mod model;
+mod shape;
+mod vf;
+
+pub use activity::ActivityClass;
+pub use config::{ClassPower, DomainPower, PowerConfig};
+pub use counters::{EnergyReading, RaplCounters};
+pub use model::{CoreIdleState, CtxPowerState, PowerBreakdown, PowerModel};
+pub use shape::{CoreId, CtxId, MachineShape, SocketId};
+pub use vf::VfPoint;

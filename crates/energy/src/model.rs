@@ -1,0 +1,410 @@
+//! The piecewise-constant power integrator.
+
+use crate::activity::ActivityClass;
+use crate::config::PowerConfig;
+use crate::counters::{EnergyReading, RaplCounters};
+use crate::shape::{CoreId, CtxId, MachineShape};
+use crate::vf::VfPoint;
+
+/// Power-relevant state of one hardware context.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CtxPowerState {
+    /// No software thread is scheduled on the context (the OS may put the
+    /// core to sleep if the sibling context is also descheduled).
+    Descheduled,
+    /// The context is retiring instructions of the given activity class.
+    Active(ActivityClass),
+    /// The context is blocked in `monitor/mwait`: occupied, but the core is
+    /// in an optimized low-power state.
+    MwaitBlocked,
+}
+
+/// Idle state of a core whose contexts are all descheduled.
+///
+/// Deeper states save more static power but cost more to exit; the
+/// *simulator* owns the residency policy and exit latencies, the power model
+/// only prices the states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CoreIdleState {
+    /// Awake (or just descheduled, not yet in an idle state).
+    C0,
+    /// Light sleep: clock gated.
+    C1,
+    /// Intermediate sleep.
+    C3,
+    /// Deep sleep: power gated, near-zero static power.
+    C6,
+}
+
+impl CoreIdleState {
+    fn index(self) -> usize {
+        match self {
+            CoreIdleState::C0 => 0,
+            CoreIdleState::C1 => 1,
+            CoreIdleState::C3 => 2,
+            CoreIdleState::C6 => 3,
+        }
+    }
+}
+
+/// Instantaneous power, machine-wide, in watts.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PowerBreakdown {
+    /// Total machine power: package plus DRAM.
+    pub total_w: f64,
+    /// Sum of the package domains (includes cores).
+    pub pkg_w: f64,
+    /// Sum of the cores (PP0) domains.
+    pub cores_w: f64,
+    /// Sum of the DRAM domains.
+    pub dram_w: f64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+struct SocketPower {
+    pkg_w: f64,
+    cores_w: f64,
+    dram_w: f64,
+}
+
+/// Tracks machine power state over time and integrates it into RAPL-style
+/// energy counters.
+///
+/// Usage protocol: at every simulation instant where power-relevant state
+/// changes, first call [`PowerModel::advance`] with the current cycle count,
+/// then apply mutators ([`PowerModel::set_ctx_activity`],
+/// [`PowerModel::set_core_idle`], [`PowerModel::set_core_vf`]). Queries
+/// ([`PowerModel::power`], [`PowerModel::energy`]) reflect the state and
+/// integration as of the last `advance`.
+#[derive(Debug, Clone)]
+pub struct PowerModel {
+    cfg: PowerConfig,
+    shape: MachineShape,
+    ctx: Vec<CtxPowerState>,
+    core_idle: Vec<CoreIdleState>,
+    core_vf: Vec<VfPoint>,
+    counters: RaplCounters,
+    last_cycles: u64,
+    cache: Vec<Option<SocketPower>>,
+}
+
+impl PowerModel {
+    /// Creates a model with every context descheduled and every core in C6
+    /// (true idle), all cores at the maximum VF point.
+    pub fn new(cfg: PowerConfig, shape: MachineShape) -> Self {
+        let max_vf = VfPoint::new(cfg.base_khz);
+        Self {
+            counters: RaplCounters::new(shape.sockets),
+            ctx: vec![CtxPowerState::Descheduled; shape.contexts()],
+            core_idle: vec![CoreIdleState::C6; shape.cores()],
+            core_vf: vec![max_vf; shape.cores()],
+            cache: vec![None; shape.sockets],
+            last_cycles: 0,
+            cfg,
+            shape,
+        }
+    }
+
+    /// The calibration in use.
+    pub fn config(&self) -> &PowerConfig {
+        &self.cfg
+    }
+
+    /// The machine shape in use.
+    pub fn shape(&self) -> MachineShape {
+        self.shape
+    }
+
+    /// Integrates power from the last advance up to `now_cycles`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now_cycles` is earlier than the previous advance: the
+    /// simulator must move time forward monotonically.
+    pub fn advance(&mut self, now_cycles: u64) {
+        assert!(
+            now_cycles >= self.last_cycles,
+            "power model time went backwards: {} < {}",
+            now_cycles,
+            self.last_cycles
+        );
+        let dt = self.cfg.cycles_to_seconds(now_cycles - self.last_cycles);
+        if dt > 0.0 {
+            for socket in 0..self.shape.sockets {
+                let p = self.socket_power(socket);
+                self.counters.accumulate(socket, p.pkg_w, p.cores_w, p.dram_w, dt);
+            }
+        }
+        self.last_cycles = now_cycles;
+    }
+
+    /// Cycle count of the last advance.
+    pub fn now_cycles(&self) -> u64 {
+        self.last_cycles
+    }
+
+    /// Sets the power state of a hardware context (at the current time).
+    pub fn set_ctx_activity(&mut self, ctx: CtxId, state: CtxPowerState) {
+        if self.ctx[ctx] != state {
+            self.ctx[ctx] = state;
+            self.cache[self.shape.socket_of_ctx(ctx)] = None;
+        }
+    }
+
+    /// Sets the idle state of a core (only meaningful while all its contexts
+    /// are descheduled).
+    pub fn set_core_idle(&mut self, core: CoreId, state: CoreIdleState) {
+        if self.core_idle[core] != state {
+            self.core_idle[core] = state;
+            self.cache[self.shape.socket_of_core(core)] = None;
+        }
+    }
+
+    /// Sets the VF point of a core. Both hyper-threads share it, matching the
+    /// paper's observation that a core runs at the higher of the two sibling
+    /// requests — arbitration is the simulator's job.
+    pub fn set_core_vf(&mut self, core: CoreId, vf: VfPoint) {
+        if self.core_vf[core] != vf {
+            self.core_vf[core] = vf;
+            self.cache[self.shape.socket_of_core(core)] = None;
+        }
+    }
+
+    /// Current VF point of a core.
+    pub fn core_vf(&self, core: CoreId) -> VfPoint {
+        self.core_vf[core]
+    }
+
+    /// Current power state of a context.
+    pub fn ctx_state(&self, ctx: CtxId) -> CtxPowerState {
+        self.ctx[ctx]
+    }
+
+    fn socket_power(&mut self, socket: usize) -> SocketPower {
+        if let Some(p) = self.cache[socket] {
+            return p;
+        }
+        let p = self.compute_socket_power(socket);
+        self.cache[socket] = Some(p);
+        p
+    }
+
+    fn compute_socket_power(&self, socket: usize) -> SocketPower {
+        let cfg = &self.cfg;
+        let tpc = self.shape.threads_per_core;
+        let mut cores_w = 0.0;
+        let mut dram_dyn_w = 0.0;
+        let mut socket_awake = false;
+        let core_lo = socket * self.shape.cores_per_socket;
+        let core_hi = core_lo + self.shape.cores_per_socket;
+        for core in core_lo..core_hi {
+            let frac = self.core_vf[core].fraction(cfg.min_khz, cfg.base_khz);
+            let static_w = cfg.core_static_w.at(frac);
+            let mut any_active = false;
+            let mut any_mwait = false;
+            for ht in 0..tpc {
+                let ctx = core * tpc + ht;
+                match self.ctx[ctx] {
+                    CtxPowerState::Active(class) => {
+                        any_active = true;
+                        let cp = cfg.class(class);
+                        cores_w += cp.core_w.at(frac);
+                        dram_dyn_w += cp.dram_w.at(frac);
+                    }
+                    CtxPowerState::MwaitBlocked => any_mwait = true,
+                    CtxPowerState::Descheduled => {}
+                }
+            }
+            if any_active {
+                cores_w += static_w;
+                socket_awake = true;
+            } else if any_mwait {
+                cores_w += static_w * cfg.mwait_core_factor;
+                socket_awake = true;
+            } else {
+                let idle = self.core_idle[core];
+                cores_w += static_w * cfg.cstate_factor[idle.index()];
+                if idle == CoreIdleState::C0 {
+                    socket_awake = true;
+                }
+            }
+        }
+        // Uncore power follows the socket's VF (approximated by the max over
+        // awake cores; idle sockets draw no uncore power at all).
+        let uncore_w = if socket_awake {
+            let frac = (core_lo..core_hi)
+                .map(|c| self.core_vf[c].fraction(cfg.min_khz, cfg.base_khz))
+                .fold(0.0f64, f64::max);
+            cfg.uncore_w.at(frac)
+        } else {
+            0.0
+        };
+        SocketPower {
+            pkg_w: cfg.pkg_static_w + uncore_w + cores_w,
+            cores_w,
+            dram_w: cfg.dram_background_w + dram_dyn_w,
+        }
+    }
+
+    /// Instantaneous machine-wide power.
+    pub fn power(&mut self) -> PowerBreakdown {
+        let mut out = PowerBreakdown::default();
+        for socket in 0..self.shape.sockets {
+            let p = self.socket_power(socket);
+            out.pkg_w += p.pkg_w;
+            out.cores_w += p.cores_w;
+            out.dram_w += p.dram_w;
+        }
+        out.total_w = out.pkg_w + out.dram_w;
+        out
+    }
+
+    /// Cumulative energy as of the last advance.
+    pub fn energy(&self) -> EnergyReading {
+        self.counters.reading()
+    }
+
+    /// Raw per-socket counters (RAPL-equivalent view).
+    pub fn counters(&self) -> &RaplCounters {
+        &self.counters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xeon() -> PowerModel {
+        PowerModel::new(PowerConfig::xeon(), MachineShape::xeon())
+    }
+
+    #[test]
+    fn idle_machine_draws_idle_power() {
+        let mut m = xeon();
+        assert!((m.power().total_w - 55.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_power_is_about_206_watts() {
+        let mut m = xeon();
+        for ctx in 0..40 {
+            m.set_ctx_activity(ctx, CtxPowerState::Active(ActivityClass::MemIntensive));
+        }
+        let p = m.power();
+        assert!((p.total_w - 206.0).abs() < 3.0, "got {}", p.total_w);
+        assert!((p.dram_w - 74.0).abs() < 2.0, "got {}", p.dram_w);
+        assert!((p.pkg_w - 132.0).abs() < 2.0, "got {}", p.pkg_w);
+    }
+
+    #[test]
+    fn package_includes_cores_domain() {
+        let mut m = xeon();
+        for ctx in 0..16 {
+            m.set_ctx_activity(ctx, CtxPowerState::Active(ActivityClass::Work));
+        }
+        let p = m.power();
+        assert!(p.pkg_w > p.cores_w);
+    }
+
+    #[test]
+    fn first_core_activation_costs_more_than_second() {
+        let mut m = xeon();
+        let base = m.power().pkg_w;
+        m.set_ctx_activity(0, CtxPowerState::Active(ActivityClass::MemIntensive));
+        let one = m.power().pkg_w;
+        m.set_ctx_activity(2, CtxPowerState::Active(ActivityClass::MemIntensive));
+        let two = m.power().pkg_w;
+        let first_cost = one - base;
+        let second_cost = two - one;
+        assert!(
+            first_cost > 2.0 * second_cost,
+            "uncore activation should dominate: first {first_cost:.1} second {second_cost:.1}"
+        );
+    }
+
+    #[test]
+    fn spin_power_ordering_matches_paper() {
+        // Figure 3/4 at 40 threads: pause > local > global > mbar; all above
+        // idle and far below mem-intensive max.
+        let power_at = |class: ActivityClass| {
+            let mut m = xeon();
+            for ctx in 0..40 {
+                m.set_ctx_activity(ctx, CtxPowerState::Active(class));
+            }
+            m.power().total_w
+        };
+        let local = power_at(ActivityClass::LocalSpin);
+        let pause = power_at(ActivityClass::LocalSpinPause);
+        let mbar = power_at(ActivityClass::LocalSpinMbar);
+        let global = power_at(ActivityClass::GlobalSpin);
+        assert!(pause > local && local > global && global > mbar);
+        // Quantitative anchors from the paper's figures (~140 W local).
+        assert!((local - 140.0).abs() < 4.0, "local {local}");
+        assert!((pause / local) > 1.03 && (pause / local) < 1.07, "pause {pause}");
+        assert!((pause - mbar) / pause > 0.05, "mbar {mbar}");
+    }
+
+    #[test]
+    fn mwait_blocks_cost_much_less_than_spinning() {
+        let mut spin = xeon();
+        let mut mwait = xeon();
+        for ctx in 0..40 {
+            spin.set_ctx_activity(ctx, CtxPowerState::Active(ActivityClass::LocalSpinMbar));
+            mwait.set_ctx_activity(ctx, CtxPowerState::MwaitBlocked);
+        }
+        let ratio = spin.power().total_w / mwait.power().total_w;
+        assert!(ratio > 1.4, "paper: mwait reduces power ~1.5x, got {ratio}");
+    }
+
+    #[test]
+    fn vf_min_reduces_spin_power() {
+        let mut max = xeon();
+        let mut min = xeon();
+        let min_vf = VfPoint::new(PowerConfig::xeon().min_khz);
+        for core in 0..20 {
+            min.set_core_vf(core, min_vf);
+        }
+        for ctx in 0..40 {
+            max.set_ctx_activity(ctx, CtxPowerState::Active(ActivityClass::LocalSpin));
+            min.set_ctx_activity(ctx, CtxPowerState::Active(ActivityClass::LocalSpin));
+        }
+        let ratio = max.power().total_w / min.power().total_w;
+        assert!(ratio > 1.4 && ratio < 1.8, "paper: up to 1.7x, got {ratio}");
+    }
+
+    #[test]
+    fn energy_integrates_piecewise() {
+        let mut m = xeon();
+        // 1 second idle.
+        m.advance(2_800_000_000);
+        let idle_j = m.energy().total_j();
+        assert!((idle_j - 55.5).abs() < 0.01, "idle energy {idle_j}");
+        // 1 second with one busy context.
+        m.set_ctx_activity(0, CtxPowerState::Active(ActivityClass::Work));
+        let p = m.power().total_w;
+        m.advance(2 * 2_800_000_000);
+        let total = m.energy().total_j();
+        assert!((total - idle_j - p).abs() < 0.01);
+    }
+
+    #[test]
+    fn idle_core_states_scale_static_power() {
+        let mut m = xeon();
+        m.set_core_idle(0, CoreIdleState::C0);
+        let c0 = m.power().total_w;
+        m.set_core_idle(0, CoreIdleState::C1);
+        let c1 = m.power().total_w;
+        m.set_core_idle(0, CoreIdleState::C6);
+        let c6 = m.power().total_w;
+        assert!(c0 > c1 && c1 > c6);
+        assert!((c6 - 55.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "time went backwards")]
+    fn backwards_time_panics() {
+        let mut m = xeon();
+        m.advance(100);
+        m.advance(50);
+    }
+}

@@ -1,0 +1,175 @@
+//! Machine shape: sockets, cores, hardware contexts and their mapping.
+
+/// Index of a hardware context (hyper-thread) in `0..shape.contexts()`.
+pub type CtxId = usize;
+
+/// Index of a physical core in `0..shape.cores()`.
+pub type CoreId = usize;
+
+/// Index of a socket (package) in `0..shape.sockets`.
+pub type SocketId = usize;
+
+/// Shape of the modeled machine: socket/core/hyper-thread topology.
+///
+/// Hardware contexts are numbered socket-major, then core-major, then
+/// hyper-thread: context `c` lives on core `c / threads_per_core`, and core
+/// `k` lives on socket `k / cores_per_socket`.
+///
+/// # Examples
+///
+/// ```
+/// use poly_energy::MachineShape;
+/// let xeon = MachineShape::xeon();
+/// assert_eq!(xeon.contexts(), 40);
+/// assert_eq!(xeon.core_of(3), 1);
+/// assert_eq!(xeon.socket_of_core(10), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MachineShape {
+    /// Number of sockets (packages).
+    pub sockets: usize,
+    /// Number of physical cores per socket.
+    pub cores_per_socket: usize,
+    /// Number of hardware contexts per core (2 = hyper-threading).
+    pub threads_per_core: usize,
+}
+
+impl MachineShape {
+    /// The paper's Xeon server: 2 sockets x 10 cores x 2 hyper-threads.
+    pub const fn xeon() -> Self {
+        Self { sockets: 2, cores_per_socket: 10, threads_per_core: 2 }
+    }
+
+    /// The paper's Core i7 desktop: 1 socket x 4 cores x 2 hyper-threads.
+    pub const fn core_i7() -> Self {
+        Self { sockets: 1, cores_per_socket: 4, threads_per_core: 2 }
+    }
+
+    /// A small shape handy for fast unit tests.
+    pub const fn tiny() -> Self {
+        Self { sockets: 1, cores_per_socket: 2, threads_per_core: 2 }
+    }
+
+    /// Total number of physical cores.
+    pub const fn cores(&self) -> usize {
+        self.sockets * self.cores_per_socket
+    }
+
+    /// Total number of hardware contexts.
+    pub const fn contexts(&self) -> usize {
+        self.cores() * self.threads_per_core
+    }
+
+    /// Core that hosts hardware context `ctx`.
+    pub const fn core_of(&self, ctx: CtxId) -> CoreId {
+        ctx / self.threads_per_core
+    }
+
+    /// Socket that hosts core `core`.
+    pub const fn socket_of_core(&self, core: CoreId) -> SocketId {
+        core / self.cores_per_socket
+    }
+
+    /// Socket that hosts hardware context `ctx`.
+    pub const fn socket_of_ctx(&self, ctx: CtxId) -> SocketId {
+        self.socket_of_core(self.core_of(ctx))
+    }
+
+    /// Hyper-thread index of `ctx` within its core (0-based).
+    pub const fn ht_of(&self, ctx: CtxId) -> usize {
+        ctx % self.threads_per_core
+    }
+
+    /// Hardware contexts sharing the core of `ctx`, including `ctx` itself.
+    pub fn siblings(&self, ctx: CtxId) -> impl Iterator<Item = CtxId> {
+        let core = self.core_of(ctx);
+        let tpc = self.threads_per_core;
+        (0..tpc).map(move |h| core * tpc + h)
+    }
+
+    /// Context ids in the paper's pinning order: first hyper-thread 0 of every
+    /// core of socket 0, then of socket 1, ..., then hyper-thread 1 of every
+    /// core of socket 0, and so on.
+    ///
+    /// The paper states: "we first use the cores within a socket, then the
+    /// cores of the second socket, and finally, the hyper-threads".
+    pub fn paper_pin_order(&self) -> Vec<CtxId> {
+        let mut order = Vec::with_capacity(self.contexts());
+        for ht in 0..self.threads_per_core {
+            for socket in 0..self.sockets {
+                for core_in_socket in 0..self.cores_per_socket {
+                    let core = socket * self.cores_per_socket + core_in_socket;
+                    order.push(core * self.threads_per_core + ht);
+                }
+            }
+        }
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xeon_shape() {
+        let s = MachineShape::xeon();
+        assert_eq!(s.cores(), 20);
+        assert_eq!(s.contexts(), 40);
+    }
+
+    #[test]
+    fn ctx_to_core_to_socket_mapping() {
+        let s = MachineShape::xeon();
+        assert_eq!(s.core_of(0), 0);
+        assert_eq!(s.core_of(1), 0);
+        assert_eq!(s.core_of(2), 1);
+        assert_eq!(s.socket_of_ctx(0), 0);
+        assert_eq!(s.socket_of_ctx(19), 0);
+        assert_eq!(s.socket_of_ctx(20), 1);
+        assert_eq!(s.socket_of_ctx(39), 1);
+        assert_eq!(s.ht_of(0), 0);
+        assert_eq!(s.ht_of(1), 1);
+    }
+
+    #[test]
+    fn siblings_share_core() {
+        let s = MachineShape::xeon();
+        let sib: Vec<_> = s.siblings(5).collect();
+        assert_eq!(sib, vec![4, 5]);
+    }
+
+    #[test]
+    fn paper_pin_order_uses_cores_before_hyperthreads() {
+        let s = MachineShape::xeon();
+        let order = s.paper_pin_order();
+        assert_eq!(order.len(), 40);
+        // The first 10 contexts occupy distinct cores of socket 0.
+        for (i, &ctx) in order.iter().take(10).enumerate() {
+            assert_eq!(s.core_of(ctx), i);
+            assert_eq!(s.ht_of(ctx), 0);
+            assert_eq!(s.socket_of_ctx(ctx), 0);
+        }
+        // The next 10 are on socket 1, still primary hyper-threads.
+        for &ctx in order.iter().skip(10).take(10) {
+            assert_eq!(s.socket_of_ctx(ctx), 1);
+            assert_eq!(s.ht_of(ctx), 0);
+        }
+        // The second half are secondary hyper-threads.
+        for &ctx in order.iter().skip(20) {
+            assert_eq!(s.ht_of(ctx), 1);
+        }
+        // The order is a permutation of all contexts.
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..40).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pin_order_is_permutation_for_odd_shapes() {
+        let s = MachineShape { sockets: 3, cores_per_socket: 5, threads_per_core: 4 };
+        let mut order = s.paper_pin_order();
+        order.sort_unstable();
+        assert_eq!(order, (0..s.contexts()).collect::<Vec<_>>());
+    }
+}

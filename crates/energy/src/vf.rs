@@ -1,0 +1,95 @@
+//! Voltage-frequency (DVFS) points.
+
+/// A voltage-frequency operating point of a core, in kHz.
+///
+/// The power model linearly interpolates every component between the
+/// calibrated minimum- and maximum-frequency endpoints, which matches the
+/// roughly-affine behavior RAPL shows between P-states on the paper's Ivy
+/// Bridge machines. The *simulator* additionally scales instruction execution
+/// time by `max_khz / khz`.
+///
+/// # Examples
+///
+/// ```
+/// use poly_energy::VfPoint;
+/// let vf = VfPoint::new(2_000_000);
+/// let frac = vf.fraction(1_200_000, 2_800_000);
+/// assert!((frac - 0.5).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VfPoint {
+    khz: u64,
+}
+
+impl VfPoint {
+    /// Creates a VF point running at `khz` kilohertz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `khz` is zero: a core cannot run at 0 Hz.
+    pub fn new(khz: u64) -> Self {
+        assert!(khz > 0, "VF point frequency must be non-zero");
+        Self { khz }
+    }
+
+    /// Frequency in kHz.
+    pub const fn khz(&self) -> u64 {
+        self.khz
+    }
+
+    /// Frequency in Hz as a float.
+    pub fn hz(&self) -> f64 {
+        self.khz as f64 * 1e3
+    }
+
+    /// Position of this point between `min_khz` and `max_khz`, clamped to
+    /// `[0, 1]`. Used to interpolate calibrated power endpoints.
+    pub fn fraction(&self, min_khz: u64, max_khz: u64) -> f64 {
+        if max_khz <= min_khz {
+            return 1.0;
+        }
+        let f = (self.khz.saturating_sub(min_khz)) as f64 / (max_khz - min_khz) as f64;
+        f.clamp(0.0, 1.0)
+    }
+
+    /// Cycle-time multiplier relative to a base (maximum) frequency: code
+    /// that takes `c` cycles at `base_khz` takes `c * slowdown` wall-clock
+    /// base-cycles at this point.
+    pub fn slowdown(&self, base_khz: u64) -> f64 {
+        base_khz as f64 / self.khz as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fraction_endpoints() {
+        assert_eq!(VfPoint::new(1_200_000).fraction(1_200_000, 2_800_000), 0.0);
+        assert_eq!(VfPoint::new(2_800_000).fraction(1_200_000, 2_800_000), 1.0);
+    }
+
+    #[test]
+    fn fraction_clamps_out_of_range() {
+        assert_eq!(VfPoint::new(100).fraction(1_200_000, 2_800_000), 0.0);
+        assert_eq!(VfPoint::new(9_999_999).fraction(1_200_000, 2_800_000), 1.0);
+    }
+
+    #[test]
+    fn degenerate_range_maps_to_max() {
+        assert_eq!(VfPoint::new(500).fraction(500, 500), 1.0);
+    }
+
+    #[test]
+    fn slowdown_at_half_speed_is_two() {
+        let vf = VfPoint::new(1_400_000);
+        assert!((vf.slowdown(2_800_000) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_frequency_panics() {
+        let _ = VfPoint::new(0);
+    }
+}

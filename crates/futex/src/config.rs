@@ -1,0 +1,79 @@
+//! Timing calibration of the futex subsystem.
+
+use crate::Cycles;
+
+/// Cycle costs of futex kernel paths.
+///
+/// Calibrated against the paper's measurements on the Xeon (§4.3):
+/// a `futex`-sleep call takes ~2100 cycles until the thread is descheduled,
+/// an uncontended wake-up call ~2700 cycles, and both serialize on the
+/// per-bucket kernel lock when they target the same address.
+#[derive(Debug, Clone)]
+pub struct FutexConfig {
+    /// Number of hash buckets. Linux sizes this as `256 * #cpus`; the default
+    /// matches the paper's 40-context Xeon.
+    pub buckets: usize,
+    /// User-to-kernel entry plus argument checking for `FUTEX_WAIT`, spent
+    /// before touching the bucket lock.
+    pub wait_entry: Cycles,
+    /// Kernel work performed under the bucket lock for a wait enqueue
+    /// (queue insertion plus the user-value check).
+    pub wait_hold: Cycles,
+    /// User-to-kernel entry plus argument checking for `FUTEX_WAKE`.
+    pub wake_entry: Cycles,
+    /// Kernel work under the bucket lock per wake call (queue scan).
+    pub wake_hold: Cycles,
+    /// Extra kernel work under the bucket lock per thread actually woken
+    /// (dequeue + initiating the scheduler wake-up).
+    pub wake_per_thread: Cycles,
+}
+
+impl Default for FutexConfig {
+    fn default() -> Self {
+        Self::xeon()
+    }
+}
+
+impl FutexConfig {
+    /// Calibration matching the paper's Xeon numbers:
+    /// sleep call ≈ `wait_entry + wait_hold` = 2100 cycles;
+    /// uncontended wake of one thread ≈
+    /// `wake_entry + wake_hold + wake_per_thread` = 2700 cycles.
+    pub fn xeon() -> Self {
+        Self {
+            buckets: 256 * 40,
+            wait_entry: 900,
+            wait_hold: 1200,
+            wake_entry: 1100,
+            wake_hold: 800,
+            wake_per_thread: 800,
+        }
+    }
+
+    /// A tiny table that maximizes bucket collisions, for contention tests.
+    pub fn tiny(buckets: usize) -> Self {
+        Self { buckets, ..Self::xeon() }
+    }
+
+    /// Latency of an uncontended sleep call (enqueue + deschedule start).
+    pub fn sleep_call_cycles(&self) -> Cycles {
+        self.wait_entry + self.wait_hold
+    }
+
+    /// Latency of an uncontended wake-up call waking one thread.
+    pub fn wake_call_cycles(&self) -> Cycles {
+        self.wake_entry + self.wake_hold + self.wake_per_thread
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xeon_matches_paper_latencies() {
+        let cfg = FutexConfig::xeon();
+        assert_eq!(cfg.sleep_call_cycles(), 2100);
+        assert_eq!(cfg.wake_call_cycles(), 2700);
+    }
+}

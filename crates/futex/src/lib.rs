@@ -1,0 +1,57 @@
+//! Simulated Linux futex subsystem.
+//!
+//! Models the kernel side of `futex(2)` the way "Unlocking Energy"
+//! (USENIX ATC 2016, §4.3) characterizes it:
+//!
+//! * a hash table of wait-queue buckets (roughly `256 x #cores` buckets on
+//!   the paper's kernel), each protected by a kernel spinlock;
+//! * `FUTEX_WAIT` enqueues the caller FIFO behind the address and deschedules
+//!   it — unless the expected-value check (performed under the bucket lock)
+//!   fails, which returns `EAGAIN` immediately;
+//! * `FUTEX_WAKE` scans the bucket under the same lock and wakes up to `n`
+//!   waiters in FIFO order;
+//! * operations on the *same address* contend on the same bucket lock, which
+//!   is exactly why the paper observes wake-up calls getting slower when they
+//!   race with concurrent sleep calls (Figure 6) and SQLite burning >40% CPU
+//!   in the kernel's `raw_spin_lock` under MUTEX (§6.1).
+//!
+//! The table is a *timing* model: every operation reports when the kernel
+//! work completes and how many cycles the caller burned spinning on the
+//! bucket lock, so the discrete-event simulator can charge time and energy
+//! (kernel spinning is busy waiting and is priced as such). The actual
+//! descheduling/wakeup of threads is the simulator's job; this crate owns
+//! queue state and kernel-lock serialization only.
+//!
+//! # Examples
+//!
+//! ```
+//! use poly_futex::{FutexConfig, FutexTable, WaitOutcome};
+//!
+//! let mut t = FutexTable::new(FutexConfig::default());
+//! // Thread 7 sleeps on address 0x10 (value check passed).
+//! let w = t.wait(0x10, 7, 0, true, None);
+//! assert!(matches!(w.outcome, WaitOutcome::Enqueued));
+//! // Another thread wakes one waiter.
+//! let wake = t.wake(0x10, 1, w.kernel_done_at);
+//! assert_eq!(wake.woken, vec![7]);
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod config;
+mod stats;
+mod table;
+
+pub use config::FutexConfig;
+pub use stats::FutexStats;
+pub use table::{FutexTable, WaitBegin, WaitIssue, WaitOutcome, WakeIssue};
+
+/// Simulated thread identifier.
+pub type Tid = usize;
+
+/// Futex address (the simulator uses cache-line ids as addresses).
+pub type Addr = u64;
+
+/// Simulation time in base-frequency cycles.
+pub type Cycles = u64;

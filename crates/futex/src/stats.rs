@@ -1,0 +1,73 @@
+//! Futex subsystem statistics.
+
+use crate::Cycles;
+
+/// Counters describing how a workload exercised the futex subsystem.
+///
+/// `bucket_spin_cycles` is the aggregate time callers spent busy-waiting on
+/// kernel bucket locks — the quantity the paper reports as "CPU time on the
+/// `raw_spin_lock` function of the kernel" for SQLite under MUTEX (§6.1).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FutexStats {
+    /// `FUTEX_WAIT` calls that enqueued and slept.
+    pub waits: u64,
+    /// `FUTEX_WAIT` calls that returned `EAGAIN` (value mismatch).
+    pub wait_mismatches: u64,
+    /// `FUTEX_WAKE` calls issued.
+    pub wake_calls: u64,
+    /// Threads actually woken by wake calls.
+    pub threads_woken: u64,
+    /// Wake calls that found no waiter ("useless" wakes).
+    pub empty_wakes: u64,
+    /// Waits that ended by timeout expiry.
+    pub timeouts: u64,
+    /// Total cycles callers spent spinning on bucket kernel locks.
+    pub bucket_spin_cycles: Cycles,
+    /// Total cycles spent executing kernel futex work (entry + held paths).
+    pub kernel_work_cycles: Cycles,
+}
+
+impl FutexStats {
+    /// Fraction of wake calls that woke nobody.
+    pub fn empty_wake_ratio(&self) -> f64 {
+        if self.wake_calls == 0 {
+            0.0
+        } else {
+            self.empty_wakes as f64 / self.wake_calls as f64
+        }
+    }
+
+    /// Sums two stats snapshots (e.g., across locks or phases).
+    pub fn merged(&self, other: &FutexStats) -> FutexStats {
+        FutexStats {
+            waits: self.waits + other.waits,
+            wait_mismatches: self.wait_mismatches + other.wait_mismatches,
+            wake_calls: self.wake_calls + other.wake_calls,
+            threads_woken: self.threads_woken + other.threads_woken,
+            empty_wakes: self.empty_wakes + other.empty_wakes,
+            timeouts: self.timeouts + other.timeouts,
+            bucket_spin_cycles: self.bucket_spin_cycles + other.bucket_spin_cycles,
+            kernel_work_cycles: self.kernel_work_cycles + other.kernel_work_cycles,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_wake_ratio_handles_zero() {
+        assert_eq!(FutexStats::default().empty_wake_ratio(), 0.0);
+    }
+
+    #[test]
+    fn merged_adds_fields() {
+        let a = FutexStats { waits: 1, wake_calls: 2, empty_wakes: 1, ..Default::default() };
+        let b = FutexStats { waits: 3, wake_calls: 2, ..Default::default() };
+        let m = a.merged(&b);
+        assert_eq!(m.waits, 4);
+        assert_eq!(m.wake_calls, 4);
+        assert_eq!(m.empty_wake_ratio(), 0.25);
+    }
+}

@@ -1,0 +1,475 @@
+//! The futex hash table: buckets, kernel-lock serialization, wait queues.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::config::FutexConfig;
+use crate::stats::FutexStats;
+use crate::{Addr, Cycles, Tid};
+
+/// Outcome of a `FUTEX_WAIT` call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitOutcome {
+    /// The caller was enqueued and must be descheduled by the simulator.
+    Enqueued,
+    /// The expected-value check failed under the bucket lock (`EAGAIN`);
+    /// the caller returns to user space without sleeping.
+    ValueMismatch,
+}
+
+/// Timing of the first phase of a `FUTEX_WAIT` call: kernel entry plus
+/// bucket-lock acquisition. The expected-value check and the enqueue happen
+/// in the second phase ([`FutexTable::wait_commit`]), *under* the bucket
+/// lock, exactly like in Linux — this is what makes the "release the lock,
+/// then wake" user-space protocols of MUTEX/MUTEXEE lossless.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitBegin {
+    /// Time at which the caller holds the bucket lock (call
+    /// [`FutexTable::wait_commit`] with this timestamp).
+    pub lock_acquired_at: Cycles,
+    /// Cycles spent spinning on the bucket kernel lock.
+    pub lock_spin_cycles: Cycles,
+}
+
+/// Timing and outcome of a `FUTEX_WAIT` call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitIssue {
+    /// What happened.
+    pub outcome: WaitOutcome,
+    /// Time at which the kernel work completed. For
+    /// [`WaitOutcome::Enqueued`] this is when the thread is officially asleep
+    /// (the paper's ~2100-cycle sleep latency, plus any bucket-lock
+    /// contention); for [`WaitOutcome::ValueMismatch`] it is when the call
+    /// returns to user space.
+    pub kernel_done_at: Cycles,
+    /// Cycles the caller spent spinning on the bucket kernel lock.
+    pub lock_spin_cycles: Cycles,
+    /// Generation token of the enqueued entry, used to resolve races between
+    /// wake-ups and timeout expiry.
+    pub generation: u64,
+}
+
+/// Timing and outcome of a `FUTEX_WAKE` call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WakeIssue {
+    /// Threads dequeued, in FIFO order; the simulator schedules their
+    /// wake-up (idle-exit latency and run-queue placement are its business).
+    pub woken: Vec<Tid>,
+    /// Time at which the wake call returns to the caller.
+    pub kernel_done_at: Cycles,
+    /// Cycles the caller spent spinning on the bucket kernel lock.
+    pub lock_spin_cycles: Cycles,
+}
+
+#[derive(Debug, Clone)]
+struct WaitEntry {
+    tid: Tid,
+    generation: u64,
+}
+
+#[derive(Debug, Default)]
+struct Bucket {
+    /// Time at which the bucket's kernel spinlock becomes free.
+    lock_free_at: Cycles,
+    /// FIFO wait queues per address hashing into this bucket.
+    queues: HashMap<Addr, VecDeque<WaitEntry>>,
+}
+
+impl Bucket {
+    /// Serializes a kernel section of length `hold` starting no earlier than
+    /// `arrival`; returns (spin_cycles, done_at).
+    fn serialize(&mut self, arrival: Cycles, hold: Cycles) -> (Cycles, Cycles) {
+        let start = arrival.max(self.lock_free_at);
+        let spin = start - arrival;
+        let done = start + hold;
+        self.lock_free_at = done;
+        (spin, done)
+    }
+}
+
+/// The simulated futex hash table.
+///
+/// See the crate docs for the modeled semantics. All operations are
+/// deterministic; hashing is a fixed multiplicative hash of the address.
+#[derive(Debug)]
+pub struct FutexTable {
+    cfg: FutexConfig,
+    buckets: Vec<Bucket>,
+    /// Where each sleeping thread is queued: `tid -> (addr, generation)`.
+    sleeping: HashMap<Tid, (Addr, u64)>,
+    next_generation: u64,
+    stats: FutexStats,
+}
+
+impl FutexTable {
+    /// Creates an empty table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured bucket count is zero.
+    pub fn new(cfg: FutexConfig) -> Self {
+        assert!(cfg.buckets > 0, "futex table needs at least one bucket");
+        let mut buckets = Vec::with_capacity(cfg.buckets);
+        buckets.resize_with(cfg.buckets, Bucket::default);
+        Self { cfg, buckets, sleeping: HashMap::new(), next_generation: 0, stats: FutexStats::default() }
+    }
+
+    /// The timing calibration in use.
+    pub fn config(&self) -> &FutexConfig {
+        &self.cfg
+    }
+
+    fn bucket_of(&self, addr: Addr) -> usize {
+        // Fibonacci multiplicative hashing: deterministic and well spread.
+        let h = addr.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        (h >> 32) as usize % self.buckets.len()
+    }
+
+    /// First phase of `FUTEX_WAIT(addr, expected)` issued by `tid` at `now`:
+    /// kernel entry and bucket-lock acquisition (the bucket slot is reserved
+    /// here, keeping concurrent operations serialized in issue order).
+    ///
+    /// The caller must evaluate the expected-value check *at*
+    /// `lock_acquired_at` and then call [`FutexTable::wait_commit`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid` is already sleeping: a thread cannot issue two
+    /// concurrent waits.
+    pub fn wait_begin(&mut self, addr: Addr, tid: Tid, now: Cycles) -> WaitBegin {
+        assert!(!self.sleeping.contains_key(&tid), "thread {tid} is already sleeping on a futex");
+        let entry_done = now + self.cfg.wait_entry;
+        let hold = self.cfg.wait_hold;
+        let b = self.bucket_of(addr);
+        let (spin, done) = self.buckets[b].serialize(entry_done, hold);
+        self.stats.bucket_spin_cycles += spin;
+        self.stats.kernel_work_cycles += self.cfg.wait_entry + hold;
+        WaitBegin { lock_acquired_at: done - hold, lock_spin_cycles: spin }
+    }
+
+    /// Second phase of `FUTEX_WAIT`: the expected-value check (evaluated by
+    /// the caller, who owns the memory, at bucket-lock acquisition time) and
+    /// the enqueue.
+    ///
+    /// `now` must be the `lock_acquired_at` returned by
+    /// [`FutexTable::wait_begin`]. Timeout expiry is driven by the caller
+    /// via [`FutexTable::expire`].
+    pub fn wait_commit(
+        &mut self,
+        addr: Addr,
+        tid: Tid,
+        now: Cycles,
+        value_matches: bool,
+        _deadline: Option<Cycles>,
+    ) -> WaitIssue {
+        let done = now + self.cfg.wait_hold;
+        if !value_matches {
+            self.stats.wait_mismatches += 1;
+            return WaitIssue {
+                outcome: WaitOutcome::ValueMismatch,
+                kernel_done_at: done,
+                lock_spin_cycles: 0,
+                generation: 0,
+            };
+        }
+        let generation = self.next_generation;
+        self.next_generation += 1;
+        let b = self.bucket_of(addr);
+        self.buckets[b]
+            .queues
+            .entry(addr)
+            .or_default()
+            .push_back(WaitEntry { tid, generation });
+        self.sleeping.insert(tid, (addr, generation));
+        self.stats.waits += 1;
+        WaitIssue { outcome: WaitOutcome::Enqueued, kernel_done_at: done, lock_spin_cycles: 0, generation }
+    }
+
+    /// One-shot `FUTEX_WAIT` convenience combining
+    /// [`FutexTable::wait_begin`] and [`FutexTable::wait_commit`] with a
+    /// value check evaluated by the caller at issue time.
+    pub fn wait(
+        &mut self,
+        addr: Addr,
+        tid: Tid,
+        now: Cycles,
+        value_matches: bool,
+        deadline: Option<Cycles>,
+    ) -> WaitIssue {
+        let begin = self.wait_begin(addr, tid, now);
+        let mut issue =
+            self.wait_commit(addr, tid, begin.lock_acquired_at, value_matches, deadline);
+        issue.lock_spin_cycles = begin.lock_spin_cycles;
+        issue
+    }
+
+    /// First phase of `FUTEX_WAKE`: kernel entry and bucket-lock
+    /// acquisition (slot reservation keeps same-address operations
+    /// serialized in issue order).
+    pub fn wake_begin(&mut self, addr: Addr, now: Cycles) -> WaitBegin {
+        let entry_done = now + self.cfg.wake_entry;
+        let b = self.bucket_of(addr);
+        // Reserve the scan-only hold; `wake_commit` extends it per thread.
+        let (spin, done) = self.buckets[b].serialize(entry_done, self.cfg.wake_hold);
+        self.stats.bucket_spin_cycles += spin;
+        self.stats.kernel_work_cycles += self.cfg.wake_entry + self.cfg.wake_hold;
+        WaitBegin { lock_acquired_at: done - self.cfg.wake_hold, lock_spin_cycles: spin }
+    }
+
+    /// Second phase of `FUTEX_WAKE`: the dequeue, performed under the
+    /// bucket lock at `now` (= `lock_acquired_at` from
+    /// [`FutexTable::wake_begin`]); sleeps whose second phase committed
+    /// earlier are visible, exactly as in the kernel.
+    pub fn wake_commit(&mut self, addr: Addr, n: usize, now: Cycles) -> WakeIssue {
+        let b = self.bucket_of(addr);
+        let mut woken = Vec::new();
+        if let Some(q) = self.buckets[b].queues.get_mut(&addr) {
+            while woken.len() < n {
+                match q.pop_front() {
+                    Some(e) => {
+                        self.sleeping.remove(&e.tid);
+                        woken.push(e.tid);
+                    }
+                    None => break,
+                }
+            }
+            if q.is_empty() {
+                self.buckets[b].queues.remove(&addr);
+            }
+        }
+        let per_thread = self.cfg.wake_per_thread * woken.len() as Cycles;
+        // Extend the bucket hold for the per-thread work.
+        self.buckets[b].lock_free_at = self.buckets[b].lock_free_at.max(now) + per_thread;
+        self.stats.kernel_work_cycles += per_thread;
+        self.stats.wake_calls += 1;
+        self.stats.threads_woken += woken.len() as u64;
+        if woken.is_empty() {
+            self.stats.empty_wakes += 1;
+        }
+        WakeIssue {
+            woken,
+            kernel_done_at: now + self.cfg.wake_hold + per_thread,
+            lock_spin_cycles: 0,
+        }
+    }
+
+    /// One-shot `FUTEX_WAKE(addr, n)` issued at time `now` (combines the
+    /// two phases; concurrent sleeps issued earlier but committing later
+    /// are missed, so the discrete-event engine uses the phased API).
+    pub fn wake(&mut self, addr: Addr, n: usize, now: Cycles) -> WakeIssue {
+        let entry_done = now + self.cfg.wake_entry;
+        let b = self.bucket_of(addr);
+        let mut woken = Vec::new();
+        // Dequeue first to know the held duration (scan + per-thread work).
+        if let Some(q) = self.buckets[b].queues.get_mut(&addr) {
+            while woken.len() < n {
+                match q.pop_front() {
+                    Some(e) => {
+                        self.sleeping.remove(&e.tid);
+                        woken.push(e.tid);
+                    }
+                    None => break,
+                }
+            }
+            if q.is_empty() {
+                self.buckets[b].queues.remove(&addr);
+            }
+        }
+        let hold = self.cfg.wake_hold + self.cfg.wake_per_thread * woken.len() as Cycles;
+        let (spin, done) = self.buckets[b].serialize(entry_done, hold);
+        self.stats.bucket_spin_cycles += spin;
+        self.stats.kernel_work_cycles += self.cfg.wake_entry + hold;
+        self.stats.wake_calls += 1;
+        self.stats.threads_woken += woken.len() as u64;
+        if woken.is_empty() {
+            self.stats.empty_wakes += 1;
+        }
+        WakeIssue { woken, kernel_done_at: done, lock_spin_cycles: spin }
+    }
+
+    /// Timeout expiry for a sleeping thread.
+    ///
+    /// Returns `true` if the entry (identified by its generation to avoid
+    /// racing with a wake that already dequeued it) was still queued and has
+    /// now been removed; the simulator then wakes the thread with a
+    /// "timed out" result. Returns `false` if a wake won the race.
+    pub fn expire(&mut self, tid: Tid, generation: u64, addr: Addr, _now: Cycles) -> bool {
+        match self.sleeping.get(&tid) {
+            Some(&(a, g)) if a == addr && g == generation => {}
+            _ => return false,
+        }
+        self.sleeping.remove(&tid);
+        let b = self.bucket_of(addr);
+        if let Some(q) = self.buckets[b].queues.get_mut(&addr) {
+            q.retain(|e| !(e.tid == tid && e.generation == generation));
+            if q.is_empty() {
+                self.buckets[b].queues.remove(&addr);
+            }
+        }
+        self.stats.timeouts += 1;
+        true
+    }
+
+    /// Number of threads currently sleeping on `addr`.
+    pub fn waiters(&self, addr: Addr) -> usize {
+        let b = self.bucket_of(addr);
+        self.buckets[b].queues.get(&addr).map_or(0, VecDeque::len)
+    }
+
+    /// Whether thread `tid` is currently sleeping on any futex.
+    pub fn is_sleeping(&self, tid: Tid) -> bool {
+        self.sleeping.contains_key(&tid)
+    }
+
+    /// Total threads sleeping across the table.
+    pub fn total_sleepers(&self) -> usize {
+        self.sleeping.len()
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> FutexStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> FutexTable {
+        FutexTable::new(FutexConfig::xeon())
+    }
+
+    #[test]
+    fn wait_then_wake_is_fifo() {
+        let mut t = table();
+        for tid in 0..5 {
+            let w = t.wait(42, tid, 0, true, None);
+            assert_eq!(w.outcome, WaitOutcome::Enqueued);
+        }
+        assert_eq!(t.waiters(42), 5);
+        let w1 = t.wake(42, 2, 100_000);
+        assert_eq!(w1.woken, vec![0, 1]);
+        let w2 = t.wake(42, 10, 200_000);
+        assert_eq!(w2.woken, vec![2, 3, 4]);
+        assert_eq!(t.waiters(42), 0);
+    }
+
+    #[test]
+    fn value_mismatch_returns_eagain_without_sleeping() {
+        let mut t = table();
+        let w = t.wait(42, 1, 0, false, None);
+        assert_eq!(w.outcome, WaitOutcome::ValueMismatch);
+        assert_eq!(t.waiters(42), 0);
+        assert!(!t.is_sleeping(1));
+        assert_eq!(t.stats().wait_mismatches, 1);
+    }
+
+    #[test]
+    fn uncontended_latencies_match_calibration() {
+        let mut t = table();
+        let w = t.wait(42, 1, 1000, true, None);
+        assert_eq!(w.kernel_done_at, 1000 + 2100);
+        assert_eq!(w.lock_spin_cycles, 0);
+        let wake = t.wake(42, 1, 10_000);
+        assert_eq!(wake.kernel_done_at, 10_000 + 2700);
+    }
+
+    #[test]
+    fn same_address_operations_serialize_on_bucket_lock() {
+        let mut t = table();
+        // Two sleep calls arriving at the same instant: the second spins on
+        // the bucket lock while the first holds it.
+        let a = t.wait(42, 1, 0, true, None);
+        let b = t.wait(42, 2, 0, true, None);
+        assert_eq!(a.lock_spin_cycles, 0);
+        assert!(b.lock_spin_cycles > 0, "second caller must contend");
+        assert!(b.kernel_done_at > a.kernel_done_at);
+        // A concurrent wake contends too (the paper's Figure 6 effect).
+        let wake = t.wake(42, 1, 0);
+        assert!(wake.lock_spin_cycles > 0);
+        assert!(t.stats().bucket_spin_cycles >= b.lock_spin_cycles + wake.lock_spin_cycles);
+    }
+
+    #[test]
+    fn different_addresses_rarely_contend() {
+        let mut t = table();
+        let a = t.wait(1, 1, 0, true, None);
+        let b = t.wait(2, 2, 0, true, None);
+        // With 10240 buckets, two distinct addresses almost surely differ.
+        assert_eq!(a.lock_spin_cycles, 0);
+        assert_eq!(b.lock_spin_cycles, 0);
+    }
+
+    #[test]
+    fn tiny_table_forces_false_contention() {
+        let mut t = FutexTable::new(FutexConfig::tiny(1));
+        let a = t.wait(1, 1, 0, true, None);
+        let b = t.wait(2, 2, 0, true, None);
+        assert_eq!(a.lock_spin_cycles, 0);
+        assert!(b.lock_spin_cycles > 0, "single bucket: distinct addresses contend");
+    }
+
+    #[test]
+    fn empty_wake_is_counted() {
+        let mut t = table();
+        let w = t.wake(42, 1, 0);
+        assert!(w.woken.is_empty());
+        assert_eq!(t.stats().empty_wakes, 1);
+        assert_eq!(t.stats().empty_wake_ratio(), 1.0);
+    }
+
+    #[test]
+    fn expire_removes_entry_once() {
+        let mut t = table();
+        let w = t.wait(42, 7, 0, true, None);
+        assert!(t.expire(7, w.generation, 42, 1000));
+        assert!(!t.expire(7, w.generation, 42, 2000), "second expiry must fail");
+        assert_eq!(t.waiters(42), 0);
+        let wake = t.wake(42, 1, 3000);
+        assert!(wake.woken.is_empty());
+        assert_eq!(t.stats().timeouts, 1);
+    }
+
+    #[test]
+    fn wake_beats_expire_race() {
+        let mut t = table();
+        let w = t.wait(42, 7, 0, true, None);
+        let wake = t.wake(42, 1, 100);
+        assert_eq!(wake.woken, vec![7]);
+        assert!(!t.expire(7, w.generation, 42, 200), "wake already dequeued the entry");
+        assert_eq!(t.stats().timeouts, 0);
+    }
+
+    #[test]
+    fn generation_distinguishes_resleeps() {
+        let mut t = table();
+        let w1 = t.wait(42, 7, 0, true, None);
+        let _ = t.wake(42, 1, 100);
+        // Thread 7 sleeps again: old generation must not expire the new entry.
+        let w2 = t.wait(42, 7, 10_000, true, None);
+        assert_ne!(w1.generation, w2.generation);
+        assert!(!t.expire(7, w1.generation, 42, 20_000));
+        assert!(t.expire(7, w2.generation, 42, 30_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "already sleeping")]
+    fn double_wait_panics() {
+        let mut t = table();
+        let _ = t.wait(42, 7, 0, true, None);
+        let _ = t.wait(43, 7, 0, true, None);
+    }
+
+    #[test]
+    fn sleepers_accounting() {
+        let mut t = table();
+        assert_eq!(t.total_sleepers(), 0);
+        let _ = t.wait(1, 1, 0, true, None);
+        let _ = t.wait(2, 2, 0, true, None);
+        assert_eq!(t.total_sleepers(), 2);
+        assert!(t.is_sleeping(1));
+        let _ = t.wake(1, 1, 100);
+        assert_eq!(t.total_sleepers(), 1);
+        assert!(!t.is_sleeping(1));
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests of the futex table invariants.
+
+use std::collections::{HashSet, VecDeque};
+
+use proptest::prelude::*;
+use poly_futex::{FutexConfig, FutexTable, WaitOutcome};
+
+/// A random futex operation issued by the driver.
+#[derive(Debug, Clone)]
+enum FOp {
+    Wait { addr: u64, tid: usize },
+    Wake { addr: u64, n: usize },
+    Expire { tid: usize },
+}
+
+fn op_strategy(addrs: u64, tids: usize) -> impl Strategy<Value = FOp> {
+    prop_oneof![
+        (0..addrs, 0..tids).prop_map(|(addr, tid)| FOp::Wait { addr, tid }),
+        (0..addrs, 1..4usize).prop_map(|(addr, n)| FOp::Wake { addr, n }),
+        (0..tids).prop_map(|tid| FOp::Expire { tid }),
+    ]
+}
+
+proptest! {
+    /// Wakes are FIFO per address, nobody is woken twice without re-sleeping,
+    /// and sleeper accounting stays consistent under arbitrary interleavings.
+    #[test]
+    fn fifo_and_accounting(ops in proptest::collection::vec(op_strategy(4, 8), 1..200)) {
+        let mut table = FutexTable::new(FutexConfig::tiny(2));
+        // Reference model: per-address FIFO queues.
+        let mut model: std::collections::HashMap<u64, VecDeque<usize>> = Default::default();
+        let mut gens: std::collections::HashMap<usize, (u64, u64)> = Default::default();
+        let mut asleep: HashSet<usize> = HashSet::new();
+        let mut now = 0u64;
+        for op in ops {
+            now += 10_000;
+            match op {
+                FOp::Wait { addr, tid } => {
+                    if asleep.contains(&tid) {
+                        continue; // the real kernel cannot see this either
+                    }
+                    let w = table.wait(addr, tid, now, true, None);
+                    prop_assert_eq!(w.outcome, WaitOutcome::Enqueued);
+                    model.entry(addr).or_default().push_back(tid);
+                    gens.insert(tid, (addr, w.generation));
+                    asleep.insert(tid);
+                }
+                FOp::Wake { addr, n } => {
+                    let w = table.wake(addr, n, now);
+                    let q = model.entry(addr).or_default();
+                    let expected: Vec<usize> =
+                        (0..n.min(q.len())).map(|_| q.pop_front().unwrap()).collect();
+                    prop_assert_eq!(&w.woken, &expected, "wake must be FIFO");
+                    for tid in &w.woken {
+                        prop_assert!(asleep.remove(tid), "woken thread {} was not asleep", tid);
+                    }
+                }
+                FOp::Expire { tid } => {
+                    let Some(&(addr, generation)) = gens.get(&tid) else { continue };
+                    let removed = table.expire(tid, generation, addr, now);
+                    let is_asleep = asleep.contains(&tid);
+                    prop_assert_eq!(removed, is_asleep,
+                        "expire must succeed iff the thread is still queued");
+                    if removed {
+                        asleep.remove(&tid);
+                        model.get_mut(&addr).unwrap().retain(|t| *t != tid);
+                    }
+                }
+            }
+            let model_total: usize = model.values().map(VecDeque::len).sum();
+            prop_assert_eq!(table.total_sleepers(), model_total);
+            prop_assert_eq!(table.total_sleepers(), asleep.len());
+        }
+    }
+
+    /// Kernel timing is monotonic: a bucket's operations complete in issue
+    /// order and spin time never exceeds the backlog that was ahead of them.
+    #[test]
+    fn serialization_is_monotonic(gaps in proptest::collection::vec(0u64..5_000, 1..50)) {
+        let mut table = FutexTable::new(FutexConfig::tiny(1));
+        let mut now = 0u64;
+        let mut last_done = 0u64;
+        for (i, gap) in gaps.into_iter().enumerate() {
+            now += gap;
+            let done = if i % 2 == 0 {
+                table.wait(0, i, now, true, None).kernel_done_at
+            } else {
+                table.wake(0, 1, now).kernel_done_at
+            };
+            prop_assert!(done >= last_done, "bucket section completions must be ordered");
+            prop_assert!(done > now, "kernel work takes time");
+            last_done = done;
+        }
+    }
+}

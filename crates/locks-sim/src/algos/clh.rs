@@ -1,0 +1,110 @@
+//! CLH: FIFO queue lock with local spinning on the predecessor's node.
+//!
+//! The tail word stores `line id + 1` of the last enqueued node and starts
+//! pointing at a released dummy node, so a locking thread always has a
+//! predecessor node to consume. After releasing, a thread recycles its
+//! predecessor's node for the next acquisition (Craig; Landin & Hagersten).
+
+use poly_sim::{LineId, Op, OpResult, RmwKind, SpinCond, ThreadRt, Tid};
+
+use crate::algos::UNCONTENDED_CYCLES;
+use crate::lock::LockInner;
+use crate::sm::{Handover, Step};
+
+enum AcqSt {
+    StoreMine,
+    SwapTail,
+    SpinPred,
+}
+
+/// CLH acquisition.
+pub(crate) struct Acq {
+    st: AcqSt,
+    started_at: u64,
+    pred: Option<LineId>,
+}
+
+impl Acq {
+    pub(crate) fn new() -> Self {
+        Self { st: AcqSt::StoreMine, started_at: 0, pred: None }
+    }
+
+    pub(crate) fn on(
+        &mut self,
+        l: &LockInner,
+        tid: Tid,
+        rt: &mut ThreadRt<'_>,
+        last: OpResult,
+    ) -> Step {
+        match (&self.st, last) {
+            (_, OpResult::Started) => {
+                self.started_at = rt.now;
+                self.st = AcqSt::StoreMine;
+                let my = l.clh_node.borrow()[tid];
+                Step::Do(Op::Rmw(my, RmwKind::Store(1)))
+            }
+            (AcqSt::StoreMine, OpResult::Done) => {
+                self.st = AcqSt::SwapTail;
+                let my = l.clh_node.borrow()[tid];
+                Step::Do(Op::Rmw(l.word, RmwKind::Swap(my.addr() + 1)))
+            }
+            (AcqSt::SwapTail, OpResult::Value(pred_raw)) => {
+                debug_assert!(pred_raw != 0, "CLH tail can never be empty");
+                let pred = LineId::from_raw((pred_raw - 1) as u32);
+                self.pred = Some(pred);
+                self.st = AcqSt::SpinPred;
+                Step::Do(Op::SpinLoad {
+                    line: pred,
+                    pause: l.params.spin_pause,
+                    until: SpinCond::Equals(0),
+                    max: None,
+                })
+            }
+            (AcqSt::SpinPred, OpResult::Value(_)) => {
+                l.clh_pred.borrow_mut()[tid] = self.pred;
+                Step::Acquired(if rt.now - self.started_at < UNCONTENDED_CYCLES {
+                    Handover::Uncontended
+                } else {
+                    Handover::Spin
+                })
+            }
+            (_, other) => panic!("CLH acquire: unexpected result {other:?}"),
+        }
+    }
+}
+
+/// CLH release: mark the own node released, then recycle the predecessor's
+/// node.
+pub(crate) struct Rel {
+    issued: bool,
+}
+
+impl Rel {
+    pub(crate) fn new() -> Self {
+        Self { issued: false }
+    }
+
+    pub(crate) fn on(
+        &mut self,
+        l: &LockInner,
+        tid: Tid,
+        _rt: &mut ThreadRt<'_>,
+        last: OpResult,
+    ) -> Step {
+        match last {
+            OpResult::Started => {
+                self.issued = true;
+                let my = l.clh_node.borrow()[tid];
+                Step::Do(Op::Rmw(my, RmwKind::Store(0)))
+            }
+            OpResult::Done if self.issued => {
+                let pred = l.clh_pred.borrow_mut()[tid]
+                    .take()
+                    .expect("CLH release without a recorded acquire");
+                l.clh_node.borrow_mut()[tid] = pred;
+                Step::Released
+            }
+            other => panic!("CLH release: unexpected result {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! MCS: FIFO queue lock with local spinning on a per-thread node.
+//!
+//! The tail word stores `thread id + 1` (0 = empty). Each thread owns two
+//! node lines: `locked` (spun on by the thread while waiting) and `next`
+//! (written by the successor). Waiters spin on *their own* line, so a
+//! release invalidates exactly one waiter — the property that makes MCS the
+//! best spinlock under heavy contention in the paper's Figure 11.
+
+use poly_sim::{Op, OpResult, RmwKind, SpinCond, ThreadRt, Tid};
+
+use crate::lock::LockInner;
+use crate::sm::{Handover, Step};
+
+enum AcqSt {
+    InitLocked,
+    InitNext,
+    SwapTail,
+    LinkPred,
+    SpinNode,
+}
+
+/// MCS acquisition.
+pub(crate) struct Acq {
+    st: AcqSt,
+}
+
+impl Acq {
+    pub(crate) fn new() -> Self {
+        Self { st: AcqSt::InitLocked }
+    }
+
+    pub(crate) fn on(
+        &mut self,
+        l: &LockInner,
+        tid: Tid,
+        _rt: &mut ThreadRt<'_>,
+        last: OpResult,
+    ) -> Step {
+        let node = l.mcs_nodes[tid];
+        match (&self.st, last) {
+            (_, OpResult::Started) => {
+                self.st = AcqSt::InitLocked;
+                Step::Do(Op::Rmw(node.locked, RmwKind::Store(1)))
+            }
+            (AcqSt::InitLocked, OpResult::Done) => {
+                self.st = AcqSt::InitNext;
+                Step::Do(Op::Rmw(node.next, RmwKind::Store(0)))
+            }
+            (AcqSt::InitNext, OpResult::Done) => {
+                self.st = AcqSt::SwapTail;
+                Step::Do(Op::Rmw(l.word, RmwKind::Swap(tid as u64 + 1)))
+            }
+            (AcqSt::SwapTail, OpResult::Value(0)) => Step::Acquired(Handover::Uncontended),
+            (AcqSt::SwapTail, OpResult::Value(pred)) => {
+                let pred = (pred - 1) as usize;
+                self.st = AcqSt::LinkPred;
+                Step::Do(Op::Rmw(l.mcs_nodes[pred].next, RmwKind::Store(tid as u64 + 1)))
+            }
+            (AcqSt::LinkPred, OpResult::Done) => {
+                self.st = AcqSt::SpinNode;
+                Step::Do(Op::SpinLoad {
+                    line: node.locked,
+                    pause: l.params.spin_pause,
+                    until: SpinCond::Equals(0),
+                    max: None,
+                })
+            }
+            (AcqSt::SpinNode, OpResult::Value(_)) => Step::Acquired(Handover::Spin),
+            (_, other) => panic!("MCS acquire: unexpected result {other:?}"),
+        }
+    }
+}
+
+enum RelSt {
+    LoadNext,
+    CasTail,
+    SpinNext,
+    Handoff,
+}
+
+/// MCS release: hand off to the successor, or clear the tail.
+pub(crate) struct Rel {
+    st: RelSt,
+}
+
+impl Rel {
+    pub(crate) fn new() -> Self {
+        Self { st: RelSt::LoadNext }
+    }
+
+    pub(crate) fn on(
+        &mut self,
+        l: &LockInner,
+        tid: Tid,
+        _rt: &mut ThreadRt<'_>,
+        last: OpResult,
+    ) -> Step {
+        let node = l.mcs_nodes[tid];
+        match (&self.st, last) {
+            (_, OpResult::Started) => {
+                self.st = RelSt::LoadNext;
+                Step::Do(Op::Load(node.next))
+            }
+            (RelSt::LoadNext, OpResult::Value(0)) => {
+                self.st = RelSt::CasTail;
+                Step::Do(Op::Rmw(l.word, RmwKind::Cas { expect: tid as u64 + 1, new: 0 }))
+            }
+            (RelSt::LoadNext, OpResult::Value(next)) => {
+                self.st = RelSt::Handoff;
+                Step::Do(Op::Rmw(l.mcs_nodes[(next - 1) as usize].locked, RmwKind::Store(0)))
+            }
+            (RelSt::CasTail, OpResult::Cas { ok: true, .. }) => Step::Released,
+            (RelSt::CasTail, OpResult::Cas { ok: false, .. }) => {
+                // A successor is between the tail swap and the next-link
+                // store: wait for the link to appear.
+                self.st = RelSt::SpinNext;
+                Step::Do(Op::SpinLoad {
+                    line: node.next,
+                    pause: l.params.spin_pause,
+                    until: SpinCond::Differs(0),
+                    max: None,
+                })
+            }
+            (RelSt::SpinNext, OpResult::Value(next)) => {
+                self.st = RelSt::Handoff;
+                Step::Do(Op::Rmw(l.mcs_nodes[(next - 1) as usize].locked, RmwKind::Store(0)))
+            }
+            (RelSt::Handoff, OpResult::Done) => Step::Released,
+            (_, other) => panic!("MCS release: unexpected result {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,13 @@
+//! Per-algorithm acquire/release state machines.
+
+pub(crate) mod clh;
+pub(crate) mod mcs;
+pub(crate) mod mutex;
+pub(crate) mod mutexee;
+pub(crate) mod tas;
+pub(crate) mod ticket;
+pub(crate) mod ttas;
+
+/// Elapsed-cycles threshold under which an acquisition is classified as
+/// uncontended (used by algorithms that cannot tell structurally).
+pub(crate) const UNCONTENDED_CYCLES: u64 = 300;

@@ -1,0 +1,180 @@
+//! MUTEX: the glibc-style futex mutex (Drepper's "Futexes Are Tricky",
+//! algorithm 2).
+//!
+//! Lock word: 0 = free, 1 = held, 2 = held with (possible) waiters. The
+//! default configuration attempts one CAS before sleeping — the behavior
+//! the paper blames for MUTEX's poor throughput on short critical sections
+//! ("threads are put to sleep, although the queuing time behind the lock is
+//! less than the futex-sleep latency", §5.1). The optional
+//! `PTHREAD_MUTEX_ADAPTIVE_NP`-style bounded spin is available through
+//! [`MutexParams::adaptive_spin`](crate::MutexParams).
+
+use poly_sim::{Cycles, Op, OpResult, RmwKind, SpinCond, ThreadRt, Tid};
+
+use crate::lock::LockInner;
+use crate::sm::{Handover, Step};
+
+enum St {
+    TryLock,
+    AdaptiveSpin { deadline: Cycles },
+    AdaptiveCas { deadline: Cycles },
+    MarkContended,
+    Sleep,
+    Retry,
+}
+
+/// MUTEX acquisition.
+pub(crate) struct Acq {
+    st: St,
+    slept: bool,
+}
+
+impl Acq {
+    pub(crate) fn new() -> Self {
+        Self { st: St::TryLock, slept: false }
+    }
+
+    /// Continues Drepper's contended loop with the last observed value `c`.
+    fn step_contended(&mut self, l: &LockInner, c: u64) -> Step {
+        if c == 2 {
+            self.st = St::Sleep;
+            Step::Do(Op::FutexWait { line: l.word, expect: 2, timeout: None })
+        } else {
+            self.st = St::MarkContended;
+            Step::Do(Op::Rmw(l.word, RmwKind::Cas { expect: 1, new: 2 }))
+        }
+    }
+
+    fn handover(&self) -> Handover {
+        if self.slept {
+            Handover::Futex
+        } else {
+            Handover::Spin
+        }
+    }
+
+    pub(crate) fn on(
+        &mut self,
+        l: &LockInner,
+        _tid: Tid,
+        rt: &mut ThreadRt<'_>,
+        last: OpResult,
+    ) -> Step {
+        match (&self.st, last) {
+            (_, OpResult::Started) => {
+                self.st = St::TryLock;
+                Step::Do(Op::Rmw(l.word, RmwKind::Cas { expect: 0, new: 1 }))
+            }
+            (St::TryLock, OpResult::Cas { ok: true, .. }) => {
+                Step::Acquired(Handover::Uncontended)
+            }
+            (St::TryLock, OpResult::Cas { ok: false, old }) => {
+                if let Some(budget) = l.params.mutex.adaptive_spin {
+                    let deadline = rt.now + budget;
+                    self.st = St::AdaptiveSpin { deadline };
+                    Step::Do(Op::SpinLoad {
+                        line: l.word,
+                        pause: l.params.mutex.pause,
+                        until: SpinCond::Equals(0),
+                        max: Some(budget),
+                    })
+                } else {
+                    self.step_contended(l, old)
+                }
+            }
+            (St::AdaptiveSpin { deadline }, OpResult::Value(0)) => {
+                let deadline = *deadline;
+                self.st = St::AdaptiveCas { deadline };
+                Step::Do(Op::Rmw(l.word, RmwKind::Cas { expect: 0, new: 1 }))
+            }
+            (St::AdaptiveSpin { .. }, OpResult::SpinTimeout(v)) => {
+                self.step_contended(l, if v == 0 { 1 } else { v })
+            }
+            (St::AdaptiveCas { .. }, OpResult::Cas { ok: true, .. }) => {
+                Step::Acquired(Handover::Spin)
+            }
+            (St::AdaptiveCas { deadline }, OpResult::Cas { ok: false, old }) => {
+                let deadline = *deadline;
+                if rt.now < deadline {
+                    self.st = St::AdaptiveSpin { deadline };
+                    Step::Do(Op::SpinLoad {
+                        line: l.word,
+                        pause: l.params.mutex.pause,
+                        until: SpinCond::Equals(0),
+                        max: Some(deadline - rt.now),
+                    })
+                } else {
+                    self.step_contended(l, old)
+                }
+            }
+            (St::MarkContended, OpResult::Cas { ok, old }) => {
+                // cmpxchg(1 -> 2): if the lock was free (old == 0), skip the
+                // sleep and retry immediately; otherwise the word is (now) 2
+                // and it is safe to sleep.
+                let _ = ok;
+                if old == 0 {
+                    self.st = St::Retry;
+                    Step::Do(Op::Rmw(l.word, RmwKind::Cas { expect: 0, new: 2 }))
+                } else {
+                    self.st = St::Sleep;
+                    Step::Do(Op::FutexWait { line: l.word, expect: 2, timeout: None })
+                }
+            }
+            (St::Sleep, OpResult::FutexWait(r)) => {
+                if r == poly_sim::FutexWaitResult::Woken {
+                    self.slept = true;
+                }
+                self.st = St::Retry;
+                Step::Do(Op::Rmw(l.word, RmwKind::Cas { expect: 0, new: 2 }))
+            }
+            (St::Retry, OpResult::Cas { ok: true, .. }) => Step::Acquired(self.handover()),
+            (St::Retry, OpResult::Cas { ok: false, old }) => self.step_contended(l, old),
+            (_, other) => panic!("MUTEX acquire: unexpected result {other:?}"),
+        }
+    }
+}
+
+enum RelSt {
+    Release,
+    Wake,
+}
+
+/// MUTEX release: set free in user space, then wake one sleeper if the word
+/// was marked contended.
+pub(crate) struct Rel {
+    st: RelSt,
+    issued: bool,
+}
+
+impl Rel {
+    pub(crate) fn new() -> Self {
+        Self { st: RelSt::Release, issued: false }
+    }
+
+    pub(crate) fn on(
+        &mut self,
+        l: &LockInner,
+        _tid: Tid,
+        _rt: &mut ThreadRt<'_>,
+        last: OpResult,
+    ) -> Step {
+        match (&self.st, last) {
+            (_, OpResult::Started) => {
+                self.issued = true;
+                self.st = RelSt::Release;
+                Step::Do(Op::Rmw(l.word, RmwKind::Swap(0)))
+            }
+            (RelSt::Release, OpResult::Value(old)) => {
+                debug_assert!(old != 0, "MUTEX released while free");
+                if old == 2 {
+                    self.st = RelSt::Wake;
+                    Step::Do(Op::FutexWake { line: l.word, n: 1 })
+                } else {
+                    Step::Released
+                }
+            }
+            (RelSt::Wake, OpResult::FutexWake { .. }) => Step::Released,
+            (_, other) => panic!("MUTEX release: unexpected result {other:?}"),
+        }
+    }
+}

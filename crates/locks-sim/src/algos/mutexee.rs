@@ -1,0 +1,253 @@
+//! MUTEXEE: the paper's optimized futex mutex (§5.1, Table 1).
+//!
+//! Differences from MUTEX, as designed by the paper:
+//!
+//! * `lock()` spins with `mfence` pausing for ~8000 cycles (spin mode) or
+//!   ~256 cycles (mutex mode) before sleeping with futex;
+//! * `unlock()` releases the word in user space, then *waits in user space*
+//!   for a period proportional to the maximum coherence latency (~384 /
+//!   ~128 cycles); if another thread grabbed the lock meanwhile, the futex
+//!   wake-up is skipped entirely — most handovers stay futex-free;
+//! * the lock tracks how many handovers went through futex and periodically
+//!   flips between spin and mutex modes (>30% futex handovers → mutex mode);
+//! * an optional futex-sleep timeout bounds tail latency: a thread woken by
+//!   timeout spins until it acquires the lock, without sleeping again
+//!   (Figure 10).
+//!
+//! Lock word: 0 = free, 1 = held. A separate cache line counts sleepers so
+//! `unlock` knows whether a wake-up call could be needed at all.
+
+use poly_sim::{Cycles, FutexWaitResult, Op, OpResult, RmwKind, SpinCond, ThreadRt, Tid};
+
+use crate::algos::UNCONTENDED_CYCLES;
+use crate::lock::{LockInner, MutexeeMode};
+use crate::sm::{Handover, Step};
+
+enum St {
+    Spin { deadline: Cycles },
+    SpinCas { deadline: Cycles },
+    IncWaiters,
+    SleepCas,
+    Sleep,
+    NoSleepSpin,
+    NoSleepCas,
+    DecWaiters { h: Handover },
+}
+
+/// MUTEXEE acquisition.
+pub(crate) struct Acq {
+    st: St,
+    started_at: Cycles,
+    slept: bool,
+}
+
+impl Acq {
+    pub(crate) fn new() -> Self {
+        Self { st: St::Spin { deadline: 0 }, started_at: 0, slept: false }
+    }
+
+    fn spin_op(l: &LockInner, max: Cycles) -> Op {
+        Op::SpinLoad {
+            line: l.word,
+            pause: l.params.mutexee.pause,
+            until: SpinCond::Equals(0),
+            max: Some(max.max(1)),
+        }
+    }
+
+    fn waiters(l: &LockInner) -> poly_sim::LineId {
+        l.waiters.expect("MUTEXEE allocates a waiter-count line")
+    }
+
+    pub(crate) fn on(
+        &mut self,
+        l: &LockInner,
+        _tid: Tid,
+        rt: &mut ThreadRt<'_>,
+        last: OpResult,
+    ) -> Step {
+        let p = &l.params.mutexee;
+        match (&self.st, last) {
+            (_, OpResult::Started) => {
+                self.started_at = rt.now;
+                let budget = match l.mutexee.borrow().mode {
+                    MutexeeMode::Spin => p.spin_budget,
+                    MutexeeMode::Mutex => p.spin_budget_mutex_mode,
+                };
+                let deadline = rt.now + budget;
+                self.st = St::Spin { deadline };
+                Step::Do(Self::spin_op(l, budget))
+            }
+            (St::Spin { deadline }, OpResult::Value(0)) => {
+                let deadline = *deadline;
+                self.st = St::SpinCas { deadline };
+                Step::Do(Op::Rmw(l.word, RmwKind::Cas { expect: 0, new: 1 }))
+            }
+            (St::Spin { .. }, OpResult::SpinTimeout(_)) => {
+                self.st = St::IncWaiters;
+                Step::Do(Op::Rmw(Self::waiters(l), RmwKind::FetchAdd(1)))
+            }
+            (St::SpinCas { deadline }, OpResult::Cas { ok: true, .. }) => {
+                let _ = deadline;
+                Step::Acquired(if rt.now - self.started_at < UNCONTENDED_CYCLES {
+                    Handover::Uncontended
+                } else {
+                    Handover::Spin
+                })
+            }
+            (St::SpinCas { deadline }, OpResult::Cas { ok: false, .. }) => {
+                let deadline = *deadline;
+                if rt.now < deadline {
+                    self.st = St::Spin { deadline };
+                    Step::Do(Self::spin_op(l, deadline - rt.now))
+                } else {
+                    self.st = St::IncWaiters;
+                    Step::Do(Op::Rmw(Self::waiters(l), RmwKind::FetchAdd(1)))
+                }
+            }
+            (St::IncWaiters, OpResult::Value(_)) => {
+                self.st = St::SleepCas;
+                Step::Do(Op::Rmw(l.word, RmwKind::Cas { expect: 0, new: 1 }))
+            }
+            (St::SleepCas, OpResult::Cas { ok: true, .. }) => {
+                let h = if self.slept { Handover::Futex } else { Handover::Spin };
+                self.st = St::DecWaiters { h };
+                Step::Do(Op::Rmw(Self::waiters(l), RmwKind::FetchAdd(u64::MAX)))
+            }
+            (St::SleepCas, OpResult::Cas { ok: false, .. }) => {
+                self.st = St::Sleep;
+                Step::Do(Op::FutexWait { line: l.word, expect: 1, timeout: p.sleep_timeout })
+            }
+            (St::Sleep, OpResult::FutexWait(r)) => match r {
+                FutexWaitResult::Woken => {
+                    self.slept = true;
+                    self.st = St::SleepCas;
+                    Step::Do(Op::Rmw(l.word, RmwKind::Cas { expect: 0, new: 1 }))
+                }
+                FutexWaitResult::ValueMismatch => {
+                    self.st = St::SleepCas;
+                    Step::Do(Op::Rmw(l.word, RmwKind::Cas { expect: 0, new: 1 }))
+                }
+                FutexWaitResult::TimedOut => {
+                    // Woken by timeout: spin until acquired, never sleep
+                    // again (the tail-latency bound of Figure 10).
+                    self.slept = true;
+                    self.st = St::NoSleepSpin;
+                    Step::Do(Op::SpinLoad {
+                        line: l.word,
+                        pause: p.pause,
+                        until: SpinCond::Equals(0),
+                        max: None,
+                    })
+                }
+            },
+            (St::NoSleepSpin, OpResult::Value(0)) => {
+                self.st = St::NoSleepCas;
+                Step::Do(Op::Rmw(l.word, RmwKind::Cas { expect: 0, new: 1 }))
+            }
+            (St::NoSleepCas, OpResult::Cas { ok: true, .. }) => {
+                self.st = St::DecWaiters { h: Handover::Futex };
+                Step::Do(Op::Rmw(Self::waiters(l), RmwKind::FetchAdd(u64::MAX)))
+            }
+            (St::NoSleepCas, OpResult::Cas { ok: false, .. }) => {
+                self.st = St::NoSleepSpin;
+                Step::Do(Op::SpinLoad {
+                    line: l.word,
+                    pause: p.pause,
+                    until: SpinCond::Equals(0),
+                    max: None,
+                })
+            }
+            (St::DecWaiters { h }, OpResult::Value(_)) => Step::Acquired(*h),
+            (_, other) => panic!("MUTEXEE acquire: unexpected result {other:?}"),
+        }
+    }
+}
+
+/// Records an acquisition in the lock's adaptation statistics and
+/// periodically re-evaluates the spin/mutex mode (§5.1).
+pub(crate) fn note_acquisition(l: &LockInner, h: Handover) {
+    let p = &l.params.mutexee;
+    let mut s = l.mutexee.borrow_mut();
+    s.acquisitions += 1;
+    if h == Handover::Futex {
+        s.futex_handovers += 1;
+    }
+    if s.acquisitions >= p.adapt_period {
+        let ratio = f64::from(s.futex_handovers) / f64::from(s.acquisitions);
+        s.mode = if ratio > p.futex_ratio_threshold {
+            MutexeeMode::Mutex
+        } else {
+            MutexeeMode::Spin
+        };
+        s.acquisitions = 0;
+        s.futex_handovers = 0;
+    }
+}
+
+enum RelSt {
+    Release,
+    LoadWaiters,
+    Wait,
+    Wake,
+}
+
+/// MUTEXEE release: free the word; if sleepers exist, watch the word
+/// briefly in user space and skip the futex wake-up whenever another thread
+/// takes the lock over meanwhile.
+///
+/// The waiter check comes first, so the uncontended release is as cheap as
+/// a spinlock's; the user-space wait only runs when a wake-up could
+/// actually be needed.
+pub(crate) struct Rel {
+    st: RelSt,
+}
+
+impl Rel {
+    pub(crate) fn new() -> Self {
+        Self { st: RelSt::Release }
+    }
+
+    pub(crate) fn on(
+        &mut self,
+        l: &LockInner,
+        _tid: Tid,
+        _rt: &mut ThreadRt<'_>,
+        last: OpResult,
+    ) -> Step {
+        let p = &l.params.mutexee;
+        match (&self.st, last) {
+            (_, OpResult::Started) => {
+                self.st = RelSt::Release;
+                Step::Do(Op::Rmw(l.word, RmwKind::Store(0)))
+            }
+            (RelSt::Release, OpResult::Done) => {
+                self.st = RelSt::LoadWaiters;
+                Step::Do(Op::Load(l.waiters.expect("MUTEXEE waiter line")))
+            }
+            (RelSt::LoadWaiters, OpResult::Value(0)) => Step::Released,
+            (RelSt::LoadWaiters, OpResult::Value(_)) => {
+                let wait = match l.mutexee.borrow().mode {
+                    MutexeeMode::Spin => p.unlock_wait,
+                    MutexeeMode::Mutex => p.unlock_wait_mutex_mode,
+                };
+                self.st = RelSt::Wait;
+                Step::Do(Op::SpinLoad {
+                    line: l.word,
+                    pause: p.pause,
+                    until: SpinCond::Differs(0),
+                    max: Some(wait),
+                })
+            }
+            // Someone acquired the lock in user space: handover done, no
+            // futex call needed.
+            (RelSt::Wait, OpResult::Value(_)) => Step::Released,
+            (RelSt::Wait, OpResult::SpinTimeout(_)) => {
+                self.st = RelSt::Wake;
+                Step::Do(Op::FutexWake { line: l.word, n: 1 })
+            }
+            (RelSt::Wake, OpResult::FutexWake { .. }) => Step::Released,
+            (_, other) => panic!("MUTEXEE release: unexpected result {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! TAS: test-and-set with global spinning.
+//!
+//! The acquire path hammers an atomic exchange on the lock word — the
+//! paper's "global spinning": every attempt is a serialized coherence
+//! transaction, which is why TAS collapses first under contention (its
+//! release has to queue behind the waiters' exchanges).
+
+use poly_sim::{Op, OpResult, RmwKind, ThreadRt, Tid};
+
+use crate::lock::LockInner;
+use crate::sm::{Handover, Step};
+
+/// TAS acquisition: `while (swap(word, 1) != 0) {}`.
+pub(crate) struct Acq {
+    attempts: u64,
+}
+
+impl Acq {
+    pub(crate) fn new() -> Self {
+        Self { attempts: 0 }
+    }
+
+    pub(crate) fn on(
+        &mut self,
+        l: &LockInner,
+        _tid: Tid,
+        _rt: &mut ThreadRt<'_>,
+        last: OpResult,
+    ) -> Step {
+        match last {
+            OpResult::Started => {
+                self.attempts = 1;
+                Step::Do(Op::Rmw(l.word, RmwKind::Swap(1)))
+            }
+            OpResult::Value(0) => Step::Acquired(if self.attempts == 1 {
+                Handover::Uncontended
+            } else {
+                Handover::Spin
+            }),
+            OpResult::Value(_) => {
+                self.attempts += 1;
+                Step::Do(Op::Rmw(l.word, RmwKind::Swap(1)))
+            }
+            other => panic!("TAS acquire: unexpected result {other:?}"),
+        }
+    }
+}
+
+/// TAS release: `word = 0`.
+pub(crate) struct Rel {
+    issued: bool,
+}
+
+impl Rel {
+    pub(crate) fn new() -> Self {
+        Self { issued: false }
+    }
+
+    pub(crate) fn on(
+        &mut self,
+        l: &LockInner,
+        _tid: Tid,
+        _rt: &mut ThreadRt<'_>,
+        last: OpResult,
+    ) -> Step {
+        match last {
+            OpResult::Started => {
+                self.issued = true;
+                Step::Do(Op::Rmw(l.word, RmwKind::Store(0)))
+            }
+            OpResult::Done if self.issued => Step::Released,
+            other => panic!("TAS release: unexpected result {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! TICKET: FIFO lock with local spinning on the owner field.
+//!
+//! The lock word packs `next` in the high 32 bits and `owner` in the low 32
+//! bits, as in common single-word ticket-lock implementations.
+
+use poly_sim::{Op, OpResult, RmwKind, SpinCond, ThreadRt, Tid};
+
+use crate::lock::LockInner;
+use crate::sm::{Handover, Step};
+
+const OWNER_MASK: u64 = 0xFFFF_FFFF;
+const NEXT_ONE: u64 = 1 << 32;
+
+enum St {
+    Take,
+    Spin,
+}
+
+/// Ticket acquisition: fetch-and-add the `next` field, then wait until
+/// `owner` reaches the drawn ticket.
+pub(crate) struct Acq {
+    st: St,
+    ticket: u64,
+}
+
+impl Acq {
+    pub(crate) fn new() -> Self {
+        Self { st: St::Take, ticket: 0 }
+    }
+
+    pub(crate) fn on(
+        &mut self,
+        l: &LockInner,
+        _tid: Tid,
+        _rt: &mut ThreadRt<'_>,
+        last: OpResult,
+    ) -> Step {
+        match (&self.st, last) {
+            (_, OpResult::Started) => {
+                self.st = St::Take;
+                Step::Do(Op::Rmw(l.word, RmwKind::FetchAdd(NEXT_ONE)))
+            }
+            (St::Take, OpResult::Value(old)) => {
+                self.ticket = old >> 32;
+                if old & OWNER_MASK == self.ticket {
+                    return Step::Acquired(Handover::Uncontended);
+                }
+                self.st = St::Spin;
+                Step::Do(Op::SpinLoad {
+                    line: l.word,
+                    pause: l.params.spin_pause,
+                    until: SpinCond::MaskEquals { mask: OWNER_MASK, want: self.ticket },
+                    max: None,
+                })
+            }
+            (St::Spin, OpResult::Value(_)) => Step::Acquired(Handover::Spin),
+            (_, other) => panic!("TICKET acquire: unexpected result {other:?}"),
+        }
+    }
+}
+
+/// Ticket release: increment the `owner` field.
+pub(crate) struct Rel {
+    issued: bool,
+}
+
+impl Rel {
+    pub(crate) fn new() -> Self {
+        Self { issued: false }
+    }
+
+    pub(crate) fn on(
+        &mut self,
+        l: &LockInner,
+        _tid: Tid,
+        _rt: &mut ThreadRt<'_>,
+        last: OpResult,
+    ) -> Step {
+        match last {
+            OpResult::Started => {
+                self.issued = true;
+                Step::Do(Op::Rmw(l.word, RmwKind::FetchAdd(1)))
+            }
+            OpResult::Value(_) if self.issued => Step::Released,
+            other => panic!("TICKET release: unexpected result {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! TTAS: test-and-test-and-set with local spinning.
+
+use poly_sim::{Op, OpResult, RmwKind, SpinCond, ThreadRt, Tid};
+
+use crate::lock::LockInner;
+use crate::sm::{Handover, Step};
+
+enum St {
+    Spin,
+    Cas,
+}
+
+/// TTAS acquisition: spin locally until the word reads 0, then CAS.
+pub(crate) struct Acq {
+    st: St,
+    attempts: u64,
+}
+
+impl Acq {
+    pub(crate) fn new() -> Self {
+        Self { st: St::Spin, attempts: 0 }
+    }
+
+    fn spin_op(l: &LockInner) -> Op {
+        Op::SpinLoad {
+            line: l.word,
+            pause: l.params.spin_pause,
+            until: SpinCond::Equals(0),
+            max: None,
+        }
+    }
+
+    pub(crate) fn on(
+        &mut self,
+        l: &LockInner,
+        _tid: Tid,
+        _rt: &mut ThreadRt<'_>,
+        last: OpResult,
+    ) -> Step {
+        match (&self.st, last) {
+            (_, OpResult::Started) => {
+                self.st = St::Spin;
+                Step::Do(Self::spin_op(l))
+            }
+            (St::Spin, OpResult::Value(0)) => {
+                self.st = St::Cas;
+                self.attempts += 1;
+                Step::Do(Op::Rmw(l.word, RmwKind::Cas { expect: 0, new: 1 }))
+            }
+            (St::Cas, OpResult::Cas { ok: true, .. }) => Step::Acquired(if self.attempts == 1 {
+                Handover::Uncontended
+            } else {
+                Handover::Spin
+            }),
+            (St::Cas, OpResult::Cas { ok: false, .. }) => {
+                self.st = St::Spin;
+                Step::Do(Self::spin_op(l))
+            }
+            (_, other) => panic!("TTAS acquire: unexpected result {other:?}"),
+        }
+    }
+}
+
+/// TTAS release: `word = 0`.
+pub(crate) struct Rel {
+    issued: bool,
+}
+
+impl Rel {
+    pub(crate) fn new() -> Self {
+        Self { issued: false }
+    }
+
+    pub(crate) fn on(
+        &mut self,
+        l: &LockInner,
+        _tid: Tid,
+        _rt: &mut ThreadRt<'_>,
+        last: OpResult,
+    ) -> Step {
+        match last {
+            OpResult::Started => {
+                self.issued = true;
+                Step::Do(Op::Rmw(l.word, RmwKind::Store(0)))
+            }
+            OpResult::Done if self.issued => Step::Released,
+            other => panic!("TTAS release: unexpected result {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! A futex-based condition variable (sequence-counter construction).
+//!
+//! RocksDB's write queue and parts of MySQL coordinate through
+//! `pthread_cond_*`; this is the standard futex condvar: waiters snapshot a
+//! sequence word, release the mutex, sleep on the sequence, and reacquire
+//! the mutex on wake-up; signalers bump the sequence and wake sleepers.
+
+use poly_sim::{LineId, Op, OpResult, SimBuilder, ThreadRt, Tid};
+
+use crate::lock::SimLock;
+use crate::sm::{AcqSm, RelSm, Step};
+
+/// The condition-variable instance.
+#[derive(Clone, Copy)]
+pub struct SimCondvar {
+    seq: LineId,
+}
+
+impl SimCondvar {
+    /// Allocates a condition variable.
+    pub fn alloc(b: &mut SimBuilder) -> Self {
+        Self { seq: b.alloc_line(0) }
+    }
+
+    /// Starts a `wait` by `tid`, which must currently hold `lock`.
+    ///
+    /// The machine releases the lock, sleeps, and reacquires the lock; it
+    /// finishes with [`Step::Acquired`].
+    pub fn begin_wait(&self, lock: &SimLock, tid: Tid) -> CondSm {
+        CondSm {
+            seq: self.seq,
+            st: CondSt::LoadSeq,
+            release: Some(lock.begin_release(tid)),
+            reacquire: Some(lock.begin_acquire(tid)),
+            signal_n: 0,
+            snapshot: 0,
+        }
+    }
+
+    /// Starts a `signal` (wakes one waiter). The caller may or may not hold
+    /// the lock, as with `pthread_cond_signal`. Finishes with
+    /// [`Step::Released`].
+    pub fn begin_signal(&self) -> CondSm {
+        self.begin_wake(1)
+    }
+
+    /// Starts a `broadcast` (wakes all waiters).
+    pub fn begin_broadcast(&self) -> CondSm {
+        self.begin_wake(u32::MAX)
+    }
+
+    fn begin_wake(&self, n: u32) -> CondSm {
+        CondSm {
+            seq: self.seq,
+            st: CondSt::Bump,
+            release: None,
+            reacquire: None,
+            signal_n: n,
+            snapshot: 0,
+        }
+    }
+}
+
+enum CondSt {
+    // Wait path.
+    LoadSeq,
+    Release,
+    Sleep,
+    Reacquire,
+    // Signal path.
+    Bump,
+    Wake,
+}
+
+/// Condition-variable operation in progress (wait, signal or broadcast).
+pub struct CondSm {
+    seq: LineId,
+    st: CondSt,
+    release: Option<RelSm>,
+    reacquire: Option<AcqSm>,
+    signal_n: u32,
+    snapshot: u64,
+}
+
+impl CondSm {
+    /// Advances the operation. Waits finish with [`Step::Acquired`] (the
+    /// mutex is held again); signals/broadcasts finish with
+    /// [`Step::Released`].
+    pub fn on(&mut self, rt: &mut ThreadRt<'_>, last: OpResult) -> Step {
+        let mut last = last;
+        loop {
+            match &mut self.st {
+                CondSt::LoadSeq => match last {
+                    OpResult::Started => return Step::Do(Op::Load(self.seq)),
+                    OpResult::Value(v) => {
+                        self.snapshot = v;
+                        self.st = CondSt::Release;
+                        last = OpResult::Started;
+                    }
+                    other => panic!("cond wait: unexpected {other:?}"),
+                },
+                CondSt::Release => {
+                    let sm = self.release.as_mut().expect("wait path has a release");
+                    match sm.on(rt, last) {
+                        Step::Do(op) => return Step::Do(op),
+                        Step::Released => {
+                            self.st = CondSt::Sleep;
+                            return Step::Do(Op::FutexWait {
+                                line: self.seq,
+                                expect: self.snapshot,
+                                timeout: None,
+                            });
+                        }
+                        Step::Acquired(_) => unreachable!(),
+                    }
+                }
+                CondSt::Sleep => {
+                    // Woken, timed out, or the sequence moved before we
+                    // slept (EAGAIN): all proceed to reacquisition, exactly
+                    // like pthread_cond_wait's spurious-wakeup contract.
+                    debug_assert!(matches!(last, OpResult::FutexWait(_)));
+                    self.st = CondSt::Reacquire;
+                    last = OpResult::Started;
+                }
+                CondSt::Reacquire => {
+                    let sm = self.reacquire.as_mut().expect("wait path has a reacquire");
+                    match sm.on(rt, last) {
+                        Step::Do(op) => return Step::Do(op),
+                        Step::Acquired(h) => return Step::Acquired(h),
+                        Step::Released => unreachable!(),
+                    }
+                }
+                CondSt::Bump => match last {
+                    OpResult::Started => {
+                        return Step::Do(Op::Rmw(self.seq, poly_sim::RmwKind::FetchAdd(1)))
+                    }
+                    OpResult::Value(_) => {
+                        self.st = CondSt::Wake;
+                        return Step::Do(Op::FutexWake { line: self.seq, n: self.signal_n });
+                    }
+                    other => panic!("cond signal: unexpected {other:?}"),
+                },
+                CondSt::Wake => {
+                    debug_assert!(matches!(last, OpResult::FutexWake { .. }));
+                    return Step::Released;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! The lock-stress workload: acquire, hold, release, think, repeat.
+
+use poly_sim::{Cycles, Op, OpResult, Program, ThreadRt};
+use rand::Rng;
+
+use crate::lock::SimLock;
+use crate::sm::{AcqSm, Handover, RelSm, Step};
+
+/// A duration distribution for critical sections and think times.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Dist {
+    /// Always the same length.
+    Fixed(Cycles),
+    /// Uniform in `[lo, hi]`.
+    Uniform(Cycles, Cycles),
+    /// Exponential with the given mean (heavy-ish tail, memoryless).
+    Exp(Cycles),
+}
+
+impl Dist {
+    /// Draws one duration.
+    pub fn sample(&self, rng: &mut impl Rng) -> Cycles {
+        match *self {
+            Dist::Fixed(c) => c,
+            Dist::Uniform(lo, hi) => {
+                if lo >= hi {
+                    lo
+                } else {
+                    rng.random_range(lo..=hi)
+                }
+            }
+            Dist::Exp(mean) => {
+                if mean == 0 {
+                    0
+                } else {
+                    let u: f64 = rng.random::<f64>().max(1e-12);
+                    (-(u.ln()) * mean as f64).round() as Cycles
+                }
+            }
+        }
+    }
+
+    /// The distribution's mean.
+    pub fn mean(&self) -> f64 {
+        match *self {
+            Dist::Fixed(c) => c as f64,
+            Dist::Uniform(lo, hi) => (lo + hi) as f64 / 2.0,
+            Dist::Exp(mean) => mean as f64,
+        }
+    }
+}
+
+/// Configuration of a [`LockStress`] thread.
+#[derive(Debug, Clone, Copy)]
+pub struct LockStressConfig {
+    /// Critical-section length.
+    pub cs: Dist,
+    /// Think time between releases and the next acquisition.
+    pub non_cs: Dist,
+}
+
+enum Phase {
+    Init,
+    Acquiring(AcqSm),
+    InCs,
+    Releasing(RelSm),
+    NonCs,
+}
+
+/// The paper's microbenchmark thread (§5.2): repeatedly picks a lock
+/// (uniformly when several are given, as in Figure 12), acquires it, holds
+/// it for a critical section, releases it, then "thinks".
+///
+/// One completed critical section counts as one operation; acquisition
+/// latencies and handover types are recorded in the thread counters.
+pub struct LockStress {
+    locks: Vec<SimLock>,
+    cfg: LockStressConfig,
+    phase: Phase,
+    current: usize,
+    acq_started: Cycles,
+}
+
+impl LockStress {
+    /// Creates a stress thread over the given locks (at least one).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `locks` is empty.
+    pub fn new(locks: Vec<SimLock>, cfg: LockStressConfig) -> Self {
+        assert!(!locks.is_empty(), "LockStress needs at least one lock");
+        Self { locks, cfg, phase: Phase::Init, current: 0, acq_started: 0 }
+    }
+}
+
+impl Program for LockStress {
+    fn resume(&mut self, rt: &mut ThreadRt<'_>, last: OpResult) -> Op {
+        let mut last = last;
+        loop {
+            match &mut self.phase {
+                Phase::Init => {
+                    self.current = if self.locks.len() == 1 {
+                        0
+                    } else {
+                        rt.rng.random_range(0..self.locks.len())
+                    };
+                    self.acq_started = rt.now;
+                    self.phase =
+                        Phase::Acquiring(self.locks[self.current].begin_acquire(rt.tid));
+                    last = OpResult::Started;
+                }
+                Phase::Acquiring(sm) => match sm.on(rt, last) {
+                    Step::Do(op) => return op,
+                    Step::Acquired(h) => {
+                        rt.counters.acquires += 1;
+                        rt.counters.acquire_latency.record(rt.now - self.acq_started);
+                        match h {
+                            Handover::Spin | Handover::Uncontended => {
+                                rt.counters.spin_handovers += 1
+                            }
+                            Handover::Futex => rt.counters.futex_handovers += 1,
+                        }
+                        rt.enter_cs(self.locks[self.current].key());
+                        self.phase = Phase::InCs;
+                        let cs = self.cfg.cs.sample(rt.rng);
+                        return Op::Work(cs.max(1));
+                    }
+                    Step::Released => unreachable!("acquire cannot release"),
+                },
+                Phase::InCs => {
+                    debug_assert_eq!(last, OpResult::Done);
+                    rt.exit_cs(self.locks[self.current].key());
+                    self.phase =
+                        Phase::Releasing(self.locks[self.current].begin_release(rt.tid));
+                    last = OpResult::Started;
+                }
+                Phase::Releasing(sm) => match sm.on(rt, last) {
+                    Step::Do(op) => return op,
+                    Step::Released => {
+                        rt.counters.ops += 1;
+                        let think = self.cfg.non_cs.sample(rt.rng);
+                        if think == 0 {
+                            self.phase = Phase::Init;
+                            continue;
+                        }
+                        self.phase = Phase::NonCs;
+                        return Op::Work(think);
+                    }
+                    Step::Acquired(_) => unreachable!("release cannot acquire"),
+                },
+                Phase::NonCs => {
+                    debug_assert_eq!(last, OpResult::Done);
+                    self.phase = Phase::Init;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn dist_sampling_respects_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(Dist::Fixed(42).sample(&mut rng), 42);
+        for _ in 0..100 {
+            let v = Dist::Uniform(10, 20).sample(&mut rng);
+            assert!((10..=20).contains(&v));
+        }
+        let mean = 1000.0;
+        let n = 20_000;
+        let sum: u64 = (0..n).map(|_| Dist::Exp(1000).sample(&mut rng)).sum();
+        let observed = sum as f64 / n as f64;
+        assert!((observed / mean - 1.0).abs() < 0.05, "exp mean {observed}");
+    }
+
+    #[test]
+    fn degenerate_dists() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        assert_eq!(Dist::Uniform(7, 7).sample(&mut rng), 7);
+        assert_eq!(Dist::Exp(0).sample(&mut rng), 0);
+        assert_eq!(Dist::Fixed(5).mean(), 5.0);
+    }
+}

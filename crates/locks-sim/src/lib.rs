@@ -1,0 +1,45 @@
+//! Lock algorithms of "Unlocking Energy" as simulator state machines.
+//!
+//! Implements every lock the paper evaluates (§2, §5):
+//!
+//! | Lock      | Waiting style                                        |
+//! |-----------|------------------------------------------------------|
+//! | `TAS`     | global spinning: hammer an atomic exchange           |
+//! | `TTAS`    | local spinning, then compare-and-swap                |
+//! | `TICKET`  | FIFO; local spinning on the owner field              |
+//! | `MCS`     | FIFO queue lock; local spinning on a private node    |
+//! | `CLH`     | FIFO queue lock; local spinning on the predecessor   |
+//! | `MUTEX`   | glibc-style futex mutex (Drepper's algorithm)        |
+//! | `MUTEXEE` | the paper's contribution: long `mfence`-paused spin, |
+//! |           | user-space handover in unlock, spin/mutex mode       |
+//! |           | adaptation, optional sleep timeouts (§5.1, Table 1)  |
+//!
+//! Plus the waiting-style microbenchmarks of §4 (sleeping vs global vs local
+//! spinning with every pausing flavor, DVFS, `monitor/mwait`), the
+//! spin-then-sleep `ss-T` communication benchmark of Figure 7, and a
+//! reader-writer lock and condition variable built on these primitives for
+//! the system models of §6.
+//!
+//! Algorithms are expressed as explicit state machines ([`AcqSm`]/[`RelSm`])
+//! driven by the discrete-event engine through [`poly_sim::Program`]s such
+//! as [`LockStress`].
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod algos;
+mod condvar;
+mod driver;
+mod lock;
+mod rwlock;
+mod sm;
+mod ss;
+mod waiting;
+
+pub use condvar::{CondSm, SimCondvar};
+pub use driver::{Dist, LockStress, LockStressConfig};
+pub use lock::{LockKind, LockParams, MutexParams, MutexeeMode, MutexeeParams, SimLock};
+pub use rwlock::{RwAcqSm, RwMode, RwRelSm, SimRwLock};
+pub use sm::{AcqSm, Handover, RelSm, Step};
+pub use ss::{SsMode, SsProgram, SsShared};
+pub use waiting::{WaitStyle, Waiter};

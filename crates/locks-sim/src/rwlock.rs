@@ -1,0 +1,176 @@
+//! A reader-writer lock built on a pluggable mutual-exclusion algorithm.
+//!
+//! Kyoto Cabinet (and parts of MySQL) synchronize through
+//! `pthread_rwlock`; the paper swaps the underlying algorithm there too.
+//! This model mirrors a classic mutex-plus-reader-count construction: the
+//! mutex (any [`LockKind`]) serializes writers and reader registration, a
+//! separate line counts active readers, and a writer drains readers while
+//! holding the mutex. The algorithm choice therefore shifts rwlock behavior
+//! exactly the way Figure 13's Kyoto columns show.
+
+use poly_sim::{LineId, Op, OpResult, RmwKind, SimBuilder, SpinCond, ThreadRt, Tid};
+
+use crate::lock::{LockKind, LockParams, SimLock};
+use crate::sm::{AcqSm, Handover, RelSm, Step};
+
+/// Read or write acquisition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RwMode {
+    /// Shared (reader) access.
+    Read,
+    /// Exclusive (writer) access.
+    Write,
+}
+
+/// The reader-writer lock instance.
+#[derive(Clone)]
+pub struct SimRwLock {
+    lock: SimLock,
+    readers: LineId,
+}
+
+impl SimRwLock {
+    /// Allocates a reader-writer lock whose internal mutex uses `kind`.
+    pub fn alloc(b: &mut SimBuilder, kind: LockKind, threads: usize, params: LockParams) -> Self {
+        let lock = SimLock::alloc(b, kind, threads, params);
+        let readers = b.alloc_line(0);
+        Self { lock, readers }
+    }
+
+    /// The underlying mutex algorithm.
+    pub fn kind(&self) -> LockKind {
+        self.lock.kind()
+    }
+
+    /// Mutual-exclusion tracker key (valid for writer sections).
+    pub fn key(&self) -> u64 {
+        self.lock.key()
+    }
+
+    /// Starts a read or write acquisition.
+    pub fn begin_acquire(&self, tid: Tid, mode: RwMode) -> RwAcqSm {
+        RwAcqSm {
+            mode,
+            readers: self.readers,
+            pause: self.lock.inner.params.spin_pause,
+            st: RwAcqSt::Lock(self.lock.begin_acquire(tid)),
+            unlock: Some(self.lock.begin_release(tid)),
+            handover: Handover::Uncontended,
+        }
+    }
+
+    /// Starts the matching release.
+    pub fn begin_release(&self, tid: Tid, mode: RwMode) -> RwRelSm {
+        RwRelSm {
+            mode,
+            readers: self.readers,
+            st: match mode {
+                RwMode::Read => RwRelSt::DecReaders,
+                RwMode::Write => RwRelSt::Unlock(self.lock.begin_release(tid)),
+            },
+        }
+    }
+}
+
+enum RwAcqSt {
+    Lock(AcqSm),
+    BumpReaders,
+    ReleaseAfterBump(RelSm),
+    DrainReaders,
+}
+
+/// Reader/writer acquisition state machine.
+pub struct RwAcqSm {
+    mode: RwMode,
+    readers: LineId,
+    pause: poly_sim::PauseKind,
+    st: RwAcqSt,
+    unlock: Option<RelSm>,
+    handover: Handover,
+}
+
+impl RwAcqSm {
+    /// Advances the acquisition (same protocol as [`AcqSm::on`]).
+    pub fn on(&mut self, rt: &mut ThreadRt<'_>, last: OpResult) -> Step {
+        let mut last = last;
+        loop {
+            match &mut self.st {
+                RwAcqSt::Lock(sm) => match sm.on(rt, last) {
+                    Step::Do(op) => return Step::Do(op),
+                    Step::Acquired(h) => {
+                        self.handover = h;
+                        match self.mode {
+                            RwMode::Read => {
+                                self.st = RwAcqSt::BumpReaders;
+                                return Step::Do(Op::Rmw(self.readers, RmwKind::FetchAdd(1)));
+                            }
+                            RwMode::Write => {
+                                self.st = RwAcqSt::DrainReaders;
+                                return Step::Do(Op::SpinLoad {
+                                    line: self.readers,
+                                    pause: self.pause,
+                                    until: SpinCond::Equals(0),
+                                    max: None,
+                                });
+                            }
+                        }
+                    }
+                    Step::Released => unreachable!("acquire cannot release"),
+                },
+                RwAcqSt::BumpReaders => {
+                    debug_assert!(matches!(last, OpResult::Value(_)));
+                    let rel = self.unlock.take().expect("release machine reserved");
+                    self.st = RwAcqSt::ReleaseAfterBump(rel);
+                    last = OpResult::Started;
+                }
+                RwAcqSt::ReleaseAfterBump(sm) => match sm.on(rt, last) {
+                    Step::Do(op) => return Step::Do(op),
+                    Step::Released => return Step::Acquired(self.handover),
+                    Step::Acquired(_) => unreachable!("release cannot acquire"),
+                },
+                RwAcqSt::DrainReaders => {
+                    debug_assert!(matches!(last, OpResult::Value(0)));
+                    return Step::Acquired(self.handover);
+                }
+            }
+        }
+    }
+}
+
+enum RwRelSt {
+    DecReaders,
+    Unlock(RelSm),
+    Done,
+}
+
+/// Reader/writer release state machine.
+pub struct RwRelSm {
+    #[expect(dead_code, reason = "kept for symmetry and debugging")]
+    mode: RwMode,
+    readers: LineId,
+    st: RwRelSt,
+}
+
+impl RwRelSm {
+    /// Advances the release (same protocol as [`RelSm::on`]).
+    pub fn on(&mut self, rt: &mut ThreadRt<'_>, last: OpResult) -> Step {
+        match &mut self.st {
+            RwRelSt::DecReaders => match last {
+                OpResult::Started => {
+                    self.st = RwRelSt::Done;
+                    Step::Do(Op::Rmw(self.readers, RmwKind::FetchAdd(u64::MAX)))
+                }
+                other => panic!("rwlock read release: unexpected {other:?}"),
+            },
+            RwRelSt::Done => {
+                debug_assert!(matches!(last, OpResult::Value(_)));
+                Step::Released
+            }
+            RwRelSt::Unlock(sm) => match sm.on(rt, last) {
+                Step::Do(op) => Step::Do(op),
+                Step::Released => Step::Released,
+                Step::Acquired(_) => unreachable!("release cannot acquire"),
+            },
+        }
+    }
+}

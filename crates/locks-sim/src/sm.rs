@@ -1,0 +1,160 @@
+//! Acquire/release state machines with uniform dispatch.
+
+use std::rc::Rc;
+
+use poly_sim::{Op, OpResult, ThreadRt, Tid};
+
+use crate::algos::{clh, mcs, mutex, mutexee, tas, ticket, ttas};
+use crate::lock::{LockInner, LockKind, PathOverhead};
+
+/// How an acquisition obtained the lock (for the paper's handover
+/// statistics and MUTEXEE's adaptation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Handover {
+    /// The lock was free (or nearly so) on arrival.
+    Uncontended,
+    /// Obtained after busy-waiting in user space.
+    Spin,
+    /// Obtained after at least one futex sleep.
+    Futex,
+}
+
+/// One step of a lock state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Step {
+    /// Issue this operation and call `on` again with its result.
+    Do(Op),
+    /// The lock is now held.
+    Acquired(Handover),
+    /// The lock is now released.
+    Released,
+}
+
+/// An in-progress lock acquisition.
+pub struct AcqSm {
+    lock: Rc<LockInner>,
+    tid: Tid,
+    state: AcqState,
+    pre: Option<u64>,
+    awaiting_pre: bool,
+}
+
+pub(crate) enum AcqState {
+    Tas(tas::Acq),
+    Ttas(ttas::Acq),
+    Ticket(ticket::Acq),
+    Mcs(mcs::Acq),
+    Clh(clh::Acq),
+    Mutex(mutex::Acq),
+    Mutexee(mutexee::Acq),
+}
+
+impl AcqSm {
+    pub(crate) fn new(lock: Rc<LockInner>, tid: Tid) -> Self {
+        let state = match lock.kind {
+            LockKind::Tas => AcqState::Tas(tas::Acq::new()),
+            LockKind::Ttas => AcqState::Ttas(ttas::Acq::new()),
+            LockKind::Ticket => AcqState::Ticket(ticket::Acq::new()),
+            LockKind::Mcs => AcqState::Mcs(mcs::Acq::new()),
+            LockKind::Clh => AcqState::Clh(clh::Acq::new()),
+            LockKind::Mutex => AcqState::Mutex(mutex::Acq::new()),
+            LockKind::Mutexee => AcqState::Mutexee(mutexee::Acq::new()),
+        };
+        let overhead =
+            lock.params.overhead.unwrap_or_else(|| PathOverhead::default_for(lock.kind));
+        let pre = (overhead.lock > 0).then_some(overhead.lock);
+        Self { lock, tid, state, pre, awaiting_pre: false }
+    }
+
+    /// Advances the acquisition. Call first with [`OpResult::Started`], then
+    /// with the result of each requested operation.
+    pub fn on(&mut self, rt: &mut ThreadRt<'_>, last: OpResult) -> Step {
+        // Fast-path bookkeeping cost precedes the protocol itself.
+        let mut last = last;
+        if let Some(c) = self.pre.take() {
+            debug_assert!(matches!(last, OpResult::Started));
+            self.awaiting_pre = true;
+            return Step::Do(Op::Work(c));
+        }
+        if self.awaiting_pre {
+            self.awaiting_pre = false;
+            last = OpResult::Started;
+        }
+        let step = match &mut self.state {
+            AcqState::Tas(s) => s.on(&self.lock, self.tid, rt, last),
+            AcqState::Ttas(s) => s.on(&self.lock, self.tid, rt, last),
+            AcqState::Ticket(s) => s.on(&self.lock, self.tid, rt, last),
+            AcqState::Mcs(s) => s.on(&self.lock, self.tid, rt, last),
+            AcqState::Clh(s) => s.on(&self.lock, self.tid, rt, last),
+            AcqState::Mutex(s) => s.on(&self.lock, self.tid, rt, last),
+            AcqState::Mutexee(s) => s.on(&self.lock, self.tid, rt, last),
+        };
+        if let Step::Acquired(h) = step {
+            if self.lock.kind == LockKind::Mutexee {
+                mutexee::note_acquisition(&self.lock, h);
+            }
+        }
+        step
+    }
+}
+
+/// An in-progress lock release.
+pub struct RelSm {
+    lock: Rc<LockInner>,
+    tid: Tid,
+    state: RelState,
+    pre: Option<u64>,
+    awaiting_pre: bool,
+}
+
+pub(crate) enum RelState {
+    Tas(tas::Rel),
+    Ttas(ttas::Rel),
+    Ticket(ticket::Rel),
+    Mcs(mcs::Rel),
+    Clh(clh::Rel),
+    Mutex(mutex::Rel),
+    Mutexee(mutexee::Rel),
+}
+
+impl RelSm {
+    pub(crate) fn new(lock: Rc<LockInner>, tid: Tid) -> Self {
+        let state = match lock.kind {
+            LockKind::Tas => RelState::Tas(tas::Rel::new()),
+            LockKind::Ttas => RelState::Ttas(ttas::Rel::new()),
+            LockKind::Ticket => RelState::Ticket(ticket::Rel::new()),
+            LockKind::Mcs => RelState::Mcs(mcs::Rel::new()),
+            LockKind::Clh => RelState::Clh(clh::Rel::new()),
+            LockKind::Mutex => RelState::Mutex(mutex::Rel::new()),
+            LockKind::Mutexee => RelState::Mutexee(mutexee::Rel::new()),
+        };
+        let overhead =
+            lock.params.overhead.unwrap_or_else(|| PathOverhead::default_for(lock.kind));
+        let pre = (overhead.unlock > 0).then_some(overhead.unlock);
+        Self { lock, tid, state, pre, awaiting_pre: false }
+    }
+
+    /// Advances the release. Call first with [`OpResult::Started`], then
+    /// with the result of each requested operation.
+    pub fn on(&mut self, rt: &mut ThreadRt<'_>, last: OpResult) -> Step {
+        let mut last = last;
+        if let Some(c) = self.pre.take() {
+            debug_assert!(matches!(last, OpResult::Started));
+            self.awaiting_pre = true;
+            return Step::Do(Op::Work(c));
+        }
+        if self.awaiting_pre {
+            self.awaiting_pre = false;
+            last = OpResult::Started;
+        }
+        match &mut self.state {
+            RelState::Tas(s) => s.on(&self.lock, self.tid, rt, last),
+            RelState::Ttas(s) => s.on(&self.lock, self.tid, rt, last),
+            RelState::Ticket(s) => s.on(&self.lock, self.tid, rt, last),
+            RelState::Mcs(s) => s.on(&self.lock, self.tid, rt, last),
+            RelState::Clh(s) => s.on(&self.lock, self.tid, rt, last),
+            RelState::Mutex(s) => s.on(&self.lock, self.tid, rt, last),
+            RelState::Mutexee(s) => s.on(&self.lock, self.tid, rt, last),
+        }
+    }
+}

@@ -1,0 +1,311 @@
+//! The spin-then-sleep communication benchmark of Figure 7 (`ss-T`).
+//!
+//! At most two threads are *active* at any time; the rest sleep on a futex.
+//! Active threads hand a token to each other through user-space spinning.
+//! After `T` busy-waiting handovers, the token holder wakes one sleeper to
+//! take its slot and goes to sleep itself — so `T` is the ratio of
+//! busy-waiting handovers over futex handovers, exactly the knob the paper
+//! sweeps. The degenerate modes reproduce the figure's baselines: `spin`
+//! passes the token around *all* threads with busy waiting, `sleep` hands
+//! over exclusively through futex wake-ups.
+//!
+//! Scenario lines: a `token` word (holds `tid + 1` of the thread whose turn
+//! it is), a `sleep` futex word, and two `slot` words naming the active
+//! pair (0 marks a slot whose replacement is still waking up). Only the
+//! token holder ever retires, so at most one slot is empty at a time; a
+//! holder defers retirement while its partner slot is empty.
+
+use std::rc::Rc;
+
+use poly_sim::{
+    LineId, Op, OpResult, PauseKind, Program, RmwKind, SimBuilder, SpinCond, ThreadRt,
+};
+
+/// Communication flavor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SsMode {
+    /// All handovers through futex sleep/wake ("sleep" in Figure 7).
+    SleepOnly,
+    /// All threads spin on the token ("spin" in Figure 7).
+    SpinOnly,
+    /// Two active threads spin; every `T` spin handovers, one futex
+    /// handover rotates a sleeper in (`ss-T` in Figure 7).
+    SpinSleep(u64),
+}
+
+impl SsMode {
+    /// Label used in the figure.
+    pub fn label(&self) -> String {
+        match self {
+            SsMode::SleepOnly => "sleep".into(),
+            SsMode::SpinOnly => "spin".into(),
+            SsMode::SpinSleep(t) => format!("ss-{t}"),
+        }
+    }
+}
+
+/// Shared lines of one `ss` scenario.
+#[derive(Clone)]
+pub struct SsShared {
+    mode: SsMode,
+    threads: usize,
+    token: LineId,
+    sleep: LineId,
+    slots: Rc<[LineId; 2]>,
+}
+
+impl SsShared {
+    /// Allocates the scenario lines. Thread ids must be `0..threads` in
+    /// spawn order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn alloc(b: &mut SimBuilder, mode: SsMode, threads: usize) -> Self {
+        assert!(threads >= 1, "ss needs at least one thread");
+        // Thread 0 holds the token initially; slots start with threads 0/1.
+        let token = b.alloc_line(1);
+        let sleep = b.alloc_line(0);
+        let slot_a = b.alloc_line(1);
+        let slot_b = b.alloc_line(if threads >= 2 { 2 } else { 0 });
+        Self { mode, threads, token, sleep, slots: Rc::new([slot_a, slot_b]) }
+    }
+
+    /// Builds the program for thread `tid`.
+    pub fn program(&self, tid: usize) -> SsProgram {
+        SsProgram { sh: self.clone(), tid, st: St::Boot, quota: 0, my_slot: 0 }
+    }
+}
+
+enum St {
+    Boot,
+    // SpinOnly / SpinSleep active path.
+    AwaitToken,
+    WaitPartner,
+    PassToken,
+    RetireCheck,
+    RetireSlot,
+    RetireWake,
+    RetireLoadPartner,
+    RetirePass,
+    Sleeping,
+    ClaimProbeA,
+    ClaimStore,
+    // SleepOnly chain.
+    BootWork,
+    ChainWake,
+    ChainSleep,
+    SoloWork,
+    SoloWake,
+}
+
+/// One thread of the `ss` benchmark; build via [`SsShared::program`].
+pub struct SsProgram {
+    sh: SsShared,
+    tid: usize,
+    st: St,
+    quota: u64,
+    my_slot: usize,
+}
+
+impl SsProgram {
+    fn spin_token(&self) -> Op {
+        Op::SpinLoad {
+            line: self.sh.token,
+            pause: PauseKind::Mbar,
+            until: SpinCond::Equals(self.tid as u64 + 1),
+            max: None,
+        }
+    }
+
+    fn other_slot(&self) -> LineId {
+        self.sh.slots[1 - self.my_slot]
+    }
+
+    fn my_slot_line(&self) -> LineId {
+        self.sh.slots[self.my_slot]
+    }
+}
+
+impl Program for SsProgram {
+    fn resume(&mut self, rt: &mut ThreadRt<'_>, last: OpResult) -> Op {
+        let n = self.sh.threads;
+        match self.sh.mode {
+            SsMode::SleepOnly => self.resume_sleep_only(rt, last, n),
+            SsMode::SpinOnly => self.resume_spin_only(rt, last, n),
+            SsMode::SpinSleep(t) => self.resume_spin_sleep(rt, last, n, t),
+        }
+    }
+}
+
+impl SsProgram {
+    fn resume_sleep_only(&mut self, rt: &mut ThreadRt<'_>, _last: OpResult, n: usize) -> Op {
+        if n == 1 {
+            // Degenerate: a lone thread measuring wake-call round-trips.
+            return match self.st {
+                St::Boot | St::SoloWake => {
+                    self.st = St::SoloWork;
+                    Op::Work(100)
+                }
+                St::SoloWork => {
+                    rt.counters.ops += 1;
+                    self.st = St::SoloWake;
+                    Op::FutexWake { line: self.sh.sleep, n: 1 }
+                }
+                _ => unreachable!("solo sleep-only state"),
+            };
+        }
+        match self.st {
+            St::Boot => {
+                if self.tid == 0 {
+                    // Give everyone else time to fall asleep.
+                    self.st = St::BootWork;
+                    Op::Work(200_000)
+                } else {
+                    self.st = St::ChainSleep;
+                    Op::FutexWait { line: self.sh.sleep, expect: 0, timeout: None }
+                }
+            }
+            St::BootWork | St::ChainSleep => {
+                // Our turn (either bootstrapping or woken up).
+                rt.counters.ops += 1;
+                rt.counters.futex_handovers += 1;
+                self.st = St::ChainWake;
+                Op::FutexWake { line: self.sh.sleep, n: 1 }
+            }
+            St::ChainWake => {
+                self.st = St::ChainSleep;
+                Op::FutexWait { line: self.sh.sleep, expect: 0, timeout: None }
+            }
+            _ => unreachable!("sleep-only state"),
+        }
+    }
+
+    fn resume_spin_only(&mut self, rt: &mut ThreadRt<'_>, _last: OpResult, n: usize) -> Op {
+        match self.st {
+            St::Boot => {
+                self.st = St::AwaitToken;
+                self.spin_token()
+            }
+            St::AwaitToken => {
+                rt.counters.ops += 1;
+                rt.counters.spin_handovers += 1;
+                self.st = St::PassToken;
+                let next = (self.tid + 1) % n;
+                Op::Rmw(self.sh.token, RmwKind::Store(next as u64 + 1))
+            }
+            St::PassToken => {
+                self.st = St::AwaitToken;
+                self.spin_token()
+            }
+            _ => unreachable!("spin-only state"),
+        }
+    }
+
+    fn resume_spin_sleep(
+        &mut self,
+        rt: &mut ThreadRt<'_>,
+        last: OpResult,
+        n: usize,
+        t: u64,
+    ) -> Op {
+        if n <= 2 {
+            // Nobody to rotate in: identical to spin-only.
+            return self.resume_spin_only(rt, last, n);
+        }
+        match self.st {
+            St::Boot => {
+                if self.tid < 2 {
+                    self.my_slot = self.tid;
+                    self.st = St::AwaitToken;
+                    self.spin_token()
+                } else {
+                    self.st = St::Sleeping;
+                    Op::FutexWait { line: self.sh.sleep, expect: 0, timeout: None }
+                }
+            }
+            St::AwaitToken => {
+                rt.counters.ops += 1;
+                rt.counters.spin_handovers += 1;
+                self.quota = self.quota.saturating_add(1);
+                if self.quota >= t {
+                    // Candidate retirement: only if the partner slot is
+                    // occupied (at most one wake-up in flight at a time).
+                    self.st = St::RetireCheck;
+                    Op::Load(self.other_slot())
+                } else {
+                    self.st = St::WaitPartner;
+                    Op::SpinLoad {
+                        line: self.other_slot(),
+                        pause: PauseKind::Mbar,
+                        until: SpinCond::Differs(0),
+                        max: None,
+                    }
+                }
+            }
+            St::RetireCheck => {
+                if last.value() == 0 {
+                    // Partner still waking a replacement: defer retirement
+                    // and keep communicating (quota stays saturated).
+                    self.st = St::WaitPartner;
+                    Op::SpinLoad {
+                        line: self.other_slot(),
+                        pause: PauseKind::Mbar,
+                        until: SpinCond::Differs(0),
+                        max: None,
+                    }
+                } else {
+                    self.quota = 0;
+                    self.st = St::RetireSlot;
+                    Op::Rmw(self.my_slot_line(), RmwKind::Store(0))
+                }
+            }
+            St::WaitPartner => {
+                let occupant = last.value();
+                debug_assert!(occupant != 0);
+                self.st = St::PassToken;
+                Op::Rmw(self.sh.token, RmwKind::Store(occupant))
+            }
+            St::PassToken => {
+                self.st = St::AwaitToken;
+                self.spin_token()
+            }
+            St::RetireSlot => {
+                rt.counters.futex_handovers += 1;
+                self.st = St::RetireWake;
+                Op::FutexWake { line: self.sh.sleep, n: 1 }
+            }
+            St::RetireWake => {
+                self.st = St::RetireLoadPartner;
+                Op::Load(self.other_slot())
+            }
+            St::RetireLoadPartner => {
+                let occupant = last.value();
+                debug_assert!(occupant != 0, "partner slot must be occupied while retiring");
+                self.st = St::RetirePass;
+                Op::Rmw(self.sh.token, RmwKind::Store(occupant))
+            }
+            St::RetirePass => {
+                self.st = St::Sleeping;
+                Op::FutexWait { line: self.sh.sleep, expect: 0, timeout: None }
+            }
+            St::Sleeping => {
+                // Woken: claim the free slot (probe A first; at most one
+                // slot is free, so a non-zero A means B is ours).
+                self.st = St::ClaimProbeA;
+                Op::Load(self.sh.slots[0])
+            }
+            St::ClaimProbeA => {
+                self.my_slot = if last.value() == 0 { 0 } else { 1 };
+                self.quota = 0;
+                self.st = St::ClaimStore;
+                Op::Rmw(self.my_slot_line(), RmwKind::Store(self.tid as u64 + 1))
+            }
+            St::ClaimStore => {
+                self.st = St::AwaitToken;
+                self.spin_token()
+            }
+            _ => unreachable!("spin-sleep state"),
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Pure waiting workloads for §4: what does waiting *cost*?
+//!
+//! Threads wait forever on a lock that is never released, in one of the
+//! paper's styles, so power and CPI can be measured in isolation
+//! (Figures 3, 4 and 5).
+
+use poly_sim::{LineId, Op, OpResult, PauseKind, Program, SpinCond, ThreadRt, VfPoint};
+
+/// A §4 waiting style.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitStyle {
+    /// Sleep with futex (the word never changes).
+    Sleep,
+    /// Global spinning: hammer atomic exchanges on the lock word.
+    GlobalSpin,
+    /// Local spinning with the given pausing flavor.
+    LocalSpin(PauseKind),
+    /// Block in `monitor/mwait`.
+    Mwait,
+    /// Drop the core to the given VF point, then spin locally.
+    Dvfs(VfPoint, PauseKind),
+}
+
+impl WaitStyle {
+    /// Label used in the paper's figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            WaitStyle::Sleep => "sleeping",
+            WaitStyle::GlobalSpin => "global",
+            WaitStyle::LocalSpin(PauseKind::None) => "local",
+            WaitStyle::LocalSpin(PauseKind::Nop) => "local-nop",
+            WaitStyle::LocalSpin(PauseKind::Pause) => "local-pause",
+            WaitStyle::LocalSpin(PauseKind::Mbar) => "local-mbar",
+            WaitStyle::Mwait => "monitor/mwait",
+            WaitStyle::Dvfs(..) => "dvfs",
+        }
+    }
+}
+
+/// A thread that waits forever on `line` (which must hold 1 and never
+/// change) in the configured style.
+pub struct Waiter {
+    line: LineId,
+    style: WaitStyle,
+    vf_set: bool,
+}
+
+impl Waiter {
+    /// Creates a waiter on the given (never-released) lock line.
+    pub fn new(line: LineId, style: WaitStyle) -> Self {
+        Self { line, style, vf_set: false }
+    }
+}
+
+impl Program for Waiter {
+    fn resume(&mut self, _rt: &mut ThreadRt<'_>, _last: OpResult) -> Op {
+        match self.style {
+            WaitStyle::Sleep => Op::FutexWait { line: self.line, expect: 1, timeout: None },
+            WaitStyle::GlobalSpin => Op::Rmw(self.line, poly_sim::RmwKind::Swap(1)),
+            WaitStyle::LocalSpin(pause) => Op::SpinLoad {
+                line: self.line,
+                pause,
+                until: SpinCond::Equals(0),
+                max: None,
+            },
+            WaitStyle::Mwait => Op::MonitorMwait { line: self.line, expect: 1 },
+            WaitStyle::Dvfs(vf, pause) => {
+                if !self.vf_set {
+                    self.vf_set = true;
+                    Op::SetVf(vf)
+                } else {
+                    Op::SpinLoad {
+                        line: self.line,
+                        pause,
+                        until: SpinCond::Equals(0),
+                        max: None,
+                    }
+                }
+            }
+        }
+    }
+}

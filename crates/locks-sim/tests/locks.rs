@@ -1,0 +1,246 @@
+//! Cross-algorithm behavioral tests on the simulator.
+
+use poly_locks_sim::{
+    Dist, LockKind, LockParams, LockStress, LockStressConfig, MutexeeMode, MutexeeParams, SimLock,
+    SsMode, SsShared,
+};
+use poly_sim::{MachineConfig, PinPolicy, RunSpec, SimBuilder, SimReport};
+
+fn stress(kind: LockKind, threads: usize, cs: u64, duration: u64) -> SimReport {
+    stress_with(kind, threads, cs, duration, LockParams::default())
+}
+
+fn stress_with(
+    kind: LockKind,
+    threads: usize,
+    cs: u64,
+    duration: u64,
+    params: LockParams,
+) -> SimReport {
+    let mut b = SimBuilder::new(MachineConfig::tiny());
+    let lock = SimLock::alloc(&mut b, kind, threads, params);
+    for _ in 0..threads {
+        b.spawn(
+            Box::new(LockStress::new(
+                vec![lock.clone()],
+                LockStressConfig { cs: Dist::Fixed(cs), non_cs: Dist::Fixed(100) },
+            )),
+            PinPolicy::PaperOrder,
+        );
+    }
+    b.run(RunSpec { duration, warmup: duration / 10 })
+}
+
+#[test]
+fn all_locks_preserve_mutual_exclusion_and_progress() {
+    // The CsTracker inside the engine panics on any overlap, so a passing
+    // run *is* the mutual-exclusion proof.
+    for kind in LockKind::ALL {
+        let r = stress(kind, 4, 800, 20_000_000);
+        assert!(
+            r.total_ops > 500,
+            "{} made too little progress: {} ops",
+            kind.label(),
+            r.total_ops
+        );
+        let acquires: u64 = r.threads.iter().map(|t| t.acquires).sum();
+        assert!(acquires >= r.total_ops, "{}: every op acquires", kind.label());
+    }
+}
+
+#[test]
+fn fifo_locks_are_fair_under_contention() {
+    for kind in [LockKind::Ticket, LockKind::Mcs, LockKind::Clh] {
+        let r = stress(kind, 4, 1000, 30_000_000);
+        let ops: Vec<u64> = r.threads.iter().map(|t| t.ops).collect();
+        let min = *ops.iter().min().unwrap() as f64;
+        let max = *ops.iter().max().unwrap() as f64;
+        assert!(
+            max / min < 1.25,
+            "{} should be fair, got per-thread ops {ops:?}",
+            kind.label()
+        );
+    }
+}
+
+#[test]
+fn mutex_sleeps_under_contention_mutexee_mostly_does_not() {
+    let mutex = stress(LockKind::Mutex, 4, 1500, 30_000_000);
+    let mutexee = stress(LockKind::Mutexee, 4, 1500, 30_000_000);
+    assert!(
+        mutex.futex.waits > 100,
+        "MUTEX must use futex under contention, waits = {}",
+        mutex.futex.waits
+    );
+    let mutex_waits_per_op = mutex.futex.waits as f64 / mutex.total_ops as f64;
+    let mutexee_waits_per_op = mutexee.futex.waits as f64 / mutexee.total_ops as f64;
+    assert!(
+        mutexee_waits_per_op < mutex_waits_per_op / 2.0,
+        "MUTEXEE must cut futex traffic: {mutexee_waits_per_op:.4} vs {mutex_waits_per_op:.4}"
+    );
+}
+
+#[test]
+fn mutexee_beats_mutex_on_short_critical_sections() {
+    // The paper's headline micro-result (Figure 8): for CS below ~4000
+    // cycles, MUTEX wastes time in purposeless sleep/wake cycles.
+    let mutex = stress(LockKind::Mutex, 4, 1000, 30_000_000);
+    let mutexee = stress(LockKind::Mutexee, 4, 1000, 30_000_000);
+    assert!(
+        mutexee.total_ops as f64 > 1.2 * mutex.total_ops as f64,
+        "MUTEXEE {} vs MUTEX {}",
+        mutexee.total_ops,
+        mutex.total_ops
+    );
+}
+
+#[test]
+fn uncontested_spinlocks_beat_sleeping_locks() {
+    // Table 2: simple spinlocks have the cheapest acquire/release path.
+    let tas = stress(LockKind::Tas, 1, 100, 8_000_000);
+    let mutex = stress(LockKind::Mutex, 1, 100, 8_000_000);
+    let mcs = stress(LockKind::Mcs, 1, 100, 8_000_000);
+    assert!(tas.total_ops > mutex.total_ops, "TAS {} MUTEX {}", tas.total_ops, mutex.total_ops);
+    assert!(tas.total_ops > mcs.total_ops, "TAS {} MCS {}", tas.total_ops, mcs.total_ops);
+}
+
+#[test]
+fn mutexee_adapts_to_mutex_mode_when_futex_dominates() {
+    // Force futex handovers by making critical sections long and the spin
+    // budget tiny: the adaptation must flip the lock into mutex mode.
+    let params = LockParams {
+        mutexee: MutexeeParams {
+            spin_budget: 200,
+            adapt_period: 32,
+            ..MutexeeParams::default()
+        },
+        ..LockParams::default()
+    };
+    let mut b = SimBuilder::new(MachineConfig::tiny());
+    let lock = SimLock::alloc(&mut b, LockKind::Mutexee, 4, params);
+    for _ in 0..4 {
+        // Think time well above the unlock watch window, so releases cannot
+        // be self-absorbed by the releasing thread re-acquiring.
+        b.spawn(
+            Box::new(LockStress::new(
+                vec![lock.clone()],
+                LockStressConfig { cs: Dist::Fixed(30_000), non_cs: Dist::Fixed(30_000) },
+            )),
+            PinPolicy::PaperOrder,
+        );
+    }
+    assert_eq!(lock.mutexee_mode(), MutexeeMode::Spin, "starts in spin mode");
+    let _ = b.run(RunSpec { duration: 40_000_000, warmup: 0 });
+    assert_eq!(
+        lock.mutexee_mode(),
+        MutexeeMode::Mutex,
+        "long CS + tiny spin budget must flip MUTEXEE to mutex mode"
+    );
+}
+
+#[test]
+fn mutexee_timeout_trades_efficiency_for_bounded_starvation() {
+    // Figure 10 / §5.1: under extreme single-lock contention, MUTEXEE
+    // without timeouts starves sleepers (possibly forever) in exchange for
+    // top throughput and TPP; the sleep timeout bounds every thread's wait
+    // at an efficiency cost.
+    let run = |timeout: Option<u64>| {
+        let mut b = SimBuilder::new(MachineConfig::xeon());
+        let lock = SimLock::alloc(
+            &mut b,
+            LockKind::Mutexee,
+            12,
+            LockParams {
+                mutexee: MutexeeParams { sleep_timeout: timeout, ..MutexeeParams::default() },
+                ..LockParams::default()
+            },
+        );
+        for _ in 0..12 {
+            b.spawn(
+                Box::new(LockStress::new(
+                    vec![lock.clone()],
+                    // Jittered think time: a fixed value would let the
+                    // releaser deterministically win every CAS race.
+                    LockStressConfig { cs: Dist::Fixed(2_000), non_cs: Dist::Uniform(0, 1_000) },
+                )),
+                PinPolicy::PaperOrder,
+            );
+        }
+        b.run(RunSpec { duration: 50_000_000, warmup: 5_000_000 })
+    };
+    let no_timeout = run(None);
+    let with_timeout = run(Some(4_000_000));
+    let progressed = |r: &poly_sim::SimReport| r.threads.iter().filter(|t| t.ops > 0).count();
+    // Unbounded MUTEXEE starves most threads completely.
+    let p_nt = progressed(&no_timeout);
+    assert!(p_nt <= 6, "expected heavy starvation without timeouts, {p_nt}/12 progressed");
+    // The timeout pulls (nearly) everyone through. A couple of
+    // remote-socket threads may still lose every CAS race within the run —
+    // coherence-latency (NUMA) unfairness the model makes visible.
+    assert!(with_timeout.futex.timeouts > 0, "timeouts must fire");
+    let p_t = progressed(&with_timeout);
+    assert!(
+        p_t >= p_nt + 4,
+        "timeouts must bound starvation: {p_t}/12 vs {p_nt}/12 without"
+    );
+    // And fairness costs energy efficiency (the paper's 10.9 vs 6.5
+    // Kacq/Joule at 20 threads).
+    assert!(
+        with_timeout.tpp < no_timeout.tpp,
+        "bounded tails must cost TPP: {} vs {}",
+        with_timeout.tpp,
+        no_timeout.tpp
+    );
+}
+
+#[test]
+fn ss_modes_communicate() {
+    for (mode, min_ops) in [
+        (SsMode::SpinOnly, 2_000u64),
+        (SsMode::SleepOnly, 100),
+        (SsMode::SpinSleep(10), 1_000),
+        (SsMode::SpinSleep(100), 2_000),
+    ] {
+        let mut b = SimBuilder::new(MachineConfig::tiny());
+        let sh = SsShared::alloc(&mut b, mode, 4);
+        for tid in 0..4 {
+            b.spawn(Box::new(sh.program(tid)), PinPolicy::PaperOrder);
+        }
+        let r = b.run(RunSpec { duration: 30_000_000, warmup: 3_000_000 });
+        assert!(
+            r.total_ops > min_ops,
+            "{}: communication stalled, {} ops",
+            mode.label(),
+            r.total_ops
+        );
+    }
+}
+
+#[test]
+fn ss_larger_t_means_fewer_futex_calls() {
+    let run = |t: u64| {
+        let mut b = SimBuilder::new(MachineConfig::tiny());
+        let sh = SsShared::alloc(&mut b, SsMode::SpinSleep(t), 4);
+        for tid in 0..4 {
+            b.spawn(Box::new(sh.program(tid)), PinPolicy::PaperOrder);
+        }
+        let r = b.run(RunSpec { duration: 30_000_000, warmup: 3_000_000 });
+        r.futex.wake_calls as f64 / r.total_ops.max(1) as f64
+    };
+    let t10 = run(10);
+    let t1000 = run(1000);
+    assert!(
+        t1000 < t10 / 5.0,
+        "futex calls per handover must fall with T: T=10 {t10:.4}, T=1000 {t1000:.4}"
+    );
+}
+
+#[test]
+fn runs_are_deterministic_per_kind() {
+    for kind in [LockKind::Mutexee, LockKind::Mcs] {
+        let a = stress(kind, 4, 900, 10_000_000);
+        let b = stress(kind, 4, 900, 10_000_000);
+        assert_eq!(a.total_ops, b.total_ops, "{}", kind.label());
+        assert_eq!(a.futex, b.futex, "{}", kind.label());
+    }
+}

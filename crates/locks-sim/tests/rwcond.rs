@@ -1,0 +1,213 @@
+//! Reader-writer lock and condition-variable behavior on the simulator.
+
+use poly_locks_sim::{
+    CondSm, Dist, LockKind, LockParams, RwAcqSm, RwMode, RwRelSm, SimCondvar, SimLock, SimRwLock,
+    Step,
+};
+use poly_sim::{
+    MachineConfig, Op, OpResult, PinPolicy, Program, RunSpec, SimBuilder, ThreadRt,
+};
+
+/// Read/write stress over one rwlock; writers assert exclusivity through
+/// the CS tracker, readers count concurrent readers through a plain shared
+/// cell (they may overlap each other, never a writer).
+struct RwStress {
+    rw: SimRwLock,
+    write_every: u64,
+    iter: u64,
+    phase: RwPhase,
+    mode: RwMode,
+}
+
+enum RwPhase {
+    Init,
+    Acquiring(RwAcqSm),
+    InCs,
+    Releasing(RwRelSm),
+}
+
+impl Program for RwStress {
+    fn resume(&mut self, rt: &mut ThreadRt<'_>, last: OpResult) -> Op {
+        let mut last = last;
+        loop {
+            match &mut self.phase {
+                RwPhase::Init => {
+                    self.iter += 1;
+                    self.mode = if self.iter % self.write_every == 0 {
+                        RwMode::Write
+                    } else {
+                        RwMode::Read
+                    };
+                    self.phase = RwPhase::Acquiring(self.rw.begin_acquire(rt.tid, self.mode));
+                    last = OpResult::Started;
+                }
+                RwPhase::Acquiring(sm) => match sm.on(rt, last) {
+                    Step::Do(op) => return op,
+                    Step::Acquired(_) => {
+                        if self.mode == RwMode::Write {
+                            rt.enter_cs(self.rw.key());
+                        }
+                        self.phase = RwPhase::InCs;
+                        return Op::Work(500);
+                    }
+                    Step::Released => unreachable!(),
+                },
+                RwPhase::InCs => {
+                    if self.mode == RwMode::Write {
+                        rt.exit_cs(self.rw.key());
+                    }
+                    self.phase = RwPhase::Releasing(self.rw.begin_release(rt.tid, self.mode));
+                    last = OpResult::Started;
+                }
+                RwPhase::Releasing(sm) => match sm.on(rt, last) {
+                    Step::Do(op) => return op,
+                    Step::Released => {
+                        rt.counters.ops += 1;
+                        if self.mode == RwMode::Write {
+                            rt.counters.aux[0] += 1;
+                        }
+                        self.phase = RwPhase::Init;
+                        last = OpResult::Started;
+                    }
+                    Step::Acquired(_) => unreachable!(),
+                },
+            }
+        }
+    }
+}
+
+#[test]
+fn rwlock_supports_mixed_readers_and_writers() {
+    for kind in [LockKind::Ttas, LockKind::Mutexee, LockKind::Mutex] {
+        let mut b = SimBuilder::new(MachineConfig::tiny());
+        let rw = SimRwLock::alloc(&mut b, kind, 4, LockParams::default());
+        for _ in 0..4 {
+            b.spawn(
+                Box::new(RwStress {
+                    rw: rw.clone(),
+                    write_every: 10,
+                    iter: 0,
+                    phase: RwPhase::Init,
+                    mode: RwMode::Read,
+                }),
+                PinPolicy::PaperOrder,
+            );
+        }
+        let r = b.run(RunSpec { duration: 20_000_000, warmup: 2_000_000 });
+        assert!(r.total_ops > 1_000, "{}: rwlock stalled, {} ops", kind.label(), r.total_ops);
+        let writes: u64 = r.threads.iter().map(|t| t.aux[0]).sum();
+        assert!(writes > 50, "{}: writers starved, {} writes", kind.label(), writes);
+    }
+}
+
+/// A bounded single-slot queue: producer and consumers coordinate with a
+/// mutex + condvar, like RocksDB's write queue.
+struct CondPingPong {
+    lock: SimLock,
+    cond: SimCondvar,
+    slot: poly_sim::LineId,
+    producer: bool,
+    phase: CondPhase,
+}
+
+enum CondPhase {
+    Init,
+    Acquiring(poly_locks_sim::AcqSm),
+    CheckSlot,
+    Waiting(CondSm),
+    FillOrDrain,
+    Releasing(poly_locks_sim::RelSm),
+    Signaling(CondSm),
+}
+
+impl Program for CondPingPong {
+    fn resume(&mut self, rt: &mut ThreadRt<'_>, last: OpResult) -> Op {
+        let mut last = last;
+        loop {
+            match &mut self.phase {
+                CondPhase::Init => {
+                    self.phase = CondPhase::Acquiring(self.lock.begin_acquire(rt.tid));
+                    last = OpResult::Started;
+                }
+                CondPhase::Acquiring(sm) => match sm.on(rt, last) {
+                    Step::Do(op) => return op,
+                    Step::Acquired(_) => {
+                        self.phase = CondPhase::CheckSlot;
+                        return Op::Load(self.slot);
+                    }
+                    Step::Released => unreachable!(),
+                },
+                CondPhase::CheckSlot => {
+                    let v = last.value();
+                    let ready = if self.producer { v == 0 } else { v == 1 };
+                    if ready {
+                        self.phase = CondPhase::FillOrDrain;
+                        return Op::Rmw(
+                            self.slot,
+                            poly_sim::RmwKind::Store(u64::from(self.producer)),
+                        );
+                    }
+                    self.phase = CondPhase::Waiting(self.cond.begin_wait(&self.lock, rt.tid));
+                    last = OpResult::Started;
+                }
+                CondPhase::Waiting(sm) => match sm.on(rt, last) {
+                    Step::Do(op) => return op,
+                    Step::Acquired(_) => {
+                        self.phase = CondPhase::CheckSlot;
+                        return Op::Load(self.slot);
+                    }
+                    Step::Released => unreachable!(),
+                },
+                CondPhase::FillOrDrain => {
+                    rt.counters.ops += 1;
+                    self.phase = CondPhase::Releasing(self.lock.begin_release(rt.tid));
+                    last = OpResult::Started;
+                }
+                CondPhase::Releasing(sm) => match sm.on(rt, last) {
+                    Step::Do(op) => return op,
+                    Step::Released => {
+                        self.phase = CondPhase::Signaling(self.cond.begin_broadcast());
+                        last = OpResult::Started;
+                    }
+                    Step::Acquired(_) => unreachable!(),
+                },
+                CondPhase::Signaling(sm) => match sm.on(rt, last) {
+                    Step::Do(op) => return op,
+                    Step::Released => {
+                        self.phase = CondPhase::Init;
+                        last = OpResult::Started;
+                    }
+                    Step::Acquired(_) => unreachable!(),
+                },
+            }
+        }
+    }
+}
+
+#[test]
+fn condvar_ping_pong_makes_progress_without_lost_wakeups() {
+    for kind in [LockKind::Mutex, LockKind::Mutexee] {
+        let mut b = SimBuilder::new(MachineConfig::tiny());
+        let lock = SimLock::alloc(&mut b, kind, 2, LockParams::default());
+        let cond = SimCondvar::alloc(&mut b);
+        let slot = b.alloc_line(0);
+        for producer in [true, false] {
+            b.spawn(
+                Box::new(CondPingPong {
+                    lock: lock.clone(),
+                    cond,
+                    slot,
+                    producer,
+                    phase: CondPhase::Init,
+                }),
+                PinPolicy::PaperOrder,
+            );
+        }
+        let r = b.run(RunSpec { duration: 40_000_000, warmup: 4_000_000 });
+        // Strict alternation: producer and consumer op counts within 1.
+        let p = r.threads[0].ops as i64;
+        let c = r.threads[1].ops as i64;
+        assert!((p - c).abs() <= 1, "{}: producer {p} consumer {c}", kind.label());
+        assert!(p > 200, "{}: ping-pong stalled at {p} rounds", kind.label());
+    }
+}

@@ -1,0 +1,514 @@
+//! OS scheduler model: run queues, quanta, wake placement, oversubscription.
+//!
+//! This crate is the process-scheduling substrate of the "Unlocking Energy"
+//! (USENIX ATC 2016) reproduction. The paper's §6 results hinge on scheduler
+//! behavior: with more software threads than hardware contexts ("thread
+//! oversubscription", as in MySQL and SQLite), spinlocks collapse because a
+//! spinning thread occupies a context that the lock holder needs, and fair
+//! locks (TICKET, MCS) suffer most because the next-in-line thread may be
+//! descheduled when the lock is handed to it.
+//!
+//! The model is deliberately simple — per-context FIFO run queues with a
+//! round-robin quantum, idle-first wake placement with last-context affinity,
+//! and optional hard pinning — but it reproduces those first-order effects.
+//! It is a pure decision engine: it never advances time itself; the
+//! discrete-event simulator asks for decisions and charges context-switch
+//! costs and idle-exit latencies.
+//!
+//! # Examples
+//!
+//! ```
+//! use poly_sched::{SchedConfig, Scheduler, WakeDecision};
+//!
+//! let mut s = Scheduler::new(SchedConfig::default(), 2, vec![0, 1]);
+//! s.add_thread(None);
+//! s.add_thread(None);
+//! s.add_thread(None);
+//! assert!(matches!(s.make_runnable(0), WakeDecision::RunNow { ctx: 0 }));
+//! assert!(matches!(s.make_runnable(1), WakeDecision::RunNow { ctx: 1 }));
+//! // No context free: thread 2 queues behind thread 0's context or 1's.
+//! assert!(matches!(s.make_runnable(2), WakeDecision::Enqueued { .. }));
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::collections::VecDeque;
+
+/// Simulated thread identifier (dense, assigned by [`Scheduler::add_thread`]).
+pub type Tid = usize;
+
+/// Hardware-context identifier.
+pub type CtxId = usize;
+
+/// Scheduler timing parameters (costs are *charged by the simulator*; the
+/// scheduler itself only decides).
+#[derive(Debug, Clone)]
+pub struct SchedConfig {
+    /// Round-robin time slice, in cycles. Linux CFS on the paper's servers
+    /// preempts CPU-bound tasks every few milliseconds; 2.8 M cycles is 1 ms
+    /// at the Xeon's 2.8 GHz.
+    pub quantum_cycles: u64,
+    /// Direct cost of a context switch (register/state swap plus scheduler
+    /// bookkeeping), charged to the incoming thread.
+    pub ctx_switch_cycles: u64,
+    /// Scheduler-side latency between a wake-up being initiated and the
+    /// woken thread being runnable on its context (run-queue locking, IPI).
+    /// Together with idle-exit latency this forms the paper's ≥4000-cycle
+    /// "ready to execute" tail of the 7000-cycle turnaround (§4.3).
+    pub wake_latency_cycles: u64,
+}
+
+impl Default for SchedConfig {
+    fn default() -> Self {
+        Self {
+            quantum_cycles: 2_800_000,
+            ctx_switch_cycles: 2_000,
+            wake_latency_cycles: 2_400,
+        }
+    }
+}
+
+/// State of a simulated thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThreadState {
+    /// Registered but never made runnable.
+    New,
+    /// Waiting in some context's run queue.
+    Runnable(CtxId),
+    /// Executing on the context.
+    Running(CtxId),
+    /// Blocked (futex sleep, I/O); owned by the waker.
+    Blocked,
+    /// Exited.
+    Finished,
+}
+
+/// Outcome of waking a thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WakeDecision {
+    /// The thread was dispatched to an idle context and runs immediately
+    /// (after wake/idle-exit latencies charged by the simulator).
+    RunNow {
+        /// Context the thread will run on.
+        ctx: CtxId,
+    },
+    /// All eligible contexts are busy; the thread was appended to the run
+    /// queue of `ctx` and will run when chosen.
+    Enqueued {
+        /// Context whose run queue holds the thread.
+        ctx: CtxId,
+        /// Number of threads ahead of it (including the running one).
+        ahead: usize,
+    },
+}
+
+/// Outcome of releasing a context (block/finish/yield/preempt).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwitchDecision {
+    /// Another thread takes over the context (charge a context switch).
+    SwitchTo(Tid),
+    /// The run queue is empty; the context goes idle.
+    Idle,
+    /// The current thread keeps running (yield/preemption with nobody
+    /// waiting).
+    Keep,
+}
+
+/// The scheduler: per-context FIFO run queues with round-robin preemption.
+#[derive(Debug, Clone)]
+pub struct Scheduler {
+    cfg: SchedConfig,
+    /// Preference order for placing wake-ups on idle contexts (the paper
+    /// pins threads to cores-then-hyperthreads; we reuse that order).
+    placement: Vec<CtxId>,
+    queues: Vec<VecDeque<Tid>>,
+    running: Vec<Option<Tid>>,
+    state: Vec<ThreadState>,
+    pinned: Vec<Option<CtxId>>,
+    last_ctx: Vec<Option<CtxId>>,
+}
+
+impl Scheduler {
+    /// Creates a scheduler for `contexts` hardware contexts.
+    ///
+    /// `placement` is the context preference order for wake placement; it
+    /// must be a permutation of `0..contexts`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `placement` is not a permutation of `0..contexts`.
+    pub fn new(cfg: SchedConfig, contexts: usize, placement: Vec<CtxId>) -> Self {
+        let mut check: Vec<CtxId> = placement.clone();
+        check.sort_unstable();
+        assert_eq!(
+            check,
+            (0..contexts).collect::<Vec<_>>(),
+            "placement must be a permutation of all contexts"
+        );
+        Self {
+            cfg,
+            placement,
+            queues: vec![VecDeque::new(); contexts],
+            running: vec![None; contexts],
+            state: Vec::new(),
+            pinned: Vec::new(),
+            last_ctx: Vec::new(),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SchedConfig {
+        &self.cfg
+    }
+
+    /// Number of hardware contexts.
+    pub fn contexts(&self) -> usize {
+        self.running.len()
+    }
+
+    /// Registers a new thread, optionally hard-pinned to a context, and
+    /// returns its id. The thread starts [`ThreadState::New`]; call
+    /// [`Scheduler::make_runnable`] to start it.
+    pub fn add_thread(&mut self, pinned: Option<CtxId>) -> Tid {
+        if let Some(ctx) = pinned {
+            assert!(ctx < self.contexts(), "pin target {ctx} out of range");
+        }
+        let tid = self.state.len();
+        self.state.push(ThreadState::New);
+        self.pinned.push(pinned);
+        self.last_ctx.push(None);
+        tid
+    }
+
+    /// Number of registered threads.
+    pub fn threads(&self) -> usize {
+        self.state.len()
+    }
+
+    /// Current state of a thread.
+    pub fn thread_state(&self, tid: Tid) -> ThreadState {
+        self.state[tid]
+    }
+
+    /// Thread currently running on `ctx`, if any.
+    pub fn running_on(&self, ctx: CtxId) -> Option<Tid> {
+        self.running[ctx]
+    }
+
+    /// Context a thread currently runs on, if any.
+    pub fn ctx_of(&self, tid: Tid) -> Option<CtxId> {
+        match self.state[tid] {
+            ThreadState::Running(ctx) => Some(ctx),
+            _ => None,
+        }
+    }
+
+    /// Length of a context's run queue (excluding the running thread).
+    pub fn queue_len(&self, ctx: CtxId) -> usize {
+        self.queues[ctx].len()
+    }
+
+    /// Makes a `New` or `Blocked` thread runnable and places it.
+    ///
+    /// Placement policy (a simplified `select_task_rq_fair`):
+    /// 1. a hard pin always wins;
+    /// 2. otherwise the last context the thread ran on, if idle (cache
+    ///    affinity);
+    /// 3. otherwise the first idle context in placement order;
+    /// 4. otherwise the least-loaded context (shortest run queue), with
+    ///    placement order breaking ties.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the thread is already runnable, running or finished.
+    pub fn make_runnable(&mut self, tid: Tid) -> WakeDecision {
+        assert!(
+            matches!(self.state[tid], ThreadState::New | ThreadState::Blocked),
+            "make_runnable on thread {tid} in state {:?}",
+            self.state[tid]
+        );
+        let ctx = match self.pinned[tid] {
+            Some(ctx) => ctx,
+            None => self.pick_ctx(tid),
+        };
+        if self.running[ctx].is_none() {
+            self.running[ctx] = Some(tid);
+            self.state[tid] = ThreadState::Running(ctx);
+            self.last_ctx[tid] = Some(ctx);
+            WakeDecision::RunNow { ctx }
+        } else {
+            self.queues[ctx].push_back(tid);
+            self.state[tid] = ThreadState::Runnable(ctx);
+            WakeDecision::Enqueued { ctx, ahead: self.queues[ctx].len() }
+        }
+    }
+
+    fn pick_ctx(&self, tid: Tid) -> CtxId {
+        if let Some(ctx) = self.last_ctx[tid] {
+            if self.running[ctx].is_none() && self.queues[ctx].is_empty() {
+                return ctx;
+            }
+        }
+        for &ctx in &self.placement {
+            if self.running[ctx].is_none() && self.queues[ctx].is_empty() {
+                return ctx;
+            }
+        }
+        // No idle context: least loaded, placement order breaks ties.
+        *self
+            .placement
+            .iter()
+            .min_by_key(|&&ctx| self.queues[ctx].len() + usize::from(self.running[ctx].is_some()))
+            .expect("at least one context")
+    }
+
+    /// The running thread `tid` blocks (futex sleep, I/O wait).
+    ///
+    /// Returns what happens to its context.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid` is not running.
+    pub fn block(&mut self, tid: Tid) -> SwitchDecision {
+        let ctx = self.must_be_running(tid);
+        self.state[tid] = ThreadState::Blocked;
+        self.dispatch_next(ctx)
+    }
+
+    /// The running thread `tid` exits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid` is not running.
+    pub fn finish(&mut self, tid: Tid) -> SwitchDecision {
+        let ctx = self.must_be_running(tid);
+        self.state[tid] = ThreadState::Finished;
+        self.dispatch_next(ctx)
+    }
+
+    /// The running thread `tid` yields the processor (`sched_yield`).
+    ///
+    /// If other threads wait on the context's queue, the caller is moved to
+    /// the queue tail and the head takes over; otherwise the caller keeps
+    /// running.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid` is not running.
+    pub fn yield_thread(&mut self, tid: Tid) -> SwitchDecision {
+        let ctx = self.must_be_running(tid);
+        if self.queues[ctx].is_empty() {
+            return SwitchDecision::Keep;
+        }
+        self.queues[ctx].push_back(tid);
+        self.state[tid] = ThreadState::Runnable(ctx);
+        self.running[ctx] = None;
+        self.dispatch_next(ctx)
+    }
+
+    /// Quantum expiry on `ctx`: round-robin preemption.
+    ///
+    /// Equivalent to a yield of the running thread; a context with an empty
+    /// queue keeps its thread ([`SwitchDecision::Keep`]).
+    pub fn quantum_expired(&mut self, ctx: CtxId) -> SwitchDecision {
+        match self.running[ctx] {
+            Some(tid) => self.yield_thread(tid),
+            None => SwitchDecision::Idle,
+        }
+    }
+
+    fn must_be_running(&self, tid: Tid) -> CtxId {
+        match self.state[tid] {
+            ThreadState::Running(ctx) => ctx,
+            other => panic!("thread {tid} must be running, found {other:?}"),
+        }
+    }
+
+    fn dispatch_next(&mut self, ctx: CtxId) -> SwitchDecision {
+        match self.queues[ctx].pop_front() {
+            Some(next) => {
+                self.running[ctx] = Some(next);
+                self.state[next] = ThreadState::Running(ctx);
+                self.last_ctx[next] = Some(ctx);
+                SwitchDecision::SwitchTo(next)
+            }
+            None => {
+                self.running[ctx] = None;
+                SwitchDecision::Idle
+            }
+        }
+    }
+
+    /// Verifies internal invariants; used by tests and debug assertions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a thread appears on two contexts, a queue holds a
+    /// non-runnable thread, or a running slot disagrees with thread state.
+    pub fn assert_consistent(&self) {
+        let mut seen = vec![false; self.state.len()];
+        for (ctx, slot) in self.running.iter().enumerate() {
+            if let Some(tid) = slot {
+                assert!(!seen[*tid], "thread {tid} on two contexts");
+                seen[*tid] = true;
+                assert_eq!(self.state[*tid], ThreadState::Running(ctx));
+            }
+        }
+        for (ctx, q) in self.queues.iter().enumerate() {
+            for &tid in q {
+                assert!(!seen[tid], "queued thread {tid} also running");
+                seen[tid] = true;
+                assert_eq!(self.state[tid], ThreadState::Runnable(ctx));
+            }
+        }
+        for (tid, st) in self.state.iter().enumerate() {
+            match st {
+                ThreadState::Running(_) | ThreadState::Runnable(_) => {
+                    assert!(seen[tid], "thread {tid} in state {st:?} but not placed");
+                }
+                _ => assert!(!seen[tid], "thread {tid} in state {st:?} but placed"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sched(contexts: usize) -> Scheduler {
+        Scheduler::new(SchedConfig::default(), contexts, (0..contexts).collect())
+    }
+
+    #[test]
+    fn placement_prefers_idle_contexts_in_order() {
+        let mut s = sched(3);
+        for _ in 0..3 {
+            s.add_thread(None);
+        }
+        assert_eq!(s.make_runnable(0), WakeDecision::RunNow { ctx: 0 });
+        assert_eq!(s.make_runnable(1), WakeDecision::RunNow { ctx: 1 });
+        assert_eq!(s.make_runnable(2), WakeDecision::RunNow { ctx: 2 });
+        s.assert_consistent();
+    }
+
+    #[test]
+    fn custom_placement_order_is_respected() {
+        let mut s = Scheduler::new(SchedConfig::default(), 4, vec![2, 0, 3, 1]);
+        for _ in 0..2 {
+            s.add_thread(None);
+        }
+        assert_eq!(s.make_runnable(0), WakeDecision::RunNow { ctx: 2 });
+        assert_eq!(s.make_runnable(1), WakeDecision::RunNow { ctx: 0 });
+    }
+
+    #[test]
+    fn oversubscription_queues_fifo_and_balances() {
+        let mut s = sched(2);
+        for _ in 0..4 {
+            s.add_thread(None);
+        }
+        assert_eq!(s.make_runnable(0), WakeDecision::RunNow { ctx: 0 });
+        assert_eq!(s.make_runnable(1), WakeDecision::RunNow { ctx: 1 });
+        assert_eq!(s.make_runnable(2), WakeDecision::Enqueued { ctx: 0, ahead: 1 });
+        assert_eq!(s.make_runnable(3), WakeDecision::Enqueued { ctx: 1, ahead: 1 });
+        s.assert_consistent();
+        // Thread 0 blocks; thread 2 takes over context 0.
+        assert_eq!(s.block(0), SwitchDecision::SwitchTo(2));
+        assert_eq!(s.running_on(0), Some(2));
+        s.assert_consistent();
+    }
+
+    #[test]
+    fn last_ctx_affinity_wins_when_idle() {
+        let mut s = sched(3);
+        for _ in 0..2 {
+            s.add_thread(None);
+        }
+        assert_eq!(s.make_runnable(0), WakeDecision::RunNow { ctx: 0 });
+        assert_eq!(s.make_runnable(1), WakeDecision::RunNow { ctx: 1 });
+        assert_eq!(s.block(1), SwitchDecision::Idle);
+        // Context 1 is idle again; thread 1 returns there, not context 2.
+        assert_eq!(s.make_runnable(1), WakeDecision::RunNow { ctx: 1 });
+    }
+
+    #[test]
+    fn pinning_overrides_placement() {
+        let mut s = sched(2);
+        s.add_thread(Some(1));
+        s.add_thread(Some(1));
+        assert_eq!(s.make_runnable(0), WakeDecision::RunNow { ctx: 1 });
+        assert_eq!(s.make_runnable(1), WakeDecision::Enqueued { ctx: 1, ahead: 1 });
+        assert_eq!(s.running_on(0), None, "pinned threads never spill to other contexts");
+    }
+
+    #[test]
+    fn quantum_rotates_round_robin() {
+        let mut s = sched(1);
+        for _ in 0..3 {
+            s.add_thread(None);
+        }
+        s.make_runnable(0);
+        s.make_runnable(1);
+        s.make_runnable(2);
+        assert_eq!(s.quantum_expired(0), SwitchDecision::SwitchTo(1));
+        assert_eq!(s.quantum_expired(0), SwitchDecision::SwitchTo(2));
+        assert_eq!(s.quantum_expired(0), SwitchDecision::SwitchTo(0));
+        s.assert_consistent();
+    }
+
+    #[test]
+    fn quantum_on_lonely_thread_keeps_it() {
+        let mut s = sched(1);
+        s.add_thread(None);
+        s.make_runnable(0);
+        assert_eq!(s.quantum_expired(0), SwitchDecision::Keep);
+        assert_eq!(s.running_on(0), Some(0));
+    }
+
+    #[test]
+    fn quantum_on_idle_ctx_reports_idle() {
+        let mut s = sched(1);
+        assert_eq!(s.quantum_expired(0), SwitchDecision::Idle);
+    }
+
+    #[test]
+    fn yield_moves_to_tail() {
+        let mut s = sched(1);
+        for _ in 0..2 {
+            s.add_thread(None);
+        }
+        s.make_runnable(0);
+        s.make_runnable(1);
+        assert_eq!(s.yield_thread(0), SwitchDecision::SwitchTo(1));
+        assert_eq!(s.thread_state(0), ThreadState::Runnable(0));
+        assert_eq!(s.yield_thread(1), SwitchDecision::SwitchTo(0));
+    }
+
+    #[test]
+    fn finish_frees_the_context() {
+        let mut s = sched(1);
+        s.add_thread(None);
+        s.make_runnable(0);
+        assert_eq!(s.finish(0), SwitchDecision::Idle);
+        assert_eq!(s.thread_state(0), ThreadState::Finished);
+        assert_eq!(s.running_on(0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be running")]
+    fn blocking_a_blocked_thread_panics() {
+        let mut s = sched(1);
+        s.add_thread(None);
+        s.make_runnable(0);
+        s.block(0);
+        s.block(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation")]
+    fn bad_placement_panics() {
+        let _ = Scheduler::new(SchedConfig::default(), 2, vec![0, 0]);
+    }
+}

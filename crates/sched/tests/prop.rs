@@ -1,0 +1,103 @@
+//! Property-based scheduler invariants under random operation streams.
+
+use proptest::prelude::*;
+use poly_sched::{SchedConfig, Scheduler, SwitchDecision, ThreadState, WakeDecision};
+
+#[derive(Debug, Clone)]
+enum SOp {
+    Wake(usize),
+    Block(usize),
+    Yield(usize),
+    Quantum(usize),
+}
+
+fn ops(threads: usize, ctxs: usize) -> impl Strategy<Value = Vec<SOp>> {
+    let op = prop_oneof![
+        (0..threads).prop_map(SOp::Wake),
+        (0..threads).prop_map(SOp::Block),
+        (0..threads).prop_map(SOp::Yield),
+        (0..ctxs).prop_map(SOp::Quantum),
+    ];
+    proptest::collection::vec(op, 1..300)
+}
+
+proptest! {
+    /// The scheduler never double-places a thread, never loses a runnable
+    /// thread, and every decision it returns is consistent with its state.
+    #[test]
+    fn invariants_hold_under_random_ops(ops in ops(6, 2)) {
+        let mut s = Scheduler::new(SchedConfig::default(), 2, vec![0, 1]);
+        for _ in 0..6 {
+            s.add_thread(None);
+        }
+        for op in ops {
+            match op {
+                SOp::Wake(tid) => {
+                    if matches!(s.thread_state(tid), ThreadState::New | ThreadState::Blocked) {
+                        match s.make_runnable(tid) {
+                            WakeDecision::RunNow { ctx } => {
+                                prop_assert_eq!(s.running_on(ctx), Some(tid));
+                            }
+                            WakeDecision::Enqueued { ctx, ahead } => {
+                                prop_assert!(ahead >= 1);
+                                prop_assert!(s.queue_len(ctx) >= 1);
+                            }
+                        }
+                    }
+                }
+                SOp::Block(tid) => {
+                    if let ThreadState::Running(ctx) = s.thread_state(tid) {
+                        match s.block(tid) {
+                            SwitchDecision::SwitchTo(next) => {
+                                prop_assert_eq!(s.running_on(ctx), Some(next));
+                            }
+                            SwitchDecision::Idle => {
+                                prop_assert_eq!(s.running_on(ctx), None);
+                            }
+                            SwitchDecision::Keep => prop_assert!(false, "block cannot Keep"),
+                        }
+                        prop_assert_eq!(s.thread_state(tid), ThreadState::Blocked);
+                    }
+                }
+                SOp::Yield(tid) => {
+                    if matches!(s.thread_state(tid), ThreadState::Running(_)) {
+                        let _ = s.yield_thread(tid);
+                    }
+                }
+                SOp::Quantum(ctx) => {
+                    let before = s.running_on(ctx);
+                    match s.quantum_expired(ctx) {
+                        SwitchDecision::Keep => prop_assert_eq!(s.running_on(ctx), before),
+                        SwitchDecision::Idle => prop_assert_eq!(s.running_on(ctx), None),
+                        SwitchDecision::SwitchTo(next) => {
+                            prop_assert_eq!(s.running_on(ctx), Some(next));
+                            prop_assert_ne!(before, Some(next));
+                        }
+                    }
+                }
+            }
+            s.assert_consistent();
+        }
+    }
+
+    /// Round-robin preemption is starvation-free: with only quantum expiries,
+    /// every runnable thread eventually runs.
+    #[test]
+    fn quanta_are_starvation_free(n_threads in 2usize..8) {
+        let mut s = Scheduler::new(SchedConfig::default(), 1, vec![0]);
+        for _ in 0..n_threads {
+            s.add_thread(None);
+        }
+        for tid in 0..n_threads {
+            let _ = s.make_runnable(tid);
+        }
+        let mut ran = vec![false; n_threads];
+        for _ in 0..n_threads * 2 {
+            if let Some(tid) = s.running_on(0) {
+                ran[tid] = true;
+            }
+            let _ = s.quantum_expired(0);
+        }
+        prop_assert!(ran.iter().all(|&r| r), "every thread must get its slice: {:?}", ran);
+    }
+}

@@ -1,0 +1,260 @@
+//! Machine configuration: all timing constants of the simulated platform.
+
+use poly_energy::{MachineShape, PowerConfig};
+use poly_futex::FutexConfig;
+use poly_sched::SchedConfig;
+
+use crate::Cycles;
+
+/// Cache/coherence timing model.
+///
+/// The constants are calibrated from the paper's measurements: "waking up a
+/// locally-spinning thread takes two cache-line transfers (i.e., 280
+/// cycles)" on the Xeon, so one cross-socket transfer is ~140 cycles.
+#[derive(Debug, Clone)]
+pub struct MemConfig {
+    /// L1 hit (line already shared/owned by this context).
+    pub l1_hit: Cycles,
+    /// Fetch from the home LLC, no other owner.
+    pub llc_hit: Cycles,
+    /// Cache-to-cache transfer within a socket.
+    pub xfer_local: Cycles,
+    /// Cache-to-cache transfer across sockets.
+    pub xfer_remote: Cycles,
+    /// Serialization quantum a write-type operation holds the line for.
+    /// Back-to-back atomics on one line commit once per this many cycles,
+    /// independent of where the requesters sit (the home agent pipelines the
+    /// transfers themselves).
+    pub write_service: Cycles,
+    /// Execution cost of an atomic on an exclusively-owned line.
+    pub rmw_owned: Cycles,
+    /// Cost of a full memory barrier outside spin loops.
+    pub fence: Cycles,
+}
+
+impl Default for MemConfig {
+    fn default() -> Self {
+        Self {
+            l1_hit: 2,
+            llc_hit: 40,
+            xfer_local: 70,
+            xfer_remote: 140,
+            write_service: 15,
+            rmw_owned: 20,
+            fence: 25,
+        }
+    }
+}
+
+/// Cost and retirement model of one spin-loop iteration per pausing kind.
+#[derive(Debug, Clone, Copy)]
+pub struct PauseCost {
+    /// Cycles per loop iteration.
+    pub cycles_per_iter: Cycles,
+    /// Instructions retired per iteration (for CPI accounting).
+    pub instr_per_iter: u64,
+}
+
+/// Pausing model: how each spin-wait flavor advances.
+///
+/// Matches §4.2: a plain load loop retires a load every cycle; `pause`
+/// stretches the iteration to ~18 cycles (CPI 4.6 over 4 instructions);
+/// a memory barrier stalls speculation so iterations take ~40 cycles and
+/// polls become correspondingly rarer.
+#[derive(Debug, Clone)]
+pub struct PauseConfig {
+    /// Plain load/test/jump loop.
+    pub none: PauseCost,
+    /// Loop with a `nop` (hidden by the out-of-order core).
+    pub nop: PauseCost,
+    /// Loop with the x86 `pause` instruction.
+    pub pause: PauseCost,
+    /// Loop with a full/load memory barrier.
+    pub mbar: PauseCost,
+}
+
+impl Default for PauseConfig {
+    fn default() -> Self {
+        Self {
+            none: PauseCost { cycles_per_iter: 1, instr_per_iter: 3 },
+            nop: PauseCost { cycles_per_iter: 1, instr_per_iter: 4 },
+            pause: PauseCost { cycles_per_iter: 18, instr_per_iter: 4 },
+            mbar: PauseCost { cycles_per_iter: 40, instr_per_iter: 4 },
+        }
+    }
+}
+
+/// Core idle-state (C-state) timing.
+///
+/// Residencies and exit latencies produce the paper's Figure 6 shape: the
+/// turnaround latency is ~7000 cycles while cores sit in shallow idle, and
+/// explodes once a core slept past ~600 K cycles into a deep state.
+#[derive(Debug, Clone)]
+pub struct IdleConfig {
+    /// Exit latency from C1.
+    pub c1_exit: Cycles,
+    /// Exit latency from C3.
+    pub c3_exit: Cycles,
+    /// Exit latency from C6.
+    pub c6_exit: Cycles,
+    /// Idle residency after which the governor promotes C1 -> C3.
+    pub c3_after: Cycles,
+    /// Idle residency after which the governor promotes C3 -> C6.
+    pub c6_after: Cycles,
+}
+
+impl Default for IdleConfig {
+    fn default() -> Self {
+        Self {
+            c1_exit: 2_000,
+            c3_exit: 10_000,
+            c6_exit: 60_000,
+            c3_after: 50_000,
+            c6_after: 600_000,
+        }
+    }
+}
+
+/// `monitor/mwait` cost model (§4.2): the kernel-mediated setup costs ~700
+/// cycles (the overloaded virtual-device file operation) and the best-case
+/// wake-up latency out of `mwait` is ~1600 cycles.
+#[derive(Debug, Clone)]
+pub struct MwaitConfig {
+    /// Cycles to arm the monitor through the kernel interface.
+    pub setup: Cycles,
+    /// Cycles from the store until the mwait-blocked context resumes.
+    pub exit: Cycles,
+}
+
+impl Default for MwaitConfig {
+    fn default() -> Self {
+        Self { setup: 700, exit: 1_600 }
+    }
+}
+
+/// Miscellaneous OS-path costs.
+#[derive(Debug, Clone)]
+pub struct OsConfig {
+    /// Cost of a VF (DVFS) switch via sysfs — 5300 cycles on the Xeon (§4.2).
+    pub vf_switch: Cycles,
+    /// Cost of `sched_yield`.
+    pub yield_cost: Cycles,
+    /// Syscall overhead of a timed sleep (nanosleep-style entry/exit).
+    pub sleep_cost: Cycles,
+    /// Whether wake-ups may preempt a running thread (CFS wakeup
+    /// preemption).
+    pub wakeup_preemption: bool,
+    /// A running thread younger than this is protected from wakeup
+    /// preemption (CFS wakeup granularity).
+    pub wakeup_granularity: Cycles,
+}
+
+impl Default for OsConfig {
+    fn default() -> Self {
+        Self {
+            vf_switch: 5_300,
+            yield_cost: 1_200,
+            sleep_cost: 1_500,
+            wakeup_preemption: true,
+            wakeup_granularity: 200_000,
+        }
+    }
+}
+
+/// Complete configuration of the simulated machine.
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    /// Socket/core/context topology.
+    pub shape: MachineShape,
+    /// Power calibration.
+    pub power: PowerConfig,
+    /// Futex subsystem calibration.
+    pub futex: FutexConfig,
+    /// Scheduler parameters.
+    pub sched: SchedConfig,
+    /// Coherence timing.
+    pub mem: MemConfig,
+    /// Spin-pause timing.
+    pub pause: PauseConfig,
+    /// Idle-state timing.
+    pub idle: IdleConfig,
+    /// `monitor/mwait` timing.
+    pub mwait: MwaitConfig,
+    /// OS-path costs.
+    pub os: OsConfig,
+}
+
+impl MachineConfig {
+    /// The paper's 2-socket, 20-core, 40-context Xeon server.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape exceeds 64 hardware contexts (the coherence
+    /// model tracks sharers in a 64-bit mask).
+    pub fn xeon() -> Self {
+        Self::with_shape(MachineShape::xeon(), PowerConfig::xeon())
+    }
+
+    /// The paper's 4-core, 8-context Core i7 desktop.
+    pub fn core_i7() -> Self {
+        let mut cfg = Self::with_shape(MachineShape::core_i7(), PowerConfig::core_i7());
+        cfg.futex = FutexConfig { buckets: 256 * 8, ..FutexConfig::xeon() };
+        cfg
+    }
+
+    /// A 2-core/4-context machine for fast tests.
+    pub fn tiny() -> Self {
+        let mut cfg = Self::with_shape(MachineShape::tiny(), PowerConfig::xeon());
+        cfg.futex = FutexConfig { buckets: 64, ..FutexConfig::xeon() };
+        cfg
+    }
+
+    fn with_shape(shape: MachineShape, power: PowerConfig) -> Self {
+        assert!(shape.contexts() <= 64, "the sharer mask supports at most 64 contexts");
+        Self {
+            shape,
+            power,
+            futex: FutexConfig::xeon(),
+            sched: SchedConfig::default(),
+            mem: MemConfig::default(),
+            pause: PauseConfig::default(),
+            idle: IdleConfig::default(),
+            mwait: MwaitConfig::default(),
+            os: OsConfig::default(),
+        }
+    }
+
+    /// Cycles per second of simulated wall-clock time (the base frequency).
+    pub fn cycles_per_second(&self) -> u64 {
+        self.power.base_khz * 1000
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_construct() {
+        assert_eq!(MachineConfig::xeon().shape.contexts(), 40);
+        assert_eq!(MachineConfig::core_i7().shape.contexts(), 8);
+        assert_eq!(MachineConfig::tiny().shape.contexts(), 4);
+    }
+
+    #[test]
+    fn xeon_wakeup_path_is_about_7000_cycles() {
+        // wake call (2700) + scheduler wake latency (2400) + C1 exit (2000).
+        let cfg = MachineConfig::xeon();
+        let turnaround = cfg.futex.wake_call_cycles()
+            + cfg.sched.wake_latency_cycles
+            + cfg.idle.c1_exit;
+        assert!((7000..8000).contains(&turnaround), "turnaround {turnaround}");
+    }
+
+    #[test]
+    fn mbar_polls_are_coarser_than_plain_loads() {
+        let p = PauseConfig::default();
+        assert!(p.mbar.cycles_per_iter > p.pause.cycles_per_iter);
+        assert!(p.pause.cycles_per_iter > p.none.cycles_per_iter);
+    }
+}

@@ -1,0 +1,1005 @@
+//! The discrete-event engine: executes programs on the simulated machine.
+//!
+//! The engine owns the clock, the event heap, the cache-line directory, the
+//! scheduler, the futex table and the power model, and advances them in
+//! lock-step. Programs interact with the machine exclusively through
+//! [`Op`]s; every op completion, write commit, quantum expiry, futex event,
+//! timer and idle-state transition is an event on the heap. Event order is
+//! `(time, sequence-number)`, which makes runs fully deterministic for a
+//! given seed and configuration.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use poly_energy::{
+    ActivityClass, CoreIdleState, CtxPowerState, EnergyReading, PowerBreakdown, PowerModel,
+    VfPoint,
+};
+use poly_futex::{FutexStats, FutexTable, WaitOutcome};
+use poly_sched::{Scheduler, SwitchDecision, ThreadState, WakeDecision};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::config::MachineConfig;
+use crate::mem::{LineId, Memory};
+use crate::ops::{FutexWaitResult, Op, OpResult, PauseKind, RmwKind, SpinCond};
+use crate::program::{CsTracker, Program, ThreadRt};
+use crate::stats::{CpiCounter, Histogram, SimReport, ThreadCounters};
+use crate::{Cycles, CtxId, Tid};
+
+/// How a thread is mapped onto hardware contexts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PinPolicy {
+    /// Pin thread `i` to context `paper_pin_order()[i % contexts]` — the
+    /// paper's placement (cores of socket 0, cores of socket 1, then
+    /// hyper-threads).
+    PaperOrder,
+    /// Pin to a specific context.
+    Ctx(CtxId),
+    /// Let the scheduler place the thread (used for oversubscribed system
+    /// workloads).
+    Unpinned,
+}
+
+/// Parameters of one simulation run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunSpec {
+    /// Total simulated duration in cycles.
+    pub duration: Cycles,
+    /// Warmup prefix excluded from measurement.
+    pub warmup: Cycles,
+}
+
+impl RunSpec {
+    /// A run of `duration` cycles with a 10% warmup.
+    pub fn with_warmup(duration: Cycles) -> Self {
+        Self { duration, warmup: duration / 10 }
+    }
+}
+
+#[derive(Debug)]
+enum EvKind {
+    Begin { ctx: CtxId, gen: u64 },
+    OpDone { ctx: CtxId, gen: u64, result: OpResult },
+    WriteCommit { line: LineId, ctx: CtxId, gen: u64, kind: RmwKind, result_at: Cycles },
+    SpinDeadline { ctx: CtxId, gen: u64, line: LineId },
+    ThreadBlock { tid: Tid },
+    FutexCommit { tid: Tid, line: LineId, expect: u64, timeout: Option<Cycles> },
+    FutexWakeCommit { ctx: CtxId, gen: u64, line: LineId, n: u32 },
+    FutexTimeout { tid: Tid, line: LineId, fgen: u64 },
+    WakeThread { tid: Tid },
+    SleepTimer { tid: Tid },
+    Quantum { ctx: CtxId, gen: u64 },
+    Deepen { core: usize, gen: u64, state: CoreIdleState },
+    EndWarmup,
+    End,
+}
+
+struct Ev {
+    at: Cycles,
+    seq: u64,
+    kind: EvKind,
+}
+
+impl PartialEq for Ev {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Ev {}
+impl PartialOrd for Ev {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Ev {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct SpinState {
+    line: LineId,
+    cond: SpinCond,
+    pause: PauseKind,
+    started: Cycles,
+    deadline: Option<Cycles>,
+    mwait: bool,
+}
+
+struct ThreadSlot {
+    program: Option<Box<dyn Program>>,
+    rng: SmallRng,
+    counters: ThreadCounters,
+    pending: Option<OpResult>,
+    reissue: Option<Op>,
+    fgen: u64,
+    finished: bool,
+}
+
+struct CtxState {
+    gen: u64,
+    current: Option<Tid>,
+    dispatch_time: Cycles,
+    preempt_pending: bool,
+    vf_req: VfPoint,
+    spin: Option<SpinState>,
+}
+
+struct CoreState {
+    gen: u64,
+    idle: CoreIdleState,
+    slowdown: f64,
+}
+
+/// The simulation engine. Construct through
+/// [`SimBuilder`](crate::SimBuilder).
+pub struct Engine {
+    cfg: MachineConfig,
+    now: Cycles,
+    seq: u64,
+    heap: BinaryHeap<Ev>,
+    mem: Memory,
+    sched: Scheduler,
+    futex: FutexTable,
+    power: PowerModel,
+    slots: Vec<ThreadSlot>,
+    ctxs: Vec<CtxState>,
+    cores: Vec<CoreState>,
+    watchers: Vec<Vec<CtxId>>,
+    cs: CsTracker,
+    live: usize,
+    measure_start: Cycles,
+    energy_base: EnergyReading,
+    futex_base: FutexStats,
+    wait_cpi: CpiCounter,
+    total_cpi: CpiCounter,
+    wait_cpi_base: CpiCounter,
+    total_cpi_base: CpiCounter,
+}
+
+impl Engine {
+    pub(crate) fn new(
+        cfg: MachineConfig,
+        mem: Memory,
+        programs: Vec<(Box<dyn Program>, PinPolicy)>,
+        seed: u64,
+    ) -> Self {
+        let shape = cfg.shape;
+        let order = shape.paper_pin_order();
+        let mut sched = Scheduler::new(cfg.sched.clone(), shape.contexts(), order.clone());
+        let max_vf = VfPoint::new(cfg.power.base_khz);
+        let mut power = PowerModel::new(cfg.power.clone(), shape);
+        let mut slots = Vec::with_capacity(programs.len());
+        let n = programs.len();
+        for (i, (program, pin)) in programs.into_iter().enumerate() {
+            let pinned = match pin {
+                PinPolicy::PaperOrder => Some(order[i % order.len()]),
+                PinPolicy::Ctx(c) => Some(c),
+                PinPolicy::Unpinned => None,
+            };
+            let tid = sched.add_thread(pinned);
+            debug_assert_eq!(tid, i);
+            slots.push(ThreadSlot {
+                program: Some(program),
+                rng: SmallRng::seed_from_u64(seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1))),
+                counters: ThreadCounters::default(),
+                pending: None,
+                reissue: None,
+                fgen: 0,
+                finished: false,
+            });
+        }
+        // Cores start in shallow idle (the machine was "just in use").
+        for core in 0..shape.cores() {
+            power.set_core_idle(core, CoreIdleState::C1);
+        }
+        let watchers = vec![Vec::new(); mem.len()];
+        Self {
+            futex: FutexTable::new(cfg.futex.clone()),
+            sched,
+            power,
+            mem,
+            heap: BinaryHeap::new(),
+            now: 0,
+            seq: 0,
+            slots,
+            ctxs: (0..shape.contexts())
+                .map(|_| CtxState {
+                    gen: 0,
+                    current: None,
+                    dispatch_time: 0,
+                    preempt_pending: false,
+                    vf_req: max_vf,
+                    spin: None,
+                })
+                .collect(),
+            cores: (0..shape.cores())
+                .map(|_| CoreState { gen: 0, idle: CoreIdleState::C1, slowdown: 1.0 })
+                .collect(),
+            watchers,
+            cs: CsTracker::default(),
+            live: n,
+            measure_start: 0,
+            energy_base: EnergyReading::default(),
+            futex_base: FutexStats::default(),
+            wait_cpi: CpiCounter::default(),
+            total_cpi: CpiCounter::default(),
+            wait_cpi_base: CpiCounter::default(),
+            total_cpi_base: CpiCounter::default(),
+            cfg,
+        }
+    }
+
+    fn push(&mut self, at: Cycles, kind: EvKind) {
+        self.seq += 1;
+        self.heap.push(Ev { at, seq: self.seq, kind });
+    }
+
+    /// Runs the simulation and produces a report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec.warmup >= spec.duration`, or if a lock algorithm
+    /// violates mutual exclusion (see [`ThreadRt::enter_cs`]).
+    pub fn run(mut self, spec: RunSpec) -> SimReport {
+        assert!(spec.warmup < spec.duration, "warmup must be shorter than the run");
+        self.push(spec.duration, EvKind::End);
+        if spec.warmup > 0 {
+            self.push(spec.warmup, EvKind::EndWarmup);
+        }
+        // Never-used cores start idle in C1 and must deepen like any other
+        // idle core; installs bump the core generation and cancel these.
+        for core in 0..self.cfg.shape.cores() {
+            let gen = self.cores[core].gen;
+            self.push(self.cfg.idle.c3_after, EvKind::Deepen {
+                core,
+                gen,
+                state: CoreIdleState::C3,
+            });
+            self.push(self.cfg.idle.c6_after, EvKind::Deepen {
+                core,
+                gen,
+                state: CoreIdleState::C6,
+            });
+        }
+        let n = self.slots.len();
+        for tid in 0..n {
+            match self.sched.make_runnable(tid) {
+                WakeDecision::RunNow { ctx } => self.install(ctx, tid, 0),
+                WakeDecision::Enqueued { .. } => {}
+            }
+        }
+        let mut ended = false;
+        while let Some(ev) = self.heap.pop() {
+            debug_assert!(ev.at >= self.now, "event time went backwards");
+            self.now = ev.at;
+            match ev.kind {
+                EvKind::End => {
+                    ended = true;
+                    break;
+                }
+                kind => self.handle(kind),
+            }
+            if self.live == 0 {
+                break;
+            }
+        }
+        let _ = ended;
+        self.power.advance(self.now);
+        self.flush_inflight_spins();
+        self.report()
+    }
+
+    /// Accounts the CPI of spins still in flight when the run ends (an
+    /// eternal waiter otherwise contributes activity time but no retired
+    /// instructions).
+    fn flush_inflight_spins(&mut self) {
+        for ctx in 0..self.ctxs.len() {
+            if let Some(spin) = self.ctxs[ctx].spin.take() {
+                self.end_spin_accounting(&spin, ctx);
+            }
+        }
+    }
+
+    fn handle(&mut self, kind: EvKind) {
+        match kind {
+            EvKind::Begin { ctx, gen } => self.on_begin(ctx, gen),
+            EvKind::OpDone { ctx, gen, result } => self.on_op_done(ctx, gen, result),
+            EvKind::WriteCommit { line, ctx, gen, kind, result_at } => {
+                self.on_write_commit(line, ctx, gen, kind, result_at)
+            }
+            EvKind::SpinDeadline { ctx, gen, line } => self.on_spin_deadline(ctx, gen, line),
+            EvKind::ThreadBlock { tid } => self.on_thread_block(tid),
+            EvKind::FutexCommit { tid, line, expect, timeout } => {
+                self.on_futex_commit(tid, line, expect, timeout)
+            }
+            EvKind::FutexWakeCommit { ctx, gen, line, n } => {
+                self.on_futex_wake_commit(ctx, gen, line, n)
+            }
+            EvKind::FutexTimeout { tid, line, fgen } => self.on_futex_timeout(tid, line, fgen),
+            EvKind::WakeThread { tid } => self.wake_thread(tid),
+            EvKind::SleepTimer { tid } => {
+                self.slots[tid].pending = Some(OpResult::Done);
+                self.wake_thread(tid);
+            }
+            EvKind::Quantum { ctx, gen } => self.on_quantum(ctx, gen),
+            EvKind::Deepen { core, gen, state } => self.on_deepen(core, gen, state),
+            EvKind::EndWarmup => self.on_end_warmup(),
+            EvKind::End => unreachable!("End handled in the main loop"),
+        }
+    }
+
+    // ---- power/activity helpers -------------------------------------------------
+
+    fn set_power_state(&mut self, ctx: CtxId, st: CtxPowerState) {
+        self.power.advance(self.now);
+        self.power.set_ctx_activity(ctx, st);
+    }
+
+    fn set_activity(&mut self, ctx: CtxId, class: ActivityClass) {
+        self.set_power_state(ctx, CtxPowerState::Active(class));
+    }
+
+    fn add_cpi(&mut self, waiting: bool, cycles: u64, instructions: u64) {
+        self.total_cpi.cycles += cycles;
+        self.total_cpi.instructions += instructions;
+        if waiting {
+            self.wait_cpi.cycles += cycles;
+            self.wait_cpi.instructions += instructions;
+        }
+    }
+
+    fn scale(&self, ctx: CtxId, cycles: Cycles) -> Cycles {
+        let core = self.cfg.shape.core_of(ctx);
+        let s = self.cores[core].slowdown;
+        if s == 1.0 {
+            cycles.max(1)
+        } else {
+            ((cycles as f64 * s).round() as Cycles).max(1)
+        }
+    }
+
+    fn pause_cost(&self, pause: PauseKind) -> (Cycles, u64) {
+        let p = match pause {
+            PauseKind::None => self.cfg.pause.none,
+            PauseKind::Nop => self.cfg.pause.nop,
+            PauseKind::Pause => self.cfg.pause.pause,
+            PauseKind::Mbar => self.cfg.pause.mbar,
+        };
+        (p.cycles_per_iter, p.instr_per_iter)
+    }
+
+    fn spin_activity(pause: PauseKind) -> ActivityClass {
+        match pause {
+            PauseKind::None | PauseKind::Nop => ActivityClass::LocalSpin,
+            PauseKind::Pause => ActivityClass::LocalSpinPause,
+            PauseKind::Mbar => ActivityClass::LocalSpinMbar,
+        }
+    }
+
+    // ---- core idle management ---------------------------------------------------
+
+    fn core_wake(&mut self, core: usize, _at: Cycles) -> Cycles {
+        let tpc = self.cfg.shape.threads_per_core;
+        let any_running = (0..tpc).any(|h| self.ctxs[core * tpc + h].current.is_some());
+        if any_running {
+            return 0;
+        }
+        let exit = match self.cores[core].idle {
+            CoreIdleState::C0 => 0,
+            CoreIdleState::C1 => self.cfg.idle.c1_exit,
+            CoreIdleState::C3 => self.cfg.idle.c3_exit,
+            CoreIdleState::C6 => self.cfg.idle.c6_exit,
+        };
+        self.cores[core].gen += 1;
+        self.cores[core].idle = CoreIdleState::C0;
+        self.power.advance(self.now);
+        self.power.set_core_idle(core, CoreIdleState::C0);
+        exit
+    }
+
+    fn maybe_core_sleep(&mut self, ctx: CtxId) {
+        let core = self.cfg.shape.core_of(ctx);
+        let tpc = self.cfg.shape.threads_per_core;
+        let all_idle = (0..tpc).all(|h| self.ctxs[core * tpc + h].current.is_none());
+        if !all_idle {
+            return;
+        }
+        self.cores[core].gen += 1;
+        let gen = self.cores[core].gen;
+        self.cores[core].idle = CoreIdleState::C1;
+        self.power.advance(self.now);
+        self.power.set_core_idle(core, CoreIdleState::C1);
+        self.push(self.now + self.cfg.idle.c3_after, EvKind::Deepen {
+            core,
+            gen,
+            state: CoreIdleState::C3,
+        });
+        self.push(self.now + self.cfg.idle.c6_after, EvKind::Deepen {
+            core,
+            gen,
+            state: CoreIdleState::C6,
+        });
+    }
+
+    fn on_deepen(&mut self, core: usize, gen: u64, state: CoreIdleState) {
+        if self.cores[core].gen != gen {
+            return;
+        }
+        self.cores[core].idle = state;
+        self.power.advance(self.now);
+        self.power.set_core_idle(core, state);
+    }
+
+    // ---- thread dispatch --------------------------------------------------------
+
+    /// Puts `tid` (already `Running(ctx)` in the scheduler) on `ctx`,
+    /// beginning execution at `at` plus any idle-exit latency.
+    fn install(&mut self, ctx: CtxId, tid: Tid, at: Cycles) {
+        debug_assert_eq!(self.sched.running_on(ctx), Some(tid));
+        let at = at.max(self.now);
+        let core = self.cfg.shape.core_of(ctx);
+        let exit = self.core_wake(core, at);
+        let start = at + exit;
+        let c = &mut self.ctxs[ctx];
+        c.current = Some(tid);
+        c.gen += 1;
+        c.dispatch_time = start;
+        c.preempt_pending = false;
+        debug_assert!(c.spin.is_none());
+        let gen = c.gen;
+        self.set_activity(ctx, ActivityClass::Syscall);
+        self.push(start + self.cfg.sched.quantum_cycles, EvKind::Quantum { ctx, gen });
+        self.push(start, EvKind::Begin { ctx, gen });
+    }
+
+    fn ctx_goes_idle(&mut self, ctx: CtxId) {
+        let c = &mut self.ctxs[ctx];
+        debug_assert!(c.spin.is_none(), "idle ctx cannot hold a spin registration");
+        c.current = None;
+        c.gen += 1;
+        c.preempt_pending = false;
+        self.set_power_state(ctx, CtxPowerState::Descheduled);
+        self.maybe_core_sleep(ctx);
+    }
+
+    fn on_begin(&mut self, ctx: CtxId, gen: u64) {
+        if self.ctxs[ctx].gen != gen {
+            return;
+        }
+        let Some(tid) = self.ctxs[ctx].current else { return };
+        if let Some(op) = self.slots[tid].reissue.take() {
+            self.issue(ctx, tid, op);
+        } else {
+            let result = self.slots[tid].pending.take().unwrap_or(OpResult::Started);
+            self.resume_thread(ctx, tid, result);
+        }
+    }
+
+    fn resume_thread(&mut self, ctx: CtxId, tid: Tid, result: OpResult) {
+        let mut program = self.slots[tid].program.take().expect("program present");
+        let op = {
+            let slot = &mut self.slots[tid];
+            let mut rt = ThreadRt {
+                tid,
+                now: self.now,
+                rng: &mut slot.rng,
+                counters: &mut slot.counters,
+                cs: &mut self.cs,
+            };
+            program.resume(&mut rt, result)
+        };
+        self.slots[tid].program = Some(program);
+        self.issue(ctx, tid, op);
+    }
+
+    fn on_op_done(&mut self, ctx: CtxId, gen: u64, result: OpResult) {
+        if self.ctxs[ctx].gen != gen {
+            return;
+        }
+        let Some(tid) = self.ctxs[ctx].current else { return };
+        if self.ctxs[ctx].preempt_pending {
+            self.ctxs[ctx].preempt_pending = false;
+            if self.sched.queue_len(ctx) > 0 {
+                self.slots[tid].pending = Some(result);
+                self.switch_out_rotating(ctx, tid);
+                return;
+            }
+        }
+        self.resume_thread(ctx, tid, result);
+    }
+
+    /// The running thread yields its context to the next queued thread.
+    fn switch_out_rotating(&mut self, ctx: CtxId, tid: Tid) {
+        match self.sched.yield_thread(tid) {
+            SwitchDecision::SwitchTo(next) => {
+                self.install(ctx, next, self.now + self.cfg.sched.ctx_switch_cycles);
+            }
+            SwitchDecision::Keep => {
+                // Queue drained concurrently; continue running.
+                let gen = self.ctxs[ctx].gen;
+                self.push(self.now, EvKind::Begin { ctx, gen });
+            }
+            SwitchDecision::Idle => unreachable!("yield with queued threads cannot idle"),
+        }
+    }
+
+    // ---- op issue ---------------------------------------------------------------
+
+    fn issue(&mut self, ctx: CtxId, tid: Tid, op: Op) {
+        let gen = self.ctxs[ctx].gen;
+        match op {
+            Op::Work(d) => {
+                self.set_activity(ctx, ActivityClass::Work);
+                let cost = self.scale(ctx, d);
+                self.add_cpi(false, cost, d.max(1));
+                self.push(self.now + cost, EvKind::OpDone { ctx, gen, result: OpResult::Done });
+            }
+            Op::MemWork(d) => {
+                self.set_activity(ctx, ActivityClass::MemIntensive);
+                let cost = self.scale(ctx, d);
+                self.add_cpi(false, cost, (d / 2).max(1));
+                self.push(self.now + cost, EvKind::OpDone { ctx, gen, result: OpResult::Done });
+            }
+            Op::Load(line) => {
+                self.set_activity(ctx, ActivityClass::Work);
+                let (v, cost) = self.mem.load(ctx, line, self.now);
+                self.add_cpi(false, cost, 1);
+                self.push(self.now + cost, EvKind::OpDone { ctx, gen, result: OpResult::Value(v) });
+            }
+            Op::Fence => {
+                self.set_activity(ctx, ActivityClass::Work);
+                let cost = self.cfg.mem.fence;
+                self.add_cpi(false, cost, 1);
+                self.push(self.now + cost, EvKind::OpDone { ctx, gen, result: OpResult::Done });
+            }
+            Op::Rmw(line, kind) => {
+                self.set_activity(ctx, ActivityClass::GlobalSpin);
+                let plan = self.mem.begin_write(ctx, line, self.now);
+                self.add_cpi(true, plan.result_at - self.now, 1);
+                self.push(plan.commit_at, EvKind::WriteCommit {
+                    line,
+                    ctx,
+                    gen,
+                    kind,
+                    result_at: plan.result_at,
+                });
+            }
+            Op::SpinLoad { line, pause, until, max } => {
+                self.set_activity(ctx, Self::spin_activity(pause));
+                let (v, cost) = self.mem.load(ctx, line, self.now);
+                if until.satisfied(v) {
+                    let (ic, ii) = self.pause_cost(pause);
+                    let _ = ic;
+                    self.add_cpi(true, cost, ii);
+                    self.push(self.now + cost, EvKind::OpDone {
+                        ctx,
+                        gen,
+                        result: OpResult::Value(v),
+                    });
+                } else {
+                    let deadline = max.map(|m| self.now + cost + m.max(1));
+                    self.ctxs[ctx].spin = Some(SpinState {
+                        line,
+                        cond: until,
+                        pause,
+                        started: self.now,
+                        deadline,
+                        mwait: false,
+                    });
+                    self.watchers[line.index()].push(ctx);
+                    if let Some(d) = deadline {
+                        self.push(d, EvKind::SpinDeadline { ctx, gen, line });
+                    }
+                }
+            }
+            Op::FutexWait { line, expect, timeout } => {
+                self.set_activity(ctx, ActivityClass::Syscall);
+                let wb = self.futex.wait_begin(line.addr(), tid, self.now);
+                let kern = wb.lock_acquired_at - self.now;
+                self.add_cpi(false, kern, (kern / 2).max(1));
+                // The expected-value check happens under the bucket lock,
+                // like in Linux; see `on_futex_commit`.
+                self.push(wb.lock_acquired_at, EvKind::FutexCommit { tid, line, expect, timeout });
+            }
+            Op::FutexWake { line, n } => {
+                self.set_activity(ctx, ActivityClass::Syscall);
+                let wb = self.futex.wake_begin(line.addr(), self.now);
+                let kern = wb.lock_acquired_at - self.now;
+                self.add_cpi(false, kern, (kern / 2).max(1));
+                // The dequeue happens under the bucket lock, serialized
+                // after any earlier-slotted sleep commits.
+                self.push(wb.lock_acquired_at, EvKind::FutexWakeCommit { ctx, gen, line, n });
+            }
+            Op::MonitorMwait { line, expect } => {
+                self.set_activity(ctx, ActivityClass::Syscall);
+                let setup = self.cfg.mwait.setup;
+                self.add_cpi(false, setup, setup / 2);
+                let v = self.mem.peek(line);
+                if v != expect {
+                    self.push(self.now + setup, EvKind::OpDone {
+                        ctx,
+                        gen,
+                        result: OpResult::Value(v),
+                    });
+                } else {
+                    self.ctxs[ctx].spin = Some(SpinState {
+                        line,
+                        cond: SpinCond::Differs(expect),
+                        pause: PauseKind::None,
+                        started: self.now,
+                        deadline: None,
+                        mwait: true,
+                    });
+                    self.watchers[line.index()].push(ctx);
+                    self.set_power_state(ctx, CtxPowerState::MwaitBlocked);
+                }
+            }
+            Op::Yield => {
+                self.set_activity(ctx, ActivityClass::Syscall);
+                let cost = self.cfg.os.yield_cost;
+                self.add_cpi(false, cost, cost / 2);
+                match self.sched.yield_thread(tid) {
+                    SwitchDecision::Keep => {
+                        self.push(self.now + cost, EvKind::OpDone {
+                            ctx,
+                            gen,
+                            result: OpResult::Done,
+                        });
+                    }
+                    SwitchDecision::SwitchTo(next) => {
+                        self.slots[tid].pending = Some(OpResult::Done);
+                        self.install(
+                            ctx,
+                            next,
+                            self.now + cost + self.cfg.sched.ctx_switch_cycles,
+                        );
+                    }
+                    SwitchDecision::Idle => unreachable!("running thread yielded into idle"),
+                }
+            }
+            Op::SleepFor(d) => {
+                self.set_activity(ctx, ActivityClass::Syscall);
+                let cost = self.cfg.os.sleep_cost;
+                self.add_cpi(false, cost, cost / 2);
+                self.push(self.now + cost, EvKind::ThreadBlock { tid });
+                self.push(self.now + cost + d.max(1), EvKind::SleepTimer { tid });
+            }
+            Op::SetVf(vf) => {
+                self.set_activity(ctx, ActivityClass::Syscall);
+                let cost = self.cfg.os.vf_switch;
+                self.add_cpi(false, cost, cost / 2);
+                self.ctxs[ctx].vf_req = vf;
+                self.apply_core_vf(ctx);
+                self.push(self.now + cost, EvKind::OpDone { ctx, gen, result: OpResult::Done });
+            }
+            Op::Finish => {
+                self.slots[tid].finished = true;
+                self.live -= 1;
+                match self.sched.finish(tid) {
+                    SwitchDecision::SwitchTo(next) => {
+                        // The leaving thread's ctx state is replaced by install.
+                        self.install(ctx, next, self.now + self.cfg.sched.ctx_switch_cycles);
+                    }
+                    SwitchDecision::Idle => self.ctx_goes_idle(ctx),
+                    SwitchDecision::Keep => unreachable!("finish cannot keep"),
+                }
+            }
+        }
+    }
+
+    fn apply_core_vf(&mut self, ctx: CtxId) {
+        // A core runs at the higher of its two hyper-thread requests (§4.2).
+        let core = self.cfg.shape.core_of(ctx);
+        let tpc = self.cfg.shape.threads_per_core;
+        let vf = (0..tpc)
+            .map(|h| self.ctxs[core * tpc + h].vf_req)
+            .max_by_key(VfPoint::khz)
+            .expect("core has contexts");
+        self.cores[core].slowdown = vf.slowdown(self.cfg.power.base_khz);
+        self.power.advance(self.now);
+        self.power.set_core_vf(core, vf);
+    }
+
+    // ---- write commits & spin notification --------------------------------------
+
+    fn on_write_commit(
+        &mut self,
+        line: LineId,
+        ctx: CtxId,
+        gen: u64,
+        kind: RmwKind,
+        result_at: Cycles,
+    ) {
+        let (old, _invalidated) = self.mem.commit_write(ctx, line, kind);
+        let (result, changed) = match kind {
+            RmwKind::Cas { expect, new } => {
+                (OpResult::Cas { ok: old == expect, old }, old == expect && old != new)
+            }
+            RmwKind::Swap(v) => (OpResult::Value(old), v != old),
+            RmwKind::FetchAdd(d) => (OpResult::Value(old), d != 0),
+            RmwKind::Store(v) => (OpResult::Done, v != old),
+        };
+        if self.ctxs[ctx].gen == gen {
+            self.push(result_at, EvKind::OpDone { ctx, gen, result });
+        }
+        if changed {
+            self.notify_watchers(line, ctx);
+        }
+    }
+
+    fn notify_watchers(&mut self, line: LineId, writer: CtxId) {
+        if self.watchers[line.index()].is_empty() {
+            return;
+        }
+        let value = self.mem.peek(line);
+        let list = std::mem::take(&mut self.watchers[line.index()]);
+        let mut keep = Vec::with_capacity(list.len());
+        for w in list {
+            let satisfied = match self.ctxs[w].spin {
+                Some(s) if s.line == line => s.cond.satisfied(value),
+                _ => {
+                    // Stale registration (interrupted spin); drop it.
+                    continue;
+                }
+            };
+            if !satisfied {
+                keep.push(w);
+                continue;
+            }
+            let spin = self.ctxs[w].spin.take().expect("checked above");
+            let delay = if spin.mwait {
+                self.set_activity(w, ActivityClass::Syscall);
+                self.cfg.mwait.exit
+            } else {
+                // The spinner re-reads the line (cache-to-cache transfer) and
+                // notices on its next poll iteration.
+                let (_, cost) = self.mem.load(w, line, self.now);
+                let (iter, _) = self.pause_cost(spin.pause);
+                cost + iter / 2
+            };
+            self.end_spin_accounting(&spin, writer);
+            let gen = self.ctxs[w].gen;
+            self.push(self.now + delay, EvKind::OpDone { ctx: w, gen, result: OpResult::Value(value) });
+        }
+        self.watchers[line.index()] = keep;
+    }
+
+    fn end_spin_accounting(&mut self, spin: &SpinState, _writer: CtxId) {
+        let dur = self.now.saturating_sub(spin.started);
+        if spin.mwait {
+            self.add_cpi(true, dur, 1);
+            return;
+        }
+        let (iter_cycles, iter_instr) = self.pause_cost(spin.pause);
+        let iters = dur / iter_cycles.max(1);
+        self.add_cpi(true, dur, iters.saturating_mul(iter_instr).max(1));
+    }
+
+    fn on_spin_deadline(&mut self, ctx: CtxId, gen: u64, line: LineId) {
+        if self.ctxs[ctx].gen != gen {
+            return;
+        }
+        let Some(spin) = self.ctxs[ctx].spin else { return };
+        if spin.line != line || spin.deadline != Some(self.now) {
+            return;
+        }
+        self.ctxs[ctx].spin = None;
+        self.watchers[line.index()].retain(|&c| c != ctx);
+        self.end_spin_accounting(&spin, ctx);
+        let v = self.mem.peek(line);
+        self.push(self.now, EvKind::OpDone { ctx, gen, result: OpResult::SpinTimeout(v) });
+    }
+
+    // ---- blocking & waking ------------------------------------------------------
+
+    fn on_thread_block(&mut self, tid: Tid) {
+        let Some(ctx) = self.sched.ctx_of(tid) else {
+            panic!("blocking thread {tid} is not running");
+        };
+        match self.sched.block(tid) {
+            SwitchDecision::SwitchTo(next) => {
+                // Bump gen so stale events for the blocked thread die.
+                self.ctxs[ctx].gen += 1;
+                self.ctxs[ctx].current = None;
+                self.install(ctx, next, self.now + self.cfg.sched.ctx_switch_cycles);
+            }
+            SwitchDecision::Idle => self.ctx_goes_idle(ctx),
+            SwitchDecision::Keep => unreachable!("block cannot keep"),
+        }
+    }
+
+    fn on_futex_commit(&mut self, tid: Tid, line: LineId, expect: u64, timeout: Option<Cycles>) {
+        let matches = self.mem.peek(line) == expect;
+        let deadline = timeout.map(|t| self.now + t);
+        let w = self.futex.wait_commit(line.addr(), tid, self.now, matches, deadline);
+        let kern = w.kernel_done_at - self.now;
+        self.add_cpi(false, kern, (kern / 2).max(1));
+        match w.outcome {
+            WaitOutcome::ValueMismatch => {
+                let ctx = self.sched.ctx_of(tid).expect("waiter still runs on its context");
+                let gen = self.ctxs[ctx].gen;
+                self.push(w.kernel_done_at, EvKind::OpDone {
+                    ctx,
+                    gen,
+                    result: OpResult::FutexWait(FutexWaitResult::ValueMismatch),
+                });
+            }
+            WaitOutcome::Enqueued => {
+                self.slots[tid].fgen = w.generation;
+                self.push(w.kernel_done_at, EvKind::ThreadBlock { tid });
+                if let Some(t) = timeout {
+                    self.push(w.kernel_done_at + t, EvKind::FutexTimeout {
+                        tid,
+                        line,
+                        fgen: w.generation,
+                    });
+                }
+            }
+        }
+    }
+
+    fn on_futex_wake_commit(&mut self, ctx: CtxId, gen: u64, line: LineId, n: u32) {
+        let wk = self.futex.wake_commit(line.addr(), n as usize, self.now);
+        let kern = wk.kernel_done_at - self.now;
+        self.add_cpi(false, kern, (kern / 2).max(1));
+        let woken = wk.woken.len() as u32;
+        for t in wk.woken {
+            self.slots[t].pending = Some(OpResult::FutexWait(FutexWaitResult::Woken));
+            self.push(wk.kernel_done_at, EvKind::WakeThread { tid: t });
+        }
+        if self.ctxs[ctx].gen == gen {
+            self.push(wk.kernel_done_at, EvKind::OpDone {
+                ctx,
+                gen,
+                result: OpResult::FutexWake { woken },
+            });
+        }
+    }
+
+    fn on_futex_timeout(&mut self, tid: Tid, line: LineId, fgen: u64) {
+        if self.slots[tid].fgen != fgen {
+            return;
+        }
+        if self.futex.expire(tid, fgen, line.addr(), self.now) {
+            self.slots[tid].pending = Some(OpResult::FutexWait(FutexWaitResult::TimedOut));
+            self.wake_thread(tid);
+        }
+    }
+
+    fn wake_thread(&mut self, tid: Tid) {
+        if self.slots[tid].finished {
+            return;
+        }
+        debug_assert_eq!(self.sched.thread_state(tid), ThreadState::Blocked);
+        match self.sched.make_runnable(tid) {
+            WakeDecision::RunNow { ctx } => {
+                self.install(ctx, tid, self.now + self.cfg.sched.wake_latency_cycles);
+            }
+            WakeDecision::Enqueued { ctx, .. } => {
+                if self.cfg.os.wakeup_preemption {
+                    self.consider_preemption(ctx);
+                }
+            }
+        }
+    }
+
+    fn consider_preemption(&mut self, ctx: CtxId) {
+        let Some(_victim) = self.sched.running_on(ctx) else { return };
+        if self.now.saturating_sub(self.ctxs[ctx].dispatch_time) < self.cfg.os.wakeup_granularity {
+            return;
+        }
+        if self.ctxs[ctx].spin.is_some() {
+            self.interrupt_spin_and_rotate(ctx);
+        } else {
+            self.ctxs[ctx].preempt_pending = true;
+        }
+    }
+
+    /// Interrupts an in-progress spin/mwait and hands the context to the
+    /// next queued thread; the victim will re-issue its spin when it runs
+    /// again.
+    fn interrupt_spin_and_rotate(&mut self, ctx: CtxId) {
+        let tid = self.ctxs[ctx].current.expect("spinning ctx has a thread");
+        let spin = self.ctxs[ctx].spin.take().expect("caller checked spin");
+        self.watchers[spin.line.index()].retain(|&c| c != ctx);
+        self.end_spin_accounting(&spin, ctx);
+        let reissue = if spin.mwait {
+            let expect = match spin.cond {
+                SpinCond::Differs(v) => v,
+                _ => unreachable!("mwait uses Differs"),
+            };
+            Op::MonitorMwait { line: spin.line, expect }
+        } else {
+            Op::SpinLoad {
+                line: spin.line,
+                pause: spin.pause,
+                until: spin.cond,
+                max: spin.deadline.map(|d| d.saturating_sub(self.now).max(1)),
+            }
+        };
+        self.slots[tid].reissue = Some(reissue);
+        self.switch_out_rotating(ctx, tid);
+    }
+
+    fn on_quantum(&mut self, ctx: CtxId, gen: u64) {
+        if self.ctxs[ctx].gen != gen || self.ctxs[ctx].current.is_none() {
+            return;
+        }
+        if self.sched.queue_len(ctx) == 0 {
+            self.push(self.now + self.cfg.sched.quantum_cycles, EvKind::Quantum { ctx, gen });
+            return;
+        }
+        if self.ctxs[ctx].spin.is_some() {
+            self.interrupt_spin_and_rotate(ctx);
+        } else {
+            self.ctxs[ctx].preempt_pending = true;
+        }
+    }
+
+    // ---- measurement ------------------------------------------------------------
+
+    fn on_end_warmup(&mut self) {
+        for slot in &mut self.slots {
+            slot.counters.reset();
+        }
+        self.power.advance(self.now);
+        self.energy_base = self.power.energy();
+        self.futex_base = self.futex.stats();
+        self.wait_cpi_base = self.wait_cpi;
+        self.total_cpi_base = self.total_cpi;
+        self.measure_start = self.now;
+    }
+
+    fn report(self) -> SimReport {
+        let cycles = self.now.saturating_sub(self.measure_start).max(1);
+        let seconds = cycles as f64 / self.cfg.cycles_per_second() as f64;
+        let energy = self.power.energy().since(&self.energy_base);
+        let total_ops: u64 = self.slots.iter().map(|s| s.counters.ops).sum();
+        let mut acquire_latency = Histogram::new();
+        for s in &self.slots {
+            acquire_latency.merge(&s.counters.acquire_latency);
+        }
+        let f = self.futex.stats();
+        let b = self.futex_base;
+        let futex = FutexStats {
+            waits: f.waits - b.waits,
+            wait_mismatches: f.wait_mismatches - b.wait_mismatches,
+            wake_calls: f.wake_calls - b.wake_calls,
+            threads_woken: f.threads_woken - b.threads_woken,
+            empty_wakes: f.empty_wakes - b.empty_wakes,
+            timeouts: f.timeouts - b.timeouts,
+            bucket_spin_cycles: f.bucket_spin_cycles - b.bucket_spin_cycles,
+            kernel_work_cycles: f.kernel_work_cycles - b.kernel_work_cycles,
+        };
+        let total_j = energy.total_j();
+        SimReport {
+            cycles,
+            seconds,
+            total_ops,
+            throughput: total_ops as f64 / seconds,
+            avg_power: PowerBreakdown {
+                total_w: total_j / seconds,
+                pkg_w: energy.pkg_j / seconds,
+                cores_w: energy.cores_j / seconds,
+                dram_w: energy.dram_j / seconds,
+            },
+            tpp: if total_j > 0.0 { total_ops as f64 / total_j } else { 0.0 },
+            energy,
+            threads: self.slots.into_iter().map(|s| s.counters).collect(),
+            acquire_latency,
+            futex,
+            wait_cpi: CpiCounter {
+                cycles: self.wait_cpi.cycles - self.wait_cpi_base.cycles,
+                instructions: self.wait_cpi.instructions - self.wait_cpi_base.instructions,
+            },
+            total_cpi: CpiCounter {
+                cycles: self.total_cpi.cycles - self.total_cpi_base.cycles,
+                instructions: self.total_cpi.instructions - self.total_cpi_base.instructions,
+            },
+        }
+    }
+}

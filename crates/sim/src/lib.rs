@@ -1,0 +1,57 @@
+//! Deterministic discrete-event simulator of a multi-socket x86 machine.
+//!
+//! This crate is the hardware/OS substrate of the "Unlocking Energy"
+//! (USENIX ATC 2016) reproduction. It models, at the granularity that lock
+//! behavior depends on:
+//!
+//! * **Topology** — sockets x cores x hyper-threads (the paper's Xeon:
+//!   2 x 10 x 2), with the paper's pinning order;
+//! * **Coherence** — a cache-line directory with owner/sharer tracking,
+//!   L1/LLC/cross-socket transfer latencies and write serialization (the
+//!   root cause of global-spinning collapse);
+//! * **Waiting instructions** — local spin loops with `nop`/`pause`/`mfence`
+//!   pausing, global spinning via atomics, `monitor/mwait`;
+//! * **OS services** — a run-queue scheduler with quanta and wakeup
+//!   preemption ([`poly_sched`]), the futex subsystem with bucket kernel
+//!   locks ([`poly_futex`]), timed sleeps, `sched_yield`, per-core DVFS;
+//! * **Idle states** — C1/C3/C6 residency promotion and exit latencies,
+//!   reproducing the paper's turnaround blow-up past ~600 K-cycle sleeps;
+//! * **Energy** — every context's activity is priced by [`poly_energy`]'s
+//!   calibrated power model into RAPL-style counters.
+//!
+//! Programs (threads) are state machines issuing [`Op`]s; see [`Program`].
+//! Runs are deterministic: same seed, same configuration, same report.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod builder;
+mod config;
+mod engine;
+mod mem;
+mod ops;
+mod program;
+mod stats;
+
+pub use builder::SimBuilder;
+pub use config::{
+    IdleConfig, MachineConfig, MemConfig, MwaitConfig, OsConfig, PauseConfig, PauseCost,
+};
+pub use engine::{Engine, PinPolicy, RunSpec};
+pub use mem::{LineId, Memory, WritePlan};
+pub use ops::{FutexWaitResult, Op, OpResult, PauseKind, RmwKind, SpinCond};
+pub use program::{CsTracker, Program, ThreadRt};
+pub use stats::{CpiCounter, Histogram, SimReport, ThreadCounters};
+
+// Re-export the substrate types users need alongside the simulator.
+pub use poly_energy::{ActivityClass, EnergyReading, MachineShape, PowerBreakdown, VfPoint};
+pub use poly_futex::FutexStats;
+
+/// Simulation time in base-frequency cycles.
+pub type Cycles = u64;
+
+/// Hardware-context id.
+pub type CtxId = usize;
+
+/// Simulated thread id.
+pub type Tid = usize;

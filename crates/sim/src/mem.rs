@@ -1,0 +1,315 @@
+//! Cache-line directory: value state, ownership, sharers and write
+//! serialization.
+//!
+//! Only the lines that matter for synchronization are modeled (lock words,
+//! queue nodes, flags); the data accessed inside critical sections is
+//! abstracted as [`Op::Work`](crate::Op::Work). The model tracks, per line:
+//!
+//! * the current 64-bit value (every line holds one word),
+//! * the owning context (last writer) and the sharer set (readers),
+//! * a `busy_until` horizon serializing write-type operations — back-to-back
+//!   atomics on one line commit once per
+//!   [`MemConfig::write_service`](crate::MemConfig) cycles, which is what
+//!   makes global spinning collapse (the paper's 530-cycle CPI) and lock
+//!   releases under TAS expensive.
+//!
+//! Ordering note: write effects apply at *commit* time in grant order, so
+//! mutual-exclusion reasoning on CAS results is exact; loads are not
+//! serialized against in-flight writes (they observe the last committed
+//! value), a deliberate approximation that preserves throughput behavior.
+
+use poly_energy::MachineShape;
+
+use crate::config::MemConfig;
+use crate::ops::RmwKind;
+use crate::{Cycles, CtxId};
+
+/// Identifier of a simulated cache line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LineId(pub(crate) u32);
+
+impl LineId {
+    /// The line id as an index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The line id as a futex address.
+    pub fn addr(self) -> u64 {
+        self.0 as u64
+    }
+
+    /// Reconstructs a line id from a raw index previously obtained through
+    /// [`LineId::index`]/[`LineId::addr`].
+    ///
+    /// Queue locks (MCS/CLH) store line references inside lock words; this
+    /// is the decode path. Accessing a line that was never allocated panics
+    /// inside the memory model.
+    pub fn from_raw(raw: u32) -> Self {
+        LineId(raw)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Line {
+    value: u64,
+    owner: Option<CtxId>,
+    sharers: u64,
+    busy_until: Cycles,
+}
+
+/// Timing plan for a write-type operation returned by
+/// [`Memory::begin_write`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WritePlan {
+    /// When the write commits (value becomes globally visible).
+    pub commit_at: Cycles,
+    /// When the issuing context learns the result.
+    pub result_at: Cycles,
+}
+
+/// The cache-line directory.
+#[derive(Debug)]
+pub struct Memory {
+    cfg: MemConfig,
+    shape: MachineShape,
+    lines: Vec<Line>,
+}
+
+impl Memory {
+    /// Creates an empty directory.
+    pub fn new(cfg: MemConfig, shape: MachineShape) -> Self {
+        Self { cfg, shape, lines: Vec::new() }
+    }
+
+    /// Allocates a fresh line holding `init`.
+    pub fn alloc(&mut self, init: u64) -> LineId {
+        let id = LineId(u32::try_from(self.lines.len()).expect("line id space exhausted"));
+        self.lines.push(Line { value: init, owner: None, sharers: 0, busy_until: 0 });
+        id
+    }
+
+    /// Number of allocated lines.
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Whether no lines were allocated.
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+
+    /// Raw peek at the committed value (no timing, used for futex value
+    /// checks and assertions).
+    pub fn peek(&self, line: LineId) -> u64 {
+        self.lines[line.index()].value
+    }
+
+    /// Transfer latency for moving a line from `from` (None = home LLC) to
+    /// `to`.
+    fn xfer(&self, from: Option<CtxId>, to: CtxId) -> Cycles {
+        match from {
+            None => self.cfg.llc_hit,
+            Some(f) if f == to => self.cfg.l1_hit,
+            Some(f) if self.shape.core_of(f) == self.shape.core_of(to) => self.cfg.l1_hit,
+            Some(f) if self.shape.socket_of_ctx(f) == self.shape.socket_of_ctx(to) => {
+                self.cfg.xfer_local
+            }
+            Some(_) => self.cfg.xfer_remote,
+        }
+    }
+
+    /// A load by `ctx`: returns the value and its latency, and records `ctx`
+    /// as a sharer.
+    pub fn load(&mut self, ctx: CtxId, line: LineId, _now: Cycles) -> (u64, Cycles) {
+        let owner = self.lines[line.index()].owner;
+        let mask = 1u64 << ctx;
+        let l = &mut self.lines[line.index()];
+        let cost = if l.sharers & mask != 0 || owner == Some(ctx) {
+            self.cfg.l1_hit
+        } else {
+            // Fetch from the current owner (or home LLC).
+            let c = match owner {
+                None => self.cfg.llc_hit,
+                Some(f) if self.shape.core_of(f) == self.shape.core_of(ctx) => self.cfg.l1_hit,
+                Some(f) if self.shape.socket_of_ctx(f) == self.shape.socket_of_ctx(ctx) => {
+                    self.cfg.xfer_local
+                }
+                Some(_) => self.cfg.xfer_remote,
+            };
+            c
+        };
+        l.sharers |= mask;
+        (l.value, cost)
+    }
+
+    /// Reserves the line for a write-type operation issued by `ctx` at
+    /// `now`; the effect must be applied at `commit_at` via
+    /// [`Memory::commit_write`].
+    pub fn begin_write(&mut self, ctx: CtxId, line: LineId, now: Cycles) -> WritePlan {
+        let l = &self.lines[line.index()];
+        let exclusive = l.owner == Some(ctx) && l.sharers & !(1u64 << ctx) == 0;
+        let (service, extra) = if exclusive && l.busy_until <= now {
+            (self.cfg.rmw_owned, 0)
+        } else {
+            (self.cfg.write_service, self.xfer(l.owner, ctx))
+        };
+        let grant = now.max(l.busy_until);
+        let commit_at = grant + service;
+        self.lines[line.index()].busy_until = commit_at;
+        WritePlan { commit_at, result_at: commit_at + extra }
+    }
+
+    /// Applies a write-type operation's effect; returns the old value and
+    /// the set of contexts whose copies were invalidated (previous sharers
+    /// other than the writer — the engine re-notifies their spinners).
+    pub fn commit_write(&mut self, ctx: CtxId, line: LineId, kind: RmwKind) -> (u64, u64) {
+        let l = &mut self.lines[line.index()];
+        let old = l.value;
+        let applied = match kind {
+            RmwKind::Cas { expect, new } => {
+                if old == expect {
+                    l.value = new;
+                    true
+                } else {
+                    false
+                }
+            }
+            RmwKind::Swap(v) | RmwKind::Store(v) => {
+                l.value = v;
+                true
+            }
+            RmwKind::FetchAdd(d) => {
+                l.value = old.wrapping_add(d);
+                true
+            }
+        };
+        let mask = 1u64 << ctx;
+        let invalidated = if applied { l.sharers & !mask } else { 0 };
+        if applied {
+            l.owner = Some(ctx);
+            l.sharers = mask;
+        } else {
+            // A failed CAS still pulled the line for exclusive access.
+            l.owner = Some(ctx);
+            l.sharers = mask;
+        }
+        (old, invalidated)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem() -> Memory {
+        Memory::new(MemConfig::default(), MachineShape::xeon())
+    }
+
+    #[test]
+    fn alloc_and_peek() {
+        let mut m = mem();
+        let a = m.alloc(7);
+        let b = m.alloc(9);
+        assert_ne!(a, b);
+        assert_eq!(m.peek(a), 7);
+        assert_eq!(m.peek(b), 9);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn first_load_costs_llc_then_l1() {
+        let mut m = mem();
+        let a = m.alloc(1);
+        let (v, c1) = m.load(0, a, 0);
+        assert_eq!(v, 1);
+        assert_eq!(c1, MemConfig::default().llc_hit);
+        let (_, c2) = m.load(0, a, 10);
+        assert_eq!(c2, MemConfig::default().l1_hit);
+    }
+
+    #[test]
+    fn cross_socket_load_costs_remote_transfer() {
+        let mut m = mem();
+        let a = m.alloc(0);
+        // Ctx 0 (socket 0) writes; ctx 39 (socket 1) then loads.
+        let plan = m.begin_write(0, a, 0);
+        m.commit_write(0, a, RmwKind::Store(5));
+        let (v, cost) = m.load(39, a, plan.commit_at);
+        assert_eq!(v, 5);
+        assert_eq!(cost, MemConfig::default().xfer_remote);
+        // Same-socket sibling core is cheaper.
+        let (_, cost_local) = m.load(2, a, plan.commit_at + 1000);
+        assert_eq!(cost_local, MemConfig::default().xfer_local);
+    }
+
+    #[test]
+    fn hyperthread_sibling_load_hits_l1() {
+        let mut m = mem();
+        let a = m.alloc(0);
+        m.begin_write(0, a, 0);
+        m.commit_write(0, a, RmwKind::Store(5));
+        let (_, cost) = m.load(1, a, 100);
+        assert_eq!(cost, MemConfig::default().l1_hit, "ctx 0 and 1 share a core");
+    }
+
+    #[test]
+    fn writes_serialize_on_the_line() {
+        let mut m = mem();
+        let a = m.alloc(0);
+        let w1 = m.begin_write(0, a, 100);
+        let w2 = m.begin_write(5, a, 100);
+        let w3 = m.begin_write(9, a, 100);
+        assert!(w2.commit_at > w1.commit_at);
+        assert!(w3.commit_at > w2.commit_at);
+        assert_eq!(w3.commit_at - w2.commit_at, MemConfig::default().write_service);
+    }
+
+    #[test]
+    fn exclusive_owner_fast_path() {
+        let mut m = mem();
+        let a = m.alloc(0);
+        let w1 = m.begin_write(3, a, 0);
+        m.commit_write(3, a, RmwKind::Store(1));
+        let w2 = m.begin_write(3, a, w1.commit_at + 100);
+        assert_eq!(
+            w2.commit_at - (w1.commit_at + 100),
+            MemConfig::default().rmw_owned,
+            "owned atomic takes the fast path"
+        );
+        assert_eq!(w2.result_at, w2.commit_at);
+    }
+
+    #[test]
+    fn cas_semantics_and_invalidation() {
+        let mut m = mem();
+        let a = m.alloc(0);
+        // Two readers cache the line.
+        let _ = m.load(4, a, 0);
+        let _ = m.load(8, a, 0);
+        m.begin_write(0, a, 10);
+        let (old, inval) = m.commit_write(0, a, RmwKind::Cas { expect: 0, new: 1 });
+        assert_eq!(old, 0);
+        assert_eq!(m.peek(a), 1);
+        assert_eq!(inval, (1 << 4) | (1 << 8), "both readers invalidated");
+        // Failed CAS leaves the value.
+        m.begin_write(2, a, 50);
+        let (old2, _) = m.commit_write(2, a, RmwKind::Cas { expect: 0, new: 9 });
+        assert_eq!(old2, 1);
+        assert_eq!(m.peek(a), 1);
+    }
+
+    #[test]
+    fn fetch_add_and_swap() {
+        let mut m = mem();
+        let a = m.alloc(10);
+        m.begin_write(0, a, 0);
+        let (old, _) = m.commit_write(0, a, RmwKind::FetchAdd(5));
+        assert_eq!(old, 10);
+        assert_eq!(m.peek(a), 15);
+        m.begin_write(0, a, 100);
+        let (old, _) = m.commit_write(0, a, RmwKind::Swap(99));
+        assert_eq!(old, 15);
+        assert_eq!(m.peek(a), 99);
+    }
+}

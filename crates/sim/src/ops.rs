@@ -1,0 +1,233 @@
+//! The virtual instruction set programs execute on the simulated machine.
+
+use poly_energy::VfPoint;
+
+use crate::{Cycles, LineId};
+
+/// Pausing flavor used inside a spin-wait loop (§4.2 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PauseKind {
+    /// Plain load/test/jump loop: retires a load every cycle.
+    None,
+    /// `nop` in the loop body — hidden by the out-of-order engine, power-wise
+    /// identical to [`PauseKind::None`] but retires one more instruction.
+    Nop,
+    /// x86 `pause`: raises CPI to ~4.6 and, on the paper's machines,
+    /// *increases* power consumption.
+    Pause,
+    /// Full/load memory barrier: stalls the speculative load stream; the
+    /// paper's recommended low-power pausing technique.
+    Mbar,
+}
+
+/// Predicate a spin loop waits for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpinCond {
+    /// Spin until the value differs from the operand.
+    Differs(u64),
+    /// Spin until the value equals the operand.
+    Equals(u64),
+    /// Spin until `value & mask == want` (e.g., a ticket-lock owner field).
+    MaskEquals {
+        /// Bits compared.
+        mask: u64,
+        /// Value the masked bits must equal.
+        want: u64,
+    },
+}
+
+impl SpinCond {
+    /// Evaluates the predicate.
+    pub fn satisfied(&self, value: u64) -> bool {
+        match *self {
+            SpinCond::Differs(v) => value != v,
+            SpinCond::Equals(v) => value == v,
+            SpinCond::MaskEquals { mask, want } => value & mask == want,
+        }
+    }
+}
+
+/// Read-modify-write flavors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RmwKind {
+    /// Compare-and-swap.
+    Cas {
+        /// Expected current value.
+        expect: u64,
+        /// Value stored on success.
+        new: u64,
+    },
+    /// Unconditional atomic exchange; returns the old value.
+    Swap(u64),
+    /// Atomic fetch-and-add; returns the old value.
+    FetchAdd(u64),
+    /// Plain store (serialized like an atomic for line ownership, but with
+    /// no return value).
+    Store(u64),
+}
+
+/// One operation a simulated thread asks the machine to perform.
+///
+/// Programs are state machines: the engine calls
+/// [`Program::resume`](crate::Program::resume) with the result of the last
+/// operation and receives the next `Op`. Every operation takes at least one
+/// cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Ordinary computation for the given number of cycles (at max VF).
+    Work(Cycles),
+    /// Memory-intensive streaming computation (draws DRAM power).
+    MemWork(Cycles),
+    /// Load a cache line; yields [`OpResult::Value`].
+    Load(LineId),
+    /// Write-type atomic on a cache line (store/CAS/swap/fetch-add).
+    Rmw(LineId, RmwKind),
+    /// A full memory barrier outside any spin loop.
+    Fence,
+    /// Spin reading `line` until `until` holds or `max` cycles elapse.
+    ///
+    /// Yields [`OpResult::Value`] with the satisfying value, or
+    /// [`OpResult::SpinTimeout`] when `max` expires first.
+    SpinLoad {
+        /// Line being watched.
+        line: LineId,
+        /// Pausing flavor (determines power and poll granularity).
+        pause: PauseKind,
+        /// Exit predicate.
+        until: SpinCond,
+        /// Optional spin budget in cycles.
+        max: Option<Cycles>,
+    },
+    /// `futex(FUTEX_WAIT, line, expect)`, optionally with a timeout.
+    FutexWait {
+        /// Futex word.
+        line: LineId,
+        /// Expected value (sleeps only if the word still holds it).
+        expect: u64,
+        /// Relative timeout in cycles.
+        timeout: Option<Cycles>,
+    },
+    /// `futex(FUTEX_WAKE, line, n)`.
+    FutexWake {
+        /// Futex word.
+        line: LineId,
+        /// Maximum number of threads to wake.
+        n: u32,
+    },
+    /// Arm `monitor` on `line` and `mwait` until a write changes it away
+    /// from `expect` (immediately returns if it already differs).
+    MonitorMwait {
+        /// Monitored line.
+        line: LineId,
+        /// Value considered "still waiting".
+        expect: u64,
+    },
+    /// `sched_yield`.
+    Yield,
+    /// Deschedule for the given duration (models blocking I/O or a timed
+    /// sleep; the context is released to the OS).
+    SleepFor(Cycles),
+    /// Request a DVFS point for this thread's core (takes effect at the
+    /// higher of the two sibling requests, like on real hardware).
+    SetVf(VfPoint),
+    /// Terminate the thread.
+    Finish,
+}
+
+/// Reason a futex wait returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FutexWaitResult {
+    /// Woken by a `FUTEX_WAKE`.
+    Woken,
+    /// The timeout expired.
+    TimedOut,
+    /// The expected-value check failed (`EAGAIN`); the thread never slept.
+    ValueMismatch,
+}
+
+/// Result of the previously issued [`Op`], delivered to
+/// [`Program::resume`](crate::Program::resume).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpResult {
+    /// First activation of the program (no previous op).
+    Started,
+    /// Operation completed without a value (work, fences, yields, sleeps).
+    Done,
+    /// A load/spin completed with the observed value, or a swap/fetch-add
+    /// completed with the *old* value.
+    Value(u64),
+    /// A compare-and-swap completed.
+    Cas {
+        /// Whether the CAS succeeded.
+        ok: bool,
+        /// The value observed (old value).
+        old: u64,
+    },
+    /// A bounded spin gave up; the operand is the last observed value.
+    SpinTimeout(u64),
+    /// A futex wait returned.
+    FutexWait(FutexWaitResult),
+    /// A futex wake returned with the number of threads woken.
+    FutexWake {
+        /// Threads woken.
+        woken: u32,
+    },
+}
+
+impl OpResult {
+    /// Convenience: the observed value of a `Value`/`SpinTimeout`/`Cas`
+    /// result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result carries no value.
+    pub fn value(&self) -> u64 {
+        match *self {
+            OpResult::Value(v) | OpResult::SpinTimeout(v) => v,
+            OpResult::Cas { old, .. } => old,
+            ref other => panic!("result {other:?} carries no value"),
+        }
+    }
+
+    /// Convenience: whether a CAS succeeded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result is not [`OpResult::Cas`].
+    pub fn cas_ok(&self) -> bool {
+        match *self {
+            OpResult::Cas { ok, .. } => ok,
+            ref other => panic!("result {other:?} is not a CAS"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spin_conditions() {
+        assert!(SpinCond::Differs(0).satisfied(1));
+        assert!(!SpinCond::Differs(0).satisfied(0));
+        assert!(SpinCond::Equals(7).satisfied(7));
+        assert!(!SpinCond::Equals(7).satisfied(8));
+        let c = SpinCond::MaskEquals { mask: 0xffff, want: 0x12 };
+        assert!(c.satisfied(0xabcd_0012));
+        assert!(!c.satisfied(0xabcd_0013));
+    }
+
+    #[test]
+    fn result_value_accessors() {
+        assert_eq!(OpResult::Value(5).value(), 5);
+        assert_eq!(OpResult::SpinTimeout(9).value(), 9);
+        assert_eq!(OpResult::Cas { ok: true, old: 3 }.value(), 3);
+        assert!(OpResult::Cas { ok: true, old: 3 }.cas_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "carries no value")]
+    fn done_has_no_value() {
+        let _ = OpResult::Done.value();
+    }
+}

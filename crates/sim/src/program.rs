@@ -1,0 +1,145 @@
+//! Programs: the state machines simulated threads execute.
+
+use std::collections::HashMap;
+
+use rand::rngs::SmallRng;
+
+use crate::ops::{Op, OpResult};
+use crate::stats::ThreadCounters;
+use crate::{Cycles, Tid};
+
+/// A simulated thread body.
+///
+/// The engine drives the program as a state machine: `resume` receives the
+/// result of the previously issued [`Op`] (or [`OpResult::Started`] on the
+/// first activation) and returns the next operation. Programs must not block
+/// internally; all waiting is expressed through operations.
+pub trait Program {
+    /// Advances the program by one operation.
+    fn resume(&mut self, rt: &mut ThreadRt<'_>, last: OpResult) -> Op;
+}
+
+/// Per-activation runtime handle passed to [`Program::resume`].
+pub struct ThreadRt<'a> {
+    /// The thread's id.
+    pub tid: Tid,
+    /// Current simulation time in cycles.
+    pub now: Cycles,
+    /// Deterministic per-thread random source.
+    pub rng: &'a mut SmallRng,
+    /// The thread's measurement counters.
+    pub counters: &'a mut ThreadCounters,
+    pub(crate) cs: &'a mut CsTracker,
+}
+
+impl ThreadRt<'_> {
+    /// Declares entry into the critical section guarded by `lock_key`.
+    ///
+    /// The simulator uses this to *prove* mutual exclusion: overlapping
+    /// entries are a lock-algorithm bug and abort the run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if another thread is already inside the same critical section.
+    pub fn enter_cs(&mut self, lock_key: u64) {
+        self.cs.enter(lock_key, self.tid, self.now);
+    }
+
+    /// Declares exit from the critical section guarded by `lock_key`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this thread is not the current occupant.
+    pub fn exit_cs(&mut self, lock_key: u64) {
+        self.cs.exit(lock_key, self.tid);
+    }
+}
+
+/// Tracks critical-section occupancy to prove mutual exclusion.
+#[derive(Debug, Default)]
+pub struct CsTracker {
+    inside: HashMap<u64, Tid>,
+    entries: u64,
+}
+
+impl CsTracker {
+    pub(crate) fn enter(&mut self, key: u64, tid: Tid, now: Cycles) {
+        if let Some(&holder) = self.inside.get(&key) {
+            panic!(
+                "mutual exclusion violated on lock {key:#x} at cycle {now}: \
+                 thread {tid} entered while thread {holder} is inside"
+            );
+        }
+        self.inside.insert(key, tid);
+        self.entries += 1;
+    }
+
+    pub(crate) fn exit(&mut self, key: u64, tid: Tid) {
+        match self.inside.remove(&key) {
+            Some(holder) if holder == tid => {}
+            Some(holder) => panic!(
+                "critical-section exit mismatch on lock {key:#x}: thread {tid} \
+                 exited but thread {holder} was inside"
+            ),
+            None => panic!("critical-section exit on lock {key:#x} without entry (thread {tid})"),
+        }
+    }
+
+    /// Total successful entries (sanity metric).
+    pub fn entries(&self) -> u64 {
+        self.entries
+    }
+
+    /// Whether any critical section is currently occupied.
+    pub fn any_occupied(&self) -> bool {
+        !self.inside.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracker_counts_entries() {
+        let mut t = CsTracker::default();
+        t.enter(1, 0, 0);
+        t.exit(1, 0);
+        t.enter(1, 1, 5);
+        t.exit(1, 1);
+        assert_eq!(t.entries(), 2);
+        assert!(!t.any_occupied());
+    }
+
+    #[test]
+    fn distinct_locks_do_not_conflict() {
+        let mut t = CsTracker::default();
+        t.enter(1, 0, 0);
+        t.enter(2, 1, 0);
+        t.exit(1, 0);
+        t.exit(2, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "mutual exclusion violated")]
+    fn overlapping_entries_panic() {
+        let mut t = CsTracker::default();
+        t.enter(1, 0, 0);
+        t.enter(1, 1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "exit mismatch")]
+    fn wrong_exiter_panics() {
+        let mut t = CsTracker::default();
+        t.enter(1, 0, 0);
+        t.exit(1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "without entry")]
+    fn exit_without_entry_panics() {
+        let mut t = CsTracker::default();
+        t.exit(7, 0);
+    }
+}

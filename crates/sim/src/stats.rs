@@ -1,0 +1,330 @@
+//! Measurement plumbing: histograms, per-thread counters, run reports.
+
+use poly_energy::{EnergyReading, PowerBreakdown};
+use poly_futex::FutexStats;
+
+use crate::Cycles;
+
+/// A log-bucketed latency histogram (HDR-style: 16 linear sub-buckets per
+/// power of two), good for 0..2^63 cycle values with <7% relative error.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u128,
+    max: u64,
+    min: u64,
+}
+
+const SUB_BITS: u32 = 4;
+const SUB: usize = 1 << SUB_BITS;
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self { buckets: vec![0; 61 * SUB], count: 0, sum: 0, max: 0, min: u64::MAX }
+    }
+
+    fn index(value: u64) -> usize {
+        if value < SUB as u64 {
+            return value as usize;
+        }
+        let msb = 63 - value.leading_zeros();
+        let sub = ((value >> (msb - SUB_BITS)) & (SUB as u64 - 1)) as usize;
+        ((msb - SUB_BITS + 1) as usize) * SUB + sub
+    }
+
+    fn bucket_floor(index: usize) -> u64 {
+        let exp = index / SUB;
+        let sub = (index % SUB) as u64;
+        if exp == 0 {
+            return sub;
+        }
+        let msb = exp as u32 + SUB_BITS - 1;
+        (1u64 << msb) | (sub << (msb - SUB_BITS))
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::index(value)] += 1;
+        self.count += 1;
+        self.sum += u128::from(value);
+        self.max = self.max.max(value);
+        self.min = self.min.min(value);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Maximum recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.max
+        }
+    }
+
+    /// Minimum recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Mean of recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Value at percentile `p` in `[0, 100]` (bucket lower bound; exact for
+    /// the max).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> u64 {
+        assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
+        if self.count == 0 {
+            return 0;
+        }
+        if p >= 100.0 {
+            return self.max;
+        }
+        let rank = (p / 100.0 * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_floor(i);
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+        }
+    }
+
+    /// Clears all recorded values (used at warmup boundaries).
+    pub fn reset(&mut self) {
+        self.buckets.iter_mut().for_each(|b| *b = 0);
+        self.count = 0;
+        self.sum = 0;
+        self.max = 0;
+        self.min = u64::MAX;
+    }
+}
+
+/// Per-thread measurement state, exposed to programs through
+/// [`ThreadRt`](crate::ThreadRt).
+#[derive(Debug, Clone)]
+pub struct ThreadCounters {
+    /// Completed application-level operations (throughput unit).
+    pub ops: u64,
+    /// Lock acquisitions performed.
+    pub acquires: u64,
+    /// Lock handovers received via user-space spinning.
+    pub spin_handovers: u64,
+    /// Lock handovers received via futex wake-ups.
+    pub futex_handovers: u64,
+    /// Latency histogram of lock acquisitions, in cycles.
+    pub acquire_latency: Histogram,
+    /// Free-form auxiliary counters for workload-specific accounting.
+    pub aux: [u64; 4],
+}
+
+impl Default for ThreadCounters {
+    fn default() -> Self {
+        Self {
+            ops: 0,
+            acquires: 0,
+            spin_handovers: 0,
+            futex_handovers: 0,
+            acquire_latency: Histogram::new(),
+            aux: [0; 4],
+        }
+    }
+}
+
+impl ThreadCounters {
+    /// Clears everything (warmup boundary).
+    pub fn reset(&mut self) {
+        self.ops = 0;
+        self.acquires = 0;
+        self.spin_handovers = 0;
+        self.futex_handovers = 0;
+        self.acquire_latency.reset();
+        self.aux = [0; 4];
+    }
+}
+
+/// Cycles and retired instructions per activity, for CPI reporting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CpiCounter {
+    /// Active cycles attributed.
+    pub cycles: u64,
+    /// Instructions retired.
+    pub instructions: u64,
+}
+
+impl CpiCounter {
+    /// Cycles per instruction (`f64::INFINITY` when nothing retired).
+    pub fn cpi(&self) -> f64 {
+        if self.instructions == 0 {
+            f64::INFINITY
+        } else {
+            self.cycles as f64 / self.instructions as f64
+        }
+    }
+}
+
+/// The result of a simulation run.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Measured interval length in cycles (excludes warmup).
+    pub cycles: Cycles,
+    /// Measured interval in seconds.
+    pub seconds: f64,
+    /// Sum of per-thread completed operations.
+    pub total_ops: u64,
+    /// Throughput in operations per second.
+    pub throughput: f64,
+    /// Energy spent during the measured interval.
+    pub energy: EnergyReading,
+    /// Average power over the measured interval.
+    pub avg_power: PowerBreakdown,
+    /// Energy efficiency: operations per Joule (the paper's TPP).
+    pub tpp: f64,
+    /// Per-thread counters.
+    pub threads: Vec<ThreadCounters>,
+    /// Merged acquisition-latency histogram.
+    pub acquire_latency: Histogram,
+    /// Futex subsystem statistics (whole run, including warmup).
+    pub futex: FutexStats,
+    /// Aggregate CPI over all *busy-waiting* activity.
+    pub wait_cpi: CpiCounter,
+    /// Aggregate CPI over all activity.
+    pub total_cpi: CpiCounter,
+}
+
+impl SimReport {
+    /// Energy per operation in Joules (`EPO = 1/TPP`).
+    pub fn epo(&self) -> f64 {
+        if self.total_ops == 0 {
+            f64::INFINITY
+        } else {
+            self.energy.total_j() / self.total_ops as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_summarizes() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.max(), 1000);
+        assert_eq!(h.min(), 1);
+        assert!((h.mean() - 500.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn percentiles_are_approximately_right() {
+        let mut h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        let p50 = h.percentile(50.0) as f64;
+        let p95 = h.percentile(95.0) as f64;
+        let p9999 = h.percentile(99.99) as f64;
+        assert!((p50 / 5_000.0 - 1.0).abs() < 0.08, "p50 {p50}");
+        assert!((p95 / 9_500.0 - 1.0).abs() < 0.08, "p95 {p95}");
+        assert!((p9999 / 9_999.0 - 1.0).abs() < 0.08, "p99.99 {p9999}");
+        assert_eq!(h.percentile(100.0), 10_000);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(3);
+        h.record(15);
+        assert_eq!(h.percentile(1.0), 0);
+        assert_eq!(h.max(), 15);
+    }
+
+    #[test]
+    fn huge_values_do_not_overflow() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX / 2);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert!(h.percentile(100.0) == u64::MAX);
+        let p = h.percentile(40.0) as f64;
+        assert!((p / (u64::MAX / 2) as f64 - 1.0).abs() < 0.07);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(10);
+        b.record(1_000_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max(), 1_000_000);
+        assert_eq!(a.min(), 10);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut h = Histogram::new();
+        h.record(42);
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn empty_percentile_is_zero() {
+        assert_eq!(Histogram::new().percentile(99.0), 0);
+    }
+
+    #[test]
+    fn cpi_counter() {
+        let c = CpiCounter { cycles: 530, instructions: 1 };
+        assert_eq!(c.cpi(), 530.0);
+        assert!(CpiCounter::default().cpi().is_infinite());
+    }
+}

@@ -1,0 +1,575 @@
+//! End-to-end engine tests: small programs exercising every machine service.
+
+use poly_sim::{
+    FutexWaitResult, LineId, MachineConfig, Op, OpResult, PauseKind, PinPolicy, Program, RmwKind,
+    RunSpec, SimBuilder, SpinCond, ThreadRt, VfPoint,
+};
+
+/// Counts `Work` completions as ops.
+struct Worker {
+    cs: u64,
+}
+impl Program for Worker {
+    fn resume(&mut self, rt: &mut ThreadRt<'_>, last: OpResult) -> Op {
+        if !matches!(last, OpResult::Started) {
+            rt.counters.ops += 1;
+        }
+        Op::Work(self.cs)
+    }
+}
+
+/// A test-and-set lock user: CAS to acquire, work, store to release.
+struct TasUser {
+    lock: LineId,
+    cs: u64,
+    state: u8,
+}
+impl TasUser {
+    fn new(lock: LineId, cs: u64) -> Self {
+        Self { lock, cs, state: 0 }
+    }
+}
+impl Program for TasUser {
+    fn resume(&mut self, rt: &mut ThreadRt<'_>, last: OpResult) -> Op {
+        loop {
+            match self.state {
+                0 => {
+                    self.state = 1;
+                    return Op::Rmw(self.lock, RmwKind::Cas { expect: 0, new: 1 });
+                }
+                1 => {
+                    if last.cas_ok() {
+                        rt.enter_cs(self.lock.addr());
+                        self.state = 2;
+                        return Op::Work(self.cs);
+                    }
+                    self.state = 0;
+                    continue;
+                }
+                2 => {
+                    rt.exit_cs(self.lock.addr());
+                    self.state = 3;
+                    return Op::Rmw(self.lock, RmwKind::Store(0));
+                }
+                3 => {
+                    rt.counters.ops += 1;
+                    self.state = 0;
+                    continue;
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+}
+
+/// Sleeps on a futex; counts wake-ups.
+struct Sleeper {
+    word: LineId,
+}
+impl Program for Sleeper {
+    fn resume(&mut self, rt: &mut ThreadRt<'_>, last: OpResult) -> Op {
+        if matches!(last, OpResult::FutexWait(FutexWaitResult::Woken)) {
+            rt.counters.ops += 1;
+        }
+        Op::FutexWait { line: self.word, expect: 0, timeout: None }
+    }
+}
+
+/// Periodically wakes one sleeper.
+struct Waker {
+    word: LineId,
+    period: u64,
+    state: u8,
+}
+impl Program for Waker {
+    fn resume(&mut self, _rt: &mut ThreadRt<'_>, _last: OpResult) -> Op {
+        self.state ^= 1;
+        if self.state == 1 {
+            Op::Work(self.period)
+        } else {
+            Op::FutexWake { line: self.word, n: 1 }
+        }
+    }
+}
+
+fn run_tiny(build: impl FnOnce(&mut SimBuilder), duration: u64) -> poly_sim::SimReport {
+    let mut b = SimBuilder::new(MachineConfig::tiny());
+    build(&mut b);
+    b.run(RunSpec { duration, warmup: 0 })
+}
+
+#[test]
+fn single_worker_throughput_matches_cs_length() {
+    let r = run_tiny(
+        |b| {
+            b.spawn(Box::new(Worker { cs: 1000 }), PinPolicy::PaperOrder);
+        },
+        10_000_000,
+    );
+    // ~10k ops in 10M cycles of 1000-cycle work items.
+    assert!(r.total_ops > 9_000 && r.total_ops <= 10_100, "ops {}", r.total_ops);
+}
+
+#[test]
+fn parallel_workers_scale() {
+    let one = run_tiny(
+        |b| {
+            b.spawn(Box::new(Worker { cs: 1000 }), PinPolicy::PaperOrder);
+        },
+        5_000_000,
+    );
+    let four = run_tiny(
+        |b| {
+            for _ in 0..4 {
+                b.spawn(Box::new(Worker { cs: 1000 }), PinPolicy::PaperOrder);
+            }
+        },
+        5_000_000,
+    );
+    assert!(
+        four.total_ops as f64 > 3.5 * one.total_ops as f64,
+        "4 threads {} vs 1 thread {}",
+        four.total_ops,
+        one.total_ops
+    );
+}
+
+#[test]
+fn tas_lock_preserves_mutual_exclusion_under_contention() {
+    // The CsTracker panics on violation, so finishing is the assertion.
+    let r = run_tiny(
+        |b| {
+            let lock = b.alloc_line(0);
+            for _ in 0..4 {
+                b.spawn(Box::new(TasUser::new(lock, 500)), PinPolicy::PaperOrder);
+            }
+        },
+        20_000_000,
+    );
+    assert!(r.total_ops > 1000, "lock made progress: {}", r.total_ops);
+}
+
+#[test]
+fn contended_lock_is_slower_than_uncontended() {
+    let solo = run_tiny(
+        |b| {
+            let lock = b.alloc_line(0);
+            b.spawn(Box::new(TasUser::new(lock, 1000)), PinPolicy::PaperOrder);
+        },
+        10_000_000,
+    );
+    let contended = run_tiny(
+        |b| {
+            let lock = b.alloc_line(0);
+            for _ in 0..4 {
+                b.spawn(Box::new(TasUser::new(lock, 1000)), PinPolicy::PaperOrder);
+            }
+        },
+        10_000_000,
+    );
+    let per_thread_solo = solo.total_ops as f64;
+    let per_thread_cont = contended.total_ops as f64 / 4.0;
+    assert!(
+        per_thread_cont < per_thread_solo,
+        "contention must cost: solo {per_thread_solo} vs contended/thread {per_thread_cont}"
+    );
+}
+
+#[test]
+fn futex_sleep_wake_roundtrip_works() {
+    let r = run_tiny(
+        |b| {
+            let word = b.alloc_line(0);
+            b.spawn(Box::new(Sleeper { word }), PinPolicy::Ctx(0));
+            b.spawn(Box::new(Waker { word, period: 50_000, state: 0 }), PinPolicy::Ctx(2));
+        },
+        20_000_000,
+    );
+    // Roughly one wake per ~55k cycles.
+    assert!(r.threads[0].ops > 200, "sleeper woke {} times", r.threads[0].ops);
+    assert!(r.futex.waits > 200);
+    assert!(r.futex.threads_woken > 200);
+}
+
+#[test]
+fn futex_timeout_fires_without_waker() {
+    struct TimedSleeper {
+        word: LineId,
+    }
+    impl Program for TimedSleeper {
+        fn resume(&mut self, rt: &mut ThreadRt<'_>, last: OpResult) -> Op {
+            match last {
+                OpResult::FutexWait(FutexWaitResult::TimedOut) => {
+                    rt.counters.ops += 1;
+                    Op::FutexWait { line: self.word, expect: 0, timeout: Some(100_000) }
+                }
+                _ => Op::FutexWait { line: self.word, expect: 0, timeout: Some(100_000) },
+            }
+        }
+    }
+    let r = run_tiny(
+        |b| {
+            let word = b.alloc_line(0);
+            b.spawn(Box::new(TimedSleeper { word }), PinPolicy::PaperOrder);
+        },
+        10_000_000,
+    );
+    assert!(r.threads[0].ops >= 80, "timeouts observed: {}", r.threads[0].ops);
+    assert!(r.futex.timeouts >= 80);
+}
+
+#[test]
+fn futex_value_mismatch_returns_eagain() {
+    struct Mismatch {
+        word: LineId,
+        done: bool,
+    }
+    impl Program for Mismatch {
+        fn resume(&mut self, rt: &mut ThreadRt<'_>, last: OpResult) -> Op {
+            if matches!(last, OpResult::FutexWait(FutexWaitResult::ValueMismatch)) {
+                rt.counters.ops += 1;
+                self.done = true;
+            }
+            if self.done {
+                Op::Finish
+            } else {
+                // The word holds 7, we expect 0: must fail with EAGAIN.
+                Op::FutexWait { line: self.word, expect: 0, timeout: None }
+            }
+        }
+    }
+    let r = run_tiny(
+        |b| {
+            let word = b.alloc_line(7);
+            b.spawn(Box::new(Mismatch { word, done: false }), PinPolicy::PaperOrder);
+        },
+        1_000_000,
+    );
+    assert_eq!(r.threads[0].ops, 1);
+    assert_eq!(r.futex.wait_mismatches, 1);
+}
+
+#[test]
+fn spinner_is_released_by_store() {
+    struct Spinner {
+        flag: LineId,
+        released_at: Option<u64>,
+    }
+    impl Program for Spinner {
+        fn resume(&mut self, rt: &mut ThreadRt<'_>, last: OpResult) -> Op {
+            match last {
+                OpResult::Started => Op::SpinLoad {
+                    line: self.flag,
+                    pause: PauseKind::Mbar,
+                    until: SpinCond::Differs(0),
+                    max: None,
+                },
+                OpResult::Value(v) => {
+                    assert_eq!(v, 1);
+                    self.released_at = Some(rt.now);
+                    rt.counters.ops += 1;
+                    Op::Finish
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+    struct Setter {
+        flag: LineId,
+        state: u8,
+    }
+    impl Program for Setter {
+        fn resume(&mut self, _rt: &mut ThreadRt<'_>, _last: OpResult) -> Op {
+            self.state += 1;
+            match self.state {
+                1 => Op::Work(500_000),
+                2 => Op::Rmw(self.flag, RmwKind::Store(1)),
+                _ => Op::Finish,
+            }
+        }
+    }
+    let r = run_tiny(
+        |b| {
+            let flag = b.alloc_line(0);
+            b.spawn(Box::new(Spinner { flag, released_at: None }), PinPolicy::Ctx(0));
+            b.spawn(Box::new(Setter { flag, state: 0 }), PinPolicy::Ctx(2));
+        },
+        5_000_000,
+    );
+    assert_eq!(r.threads[0].ops, 1, "spinner must be released");
+    // Run ended early because both threads finished.
+    assert!(r.cycles < 5_000_000);
+}
+
+#[test]
+fn bounded_spin_times_out() {
+    struct BoundedSpinner {
+        flag: LineId,
+    }
+    impl Program for BoundedSpinner {
+        fn resume(&mut self, rt: &mut ThreadRt<'_>, last: OpResult) -> Op {
+            match last {
+                OpResult::Started => Op::SpinLoad {
+                    line: self.flag,
+                    pause: PauseKind::Pause,
+                    until: SpinCond::Differs(0),
+                    max: Some(10_000),
+                },
+                OpResult::SpinTimeout(v) => {
+                    assert_eq!(v, 0);
+                    rt.counters.ops += 1;
+                    Op::Finish
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+    let r = run_tiny(
+        |b| {
+            let flag = b.alloc_line(0);
+            b.spawn(Box::new(BoundedSpinner { flag }), PinPolicy::PaperOrder);
+        },
+        1_000_000,
+    );
+    assert_eq!(r.threads[0].ops, 1);
+}
+
+#[test]
+fn oversubscribed_threads_all_progress() {
+    // 8 workers on 4 contexts: quantum preemption must time-share fairly.
+    let r = run_tiny(
+        |b| {
+            for _ in 0..8 {
+                b.spawn(Box::new(Worker { cs: 10_000 }), PinPolicy::Unpinned);
+            }
+        },
+        40_000_000,
+    );
+    for (tid, t) in r.threads.iter().enumerate() {
+        assert!(t.ops > 100, "thread {tid} starved: {} ops", t.ops);
+    }
+}
+
+#[test]
+fn sleep_for_blocks_and_wakes() {
+    struct Napper;
+    impl Program for Napper {
+        fn resume(&mut self, rt: &mut ThreadRt<'_>, last: OpResult) -> Op {
+            if !matches!(last, OpResult::Started) {
+                rt.counters.ops += 1;
+            }
+            Op::SleepFor(100_000)
+        }
+    }
+    let r = run_tiny(
+        |b| {
+            b.spawn(Box::new(Napper), PinPolicy::PaperOrder);
+        },
+        10_000_000,
+    );
+    // ~10M / (100k + overheads) naps.
+    assert!((60..=100).contains(&r.threads[0].ops), "naps: {}", r.threads[0].ops);
+}
+
+#[test]
+fn mwait_blocks_until_store() {
+    struct MwaitWaiter {
+        flag: LineId,
+    }
+    impl Program for MwaitWaiter {
+        fn resume(&mut self, rt: &mut ThreadRt<'_>, last: OpResult) -> Op {
+            match last {
+                OpResult::Started => Op::MonitorMwait { line: self.flag, expect: 0 },
+                OpResult::Value(v) => {
+                    assert_eq!(v, 3);
+                    rt.counters.ops += 1;
+                    Op::Finish
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+    struct LateSetter {
+        flag: LineId,
+        state: u8,
+    }
+    impl Program for LateSetter {
+        fn resume(&mut self, _rt: &mut ThreadRt<'_>, _last: OpResult) -> Op {
+            self.state += 1;
+            match self.state {
+                1 => Op::Work(200_000),
+                2 => Op::Rmw(self.flag, RmwKind::Store(3)),
+                _ => Op::Finish,
+            }
+        }
+    }
+    let r = run_tiny(
+        |b| {
+            let flag = b.alloc_line(0);
+            b.spawn(Box::new(MwaitWaiter { flag }), PinPolicy::Ctx(0));
+            b.spawn(Box::new(LateSetter { flag, state: 0 }), PinPolicy::Ctx(2));
+        },
+        5_000_000,
+    );
+    assert_eq!(r.threads[0].ops, 1);
+}
+
+#[test]
+fn spinning_draws_more_power_than_sleeping() {
+    // 3 spinners on a never-set flag vs 3 futex sleepers.
+    struct EternalSpinner {
+        flag: LineId,
+    }
+    impl Program for EternalSpinner {
+        fn resume(&mut self, _rt: &mut ThreadRt<'_>, _last: OpResult) -> Op {
+            Op::SpinLoad {
+                line: self.flag,
+                pause: PauseKind::None,
+                until: SpinCond::Differs(0),
+                max: None,
+            }
+        }
+    }
+    let spin = {
+        let mut b = SimBuilder::new(MachineConfig::tiny());
+        let flag = b.alloc_line(0);
+        for _ in 0..3 {
+            b.spawn(Box::new(EternalSpinner { flag }), PinPolicy::PaperOrder);
+        }
+        b.run(RunSpec { duration: 10_000_000, warmup: 1_000_000 })
+    };
+    let sleep = {
+        let mut b = SimBuilder::new(MachineConfig::tiny());
+        let word = b.alloc_line(0);
+        for _ in 0..3 {
+            b.spawn(Box::new(Sleeper { word }), PinPolicy::PaperOrder);
+        }
+        b.run(RunSpec { duration: 10_000_000, warmup: 1_000_000 })
+    };
+    assert!(
+        spin.avg_power.total_w > sleep.avg_power.total_w + 1.0,
+        "spin {:.1} W vs sleep {:.1} W",
+        spin.avg_power.total_w,
+        sleep.avg_power.total_w
+    );
+}
+
+#[test]
+fn dvfs_reduces_power_of_spinning() {
+    struct VfSpinner {
+        flag: LineId,
+        vf: VfPoint,
+        started: bool,
+    }
+    impl Program for VfSpinner {
+        fn resume(&mut self, _rt: &mut ThreadRt<'_>, _last: OpResult) -> Op {
+            if !self.started {
+                self.started = true;
+                return Op::SetVf(self.vf);
+            }
+            Op::SpinLoad {
+                line: self.flag,
+                pause: PauseKind::None,
+                until: SpinCond::Differs(0),
+                max: None,
+            }
+        }
+    }
+    let power_at = |khz: u64| {
+        let mut b = SimBuilder::new(MachineConfig::tiny());
+        let flag = b.alloc_line(0);
+        for _ in 0..4 {
+            b.spawn(
+                Box::new(VfSpinner { flag, vf: VfPoint::new(khz), started: false }),
+                PinPolicy::PaperOrder,
+            );
+        }
+        b.run(RunSpec { duration: 10_000_000, warmup: 1_000_000 }).avg_power.total_w
+    };
+    let max = power_at(2_800_000);
+    let min = power_at(1_200_000);
+    assert!(max / min > 1.1, "VF-min must cut power: max {max:.1} min {min:.1}");
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let run = || {
+        let mut b = SimBuilder::new(MachineConfig::tiny());
+        let lock = b.alloc_line(0);
+        b.seed(42);
+        for _ in 0..4 {
+            b.spawn(Box::new(TasUser::new(lock, 700)), PinPolicy::PaperOrder);
+        }
+        b.run(RunSpec { duration: 10_000_000, warmup: 1_000_000 })
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.total_ops, b.total_ops);
+    assert_eq!(a.energy.pkg_j.to_bits(), b.energy.pkg_j.to_bits());
+    assert_eq!(a.futex, b.futex);
+    for (x, y) in a.threads.iter().zip(&b.threads) {
+        assert_eq!(x.ops, y.ops);
+    }
+}
+
+#[test]
+fn deep_sleep_costs_more_to_wake() {
+    // One sleeper, one waker that delays before its single wake call.
+    // The sleeper records the time it resumed in aux[0]; the waker records
+    // the time it issued the wake in aux[0]. Long delays push the sleeper's
+    // core into C6, whose exit latency must show up in the turnaround.
+    struct OneShotSleeper {
+        word: LineId,
+    }
+    impl Program for OneShotSleeper {
+        fn resume(&mut self, rt: &mut ThreadRt<'_>, last: OpResult) -> Op {
+            match last {
+                OpResult::Started => Op::FutexWait { line: self.word, expect: 0, timeout: None },
+                OpResult::FutexWait(FutexWaitResult::Woken) => {
+                    rt.counters.aux[0] = rt.now;
+                    Op::Finish
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+    struct OneShotWaker {
+        word: LineId,
+        delay: u64,
+        state: u8,
+    }
+    impl Program for OneShotWaker {
+        fn resume(&mut self, rt: &mut ThreadRt<'_>, _last: OpResult) -> Op {
+            self.state += 1;
+            match self.state {
+                1 => Op::Work(self.delay),
+                2 => {
+                    rt.counters.aux[0] = rt.now;
+                    Op::FutexWake { line: self.word, n: 1 }
+                }
+                _ => Op::Finish,
+            }
+        }
+    }
+    let turnaround = |delay: u64| {
+        let mut b = SimBuilder::new(MachineConfig::tiny());
+        let word = b.alloc_line(0);
+        b.spawn(Box::new(OneShotSleeper { word }), PinPolicy::Ctx(0));
+        b.spawn(Box::new(OneShotWaker { word, delay, state: 0 }), PinPolicy::Ctx(2));
+        let r = b.run(RunSpec { duration: delay + 20_000_000, warmup: 0 });
+        r.threads[0].aux[0] - r.threads[1].aux[0]
+    };
+    let shallow = turnaround(100_000);
+    let deep = turnaround(2_000_000);
+    // Shallow wake-ups land in the paper's ~7000-cycle regime (C1 was
+    // promoted to C3 after 50k cycles, so expect ~15k); deep sleeps pay the
+    // C6 exit (~60k extra).
+    assert!(
+        (5_000..30_000).contains(&shallow),
+        "shallow turnaround {shallow} outside the expected regime"
+    );
+    assert!(
+        deep > shallow + 40_000,
+        "deep-idle exit must dominate: shallow {shallow}, deep {deep}"
+    );
+}

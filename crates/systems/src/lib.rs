@@ -1,0 +1,33 @@
+//! Workload models of the six systems evaluated in "Unlocking Energy" §6.
+//!
+//! The paper improves Memcached, MySQL, SQLite, RocksDB, HamsterDB and
+//! Kyoto Cabinet by *only* swapping their pthread locks (mutexes, rwlocks,
+//! and the mutexes under condvars) for TICKET or MUTEXEE. This crate
+//! rebuilds each system's lock-usage skeleton on the simulator — lock
+//! topology, critical-section lengths, operation mixes, oversubscription,
+//! I/O waits — with the lock algorithm as the only knob, which is exactly
+//! the experiment of Figures 13-15.
+//!
+//! # Examples
+//!
+//! ```
+//! use poly_locks_sim::LockKind;
+//! use poly_sim::{MachineConfig, RunSpec, SimBuilder};
+//! use poly_systems::PaperSystem;
+//!
+//! let mut b = SimBuilder::new(MachineConfig::xeon());
+//! PaperSystem::HamsterDb(90).build(&mut b, LockKind::Mutexee);
+//! let report = b.run(RunSpec { duration: 3_000_000, warmup: 300_000 });
+//! assert!(report.total_ops > 0);
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod models;
+mod script;
+mod workloads;
+
+pub use models::{build_cowlist, KyotoVariant, MySqlVariant, PaperSystem};
+pub use script::{Action, OpGenerator, SysShared, SysThread};
+pub use workloads::{pct, Zipf};

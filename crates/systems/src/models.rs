@@ -1,0 +1,413 @@
+//! Models of the six systems evaluated in §6 (Table 3), plus the
+//! `CopyOnWriteArrayList` stress of Figure 1.
+//!
+//! Each model reproduces the *lock-usage pattern* that determines how lock
+//! algorithm choice affects the system: lock topology (one big lock, bucket
+//! locks, rwlocks, write queues), critical-section length distributions,
+//! operation mixes, oversubscription and I/O waits. Absolute service times
+//! are calibrated in cycles at 2.8 GHz from the systems' published
+//! per-operation costs; `EXPERIMENTS.md` records how the resulting ratios
+//! compare to the paper's Figures 13-15.
+
+use poly_locks_sim::{Dist, LockKind, LockParams, RwMode, SimCondvar, SimLock, SimRwLock};
+use poly_sim::{PinPolicy, SimBuilder};
+use crate::script::{Action, SysShared, SysThread};
+use crate::workloads::{pct, Zipf};
+
+/// One system/configuration cell of Figures 13-15.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PaperSystem {
+    /// HamsterDB embedded KV store; operand = write percentage (90/50/10).
+    HamsterDb(u32),
+    /// Kyoto Cabinet NoSQL store; operand = database variant.
+    Kyoto(KyotoVariant),
+    /// Memcached in-memory cache; operand = SET percentage (90/50/10).
+    Memcached(u32),
+    /// MySQL with LinkBench; operand = storage variant.
+    MySql(MySqlVariant),
+    /// RocksDB persistent store; operand = write percentage (90/50/10).
+    RocksDb(u32),
+    /// SQLite running TPC-C; operand = connection count (8/32/64).
+    Sqlite(u32),
+}
+
+/// Kyoto Cabinet database flavors stressed by the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KyotoVariant {
+    /// In-memory cache database (shortest operations).
+    Cache,
+    /// On-memory hash database.
+    HashDb,
+    /// On-memory tree database (longest operations).
+    BTree,
+}
+
+/// MySQL/LinkBench storage configurations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MySqlVariant {
+    /// Fully in-memory dataset.
+    Mem,
+    /// 100 GB dataset on an SSD: every transaction performs blocking I/O.
+    Ssd,
+}
+
+impl PaperSystem {
+    /// The 17 experiment cells of Figures 13-14, in the paper's order.
+    pub fn paper_lineup() -> Vec<PaperSystem> {
+        vec![
+            PaperSystem::HamsterDb(90),
+            PaperSystem::HamsterDb(50),
+            PaperSystem::HamsterDb(10),
+            PaperSystem::Kyoto(KyotoVariant::Cache),
+            PaperSystem::Kyoto(KyotoVariant::HashDb),
+            PaperSystem::Kyoto(KyotoVariant::BTree),
+            PaperSystem::Memcached(90),
+            PaperSystem::Memcached(50),
+            PaperSystem::Memcached(10),
+            PaperSystem::MySql(MySqlVariant::Mem),
+            PaperSystem::MySql(MySqlVariant::Ssd),
+            PaperSystem::RocksDb(90),
+            PaperSystem::RocksDb(50),
+            PaperSystem::RocksDb(10),
+            PaperSystem::Sqlite(8),
+            PaperSystem::Sqlite(32),
+            PaperSystem::Sqlite(64),
+        ]
+    }
+
+    /// The system's name as in the figures.
+    pub fn system_name(&self) -> &'static str {
+        match self {
+            PaperSystem::HamsterDb(_) => "HamsterDB",
+            PaperSystem::Kyoto(_) => "Kyoto",
+            PaperSystem::Memcached(_) => "Memcached",
+            PaperSystem::MySql(_) => "MySQL",
+            PaperSystem::RocksDb(_) => "RocksDB",
+            PaperSystem::Sqlite(_) => "SQLite",
+        }
+    }
+
+    /// The configuration label as in the figures.
+    pub fn config_label(&self) -> String {
+        match self {
+            PaperSystem::HamsterDb(w) | PaperSystem::RocksDb(w) => match w {
+                90 => "WT".into(),
+                50 => "WT/RD".into(),
+                _ => "RD".into(),
+            },
+            PaperSystem::Kyoto(v) => match v {
+                KyotoVariant::Cache => "CACHE".into(),
+                KyotoVariant::HashDb => "HT DB".into(),
+                KyotoVariant::BTree => "B-TREE".into(),
+            },
+            PaperSystem::Memcached(s) => match s {
+                90 => "SET".into(),
+                50 => "SET/GET".into(),
+                _ => "GET".into(),
+            },
+            PaperSystem::MySql(v) => match v {
+                MySqlVariant::Mem => "MEM".into(),
+                MySqlVariant::Ssd => "SSD".into(),
+            },
+            PaperSystem::Sqlite(c) => format!("{c} CON"),
+        }
+    }
+
+    /// Whether the cell appears in the tail-latency Figure 15.
+    pub fn in_tail_figure(&self) -> bool {
+        matches!(
+            self,
+            PaperSystem::HamsterDb(_)
+                | PaperSystem::Memcached(_)
+                | PaperSystem::MySql(_)
+                | PaperSystem::Sqlite(_)
+        )
+    }
+
+    /// Number of worker threads (Table 3; MySQL and SQLite oversubscribe).
+    pub fn threads(&self) -> usize {
+        match self {
+            PaperSystem::HamsterDb(_) | PaperSystem::Kyoto(_) => 4,
+            PaperSystem::Memcached(_) => 8,
+            PaperSystem::MySql(_) => 96,
+            PaperSystem::RocksDb(_) => 12,
+            PaperSystem::Sqlite(c) => *c as usize,
+        }
+    }
+
+    /// Builds the system into a scenario with every pthread lock replaced
+    /// by `kind` (the §6 methodology: nothing else changes).
+    pub fn build(&self, b: &mut SimBuilder, kind: LockKind) {
+        match *self {
+            PaperSystem::HamsterDb(w) => build_hamsterdb(b, kind, w),
+            PaperSystem::Kyoto(v) => build_kyoto(b, kind, v),
+            PaperSystem::Memcached(s) => build_memcached(b, kind, s),
+            PaperSystem::MySql(v) => build_mysql(b, kind, v),
+            PaperSystem::RocksDb(w) => build_rocksdb(b, kind, w),
+            PaperSystem::Sqlite(c) => build_sqlite(b, kind, c),
+        }
+    }
+}
+
+/// HamsterDB 2.1.7: an embedded KV store serializing every operation under
+/// one big lock; B-tree writes hold it much longer than reads.
+fn build_hamsterdb(b: &mut SimBuilder, kind: LockKind, write_pct: u32) {
+    let threads = 4;
+    let lock = SimLock::alloc(b, kind, threads, LockParams::default());
+    for _ in 0..threads {
+        let shared = SysShared { locks: vec![lock.clone()], ..Default::default() };
+        let gen = Box::new(move |rng: &mut rand::rngs::SmallRng| {
+            let write = pct(rng, write_pct);
+            let cs = if write { Dist::Exp(8_000) } else { Dist::Exp(3_500) };
+            vec![
+                Action::Work(Dist::Exp(1_500)),
+                Action::Lock(0),
+                Action::Work(cs),
+                Action::Unlock(0),
+                Action::Work(Dist::Exp(1_000)),
+            ]
+        });
+        b.spawn(Box::new(SysThread::new(shared, gen)), PinPolicy::PaperOrder);
+    }
+}
+
+/// Kyoto Cabinet 1.2.76: a NoSQL store whose every method funnels through
+/// one process-wide `pthread_rwlock`; variants differ in operation length.
+fn build_kyoto(b: &mut SimBuilder, kind: LockKind, variant: KyotoVariant) {
+    let threads = 4;
+    let (cs_w, cs_r) = match variant {
+        KyotoVariant::Cache => (3_000, 1_500),
+        KyotoVariant::HashDb => (5_000, 2_500),
+        KyotoVariant::BTree => (9_000, 4_500),
+    };
+    let rw = SimRwLock::alloc(b, kind, threads, LockParams::default());
+    for _ in 0..threads {
+        let shared = SysShared { rwlocks: vec![rw.clone()], ..Default::default() };
+        let gen = Box::new(move |rng: &mut rand::rngs::SmallRng| {
+            let write = pct(rng, 30);
+            let (mode, cs) = if write {
+                (RwMode::Write, Dist::Exp(cs_w))
+            } else {
+                (RwMode::Read, Dist::Exp(cs_r))
+            };
+            vec![
+                Action::Work(Dist::Exp(1_200)),
+                Action::RwAcquire(0, mode),
+                Action::Work(cs),
+                Action::RwRelease(0, mode),
+            ]
+        });
+        b.spawn(Box::new(SysThread::new(shared, gen)), PinPolicy::PaperOrder);
+    }
+}
+
+/// Memcached 1.4.22 under a Twitter-like workload: zipf-hot bucket locks
+/// plus the global LRU/cache lock that every SET (and the occasional GET
+/// bump) takes.
+fn build_memcached(b: &mut SimBuilder, kind: LockKind, set_pct: u32) {
+    let threads = 8;
+    let buckets = 16;
+    let mut locks = vec![SimLock::alloc(b, kind, threads, LockParams::default())]; // LRU
+    for _ in 0..buckets {
+        locks.push(SimLock::alloc(b, kind, threads, LockParams::default()));
+    }
+    let zipf = Zipf::new(buckets, 1.0);
+    for _ in 0..threads {
+        let shared = SysShared { locks: locks.clone(), ..Default::default() };
+        let zipf = zipf.clone();
+        let gen = Box::new(move |rng: &mut rand::rngs::SmallRng| {
+            let bucket = 1 + zipf.sample(rng);
+            let mut script = vec![Action::Work(Dist::Exp(1_500))]; // parse + hash
+            if pct(rng, set_pct) {
+                // SET: item write under the bucket lock, then LRU insert.
+                script.extend([
+                    Action::Lock(bucket),
+                    Action::Work(Dist::Exp(1_200)),
+                    Action::Unlock(bucket),
+                    Action::Lock(0),
+                    Action::Work(Dist::Exp(1_800)),
+                    Action::Unlock(0),
+                ]);
+            } else {
+                // GET: bucket lookup; 10% of hits bump the LRU.
+                script.extend([
+                    Action::Lock(bucket),
+                    Action::Work(Dist::Exp(800)),
+                    Action::Unlock(bucket),
+                ]);
+                if pct(rng, 10) {
+                    script.extend([
+                        Action::Lock(0),
+                        Action::Work(Dist::Exp(600)),
+                        Action::Unlock(0),
+                    ]);
+                }
+            }
+            script.push(Action::Io(Dist::Exp(5_000))); // network wait
+            script
+        });
+        b.spawn(Box::new(SysThread::new(shared, gen)), PinPolicy::PaperOrder);
+    }
+}
+
+/// MySQL 5.6 running LinkBench: heavily oversubscribed connection threads,
+/// most synchronization in custom latches with short sections, transactions
+/// dominated by work (MEM) or by SSD I/O (SSD).
+fn build_mysql(b: &mut SimBuilder, kind: LockKind, variant: MySqlVariant) {
+    let threads = 96;
+    let latches = 64;
+    let mut locks = vec![SimLock::alloc(b, kind, threads, LockParams::default())]; // binlog
+    for _ in 0..latches {
+        locks.push(SimLock::alloc(b, kind, threads, LockParams::default()));
+    }
+    let zipf = Zipf::new(latches, 0.6);
+    for _ in 0..threads {
+        let shared = SysShared { locks: locks.clone(), ..Default::default() };
+        let zipf = zipf.clone();
+        let gen = Box::new(move |rng: &mut rand::rngs::SmallRng| {
+            let mut script = vec![Action::Work(Dist::Exp(15_000))]; // executor work
+            for _ in 0..6 {
+                let latch = 1 + zipf.sample(rng);
+                script.extend([
+                    Action::Lock(latch),
+                    Action::Work(Dist::Exp(1_200)),
+                    Action::Unlock(latch),
+                    Action::Work(Dist::Exp(2_000)),
+                ]);
+            }
+            if pct(rng, 30) {
+                script.extend([
+                    Action::Lock(0),
+                    Action::Work(Dist::Exp(2_500)),
+                    Action::Unlock(0),
+                ]);
+            }
+            if variant == MySqlVariant::Ssd {
+                script.push(Action::Io(Dist::Exp(280_000))); // ~100 us SSD read
+            }
+            script.push(Action::Work(Dist::Exp(4_000)));
+            script
+        });
+        b.spawn(Box::new(SysThread::new(shared, gen)), PinPolicy::Unpinned);
+    }
+}
+
+/// RocksDB 3.3.0 in-memory: writers funnel through the write-queue mutex
+/// and a condition variable (group commit); reads barely touch locks.
+fn build_rocksdb(b: &mut SimBuilder, kind: LockKind, write_pct: u32) {
+    let threads = 12;
+    let queue = SimLock::alloc(b, kind, threads, LockParams::default());
+    let cv = SimCondvar::alloc(b);
+    for _ in 0..threads {
+        let shared =
+            SysShared { locks: vec![queue.clone()], conds: vec![cv], ..Default::default() };
+        let gen = Box::new(move |rng: &mut rand::rngs::SmallRng| {
+            if pct(rng, write_pct) {
+                // Writer: enqueue under the mutex; non-leaders wait on the
+                // condvar until the leader's batch commits.
+                let mut script = vec![
+                    Action::Work(Dist::Exp(5_000)), // memtable prep
+                    Action::Lock(0),
+                    Action::Work(Dist::Exp(1_000)),
+                ];
+                if pct(rng, 15) {
+                    script.push(Action::CondWait(0, 0));
+                }
+                script.extend([
+                    Action::Unlock(0),
+                    Action::CondBroadcast(0),
+                    Action::Work(Dist::Exp(1_500)),
+                ]);
+                script
+            } else {
+                // Reader: version lookup is lock-free; rare superversion ref.
+                let mut script = vec![Action::Work(Dist::Exp(4_000))];
+                if pct(rng, 15) {
+                    script.extend([
+                        Action::Lock(0),
+                        Action::Work(Dist::Exp(400)),
+                        Action::Unlock(0),
+                    ]);
+                }
+                script
+            }
+        });
+        b.spawn(Box::new(SysThread::new(shared, gen)), PinPolicy::PaperOrder);
+    }
+}
+
+/// SQLite 3.8.5 running TPC-C: every transaction makes *multiple* accesses
+/// to shared data, each guarded by the database lock (the paper stresses
+/// that transaction latencies are tens of ms while individual lock sections
+/// are far shorter). Connections are CPU-bound server threads; at 64
+/// connections the 40-context machine is oversubscribed.
+fn build_sqlite(b: &mut SimBuilder, kind: LockKind, connections: u32) {
+    let threads = connections as usize;
+    let lock = SimLock::alloc(b, kind, threads, LockParams::default());
+    for _ in 0..threads {
+        let shared = SysShared { locks: vec![lock.clone()], ..Default::default() };
+        let gen = Box::new(move |_rng: &mut rand::rngs::SmallRng| {
+            let mut script = vec![Action::Work(Dist::Exp(8_000))]; // parse + plan
+            for _ in 0..8 {
+                script.extend([
+                    Action::Lock(0),
+                    Action::Work(Dist::Exp(4_000)), // one shared-data access
+                    Action::Unlock(0),
+                    Action::Work(Dist::Exp(2_000)), // private work between
+                ]);
+            }
+            script.push(Action::Work(Dist::Exp(3_000))); // commit bookkeeping
+            script
+        });
+        b.spawn(Box::new(SysThread::new(shared, gen)), PinPolicy::Unpinned);
+    }
+}
+
+/// The Figure 1 microbenchmark: a `CopyOnWriteArrayList` stress where
+/// writers copy the backing array under one lock (memory-intensive) and
+/// readers traverse lock-free.
+pub fn build_cowlist(b: &mut SimBuilder, kind: LockKind, threads: usize) {
+    let lock = SimLock::alloc(b, kind, threads, LockParams::default());
+    for _ in 0..threads {
+        let shared = SysShared { locks: vec![lock.clone()], ..Default::default() };
+        let gen = Box::new(move |rng: &mut rand::rngs::SmallRng| {
+            if pct(rng, 50) {
+                vec![
+                    Action::Lock(0),
+                    Action::MemWork(Dist::Exp(4_000)), // copy the array
+                    Action::Unlock(0),
+                    Action::Work(Dist::Exp(500)),
+                ]
+            } else {
+                vec![Action::Work(Dist::Exp(1_500))] // lock-free traversal
+            }
+        });
+        b.spawn(Box::new(SysThread::new(shared, gen)), PinPolicy::PaperOrder);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lineup_matches_the_17_paper_cells() {
+        let lineup = PaperSystem::paper_lineup();
+        assert_eq!(lineup.len(), 17);
+        assert_eq!(lineup.iter().filter(|s| s.in_tail_figure()).count(), 11);
+        // Labels are unique within a system.
+        for s in &lineup {
+            assert!(!s.config_label().is_empty());
+            assert!(!s.system_name().is_empty());
+        }
+    }
+
+    #[test]
+    fn thread_counts_follow_table_3() {
+        assert_eq!(PaperSystem::HamsterDb(90).threads(), 4);
+        assert_eq!(PaperSystem::Memcached(50).threads(), 8);
+        assert_eq!(PaperSystem::RocksDb(10).threads(), 12);
+        assert_eq!(PaperSystem::Sqlite(64).threads(), 64);
+        assert!(PaperSystem::MySql(MySqlVariant::Mem).threads() > 40, "oversubscribed");
+    }
+}

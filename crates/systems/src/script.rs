@@ -1,0 +1,206 @@
+//! A small action-script interpreter for system workload models.
+//!
+//! Each of the six modeled systems expresses one *logical operation* (a
+//! query, a transaction, a cache request) as a sequence of [`Action`]s —
+//! compute, I/O, and synchronization steps over shared locks, rwlocks and
+//! condition variables. [`SysThread`] interprets those sequences on the
+//! simulator, draws a fresh sequence from the system's generator after each
+//! completed operation, and does the measurement bookkeeping (ops,
+//! acquisition latencies, handover types) uniformly for every system.
+
+use poly_locks_sim::{
+    AcqSm, CondSm, Dist, RelSm, RwAcqSm, RwMode, RwRelSm, SimCondvar, SimLock, SimRwLock, Step,
+};
+use poly_sim::{Op, OpResult, Program, ThreadRt};
+use rand::rngs::SmallRng;
+
+/// One step of a logical operation.
+#[derive(Debug, Clone, Copy)]
+pub enum Action {
+    /// Compute for a sampled duration.
+    Work(Dist),
+    /// Memory-intensive compute (streaming copies; draws DRAM power).
+    MemWork(Dist),
+    /// Blocking I/O (descheduled) for a sampled duration.
+    Io(Dist),
+    /// Acquire mutex `locks[i]`.
+    Lock(usize),
+    /// Release mutex `locks[i]`.
+    Unlock(usize),
+    /// Acquire rwlock `rwlocks[i]` in the given mode.
+    RwAcquire(usize, RwMode),
+    /// Release rwlock `rwlocks[i]` in the given mode.
+    RwRelease(usize, RwMode),
+    /// Wait on condvar `conds[i]` using mutex `locks[j]` (must be held;
+    /// still held afterwards).
+    CondWait(usize, usize),
+    /// Signal condvar `conds[i]` (wake one).
+    CondSignal(usize),
+    /// Broadcast condvar `conds[i]` (wake all).
+    CondBroadcast(usize),
+}
+
+/// Shared synchronization objects of one modeled system.
+#[derive(Clone, Default)]
+pub struct SysShared {
+    /// Mutexes, indexed by [`Action::Lock`].
+    pub locks: Vec<SimLock>,
+    /// Reader-writer locks.
+    pub rwlocks: Vec<SimRwLock>,
+    /// Condition variables.
+    pub conds: Vec<SimCondvar>,
+}
+
+/// Generates the action sequence of the next logical operation.
+pub type OpGenerator = Box<dyn FnMut(&mut SmallRng) -> Vec<Action>>;
+
+enum Sub {
+    None,
+    Acq(AcqSm, usize),
+    Rel(RelSm),
+    RwAcq(RwAcqSm, usize, RwMode),
+    RwRel(RwRelSm),
+    CondWait(CondSm, usize),
+    CondSig(CondSm),
+}
+
+/// A system workload thread: interprets generated action scripts.
+pub struct SysThread {
+    shared: SysShared,
+    generate: OpGenerator,
+    script: Vec<Action>,
+    idx: usize,
+    sub: Sub,
+    acq_started: u64,
+}
+
+impl SysThread {
+    /// Creates a thread over the system's shared objects.
+    pub fn new(shared: SysShared, generate: OpGenerator) -> Self {
+        Self { shared, generate, script: Vec::new(), idx: 0, sub: Sub::None, acq_started: 0 }
+    }
+
+    fn record_acquire(rt: &mut ThreadRt<'_>, started: u64, h: poly_locks_sim::Handover) {
+        rt.counters.acquires += 1;
+        rt.counters.acquire_latency.record(rt.now - started);
+        match h {
+            poly_locks_sim::Handover::Futex => rt.counters.futex_handovers += 1,
+            _ => rt.counters.spin_handovers += 1,
+        }
+    }
+}
+
+impl Program for SysThread {
+    fn resume(&mut self, rt: &mut ThreadRt<'_>, last: OpResult) -> Op {
+        let mut last = last;
+        loop {
+            // Drive any sub-machine first.
+            match &mut self.sub {
+                Sub::None => {}
+                Sub::Acq(sm, li) => match sm.on(rt, last) {
+                    Step::Do(op) => return op,
+                    Step::Acquired(h) => {
+                        let key = self.shared.locks[*li].key();
+                        Self::record_acquire(rt, self.acq_started, h);
+                        rt.enter_cs(key);
+                        self.sub = Sub::None;
+                    }
+                    Step::Released => unreachable!(),
+                },
+                Sub::Rel(sm) => match sm.on(rt, last) {
+                    Step::Do(op) => return op,
+                    Step::Released => self.sub = Sub::None,
+                    Step::Acquired(_) => unreachable!(),
+                },
+                Sub::RwAcq(sm, ri, mode) => match sm.on(rt, last) {
+                    Step::Do(op) => return op,
+                    Step::Acquired(h) => {
+                        let (ri, mode) = (*ri, *mode);
+                        Self::record_acquire(rt, self.acq_started, h);
+                        if mode == RwMode::Write {
+                            rt.enter_cs(self.shared.rwlocks[ri].key());
+                        }
+                        self.sub = Sub::None;
+                    }
+                    Step::Released => unreachable!(),
+                },
+                Sub::RwRel(sm) => match sm.on(rt, last) {
+                    Step::Do(op) => return op,
+                    Step::Released => self.sub = Sub::None,
+                    Step::Acquired(_) => unreachable!(),
+                },
+                Sub::CondWait(sm, li) => match sm.on(rt, last) {
+                    Step::Do(op) => return op,
+                    Step::Acquired(_) => {
+                        // The mutex is held again: re-enter its section.
+                        let key = self.shared.locks[*li].key();
+                        rt.enter_cs(key);
+                        self.sub = Sub::None;
+                    }
+                    Step::Released => unreachable!("cond wait ends holding the lock"),
+                },
+                Sub::CondSig(sm) => match sm.on(rt, last) {
+                    Step::Do(op) => return op,
+                    Step::Released => self.sub = Sub::None,
+                    Step::Acquired(_) => unreachable!("signal does not acquire"),
+                },
+            }
+            // Fetch the next action.
+            if self.idx >= self.script.len() {
+                if !self.script.is_empty() {
+                    rt.counters.ops += 1;
+                }
+                self.script = (self.generate)(rt.rng);
+                assert!(!self.script.is_empty(), "operation scripts cannot be empty");
+                self.idx = 0;
+            }
+            let action = self.script[self.idx];
+            self.idx += 1;
+            match action {
+                Action::Work(d) => return Op::Work(d.sample(rt.rng).max(1)),
+                Action::MemWork(d) => return Op::MemWork(d.sample(rt.rng).max(1)),
+                Action::Io(d) => return Op::SleepFor(d.sample(rt.rng).max(1)),
+                Action::Lock(i) => {
+                    self.acq_started = rt.now;
+                    self.sub = Sub::Acq(self.shared.locks[i].begin_acquire(rt.tid), i);
+                    last = OpResult::Started;
+                }
+                Action::Unlock(i) => {
+                    rt.exit_cs(self.shared.locks[i].key());
+                    self.sub = Sub::Rel(self.shared.locks[i].begin_release(rt.tid));
+                    last = OpResult::Started;
+                }
+                Action::RwAcquire(i, mode) => {
+                    self.acq_started = rt.now;
+                    self.sub =
+                        Sub::RwAcq(self.shared.rwlocks[i].begin_acquire(rt.tid, mode), i, mode);
+                    last = OpResult::Started;
+                }
+                Action::RwRelease(i, mode) => {
+                    if mode == RwMode::Write {
+                        rt.exit_cs(self.shared.rwlocks[i].key());
+                    }
+                    self.sub = Sub::RwRel(self.shared.rwlocks[i].begin_release(rt.tid, mode));
+                    last = OpResult::Started;
+                }
+                Action::CondWait(ci, li) => {
+                    // The interpreter leaves/re-enters the CS around the wait.
+                    rt.exit_cs(self.shared.locks[li].key());
+                    self.sub = Sub::CondWait(
+                        self.shared.conds[ci].begin_wait(&self.shared.locks[li], rt.tid),
+                        li,
+                    );
+                    last = OpResult::Started;
+                }
+                Action::CondSignal(ci) => {
+                    self.sub = Sub::CondSig(self.shared.conds[ci].begin_signal());
+                    last = OpResult::Started;
+                }
+                Action::CondBroadcast(ci) => {
+                    self.sub = Sub::CondSig(self.shared.conds[ci].begin_broadcast());
+                    last = OpResult::Started;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Workload generators: skewed key popularity and operation mixes.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// A Zipf-distributed sampler over `0..n` (precomputed CDF).
+///
+/// Used for the Twitter-like Memcached workload (a few hot keys absorb most
+/// requests) and LinkBench-like node popularity.
+///
+/// # Examples
+///
+/// ```
+/// use poly_systems::Zipf;
+/// use rand::SeedableRng;
+/// let z = Zipf::new(16, 1.0);
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+/// let x = z.sample(&mut rng);
+/// assert!(x < 16);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds a sampler over `0..n` with skew `s` (`s = 0` is uniform;
+    /// `s = 1` is the classic Zipf).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs a non-empty domain");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Self { cdf }
+    }
+
+    /// Draws one index.
+    pub fn sample(&self, rng: &mut SmallRng) -> usize {
+        let u: f64 = rng.random();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Domain size.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the domain is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+}
+
+/// Draws `true` with probability `pct`%.
+pub fn pct(rng: &mut SmallRng, pct: u32) -> bool {
+    rng.random_range(0..100) < pct
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_is_skewed_towards_small_indices() {
+        let z = Zipf::new(64, 1.0);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut counts = vec![0u32; 64];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10] && counts[10] > counts[60]);
+        // Rank 1 absorbs roughly 1/H(64) ~ 21% of the mass.
+        let share = counts[0] as f64 / 20_000.0;
+        assert!((0.15..0.30).contains(&share), "head share {share}");
+    }
+
+    #[test]
+    fn zero_skew_is_uniform() {
+        let z = Zipf::new(8, 0.0);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut counts = vec![0u32; 8];
+        for _ in 0..16_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((1_700..2_300).contains(&c), "uniform bucket off: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn pct_bounds() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        assert!(!pct(&mut rng, 0));
+        assert!(pct(&mut rng, 100));
+    }
+}

@@ -1,0 +1,50 @@
+//! Survey this host's energy instrumentation and run a small native
+//! lock comparison with whatever is available (RAPL or throughput-only).
+
+use lockin::rapl::RaplReader;
+use lockin::{FutexMutex, Lock, Mutexee, RawLock, TicketLock, TppMeter, TtasLock};
+
+fn bench<L: RawLock + Send + Sync>(meter: &TppMeter, label: &str) {
+    let lock = Lock::<u64, L>::new(0);
+    let report = meter.measure(|| {
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..100_000 {
+                        *lock.lock() += 1;
+                    }
+                });
+            }
+        });
+        400_000
+    });
+    match (report.power_w, report.tpp) {
+        (Some(w), Some(tpp)) => println!(
+            "{label:>8}: {:>9.0} acq/s  {w:>6.1} W  {tpp:>9.0} acq/J",
+            report.throughput
+        ),
+        _ => println!("{label:>8}: {:>9.0} acq/s", report.throughput),
+    }
+}
+
+fn main() {
+    match RaplReader::probe() {
+        Some(r) => {
+            println!("RAPL domains found:");
+            for d in r.domains() {
+                println!("  {} (range {} uJ)", d.name, d.max_energy_range_uj);
+            }
+        }
+        None => println!(
+            "No RAPL domains under /sys/class/powercap — reporting throughput only.\n\
+             (The simulator crates provide calibrated energy accounting instead;\n\
+              see `cargo run -p poly-bench --bin fig11`.)"
+        ),
+    }
+    println!();
+    let meter = TppMeter::new();
+    bench::<TtasLock>(&meter, "TTAS");
+    bench::<TicketLock>(&meter, "TICKET");
+    bench::<FutexMutex>(&meter, "MUTEX");
+    bench::<Mutexee>(&meter, "MUTEXEE");
+}

@@ -1,0 +1,36 @@
+//! Quickstart: protect data with MUTEXEE and compare against the
+//! glibc-style mutex on your machine.
+
+use lockin::{FutexMutex, Lock, Mutexee, TppMeter};
+
+fn hammer<L: lockin::RawLock + Send + Sync>(label: &str) {
+    let meter = TppMeter::new();
+    let counter = Lock::<u64, L>::new(0);
+    let threads = 4;
+    let iters: u64 = 200_000;
+    let report = meter.measure(|| {
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| {
+                    for _ in 0..iters {
+                        *counter.lock() += 1;
+                    }
+                });
+            }
+        });
+        threads as u64 * iters
+    });
+    assert_eq!(counter.into_inner(), threads as u64 * iters);
+    print!("{label:>8}: {:>10.0} acq/s", report.throughput);
+    match report.tpp {
+        Some(tpp) => println!("  {tpp:>10.0} acq/J (RAPL)"),
+        None => println!("  (no RAPL on this host; throughput only)"),
+    }
+}
+
+fn main() {
+    println!("4 threads incrementing one counter:");
+    hammer::<FutexMutex>("MUTEX");
+    hammer::<Mutexee>("MUTEXEE");
+    println!("\nPOLY: the faster lock is (almost always) also the more energy-efficient one.");
+}

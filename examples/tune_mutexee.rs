@@ -1,0 +1,17 @@
+//! The paper's "fine-tuning script": measure this platform's futex and
+//! coherence latencies and print the recommended MUTEXEE parameters.
+
+fn main() {
+    println!("Measuring platform latencies (a few seconds)...\n");
+    let report = lockin::autotune::tune();
+    println!("futex sleep+wake turnaround : {:>10.0} ns", report.futex_roundtrip_ns);
+    println!("cache-line transfer         : {:>10.0} ns", report.line_transfer_ns);
+    println!("pause (mfence) iteration    : {:>10.1} ns", report.pause_ns);
+    println!("\nRecommended MutexeeConfig:");
+    println!("  spin_budget            = {} iterations", report.config.spin_budget);
+    println!("  spin_budget_mutex_mode = {}", report.config.spin_budget_mutex_mode);
+    println!("  unlock_wait            = {} iterations", report.config.unlock_wait);
+    println!("  unlock_wait_mutex_mode = {}", report.config.unlock_wait_mutex_mode);
+    println!("\nuse lockin::{{Mutexee, MutexeeConfig}}:");
+    println!("  let lock = Mutexee::new(config);");
+}

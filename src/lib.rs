@@ -1,0 +1,18 @@
+//! Umbrella crate of the "Unlocking Energy" (USENIX ATC 2016) reproduction.
+//!
+//! Re-exports the native lock library ([`lockin`]) and the simulation
+//! substrate so examples and integration tests have one front door. See
+//! `README.md` for the project layout and `DESIGN.md`/`EXPERIMENTS.md` for
+//! the reproduction methodology and results.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use lockin;
+pub use poly_bench;
+pub use poly_energy;
+pub use poly_futex;
+pub use poly_locks_sim;
+pub use poly_sched;
+pub use poly_sim;
+pub use poly_systems;

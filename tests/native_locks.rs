@@ -1,0 +1,185 @@
+//! Stress tests of the native `lockin` crate under real threads.
+
+use lockin::{
+    ClhLock, Condvar, FutexMutex, Lock, McsLock, Mutexee, MutexeeConfig, RawLock, RwLock,
+    TasLock, TicketLock, TtasLock,
+};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn raw_stress<L: RawLock + Send + Sync>() {
+    let counter = Lock::<u64, L>::new(0);
+    let threads = 8;
+    let iters = 25_000u64;
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| {
+                for i in 0..iters {
+                    let mut g = counter.lock();
+                    *g += 1;
+                    // Vary hold times so futex paths are exercised too.
+                    if i % 1024 == 0 {
+                        std::thread::sleep(std::time::Duration::from_micros(50));
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(counter.into_inner(), threads * iters);
+}
+
+#[test]
+fn tas_stress() {
+    raw_stress::<TasLock>();
+}
+
+#[test]
+fn ttas_stress() {
+    raw_stress::<TtasLock>();
+}
+
+#[test]
+fn ticket_stress() {
+    raw_stress::<TicketLock>();
+}
+
+#[test]
+fn futex_mutex_stress() {
+    raw_stress::<FutexMutex>();
+}
+
+#[test]
+fn mutexee_stress() {
+    raw_stress::<Mutexee>();
+}
+
+#[test]
+fn mcs_guard_stress() {
+    let lock = McsLock::new();
+    let counter = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..8 {
+            s.spawn(|| {
+                for _ in 0..25_000 {
+                    let _g = lock.lock();
+                    let v = counter.load(Ordering::Relaxed);
+                    counter.store(v + 1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    assert_eq!(counter.into_inner(), 200_000);
+}
+
+#[test]
+fn clh_guard_stress() {
+    let lock = ClhLock::new();
+    let counter = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..8 {
+            s.spawn(|| {
+                for _ in 0..25_000 {
+                    let _g = lock.lock();
+                    let v = counter.load(Ordering::Relaxed);
+                    counter.store(v + 1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    assert_eq!(counter.into_inner(), 200_000);
+}
+
+#[test]
+fn mutexee_with_timeouts_is_correct() {
+    let cfg = MutexeeConfig {
+        sleep_timeout: Some(std::time::Duration::from_micros(100)),
+        spin_budget: 8,
+        ..MutexeeConfig::default()
+    };
+    let counter = Arc::new(Lock::<u64, Mutexee>::with_raw(0, Mutexee::new(cfg)));
+    let mut handles = Vec::new();
+    for _ in 0..8 {
+        let c = counter.clone();
+        handles.push(std::thread::spawn(move || {
+            for i in 0..10_000u64 {
+                let mut g = c.lock();
+                *g += 1;
+                if i % 2048 == 0 {
+                    std::thread::sleep(std::time::Duration::from_micros(300));
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(*counter.lock(), 80_000);
+}
+
+#[test]
+fn rwlock_readers_see_consistent_pairs() {
+    // Writers keep (a, b) with a == b; readers must never observe a torn
+    // pair.
+    let pair = RwLock::<(u64, u64), Mutexee>::new((0, 0));
+    std::thread::scope(|s| {
+        for _ in 0..2 {
+            s.spawn(|| {
+                for i in 1..=20_000u64 {
+                    let mut g = pair.write();
+                    g.0 = i;
+                    g.1 = i;
+                }
+            });
+        }
+        for _ in 0..6 {
+            s.spawn(|| {
+                for _ in 0..20_000 {
+                    let g = pair.read();
+                    assert_eq!(g.0, g.1, "torn read: {:?}", *g);
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn condvar_bounded_queue() {
+    const CAP: usize = 4;
+    let q = Arc::new(Lock::<Vec<u64>, FutexMutex>::new(Vec::new()));
+    let not_full = Arc::new(Condvar::new());
+    let not_empty = Arc::new(Condvar::new());
+    let total = 20_000u64;
+    let producer = {
+        let (q, nf, ne) = (q.clone(), not_full.clone(), not_empty.clone());
+        std::thread::spawn(move || {
+            for i in 0..total {
+                let mut g = q.lock();
+                while g.len() >= CAP {
+                    g = nf.wait_timeout(g, std::time::Duration::from_millis(50));
+                }
+                g.push(i);
+                drop(g);
+                ne.notify_one();
+            }
+        })
+    };
+    let consumer = {
+        let (q, nf, ne) = (q.clone(), not_full.clone(), not_empty.clone());
+        std::thread::spawn(move || {
+            let mut sum = 0u64;
+            for _ in 0..total {
+                let mut g = q.lock();
+                while g.is_empty() {
+                    g = ne.wait_timeout(g, std::time::Duration::from_millis(50));
+                }
+                sum += g.remove(0);
+                drop(g);
+                nf.notify_one();
+            }
+            sum
+        })
+    };
+    producer.join().unwrap();
+    let sum = consumer.join().unwrap();
+    assert_eq!(sum, total * (total - 1) / 2);
+}

@@ -1,0 +1,78 @@
+//! Property-based tests spanning the workspace.
+
+use proptest::prelude::*;
+use poly_locks_sim::{Dist, LockKind, LockParams, LockStress, LockStressConfig, SimLock};
+use poly_sim::{Histogram, MachineConfig, PinPolicy, RunSpec, SimBuilder};
+
+proptest! {
+    /// The log-bucketed histogram's percentiles track exact percentiles
+    /// within its documented ~7% relative error.
+    #[test]
+    fn histogram_tracks_exact_percentiles(
+        mut values in proptest::collection::vec(1u64..1_000_000_000, 50..500),
+        p in 1.0f64..100.0,
+    ) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_unstable();
+        let rank = ((p / 100.0 * values.len() as f64).ceil() as usize).clamp(1, values.len());
+        let exact = values[rank - 1] as f64;
+        let approx = h.percentile(p) as f64;
+        prop_assert!(
+            approx <= exact * 1.08 && approx >= exact * 0.90,
+            "p{p}: approx {approx} exact {exact}"
+        );
+    }
+
+    /// Histogram merging equals recording the union.
+    #[test]
+    fn histogram_merge_is_union(
+        a in proptest::collection::vec(0u64..1_000_000, 1..100),
+        b in proptest::collection::vec(0u64..1_000_000, 1..100),
+    ) {
+        let mut ha = Histogram::new();
+        let mut hb = Histogram::new();
+        let mut hu = Histogram::new();
+        for &v in &a { ha.record(v); hu.record(v); }
+        for &v in &b { hb.record(v); hu.record(v); }
+        ha.merge(&hb);
+        prop_assert_eq!(ha.count(), hu.count());
+        prop_assert_eq!(ha.max(), hu.max());
+        prop_assert_eq!(ha.percentile(50.0), hu.percentile(50.0));
+    }
+
+    /// Any lock, any small configuration: the run completes with mutual
+    /// exclusion intact (engine-checked), sane accounting and physical
+    /// power bounds.
+    #[test]
+    fn random_lock_configs_behave(
+        kind_idx in 0usize..7,
+        threads in 1usize..5,
+        cs in 1u64..5_000,
+        seed in 0u64..1_000,
+    ) {
+        let kind = LockKind::ALL[kind_idx];
+        let mut b = SimBuilder::new(MachineConfig::tiny());
+        b.seed(seed);
+        let lock = SimLock::alloc(&mut b, kind, threads, LockParams::default());
+        for _ in 0..threads {
+            b.spawn(
+                Box::new(LockStress::new(
+                    vec![lock.clone()],
+                    LockStressConfig { cs: Dist::Fixed(cs), non_cs: Dist::Uniform(0, 200) },
+                )),
+                PinPolicy::PaperOrder,
+            );
+        }
+        let r = b.run(RunSpec { duration: 2_000_000, warmup: 0 });
+        prop_assert!(r.total_ops > 0, "{} stalled", kind.label());
+        let acquires: u64 = r.threads.iter().map(|t| t.acquires).sum();
+        prop_assert!(acquires >= r.total_ops);
+        prop_assert!(r.energy.total_j() > 0.0);
+        // Physical envelope of the tiny machine config (Xeon calibration).
+        prop_assert!(r.avg_power.total_w >= 27.0 && r.avg_power.total_w <= 207.0,
+            "power {}", r.avg_power.total_w);
+    }
+}
