@@ -2,7 +2,9 @@
 //! (DESIGN.md §5).
 
 use poly_bench::{banner, f2, horizon, lock_stress, xeon, Table};
-use poly_locks_sim::{Dist, LockKind, LockParams, LockStress, LockStressConfig, MutexeeParams, SimLock};
+use poly_locks_sim::{
+    Dist, LockKind, LockParams, LockStress, LockStressConfig, MutexeeParams, SimLock,
+};
 use poly_sim::{PinPolicy, SimBuilder};
 
 fn main() {
@@ -43,7 +45,7 @@ fn main() {
             LockParams {
                 mutexee: MutexeeParams {
                     unlock_wait: wait.max(1),
-                    unlock_wait_mutex_mode: wait.max(1).min(128),
+                    unlock_wait_mutex_mode: wait.clamp(1, 128),
                     ..Default::default()
                 },
                 ..Default::default()

@@ -1,29 +1,36 @@
 //! Figure 1: power and energy efficiency of a CopyOnWriteArrayList stress
 //! with MUTEX vs a spinlock (TTAS), at 10 and 20 threads.
+//!
+//! The 2x2 cell grid is expressed as a scenario sweep and runs in parallel.
 
-use poly_bench::{banner, f2, horizon, xeon, Table};
+use poly_bench::{banner, f2, horizon, Table};
 use poly_locks_sim::LockKind;
-use poly_systems::build_cowlist;
-use poly_sim::SimBuilder;
+use poly_scenarios::{cross, CellReport, Registry, SweepRunner};
 
 fn main() {
     banner("Figure 1", "CopyOnWriteArrayList: mutex vs spinlock (relative to mutex)");
     let h = horizon();
+    let base = Registry::builtin()
+        .get("cowlist")
+        .expect("cowlist is built in")
+        .spec
+        .clone()
+        .with_duration(h.cycles, h.warmup);
+    let cells = cross(&[base], &[LockKind::Mutex, LockKind::Ttas], &[10, 20], 0xF1601);
+    let reports = SweepRunner::new().run(&cells);
+    let cell = |kind: LockKind, threads: usize| -> &CellReport {
+        reports.iter().find(|r| r.lock == kind && r.threads == threads).expect("cell was swept")
+    };
     let mut t = Table::new(&["threads", "metric", "mutex", "spinlock", "spin/mutex"]);
     for threads in [10usize, 20] {
-        let run = |kind| {
-            let mut b = SimBuilder::new(xeon());
-            build_cowlist(&mut b, kind, threads);
-            b.run(h.spec())
-        };
-        let mutex = run(LockKind::Mutex);
-        let spin = run(LockKind::Ttas);
+        let mutex = cell(LockKind::Mutex, threads);
+        let spin = cell(LockKind::Ttas, threads);
         t.row(vec![
             threads.to_string(),
             "power (W)".into(),
-            f2(mutex.avg_power.total_w),
-            f2(spin.avg_power.total_w),
-            f2(spin.avg_power.total_w / mutex.avg_power.total_w),
+            f2(mutex.avg_power_w),
+            f2(spin.avg_power_w),
+            f2(spin.avg_power_w / mutex.avg_power_w),
         ]);
         t.row(vec![
             threads.to_string(),

@@ -16,15 +16,7 @@ fn main() {
     ]);
     for cs in [500u64, 1_000, 2_000, 4_000, 8_000, 16_000] {
         let run = |kind| {
-            lock_stress(
-                kind,
-                20,
-                Dist::Exp(cs),
-                Dist::Uniform(0, 600),
-                1,
-                LockParams::default(),
-                h,
-            )
+            lock_stress(kind, 20, Dist::Exp(cs), Dist::Uniform(0, 600), 1, LockParams::default(), h)
         };
         let mutex = run(LockKind::Mutex);
         let mutexee = run(LockKind::Mutexee);

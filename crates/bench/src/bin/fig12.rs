@@ -9,7 +9,7 @@ use rand::{Rng, SeedableRng};
 fn main() {
     banner("Figure 12", "throughput vs TPP correlation across configurations");
     let h = horizon().scaled(0.25);
-    let mut rng = SmallRng::seed_from_u64(0xF16_12);
+    let mut rng = SmallRng::seed_from_u64(0xF1612);
     let n_configs: usize = if std::env::var_os("POLY_QUICK").is_some() { 8 } else { 24 };
     let kinds = [
         LockKind::Mutex,

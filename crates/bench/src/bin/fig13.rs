@@ -1,73 +1,69 @@
 //! Figures 13, 14 and 15: the six software systems with MUTEX, TICKET and
 //! MUTEXEE — normalized throughput, TPP and 99th-percentile latency.
+//!
+//! All 51 cells (17 system configs x 3 locks) are expressed as scenario
+//! specs and fanned out over the sweep runner, so wall-clock time is bound
+//! by the slowest cell rather than the sum of all of them.
 
-use poly_bench::{banner, f2, horizon, xeon, Table};
+use poly_bench::{banner, f2, horizon, Table};
 use poly_locks_sim::LockKind;
-use poly_sim::{SimBuilder, SimReport};
+use poly_scenarios::{cross, CellReport, ScenarioSpec, SweepRunner, WorkloadSpec};
 use poly_systems::PaperSystem;
-
-fn run(sys: PaperSystem, kind: LockKind, h: poly_bench::Horizon) -> SimReport {
-    let mut b = SimBuilder::new(xeon());
-    sys.build(&mut b, kind);
-    b.run(h.spec())
-}
 
 fn main() {
     banner("Figures 13-15", "six systems, locks swapped (normalized to MUTEX)");
     let h = horizon();
+    let lineup = PaperSystem::paper_lineup();
+    let bases: Vec<ScenarioSpec> = lineup
+        .iter()
+        .map(|&sys| {
+            // MySQL's 96 threads make it the heaviest cell; trim its horizon.
+            let h = if sys.system_name() == "MySQL" { h.scaled(0.5) } else { h };
+            ScenarioSpec::new(
+                format!("{}-{}", sys.system_name(), sys.config_label()),
+                WorkloadSpec::System(sys),
+            )
+            .with_duration(h.cycles, h.warmup)
+        })
+        .collect();
+    let locks = [LockKind::Mutex, LockKind::Ticket, LockKind::Mutexee];
+    let cells = cross(&bases, &locks, &[], 0xF1613);
+    let reports = SweepRunner::new().run(&cells);
+    let cell = |name: &str, kind: LockKind| -> &CellReport {
+        reports.iter().find(|r| r.scenario == name && r.lock == kind).expect("cell was swept")
+    };
+
     let mut thr = Table::new(&["system", "config", "TICKET", "MUTEXEE"]);
     let mut tpp = Table::new(&["system", "config", "TICKET", "MUTEXEE"]);
     let mut tail = Table::new(&["system", "config", "TICKET", "MUTEXEE"]);
     let mut thr_sum = [0.0f64; 2];
     let mut tpp_sum = [0.0f64; 2];
-    let mut cells = 0.0;
-    for sys in PaperSystem::paper_lineup() {
-        // MySQL's 96 threads make it the heaviest cell; trim its horizon.
-        let h = if sys.system_name() == "MySQL" { h.scaled(0.5) } else { h };
-        let mutex = run(sys, LockKind::Mutex, h);
-        let ticket = run(sys, LockKind::Ticket, h);
-        let mutexee = run(sys, LockKind::Mutexee, h);
+    let mut cells_n = 0.0;
+    for (sys, base) in lineup.iter().zip(&bases) {
+        let mutex = cell(&base.name, LockKind::Mutex);
+        let ticket = cell(&base.name, LockKind::Ticket);
+        let mutexee = cell(&base.name, LockKind::Mutexee);
         let tr = [ticket.throughput / mutex.throughput, mutexee.throughput / mutex.throughput];
         let pr = [ticket.tpp / mutex.tpp, mutexee.tpp / mutex.tpp];
-        thr.row(vec![
-            sys.system_name().into(),
-            sys.config_label(),
-            f2(tr[0]),
-            f2(tr[1]),
-        ]);
-        tpp.row(vec![
-            sys.system_name().into(),
-            sys.config_label(),
-            f2(pr[0]),
-            f2(pr[1]),
-        ]);
+        thr.row(vec![sys.system_name().into(), sys.config_label(), f2(tr[0]), f2(tr[1])]);
+        tpp.row(vec![sys.system_name().into(), sys.config_label(), f2(pr[0]), f2(pr[1])]);
         thr_sum[0] += tr[0];
         thr_sum[1] += tr[1];
         tpp_sum[0] += pr[0];
         tpp_sum[1] += pr[1];
-        cells += 1.0;
+        cells_n += 1.0;
         if sys.in_tail_figure() {
-            let p99 = |r: &SimReport| r.acquire_latency.percentile(99.0) as f64;
+            let p99 = |r: &CellReport| r.p99_acq_cycles as f64;
             tail.row(vec![
                 sys.system_name().into(),
                 sys.config_label(),
-                f2(p99(&ticket) / p99(&mutex).max(1.0)),
-                f2(p99(&mutexee) / p99(&mutex).max(1.0)),
+                f2(p99(ticket) / p99(mutex).max(1.0)),
+                f2(p99(mutexee) / p99(mutex).max(1.0)),
             ]);
         }
     }
-    thr.row(vec![
-        "Avg".into(),
-        "".into(),
-        f2(thr_sum[0] / cells),
-        f2(thr_sum[1] / cells),
-    ]);
-    tpp.row(vec![
-        "Avg".into(),
-        "".into(),
-        f2(tpp_sum[0] / cells),
-        f2(tpp_sum[1] / cells),
-    ]);
+    thr.row(vec!["Avg".into(), "".into(), f2(thr_sum[0] / cells_n), f2(thr_sum[1] / cells_n)]);
+    tpp.row(vec!["Avg".into(), "".into(), f2(tpp_sum[0] / cells_n), f2(tpp_sum[1] / cells_n)]);
     println!("### Figure 13 — normalized throughput (higher is better)");
     thr.print();
     println!("\n### Figure 14 — normalized TPP (higher is better)");

@@ -1,12 +1,17 @@
 //! Runs every figure/table reproduction in sequence (the paper's full
-//! evaluation). Equivalent to running each `fig*`/`tab*` binary.
+//! evaluation), then sweeps the whole built-in scenario registry through
+//! the parallel runner and prints the resulting summary grid.
 
 use std::process::Command;
 
-fn main() {
+use poly_bench::{banner, f2, horizon, mops, Table};
+use poly_locks_sim::LockKind;
+use poly_scenarios::{cross, Registry, ScenarioSpec, SweepRunner};
+
+fn run_figures() {
     let bins = [
-        "fig01", "fig02", "fig03", "fig04", "fig05", "fig06", "tab44", "fig07", "fig08",
-        "fig09", "fig10", "tab51", "tab02", "fig11", "fig12", "fig13", "ablate",
+        "fig01", "fig02", "fig03", "fig04", "fig05", "fig06", "tab44", "fig07", "fig08", "fig09",
+        "fig10", "tab51", "tab02", "fig11", "fig12", "fig13", "ablate",
     ];
     let exe = std::env::current_exe().expect("own path");
     let dir = exe.parent().expect("bin dir");
@@ -18,4 +23,33 @@ fn main() {
         assert!(status.success(), "{bin} failed");
     }
     println!("\nAll 17 experiment reproductions completed.");
+}
+
+fn run_registry_sweep() {
+    banner("Registry sweep", "every built-in scenario, MUTEX vs MUTEXEE");
+    let h = horizon();
+    let reg = Registry::builtin();
+    let bases: Vec<ScenarioSpec> =
+        reg.iter().map(|e| e.spec.clone().with_duration(h.cycles / 2, h.warmup / 2)).collect();
+    let cells = cross(&bases, &[LockKind::Mutex, LockKind::Mutexee], &[], 0xE2E);
+    let reports = SweepRunner::new().run(&cells);
+    let mut t = Table::new(&["scenario", "lock", "thr", "Mops/s", "watts", "Kops/J", "p99 acq"]);
+    for r in &reports {
+        t.row(vec![
+            r.scenario.clone(),
+            r.lock.label().into(),
+            r.threads.to_string(),
+            mops(r.throughput),
+            f2(r.avg_power_w),
+            f2(r.tpp / 1e3),
+            r.p99_acq_cycles.to_string(),
+        ]);
+    }
+    t.print();
+    println!("\n{} cells swept across the registry.", reports.len());
+}
+
+fn main() {
+    run_figures();
+    run_registry_sweep();
 }

@@ -1,0 +1,220 @@
+//! The scenario orchestration CLI: list, run, and sweep named scenarios.
+//!
+//! ```text
+//! cargo run --release -p poly-bench --bin scenarios -- list
+//! cargo run --release -p poly-bench --bin scenarios -- run kv-hot-zipf --lock MUTEXEE
+//! cargo run --release -p poly-bench --bin scenarios -- sweep \
+//!     --scenarios lock-stress,kv-hot-zipf --locks MUTEX,TICKET,MUTEXEE \
+//!     --threads 8,16,32 --format jsonl --out sweep.jsonl
+//! ```
+//!
+//! Durations honor `POLY_QUICK=1` / `POLY_FULL=1` like the figure binaries.
+
+use std::io::Write;
+use std::process::exit;
+
+use poly_bench::horizon;
+use poly_locks_sim::LockKind;
+use poly_scenarios::{
+    cross, parse_lock, write_reports, MachineKind, Registry, ScenarioSpec, SinkFormat, SweepRunner,
+};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: scenarios <command>\n\
+         \n\
+         commands:\n\
+         \x20 list                         list the built-in scenarios\n\
+         \x20 run <name> [options]         run one scenario, print its report\n\
+         \x20 sweep [options]              run a cross product of cells in parallel\n\
+         \n\
+         options (run and sweep):\n\
+         \x20 --locks L1,L2 | --lock L     lock algorithms (default: scenario default)\n\
+         \x20 --machine xeon|core-i7|tiny  simulated machine (default: scenario default)\n\
+         \x20 --threads N1,N2              thread counts (default: scenario default)\n\
+         \x20 --duration CYCLES            simulated cycles (default: figure horizon)\n\
+         \x20 --warmup CYCLES              warmup prefix (default: duration/10)\n\
+         \x20 --seed S                     sweep seed (default: 42)\n\
+         \x20 --format jsonl|csv           output format (default: jsonl)\n\
+         \x20 --out FILE                   write reports to FILE instead of stdout\n\
+         \n\
+         options (sweep only):\n\
+         \x20 --scenarios n1,n2 | all      scenarios to sweep (default: all)\n\
+         \x20 --workers N                  parallel workers (default: all cores)"
+    );
+    exit(2);
+}
+
+struct Options {
+    machine: Option<MachineKind>,
+    locks: Vec<LockKind>,
+    threads: Vec<usize>,
+    duration: Option<u64>,
+    warmup: Option<u64>,
+    seed: u64,
+    format: SinkFormat,
+    out: Option<String>,
+    scenarios: Option<Vec<String>>,
+    workers: Option<usize>,
+}
+
+fn fail(msg: String) -> ! {
+    eprintln!("scenarios: {msg}");
+    exit(2);
+}
+
+fn parse_options(args: &[String]) -> Options {
+    let mut opts = Options {
+        machine: None,
+        locks: Vec::new(),
+        threads: Vec::new(),
+        duration: None,
+        warmup: None,
+        seed: 42,
+        format: SinkFormat::JsonLines,
+        out: None,
+        scenarios: None,
+        workers: None,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value =
+            || it.next().unwrap_or_else(|| fail(format!("{flag} needs a value"))).as_str();
+        match flag.as_str() {
+            "--lock" | "--locks" => {
+                opts.locks = value()
+                    .split(',')
+                    .map(|s| parse_lock(s).unwrap_or_else(|| fail(format!("unknown lock: {s}"))))
+                    .collect();
+            }
+            "--machine" => {
+                let v = value();
+                opts.machine = Some(
+                    MachineKind::parse(v).unwrap_or_else(|| fail(format!("unknown machine: {v}"))),
+                );
+            }
+            "--threads" => {
+                opts.threads = value()
+                    .split(',')
+                    .map(|s| s.parse().unwrap_or_else(|_| fail(format!("bad thread count: {s}"))))
+                    .collect();
+            }
+            "--duration" => {
+                opts.duration =
+                    Some(value().parse().unwrap_or_else(|_| fail("bad --duration".into())));
+            }
+            "--warmup" => {
+                opts.warmup = Some(value().parse().unwrap_or_else(|_| fail("bad --warmup".into())));
+            }
+            "--seed" => {
+                opts.seed = value().parse().unwrap_or_else(|_| fail("bad --seed".into()));
+            }
+            "--format" => {
+                let v = value();
+                opts.format =
+                    SinkFormat::parse(v).unwrap_or_else(|| fail(format!("unknown format: {v}")));
+            }
+            "--out" => opts.out = Some(value().to_string()),
+            "--scenarios" => {
+                let v = value();
+                if v != "all" {
+                    opts.scenarios = Some(v.split(',').map(str::to_string).collect());
+                }
+            }
+            "--workers" => {
+                opts.workers =
+                    Some(value().parse().unwrap_or_else(|_| fail("bad --workers".into())));
+            }
+            other => fail(format!("unknown option: {other}")),
+        }
+    }
+    opts
+}
+
+/// Applies the horizon (CLI override, else the `POLY_QUICK`/`POLY_FULL`
+/// figure horizon) to a base spec.
+fn with_horizon(spec: ScenarioSpec, opts: &Options) -> ScenarioSpec {
+    let h = horizon();
+    let duration = opts.duration.unwrap_or(h.cycles);
+    let warmup = opts.warmup.unwrap_or(duration / 10);
+    if duration == 0 || warmup >= duration {
+        fail(format!("--warmup ({warmup}) must be smaller than --duration ({duration})"));
+    }
+    let spec = match opts.machine {
+        Some(machine) => spec.with_machine(machine),
+        None => spec,
+    };
+    spec.with_duration(duration, warmup)
+}
+
+fn emit(reports: &[poly_scenarios::CellReport], opts: &Options) {
+    let result = match &opts.out {
+        Some(path) => {
+            let mut f = std::fs::File::create(path)
+                .unwrap_or_else(|e| fail(format!("cannot create {path}: {e}")));
+            write_reports(&mut f, opts.format, reports)
+                .and_then(|()| f.flush())
+                .map(|()| eprintln!("wrote {} cells to {path}", reports.len()))
+        }
+        None => write_reports(&mut std::io::stdout().lock(), opts.format, reports),
+    };
+    result.unwrap_or_else(|e| fail(format!("writing reports: {e}")));
+}
+
+fn cmd_list(reg: &Registry) {
+    println!("{} built-in scenarios:\n", reg.len());
+    for e in reg.iter() {
+        let s = &e.spec;
+        println!(
+            "  {:<18} {:<9} {:>3} thr  {:<8} {}",
+            s.name,
+            s.workload.label(),
+            s.effective_threads(),
+            s.lock.label(),
+            e.about
+        );
+    }
+    println!("\nrun one with:  scenarios run <name>   sweep all with:  scenarios sweep");
+}
+
+fn cmd_run(reg: &Registry, name: &str, opts: &Options) {
+    let entry =
+        reg.get(name).unwrap_or_else(|| fail(format!("unknown scenario: {name} (try `list`)")));
+    let base = with_horizon(entry.spec.clone(), opts);
+    let cells = cross(&[base], &opts.locks, &opts.threads, opts.seed);
+    let runner = opts.workers.map(SweepRunner::with_workers).unwrap_or_default();
+    emit(&runner.run(&cells), opts);
+}
+
+fn cmd_sweep(reg: &Registry, opts: &Options) {
+    let names: Vec<String> = match &opts.scenarios {
+        Some(names) => names.clone(),
+        None => reg.names().iter().map(|s| s.to_string()).collect(),
+    };
+    let bases: Vec<ScenarioSpec> = names
+        .iter()
+        .map(|n| {
+            let entry =
+                reg.get(n).unwrap_or_else(|| fail(format!("unknown scenario: {n} (try `list`)")));
+            with_horizon(entry.spec.clone(), opts)
+        })
+        .collect();
+    let cells = cross(&bases, &opts.locks, &opts.threads, opts.seed);
+    eprintln!("sweeping {} cells ({} scenarios x locks x threads)...", cells.len(), bases.len());
+    let runner = opts.workers.map(SweepRunner::with_workers).unwrap_or_default();
+    emit(&runner.run(&cells), opts);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let reg = Registry::builtin();
+    match args.first().map(String::as_str) {
+        Some("list") => cmd_list(&reg),
+        Some("run") => {
+            let Some(name) = args.get(1) else { fail("run needs a scenario name".into()) };
+            cmd_run(&reg, name, &parse_options(&args[2..]));
+        }
+        Some("sweep") => cmd_sweep(&reg, &parse_options(&args[1..])),
+        _ => usage(),
+    }
+}

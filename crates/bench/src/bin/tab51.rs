@@ -24,11 +24,7 @@ fn main() {
     let mutexee = run(LockKind::Mutexee, None);
     let mutexee_to = run(LockKind::Mutexee, Some(4 * 2_800_000)); // 4 ms
     let mut t = Table::new(&["lock", "thr (Kacq/s)", "TPP (Kacq/J)", "max latency (Mcyc)"]);
-    for (label, r) in [
-        ("MUTEX", &mutex),
-        ("MUTEXEE", &mutexee),
-        ("MUTEXEE timeout", &mutexee_to),
-    ] {
+    for (label, r) in [("MUTEX", &mutex), ("MUTEXEE", &mutexee), ("MUTEXEE timeout", &mutexee_to)] {
         t.row(vec![
             label.into(),
             format!("{:.0}", r.throughput / 1e3),

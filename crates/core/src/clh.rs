@@ -102,10 +102,11 @@ mod tests {
     fn counts_exactly_under_contention() {
         let lock = ClhLock::new();
         let counter = AtomicU64::new(0);
+        let (threads, iters) = crate::test_stress_scale(8, 10_000);
         std::thread::scope(|s| {
-            for _ in 0..8 {
+            for _ in 0..threads {
                 s.spawn(|| {
-                    for _ in 0..10_000 {
+                    for _ in 0..iters {
                         let _g = lock.lock();
                         let v = counter.load(Ordering::Relaxed);
                         counter.store(v + 1, Ordering::Relaxed);
@@ -113,7 +114,7 @@ mod tests {
                 });
             }
         });
-        assert_eq!(counter.into_inner(), 80_000);
+        assert_eq!(counter.into_inner(), threads as u64 * iters);
     }
 
     #[test]

@@ -26,7 +26,7 @@ mod sys {
     use super::*;
 
     const SYS_FUTEX: i64 = 202;
-    const FUTEX_WAIT_PRIVATE: i64 = 0 | 128;
+    const FUTEX_WAIT_PRIVATE: i64 = 128;
     const FUTEX_WAKE_PRIVATE: i64 = 1 | 128;
     const EAGAIN: i64 = -11;
     const ETIMEDOUT: i64 = -110;
@@ -44,12 +44,7 @@ mod sys {
     /// `uaddr` must point to a live 4-byte-aligned futex word and `timeout`
     /// must be null or point to a valid `Timespec`; both invariants are
     /// upheld by the safe wrappers below.
-    unsafe fn futex(
-        uaddr: *const u32,
-        op: i64,
-        val: u32,
-        timeout: *const Timespec,
-    ) -> i64 {
+    unsafe fn futex(uaddr: *const u32, op: i64, val: u32, timeout: *const Timespec) -> i64 {
         let ret: i64;
         // SAFETY: the Linux syscall ABI clobbers only rcx/r11; all six
         // argument registers are passed per the x86_64 convention. The
@@ -73,10 +68,8 @@ mod sys {
     }
 
     pub fn wait(word: &AtomicU32, expect: u32, timeout: Option<Duration>) -> WaitOutcome {
-        let ts = timeout.map(|d| Timespec {
-            tv_sec: d.as_secs() as i64,
-            tv_nsec: i64::from(d.subsec_nanos()),
-        });
+        let ts = timeout
+            .map(|d| Timespec { tv_sec: d.as_secs() as i64, tv_nsec: i64::from(d.subsec_nanos()) });
         let ts_ptr = ts.as_ref().map_or(std::ptr::null(), std::ptr::from_ref);
         // SAFETY: `word` is a live, aligned AtomicU32; `ts_ptr` is null or
         // points at `ts` which outlives the call.
@@ -90,9 +83,8 @@ mod sys {
 
     pub fn wake(word: &AtomicU32, n: u32) -> usize {
         // SAFETY: `word` is a live, aligned AtomicU32; no timeout pointer.
-        let r = unsafe {
-            futex(word.as_ptr().cast_const(), FUTEX_WAKE_PRIVATE, n, std::ptr::null())
-        };
+        let r =
+            unsafe { futex(word.as_ptr().cast_const(), FUTEX_WAKE_PRIVATE, n, std::ptr::null()) };
         usize::try_from(r).unwrap_or(0)
     }
 }

@@ -73,3 +73,19 @@ pub use raw::{Lock, LockGuard, RawLock};
 pub use rwlock::{RwLock, RwReadGuard, RwWriteGuard};
 pub use spin::SpinPolicy;
 pub use spinlocks::{TasLock, TicketLock, TtasLock};
+
+/// Scales threaded stress tests to the host: on a single hardware thread,
+/// every spinlock handover costs a scheduler quantum (the oversubscription
+/// pathology of §6, live on the test machine), so full-size runs take
+/// minutes per lock. Invariants are unchanged; only counts shrink.
+///
+/// The workspace-level integration tests (`tests/native_locks.rs`) carry
+/// the same policy in their `stress_size`; keep the two in step.
+#[cfg(test)]
+pub(crate) fn test_stress_scale(threads: usize, iters: u64) -> (usize, u64) {
+    if std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) > 1 {
+        (threads, iters)
+    } else {
+        (threads.min(4), (iters / 20).max(500))
+    }
+}

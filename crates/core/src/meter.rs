@@ -37,19 +37,14 @@ impl EnergyMeter {
 
     /// Takes a sample.
     pub fn sample(&self) -> EnergySample {
-        EnergySample {
-            at: Instant::now(),
-            rapl: self.rapl.as_ref().and_then(|r| r.sample().ok()),
-        }
+        EnergySample { at: Instant::now(), rapl: self.rapl.as_ref().and_then(|r| r.sample().ok()) }
     }
 
     /// Wall-clock and energy deltas between two samples.
     pub fn delta(&self, before: &EnergySample, after: &EnergySample) -> (Duration, Option<f64>) {
         let dt = after.at.duration_since(before.at);
         let joules = match (&self.rapl, &before.rapl, &after.rapl) {
-            (Some(r), Some(b), Some(a)) => {
-                Some(r.delta_j(b, a).iter().map(|(_, j)| j).sum())
-            }
+            (Some(r), Some(b), Some(a)) => Some(r.delta_j(b, a).iter().map(|(_, j)| j).sum()),
             _ => None,
         };
         (dt, joules)

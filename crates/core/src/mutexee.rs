@@ -119,9 +119,7 @@ impl Mutexee {
     }
 
     fn try_acquire(&self) -> bool {
-        self.word
-            .compare_exchange(0, 1, Ordering::Acquire, Ordering::Relaxed)
-            .is_ok()
+        self.word.compare_exchange(0, 1, Ordering::Acquire, Ordering::Relaxed).is_ok()
     }
 
     /// Records an acquisition and periodically re-evaluates the mode.
@@ -235,16 +233,17 @@ mod tests {
     #[test]
     fn counts_exactly_under_contention() {
         let counter = Lock::<u64, Mutexee>::new(0);
+        let (threads, iters) = crate::test_stress_scale(8, 10_000);
         std::thread::scope(|s| {
-            for _ in 0..8 {
+            for _ in 0..threads {
                 s.spawn(|| {
-                    for _ in 0..10_000 {
+                    for _ in 0..iters {
                         *counter.lock() += 1;
                     }
                 });
             }
         });
-        assert_eq!(counter.into_inner(), 80_000);
+        assert_eq!(counter.into_inner(), threads as u64 * iters);
     }
 
     #[test]
@@ -255,21 +254,22 @@ mod tests {
             ..MutexeeConfig::default()
         };
         let counter = Lock::<u64, Mutexee>::with_raw(0, Mutexee::new(cfg));
+        let (threads, iters) = crate::test_stress_scale(8, 5_000);
         std::thread::scope(|s| {
-            for _ in 0..8 {
+            for _ in 0..threads {
                 s.spawn(|| {
-                    for _ in 0..5_000 {
+                    for _ in 0..iters {
                         let mut g = counter.lock();
                         *g += 1;
                         // Hold long enough to force sleeping occasionally.
-                        if *g % 512 == 0 {
+                        if (*g).is_multiple_of(512) {
                             std::thread::sleep(Duration::from_micros(200));
                         }
                     }
                 });
             }
         });
-        assert_eq!(counter.into_inner(), 40_000);
+        assert_eq!(counter.into_inner(), threads as u64 * iters);
     }
 
     #[test]

@@ -59,9 +59,7 @@ impl RaplReader {
         let mut names: Vec<PathBuf> = entries
             .filter_map(|e| e.ok().map(|e| e.path()))
             .filter(|p| {
-                p.file_name()
-                    .and_then(|n| n.to_str())
-                    .is_some_and(|n| n.starts_with("intel-rapl:"))
+                p.file_name().and_then(|n| n.to_str()).is_some_and(|n| n.starts_with("intel-rapl:"))
             })
             .collect();
         names.sort();

@@ -125,10 +125,11 @@ mod tests {
     #[test]
     fn readers_share_writers_exclude() {
         let rw = RwLock::<u64, TicketLock>::new(0);
+        let (threads, iters) = crate::test_stress_scale(4, 5_000);
         std::thread::scope(|s| {
-            for _ in 0..4 {
+            for _ in 0..threads {
                 s.spawn(|| {
-                    for _ in 0..5_000 {
+                    for _ in 0..iters {
                         let before = *rw.read();
                         let _ = before;
                         *rw.write() += 1;
@@ -136,7 +137,7 @@ mod tests {
                 });
             }
         });
-        assert_eq!(rw.into_inner(), 20_000);
+        assert_eq!(rw.into_inner(), threads as u64 * iters);
     }
 
     #[test]

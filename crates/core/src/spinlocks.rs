@@ -57,11 +57,7 @@ unsafe impl RawLock for TtasLock {
             while self.word.load(Ordering::Relaxed) != 0 {
                 self.policy.pause();
             }
-            if self
-                .word
-                .compare_exchange(0, 1, Ordering::Acquire, Ordering::Relaxed)
-                .is_ok()
-            {
+            if self.word.compare_exchange(0, 1, Ordering::Acquire, Ordering::Relaxed).is_ok() {
                 return;
             }
         }
@@ -69,10 +65,7 @@ unsafe impl RawLock for TtasLock {
 
     fn try_lock(&self) -> bool {
         self.word.load(Ordering::Relaxed) == 0
-            && self
-                .word
-                .compare_exchange(0, 1, Ordering::Acquire, Ordering::Relaxed)
-                .is_ok()
+            && self.word.compare_exchange(0, 1, Ordering::Acquire, Ordering::Relaxed).is_ok()
     }
 
     unsafe fn unlock(&self) {
@@ -138,8 +131,8 @@ mod tests {
 
     fn hammer<L: RawLock + Send + Sync>() {
         let counter = Lock::<u64, L>::new(0);
-        let threads = 4;
-        let iters = 20_000;
+        let (threads, iters) = crate::test_stress_scale(4, 20_000);
+        let threads = threads as u64;
         std::thread::scope(|s| {
             for _ in 0..threads {
                 s.spawn(|| {

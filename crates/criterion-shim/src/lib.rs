@@ -1,0 +1,191 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the slice of the criterion API its benches use:
+//! [`Criterion::bench_function`], [`Bencher::iter`]/[`Bencher::iter_custom`],
+//! and the [`criterion_group!`]/[`criterion_main!`] macros. Instead of
+//! criterion's statistical machinery it runs a short calibrated loop and
+//! prints one `ns/iter` figure per benchmark — enough to compare locks by
+//! eye and to keep the bench targets compiling and runnable.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark driver configuration and entry point.
+pub struct Criterion {
+    measurement: Duration,
+    warm_up: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            measurement: Duration::from_millis(200),
+            warm_up: Duration::from_millis(20),
+            sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the nominal sample count (kept for API compatibility).
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Caps the measurement time of each benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        // The shim has no statistics to stabilize; a fraction of the
+        // requested window gives comparable numbers at a fraction of the
+        // wall-clock cost (benches also run under `cargo test`).
+        self.measurement = d / 4;
+        self
+    }
+
+    /// Caps the warm-up time of each benchmark.
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d / 4;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            measurement: self.measurement,
+            warm_up: self.warm_up,
+            ns_per_iter: None,
+            iters: 0,
+        };
+        f(&mut b);
+        match b.ns_per_iter {
+            Some(ns) => println!("bench {name:<40} {ns:>12.1} ns/iter ({} iters)", b.iters),
+            None => println!("bench {name:<40} (no measurement)"),
+        }
+        self
+    }
+}
+
+/// Times the body of one benchmark.
+pub struct Bencher {
+    measurement: Duration,
+    warm_up: Duration,
+    ns_per_iter: Option<f64>,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `f`, growing the batch size until the measurement window is
+    /// filled.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let warm_end = Instant::now() + self.warm_up;
+        while Instant::now() < warm_end {
+            black_box(f());
+        }
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= self.measurement || iters >= 1 << 24 {
+                self.record(iters, elapsed);
+                return;
+            }
+            // Grow towards the window from the observed per-iter cost.
+            iters = (iters * 4).min(1 << 24);
+        }
+    }
+
+    /// Hands the iteration count to `f`, which returns the elapsed time for
+    /// exactly that many iterations (criterion's escape hatch for setups
+    /// that must amortize, e.g. spawning threads).
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut f: F) {
+        // Contended-lock bodies are quantum-bound on single-core hosts
+        // (every handover costs a scheduler slice); keep those runs small.
+        let multi = std::thread::available_parallelism().map(|n| n.get() > 1).unwrap_or(false);
+        let (warm_iters, iters) = if multi { (1_000, 50_000) } else { (100, 2_000) };
+        black_box(f(warm_iters));
+        let elapsed = f(iters);
+        self.record(iters, elapsed);
+    }
+
+    fn record(&mut self, iters: u64, elapsed: Duration) {
+        self.iters = iters;
+        self.ns_per_iter = Some(elapsed.as_nanos() as f64 / iters as f64);
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's two forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .measurement_time(Duration::from_millis(4))
+            .warm_up_time(Duration::from_millis(1))
+    }
+
+    #[test]
+    fn iter_measures_something() {
+        let mut c = quick();
+        let mut ran = false;
+        c.bench_function("noop", |b| {
+            b.iter(|| black_box(1 + 1));
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn iter_custom_passes_counts_through() {
+        let mut c = quick();
+        let mut seen = 0;
+        c.bench_function("custom", |b| {
+            b.iter_custom(|iters| {
+                seen = iters;
+                Duration::from_micros(iters)
+            });
+        });
+        assert!(seen > 0);
+    }
+}

@@ -128,15 +128,15 @@ impl PowerConfig {
         // Work, MemIntensive, LocalSpin, LocalSpinPause, LocalSpinMbar,
         // GlobalSpin, KernelSpin, Syscall, Mwait.
         [
-            ClassPower::new(0.21, 0.72, 0.10, 0.20), // Work
+            ClassPower::new(0.21, 0.72, 0.10, 0.20),  // Work
             ClassPower::new(0.52, 0.89, 0.90, 1.225), // MemIntensive
-            ClassPower::new(0.13, 0.46, 0.0, 0.0),   // LocalSpin
-            ClassPower::new(0.17, 0.63, 0.0, 0.0),   // LocalSpinPause
-            ClassPower::new(0.10, 0.33, 0.0, 0.0),   // LocalSpinMbar
-            ClassPower::new(0.11, 0.36, 0.0, 0.0),   // GlobalSpin
-            ClassPower::new(0.11, 0.36, 0.0, 0.0),   // KernelSpin
-            ClassPower::new(0.16, 0.55, 0.05, 0.10), // Syscall
-            ClassPower::new(0.0, 0.0, 0.0, 0.0),     // Mwait
+            ClassPower::new(0.13, 0.46, 0.0, 0.0),    // LocalSpin
+            ClassPower::new(0.17, 0.63, 0.0, 0.0),    // LocalSpinPause
+            ClassPower::new(0.10, 0.33, 0.0, 0.0),    // LocalSpinMbar
+            ClassPower::new(0.11, 0.36, 0.0, 0.0),    // GlobalSpin
+            ClassPower::new(0.11, 0.36, 0.0, 0.0),    // KernelSpin
+            ClassPower::new(0.16, 0.55, 0.05, 0.10),  // Syscall
+            ClassPower::new(0.0, 0.0, 0.0, 0.0),      // Mwait
         ]
     }
 

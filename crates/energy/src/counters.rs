@@ -42,12 +42,16 @@ impl RaplCounters {
     ///
     /// Panics if `seconds` is negative or any power is negative: energy
     /// counters are monotonic by construction.
-    pub fn accumulate(&mut self, socket: usize, pkg_w: f64, cores_w: f64, dram_w: f64, seconds: f64) {
+    pub fn accumulate(
+        &mut self,
+        socket: usize,
+        pkg_w: f64,
+        cores_w: f64,
+        dram_w: f64,
+        seconds: f64,
+    ) {
         assert!(seconds >= 0.0, "cannot integrate negative time");
-        assert!(
-            pkg_w >= 0.0 && cores_w >= 0.0 && dram_w >= 0.0,
-            "power must be non-negative"
-        );
+        assert!(pkg_w >= 0.0 && cores_w >= 0.0 && dram_w >= 0.0, "power must be non-negative");
         Self::add(&mut self.pkg_uj[socket], &mut self.pkg_residue[socket], pkg_w * seconds);
         Self::add(&mut self.cores_uj[socket], &mut self.cores_residue[socket], cores_w * seconds);
         Self::add(&mut self.dram_uj[socket], &mut self.dram_residue[socket], dram_w * seconds);

@@ -110,7 +110,13 @@ impl FutexTable {
         assert!(cfg.buckets > 0, "futex table needs at least one bucket");
         let mut buckets = Vec::with_capacity(cfg.buckets);
         buckets.resize_with(cfg.buckets, Bucket::default);
-        Self { cfg, buckets, sleeping: HashMap::new(), next_generation: 0, stats: FutexStats::default() }
+        Self {
+            cfg,
+            buckets,
+            sleeping: HashMap::new(),
+            next_generation: 0,
+            stats: FutexStats::default(),
+        }
     }
 
     /// The timing calibration in use.
@@ -174,14 +180,15 @@ impl FutexTable {
         let generation = self.next_generation;
         self.next_generation += 1;
         let b = self.bucket_of(addr);
-        self.buckets[b]
-            .queues
-            .entry(addr)
-            .or_default()
-            .push_back(WaitEntry { tid, generation });
+        self.buckets[b].queues.entry(addr).or_default().push_back(WaitEntry { tid, generation });
         self.sleeping.insert(tid, (addr, generation));
         self.stats.waits += 1;
-        WaitIssue { outcome: WaitOutcome::Enqueued, kernel_done_at: done, lock_spin_cycles: 0, generation }
+        WaitIssue {
+            outcome: WaitOutcome::Enqueued,
+            kernel_done_at: done,
+            lock_spin_cycles: 0,
+            generation,
+        }
     }
 
     /// One-shot `FUTEX_WAIT` convenience combining

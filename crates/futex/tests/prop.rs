@@ -2,8 +2,8 @@
 
 use std::collections::{HashSet, VecDeque};
 
-use proptest::prelude::*;
 use poly_futex::{FutexConfig, FutexTable, WaitOutcome};
+use proptest::prelude::*;
 
 /// A random futex operation issued by the driver.
 #[derive(Debug, Clone)]

@@ -65,9 +65,7 @@ impl Acq {
                 self.st = St::TryLock;
                 Step::Do(Op::Rmw(l.word, RmwKind::Cas { expect: 0, new: 1 }))
             }
-            (St::TryLock, OpResult::Cas { ok: true, .. }) => {
-                Step::Acquired(Handover::Uncontended)
-            }
+            (St::TryLock, OpResult::Cas { ok: true, .. }) => Step::Acquired(Handover::Uncontended),
             (St::TryLock, OpResult::Cas { ok: false, old }) => {
                 if let Some(budget) = l.params.mutex.adaptive_spin {
                     let deadline = rt.now + budget;

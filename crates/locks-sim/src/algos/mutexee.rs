@@ -175,11 +175,8 @@ pub(crate) fn note_acquisition(l: &LockInner, h: Handover) {
     }
     if s.acquisitions >= p.adapt_period {
         let ratio = f64::from(s.futex_handovers) / f64::from(s.acquisitions);
-        s.mode = if ratio > p.futex_ratio_threshold {
-            MutexeeMode::Mutex
-        } else {
-            MutexeeMode::Spin
-        };
+        s.mode =
+            if ratio > p.futex_ratio_threshold { MutexeeMode::Mutex } else { MutexeeMode::Spin };
         s.acquisitions = 0;
         s.futex_handovers = 0;
     }

@@ -105,8 +105,7 @@ impl Program for LockStress {
                         rt.rng.random_range(0..self.locks.len())
                     };
                     self.acq_started = rt.now;
-                    self.phase =
-                        Phase::Acquiring(self.locks[self.current].begin_acquire(rt.tid));
+                    self.phase = Phase::Acquiring(self.locks[self.current].begin_acquire(rt.tid));
                     last = OpResult::Started;
                 }
                 Phase::Acquiring(sm) => match sm.on(rt, last) {
@@ -130,8 +129,7 @@ impl Program for LockStress {
                 Phase::InCs => {
                     debug_assert_eq!(last, OpResult::Done);
                     rt.exit_cs(self.locks[self.current].key());
-                    self.phase =
-                        Phase::Releasing(self.locks[self.current].begin_release(rt.tid));
+                    self.phase = Phase::Releasing(self.locks[self.current].begin_release(rt.tid));
                     last = OpResult::Started;
                 }
                 Phase::Releasing(sm) => match sm.on(rt, last) {

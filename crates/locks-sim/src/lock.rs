@@ -258,8 +258,7 @@ impl SimLock {
         // dummy node so node recycling stays sound.
         let clh_dummy = if kind == LockKind::Clh { Some(b.alloc_line(0)) } else { None };
         let word = b.alloc_line(clh_dummy.map_or(0, |d| d.addr() + 1));
-        let waiters =
-            if kind == LockKind::Mutexee { Some(b.alloc_line(0)) } else { None };
+        let waiters = if kind == LockKind::Mutexee { Some(b.alloc_line(0)) } else { None };
         let mut mcs_nodes = Vec::new();
         if kind == LockKind::Mcs {
             for _ in 0..threads {

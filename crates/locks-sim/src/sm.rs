@@ -60,8 +60,7 @@ impl AcqSm {
             LockKind::Mutex => AcqState::Mutex(mutex::Acq::new()),
             LockKind::Mutexee => AcqState::Mutexee(mutexee::Acq::new()),
         };
-        let overhead =
-            lock.params.overhead.unwrap_or_else(|| PathOverhead::default_for(lock.kind));
+        let overhead = lock.params.overhead.unwrap_or_else(|| PathOverhead::default_for(lock.kind));
         let pre = (overhead.lock > 0).then_some(overhead.lock);
         Self { lock, tid, state, pre, awaiting_pre: false }
     }
@@ -128,8 +127,7 @@ impl RelSm {
             LockKind::Mutex => RelState::Mutex(mutex::Rel::new()),
             LockKind::Mutexee => RelState::Mutexee(mutexee::Rel::new()),
         };
-        let overhead =
-            lock.params.overhead.unwrap_or_else(|| PathOverhead::default_for(lock.kind));
+        let overhead = lock.params.overhead.unwrap_or_else(|| PathOverhead::default_for(lock.kind));
         let pre = (overhead.unlock > 0).then_some(overhead.unlock);
         Self { lock, tid, state, pre, awaiting_pre: false }
     }

@@ -17,9 +17,7 @@
 
 use std::rc::Rc;
 
-use poly_sim::{
-    LineId, Op, OpResult, PauseKind, Program, RmwKind, SimBuilder, SpinCond, ThreadRt,
-};
+use poly_sim::{LineId, Op, OpResult, PauseKind, Program, RmwKind, SimBuilder, SpinCond, ThreadRt};
 
 /// Communication flavor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -202,13 +200,7 @@ impl SsProgram {
         }
     }
 
-    fn resume_spin_sleep(
-        &mut self,
-        rt: &mut ThreadRt<'_>,
-        last: OpResult,
-        n: usize,
-        t: u64,
-    ) -> Op {
+    fn resume_spin_sleep(&mut self, rt: &mut ThreadRt<'_>, last: OpResult, n: usize, t: u64) -> Op {
         if n <= 2 {
             // Nobody to rotate in: identical to spin-only.
             return self.resume_spin_only(rt, last, n);

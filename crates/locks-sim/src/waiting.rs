@@ -57,24 +57,16 @@ impl Program for Waiter {
         match self.style {
             WaitStyle::Sleep => Op::FutexWait { line: self.line, expect: 1, timeout: None },
             WaitStyle::GlobalSpin => Op::Rmw(self.line, poly_sim::RmwKind::Swap(1)),
-            WaitStyle::LocalSpin(pause) => Op::SpinLoad {
-                line: self.line,
-                pause,
-                until: SpinCond::Equals(0),
-                max: None,
-            },
+            WaitStyle::LocalSpin(pause) => {
+                Op::SpinLoad { line: self.line, pause, until: SpinCond::Equals(0), max: None }
+            }
             WaitStyle::Mwait => Op::MonitorMwait { line: self.line, expect: 1 },
             WaitStyle::Dvfs(vf, pause) => {
                 if !self.vf_set {
                     self.vf_set = true;
                     Op::SetVf(vf)
                 } else {
-                    Op::SpinLoad {
-                        line: self.line,
-                        pause,
-                        until: SpinCond::Equals(0),
-                        max: None,
-                    }
+                    Op::SpinLoad { line: self.line, pause, until: SpinCond::Equals(0), max: None }
                 }
             }
         }

@@ -55,11 +55,7 @@ fn fifo_locks_are_fair_under_contention() {
         let ops: Vec<u64> = r.threads.iter().map(|t| t.ops).collect();
         let min = *ops.iter().min().unwrap() as f64;
         let max = *ops.iter().max().unwrap() as f64;
-        assert!(
-            max / min < 1.25,
-            "{} should be fair, got per-thread ops {ops:?}",
-            kind.label()
-        );
+        assert!(max / min < 1.25, "{} should be fair, got per-thread ops {ops:?}", kind.label());
     }
 }
 
@@ -109,11 +105,7 @@ fn mutexee_adapts_to_mutex_mode_when_futex_dominates() {
     // Force futex handovers by making critical sections long and the spin
     // budget tiny: the adaptation must flip the lock into mutex mode.
     let params = LockParams {
-        mutexee: MutexeeParams {
-            spin_budget: 200,
-            adapt_period: 32,
-            ..MutexeeParams::default()
-        },
+        mutexee: MutexeeParams { spin_budget: 200, adapt_period: 32, ..MutexeeParams::default() },
         ..LockParams::default()
     };
     let mut b = SimBuilder::new(MachineConfig::tiny());
@@ -179,10 +171,7 @@ fn mutexee_timeout_trades_efficiency_for_bounded_starvation() {
     // coherence-latency (NUMA) unfairness the model makes visible.
     assert!(with_timeout.futex.timeouts > 0, "timeouts must fire");
     let p_t = progressed(&with_timeout);
-    assert!(
-        p_t >= p_nt + 4,
-        "timeouts must bound starvation: {p_t}/12 vs {p_nt}/12 without"
-    );
+    assert!(p_t >= p_nt + 4, "timeouts must bound starvation: {p_t}/12 vs {p_nt}/12 without");
     // And fairness costs energy efficiency (the paper's 10.9 vs 6.5
     // Kacq/Joule at 20 threads).
     assert!(

@@ -1,12 +1,9 @@
 //! Reader-writer lock and condition-variable behavior on the simulator.
 
 use poly_locks_sim::{
-    CondSm, Dist, LockKind, LockParams, RwAcqSm, RwMode, RwRelSm, SimCondvar, SimLock, SimRwLock,
-    Step,
+    CondSm, LockKind, LockParams, RwAcqSm, RwMode, RwRelSm, SimCondvar, SimLock, SimRwLock, Step,
 };
-use poly_sim::{
-    MachineConfig, Op, OpResult, PinPolicy, Program, RunSpec, SimBuilder, ThreadRt,
-};
+use poly_sim::{MachineConfig, Op, OpResult, PinPolicy, Program, RunSpec, SimBuilder, ThreadRt};
 
 /// Read/write stress over one rwlock; writers assert exclusivity through
 /// the CS tracker, readers count concurrent readers through a plain shared
@@ -33,7 +30,7 @@ impl Program for RwStress {
             match &mut self.phase {
                 RwPhase::Init => {
                     self.iter += 1;
-                    self.mode = if self.iter % self.write_every == 0 {
+                    self.mode = if self.iter.is_multiple_of(self.write_every) {
                         RwMode::Write
                     } else {
                         RwMode::Read

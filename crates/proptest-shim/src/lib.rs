@@ -1,0 +1,327 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the slice of the proptest API its tests use: the [`Strategy`]
+//! trait with `prop_map`, range and tuple strategies, [`collection::vec`],
+//! the [`proptest!`], [`prop_oneof!`] and `prop_assert*` macros.
+//!
+//! Semantics differ from real proptest in one deliberate way: there is no
+//! shrinking. Each test runs `PROPTEST_CASES` (default 64) deterministic
+//! cases derived from the test's name, so failures reproduce exactly across
+//! runs; the failing case index is printed on panic.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+use rand::{Rng, SeedableRng, SmallRng};
+
+/// Deterministic per-case random source handed to strategies.
+pub struct TestRng {
+    inner: SmallRng,
+}
+
+impl TestRng {
+    /// RNG for case `case` of the named test: seeded from a stable hash of
+    /// both, so every run of the suite replays the same cases.
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Self { inner: SmallRng::seed_from_u64(h ^ (u64::from(case) << 32 | 0x5EED)) }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// The wrapped concrete RNG (for range sampling).
+    pub fn rng(&mut self) -> &mut SmallRng {
+        &mut self.inner
+    }
+}
+
+/// Number of cases each `proptest!` test runs (`PROPTEST_CASES`, default 64).
+pub fn num_cases() -> u32 {
+    std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(64)
+}
+
+/// A generator of test values.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Erases the strategy type (used by [`prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+trait DynStrategy<T> {
+    fn generate_dyn(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn DynStrategy<T>>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate_dyn(rng)
+    }
+}
+
+/// Uniform choice between strategies (built by [`prop_oneof!`]).
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union over the given arms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arms` is empty.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Self { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.rng().random_range(0..self.arms.len());
+        self.arms[i].generate(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.rng().random_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.rng().random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.rng().random_range(self.clone())
+    }
+}
+
+/// A constant strategy (proptest's `Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident => $idx:tt),+))+) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy! {
+    (A => 0)
+    (A => 0, B => 1)
+    (A => 0, B => 1, C => 2)
+    (A => 0, B => 1, C => 2, D => 3)
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// A strategy for `Vec`s of `element` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: core::ops::Range<usize>,
+    }
+
+    /// Vectors of `element` values with lengths in `size`.
+    pub fn vec<S: Strategy>(element: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(!size.is_empty(), "vec strategy needs a non-empty size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.rng().random_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The commonly imported surface, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just, Strategy,
+    };
+}
+
+/// Runs each contained test function over many generated cases.
+///
+/// Supports the `pattern in strategy` argument form; shrinking is not
+/// implemented, but cases are deterministic and the failing case index is
+/// reported.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($argpat:pat in $strat:expr),+ $(,)?) $body:block)+) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let cases = $crate::num_cases();
+            for case in 0..cases {
+                let result = ::std::panic::catch_unwind(|| {
+                    let mut rng = $crate::TestRng::for_case(stringify!($name), case);
+                    $(let $argpat = $crate::Strategy::generate(&($strat), &mut rng);)+
+                    $body
+                });
+                if let Err(payload) = result {
+                    eprintln!(
+                        "proptest: {} failed at deterministic case {}/{}",
+                        stringify!($name),
+                        case,
+                        cases
+                    );
+                    ::std::panic::resume_unwind(payload);
+                }
+            }
+        }
+    )+};
+}
+
+/// Chooses uniformly between the given strategies (all yielding one type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)+) => { assert!($($tt)+) };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)+) => { assert_eq!($($tt)+) };
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)+) => { assert_ne!($($tt)+) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, PartialEq)]
+    enum Pick {
+        A(usize),
+        B(u64),
+    }
+
+    proptest! {
+        /// Ranges stay in bounds and tuples compose.
+        #[test]
+        fn ranges_and_tuples((a, b) in (0usize..10, 5u64..=6)) {
+            prop_assert!(a < 10);
+            prop_assert!(b == 5 || b == 6);
+        }
+
+        /// Vec strategy respects the size range; oneof hits every arm.
+        #[test]
+        fn vecs_and_oneof(
+            v in crate::collection::vec(prop_oneof![
+                (0usize..3).prop_map(Pick::A),
+                (10u64..13).prop_map(Pick::B),
+            ], 1..50),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 50);
+            for p in &v {
+                match p {
+                    Pick::A(x) => prop_assert!(*x < 3),
+                    Pick::B(x) => prop_assert!((10..13).contains(x)),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut a = crate::TestRng::for_case("t", 3);
+        let mut b = crate::TestRng::for_case("t", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = crate::TestRng::for_case("t", 4);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+}

@@ -1,0 +1,198 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the small slice of the rand 0.9 API it actually uses:
+//! [`rngs::SmallRng`], [`SeedableRng::seed_from_u64`], and the [`Rng`]
+//! methods `random()` and `random_range()`. The generator is xoshiro256++
+//! seeded through SplitMix64 — fast, dependency-free, and deterministic,
+//! which is all the simulator needs (it never requires cryptographic or
+//! cross-version-stable streams).
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod rngs;
+
+pub use rngs::SmallRng;
+
+/// Seeding interface (the `seed_from_u64` subset).
+pub trait SeedableRng: Sized {
+    /// Creates an RNG whose stream is fully determined by `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Uniform random generation interface.
+pub trait Rng {
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples a value of type `T` from its standard distribution
+    /// (`f64`/`f32` uniform in `[0, 1)`, integers uniform over the type).
+    fn random<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Samples uniformly from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+}
+
+/// Types samplable by [`Rng::random`].
+pub trait Standard: Sized {
+    /// Draws one value.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges samplable by [`Rng::random_range`], yielding values of type `T`.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Element types with a uniform range sampler.
+///
+/// Mirrors rand's shape: the *blanket* [`SampleRange`] impls below force
+/// `T` to unify with the range's element type during inference, so integer
+/// literals in ranges pick up their type from the surrounding expression.
+pub trait SampleUniform: Sized {
+    /// Draws uniformly from `[lo, hi)` or `[lo, hi]` (`inclusive`).
+    fn sample_uniform<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool) -> Self;
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for core::ops::Range<T> {
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample from empty range");
+        T::sample_uniform(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "cannot sample from empty range");
+        T::sample_uniform(rng, lo, hi, true)
+    }
+}
+
+fn uniform_u64<R: Rng + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    // Multiply-shift reduction (Lemire); the slight bias of the plain
+    // modulo approach would also be tolerable here, but this is as cheap.
+    ((u128::from(rng.next_u64()) * u128::from(span)) >> 64) as u64
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: Rng + ?Sized>(rng: &mut R, lo: $t, hi: $t, inclusive: bool) -> $t {
+                let span = (hi as $u).wrapping_sub(lo as $u) as u64;
+                if inclusive {
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    lo.wrapping_add(uniform_u64(rng, span + 1) as $t)
+                } else {
+                    lo.wrapping_add(uniform_u64(rng, span) as $t)
+                }
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(
+    u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+    i32 => u32, i64 => u64
+);
+
+impl SampleUniform for f64 {
+    fn sample_uniform<R: Rng + ?Sized>(rng: &mut R, lo: f64, hi: f64, _inclusive: bool) -> f64 {
+        lo + f64::sample(rng) * (hi - lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn unit_float_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v: f64 = rng.random();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn ranges_hit_every_value() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut seen = [false; 5];
+        for _ in 0..1_000 {
+            seen[rng.random_range(0..5usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        for _ in 0..1_000 {
+            let v = rng.random_range(10..=12u64);
+            assert!((10..=12).contains(&v));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        rng.random_range(5..5u32);
+    }
+}

@@ -1,0 +1,45 @@
+//! Scenario orchestration for the "Unlocking Energy" reproduction.
+//!
+//! Every result in the paper is a *sweep* — lock algorithm x thread count x
+//! workload — and the figure binaries used to hand-roll those loops. This
+//! crate turns them into data:
+//!
+//! * [`ScenarioSpec`] — a declarative, serializable description of one
+//!   experiment: machine, workload, lock, thread count, duration, seed.
+//!   Workloads cover the six [`poly_systems::PaperSystem`] models plus
+//!   synthetic scenarios (hot/cold Zipf KV, a producer-consumer pipeline,
+//!   readers-writers skew, an oversubscription storm, condvar ping-pong);
+//! * [`Registry`] — named, documented, ready-to-run scenarios
+//!   ([`Registry::builtin`] ships more than a dozen);
+//! * [`SweepRunner`] — fans a [`cross`] product of cells out over OS
+//!   threads (each cell is an independent deterministic simulation with its
+//!   own derived seed) and collects [`CellReport`]s — throughput, power,
+//!   energy per operation, tail latency — for JSON-lines or CSV sinks.
+//!
+//! # Example
+//!
+//! ```
+//! use poly_scenarios::{cross, MachineKind, Registry, SweepRunner};
+//! use poly_locks_sim::LockKind;
+//!
+//! let reg = Registry::builtin();
+//! let base = reg.get("lock-stress").unwrap().spec.clone()
+//!     .with_machine(MachineKind::Tiny)
+//!     .with_duration(1_000_000, 100_000);
+//! let cells = cross(&[base], &[LockKind::Ttas, LockKind::Mutex], &[2], 42);
+//! let reports = SweepRunner::with_workers(2).run(&cells);
+//! assert_eq!(reports.len(), 2);
+//! assert!(reports.iter().all(|r| r.total_ops > 0));
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod registry;
+mod spec;
+mod sweep;
+mod synth;
+
+pub use registry::{Registry, RegistryEntry};
+pub use spec::{parse_lock, MachineKind, ScenarioSpec, WorkloadSpec};
+pub use sweep::{cross, write_reports, CellReport, SinkFormat, SweepRunner};

@@ -1,0 +1,217 @@
+//! The named scenario registry.
+
+use poly_locks_sim::{Dist, LockKind};
+use poly_systems::{KyotoVariant, MySqlVariant, PaperSystem};
+
+use crate::spec::{ScenarioSpec, WorkloadSpec};
+
+/// One registered scenario: a ready-to-run spec plus a one-line description.
+#[derive(Debug, Clone)]
+pub struct RegistryEntry {
+    /// What the scenario stresses and why it exists.
+    pub about: &'static str,
+    /// The default spec (callers typically override lock/threads/horizon).
+    pub spec: ScenarioSpec,
+}
+
+/// A lookup table of named scenarios.
+///
+/// [`Registry::builtin`] ships the paper's system models plus the synthetic
+/// scenarios; sweeps and the `scenarios` CLI resolve names against it.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    entries: Vec<RegistryEntry>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The built-in scenarios.
+    pub fn builtin() -> Self {
+        let mut reg = Self::new();
+        let add = |reg: &mut Self, about, spec: ScenarioSpec| reg.register(about, spec);
+
+        // -- Microbenchmarks ------------------------------------------------
+        add(
+            &mut reg,
+            "§5.2 single-lock microbenchmark: 20 threads, 1000-cycle sections",
+            ScenarioSpec::new(
+                "lock-stress",
+                WorkloadSpec::LockStress {
+                    cs: Dist::Fixed(1_000),
+                    non_cs: Dist::Uniform(0, 200),
+                    n_locks: 1,
+                },
+            )
+            .with_lock(LockKind::Ttas)
+            .with_threads(20),
+        );
+        add(
+            &mut reg,
+            "§5.2 multi-lock variant: 16 locks picked uniformly (low contention)",
+            ScenarioSpec::new(
+                "lock-stress-16",
+                WorkloadSpec::LockStress {
+                    cs: Dist::Fixed(1_000),
+                    non_cs: Dist::Uniform(0, 200),
+                    n_locks: 16,
+                },
+            )
+            .with_lock(LockKind::Ttas)
+            .with_threads(20),
+        );
+        add(
+            &mut reg,
+            "Figure 1 CopyOnWriteArrayList stress: memory-heavy writes under one lock",
+            ScenarioSpec::new("cowlist", WorkloadSpec::CowList).with_threads(20),
+        );
+
+        // -- Synthetic scenarios --------------------------------------------
+        add(
+            &mut reg,
+            "Sharded KV store, hot Zipf keys (skew 1.2): two buckets absorb most traffic",
+            ScenarioSpec::new(
+                "kv-hot-zipf",
+                WorkloadSpec::ZipfKv { buckets: 64, skew_milli: 1_200, write_pct: 30 },
+            )
+            .with_threads(16),
+        );
+        add(
+            &mut reg,
+            "Sharded KV store, cold keys (skew 0.1): traffic spread over 64 buckets",
+            ScenarioSpec::new(
+                "kv-cold-zipf",
+                WorkloadSpec::ZipfKv { buckets: 64, skew_milli: 100, write_pct: 30 },
+            )
+            .with_threads(16),
+        );
+        add(
+            &mut reg,
+            "Producer-consumer pipeline: mutex-guarded queue plus condvar wake-ups",
+            ScenarioSpec::new("pipeline", WorkloadSpec::Pipeline).with_threads(8),
+        );
+        add(
+            &mut reg,
+            "Readers-writers skew: one process-wide rwlock, 10% writes",
+            ScenarioSpec::new(
+                "readers-writers",
+                WorkloadSpec::ReadersWriters { write_pct: 10, read_cs: 1_500, write_cs: 6_000 },
+            )
+            .with_threads(16),
+        );
+        add(
+            &mut reg,
+            "Oversubscription storm: 120 unpinned threads on 40 contexts, short hot sections",
+            ScenarioSpec::new("oversub-storm", WorkloadSpec::OversubStorm { sections: 4 })
+                .with_threads(120),
+        );
+        add(
+            &mut reg,
+            "Condvar ping-pong: half the threads signal, half sleep — wake-up latency stress",
+            ScenarioSpec::new("condvar-pingpong", WorkloadSpec::CondvarPingPong).with_threads(8),
+        );
+
+        // -- The six §6 system models ---------------------------------------
+        add(
+            &mut reg,
+            "HamsterDB write-heavy (90% writes): one big lock, long B-tree sections",
+            ScenarioSpec::new("hamsterdb-wt", WorkloadSpec::System(PaperSystem::HamsterDb(90))),
+        );
+        add(
+            &mut reg,
+            "Kyoto Cabinet B-tree: every method behind one rwlock, longest sections",
+            ScenarioSpec::new(
+                "kyoto-btree",
+                WorkloadSpec::System(PaperSystem::Kyoto(KyotoVariant::BTree)),
+            ),
+        );
+        add(
+            &mut reg,
+            "Memcached 50/50 SET/GET: zipf bucket locks plus the global LRU lock",
+            ScenarioSpec::new("memcached-mix", WorkloadSpec::System(PaperSystem::Memcached(50))),
+        );
+        add(
+            &mut reg,
+            "MySQL/LinkBench in-memory: 96 connection threads, heavily oversubscribed",
+            ScenarioSpec::new(
+                "mysql-mem",
+                WorkloadSpec::System(PaperSystem::MySql(MySqlVariant::Mem)),
+            ),
+        );
+        add(
+            &mut reg,
+            "RocksDB write-heavy: write-queue mutex and group-commit condvar",
+            ScenarioSpec::new("rocksdb-wt", WorkloadSpec::System(PaperSystem::RocksDb(90))),
+        );
+        add(
+            &mut reg,
+            "SQLite TPC-C at 64 connections: oversubscribed, one database lock",
+            ScenarioSpec::new("sqlite-64", WorkloadSpec::System(PaperSystem::Sqlite(64))),
+        );
+        reg
+    }
+
+    /// Registers a scenario under its spec's name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already taken (registry names are unique).
+    pub fn register(&mut self, about: &'static str, spec: ScenarioSpec) {
+        assert!(self.get(&spec.name).is_none(), "duplicate scenario name: {}", spec.name);
+        self.entries.push(RegistryEntry { about, spec });
+    }
+
+    /// Looks a scenario up by name.
+    pub fn get(&self, name: &str) -> Option<&RegistryEntry> {
+        self.entries.iter().find(|e| e.spec.name == name)
+    }
+
+    /// All entries, in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = &RegistryEntry> {
+        self.entries.iter()
+    }
+
+    /// All scenario names, in registration order.
+    pub fn names(&self) -> Vec<&str> {
+        self.entries.iter().map(|e| e.spec.name.as_str()).collect()
+    }
+
+    /// Number of registered scenarios.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_has_at_least_a_dozen_unique_entries() {
+        let reg = Registry::builtin();
+        assert!(reg.len() >= 12, "only {} scenarios", reg.len());
+        let names = reg.names();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len(), "duplicate names in {names:?}");
+        assert!(reg.get("lock-stress").is_some());
+        assert!(reg.get("mysql-mem").is_some());
+        assert!(reg.get("missing").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate scenario name")]
+    fn duplicate_names_are_rejected() {
+        let mut reg = Registry::builtin();
+        reg.register("again", ScenarioSpec::new("lock-stress", WorkloadSpec::CowList));
+    }
+}

@@ -1,0 +1,341 @@
+//! Declarative experiment specifications.
+
+use poly_locks_sim::{Dist, LockKind};
+use poly_sim::{Cycles, MachineConfig, RunSpec, SimBuilder, SimReport};
+use poly_systems::PaperSystem;
+
+use crate::synth;
+
+/// Which simulated machine a scenario runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MachineKind {
+    /// The paper's 2-socket, 20-core, 40-context Xeon.
+    Xeon,
+    /// The paper's 4-core, 8-context Core i7 desktop.
+    CoreI7,
+    /// A minimal 2-context machine for fast smoke runs.
+    Tiny,
+}
+
+impl MachineKind {
+    /// Materializes the machine configuration.
+    pub fn config(&self) -> MachineConfig {
+        match self {
+            MachineKind::Xeon => MachineConfig::xeon(),
+            MachineKind::CoreI7 => MachineConfig::core_i7(),
+            MachineKind::Tiny => MachineConfig::tiny(),
+        }
+    }
+
+    /// Stable lowercase label (used in reports and CLI parsing).
+    pub const fn label(&self) -> &'static str {
+        match self {
+            MachineKind::Xeon => "xeon",
+            MachineKind::CoreI7 => "core-i7",
+            MachineKind::Tiny => "tiny",
+        }
+    }
+
+    /// Parses a [`MachineKind::label`] back (case-insensitive).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "xeon" => Some(MachineKind::Xeon),
+            "core-i7" | "corei7" | "i7" => Some(MachineKind::CoreI7),
+            "tiny" => Some(MachineKind::Tiny),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a lock algorithm from its paper label (case-insensitive).
+pub fn parse_lock(s: &str) -> Option<LockKind> {
+    LockKind::ALL.into_iter().find(|k| k.label().eq_ignore_ascii_case(s))
+}
+
+/// What a scenario's threads actually do.
+///
+/// Plain data throughout (no trait objects, no floats that would break
+/// `PartialEq`), so specs can be compared, stored and serialized.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WorkloadSpec {
+    /// One of the six modeled systems of §6 (thread count fixed by the
+    /// model, see [`PaperSystem::threads`]).
+    System(PaperSystem),
+    /// The Figure 1 `CopyOnWriteArrayList` stress.
+    CowList,
+    /// The §5.2 microbenchmark: `n_locks` locks picked uniformly,
+    /// configurable critical/non-critical sections.
+    LockStress {
+        /// Critical-section length distribution.
+        cs: Dist,
+        /// Between-acquisitions work distribution.
+        non_cs: Dist,
+        /// Number of locks picked uniformly per iteration.
+        n_locks: usize,
+    },
+    /// A sharded KV store with Zipf-skewed bucket popularity.
+    ZipfKv {
+        /// Number of bucket locks.
+        buckets: usize,
+        /// Zipf skew in milli-units (1200 = 1.2; 0 = uniform).
+        skew_milli: u32,
+        /// Percentage of operations that write.
+        write_pct: u32,
+    },
+    /// A producer-consumer pipeline over a mutex-guarded queue with a
+    /// condition variable; the first half of the threads produce (and
+    /// never block on the condvar, guaranteeing liveness), the rest
+    /// consume.
+    Pipeline,
+    /// Readers-writers skew over one process-wide rwlock.
+    ReadersWriters {
+        /// Percentage of operations that take the lock in write mode.
+        write_pct: u32,
+        /// Mean read-side critical-section length in cycles.
+        read_cs: Cycles,
+        /// Mean write-side critical-section length in cycles.
+        write_cs: Cycles,
+    },
+    /// Thread oversubscription storm: unpinned threads, several short
+    /// critical sections per operation over a few hot locks.
+    OversubStorm {
+        /// Lock sections per logical operation.
+        sections: usize,
+    },
+    /// Condvar ping-pong: half the threads signal, half wait.
+    CondvarPingPong,
+}
+
+impl WorkloadSpec {
+    /// Whether the scenario's thread count can be varied by a sweep
+    /// (the [`WorkloadSpec::System`] models fix their own, per Table 3).
+    pub fn supports_thread_override(&self) -> bool {
+        !matches!(self, WorkloadSpec::System(_))
+    }
+
+    /// The smallest thread count the workload is defined for (the
+    /// two-role workloads need a member of each role to stay live).
+    pub fn min_threads(&self) -> usize {
+        match self {
+            WorkloadSpec::Pipeline | WorkloadSpec::CondvarPingPong => 2,
+            _ => 1,
+        }
+    }
+
+    /// A short stable label for reports.
+    pub fn label(&self) -> String {
+        match self {
+            WorkloadSpec::System(sys) => {
+                format!("{}/{}", sys.system_name(), sys.config_label())
+            }
+            WorkloadSpec::CowList => "cow-list".into(),
+            WorkloadSpec::LockStress { n_locks, .. } => format!("lock-stress/{n_locks}"),
+            WorkloadSpec::ZipfKv { buckets, skew_milli, .. } => {
+                format!("zipf-kv/{buckets}b/s{skew_milli}")
+            }
+            WorkloadSpec::Pipeline => "pipeline".into(),
+            WorkloadSpec::ReadersWriters { write_pct, .. } => format!("rw-skew/{write_pct}w"),
+            WorkloadSpec::OversubStorm { sections } => format!("oversub-storm/{sections}"),
+            WorkloadSpec::CondvarPingPong => "condvar-pingpong".into(),
+        }
+    }
+}
+
+/// A complete, declarative description of one experiment cell.
+///
+/// Everything the run depends on is captured here, so equal specs produce
+/// byte-identical [`crate::CellReport`]s.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// Scenario name (registry key; carried into reports).
+    pub name: String,
+    /// Simulated machine.
+    pub machine: MachineKind,
+    /// What the threads do.
+    pub workload: WorkloadSpec,
+    /// Lock algorithm under test.
+    pub lock: LockKind,
+    /// Requested worker threads (ignored by workloads that fix their own;
+    /// see [`ScenarioSpec::effective_threads`]).
+    pub threads: usize,
+    /// Simulated cycles, including warmup.
+    pub duration: Cycles,
+    /// Warmup prefix excluded from measurement.
+    pub warmup: Cycles,
+    /// Deterministic seed for every random stream of the run.
+    pub seed: u64,
+}
+
+impl ScenarioSpec {
+    /// Creates a spec with defaults (Xeon, MUTEX, 8 threads, 20 M cycles
+    /// with 10% warmup, seed `0xC0FF_EE00`).
+    pub fn new(name: impl Into<String>, workload: WorkloadSpec) -> Self {
+        Self {
+            name: name.into(),
+            machine: MachineKind::Xeon,
+            workload,
+            lock: LockKind::Mutex,
+            threads: 8,
+            duration: 20_000_000,
+            warmup: 2_000_000,
+            seed: 0xC0FF_EE00,
+        }
+    }
+
+    /// Returns the spec with a different machine.
+    #[must_use]
+    pub fn with_machine(mut self, machine: MachineKind) -> Self {
+        self.machine = machine;
+        self
+    }
+
+    /// Returns the spec with a different lock algorithm.
+    #[must_use]
+    pub fn with_lock(mut self, lock: LockKind) -> Self {
+        self.lock = lock;
+        self
+    }
+
+    /// Returns the spec with a different thread count.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Returns the spec with a different horizon.
+    #[must_use]
+    pub fn with_duration(mut self, duration: Cycles, warmup: Cycles) -> Self {
+        self.duration = duration;
+        self.warmup = warmup;
+        self
+    }
+
+    /// Returns the spec with a different seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The thread count the run will actually use (and that reports
+    /// carry): the requested count, floored by the workload's minimum.
+    pub fn effective_threads(&self) -> usize {
+        match &self.workload {
+            WorkloadSpec::System(sys) => sys.threads(),
+            w => self.threads.max(w.min_threads()),
+        }
+    }
+
+    /// Builds the workload into an existing builder (threads, locks,
+    /// condvars). Most callers want [`ScenarioSpec::run`].
+    pub fn build_into(&self, b: &mut SimBuilder) {
+        let threads = self.effective_threads();
+        match self.workload {
+            WorkloadSpec::System(sys) => sys.build(b, self.lock),
+            WorkloadSpec::CowList => poly_systems::build_cowlist(b, self.lock, threads),
+            WorkloadSpec::LockStress { cs, non_cs, n_locks } => {
+                synth::build_lock_stress(b, self.lock, threads, cs, non_cs, n_locks)
+            }
+            WorkloadSpec::ZipfKv { buckets, skew_milli, write_pct } => {
+                synth::build_zipf_kv(b, self.lock, threads, buckets, skew_milli, write_pct)
+            }
+            WorkloadSpec::Pipeline => synth::build_pipeline(b, self.lock, threads),
+            WorkloadSpec::ReadersWriters { write_pct, read_cs, write_cs } => {
+                synth::build_readers_writers(b, self.lock, threads, write_pct, read_cs, write_cs)
+            }
+            WorkloadSpec::OversubStorm { sections } => {
+                synth::build_oversub_storm(b, self.lock, threads, sections)
+            }
+            WorkloadSpec::CondvarPingPong => synth::build_condvar_pingpong(b, self.lock, threads),
+        }
+    }
+
+    /// Runs the scenario to completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid horizons (`warmup >= duration`) and propagates the
+    /// engine's mutual-exclusion assertions.
+    pub fn run(&self) -> SimReport {
+        assert!(self.warmup < self.duration, "warmup must be shorter than the duration");
+        let mut b = SimBuilder::new(self.machine.config());
+        b.seed(self.seed);
+        self.build_into(&mut b);
+        b.run(RunSpec { duration: self.duration, warmup: self.warmup })
+    }
+
+    /// Serializes the spec as one JSON object (hand-rolled: the build has
+    /// no serde available, but the shape is serde-derive compatible).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"name\":{},\"machine\":\"{}\",\"workload\":{},\"lock\":\"{}\",\
+             \"threads\":{},\"duration\":{},\"warmup\":{},\"seed\":{}}}",
+            json_str(&self.name),
+            self.machine.label(),
+            json_str(&self.workload.label()),
+            self.lock.label(),
+            self.effective_threads(),
+            self.duration,
+            self.warmup,
+            self.seed,
+        )
+    }
+}
+
+/// Quotes and escapes a JSON string.
+pub(crate) fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_labels_round_trip() {
+        for kind in LockKind::ALL {
+            assert_eq!(parse_lock(kind.label()), Some(kind));
+            assert_eq!(parse_lock(&kind.label().to_lowercase()), Some(kind));
+        }
+        assert_eq!(parse_lock("nope"), None);
+    }
+
+    #[test]
+    fn machine_labels_round_trip() {
+        for m in [MachineKind::Xeon, MachineKind::CoreI7, MachineKind::Tiny] {
+            assert_eq!(MachineKind::parse(m.label()), Some(m));
+        }
+        assert_eq!(MachineKind::parse(""), None);
+    }
+
+    #[test]
+    fn system_workloads_pin_their_thread_count() {
+        let spec =
+            ScenarioSpec::new("s", WorkloadSpec::System(PaperSystem::Sqlite(64))).with_threads(4);
+        assert_eq!(spec.effective_threads(), 64);
+        assert!(!spec.workload.supports_thread_override());
+        let spec = ScenarioSpec::new("c", WorkloadSpec::CowList).with_threads(4);
+        assert_eq!(spec.effective_threads(), 4);
+    }
+
+    #[test]
+    fn spec_json_is_one_object() {
+        let spec = ScenarioSpec::new("x\"y", WorkloadSpec::Pipeline);
+        let j = spec.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\\\""), "quotes must be escaped: {j}");
+        assert!(j.contains("\"lock\":\"MUTEX\""));
+    }
+}

@@ -1,0 +1,429 @@
+//! Cross-product sweeps, the parallel runner, and report sinks.
+
+use std::io::{self, Write};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use poly_locks_sim::LockKind;
+use poly_sim::SimReport;
+
+use crate::spec::{json_str, ScenarioSpec};
+
+/// Expands base scenarios into the cross product with `locks` and
+/// `thread_counts`, deriving a deterministic seed for every cell.
+///
+/// Empty `locks`/`thread_counts` mean "keep the base spec's value".
+/// Workloads that fix their own thread count (the system models) get one
+/// cell per lock instead of one per `(lock, threads)` pair.
+pub fn cross(
+    bases: &[ScenarioSpec],
+    locks: &[LockKind],
+    thread_counts: &[usize],
+    base_seed: u64,
+) -> Vec<ScenarioSpec> {
+    let mut cells = Vec::new();
+    for base in bases {
+        let lock_list: Vec<LockKind> =
+            if locks.is_empty() { vec![base.lock] } else { locks.to_vec() };
+        let thread_list: Vec<usize> = if !base.workload.supports_thread_override() {
+            vec![base.effective_threads()]
+        } else if thread_counts.is_empty() {
+            vec![base.threads]
+        } else {
+            thread_counts.to_vec()
+        };
+        for &lock in &lock_list {
+            for &threads in &thread_list {
+                let seed = cell_seed(base_seed, &base.name, threads);
+                cells.push(base.clone().with_lock(lock).with_threads(threads).with_seed(seed));
+            }
+        }
+    }
+    cells
+}
+
+/// Derives a cell's seed from the sweep seed and the cell's workload
+/// identity (not its position, so adding cells does not reshuffle
+/// existing ones).
+///
+/// The lock algorithm is deliberately *excluded*: cells that differ only
+/// in lock share a seed, so the random workload stream is identical
+/// across the locks being compared (common random numbers — the figures
+/// normalize each lock against MUTEX and must not divide measurements
+/// from different streams).
+fn cell_seed(base_seed: u64, name: &str, threads: usize) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        // Frame each field: 0xFF never occurs in UTF-8, so "ab" + "c"
+        // cannot collide with "a" + "bc".
+        h = (h ^ 0xFF).wrapping_mul(0x0000_0100_0000_01B3);
+    };
+    eat(name.as_bytes());
+    eat(&(threads as u64).to_le_bytes());
+    eat(&base_seed.to_le_bytes());
+    // Finalize so low-entropy inputs still flip high bits.
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    h ^= h >> 33;
+    h
+}
+
+/// The measured outcome of one sweep cell.
+///
+/// Plain data with stable formatting: two runs of the same
+/// [`ScenarioSpec`] serialize byte-identically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellReport {
+    /// Scenario name.
+    pub scenario: String,
+    /// Machine label.
+    pub machine: &'static str,
+    /// Lock algorithm.
+    pub lock: LockKind,
+    /// Effective thread count.
+    pub threads: usize,
+    /// The cell's seed.
+    pub seed: u64,
+    /// Measured interval in cycles (excludes warmup).
+    pub measured_cycles: u64,
+    /// Completed operations.
+    pub total_ops: u64,
+    /// Operations per second.
+    pub throughput: f64,
+    /// Average power in watts.
+    pub avg_power_w: f64,
+    /// Energy over the measured interval in joules.
+    pub energy_j: f64,
+    /// Operations per joule (the paper's TPP).
+    pub tpp: f64,
+    /// Energy per operation in microjoules.
+    pub epo_uj: f64,
+    /// Median lock-acquisition latency in cycles.
+    pub p50_acq_cycles: u64,
+    /// 99th-percentile lock-acquisition latency in cycles.
+    pub p99_acq_cycles: u64,
+    /// Maximum lock-acquisition latency in cycles.
+    pub max_acq_cycles: u64,
+}
+
+impl CellReport {
+    /// Distills a simulation report into a cell report.
+    pub fn from_sim(spec: &ScenarioSpec, r: &SimReport) -> Self {
+        Self {
+            scenario: spec.name.clone(),
+            machine: spec.machine.label(),
+            lock: spec.lock,
+            threads: spec.effective_threads(),
+            seed: spec.seed,
+            measured_cycles: r.cycles,
+            total_ops: r.total_ops,
+            throughput: r.throughput,
+            avg_power_w: r.avg_power.total_w,
+            energy_j: r.energy.total_j(),
+            tpp: r.tpp,
+            epo_uj: r.epo() * 1e6,
+            p50_acq_cycles: r.acquire_latency.percentile(50.0),
+            p99_acq_cycles: r.acquire_latency.percentile(99.0),
+            max_acq_cycles: r.acquire_latency.max(),
+        }
+    }
+
+    /// Serializes the report as one JSON object (one JSON-lines record).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"scenario\":{},\"machine\":\"{}\",\"lock\":\"{}\",\"threads\":{},\
+             \"seed\":{},\"measured_cycles\":{},\"total_ops\":{},\"throughput\":{},\
+             \"avg_power_w\":{},\"energy_j\":{},\"tpp\":{},\"epo_uj\":{},\
+             \"p50_acq_cycles\":{},\"p99_acq_cycles\":{},\"max_acq_cycles\":{}}}",
+            json_str(&self.scenario),
+            self.machine,
+            self.lock.label(),
+            self.threads,
+            self.seed,
+            self.measured_cycles,
+            self.total_ops,
+            json_f64(self.throughput),
+            json_f64(self.avg_power_w),
+            json_f64(self.energy_j),
+            json_f64(self.tpp),
+            json_f64(self.epo_uj),
+            self.p50_acq_cycles,
+            self.p99_acq_cycles,
+            self.max_acq_cycles,
+        )
+    }
+
+    /// The CSV column header matching [`CellReport::to_csv`].
+    pub const CSV_HEADER: &'static str = "scenario,machine,lock,threads,seed,measured_cycles,\
+        total_ops,throughput,avg_power_w,energy_j,tpp,epo_uj,p50_acq_cycles,p99_acq_cycles,\
+        max_acq_cycles";
+
+    /// Serializes the report as one CSV row.
+    pub fn to_csv(&self) -> String {
+        format!(
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            csv_str(&self.scenario),
+            self.machine,
+            self.lock.label(),
+            self.threads,
+            self.seed,
+            self.measured_cycles,
+            self.total_ops,
+            json_f64(self.throughput),
+            json_f64(self.avg_power_w),
+            json_f64(self.energy_j),
+            json_f64(self.tpp),
+            json_f64(self.epo_uj),
+            self.p50_acq_cycles,
+            self.p99_acq_cycles,
+            self.max_acq_cycles,
+        )
+    }
+}
+
+/// Formats a float deterministically; non-finite values become `null`
+/// (JSON has no NaN/Infinity).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".into()
+    }
+}
+
+/// Quotes a CSV field when it contains a delimiter, quote or newline
+/// (RFC 4180); scenario names are arbitrary caller-provided strings.
+fn csv_str(s: &str) -> String {
+    if s.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Report sink formats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SinkFormat {
+    /// One JSON object per line.
+    JsonLines,
+    /// Comma-separated values with a header row.
+    Csv,
+}
+
+impl SinkFormat {
+    /// Parses `jsonl`/`json`/`csv` (case-insensitive).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "jsonl" | "json" | "json-lines" => Some(SinkFormat::JsonLines),
+            "csv" => Some(SinkFormat::Csv),
+            _ => None,
+        }
+    }
+}
+
+/// Writes reports to a sink in the given format.
+pub fn write_reports<W: Write>(
+    w: &mut W,
+    format: SinkFormat,
+    reports: &[CellReport],
+) -> io::Result<()> {
+    match format {
+        SinkFormat::JsonLines => {
+            for r in reports {
+                writeln!(w, "{}", r.to_json())?;
+            }
+        }
+        SinkFormat::Csv => {
+            writeln!(w, "{}", CellReport::CSV_HEADER)?;
+            for r in reports {
+                writeln!(w, "{}", r.to_csv())?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Fans sweep cells out over OS threads.
+///
+/// Each cell is an independent, fully deterministic simulation, so the
+/// runner parallelizes freely: results are returned in input order and are
+/// identical to a sequential run regardless of worker count.
+#[derive(Debug, Clone)]
+pub struct SweepRunner {
+    workers: usize,
+}
+
+impl Default for SweepRunner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SweepRunner {
+    /// A runner using every available hardware thread.
+    pub fn new() -> Self {
+        let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        Self { workers }
+    }
+
+    /// A runner with an explicit worker count (1 = sequential).
+    pub fn with_workers(workers: usize) -> Self {
+        Self { workers: workers.max(1) }
+    }
+
+    /// Runs every cell, returning reports in input order.
+    ///
+    /// # Panics
+    ///
+    /// Propagates panics from scenario runs (e.g. the engine's
+    /// mutual-exclusion assertions) after all workers stop.
+    pub fn run(&self, cells: &[ScenarioSpec]) -> Vec<CellReport> {
+        if cells.is_empty() {
+            return Vec::new();
+        }
+        let next = AtomicUsize::new(0);
+        let results: Mutex<Vec<Option<CellReport>>> = Mutex::new(vec![None; cells.len()]);
+        let workers = self.workers.min(cells.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| loop {
+                        let idx = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(spec) = cells.get(idx) else { return };
+                        let report = CellReport::from_sim(spec, &spec.run());
+                        results.lock().unwrap()[idx] = Some(report);
+                    })
+                })
+                .collect();
+            for h in handles {
+                if let Err(payload) = h.join() {
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        });
+        results.into_inner().unwrap().into_iter().map(|r| r.expect("every cell ran")).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{MachineKind, WorkloadSpec};
+    use poly_locks_sim::Dist;
+
+    fn tiny_stress(name: &str) -> ScenarioSpec {
+        ScenarioSpec::new(
+            name,
+            WorkloadSpec::LockStress { cs: Dist::Fixed(500), non_cs: Dist::Fixed(100), n_locks: 1 },
+        )
+        .with_machine(MachineKind::Tiny)
+        .with_threads(2)
+        .with_duration(1_500_000, 150_000)
+    }
+
+    #[test]
+    fn cross_product_shape_and_seeds() {
+        let cells = cross(&[tiny_stress("a")], &[LockKind::Ttas, LockKind::Mutex], &[2, 4], 99);
+        assert_eq!(cells.len(), 4);
+        // Common random numbers: cells differing only in lock share a
+        // seed (paired comparisons), distinct workloads get distinct ones.
+        let seed_of = |lock, threads| {
+            cells.iter().find(|c| c.lock == lock && c.threads == threads).unwrap().seed
+        };
+        assert_eq!(seed_of(LockKind::Ttas, 2), seed_of(LockKind::Mutex, 2));
+        assert_eq!(seed_of(LockKind::Ttas, 4), seed_of(LockKind::Mutex, 4));
+        assert_ne!(seed_of(LockKind::Ttas, 2), seed_of(LockKind::Ttas, 4));
+        assert_ne!(
+            cross(&[tiny_stress("b")], &[LockKind::Ttas], &[2], 99)[0].seed,
+            seed_of(LockKind::Ttas, 2),
+            "different scenario names must draw different streams"
+        );
+        // Field framing: ("ab", …) and ("a", …) cannot collide even when
+        // the following field's bytes line up.
+        assert_ne!(cell_seed(99, "ab", 2), cell_seed(99, "a", 2));
+        // Identity-derived: same cell, same seed, regardless of siblings.
+        let solo = cross(&[tiny_stress("a")], &[LockKind::Mutex], &[4], 99);
+        assert_eq!(solo[0].seed, seed_of(LockKind::Mutex, 4));
+        // Different sweep seed reshuffles.
+        let other = cross(&[tiny_stress("a")], &[LockKind::Mutex], &[4], 100);
+        assert_ne!(other[0].seed, solo[0].seed);
+    }
+
+    #[test]
+    fn runner_order_is_input_order_and_parallelism_invariant() {
+        let cells = cross(
+            &[tiny_stress("a"), tiny_stress("b")],
+            &[LockKind::Ttas, LockKind::Ticket],
+            &[2],
+            7,
+        );
+        let seq = SweepRunner::with_workers(1).run(&cells);
+        let par = SweepRunner::with_workers(4).run(&cells);
+        assert_eq!(seq.len(), 4);
+        for (s, p) in seq.iter().zip(&par) {
+            assert_eq!(s.to_json(), p.to_json(), "parallelism changed a result");
+        }
+        for (cell, rep) in cells.iter().zip(&seq) {
+            assert_eq!(rep.scenario, cell.name);
+            assert_eq!(rep.lock, cell.lock);
+            assert!(rep.total_ops > 0);
+        }
+    }
+
+    #[test]
+    fn sinks_emit_valid_shapes() {
+        let reports = SweepRunner::with_workers(1).run(&[tiny_stress("s")]);
+        let mut jsonl = Vec::new();
+        write_reports(&mut jsonl, SinkFormat::JsonLines, &reports).unwrap();
+        let jsonl = String::from_utf8(jsonl).unwrap();
+        assert_eq!(jsonl.lines().count(), 1);
+        let line = jsonl.lines().next().unwrap();
+        assert!(line.starts_with('{') && line.ends_with('}'));
+        assert!(line.contains("\"throughput\":") && line.contains("\"epo_uj\":"));
+
+        let mut csv = Vec::new();
+        write_reports(&mut csv, SinkFormat::Csv, &reports).unwrap();
+        let csv = String::from_utf8(csv).unwrap();
+        let mut lines = csv.lines();
+        let header = lines.next().unwrap();
+        let row = lines.next().unwrap();
+        assert_eq!(header.split(',').count(), row.split(',').count());
+    }
+
+    #[test]
+    fn csv_escapes_hostile_scenario_names() {
+        let mut spec = tiny_stress("kv,\"hot\"");
+        spec.threads = 1;
+        let reports = SweepRunner::with_workers(1).run(&[spec]);
+        let row = reports[0].to_csv();
+        assert!(row.starts_with("\"kv,\"\"hot\"\"\","), "unescaped row: {row}");
+        assert_eq!(
+            row.split(',').count() - 1, // the quoted name embeds one comma
+            CellReport::CSV_HEADER.split(',').count(),
+            "column count must match the header: {row}"
+        );
+    }
+
+    #[test]
+    fn reported_threads_match_the_built_scenario() {
+        // Two-role workloads floor the thread count at 2; the report must
+        // carry what actually ran, not the requested value.
+        let spec = ScenarioSpec::new("p", WorkloadSpec::Pipeline)
+            .with_machine(MachineKind::Tiny)
+            .with_threads(1)
+            .with_duration(1_000_000, 100_000);
+        assert_eq!(spec.effective_threads(), 2);
+        let reports = SweepRunner::with_workers(1).run(&[spec]);
+        assert_eq!(reports[0].threads, 2);
+    }
+
+    #[test]
+    fn format_parsers() {
+        assert_eq!(SinkFormat::parse("JSONL"), Some(SinkFormat::JsonLines));
+        assert_eq!(SinkFormat::parse("csv"), Some(SinkFormat::Csv));
+        assert_eq!(SinkFormat::parse("xml"), None);
+    }
+}

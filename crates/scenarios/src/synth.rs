@@ -1,0 +1,205 @@
+//! Builders for the synthetic scenarios.
+//!
+//! These reuse the action-script interpreter of [`poly_systems`]
+//! ([`SysThread`] running [`Action`] scripts), so synthetic scenarios get
+//! the same uniform measurement bookkeeping as the paper's system models.
+
+use poly_locks_sim::{
+    Dist, LockKind, LockParams, LockStress, LockStressConfig, RwMode, SimCondvar, SimLock,
+    SimRwLock,
+};
+use poly_sim::{Cycles, PinPolicy, SimBuilder};
+use poly_systems::{pct, Action, SysShared, SysThread, Zipf};
+use rand::Rng;
+
+/// The §5.2 microbenchmark: `n_locks` locks picked uniformly per iteration.
+pub(crate) fn build_lock_stress(
+    b: &mut SimBuilder,
+    lock: LockKind,
+    threads: usize,
+    cs: Dist,
+    non_cs: Dist,
+    n_locks: usize,
+) {
+    let locks: Vec<SimLock> = (0..n_locks.max(1))
+        .map(|_| SimLock::alloc(b, lock, threads, LockParams::default()))
+        .collect();
+    for _ in 0..threads {
+        b.spawn(
+            Box::new(LockStress::new(locks.clone(), LockStressConfig { cs, non_cs })),
+            PinPolicy::PaperOrder,
+        );
+    }
+}
+
+/// A sharded KV store: bucket locks with Zipf-skewed popularity. High skew
+/// concentrates traffic on a couple of hot locks (contention-bound); zero
+/// skew spreads it out (parallelism-bound).
+pub(crate) fn build_zipf_kv(
+    b: &mut SimBuilder,
+    lock: LockKind,
+    threads: usize,
+    buckets: usize,
+    skew_milli: u32,
+    write_pct: u32,
+) {
+    let buckets = buckets.max(1);
+    let locks: Vec<SimLock> =
+        (0..buckets).map(|_| SimLock::alloc(b, lock, threads, LockParams::default())).collect();
+    let zipf = Zipf::new(buckets, f64::from(skew_milli) / 1000.0);
+    for _ in 0..threads {
+        let shared = SysShared { locks: locks.clone(), ..Default::default() };
+        let zipf = zipf.clone();
+        let gen = Box::new(move |rng: &mut rand::rngs::SmallRng| {
+            let bucket = zipf.sample(rng);
+            let cs = if pct(rng, write_pct) { Dist::Exp(1_500) } else { Dist::Exp(700) };
+            vec![
+                Action::Work(Dist::Exp(1_200)), // parse + hash
+                Action::Lock(bucket),
+                Action::Work(cs),
+                Action::Unlock(bucket),
+                Action::Work(Dist::Exp(900)), // respond
+            ]
+        });
+        b.spawn(Box::new(SysThread::new(shared, gen)), PinPolicy::PaperOrder);
+    }
+}
+
+/// Producer-consumer pipeline over one mutex-guarded queue with a condvar.
+///
+/// The first half of the threads produce and *never* block on the condvar,
+/// so the scenario cannot deadlock: some producer is always runnable and
+/// every completed item signals a sleeping consumer.
+pub(crate) fn build_pipeline(b: &mut SimBuilder, lock: LockKind, threads: usize) {
+    assert!(threads >= 2, "pipeline needs a producer and a consumer");
+    let queue = SimLock::alloc(b, lock, threads, LockParams::default());
+    let cv = SimCondvar::alloc(b);
+    let producers = (threads / 2).max(1);
+    for i in 0..threads {
+        let shared =
+            SysShared { locks: vec![queue.clone()], conds: vec![cv], ..Default::default() };
+        let producer = i < producers;
+        let gen = Box::new(move |rng: &mut rand::rngs::SmallRng| {
+            if producer {
+                vec![
+                    Action::Work(Dist::Exp(2_500)), // produce an item
+                    Action::Lock(0),
+                    Action::Work(Dist::Exp(600)), // enqueue
+                    Action::Unlock(0),
+                    Action::CondSignal(0),
+                ]
+            } else {
+                let mut script = vec![Action::Lock(0)];
+                // An empty queue is modeled probabilistically: the script
+                // interpreter cannot branch on shared state.
+                if pct(rng, 25) {
+                    script.push(Action::CondWait(0, 0));
+                }
+                script.extend([
+                    Action::Work(Dist::Exp(500)), // dequeue
+                    Action::Unlock(0),
+                    Action::Work(Dist::Exp(2_000)), // process downstream
+                ]);
+                script
+            }
+        });
+        b.spawn(Box::new(SysThread::new(shared, gen)), PinPolicy::PaperOrder);
+    }
+}
+
+/// Readers-writers skew over one process-wide rwlock (the Kyoto Cabinet
+/// topology, with the mix and section lengths as knobs).
+pub(crate) fn build_readers_writers(
+    b: &mut SimBuilder,
+    lock: LockKind,
+    threads: usize,
+    write_pct: u32,
+    read_cs: Cycles,
+    write_cs: Cycles,
+) {
+    let rw = SimRwLock::alloc(b, lock, threads, LockParams::default());
+    for _ in 0..threads {
+        let shared = SysShared { rwlocks: vec![rw.clone()], ..Default::default() };
+        let gen = Box::new(move |rng: &mut rand::rngs::SmallRng| {
+            let (mode, cs) = if pct(rng, write_pct) {
+                (RwMode::Write, Dist::Exp(write_cs))
+            } else {
+                (RwMode::Read, Dist::Exp(read_cs))
+            };
+            vec![
+                Action::Work(Dist::Exp(1_000)),
+                Action::RwAcquire(0, mode),
+                Action::Work(cs),
+                Action::RwRelease(0, mode),
+            ]
+        });
+        b.spawn(Box::new(SysThread::new(shared, gen)), PinPolicy::PaperOrder);
+    }
+}
+
+/// Oversubscription storm: unpinned threads (typically several per hardware
+/// context) each taking `sections` short critical sections per operation
+/// over four hot locks — the regime where spinning collapses and fair
+/// locks suffer lock-holder preemption (§6, MySQL/SQLite).
+pub(crate) fn build_oversub_storm(
+    b: &mut SimBuilder,
+    lock: LockKind,
+    threads: usize,
+    sections: usize,
+) {
+    const HOT_LOCKS: usize = 4;
+    let locks: Vec<SimLock> =
+        (0..HOT_LOCKS).map(|_| SimLock::alloc(b, lock, threads, LockParams::default())).collect();
+    let sections = sections.max(1);
+    for _ in 0..threads {
+        let shared = SysShared { locks: locks.clone(), ..Default::default() };
+        let gen = Box::new(move |rng: &mut rand::rngs::SmallRng| {
+            let mut script = vec![Action::Work(Dist::Exp(2_000))];
+            for _ in 0..sections {
+                let l = rng.random_range(0..HOT_LOCKS);
+                script.extend([
+                    Action::Lock(l),
+                    Action::Work(Dist::Exp(800)),
+                    Action::Unlock(l),
+                    Action::Work(Dist::Exp(500)),
+                ]);
+            }
+            script
+        });
+        b.spawn(Box::new(SysThread::new(shared, gen)), PinPolicy::Unpinned);
+    }
+}
+
+/// Condvar ping-pong: even threads signal on every operation (and never
+/// wait, guaranteeing liveness); odd threads sleep on the condvar and are
+/// handed the lock on wake — a pure wake-up-latency stress (§4.3).
+pub(crate) fn build_condvar_pingpong(b: &mut SimBuilder, lock: LockKind, threads: usize) {
+    assert!(threads >= 2, "ping-pong needs a pinger and a ponger");
+    let mutex = SimLock::alloc(b, lock, threads, LockParams::default());
+    let cv = SimCondvar::alloc(b);
+    for i in 0..threads {
+        let shared =
+            SysShared { locks: vec![mutex.clone()], conds: vec![cv], ..Default::default() };
+        let pinger = i % 2 == 0;
+        let gen = Box::new(move |_rng: &mut rand::rngs::SmallRng| {
+            if pinger {
+                vec![
+                    Action::Work(Dist::Exp(800)),
+                    Action::Lock(0),
+                    Action::Work(Dist::Fixed(200)),
+                    Action::Unlock(0),
+                    Action::CondSignal(0),
+                ]
+            } else {
+                vec![
+                    Action::Lock(0),
+                    Action::CondWait(0, 0),
+                    Action::Work(Dist::Fixed(200)),
+                    Action::Unlock(0),
+                    Action::Work(Dist::Exp(800)),
+                ]
+            }
+        });
+        b.spawn(Box::new(SysThread::new(shared, gen)), PinPolicy::PaperOrder);
+    }
+}

@@ -1,0 +1,97 @@
+//! Scenario subsystem integration tests: registry coverage and sweep
+//! determinism.
+
+use poly_locks_sim::LockKind;
+use poly_scenarios::{cross, MachineKind, Registry, SweepRunner};
+
+/// Every built-in scenario must build and complete a short smoke run with
+/// real forward progress — a registry entry that stalls or panics is dead
+/// weight.
+#[test]
+fn every_builtin_scenario_smoke_runs() {
+    let reg = Registry::builtin();
+    assert!(reg.len() >= 12);
+    let bases: Vec<_> =
+        reg.iter().map(|e| e.spec.clone().with_duration(2_000_000, 200_000)).collect();
+    // One cell per scenario, via the parallel runner (which also exercises
+    // the runner against every workload shape).
+    let cells = cross(&bases, &[], &[], 1);
+    let reports = SweepRunner::new().run(&cells);
+    for r in &reports {
+        assert!(r.total_ops > 0, "{} made no progress", r.scenario);
+        assert!(r.throughput > 0.0, "{} has zero throughput", r.scenario);
+        assert!(r.energy_j > 0.0, "{} consumed no energy", r.scenario);
+        assert!(r.epo_uj.is_finite(), "{} has no energy-per-op", r.scenario);
+    }
+}
+
+/// Same spec + seed => byte-identical reports, run after run, regardless
+/// of worker count or sibling cells.
+#[test]
+fn same_spec_and_seed_is_byte_identical() {
+    let reg = Registry::builtin();
+    let bases: Vec<_> = ["lock-stress", "kv-hot-zipf", "pipeline", "rocksdb-wt"]
+        .iter()
+        .map(|n| {
+            reg.get(n)
+                .unwrap_or_else(|| panic!("{n} is built in"))
+                .spec
+                .clone()
+                .with_duration(3_000_000, 300_000)
+        })
+        .collect();
+    let cells = cross(&bases, &[LockKind::Mutex, LockKind::Mutexee], &[4], 7);
+    let first = SweepRunner::with_workers(4).run(&cells);
+    let second = SweepRunner::with_workers(2).run(&cells);
+    assert_eq!(first.len(), second.len());
+    for (a, b) in first.iter().zip(&second) {
+        assert_eq!(a.to_json(), b.to_json(), "non-deterministic cell: {}", a.scenario);
+        assert_eq!(a.to_csv(), b.to_csv());
+    }
+}
+
+/// Different sweep seeds must actually change the sampled workloads.
+#[test]
+fn sweep_seed_reaches_the_workload() {
+    let reg = Registry::builtin();
+    let base = reg.get("kv-hot-zipf").unwrap().spec.clone().with_duration(3_000_000, 300_000);
+    let a = SweepRunner::with_workers(1).run(&cross(std::slice::from_ref(&base), &[], &[], 1));
+    let b = SweepRunner::with_workers(1).run(&cross(&[base], &[], &[], 2));
+    assert_ne!(a[0].seed, b[0].seed);
+    assert_ne!(
+        (a[0].total_ops, a[0].energy_j.to_bits()),
+        (b[0].total_ops, b[0].energy_j.to_bits()),
+        "seed change did not reach the workload rng"
+    );
+}
+
+/// The sweep cross product covers locks x threads for synthetic scenarios
+/// and pins system scenarios to their Table 3 thread counts.
+#[test]
+fn cross_product_respects_thread_ownership() {
+    let reg = Registry::builtin();
+    let synth = reg.get("lock-stress").unwrap().spec.clone();
+    let system = reg.get("sqlite-64").unwrap().spec.clone();
+    let cells = cross(&[synth, system], &[LockKind::Mutex, LockKind::Ticket], &[4, 8, 16], 3);
+    // 2 locks x 3 thread counts for the synthetic + 2 locks x 1 for SQLite.
+    assert_eq!(cells.len(), 8);
+    assert!(cells.iter().filter(|c| c.name == "sqlite-64").all(|c| c.effective_threads() == 64));
+}
+
+/// The tiny machine keeps scenario smoke runs honest in CI.
+#[test]
+fn scenarios_run_on_every_machine_kind() {
+    let reg = Registry::builtin();
+    for machine in [MachineKind::Xeon, MachineKind::CoreI7, MachineKind::Tiny] {
+        let spec = reg
+            .get("lock-stress")
+            .unwrap()
+            .spec
+            .clone()
+            .with_machine(machine)
+            .with_threads(2)
+            .with_duration(1_000_000, 100_000);
+        let r = spec.run();
+        assert!(r.total_ops > 0, "{} stalled", machine.label());
+    }
+}

@@ -61,11 +61,7 @@ pub struct SchedConfig {
 
 impl Default for SchedConfig {
     fn default() -> Self {
-        Self {
-            quantum_cycles: 2_800_000,
-            ctx_switch_cycles: 2_000,
-            wake_latency_cycles: 2_400,
-        }
+        Self { quantum_cycles: 2_800_000, ctx_switch_cycles: 2_000, wake_latency_cycles: 2_400 }
     }
 }
 

@@ -1,7 +1,7 @@
 //! Property-based scheduler invariants under random operation streams.
 
-use proptest::prelude::*;
 use poly_sched::{SchedConfig, Scheduler, SwitchDecision, ThreadState, WakeDecision};
+use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
 enum SOp {

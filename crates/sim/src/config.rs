@@ -245,9 +245,8 @@ mod tests {
     fn xeon_wakeup_path_is_about_7000_cycles() {
         // wake call (2700) + scheduler wake latency (2400) + C1 exit (2000).
         let cfg = MachineConfig::xeon();
-        let turnaround = cfg.futex.wake_call_cycles()
-            + cfg.sched.wake_latency_cycles
-            + cfg.idle.c1_exit;
+        let turnaround =
+            cfg.futex.wake_call_cycles() + cfg.sched.wake_latency_cycles + cfg.idle.c1_exit;
         assert!((7000..8000).contains(&turnaround), "turnaround {turnaround}");
     }
 

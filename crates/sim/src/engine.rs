@@ -12,8 +12,7 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use poly_energy::{
-    ActivityClass, CoreIdleState, CtxPowerState, EnergyReading, PowerBreakdown, PowerModel,
-    VfPoint,
+    ActivityClass, CoreIdleState, CtxPowerState, EnergyReading, PowerBreakdown, PowerModel, VfPoint,
 };
 use poly_futex::{FutexStats, FutexTable, WaitOutcome};
 use poly_sched::{Scheduler, SwitchDecision, ThreadState, WakeDecision};
@@ -25,7 +24,7 @@ use crate::mem::{LineId, Memory};
 use crate::ops::{FutexWaitResult, Op, OpResult, PauseKind, RmwKind, SpinCond};
 use crate::program::{CsTracker, Program, ThreadRt};
 use crate::stats::{CpiCounter, Histogram, SimReport, ThreadCounters};
-use crate::{Cycles, CtxId, Tid};
+use crate::{CtxId, Cycles, Tid};
 
 /// How a thread is mapped onto hardware contexts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -184,7 +183,9 @@ impl Engine {
             debug_assert_eq!(tid, i);
             slots.push(ThreadSlot {
                 program: Some(program),
-                rng: SmallRng::seed_from_u64(seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1))),
+                rng: SmallRng::seed_from_u64(
+                    seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1)),
+                ),
                 counters: ThreadCounters::default(),
                 pending: None,
                 reissue: None,
@@ -254,16 +255,14 @@ impl Engine {
         // idle core; installs bump the core generation and cancel these.
         for core in 0..self.cfg.shape.cores() {
             let gen = self.cores[core].gen;
-            self.push(self.cfg.idle.c3_after, EvKind::Deepen {
-                core,
-                gen,
-                state: CoreIdleState::C3,
-            });
-            self.push(self.cfg.idle.c6_after, EvKind::Deepen {
-                core,
-                gen,
-                state: CoreIdleState::C6,
-            });
+            self.push(
+                self.cfg.idle.c3_after,
+                EvKind::Deepen { core, gen, state: CoreIdleState::C3 },
+            );
+            self.push(
+                self.cfg.idle.c6_after,
+                EvKind::Deepen { core, gen, state: CoreIdleState::C6 },
+            );
         }
         let n = self.slots.len();
         for tid in 0..n {
@@ -413,16 +412,14 @@ impl Engine {
         self.cores[core].idle = CoreIdleState::C1;
         self.power.advance(self.now);
         self.power.set_core_idle(core, CoreIdleState::C1);
-        self.push(self.now + self.cfg.idle.c3_after, EvKind::Deepen {
-            core,
-            gen,
-            state: CoreIdleState::C3,
-        });
-        self.push(self.now + self.cfg.idle.c6_after, EvKind::Deepen {
-            core,
-            gen,
-            state: CoreIdleState::C6,
-        });
+        self.push(
+            self.now + self.cfg.idle.c3_after,
+            EvKind::Deepen { core, gen, state: CoreIdleState::C3 },
+        );
+        self.push(
+            self.now + self.cfg.idle.c6_after,
+            EvKind::Deepen { core, gen, state: CoreIdleState::C6 },
+        );
     }
 
     fn on_deepen(&mut self, core: usize, gen: u64, state: CoreIdleState) {
@@ -560,13 +557,10 @@ impl Engine {
                 self.set_activity(ctx, ActivityClass::GlobalSpin);
                 let plan = self.mem.begin_write(ctx, line, self.now);
                 self.add_cpi(true, plan.result_at - self.now, 1);
-                self.push(plan.commit_at, EvKind::WriteCommit {
-                    line,
-                    ctx,
-                    gen,
-                    kind,
-                    result_at: plan.result_at,
-                });
+                self.push(
+                    plan.commit_at,
+                    EvKind::WriteCommit { line, ctx, gen, kind, result_at: plan.result_at },
+                );
             }
             Op::SpinLoad { line, pause, until, max } => {
                 self.set_activity(ctx, Self::spin_activity(pause));
@@ -575,11 +569,10 @@ impl Engine {
                     let (ic, ii) = self.pause_cost(pause);
                     let _ = ic;
                     self.add_cpi(true, cost, ii);
-                    self.push(self.now + cost, EvKind::OpDone {
-                        ctx,
-                        gen,
-                        result: OpResult::Value(v),
-                    });
+                    self.push(
+                        self.now + cost,
+                        EvKind::OpDone { ctx, gen, result: OpResult::Value(v) },
+                    );
                 } else {
                     let deadline = max.map(|m| self.now + cost + m.max(1));
                     self.ctxs[ctx].spin = Some(SpinState {
@@ -620,11 +613,10 @@ impl Engine {
                 self.add_cpi(false, setup, setup / 2);
                 let v = self.mem.peek(line);
                 if v != expect {
-                    self.push(self.now + setup, EvKind::OpDone {
-                        ctx,
-                        gen,
-                        result: OpResult::Value(v),
-                    });
+                    self.push(
+                        self.now + setup,
+                        EvKind::OpDone { ctx, gen, result: OpResult::Value(v) },
+                    );
                 } else {
                     self.ctxs[ctx].spin = Some(SpinState {
                         line,
@@ -644,19 +636,14 @@ impl Engine {
                 self.add_cpi(false, cost, cost / 2);
                 match self.sched.yield_thread(tid) {
                     SwitchDecision::Keep => {
-                        self.push(self.now + cost, EvKind::OpDone {
-                            ctx,
-                            gen,
-                            result: OpResult::Done,
-                        });
+                        self.push(
+                            self.now + cost,
+                            EvKind::OpDone { ctx, gen, result: OpResult::Done },
+                        );
                     }
                     SwitchDecision::SwitchTo(next) => {
                         self.slots[tid].pending = Some(OpResult::Done);
-                        self.install(
-                            ctx,
-                            next,
-                            self.now + cost + self.cfg.sched.ctx_switch_cycles,
-                        );
+                        self.install(ctx, next, self.now + cost + self.cfg.sched.ctx_switch_cycles);
                     }
                     SwitchDecision::Idle => unreachable!("running thread yielded into idle"),
                 }
@@ -763,7 +750,10 @@ impl Engine {
             };
             self.end_spin_accounting(&spin, writer);
             let gen = self.ctxs[w].gen;
-            self.push(self.now + delay, EvKind::OpDone { ctx: w, gen, result: OpResult::Value(value) });
+            self.push(
+                self.now + delay,
+                EvKind::OpDone { ctx: w, gen, result: OpResult::Value(value) },
+            );
         }
         self.watchers[line.index()] = keep;
     }
@@ -822,21 +812,23 @@ impl Engine {
             WaitOutcome::ValueMismatch => {
                 let ctx = self.sched.ctx_of(tid).expect("waiter still runs on its context");
                 let gen = self.ctxs[ctx].gen;
-                self.push(w.kernel_done_at, EvKind::OpDone {
-                    ctx,
-                    gen,
-                    result: OpResult::FutexWait(FutexWaitResult::ValueMismatch),
-                });
+                self.push(
+                    w.kernel_done_at,
+                    EvKind::OpDone {
+                        ctx,
+                        gen,
+                        result: OpResult::FutexWait(FutexWaitResult::ValueMismatch),
+                    },
+                );
             }
             WaitOutcome::Enqueued => {
                 self.slots[tid].fgen = w.generation;
                 self.push(w.kernel_done_at, EvKind::ThreadBlock { tid });
                 if let Some(t) = timeout {
-                    self.push(w.kernel_done_at + t, EvKind::FutexTimeout {
-                        tid,
-                        line,
-                        fgen: w.generation,
-                    });
+                    self.push(
+                        w.kernel_done_at + t,
+                        EvKind::FutexTimeout { tid, line, fgen: w.generation },
+                    );
                 }
             }
         }
@@ -852,11 +844,10 @@ impl Engine {
             self.push(wk.kernel_done_at, EvKind::WakeThread { tid: t });
         }
         if self.ctxs[ctx].gen == gen {
-            self.push(wk.kernel_done_at, EvKind::OpDone {
-                ctx,
-                gen,
-                result: OpResult::FutexWake { woken },
-            });
+            self.push(
+                wk.kernel_done_at,
+                EvKind::OpDone { ctx, gen, result: OpResult::FutexWake { woken } },
+            );
         }
     }
 

@@ -22,7 +22,7 @@ use poly_energy::MachineShape;
 
 use crate::config::MemConfig;
 use crate::ops::RmwKind;
-use crate::{Cycles, CtxId};
+use crate::{CtxId, Cycles};
 
 /// Identifier of a simulated cache line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -129,15 +129,14 @@ impl Memory {
             self.cfg.l1_hit
         } else {
             // Fetch from the current owner (or home LLC).
-            let c = match owner {
+            match owner {
                 None => self.cfg.llc_hit,
                 Some(f) if self.shape.core_of(f) == self.shape.core_of(ctx) => self.cfg.l1_hit,
                 Some(f) if self.shape.socket_of_ctx(f) == self.shape.socket_of_ctx(ctx) => {
                     self.cfg.xfer_local
                 }
                 Some(_) => self.cfg.xfer_remote,
-            };
-            c
+            }
         };
         l.sharers |= mask;
         (l.value, cost)

@@ -141,7 +141,7 @@ impl Histogram {
 
 /// Per-thread measurement state, exposed to programs through
 /// [`ThreadRt`](crate::ThreadRt).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct ThreadCounters {
     /// Completed application-level operations (throughput unit).
     pub ops: u64,
@@ -155,19 +155,6 @@ pub struct ThreadCounters {
     pub acquire_latency: Histogram,
     /// Free-form auxiliary counters for workload-specific accounting.
     pub aux: [u64; 4],
-}
-
-impl Default for ThreadCounters {
-    fn default() -> Self {
-        Self {
-            ops: 0,
-            acquires: 0,
-            spin_handovers: 0,
-            futex_handovers: 0,
-            acquire_latency: Histogram::new(),
-            aux: [0; 4],
-        }
-    }
 }
 
 impl ThreadCounters {

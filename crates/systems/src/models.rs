@@ -9,10 +9,10 @@
 //! per-operation costs; `EXPERIMENTS.md` records how the resulting ratios
 //! compare to the paper's Figures 13-15.
 
-use poly_locks_sim::{Dist, LockKind, LockParams, RwMode, SimCondvar, SimLock, SimRwLock};
-use poly_sim::{PinPolicy, SimBuilder};
 use crate::script::{Action, SysShared, SysThread};
 use crate::workloads::{pct, Zipf};
+use poly_locks_sim::{Dist, LockKind, LockParams, RwMode, SimCondvar, SimLock, SimRwLock};
+use poly_sim::{PinPolicy, SimBuilder};
 
 /// One system/configuration cell of Figures 13-15.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -276,11 +276,7 @@ fn build_mysql(b: &mut SimBuilder, kind: LockKind, variant: MySqlVariant) {
                 ]);
             }
             if pct(rng, 30) {
-                script.extend([
-                    Action::Lock(0),
-                    Action::Work(Dist::Exp(2_500)),
-                    Action::Unlock(0),
-                ]);
+                script.extend([Action::Lock(0), Action::Work(Dist::Exp(2_500)), Action::Unlock(0)]);
             }
             if variant == MySqlVariant::Ssd {
                 script.push(Action::Io(Dist::Exp(280_000))); // ~100 us SSD read

@@ -93,11 +93,21 @@ fn sqlite_with_mutex_burns_kernel_time_on_futex_buckets() {
 #[test]
 fn mysql_is_insensitive_to_the_lock_algorithm_except_spinlocks() {
     // Figure 13 MySQL MEM: MUTEXEE ~ MUTEX (1.03x), TICKET collapses.
-    let mutex = run_system(PaperSystem::MySql(poly_systems::MySqlVariant::Mem), LockKind::Mutex, 40_000_000);
-    let mutexee =
-        run_system(PaperSystem::MySql(poly_systems::MySqlVariant::Mem), LockKind::Mutexee, 40_000_000);
-    let ticket =
-        run_system(PaperSystem::MySql(poly_systems::MySqlVariant::Mem), LockKind::Ticket, 40_000_000);
+    let mutex = run_system(
+        PaperSystem::MySql(poly_systems::MySqlVariant::Mem),
+        LockKind::Mutex,
+        40_000_000,
+    );
+    let mutexee = run_system(
+        PaperSystem::MySql(poly_systems::MySqlVariant::Mem),
+        LockKind::Mutexee,
+        40_000_000,
+    );
+    let ticket = run_system(
+        PaperSystem::MySql(poly_systems::MySqlVariant::Mem),
+        LockKind::Ticket,
+        40_000_000,
+    );
     let ratio = mutexee.throughput / mutex.throughput;
     assert!(
         (0.85..1.35).contains(&ratio),
@@ -128,10 +138,5 @@ fn cowlist_spinlock_draws_more_power_but_higher_tpp() {
         spin.avg_power.total_w,
         mutex.avg_power.total_w
     );
-    assert!(
-        spin.tpp > mutex.tpp,
-        "spinlock TPP {:.0} vs mutex {:.0}",
-        spin.tpp,
-        mutex.tpp
-    );
+    assert!(spin.tpp > mutex.tpp, "spinlock TPP {:.0} vs mutex {:.0}", spin.tpp, mutex.tpp);
 }

@@ -19,10 +19,9 @@ fn bench<L: RawLock + Send + Sync>(meter: &TppMeter, label: &str) {
         400_000
     });
     match (report.power_w, report.tpp) {
-        (Some(w), Some(tpp)) => println!(
-            "{label:>8}: {:>9.0} acq/s  {w:>6.1} W  {tpp:>9.0} acq/J",
-            report.throughput
-        ),
+        (Some(w), Some(tpp)) => {
+            println!("{label:>8}: {:>9.0} acq/s  {w:>6.1} W  {tpp:>9.0} acq/J", report.throughput)
+        }
         _ => println!("{label:>8}: {:>9.0} acq/s", report.throughput),
     }
 }

@@ -1,9 +1,13 @@
 //! A small sharded key-value store built on `lockin` locks, exercised with
 //! a zipf-skewed workload — the kind of service the paper's §6 systems are.
+//! The same workload shape then runs on the simulated Xeon through the
+//! scenario API, comparing lock algorithms with energy attached.
 
 use std::collections::HashMap;
 
 use lockin::{Lock, Mutexee, RwLock};
+use unlocking_energy::poly_locks_sim::LockKind;
+use unlocking_energy::poly_scenarios::{cross, Registry, SweepRunner};
 
 /// A sharded map: point lookups/updates take a shard mutex; scans take a
 /// store-wide rwlock in read mode while a (rare) compaction writes.
@@ -58,7 +62,7 @@ fn main() {
                     } else {
                         let _ = store.get(key);
                     }
-                    if x % 100_000 == 0 {
+                    if x.is_multiple_of(100_000) {
                         store.bump_epoch();
                     }
                 }
@@ -66,7 +70,7 @@ fn main() {
         }
     });
     let dt = start.elapsed();
-    let total = threads as u64 * ops;
+    let total = threads * ops;
     println!(
         "{} ops across {} threads in {:.1} ms  ({:.2} Mops/s)",
         total,
@@ -75,4 +79,26 @@ fn main() {
         total as f64 / dt.as_secs_f64() / 1e6
     );
     println!("final epoch: {}", *store.epoch.read());
+
+    // The same zipf-sharded-KV shape as a declarative scenario: the
+    // registry's `kv-hot-zipf` entry, swept over three lock algorithms on
+    // the simulated Xeon, with energy per operation measured.
+    println!("\nsimulated Xeon, kv-hot-zipf scenario, 16 threads:");
+    let base = Registry::builtin()
+        .get("kv-hot-zipf")
+        .expect("kv-hot-zipf is built in")
+        .spec
+        .clone()
+        .with_duration(8_000_000, 800_000);
+    let cells = cross(&[base], &[LockKind::Mutex, LockKind::Ticket, LockKind::Mutexee], &[16], 42);
+    for r in SweepRunner::new().run(&cells) {
+        println!(
+            "{:>8}: {:6.2} Mops/s  {:6.1} W  {:7.2} uJ/op  p99 acquire {} cycles",
+            r.lock.label(),
+            r.throughput / 1e6,
+            r.avg_power_w,
+            r.epo_uj,
+            r.p99_acq_cycles
+        );
+    }
 }

@@ -112,11 +112,7 @@ fn poly_conjecture_holds_on_the_single_lock_microbenchmark() {
     };
     let thr_ranks = rank(results.iter().map(|r| r.0).collect());
     let tpp_ranks = rank(results.iter().map(|r| r.1).collect());
-    let disagreements: usize = thr_ranks
-        .iter()
-        .zip(&tpp_ranks)
-        .map(|(a, b)| a.abs_diff(*b))
-        .sum();
+    let disagreements: usize = thr_ranks.iter().zip(&tpp_ranks).map(|(a, b)| a.abs_diff(*b)).sum();
     // The paper's SS5.3 exception applies at exactly this kind of high
     // contention: a sleeping lock (MUTEXEE) can win TPP with slightly
     // lower throughput, so rankings correlate but need not match.
@@ -128,10 +124,8 @@ fn poly_conjecture_holds_on_the_single_lock_microbenchmark() {
     // ~8% on average), and the best-throughput lock loses little TPP.
     let best_thr = results.iter().map(|r| r.0).fold(0.0, f64::max);
     let best_tpp = results.iter().map(|r| r.1).fold(0.0, f64::max);
-    let (thr_of_best_tpp, _) =
-        results.iter().max_by(|a, b| a.1.total_cmp(&b.1)).copied().unwrap();
-    let (_, tpp_of_best_thr) =
-        results.iter().max_by(|a, b| a.0.total_cmp(&b.0)).copied().unwrap();
+    let (thr_of_best_tpp, _) = results.iter().max_by(|a, b| a.1.total_cmp(&b.1)).copied().unwrap();
+    let (_, tpp_of_best_thr) = results.iter().max_by(|a, b| a.0.total_cmp(&b.0)).copied().unwrap();
     assert!(
         thr_of_best_tpp >= 0.75 * best_thr,
         "best-TPP lock sacrifices too much throughput: {thr_of_best_tpp} vs {best_thr}"

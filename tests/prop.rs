@@ -1,8 +1,8 @@
 //! Property-based tests spanning the workspace.
 
-use proptest::prelude::*;
 use poly_locks_sim::{Dist, LockKind, LockParams, LockStress, LockStressConfig, SimLock};
 use poly_sim::{Histogram, MachineConfig, PinPolicy, RunSpec, SimBuilder};
+use proptest::prelude::*;
 
 proptest! {
     /// The log-bucketed histogram's percentiles track exact percentiles
