@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate-44b84f454fe532a9.d: crates/bench/src/bin/ablate.rs
+
+/root/repo/target/debug/deps/libablate-44b84f454fe532a9.rmeta: crates/bench/src/bin/ablate.rs
+
+crates/bench/src/bin/ablate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate-aea240f2675dca9b.d: crates/bench/src/bin/ablate.rs
+
+/root/repo/target/debug/deps/libablate-aea240f2675dca9b.rmeta: crates/bench/src/bin/ablate.rs
+
+crates/bench/src/bin/ablate.rs:

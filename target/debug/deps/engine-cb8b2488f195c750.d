@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine-cb8b2488f195c750.d: crates/sim/tests/engine.rs
+
+/root/repo/target/debug/deps/libengine-cb8b2488f195c750.rmeta: crates/sim/tests/engine.rs
+
+crates/sim/tests/engine.rs:

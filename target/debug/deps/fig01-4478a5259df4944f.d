@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig01-4478a5259df4944f.d: crates/bench/src/bin/fig01.rs
+
+/root/repo/target/debug/deps/libfig01-4478a5259df4944f.rmeta: crates/bench/src/bin/fig01.rs
+
+crates/bench/src/bin/fig01.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig01-9e970e9d7b79b4f8.d: crates/bench/src/bin/fig01.rs
+
+/root/repo/target/debug/deps/libfig01-9e970e9d7b79b4f8.rmeta: crates/bench/src/bin/fig01.rs
+
+crates/bench/src/bin/fig01.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig02-71d4e4d2f5974a55.d: crates/bench/src/bin/fig02.rs
+
+/root/repo/target/debug/deps/libfig02-71d4e4d2f5974a55.rmeta: crates/bench/src/bin/fig02.rs
+
+crates/bench/src/bin/fig02.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig02-d81305534c22e8af.d: crates/bench/src/bin/fig02.rs
+
+/root/repo/target/debug/deps/libfig02-d81305534c22e8af.rmeta: crates/bench/src/bin/fig02.rs
+
+crates/bench/src/bin/fig02.rs:

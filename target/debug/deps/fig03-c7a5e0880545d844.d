@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig03-c7a5e0880545d844.d: crates/bench/src/bin/fig03.rs
+
+/root/repo/target/debug/deps/libfig03-c7a5e0880545d844.rmeta: crates/bench/src/bin/fig03.rs
+
+crates/bench/src/bin/fig03.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig03-d652a709bbc9b3a0.d: crates/bench/src/bin/fig03.rs
+
+/root/repo/target/debug/deps/libfig03-d652a709bbc9b3a0.rmeta: crates/bench/src/bin/fig03.rs
+
+crates/bench/src/bin/fig03.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig04-72e490a5f1bec297.d: crates/bench/src/bin/fig04.rs
+
+/root/repo/target/debug/deps/libfig04-72e490a5f1bec297.rmeta: crates/bench/src/bin/fig04.rs
+
+crates/bench/src/bin/fig04.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig04-dfb8f1c6d70fc1f0.d: crates/bench/src/bin/fig04.rs
+
+/root/repo/target/debug/deps/libfig04-dfb8f1c6d70fc1f0.rmeta: crates/bench/src/bin/fig04.rs
+
+crates/bench/src/bin/fig04.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig05-a36921af45cebdb6.d: crates/bench/src/bin/fig05.rs
+
+/root/repo/target/debug/deps/libfig05-a36921af45cebdb6.rmeta: crates/bench/src/bin/fig05.rs
+
+crates/bench/src/bin/fig05.rs:

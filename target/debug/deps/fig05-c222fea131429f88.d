@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig05-c222fea131429f88.d: crates/bench/src/bin/fig05.rs
+
+/root/repo/target/debug/deps/libfig05-c222fea131429f88.rmeta: crates/bench/src/bin/fig05.rs
+
+crates/bench/src/bin/fig05.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig06-20cea21c91704709.d: crates/bench/src/bin/fig06.rs
+
+/root/repo/target/debug/deps/libfig06-20cea21c91704709.rmeta: crates/bench/src/bin/fig06.rs
+
+crates/bench/src/bin/fig06.rs:

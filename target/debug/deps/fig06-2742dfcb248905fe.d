@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig06-2742dfcb248905fe.d: crates/bench/src/bin/fig06.rs
+
+/root/repo/target/debug/deps/libfig06-2742dfcb248905fe.rmeta: crates/bench/src/bin/fig06.rs
+
+crates/bench/src/bin/fig06.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig07-5616d9a902eaaaa8.d: crates/bench/src/bin/fig07.rs
+
+/root/repo/target/debug/deps/libfig07-5616d9a902eaaaa8.rmeta: crates/bench/src/bin/fig07.rs
+
+crates/bench/src/bin/fig07.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig07-992ca29c51667a2e.d: crates/bench/src/bin/fig07.rs
+
+/root/repo/target/debug/deps/libfig07-992ca29c51667a2e.rmeta: crates/bench/src/bin/fig07.rs
+
+crates/bench/src/bin/fig07.rs:

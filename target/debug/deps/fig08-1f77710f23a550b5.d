@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08-1f77710f23a550b5.d: crates/bench/src/bin/fig08.rs
+
+/root/repo/target/debug/deps/libfig08-1f77710f23a550b5.rmeta: crates/bench/src/bin/fig08.rs
+
+crates/bench/src/bin/fig08.rs:

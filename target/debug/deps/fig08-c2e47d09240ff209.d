@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08-c2e47d09240ff209.d: crates/bench/src/bin/fig08.rs
+
+/root/repo/target/debug/deps/libfig08-c2e47d09240ff209.rmeta: crates/bench/src/bin/fig08.rs
+
+crates/bench/src/bin/fig08.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09-0e29dbac999d1a09.d: crates/bench/src/bin/fig09.rs
+
+/root/repo/target/debug/deps/libfig09-0e29dbac999d1a09.rmeta: crates/bench/src/bin/fig09.rs
+
+crates/bench/src/bin/fig09.rs:

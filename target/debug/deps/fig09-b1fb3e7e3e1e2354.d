@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09-b1fb3e7e3e1e2354.d: crates/bench/src/bin/fig09.rs
+
+/root/repo/target/debug/deps/libfig09-b1fb3e7e3e1e2354.rmeta: crates/bench/src/bin/fig09.rs
+
+crates/bench/src/bin/fig09.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-ab3cf5fa67d8a002.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/libfig10-ab3cf5fa67d8a002.rmeta: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

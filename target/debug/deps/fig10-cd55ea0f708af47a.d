@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-cd55ea0f708af47a.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/libfig10-cd55ea0f708af47a.rmeta: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-7cb5279fe8062073.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/libfig11-7cb5279fe8062073.rmeta: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-fc658656ec440546.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/libfig11-fc658656ec440546.rmeta: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

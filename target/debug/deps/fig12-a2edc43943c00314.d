@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12-a2edc43943c00314.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/debug/deps/libfig12-a2edc43943c00314.rmeta: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

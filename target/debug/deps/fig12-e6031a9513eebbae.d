@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12-e6031a9513eebbae.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/debug/deps/libfig12-e6031a9513eebbae.rmeta: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

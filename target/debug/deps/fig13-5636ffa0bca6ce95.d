@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13-5636ffa0bca6ce95.d: crates/bench/src/bin/fig13.rs
+
+/root/repo/target/debug/deps/libfig13-5636ffa0bca6ce95.rmeta: crates/bench/src/bin/fig13.rs
+
+crates/bench/src/bin/fig13.rs:

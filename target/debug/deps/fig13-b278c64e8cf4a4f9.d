@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13-b278c64e8cf4a4f9.d: crates/bench/src/bin/fig13.rs
+
+/root/repo/target/debug/deps/libfig13-b278c64e8cf4a4f9.rmeta: crates/bench/src/bin/fig13.rs
+
+crates/bench/src/bin/fig13.rs:

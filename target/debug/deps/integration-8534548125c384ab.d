@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration-8534548125c384ab.d: tests/integration.rs
+
+/root/repo/target/debug/deps/integration-8534548125c384ab: tests/integration.rs
+
+tests/integration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration-da15cb834c1894b5.d: tests/integration.rs
+
+/root/repo/target/debug/deps/libintegration-da15cb834c1894b5.rmeta: tests/integration.rs
+
+tests/integration.rs:

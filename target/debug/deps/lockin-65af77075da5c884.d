@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/lockin-65af77075da5c884.d: crates/core/src/lib.rs crates/core/src/autotune.rs crates/core/src/clh.rs crates/core/src/condvar.rs crates/core/src/futex.rs crates/core/src/mcs.rs crates/core/src/meter.rs crates/core/src/mutex.rs crates/core/src/mutexee.rs crates/core/src/rapl.rs crates/core/src/raw.rs crates/core/src/rwlock.rs crates/core/src/spin.rs crates/core/src/spinlocks.rs
+
+/root/repo/target/debug/deps/liblockin-65af77075da5c884.rmeta: crates/core/src/lib.rs crates/core/src/autotune.rs crates/core/src/clh.rs crates/core/src/condvar.rs crates/core/src/futex.rs crates/core/src/mcs.rs crates/core/src/meter.rs crates/core/src/mutex.rs crates/core/src/mutexee.rs crates/core/src/rapl.rs crates/core/src/raw.rs crates/core/src/rwlock.rs crates/core/src/spin.rs crates/core/src/spinlocks.rs
+
+crates/core/src/lib.rs:
+crates/core/src/autotune.rs:
+crates/core/src/clh.rs:
+crates/core/src/condvar.rs:
+crates/core/src/futex.rs:
+crates/core/src/mcs.rs:
+crates/core/src/meter.rs:
+crates/core/src/mutex.rs:
+crates/core/src/mutexee.rs:
+crates/core/src/rapl.rs:
+crates/core/src/raw.rs:
+crates/core/src/rwlock.rs:
+crates/core/src/spin.rs:
+crates/core/src/spinlocks.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/locks-e70be87320992935.d: crates/locks-sim/tests/locks.rs
+
+/root/repo/target/debug/deps/liblocks-e70be87320992935.rmeta: crates/locks-sim/tests/locks.rs
+
+crates/locks-sim/tests/locks.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/native_locks-218e64beeac3b7fc.d: tests/native_locks.rs
+
+/root/repo/target/debug/deps/libnative_locks-218e64beeac3b7fc.rmeta: tests/native_locks.rs
+
+tests/native_locks.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/native_locks-7351e6cb652b95db.d: tests/native_locks.rs
+
+/root/repo/target/debug/deps/native_locks-7351e6cb652b95db: tests/native_locks.rs
+
+tests/native_locks.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/native_locks-a4b3f918a45895a9.d: crates/bench/benches/native_locks.rs
+
+/root/repo/target/debug/deps/libnative_locks-a4b3f918a45895a9.rmeta: crates/bench/benches/native_locks.rs
+
+crates/bench/benches/native_locks.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/poly_bench-823f86955c36d4d7.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libpoly_bench-823f86955c36d4d7.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libpoly_bench-823f86955c36d4d7.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

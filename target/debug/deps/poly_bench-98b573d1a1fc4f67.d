@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/poly_bench-98b573d1a1fc4f67.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libpoly_bench-98b573d1a1fc4f67.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/poly_bench-9ee678b8ff3154a8.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libpoly_bench-9ee678b8ff3154a8.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/poly_energy-47a0f02befef71a1.d: crates/energy/src/lib.rs crates/energy/src/activity.rs crates/energy/src/config.rs crates/energy/src/counters.rs crates/energy/src/model.rs crates/energy/src/shape.rs crates/energy/src/vf.rs
+
+/root/repo/target/debug/deps/libpoly_energy-47a0f02befef71a1.rlib: crates/energy/src/lib.rs crates/energy/src/activity.rs crates/energy/src/config.rs crates/energy/src/counters.rs crates/energy/src/model.rs crates/energy/src/shape.rs crates/energy/src/vf.rs
+
+/root/repo/target/debug/deps/libpoly_energy-47a0f02befef71a1.rmeta: crates/energy/src/lib.rs crates/energy/src/activity.rs crates/energy/src/config.rs crates/energy/src/counters.rs crates/energy/src/model.rs crates/energy/src/shape.rs crates/energy/src/vf.rs
+
+crates/energy/src/lib.rs:
+crates/energy/src/activity.rs:
+crates/energy/src/config.rs:
+crates/energy/src/counters.rs:
+crates/energy/src/model.rs:
+crates/energy/src/shape.rs:
+crates/energy/src/vf.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/poly_energy-58b4eb3f64713f5d.d: crates/energy/src/lib.rs crates/energy/src/activity.rs crates/energy/src/config.rs crates/energy/src/counters.rs crates/energy/src/model.rs crates/energy/src/shape.rs crates/energy/src/vf.rs
+
+/root/repo/target/debug/deps/libpoly_energy-58b4eb3f64713f5d.rmeta: crates/energy/src/lib.rs crates/energy/src/activity.rs crates/energy/src/config.rs crates/energy/src/counters.rs crates/energy/src/model.rs crates/energy/src/shape.rs crates/energy/src/vf.rs
+
+crates/energy/src/lib.rs:
+crates/energy/src/activity.rs:
+crates/energy/src/config.rs:
+crates/energy/src/counters.rs:
+crates/energy/src/model.rs:
+crates/energy/src/shape.rs:
+crates/energy/src/vf.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/poly_futex-07c44399b8e36c93.d: crates/futex/src/lib.rs crates/futex/src/config.rs crates/futex/src/stats.rs crates/futex/src/table.rs
+
+/root/repo/target/debug/deps/libpoly_futex-07c44399b8e36c93.rmeta: crates/futex/src/lib.rs crates/futex/src/config.rs crates/futex/src/stats.rs crates/futex/src/table.rs
+
+crates/futex/src/lib.rs:
+crates/futex/src/config.rs:
+crates/futex/src/stats.rs:
+crates/futex/src/table.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/poly_futex-b04dc05d53f08179.d: crates/futex/src/lib.rs crates/futex/src/config.rs crates/futex/src/stats.rs crates/futex/src/table.rs
+
+/root/repo/target/debug/deps/libpoly_futex-b04dc05d53f08179.rlib: crates/futex/src/lib.rs crates/futex/src/config.rs crates/futex/src/stats.rs crates/futex/src/table.rs
+
+/root/repo/target/debug/deps/libpoly_futex-b04dc05d53f08179.rmeta: crates/futex/src/lib.rs crates/futex/src/config.rs crates/futex/src/stats.rs crates/futex/src/table.rs
+
+crates/futex/src/lib.rs:
+crates/futex/src/config.rs:
+crates/futex/src/stats.rs:
+crates/futex/src/table.rs:

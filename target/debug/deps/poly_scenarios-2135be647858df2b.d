@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/poly_scenarios-2135be647858df2b.d: crates/scenarios/src/lib.rs crates/scenarios/src/registry.rs crates/scenarios/src/spec.rs crates/scenarios/src/sweep.rs crates/scenarios/src/synth.rs
+
+/root/repo/target/debug/deps/libpoly_scenarios-2135be647858df2b.rmeta: crates/scenarios/src/lib.rs crates/scenarios/src/registry.rs crates/scenarios/src/spec.rs crates/scenarios/src/sweep.rs crates/scenarios/src/synth.rs
+
+crates/scenarios/src/lib.rs:
+crates/scenarios/src/registry.rs:
+crates/scenarios/src/spec.rs:
+crates/scenarios/src/sweep.rs:
+crates/scenarios/src/synth.rs:

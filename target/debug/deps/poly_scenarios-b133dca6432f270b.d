@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/poly_scenarios-b133dca6432f270b.d: crates/scenarios/src/lib.rs crates/scenarios/src/registry.rs crates/scenarios/src/spec.rs crates/scenarios/src/sweep.rs crates/scenarios/src/synth.rs
+
+/root/repo/target/debug/deps/libpoly_scenarios-b133dca6432f270b.rlib: crates/scenarios/src/lib.rs crates/scenarios/src/registry.rs crates/scenarios/src/spec.rs crates/scenarios/src/sweep.rs crates/scenarios/src/synth.rs
+
+/root/repo/target/debug/deps/libpoly_scenarios-b133dca6432f270b.rmeta: crates/scenarios/src/lib.rs crates/scenarios/src/registry.rs crates/scenarios/src/spec.rs crates/scenarios/src/sweep.rs crates/scenarios/src/synth.rs
+
+crates/scenarios/src/lib.rs:
+crates/scenarios/src/registry.rs:
+crates/scenarios/src/spec.rs:
+crates/scenarios/src/sweep.rs:
+crates/scenarios/src/synth.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/poly_scenarios-c72d10403f655c6f.d: crates/scenarios/src/lib.rs crates/scenarios/src/registry.rs crates/scenarios/src/spec.rs crates/scenarios/src/sweep.rs crates/scenarios/src/synth.rs
+
+/root/repo/target/debug/deps/poly_scenarios-c72d10403f655c6f: crates/scenarios/src/lib.rs crates/scenarios/src/registry.rs crates/scenarios/src/spec.rs crates/scenarios/src/sweep.rs crates/scenarios/src/synth.rs
+
+crates/scenarios/src/lib.rs:
+crates/scenarios/src/registry.rs:
+crates/scenarios/src/spec.rs:
+crates/scenarios/src/sweep.rs:
+crates/scenarios/src/synth.rs:

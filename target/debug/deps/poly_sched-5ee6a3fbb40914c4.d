@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/poly_sched-5ee6a3fbb40914c4.d: crates/sched/src/lib.rs
+
+/root/repo/target/debug/deps/libpoly_sched-5ee6a3fbb40914c4.rmeta: crates/sched/src/lib.rs
+
+crates/sched/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/poly_sched-8a5e070e275bd4fa.d: crates/sched/src/lib.rs
+
+/root/repo/target/debug/deps/libpoly_sched-8a5e070e275bd4fa.rmeta: crates/sched/src/lib.rs
+
+crates/sched/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/poly_sched-8e3f35e016273f6c.d: crates/sched/src/lib.rs
+
+/root/repo/target/debug/deps/libpoly_sched-8e3f35e016273f6c.rlib: crates/sched/src/lib.rs
+
+/root/repo/target/debug/deps/libpoly_sched-8e3f35e016273f6c.rmeta: crates/sched/src/lib.rs
+
+crates/sched/src/lib.rs:

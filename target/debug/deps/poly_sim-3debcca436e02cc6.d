@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/poly_sim-3debcca436e02cc6.d: crates/sim/src/lib.rs crates/sim/src/builder.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/mem.rs crates/sim/src/ops.rs crates/sim/src/program.rs crates/sim/src/stats.rs
+
+/root/repo/target/debug/deps/libpoly_sim-3debcca436e02cc6.rmeta: crates/sim/src/lib.rs crates/sim/src/builder.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/mem.rs crates/sim/src/ops.rs crates/sim/src/program.rs crates/sim/src/stats.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/builder.rs:
+crates/sim/src/config.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/mem.rs:
+crates/sim/src/ops.rs:
+crates/sim/src/program.rs:
+crates/sim/src/stats.rs:

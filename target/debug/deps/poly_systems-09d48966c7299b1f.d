@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/poly_systems-09d48966c7299b1f.d: crates/systems/src/lib.rs crates/systems/src/models.rs crates/systems/src/script.rs crates/systems/src/workloads.rs
+
+/root/repo/target/debug/deps/libpoly_systems-09d48966c7299b1f.rlib: crates/systems/src/lib.rs crates/systems/src/models.rs crates/systems/src/script.rs crates/systems/src/workloads.rs
+
+/root/repo/target/debug/deps/libpoly_systems-09d48966c7299b1f.rmeta: crates/systems/src/lib.rs crates/systems/src/models.rs crates/systems/src/script.rs crates/systems/src/workloads.rs
+
+crates/systems/src/lib.rs:
+crates/systems/src/models.rs:
+crates/systems/src/script.rs:
+crates/systems/src/workloads.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/poly_systems-822114c33392ac31.d: crates/systems/src/lib.rs crates/systems/src/models.rs crates/systems/src/script.rs crates/systems/src/workloads.rs
+
+/root/repo/target/debug/deps/libpoly_systems-822114c33392ac31.rmeta: crates/systems/src/lib.rs crates/systems/src/models.rs crates/systems/src/script.rs crates/systems/src/workloads.rs
+
+crates/systems/src/lib.rs:
+crates/systems/src/models.rs:
+crates/systems/src/script.rs:
+crates/systems/src/workloads.rs:

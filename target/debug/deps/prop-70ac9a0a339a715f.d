@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-70ac9a0a339a715f.d: crates/futex/tests/prop.rs
+
+/root/repo/target/debug/deps/libprop-70ac9a0a339a715f.rmeta: crates/futex/tests/prop.rs
+
+crates/futex/tests/prop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-92292a85fde08025.d: tests/prop.rs
+
+/root/repo/target/debug/deps/libprop-92292a85fde08025.rmeta: tests/prop.rs
+
+tests/prop.rs:

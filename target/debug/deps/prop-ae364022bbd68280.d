@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-ae364022bbd68280.d: crates/sched/tests/prop.rs
+
+/root/repo/target/debug/deps/libprop-ae364022bbd68280.rmeta: crates/sched/tests/prop.rs
+
+crates/sched/tests/prop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-af276e877a857f9e.d: tests/prop.rs
+
+/root/repo/target/debug/deps/prop-af276e877a857f9e: tests/prop.rs
+
+tests/prop.rs:

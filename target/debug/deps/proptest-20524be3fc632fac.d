@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-20524be3fc632fac.d: crates/proptest-shim/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-20524be3fc632fac.rmeta: crates/proptest-shim/src/lib.rs
+
+crates/proptest-shim/src/lib.rs:

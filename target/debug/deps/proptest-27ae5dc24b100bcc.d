@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-27ae5dc24b100bcc.d: crates/proptest-shim/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-27ae5dc24b100bcc.rmeta: crates/proptest-shim/src/lib.rs
+
+crates/proptest-shim/src/lib.rs:

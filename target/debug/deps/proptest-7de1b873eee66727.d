@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-7de1b873eee66727.d: crates/proptest-shim/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-7de1b873eee66727: crates/proptest-shim/src/lib.rs
+
+crates/proptest-shim/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-8d099cc123baf1fd.d: crates/proptest-shim/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-8d099cc123baf1fd.rlib: crates/proptest-shim/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-8d099cc123baf1fd.rmeta: crates/proptest-shim/src/lib.rs
+
+crates/proptest-shim/src/lib.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/rand-0ef8b62dc615478e.d: crates/rand-shim/src/lib.rs crates/rand-shim/src/rngs.rs
+
+/root/repo/target/debug/deps/librand-0ef8b62dc615478e.rmeta: crates/rand-shim/src/lib.rs crates/rand-shim/src/rngs.rs
+
+crates/rand-shim/src/lib.rs:
+crates/rand-shim/src/rngs.rs:

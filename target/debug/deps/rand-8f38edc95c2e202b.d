@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/rand-8f38edc95c2e202b.d: crates/rand-shim/src/lib.rs crates/rand-shim/src/rngs.rs
+
+/root/repo/target/debug/deps/librand-8f38edc95c2e202b.rmeta: crates/rand-shim/src/lib.rs crates/rand-shim/src/rngs.rs
+
+crates/rand-shim/src/lib.rs:
+crates/rand-shim/src/rngs.rs:

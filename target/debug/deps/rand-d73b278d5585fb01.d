@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/rand-d73b278d5585fb01.d: crates/rand-shim/src/lib.rs crates/rand-shim/src/rngs.rs
+
+/root/repo/target/debug/deps/librand-d73b278d5585fb01.rlib: crates/rand-shim/src/lib.rs crates/rand-shim/src/rngs.rs
+
+/root/repo/target/debug/deps/librand-d73b278d5585fb01.rmeta: crates/rand-shim/src/lib.rs crates/rand-shim/src/rngs.rs
+
+crates/rand-shim/src/lib.rs:
+crates/rand-shim/src/rngs.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/rand-d986a8f9f1483203.d: crates/rand-shim/src/lib.rs crates/rand-shim/src/rngs.rs
+
+/root/repo/target/debug/deps/rand-d986a8f9f1483203: crates/rand-shim/src/lib.rs crates/rand-shim/src/rngs.rs
+
+crates/rand-shim/src/lib.rs:
+crates/rand-shim/src/rngs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-08a7e7fb7ececa63.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/librepro-08a7e7fb7ececa63.rmeta: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

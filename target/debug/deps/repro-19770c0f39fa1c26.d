@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-19770c0f39fa1c26.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/librepro-19770c0f39fa1c26.rmeta: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

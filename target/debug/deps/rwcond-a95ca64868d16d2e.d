@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rwcond-a95ca64868d16d2e.d: crates/locks-sim/tests/rwcond.rs
+
+/root/repo/target/debug/deps/librwcond-a95ca64868d16d2e.rmeta: crates/locks-sim/tests/rwcond.rs
+
+crates/locks-sim/tests/rwcond.rs:

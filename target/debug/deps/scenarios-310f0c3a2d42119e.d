@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scenarios-310f0c3a2d42119e.d: crates/bench/src/bin/scenarios.rs
+
+/root/repo/target/debug/deps/libscenarios-310f0c3a2d42119e.rmeta: crates/bench/src/bin/scenarios.rs
+
+crates/bench/src/bin/scenarios.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scenarios-689a2b6590b8ae82.d: crates/scenarios/tests/scenarios.rs
+
+/root/repo/target/debug/deps/libscenarios-689a2b6590b8ae82.rmeta: crates/scenarios/tests/scenarios.rs
+
+crates/scenarios/tests/scenarios.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scenarios-6c17353524cfdc26.d: crates/scenarios/tests/scenarios.rs
+
+/root/repo/target/debug/deps/scenarios-6c17353524cfdc26: crates/scenarios/tests/scenarios.rs
+
+crates/scenarios/tests/scenarios.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scenarios-d5cd6b18fc1bff2f.d: crates/bench/src/bin/scenarios.rs
+
+/root/repo/target/debug/deps/libscenarios-d5cd6b18fc1bff2f.rmeta: crates/bench/src/bin/scenarios.rs
+
+crates/bench/src/bin/scenarios.rs:

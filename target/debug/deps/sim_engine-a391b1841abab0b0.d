@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sim_engine-a391b1841abab0b0.d: crates/bench/benches/sim_engine.rs
+
+/root/repo/target/debug/deps/libsim_engine-a391b1841abab0b0.rmeta: crates/bench/benches/sim_engine.rs
+
+crates/bench/benches/sim_engine.rs:

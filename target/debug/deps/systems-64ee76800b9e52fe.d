@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/systems-64ee76800b9e52fe.d: crates/systems/tests/systems.rs
+
+/root/repo/target/debug/deps/libsystems-64ee76800b9e52fe.rmeta: crates/systems/tests/systems.rs
+
+crates/systems/tests/systems.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab02-2d2f2f5085b40aa9.d: crates/bench/src/bin/tab02.rs
+
+/root/repo/target/debug/deps/libtab02-2d2f2f5085b40aa9.rmeta: crates/bench/src/bin/tab02.rs
+
+crates/bench/src/bin/tab02.rs:

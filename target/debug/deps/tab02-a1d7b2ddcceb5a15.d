@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab02-a1d7b2ddcceb5a15.d: crates/bench/src/bin/tab02.rs
+
+/root/repo/target/debug/deps/libtab02-a1d7b2ddcceb5a15.rmeta: crates/bench/src/bin/tab02.rs
+
+crates/bench/src/bin/tab02.rs:

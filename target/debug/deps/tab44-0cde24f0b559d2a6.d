@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab44-0cde24f0b559d2a6.d: crates/bench/src/bin/tab44.rs
+
+/root/repo/target/debug/deps/libtab44-0cde24f0b559d2a6.rmeta: crates/bench/src/bin/tab44.rs
+
+crates/bench/src/bin/tab44.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab44-ab6cc6fee1d9d9be.d: crates/bench/src/bin/tab44.rs
+
+/root/repo/target/debug/deps/libtab44-ab6cc6fee1d9d9be.rmeta: crates/bench/src/bin/tab44.rs
+
+crates/bench/src/bin/tab44.rs:

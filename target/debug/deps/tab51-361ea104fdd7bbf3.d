@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab51-361ea104fdd7bbf3.d: crates/bench/src/bin/tab51.rs
+
+/root/repo/target/debug/deps/libtab51-361ea104fdd7bbf3.rmeta: crates/bench/src/bin/tab51.rs
+
+crates/bench/src/bin/tab51.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab51-9c6351d2252b468c.d: crates/bench/src/bin/tab51.rs
+
+/root/repo/target/debug/deps/libtab51-9c6351d2252b468c.rmeta: crates/bench/src/bin/tab51.rs
+
+crates/bench/src/bin/tab51.rs:

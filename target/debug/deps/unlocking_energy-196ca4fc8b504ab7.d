@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/unlocking_energy-196ca4fc8b504ab7.d: src/lib.rs
+
+/root/repo/target/debug/deps/libunlocking_energy-196ca4fc8b504ab7.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/unlocking_energy-240f73bb8cf699e4.d: src/lib.rs
+
+/root/repo/target/debug/deps/libunlocking_energy-240f73bb8cf699e4.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libunlocking_energy-240f73bb8cf699e4.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/unlocking_energy-2d5f3a64b66db499.d: src/lib.rs
+
+/root/repo/target/debug/deps/unlocking_energy-2d5f3a64b66db499: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/unlocking_energy-3daf10bb3fe4f4ec.d: src/lib.rs
+
+/root/repo/target/debug/deps/libunlocking_energy-3daf10bb3fe4f4ec.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/energy_report-0a8cd569b57e4616.d: examples/energy_report.rs
+
+/root/repo/target/debug/examples/libenergy_report-0a8cd569b57e4616.rmeta: examples/energy_report.rs
+
+examples/energy_report.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/energy_report-9bb221b128755d3d.d: examples/energy_report.rs
+
+/root/repo/target/debug/examples/energy_report-9bb221b128755d3d: examples/energy_report.rs
+
+examples/energy_report.rs:

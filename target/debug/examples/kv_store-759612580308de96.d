@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/kv_store-759612580308de96.d: examples/kv_store.rs
+
+/root/repo/target/debug/examples/kv_store-759612580308de96: examples/kv_store.rs
+
+examples/kv_store.rs:

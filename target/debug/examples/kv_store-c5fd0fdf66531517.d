@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/kv_store-c5fd0fdf66531517.d: examples/kv_store.rs
+
+/root/repo/target/debug/examples/libkv_store-c5fd0fdf66531517.rmeta: examples/kv_store.rs
+
+examples/kv_store.rs:

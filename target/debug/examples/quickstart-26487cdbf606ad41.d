@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-26487cdbf606ad41.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-26487cdbf606ad41.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

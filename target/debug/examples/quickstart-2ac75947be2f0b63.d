@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-2ac75947be2f0b63.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-2ac75947be2f0b63: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sim_poly-0e2f8291801b3a32.d: examples/sim_poly.rs
+
+/root/repo/target/debug/examples/libsim_poly-0e2f8291801b3a32.rmeta: examples/sim_poly.rs
+
+examples/sim_poly.rs:

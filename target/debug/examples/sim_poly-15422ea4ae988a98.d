@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sim_poly-15422ea4ae988a98.d: examples/sim_poly.rs
+
+/root/repo/target/debug/examples/sim_poly-15422ea4ae988a98: examples/sim_poly.rs
+
+examples/sim_poly.rs:

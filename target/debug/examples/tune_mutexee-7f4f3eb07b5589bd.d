@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tune_mutexee-7f4f3eb07b5589bd.d: examples/tune_mutexee.rs
+
+/root/repo/target/debug/examples/tune_mutexee-7f4f3eb07b5589bd: examples/tune_mutexee.rs
+
+examples/tune_mutexee.rs:

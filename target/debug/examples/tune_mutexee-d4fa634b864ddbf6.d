@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tune_mutexee-d4fa634b864ddbf6.d: examples/tune_mutexee.rs
+
+/root/repo/target/debug/examples/libtune_mutexee-d4fa634b864ddbf6.rmeta: examples/tune_mutexee.rs
+
+examples/tune_mutexee.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablate-0dbd3da5bcbf166b.d: crates/bench/src/bin/ablate.rs
+
+/root/repo/target/release/deps/ablate-0dbd3da5bcbf166b: crates/bench/src/bin/ablate.rs
+
+crates/bench/src/bin/ablate.rs:

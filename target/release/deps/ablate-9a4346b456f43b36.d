@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ablate-9a4346b456f43b36.d: crates/bench/src/bin/ablate.rs Cargo.toml
+
+/root/repo/target/release/deps/libablate-9a4346b456f43b36.rmeta: crates/bench/src/bin/ablate.rs Cargo.toml
+
+crates/bench/src/bin/ablate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablate-c90724da2d6a7813.d: crates/bench/src/bin/ablate.rs
+
+/root/repo/target/release/deps/ablate-c90724da2d6a7813: crates/bench/src/bin/ablate.rs
+
+crates/bench/src/bin/ablate.rs:

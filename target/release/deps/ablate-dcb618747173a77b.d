@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ablate-dcb618747173a77b.d: crates/bench/src/bin/ablate.rs Cargo.toml
+
+/root/repo/target/release/deps/libablate-dcb618747173a77b.rmeta: crates/bench/src/bin/ablate.rs Cargo.toml
+
+crates/bench/src/bin/ablate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

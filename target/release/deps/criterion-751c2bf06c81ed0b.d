@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-751c2bf06c81ed0b.d: crates/criterion-shim/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-751c2bf06c81ed0b.rlib: crates/criterion-shim/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-751c2bf06c81ed0b.rmeta: crates/criterion-shim/src/lib.rs
+
+crates/criterion-shim/src/lib.rs:

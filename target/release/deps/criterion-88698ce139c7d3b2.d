@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/criterion-88698ce139c7d3b2.d: crates/criterion-shim/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libcriterion-88698ce139c7d3b2.rmeta: crates/criterion-shim/src/lib.rs Cargo.toml
+
+crates/criterion-shim/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/criterion-915fab1f0c4384be.d: crates/criterion-shim/src/lib.rs
+
+/root/repo/target/release/deps/criterion-915fab1f0c4384be: crates/criterion-shim/src/lib.rs
+
+crates/criterion-shim/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/criterion-a6887f590e740dde.d: crates/criterion-shim/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libcriterion-a6887f590e740dde.rmeta: crates/criterion-shim/src/lib.rs Cargo.toml
+
+crates/criterion-shim/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

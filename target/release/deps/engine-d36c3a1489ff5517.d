@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/engine-d36c3a1489ff5517.d: crates/sim/tests/engine.rs
+
+/root/repo/target/release/deps/engine-d36c3a1489ff5517: crates/sim/tests/engine.rs
+
+crates/sim/tests/engine.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/engine-f2a3bf0df0aeea50.d: crates/sim/tests/engine.rs Cargo.toml
+
+/root/repo/target/release/deps/libengine-f2a3bf0df0aeea50.rmeta: crates/sim/tests/engine.rs Cargo.toml
+
+crates/sim/tests/engine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig01-7d5b8715a509eb24.d: crates/bench/src/bin/fig01.rs
+
+/root/repo/target/release/deps/fig01-7d5b8715a509eb24: crates/bench/src/bin/fig01.rs
+
+crates/bench/src/bin/fig01.rs:

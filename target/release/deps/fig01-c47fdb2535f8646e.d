@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig01-c47fdb2535f8646e.d: crates/bench/src/bin/fig01.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig01-c47fdb2535f8646e.rmeta: crates/bench/src/bin/fig01.rs Cargo.toml
+
+crates/bench/src/bin/fig01.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig01-dbcfeb1d313466ef.d: crates/bench/src/bin/fig01.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig01-dbcfeb1d313466ef.rmeta: crates/bench/src/bin/fig01.rs Cargo.toml
+
+crates/bench/src/bin/fig01.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

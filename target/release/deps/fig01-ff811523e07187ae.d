@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig01-ff811523e07187ae.d: crates/bench/src/bin/fig01.rs
+
+/root/repo/target/release/deps/fig01-ff811523e07187ae: crates/bench/src/bin/fig01.rs
+
+crates/bench/src/bin/fig01.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig02-42e072d4a78facb8.d: crates/bench/src/bin/fig02.rs
+
+/root/repo/target/release/deps/fig02-42e072d4a78facb8: crates/bench/src/bin/fig02.rs
+
+crates/bench/src/bin/fig02.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig02-4c778297fe84f386.d: crates/bench/src/bin/fig02.rs
+
+/root/repo/target/release/deps/fig02-4c778297fe84f386: crates/bench/src/bin/fig02.rs
+
+crates/bench/src/bin/fig02.rs:

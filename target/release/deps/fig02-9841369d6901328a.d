@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig02-9841369d6901328a.d: crates/bench/src/bin/fig02.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig02-9841369d6901328a.rmeta: crates/bench/src/bin/fig02.rs Cargo.toml
+
+crates/bench/src/bin/fig02.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

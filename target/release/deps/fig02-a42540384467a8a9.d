@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig02-a42540384467a8a9.d: crates/bench/src/bin/fig02.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig02-a42540384467a8a9.rmeta: crates/bench/src/bin/fig02.rs Cargo.toml
+
+crates/bench/src/bin/fig02.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig03-0cedf5c71c686e12.d: crates/bench/src/bin/fig03.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig03-0cedf5c71c686e12.rmeta: crates/bench/src/bin/fig03.rs Cargo.toml
+
+crates/bench/src/bin/fig03.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig03-128dae81459d9c59.d: crates/bench/src/bin/fig03.rs
+
+/root/repo/target/release/deps/fig03-128dae81459d9c59: crates/bench/src/bin/fig03.rs
+
+crates/bench/src/bin/fig03.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig03-cfd3d0884efd2f17.d: crates/bench/src/bin/fig03.rs
+
+/root/repo/target/release/deps/fig03-cfd3d0884efd2f17: crates/bench/src/bin/fig03.rs
+
+crates/bench/src/bin/fig03.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig03-f4d347c14191603c.d: crates/bench/src/bin/fig03.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig03-f4d347c14191603c.rmeta: crates/bench/src/bin/fig03.rs Cargo.toml
+
+crates/bench/src/bin/fig03.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

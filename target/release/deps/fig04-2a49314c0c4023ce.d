@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig04-2a49314c0c4023ce.d: crates/bench/src/bin/fig04.rs
+
+/root/repo/target/release/deps/fig04-2a49314c0c4023ce: crates/bench/src/bin/fig04.rs
+
+crates/bench/src/bin/fig04.rs:

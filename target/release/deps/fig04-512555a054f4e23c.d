@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig04-512555a054f4e23c.d: crates/bench/src/bin/fig04.rs
+
+/root/repo/target/release/deps/fig04-512555a054f4e23c: crates/bench/src/bin/fig04.rs
+
+crates/bench/src/bin/fig04.rs:

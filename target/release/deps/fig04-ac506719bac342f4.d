@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig04-ac506719bac342f4.d: crates/bench/src/bin/fig04.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig04-ac506719bac342f4.rmeta: crates/bench/src/bin/fig04.rs Cargo.toml
+
+crates/bench/src/bin/fig04.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig05-13d3a65c6e2aef01.d: crates/bench/src/bin/fig05.rs
+
+/root/repo/target/release/deps/fig05-13d3a65c6e2aef01: crates/bench/src/bin/fig05.rs
+
+crates/bench/src/bin/fig05.rs:

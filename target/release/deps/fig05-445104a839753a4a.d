@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig05-445104a839753a4a.d: crates/bench/src/bin/fig05.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig05-445104a839753a4a.rmeta: crates/bench/src/bin/fig05.rs Cargo.toml
+
+crates/bench/src/bin/fig05.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig05-4e87e504c0b0f151.d: crates/bench/src/bin/fig05.rs
+
+/root/repo/target/release/deps/fig05-4e87e504c0b0f151: crates/bench/src/bin/fig05.rs
+
+crates/bench/src/bin/fig05.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig05-5fd1e106cb05c68e.d: crates/bench/src/bin/fig05.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig05-5fd1e106cb05c68e.rmeta: crates/bench/src/bin/fig05.rs Cargo.toml
+
+crates/bench/src/bin/fig05.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

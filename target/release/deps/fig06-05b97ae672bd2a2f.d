@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig06-05b97ae672bd2a2f.d: crates/bench/src/bin/fig06.rs
+
+/root/repo/target/release/deps/fig06-05b97ae672bd2a2f: crates/bench/src/bin/fig06.rs
+
+crates/bench/src/bin/fig06.rs:

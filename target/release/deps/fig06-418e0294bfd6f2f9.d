@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig06-418e0294bfd6f2f9.d: crates/bench/src/bin/fig06.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig06-418e0294bfd6f2f9.rmeta: crates/bench/src/bin/fig06.rs Cargo.toml
+
+crates/bench/src/bin/fig06.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig06-b5f7aca71b3e2a78.d: crates/bench/src/bin/fig06.rs
+
+/root/repo/target/release/deps/fig06-b5f7aca71b3e2a78: crates/bench/src/bin/fig06.rs
+
+crates/bench/src/bin/fig06.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig06-d2caa00ce34d8a00.d: crates/bench/src/bin/fig06.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig06-d2caa00ce34d8a00.rmeta: crates/bench/src/bin/fig06.rs Cargo.toml
+
+crates/bench/src/bin/fig06.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig07-6769ac97700758dc.d: crates/bench/src/bin/fig07.rs
+
+/root/repo/target/release/deps/fig07-6769ac97700758dc: crates/bench/src/bin/fig07.rs
+
+crates/bench/src/bin/fig07.rs:

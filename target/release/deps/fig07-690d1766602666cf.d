@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig07-690d1766602666cf.d: crates/bench/src/bin/fig07.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig07-690d1766602666cf.rmeta: crates/bench/src/bin/fig07.rs Cargo.toml
+
+crates/bench/src/bin/fig07.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig07-6da73938d5d68784.d: crates/bench/src/bin/fig07.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig07-6da73938d5d68784.rmeta: crates/bench/src/bin/fig07.rs Cargo.toml
+
+crates/bench/src/bin/fig07.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig07-98179e06f2efb2ef.d: crates/bench/src/bin/fig07.rs
+
+/root/repo/target/release/deps/fig07-98179e06f2efb2ef: crates/bench/src/bin/fig07.rs
+
+crates/bench/src/bin/fig07.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig08-a574477cce63f5af.d: crates/bench/src/bin/fig08.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig08-a574477cce63f5af.rmeta: crates/bench/src/bin/fig08.rs Cargo.toml
+
+crates/bench/src/bin/fig08.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig08-b88f329206bcfff2.d: crates/bench/src/bin/fig08.rs
+
+/root/repo/target/release/deps/fig08-b88f329206bcfff2: crates/bench/src/bin/fig08.rs
+
+crates/bench/src/bin/fig08.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig08-bb6196136f8acfaf.d: crates/bench/src/bin/fig08.rs
+
+/root/repo/target/release/deps/fig08-bb6196136f8acfaf: crates/bench/src/bin/fig08.rs
+
+crates/bench/src/bin/fig08.rs:

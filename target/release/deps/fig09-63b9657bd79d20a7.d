@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig09-63b9657bd79d20a7.d: crates/bench/src/bin/fig09.rs
+
+/root/repo/target/release/deps/fig09-63b9657bd79d20a7: crates/bench/src/bin/fig09.rs
+
+crates/bench/src/bin/fig09.rs:

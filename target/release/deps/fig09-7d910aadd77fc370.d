@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig09-7d910aadd77fc370.d: crates/bench/src/bin/fig09.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig09-7d910aadd77fc370.rmeta: crates/bench/src/bin/fig09.rs Cargo.toml
+
+crates/bench/src/bin/fig09.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig09-91952e8f1acc3a5e.d: crates/bench/src/bin/fig09.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig09-91952e8f1acc3a5e.rmeta: crates/bench/src/bin/fig09.rs Cargo.toml
+
+crates/bench/src/bin/fig09.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

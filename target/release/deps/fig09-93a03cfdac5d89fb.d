@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig09-93a03cfdac5d89fb.d: crates/bench/src/bin/fig09.rs
+
+/root/repo/target/release/deps/fig09-93a03cfdac5d89fb: crates/bench/src/bin/fig09.rs
+
+crates/bench/src/bin/fig09.rs:

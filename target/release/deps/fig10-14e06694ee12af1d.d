@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10-14e06694ee12af1d.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/release/deps/fig10-14e06694ee12af1d: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

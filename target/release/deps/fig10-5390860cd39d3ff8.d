@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10-5390860cd39d3ff8.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/release/deps/fig10-5390860cd39d3ff8: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11-06971bfa7f239eba.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/release/deps/fig11-06971bfa7f239eba: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11-cef8c3957d641063.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/release/deps/fig11-cef8c3957d641063: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig11-dc03edd6c7914c3c.d: crates/bench/src/bin/fig11.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig11-dc03edd6c7914c3c.rmeta: crates/bench/src/bin/fig11.rs Cargo.toml
+
+crates/bench/src/bin/fig11.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

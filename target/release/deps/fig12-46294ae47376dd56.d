@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12-46294ae47376dd56.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/release/deps/fig12-46294ae47376dd56: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

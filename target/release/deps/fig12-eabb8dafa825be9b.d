@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12-eabb8dafa825be9b.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/release/deps/fig12-eabb8dafa825be9b: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

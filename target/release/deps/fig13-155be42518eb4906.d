@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig13-155be42518eb4906.d: crates/bench/src/bin/fig13.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig13-155be42518eb4906.rmeta: crates/bench/src/bin/fig13.rs Cargo.toml
+
+crates/bench/src/bin/fig13.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

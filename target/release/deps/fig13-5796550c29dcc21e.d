@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13-5796550c29dcc21e.d: crates/bench/src/bin/fig13.rs
+
+/root/repo/target/release/deps/fig13-5796550c29dcc21e: crates/bench/src/bin/fig13.rs
+
+crates/bench/src/bin/fig13.rs:

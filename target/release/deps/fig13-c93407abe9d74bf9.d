@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13-c93407abe9d74bf9.d: crates/bench/src/bin/fig13.rs
+
+/root/repo/target/release/deps/fig13-c93407abe9d74bf9: crates/bench/src/bin/fig13.rs
+
+crates/bench/src/bin/fig13.rs:

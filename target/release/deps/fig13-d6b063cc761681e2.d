@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig13-d6b063cc761681e2.d: crates/bench/src/bin/fig13.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig13-d6b063cc761681e2.rmeta: crates/bench/src/bin/fig13.rs Cargo.toml
+
+crates/bench/src/bin/fig13.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

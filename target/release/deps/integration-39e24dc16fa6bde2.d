@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/integration-39e24dc16fa6bde2.d: tests/integration.rs Cargo.toml
+
+/root/repo/target/release/deps/libintegration-39e24dc16fa6bde2.rmeta: tests/integration.rs Cargo.toml
+
+tests/integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/integration-3e0973ecdf9c9e4c.d: tests/integration.rs
+
+/root/repo/target/release/deps/integration-3e0973ecdf9c9e4c: tests/integration.rs
+
+tests/integration.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/lockin-464fc1e08e71c7b0.d: crates/core/src/lib.rs crates/core/src/autotune.rs crates/core/src/clh.rs crates/core/src/condvar.rs crates/core/src/futex.rs crates/core/src/mcs.rs crates/core/src/meter.rs crates/core/src/mutex.rs crates/core/src/mutexee.rs crates/core/src/rapl.rs crates/core/src/raw.rs crates/core/src/rwlock.rs crates/core/src/spin.rs crates/core/src/spinlocks.rs
+
+/root/repo/target/release/deps/liblockin-464fc1e08e71c7b0.rlib: crates/core/src/lib.rs crates/core/src/autotune.rs crates/core/src/clh.rs crates/core/src/condvar.rs crates/core/src/futex.rs crates/core/src/mcs.rs crates/core/src/meter.rs crates/core/src/mutex.rs crates/core/src/mutexee.rs crates/core/src/rapl.rs crates/core/src/raw.rs crates/core/src/rwlock.rs crates/core/src/spin.rs crates/core/src/spinlocks.rs
+
+/root/repo/target/release/deps/liblockin-464fc1e08e71c7b0.rmeta: crates/core/src/lib.rs crates/core/src/autotune.rs crates/core/src/clh.rs crates/core/src/condvar.rs crates/core/src/futex.rs crates/core/src/mcs.rs crates/core/src/meter.rs crates/core/src/mutex.rs crates/core/src/mutexee.rs crates/core/src/rapl.rs crates/core/src/raw.rs crates/core/src/rwlock.rs crates/core/src/spin.rs crates/core/src/spinlocks.rs
+
+crates/core/src/lib.rs:
+crates/core/src/autotune.rs:
+crates/core/src/clh.rs:
+crates/core/src/condvar.rs:
+crates/core/src/futex.rs:
+crates/core/src/mcs.rs:
+crates/core/src/meter.rs:
+crates/core/src/mutex.rs:
+crates/core/src/mutexee.rs:
+crates/core/src/rapl.rs:
+crates/core/src/raw.rs:
+crates/core/src/rwlock.rs:
+crates/core/src/spin.rs:
+crates/core/src/spinlocks.rs:

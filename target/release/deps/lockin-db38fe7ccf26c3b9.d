@@ -1,0 +1,22 @@
+/root/repo/target/release/deps/lockin-db38fe7ccf26c3b9.d: crates/core/src/lib.rs crates/core/src/autotune.rs crates/core/src/clh.rs crates/core/src/condvar.rs crates/core/src/futex.rs crates/core/src/mcs.rs crates/core/src/meter.rs crates/core/src/mutex.rs crates/core/src/mutexee.rs crates/core/src/rapl.rs crates/core/src/raw.rs crates/core/src/rwlock.rs crates/core/src/spin.rs crates/core/src/spinlocks.rs Cargo.toml
+
+/root/repo/target/release/deps/liblockin-db38fe7ccf26c3b9.rmeta: crates/core/src/lib.rs crates/core/src/autotune.rs crates/core/src/clh.rs crates/core/src/condvar.rs crates/core/src/futex.rs crates/core/src/mcs.rs crates/core/src/meter.rs crates/core/src/mutex.rs crates/core/src/mutexee.rs crates/core/src/rapl.rs crates/core/src/raw.rs crates/core/src/rwlock.rs crates/core/src/spin.rs crates/core/src/spinlocks.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/autotune.rs:
+crates/core/src/clh.rs:
+crates/core/src/condvar.rs:
+crates/core/src/futex.rs:
+crates/core/src/mcs.rs:
+crates/core/src/meter.rs:
+crates/core/src/mutex.rs:
+crates/core/src/mutexee.rs:
+crates/core/src/rapl.rs:
+crates/core/src/raw.rs:
+crates/core/src/rwlock.rs:
+crates/core/src/spin.rs:
+crates/core/src/spinlocks.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

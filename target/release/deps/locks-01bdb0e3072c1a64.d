@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/locks-01bdb0e3072c1a64.d: crates/locks-sim/tests/locks.rs Cargo.toml
+
+/root/repo/target/release/deps/liblocks-01bdb0e3072c1a64.rmeta: crates/locks-sim/tests/locks.rs Cargo.toml
+
+crates/locks-sim/tests/locks.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

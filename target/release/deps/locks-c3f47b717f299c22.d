@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/locks-c3f47b717f299c22.d: crates/locks-sim/tests/locks.rs
+
+/root/repo/target/release/deps/locks-c3f47b717f299c22: crates/locks-sim/tests/locks.rs
+
+crates/locks-sim/tests/locks.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/native_locks-06047c0ee27800e1.d: tests/native_locks.rs
+
+/root/repo/target/release/deps/native_locks-06047c0ee27800e1: tests/native_locks.rs
+
+tests/native_locks.rs:

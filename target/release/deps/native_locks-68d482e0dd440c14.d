@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/native_locks-68d482e0dd440c14.d: crates/bench/benches/native_locks.rs Cargo.toml
+
+/root/repo/target/release/deps/libnative_locks-68d482e0dd440c14.rmeta: crates/bench/benches/native_locks.rs Cargo.toml
+
+crates/bench/benches/native_locks.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

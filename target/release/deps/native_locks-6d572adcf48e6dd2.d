@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/native_locks-6d572adcf48e6dd2.d: tests/native_locks.rs Cargo.toml
+
+/root/repo/target/release/deps/libnative_locks-6d572adcf48e6dd2.rmeta: tests/native_locks.rs Cargo.toml
+
+tests/native_locks.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

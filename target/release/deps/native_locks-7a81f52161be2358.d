@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/native_locks-7a81f52161be2358.d: crates/bench/benches/native_locks.rs
+
+/root/repo/target/release/deps/native_locks-7a81f52161be2358: crates/bench/benches/native_locks.rs
+
+crates/bench/benches/native_locks.rs:

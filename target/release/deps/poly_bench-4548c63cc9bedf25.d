@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/poly_bench-4548c63cc9bedf25.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libpoly_bench-4548c63cc9bedf25.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libpoly_bench-4548c63cc9bedf25.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/poly_bench-4e220c289e64b4f8.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libpoly_bench-4e220c289e64b4f8.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/poly_bench-5caeb845f88c4db9.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libpoly_bench-5caeb845f88c4db9.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/poly_bench-918f52f5f8ca7466.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/poly_bench-918f52f5f8ca7466: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

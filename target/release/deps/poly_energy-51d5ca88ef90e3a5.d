@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/poly_energy-51d5ca88ef90e3a5.d: crates/energy/src/lib.rs crates/energy/src/activity.rs crates/energy/src/config.rs crates/energy/src/counters.rs crates/energy/src/model.rs crates/energy/src/shape.rs crates/energy/src/vf.rs
+
+/root/repo/target/release/deps/poly_energy-51d5ca88ef90e3a5: crates/energy/src/lib.rs crates/energy/src/activity.rs crates/energy/src/config.rs crates/energy/src/counters.rs crates/energy/src/model.rs crates/energy/src/shape.rs crates/energy/src/vf.rs
+
+crates/energy/src/lib.rs:
+crates/energy/src/activity.rs:
+crates/energy/src/config.rs:
+crates/energy/src/counters.rs:
+crates/energy/src/model.rs:
+crates/energy/src/shape.rs:
+crates/energy/src/vf.rs:

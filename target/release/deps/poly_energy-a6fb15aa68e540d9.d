@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/poly_energy-a6fb15aa68e540d9.d: crates/energy/src/lib.rs crates/energy/src/activity.rs crates/energy/src/config.rs crates/energy/src/counters.rs crates/energy/src/model.rs crates/energy/src/shape.rs crates/energy/src/vf.rs Cargo.toml
+
+/root/repo/target/release/deps/libpoly_energy-a6fb15aa68e540d9.rmeta: crates/energy/src/lib.rs crates/energy/src/activity.rs crates/energy/src/config.rs crates/energy/src/counters.rs crates/energy/src/model.rs crates/energy/src/shape.rs crates/energy/src/vf.rs Cargo.toml
+
+crates/energy/src/lib.rs:
+crates/energy/src/activity.rs:
+crates/energy/src/config.rs:
+crates/energy/src/counters.rs:
+crates/energy/src/model.rs:
+crates/energy/src/shape.rs:
+crates/energy/src/vf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

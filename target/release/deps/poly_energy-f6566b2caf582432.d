@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/poly_energy-f6566b2caf582432.d: crates/energy/src/lib.rs crates/energy/src/activity.rs crates/energy/src/config.rs crates/energy/src/counters.rs crates/energy/src/model.rs crates/energy/src/shape.rs crates/energy/src/vf.rs
+
+/root/repo/target/release/deps/libpoly_energy-f6566b2caf582432.rlib: crates/energy/src/lib.rs crates/energy/src/activity.rs crates/energy/src/config.rs crates/energy/src/counters.rs crates/energy/src/model.rs crates/energy/src/shape.rs crates/energy/src/vf.rs
+
+/root/repo/target/release/deps/libpoly_energy-f6566b2caf582432.rmeta: crates/energy/src/lib.rs crates/energy/src/activity.rs crates/energy/src/config.rs crates/energy/src/counters.rs crates/energy/src/model.rs crates/energy/src/shape.rs crates/energy/src/vf.rs
+
+crates/energy/src/lib.rs:
+crates/energy/src/activity.rs:
+crates/energy/src/config.rs:
+crates/energy/src/counters.rs:
+crates/energy/src/model.rs:
+crates/energy/src/shape.rs:
+crates/energy/src/vf.rs:

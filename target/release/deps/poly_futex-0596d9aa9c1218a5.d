@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/poly_futex-0596d9aa9c1218a5.d: crates/futex/src/lib.rs crates/futex/src/config.rs crates/futex/src/stats.rs crates/futex/src/table.rs
+
+/root/repo/target/release/deps/libpoly_futex-0596d9aa9c1218a5.rlib: crates/futex/src/lib.rs crates/futex/src/config.rs crates/futex/src/stats.rs crates/futex/src/table.rs
+
+/root/repo/target/release/deps/libpoly_futex-0596d9aa9c1218a5.rmeta: crates/futex/src/lib.rs crates/futex/src/config.rs crates/futex/src/stats.rs crates/futex/src/table.rs
+
+crates/futex/src/lib.rs:
+crates/futex/src/config.rs:
+crates/futex/src/stats.rs:
+crates/futex/src/table.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/poly_futex-094c16e8eea9d2b9.d: crates/futex/src/lib.rs crates/futex/src/config.rs crates/futex/src/stats.rs crates/futex/src/table.rs
+
+/root/repo/target/release/deps/poly_futex-094c16e8eea9d2b9: crates/futex/src/lib.rs crates/futex/src/config.rs crates/futex/src/stats.rs crates/futex/src/table.rs
+
+crates/futex/src/lib.rs:
+crates/futex/src/config.rs:
+crates/futex/src/stats.rs:
+crates/futex/src/table.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/poly_futex-0f42f7a22ae32d08.d: crates/futex/src/lib.rs crates/futex/src/config.rs crates/futex/src/stats.rs crates/futex/src/table.rs Cargo.toml
+
+/root/repo/target/release/deps/libpoly_futex-0f42f7a22ae32d08.rmeta: crates/futex/src/lib.rs crates/futex/src/config.rs crates/futex/src/stats.rs crates/futex/src/table.rs Cargo.toml
+
+crates/futex/src/lib.rs:
+crates/futex/src/config.rs:
+crates/futex/src/stats.rs:
+crates/futex/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

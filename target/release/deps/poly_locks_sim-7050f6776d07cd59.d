@@ -1,0 +1,24 @@
+/root/repo/target/release/deps/poly_locks_sim-7050f6776d07cd59.d: crates/locks-sim/src/lib.rs crates/locks-sim/src/algos/mod.rs crates/locks-sim/src/algos/clh.rs crates/locks-sim/src/algos/mcs.rs crates/locks-sim/src/algos/mutex.rs crates/locks-sim/src/algos/mutexee.rs crates/locks-sim/src/algos/tas.rs crates/locks-sim/src/algos/ticket.rs crates/locks-sim/src/algos/ttas.rs crates/locks-sim/src/condvar.rs crates/locks-sim/src/driver.rs crates/locks-sim/src/lock.rs crates/locks-sim/src/rwlock.rs crates/locks-sim/src/sm.rs crates/locks-sim/src/ss.rs crates/locks-sim/src/waiting.rs Cargo.toml
+
+/root/repo/target/release/deps/libpoly_locks_sim-7050f6776d07cd59.rmeta: crates/locks-sim/src/lib.rs crates/locks-sim/src/algos/mod.rs crates/locks-sim/src/algos/clh.rs crates/locks-sim/src/algos/mcs.rs crates/locks-sim/src/algos/mutex.rs crates/locks-sim/src/algos/mutexee.rs crates/locks-sim/src/algos/tas.rs crates/locks-sim/src/algos/ticket.rs crates/locks-sim/src/algos/ttas.rs crates/locks-sim/src/condvar.rs crates/locks-sim/src/driver.rs crates/locks-sim/src/lock.rs crates/locks-sim/src/rwlock.rs crates/locks-sim/src/sm.rs crates/locks-sim/src/ss.rs crates/locks-sim/src/waiting.rs Cargo.toml
+
+crates/locks-sim/src/lib.rs:
+crates/locks-sim/src/algos/mod.rs:
+crates/locks-sim/src/algos/clh.rs:
+crates/locks-sim/src/algos/mcs.rs:
+crates/locks-sim/src/algos/mutex.rs:
+crates/locks-sim/src/algos/mutexee.rs:
+crates/locks-sim/src/algos/tas.rs:
+crates/locks-sim/src/algos/ticket.rs:
+crates/locks-sim/src/algos/ttas.rs:
+crates/locks-sim/src/condvar.rs:
+crates/locks-sim/src/driver.rs:
+crates/locks-sim/src/lock.rs:
+crates/locks-sim/src/rwlock.rs:
+crates/locks-sim/src/sm.rs:
+crates/locks-sim/src/ss.rs:
+crates/locks-sim/src/waiting.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,22 @@
+/root/repo/target/release/deps/poly_locks_sim-f8452ea1f4677e96.d: crates/locks-sim/src/lib.rs crates/locks-sim/src/algos/mod.rs crates/locks-sim/src/algos/clh.rs crates/locks-sim/src/algos/mcs.rs crates/locks-sim/src/algos/mutex.rs crates/locks-sim/src/algos/mutexee.rs crates/locks-sim/src/algos/tas.rs crates/locks-sim/src/algos/ticket.rs crates/locks-sim/src/algos/ttas.rs crates/locks-sim/src/condvar.rs crates/locks-sim/src/driver.rs crates/locks-sim/src/lock.rs crates/locks-sim/src/rwlock.rs crates/locks-sim/src/sm.rs crates/locks-sim/src/ss.rs crates/locks-sim/src/waiting.rs
+
+/root/repo/target/release/deps/libpoly_locks_sim-f8452ea1f4677e96.rlib: crates/locks-sim/src/lib.rs crates/locks-sim/src/algos/mod.rs crates/locks-sim/src/algos/clh.rs crates/locks-sim/src/algos/mcs.rs crates/locks-sim/src/algos/mutex.rs crates/locks-sim/src/algos/mutexee.rs crates/locks-sim/src/algos/tas.rs crates/locks-sim/src/algos/ticket.rs crates/locks-sim/src/algos/ttas.rs crates/locks-sim/src/condvar.rs crates/locks-sim/src/driver.rs crates/locks-sim/src/lock.rs crates/locks-sim/src/rwlock.rs crates/locks-sim/src/sm.rs crates/locks-sim/src/ss.rs crates/locks-sim/src/waiting.rs
+
+/root/repo/target/release/deps/libpoly_locks_sim-f8452ea1f4677e96.rmeta: crates/locks-sim/src/lib.rs crates/locks-sim/src/algos/mod.rs crates/locks-sim/src/algos/clh.rs crates/locks-sim/src/algos/mcs.rs crates/locks-sim/src/algos/mutex.rs crates/locks-sim/src/algos/mutexee.rs crates/locks-sim/src/algos/tas.rs crates/locks-sim/src/algos/ticket.rs crates/locks-sim/src/algos/ttas.rs crates/locks-sim/src/condvar.rs crates/locks-sim/src/driver.rs crates/locks-sim/src/lock.rs crates/locks-sim/src/rwlock.rs crates/locks-sim/src/sm.rs crates/locks-sim/src/ss.rs crates/locks-sim/src/waiting.rs
+
+crates/locks-sim/src/lib.rs:
+crates/locks-sim/src/algos/mod.rs:
+crates/locks-sim/src/algos/clh.rs:
+crates/locks-sim/src/algos/mcs.rs:
+crates/locks-sim/src/algos/mutex.rs:
+crates/locks-sim/src/algos/mutexee.rs:
+crates/locks-sim/src/algos/tas.rs:
+crates/locks-sim/src/algos/ticket.rs:
+crates/locks-sim/src/algos/ttas.rs:
+crates/locks-sim/src/condvar.rs:
+crates/locks-sim/src/driver.rs:
+crates/locks-sim/src/lock.rs:
+crates/locks-sim/src/rwlock.rs:
+crates/locks-sim/src/sm.rs:
+crates/locks-sim/src/ss.rs:
+crates/locks-sim/src/waiting.rs:

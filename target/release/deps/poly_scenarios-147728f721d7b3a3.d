@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/poly_scenarios-147728f721d7b3a3.d: crates/scenarios/src/lib.rs crates/scenarios/src/registry.rs crates/scenarios/src/spec.rs crates/scenarios/src/sweep.rs crates/scenarios/src/synth.rs Cargo.toml
+
+/root/repo/target/release/deps/libpoly_scenarios-147728f721d7b3a3.rmeta: crates/scenarios/src/lib.rs crates/scenarios/src/registry.rs crates/scenarios/src/spec.rs crates/scenarios/src/sweep.rs crates/scenarios/src/synth.rs Cargo.toml
+
+crates/scenarios/src/lib.rs:
+crates/scenarios/src/registry.rs:
+crates/scenarios/src/spec.rs:
+crates/scenarios/src/sweep.rs:
+crates/scenarios/src/synth.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/poly_scenarios-e25fbeef0defbe3a.d: crates/scenarios/src/lib.rs crates/scenarios/src/registry.rs crates/scenarios/src/spec.rs crates/scenarios/src/sweep.rs crates/scenarios/src/synth.rs
+
+/root/repo/target/release/deps/libpoly_scenarios-e25fbeef0defbe3a.rlib: crates/scenarios/src/lib.rs crates/scenarios/src/registry.rs crates/scenarios/src/spec.rs crates/scenarios/src/sweep.rs crates/scenarios/src/synth.rs
+
+/root/repo/target/release/deps/libpoly_scenarios-e25fbeef0defbe3a.rmeta: crates/scenarios/src/lib.rs crates/scenarios/src/registry.rs crates/scenarios/src/spec.rs crates/scenarios/src/sweep.rs crates/scenarios/src/synth.rs
+
+crates/scenarios/src/lib.rs:
+crates/scenarios/src/registry.rs:
+crates/scenarios/src/spec.rs:
+crates/scenarios/src/sweep.rs:
+crates/scenarios/src/synth.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/poly_sched-16d3bbbf4b2ae8e0.d: crates/sched/src/lib.rs
+
+/root/repo/target/release/deps/poly_sched-16d3bbbf4b2ae8e0: crates/sched/src/lib.rs
+
+crates/sched/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/poly_sched-53789806cc2d08df.d: crates/sched/src/lib.rs
+
+/root/repo/target/release/deps/libpoly_sched-53789806cc2d08df.rlib: crates/sched/src/lib.rs
+
+/root/repo/target/release/deps/libpoly_sched-53789806cc2d08df.rmeta: crates/sched/src/lib.rs
+
+crates/sched/src/lib.rs:

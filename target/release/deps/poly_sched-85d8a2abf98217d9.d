@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/poly_sched-85d8a2abf98217d9.d: crates/sched/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libpoly_sched-85d8a2abf98217d9.rmeta: crates/sched/src/lib.rs Cargo.toml
+
+crates/sched/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

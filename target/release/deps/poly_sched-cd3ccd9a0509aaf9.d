@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/poly_sched-cd3ccd9a0509aaf9.d: crates/sched/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libpoly_sched-cd3ccd9a0509aaf9.rmeta: crates/sched/src/lib.rs Cargo.toml
+
+crates/sched/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/poly_sim-b1585f0c6d059b15.d: crates/sim/src/lib.rs crates/sim/src/builder.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/mem.rs crates/sim/src/ops.rs crates/sim/src/program.rs crates/sim/src/stats.rs
+
+/root/repo/target/release/deps/libpoly_sim-b1585f0c6d059b15.rlib: crates/sim/src/lib.rs crates/sim/src/builder.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/mem.rs crates/sim/src/ops.rs crates/sim/src/program.rs crates/sim/src/stats.rs
+
+/root/repo/target/release/deps/libpoly_sim-b1585f0c6d059b15.rmeta: crates/sim/src/lib.rs crates/sim/src/builder.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/mem.rs crates/sim/src/ops.rs crates/sim/src/program.rs crates/sim/src/stats.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/builder.rs:
+crates/sim/src/config.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/mem.rs:
+crates/sim/src/ops.rs:
+crates/sim/src/program.rs:
+crates/sim/src/stats.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/poly_sim-bd2e6b706937f942.d: crates/sim/src/lib.rs crates/sim/src/builder.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/mem.rs crates/sim/src/ops.rs crates/sim/src/program.rs crates/sim/src/stats.rs
+
+/root/repo/target/release/deps/poly_sim-bd2e6b706937f942: crates/sim/src/lib.rs crates/sim/src/builder.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/mem.rs crates/sim/src/ops.rs crates/sim/src/program.rs crates/sim/src/stats.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/builder.rs:
+crates/sim/src/config.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/mem.rs:
+crates/sim/src/ops.rs:
+crates/sim/src/program.rs:
+crates/sim/src/stats.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/poly_sim-d156a88aa3e0744a.d: crates/sim/src/lib.rs crates/sim/src/builder.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/mem.rs crates/sim/src/ops.rs crates/sim/src/program.rs crates/sim/src/stats.rs Cargo.toml
+
+/root/repo/target/release/deps/libpoly_sim-d156a88aa3e0744a.rmeta: crates/sim/src/lib.rs crates/sim/src/builder.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/mem.rs crates/sim/src/ops.rs crates/sim/src/program.rs crates/sim/src/stats.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/builder.rs:
+crates/sim/src/config.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/mem.rs:
+crates/sim/src/ops.rs:
+crates/sim/src/program.rs:
+crates/sim/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

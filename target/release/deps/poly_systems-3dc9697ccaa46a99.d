@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/poly_systems-3dc9697ccaa46a99.d: crates/systems/src/lib.rs crates/systems/src/models.rs crates/systems/src/script.rs crates/systems/src/workloads.rs Cargo.toml
+
+/root/repo/target/release/deps/libpoly_systems-3dc9697ccaa46a99.rmeta: crates/systems/src/lib.rs crates/systems/src/models.rs crates/systems/src/script.rs crates/systems/src/workloads.rs Cargo.toml
+
+crates/systems/src/lib.rs:
+crates/systems/src/models.rs:
+crates/systems/src/script.rs:
+crates/systems/src/workloads.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

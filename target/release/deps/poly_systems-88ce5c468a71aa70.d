@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/poly_systems-88ce5c468a71aa70.d: crates/systems/src/lib.rs crates/systems/src/models.rs crates/systems/src/script.rs crates/systems/src/workloads.rs Cargo.toml
+
+/root/repo/target/release/deps/libpoly_systems-88ce5c468a71aa70.rmeta: crates/systems/src/lib.rs crates/systems/src/models.rs crates/systems/src/script.rs crates/systems/src/workloads.rs Cargo.toml
+
+crates/systems/src/lib.rs:
+crates/systems/src/models.rs:
+crates/systems/src/script.rs:
+crates/systems/src/workloads.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

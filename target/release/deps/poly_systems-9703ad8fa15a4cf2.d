@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/poly_systems-9703ad8fa15a4cf2.d: crates/systems/src/lib.rs crates/systems/src/models.rs crates/systems/src/script.rs crates/systems/src/workloads.rs
+
+/root/repo/target/release/deps/poly_systems-9703ad8fa15a4cf2: crates/systems/src/lib.rs crates/systems/src/models.rs crates/systems/src/script.rs crates/systems/src/workloads.rs
+
+crates/systems/src/lib.rs:
+crates/systems/src/models.rs:
+crates/systems/src/script.rs:
+crates/systems/src/workloads.rs:

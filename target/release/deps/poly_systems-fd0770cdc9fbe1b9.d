@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/poly_systems-fd0770cdc9fbe1b9.d: crates/systems/src/lib.rs crates/systems/src/models.rs crates/systems/src/script.rs crates/systems/src/workloads.rs
+
+/root/repo/target/release/deps/libpoly_systems-fd0770cdc9fbe1b9.rlib: crates/systems/src/lib.rs crates/systems/src/models.rs crates/systems/src/script.rs crates/systems/src/workloads.rs
+
+/root/repo/target/release/deps/libpoly_systems-fd0770cdc9fbe1b9.rmeta: crates/systems/src/lib.rs crates/systems/src/models.rs crates/systems/src/script.rs crates/systems/src/workloads.rs
+
+crates/systems/src/lib.rs:
+crates/systems/src/models.rs:
+crates/systems/src/script.rs:
+crates/systems/src/workloads.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prop-185ed4af1a086c41.d: crates/futex/tests/prop.rs
+
+/root/repo/target/release/deps/prop-185ed4af1a086c41: crates/futex/tests/prop.rs
+
+crates/futex/tests/prop.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/prop-604aed585fbd0dfe.d: crates/sched/tests/prop.rs Cargo.toml
+
+/root/repo/target/release/deps/libprop-604aed585fbd0dfe.rmeta: crates/sched/tests/prop.rs Cargo.toml
+
+crates/sched/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

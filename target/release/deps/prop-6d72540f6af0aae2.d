@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prop-6d72540f6af0aae2.d: crates/sched/tests/prop.rs
+
+/root/repo/target/release/deps/prop-6d72540f6af0aae2: crates/sched/tests/prop.rs
+
+crates/sched/tests/prop.rs:

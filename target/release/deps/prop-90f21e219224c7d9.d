@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/prop-90f21e219224c7d9.d: tests/prop.rs Cargo.toml
+
+/root/repo/target/release/deps/libprop-90f21e219224c7d9.rmeta: tests/prop.rs Cargo.toml
+
+tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/prop-a6a3e87eeefaab98.d: crates/futex/tests/prop.rs Cargo.toml
+
+/root/repo/target/release/deps/libprop-a6a3e87eeefaab98.rmeta: crates/futex/tests/prop.rs Cargo.toml
+
+crates/futex/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prop-ef8e57a0fc7768f7.d: tests/prop.rs
+
+/root/repo/target/release/deps/prop-ef8e57a0fc7768f7: tests/prop.rs
+
+tests/prop.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptest-59cd646028b980a8.d: crates/proptest-shim/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptest-59cd646028b980a8.rmeta: crates/proptest-shim/src/lib.rs Cargo.toml
+
+crates/proptest-shim/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

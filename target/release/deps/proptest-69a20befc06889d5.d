@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest-69a20befc06889d5.d: crates/proptest-shim/src/lib.rs
+
+/root/repo/target/release/deps/proptest-69a20befc06889d5: crates/proptest-shim/src/lib.rs
+
+crates/proptest-shim/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptest-875c9c50116fec45.d: crates/proptest-shim/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptest-875c9c50116fec45.rmeta: crates/proptest-shim/src/lib.rs Cargo.toml
+
+crates/proptest-shim/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

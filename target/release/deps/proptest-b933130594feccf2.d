@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-b933130594feccf2.d: crates/proptest-shim/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-b933130594feccf2.rlib: crates/proptest-shim/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-b933130594feccf2.rmeta: crates/proptest-shim/src/lib.rs
+
+crates/proptest-shim/src/lib.rs:

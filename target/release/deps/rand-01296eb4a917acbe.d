@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/rand-01296eb4a917acbe.d: crates/rand-shim/src/lib.rs crates/rand-shim/src/rngs.rs
+
+/root/repo/target/release/deps/rand-01296eb4a917acbe: crates/rand-shim/src/lib.rs crates/rand-shim/src/rngs.rs
+
+crates/rand-shim/src/lib.rs:
+crates/rand-shim/src/rngs.rs:

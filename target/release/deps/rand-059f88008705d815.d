@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/rand-059f88008705d815.d: crates/rand-shim/src/lib.rs crates/rand-shim/src/rngs.rs
+
+/root/repo/target/release/deps/librand-059f88008705d815.rlib: crates/rand-shim/src/lib.rs crates/rand-shim/src/rngs.rs
+
+/root/repo/target/release/deps/librand-059f88008705d815.rmeta: crates/rand-shim/src/lib.rs crates/rand-shim/src/rngs.rs
+
+crates/rand-shim/src/lib.rs:
+crates/rand-shim/src/rngs.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/rand-c4ab86000845dda2.d: crates/rand-shim/src/lib.rs crates/rand-shim/src/rngs.rs Cargo.toml
+
+/root/repo/target/release/deps/librand-c4ab86000845dda2.rmeta: crates/rand-shim/src/lib.rs crates/rand-shim/src/rngs.rs Cargo.toml
+
+crates/rand-shim/src/lib.rs:
+crates/rand-shim/src/rngs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

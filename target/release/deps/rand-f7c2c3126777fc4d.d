@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/rand-f7c2c3126777fc4d.d: crates/rand-shim/src/lib.rs crates/rand-shim/src/rngs.rs Cargo.toml
+
+/root/repo/target/release/deps/librand-f7c2c3126777fc4d.rmeta: crates/rand-shim/src/lib.rs crates/rand-shim/src/rngs.rs Cargo.toml
+
+crates/rand-shim/src/lib.rs:
+crates/rand-shim/src/rngs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

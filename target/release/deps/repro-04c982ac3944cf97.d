@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-04c982ac3944cf97.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-04c982ac3944cf97: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-d77f05a834a328e3.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-d77f05a834a328e3: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/repro-eaa97a21a86c56c4.d: crates/bench/src/bin/repro.rs Cargo.toml
+
+/root/repo/target/release/deps/librepro-eaa97a21a86c56c4.rmeta: crates/bench/src/bin/repro.rs Cargo.toml
+
+crates/bench/src/bin/repro.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

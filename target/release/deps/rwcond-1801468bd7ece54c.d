@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rwcond-1801468bd7ece54c.d: crates/locks-sim/tests/rwcond.rs
+
+/root/repo/target/release/deps/rwcond-1801468bd7ece54c: crates/locks-sim/tests/rwcond.rs
+
+crates/locks-sim/tests/rwcond.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rwcond-aeaaec70ef3337cc.d: crates/locks-sim/tests/rwcond.rs Cargo.toml
+
+/root/repo/target/release/deps/librwcond-aeaaec70ef3337cc.rmeta: crates/locks-sim/tests/rwcond.rs Cargo.toml
+
+crates/locks-sim/tests/rwcond.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

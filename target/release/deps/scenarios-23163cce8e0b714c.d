@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scenarios-23163cce8e0b714c.d: crates/scenarios/tests/scenarios.rs
+
+/root/repo/target/release/deps/scenarios-23163cce8e0b714c: crates/scenarios/tests/scenarios.rs
+
+crates/scenarios/tests/scenarios.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scenarios-5e3704e059d6a5d5.d: crates/bench/src/bin/scenarios.rs
+
+/root/repo/target/release/deps/scenarios-5e3704e059d6a5d5: crates/bench/src/bin/scenarios.rs
+
+crates/bench/src/bin/scenarios.rs:

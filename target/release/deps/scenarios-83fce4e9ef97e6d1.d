@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/scenarios-83fce4e9ef97e6d1.d: crates/bench/src/bin/scenarios.rs Cargo.toml
+
+/root/repo/target/release/deps/libscenarios-83fce4e9ef97e6d1.rmeta: crates/bench/src/bin/scenarios.rs Cargo.toml
+
+crates/bench/src/bin/scenarios.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/scenarios-8496dcadf8a03e2c.d: crates/scenarios/tests/scenarios.rs Cargo.toml
+
+/root/repo/target/release/deps/libscenarios-8496dcadf8a03e2c.rmeta: crates/scenarios/tests/scenarios.rs Cargo.toml
+
+crates/scenarios/tests/scenarios.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

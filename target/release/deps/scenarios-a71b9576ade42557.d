@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/scenarios-a71b9576ade42557.d: crates/bench/src/bin/scenarios.rs Cargo.toml
+
+/root/repo/target/release/deps/libscenarios-a71b9576ade42557.rmeta: crates/bench/src/bin/scenarios.rs Cargo.toml
+
+crates/bench/src/bin/scenarios.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scenarios-f82eb61437f4f555.d: crates/bench/src/bin/scenarios.rs
+
+/root/repo/target/release/deps/scenarios-f82eb61437f4f555: crates/bench/src/bin/scenarios.rs
+
+crates/bench/src/bin/scenarios.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/sim_engine-65be6777ffbbbaf6.d: crates/bench/benches/sim_engine.rs Cargo.toml
+
+/root/repo/target/release/deps/libsim_engine-65be6777ffbbbaf6.rmeta: crates/bench/benches/sim_engine.rs Cargo.toml
+
+crates/bench/benches/sim_engine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sim_engine-e40279ab09a52c9f.d: crates/bench/benches/sim_engine.rs
+
+/root/repo/target/release/deps/sim_engine-e40279ab09a52c9f: crates/bench/benches/sim_engine.rs
+
+crates/bench/benches/sim_engine.rs:

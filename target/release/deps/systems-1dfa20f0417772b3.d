@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/systems-1dfa20f0417772b3.d: crates/systems/tests/systems.rs
+
+/root/repo/target/release/deps/systems-1dfa20f0417772b3: crates/systems/tests/systems.rs
+
+crates/systems/tests/systems.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/systems-fe69bd3fe553dea0.d: crates/systems/tests/systems.rs Cargo.toml
+
+/root/repo/target/release/deps/libsystems-fe69bd3fe553dea0.rmeta: crates/systems/tests/systems.rs Cargo.toml
+
+crates/systems/tests/systems.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab02-085e5f41de08538b.d: crates/bench/src/bin/tab02.rs
+
+/root/repo/target/release/deps/tab02-085e5f41de08538b: crates/bench/src/bin/tab02.rs
+
+crates/bench/src/bin/tab02.rs:

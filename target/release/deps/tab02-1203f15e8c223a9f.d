@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab02-1203f15e8c223a9f.d: crates/bench/src/bin/tab02.rs
+
+/root/repo/target/release/deps/tab02-1203f15e8c223a9f: crates/bench/src/bin/tab02.rs
+
+crates/bench/src/bin/tab02.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/tab02-d275834ee5c43bd1.d: crates/bench/src/bin/tab02.rs Cargo.toml
+
+/root/repo/target/release/deps/libtab02-d275834ee5c43bd1.rmeta: crates/bench/src/bin/tab02.rs Cargo.toml
+
+crates/bench/src/bin/tab02.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

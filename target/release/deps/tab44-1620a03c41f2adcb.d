@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab44-1620a03c41f2adcb.d: crates/bench/src/bin/tab44.rs
+
+/root/repo/target/release/deps/tab44-1620a03c41f2adcb: crates/bench/src/bin/tab44.rs
+
+crates/bench/src/bin/tab44.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/tab44-9cc0c59fe0f873d1.d: crates/bench/src/bin/tab44.rs Cargo.toml
+
+/root/repo/target/release/deps/libtab44-9cc0c59fe0f873d1.rmeta: crates/bench/src/bin/tab44.rs Cargo.toml
+
+crates/bench/src/bin/tab44.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab44-dc919a29809cd62b.d: crates/bench/src/bin/tab44.rs
+
+/root/repo/target/release/deps/tab44-dc919a29809cd62b: crates/bench/src/bin/tab44.rs
+
+crates/bench/src/bin/tab44.rs:

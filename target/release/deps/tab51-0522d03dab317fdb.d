@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/tab51-0522d03dab317fdb.d: crates/bench/src/bin/tab51.rs Cargo.toml
+
+/root/repo/target/release/deps/libtab51-0522d03dab317fdb.rmeta: crates/bench/src/bin/tab51.rs Cargo.toml
+
+crates/bench/src/bin/tab51.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

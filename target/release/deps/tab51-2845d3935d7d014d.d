@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab51-2845d3935d7d014d.d: crates/bench/src/bin/tab51.rs
+
+/root/repo/target/release/deps/tab51-2845d3935d7d014d: crates/bench/src/bin/tab51.rs
+
+crates/bench/src/bin/tab51.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab51-301c035934d7f7d6.d: crates/bench/src/bin/tab51.rs
+
+/root/repo/target/release/deps/tab51-301c035934d7f7d6: crates/bench/src/bin/tab51.rs
+
+crates/bench/src/bin/tab51.rs:

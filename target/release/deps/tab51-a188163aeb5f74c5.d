@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/tab51-a188163aeb5f74c5.d: crates/bench/src/bin/tab51.rs Cargo.toml
+
+/root/repo/target/release/deps/libtab51-a188163aeb5f74c5.rmeta: crates/bench/src/bin/tab51.rs Cargo.toml
+
+crates/bench/src/bin/tab51.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

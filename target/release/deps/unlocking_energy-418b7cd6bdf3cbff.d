@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/unlocking_energy-418b7cd6bdf3cbff.d: src/lib.rs
+
+/root/repo/target/release/deps/libunlocking_energy-418b7cd6bdf3cbff.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libunlocking_energy-418b7cd6bdf3cbff.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/unlocking_energy-46cf1640425a16b5.d: src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libunlocking_energy-46cf1640425a16b5.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

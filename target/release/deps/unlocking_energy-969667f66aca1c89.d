@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/unlocking_energy-969667f66aca1c89.d: src/lib.rs
+
+/root/repo/target/release/deps/unlocking_energy-969667f66aca1c89: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/unlocking_energy-cddb14d2a4db6900.d: src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libunlocking_energy-cddb14d2a4db6900.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/energy_report-0a77cb29fb98dfbf.d: examples/energy_report.rs Cargo.toml
+
+/root/repo/target/release/examples/libenergy_report-0a77cb29fb98dfbf.rmeta: examples/energy_report.rs Cargo.toml
+
+examples/energy_report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/energy_report-59b98c265cbee0e9.d: examples/energy_report.rs
+
+/root/repo/target/release/examples/energy_report-59b98c265cbee0e9: examples/energy_report.rs
+
+examples/energy_report.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/kv_store-765ea225fbd460c6.d: examples/kv_store.rs Cargo.toml
+
+/root/repo/target/release/examples/libkv_store-765ea225fbd460c6.rmeta: examples/kv_store.rs Cargo.toml
+
+examples/kv_store.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/kv_store-81d74c505150d008.d: examples/kv_store.rs
+
+/root/repo/target/release/examples/kv_store-81d74c505150d008: examples/kv_store.rs
+
+examples/kv_store.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/quickstart-884945a587e752c5.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/release/examples/libquickstart-884945a587e752c5.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-f90de3be5a3c8f26.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-f90de3be5a3c8f26: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/sim_poly-26d650422dd2d35f.d: examples/sim_poly.rs Cargo.toml
+
+/root/repo/target/release/examples/libsim_poly-26d650422dd2d35f.rmeta: examples/sim_poly.rs Cargo.toml
+
+examples/sim_poly.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

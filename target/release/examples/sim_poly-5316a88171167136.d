@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/sim_poly-5316a88171167136.d: examples/sim_poly.rs
+
+/root/repo/target/release/examples/sim_poly-5316a88171167136: examples/sim_poly.rs
+
+examples/sim_poly.rs:

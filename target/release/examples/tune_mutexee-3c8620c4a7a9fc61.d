@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/tune_mutexee-3c8620c4a7a9fc61.d: examples/tune_mutexee.rs
+
+/root/repo/target/release/examples/tune_mutexee-3c8620c4a7a9fc61: examples/tune_mutexee.rs
+
+examples/tune_mutexee.rs:

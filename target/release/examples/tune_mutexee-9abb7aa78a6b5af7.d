@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/tune_mutexee-9abb7aa78a6b5af7.d: examples/tune_mutexee.rs Cargo.toml
+
+/root/repo/target/release/examples/libtune_mutexee-9abb7aa78a6b5af7.rmeta: examples/tune_mutexee.rs Cargo.toml
+
+examples/tune_mutexee.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

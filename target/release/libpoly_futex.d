@@ -1,0 +1,1 @@
+/root/repo/target/release/libpoly_futex.rlib: /root/repo/crates/futex/src/config.rs /root/repo/crates/futex/src/lib.rs /root/repo/crates/futex/src/stats.rs /root/repo/crates/futex/src/table.rs

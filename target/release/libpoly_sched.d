@@ -1,0 +1,1 @@
+/root/repo/target/release/libpoly_sched.rlib: /root/repo/crates/sched/src/lib.rs

@@ -1,0 +1,1 @@
+/root/repo/target/release/libproptest.rlib: /root/repo/crates/proptest-shim/src/lib.rs /root/repo/crates/rand-shim/src/lib.rs /root/repo/crates/rand-shim/src/rngs.rs
