@@ -16,7 +16,8 @@ use std::process::exit;
 use poly_bench::horizon;
 use poly_locks_sim::LockKind;
 use poly_scenarios::{
-    cross, parse_lock, write_reports, MachineKind, Registry, ScenarioSpec, SinkFormat, SweepRunner,
+    cross_shards, parse_lock, write_reports, MachineKind, Registry, ScenarioSpec, SinkFormat,
+    SweepRunner,
 };
 
 fn usage() -> ! {
@@ -32,6 +33,7 @@ fn usage() -> ! {
          \x20 --locks L1,L2 | --lock L     lock algorithms (default: scenario default)\n\
          \x20 --machine xeon|core-i7|tiny  simulated machine (default: scenario default)\n\
          \x20 --threads N1,N2              thread counts (default: scenario default)\n\
+         \x20 --shards S1,S2               shard counts (kv workloads only)\n\
          \x20 --duration CYCLES            simulated cycles (default: figure horizon)\n\
          \x20 --warmup CYCLES              warmup prefix (default: duration/10)\n\
          \x20 --seed S                     sweep seed (default: 42)\n\
@@ -49,6 +51,7 @@ struct Options {
     machine: Option<MachineKind>,
     locks: Vec<LockKind>,
     threads: Vec<usize>,
+    shards: Vec<usize>,
     duration: Option<u64>,
     warmup: Option<u64>,
     seed: u64,
@@ -68,6 +71,7 @@ fn parse_options(args: &[String]) -> Options {
         machine: None,
         locks: Vec::new(),
         threads: Vec::new(),
+        shards: Vec::new(),
         duration: None,
         warmup: None,
         seed: 42,
@@ -97,6 +101,12 @@ fn parse_options(args: &[String]) -> Options {
                 opts.threads = value()
                     .split(',')
                     .map(|s| s.parse().unwrap_or_else(|_| fail(format!("bad thread count: {s}"))))
+                    .collect();
+            }
+            "--shards" => {
+                opts.shards = value()
+                    .split(',')
+                    .map(|s| s.parse().unwrap_or_else(|_| fail(format!("bad shard count: {s}"))))
                     .collect();
             }
             "--duration" => {
@@ -181,7 +191,7 @@ fn cmd_run(reg: &Registry, name: &str, opts: &Options) {
     let entry =
         reg.get(name).unwrap_or_else(|| fail(format!("unknown scenario: {name} (try `list`)")));
     let base = with_horizon(entry.spec.clone(), opts);
-    let cells = cross(&[base], &opts.locks, &opts.threads, opts.seed);
+    let cells = cross_shards(&[base], &opts.locks, &opts.threads, &opts.shards, opts.seed);
     let runner = opts.workers.map(SweepRunner::with_workers).unwrap_or_default();
     emit(&runner.run(&cells), opts);
 }
@@ -199,8 +209,12 @@ fn cmd_sweep(reg: &Registry, opts: &Options) {
             with_horizon(entry.spec.clone(), opts)
         })
         .collect();
-    let cells = cross(&bases, &opts.locks, &opts.threads, opts.seed);
-    eprintln!("sweeping {} cells ({} scenarios x locks x threads)...", cells.len(), bases.len());
+    let cells = cross_shards(&bases, &opts.locks, &opts.threads, &opts.shards, opts.seed);
+    eprintln!(
+        "sweeping {} cells ({} scenarios x locks x shards x threads)...",
+        cells.len(),
+        bases.len()
+    );
     let runner = opts.workers.map(SweepRunner::with_workers).unwrap_or_default();
     emit(&runner.run(&cells), opts);
 }

@@ -1,0 +1,362 @@
+//! The native `poly-store` serving CLI: run and sweep KV loads against the
+//! real sharded store on this host, with modeled Xeon energy attached.
+//!
+//! ```text
+//! cargo run --release -p poly-bench --bin store -- list
+//! cargo run --release -p poly-bench --bin store -- run kv-zipf --lock MUTEXEE --threads 4
+//! cargo run --release -p poly-bench --bin store -- sweep \
+//!     --scenarios kv-zipf --locks MUTEX,MUTEXEE --shards 8,32 \
+//!     --threads 2,4 --ops 20000 --format jsonl --out store-sweep.jsonl
+//! ```
+//!
+//! Unlike the `scenarios` bin (which runs the *simulated* Xeon), every
+//! cell here executes real lock acquisitions on the host; `POLY_QUICK=1`
+//! shrinks the default per-thread op count for CI.
+
+use std::io::Write;
+use std::process::exit;
+
+use poly_locks_sim::LockKind;
+use poly_scenarios::{parse_lock, Registry, SinkFormat, WorkloadSpec};
+use poly_store::{run_load, KvMix, LoadReport, LoadSpec, PolyStore, StoreConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: store <command>\n\
+         \n\
+         commands:\n\
+         \x20 list                         list the kv scenarios (native-runnable)\n\
+         \x20 run <name> [options]         run one load, print its report\n\
+         \x20 sweep [options]              run a cross product of cells\n\
+         \n\
+         options (run and sweep):\n\
+         \x20 --locks L1,L2 | --lock L     lock backends (default: MUTEXEE)\n\
+         \x20 --threads N1,N2              client thread counts (default: host parallelism)\n\
+         \x20 --shards S1,S2               store shard counts (default: mix default)\n\
+         \x20 --ops N                      ops per thread (default: 50000; 5000 under POLY_QUICK)\n\
+         \x20 --rate OPS_PER_S             open-loop arrival rate per thread (default: saturation)\n\
+         \x20 --seed S                     workload seed (default: 42)\n\
+         \x20 --format jsonl|csv           output format (default: jsonl)\n\
+         \x20 --out FILE                   write reports to FILE instead of stdout\n\
+         \n\
+         options (sweep only):\n\
+         \x20 --scenarios n1,n2 | all      kv scenarios to sweep (default: all kv)"
+    );
+    exit(2);
+}
+
+fn fail(msg: String) -> ! {
+    eprintln!("store: {msg}");
+    exit(2);
+}
+
+struct Options {
+    locks: Vec<LockKind>,
+    threads: Vec<usize>,
+    shards: Vec<usize>,
+    ops: u64,
+    rate: Option<u64>,
+    seed: u64,
+    format: SinkFormat,
+    out: Option<String>,
+    scenarios: Option<Vec<String>>,
+}
+
+fn default_ops() -> u64 {
+    if std::env::var_os("POLY_QUICK").is_some() {
+        5_000
+    } else {
+        50_000
+    }
+}
+
+fn host_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+fn parse_options(args: &[String]) -> Options {
+    let mut opts = Options {
+        locks: Vec::new(),
+        threads: Vec::new(),
+        shards: Vec::new(),
+        ops: default_ops(),
+        rate: None,
+        seed: 42,
+        format: SinkFormat::JsonLines,
+        out: None,
+        scenarios: None,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value =
+            || it.next().unwrap_or_else(|| fail(format!("{flag} needs a value"))).as_str();
+        match flag.as_str() {
+            "--lock" | "--locks" => {
+                opts.locks = value()
+                    .split(',')
+                    .map(|s| parse_lock(s).unwrap_or_else(|| fail(format!("unknown lock: {s}"))))
+                    .collect();
+            }
+            "--threads" => {
+                opts.threads = value()
+                    .split(',')
+                    .map(|s| s.parse().unwrap_or_else(|_| fail(format!("bad thread count: {s}"))))
+                    .collect();
+            }
+            "--shards" => {
+                opts.shards = value()
+                    .split(',')
+                    .map(|s| s.parse().unwrap_or_else(|_| fail(format!("bad shard count: {s}"))))
+                    .collect();
+            }
+            "--ops" => opts.ops = value().parse().unwrap_or_else(|_| fail("bad --ops".into())),
+            "--rate" => {
+                let r: u64 = value().parse().unwrap_or_else(|_| fail("bad --rate".into()));
+                if r == 0 || r > 1_000_000_000 {
+                    fail("--rate must be in 1..=1000000000 ops/s".into());
+                }
+                opts.rate = Some(r);
+            }
+            "--seed" => opts.seed = value().parse().unwrap_or_else(|_| fail("bad --seed".into())),
+            "--format" => {
+                let v = value();
+                opts.format =
+                    SinkFormat::parse(v).unwrap_or_else(|| fail(format!("unknown format: {v}")));
+            }
+            "--out" => opts.out = Some(value().to_string()),
+            "--scenarios" => {
+                let v = value();
+                if v != "all" {
+                    opts.scenarios = Some(v.split(',').map(str::to_string).collect());
+                }
+            }
+            other => fail(format!("unknown option: {other}")),
+        }
+    }
+    if opts.ops == 0 {
+        fail("--ops must be positive".into());
+    }
+    opts
+}
+
+/// The kv scenarios of the registry: the ones this bin can run natively.
+fn kv_scenarios(reg: &Registry) -> Vec<(String, KvMix)> {
+    reg.iter()
+        .filter_map(|e| match e.spec.workload {
+            WorkloadSpec::Kv(mix) => Some((e.spec.name.clone(), mix)),
+            _ => None,
+        })
+        .collect()
+}
+
+fn lookup_mix(reg: &Registry, name: &str) -> KvMix {
+    match reg.get(name).map(|e| &e.spec.workload) {
+        Some(WorkloadSpec::Kv(mix)) => *mix,
+        Some(_) => fail(format!("scenario {name} is not a kv workload (try `list`)")),
+        None => fail(format!("unknown scenario: {name} (try `list`)")),
+    }
+}
+
+/// One sweep cell's output record.
+struct Cell {
+    scenario: String,
+    mix: KvMix,
+    lock: LockKind,
+    threads: usize,
+    report: LoadReport,
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".into()
+    }
+}
+
+impl Cell {
+    fn to_json(&self) -> String {
+        let r = &self.report;
+        format!(
+            "{{\"scenario\":{},\"workload\":{},\"lock\":\"{}\",\"shards\":{},\"threads\":{},\
+             \"ops\":{},\"wall_ms\":{},\"throughput\":{},\"p50_ns\":{},\"p99_ns\":{},\
+             \"max_ns\":{},\"lock_wait_ns\":{},\"lock_hold_ns\":{},\"avg_power_w\":{},\
+             \"energy_j\":{},\"epo_uj\":{},\"energy_model\":\"xeon\"}}",
+            json_escape(&self.scenario),
+            json_escape(&self.mix.label()),
+            self.lock.label(),
+            self.mix.shards,
+            self.threads,
+            r.ops,
+            fmt_f64(r.wall.as_secs_f64() * 1e3),
+            fmt_f64(r.throughput),
+            r.p50_ns,
+            r.p99_ns,
+            r.max_ns,
+            r.lock_wait_ns,
+            r.lock_hold_ns,
+            fmt_f64(r.energy.avg_power_w),
+            fmt_f64(r.energy.energy_j),
+            fmt_f64(r.energy.epo_uj),
+        )
+    }
+
+    const CSV_HEADER: &'static str = "scenario,workload,lock,shards,threads,ops,wall_ms,\
+        throughput,p50_ns,p99_ns,max_ns,lock_wait_ns,lock_hold_ns,avg_power_w,energy_j,epo_uj";
+
+    fn to_csv(&self) -> String {
+        let r = &self.report;
+        format!(
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            self.scenario,
+            self.mix.label(),
+            self.lock.label(),
+            self.mix.shards,
+            self.threads,
+            r.ops,
+            fmt_f64(r.wall.as_secs_f64() * 1e3),
+            fmt_f64(r.throughput),
+            r.p50_ns,
+            r.p99_ns,
+            r.max_ns,
+            r.lock_wait_ns,
+            r.lock_hold_ns,
+            fmt_f64(r.energy.avg_power_w),
+            fmt_f64(r.energy.energy_j),
+            fmt_f64(r.energy.epo_uj),
+        )
+    }
+}
+
+fn run_cell(scenario: &str, mix: KvMix, lock: LockKind, threads: usize, opts: &Options) -> Cell {
+    let store = PolyStore::new(StoreConfig { shards: mix.shards, lock });
+    let spec = LoadSpec {
+        rate_ops_s: opts.rate,
+        ..LoadSpec::saturating(mix, threads, opts.ops, opts.seed)
+    };
+    let report = run_load(&store, &spec);
+    Cell { scenario: scenario.to_string(), mix, lock, threads, report }
+}
+
+fn emit(cells: &[Cell], opts: &Options) {
+    let mut buf = String::new();
+    match opts.format {
+        SinkFormat::JsonLines => {
+            for c in cells {
+                buf.push_str(&c.to_json());
+                buf.push('\n');
+            }
+        }
+        SinkFormat::Csv => {
+            buf.push_str(Cell::CSV_HEADER);
+            buf.push('\n');
+            for c in cells {
+                buf.push_str(&c.to_csv());
+                buf.push('\n');
+            }
+        } // SinkFormat is non-exhaustive only if poly-scenarios grows one;
+          // both variants are covered above.
+    }
+    match &opts.out {
+        Some(path) => {
+            let mut f = std::fs::File::create(path)
+                .unwrap_or_else(|e| fail(format!("cannot create {path}: {e}")));
+            f.write_all(buf.as_bytes())
+                .and_then(|()| f.flush())
+                .unwrap_or_else(|e| fail(format!("writing reports: {e}")));
+            eprintln!("wrote {} cells to {path}", cells.len());
+        }
+        None => print!("{buf}"),
+    }
+}
+
+fn cmd_list(reg: &Registry) {
+    let kv = kv_scenarios(reg);
+    println!("{} native kv scenarios:\n", kv.len());
+    for (name, mix) in &kv {
+        let about = reg.get(name).map(|e| e.about).unwrap_or_default();
+        println!("  {:<16} {:<28} {}", name, mix.label(), about);
+    }
+    println!("\nrun one with:  store run <name> --lock MUTEXEE --threads {}", host_threads());
+}
+
+fn cmd_run(reg: &Registry, name: &str, opts: &Options) {
+    let mix = lookup_mix(reg, name);
+    let lock = *opts.locks.first().unwrap_or(&LockKind::Mutexee);
+    let threads = *opts.threads.first().unwrap_or(&host_threads());
+    let mix = if let Some(&s) = opts.shards.first() { mix.with_shards(s) } else { mix };
+    let cell = run_cell(name, mix, lock, threads, opts);
+    emit(std::slice::from_ref(&cell), opts);
+}
+
+fn cmd_sweep(reg: &Registry, opts: &Options) {
+    let bases: Vec<(String, KvMix)> = match &opts.scenarios {
+        Some(names) => names.iter().map(|n| (n.clone(), lookup_mix(reg, n))).collect(),
+        None => kv_scenarios(reg),
+    };
+    if bases.is_empty() {
+        fail("no kv scenarios to sweep".into());
+    }
+    let locks = if opts.locks.is_empty() { vec![LockKind::Mutexee] } else { opts.locks.clone() };
+    let threads = if opts.threads.is_empty() { vec![host_threads()] } else { opts.threads.clone() };
+    let shard_list_of = |mix: &KvMix| {
+        if opts.shards.is_empty() {
+            vec![mix.shards]
+        } else {
+            opts.shards.clone()
+        }
+    };
+    let planned: usize =
+        bases.iter().map(|(_, mix)| shard_list_of(mix).len() * locks.len() * threads.len()).sum();
+    let mut cells = Vec::new();
+    for (name, mix) in &bases {
+        let shard_list = shard_list_of(mix);
+        for &s in &shard_list {
+            let mix = mix.with_shards(s);
+            for &lock in &locks {
+                for &t in &threads {
+                    eprintln!(
+                        "cell {}/{}: {} lock={} shards={} threads={}",
+                        cells.len() + 1,
+                        planned,
+                        name,
+                        lock.label(),
+                        s,
+                        t
+                    );
+                    cells.push(run_cell(name, mix, lock, t, opts));
+                }
+            }
+        }
+    }
+    emit(&cells, opts);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let reg = Registry::builtin();
+    match args.first().map(String::as_str) {
+        Some("list") => cmd_list(&reg),
+        Some("run") => {
+            let Some(name) = args.get(1) else { fail("run needs a scenario name".into()) };
+            cmd_run(&reg, name, &parse_options(&args[2..]));
+        }
+        Some("sweep") => cmd_sweep(&reg, &parse_options(&args[1..])),
+        _ => usage(),
+    }
+}

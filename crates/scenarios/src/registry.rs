@@ -1,6 +1,7 @@
 //! The named scenario registry.
 
 use poly_locks_sim::{Dist, LockKind};
+use poly_store::KvMix;
 use poly_systems::{KyotoVariant, MySqlVariant, PaperSystem};
 
 use crate::spec::{ScenarioSpec, WorkloadSpec};
@@ -88,6 +89,30 @@ impl Registry {
             )
             .with_threads(16),
         );
+        // -- The `kv` scenario family (shared with the native poly-store) --
+        add(
+            &mut reg,
+            "poly-store kv family: read-mostly uniform traffic, the cache-like baseline",
+            ScenarioSpec::new("kv-uniform", WorkloadSpec::Kv(KvMix::uniform())).with_threads(16),
+        );
+        add(
+            &mut reg,
+            "poly-store kv family: hot Zipf keys (skew 1.2), the contention regime",
+            ScenarioSpec::new("kv-zipf", WorkloadSpec::Kv(KvMix::zipf_hot())).with_threads(16),
+        );
+        add(
+            &mut reg,
+            "poly-store kv family: 30% full scans over a small keyspace",
+            ScenarioSpec::new("kv-scan-heavy", WorkloadSpec::Kv(KvMix::scan_heavy()))
+                .with_threads(16),
+        );
+        add(
+            &mut reg,
+            "poly-store kv family: write burst with 32-op batching (group-commit shape)",
+            ScenarioSpec::new("kv-write-burst", WorkloadSpec::Kv(KvMix::write_burst()))
+                .with_threads(16),
+        );
+
         add(
             &mut reg,
             "Producer-consumer pipeline: mutex-guarded queue plus condvar wake-ups",

@@ -2,6 +2,7 @@
 
 use poly_locks_sim::{Dist, LockKind};
 use poly_sim::{Cycles, MachineConfig, RunSpec, SimBuilder, SimReport};
+use poly_store::KvMix;
 use poly_systems::PaperSystem;
 
 use crate::synth;
@@ -82,6 +83,11 @@ pub enum WorkloadSpec {
         /// Percentage of operations that write.
         write_pct: u32,
     },
+    /// The `kv` scenario family: a [`poly_store::KvMix`] op mix (point
+    /// gets/puts/removes, full scans, optional write batching) over
+    /// `mix.shards` shard locks. The same mix drives the native
+    /// `poly-store` service, so simulated and native sweeps line up.
+    Kv(KvMix),
     /// A producer-consumer pipeline over a mutex-guarded queue with a
     /// condition variable; the first half of the threads produce (and
     /// never block on the condvar, guaranteeing liveness), the rest
@@ -133,10 +139,33 @@ impl WorkloadSpec {
             WorkloadSpec::ZipfKv { buckets, skew_milli, .. } => {
                 format!("zipf-kv/{buckets}b/s{skew_milli}")
             }
+            WorkloadSpec::Kv(mix) => mix.label(),
             WorkloadSpec::Pipeline => "pipeline".into(),
             WorkloadSpec::ReadersWriters { write_pct, .. } => format!("rw-skew/{write_pct}w"),
             WorkloadSpec::OversubStorm { sections } => format!("oversub-storm/{sections}"),
             WorkloadSpec::CondvarPingPong => "condvar-pingpong".into(),
+        }
+    }
+
+    /// The workload's shard/bucket count, for workloads that have one
+    /// (the KV families) — the third sweep axis.
+    pub fn shard_count(&self) -> Option<usize> {
+        match self {
+            WorkloadSpec::Kv(mix) => Some(mix.shards),
+            WorkloadSpec::ZipfKv { buckets, .. } => Some(*buckets),
+            _ => None,
+        }
+    }
+
+    /// Returns the workload with `shards` shards, or `None` for workloads
+    /// without a shard axis.
+    pub fn with_shards(&self, shards: usize) -> Option<WorkloadSpec> {
+        match *self {
+            WorkloadSpec::Kv(mix) => Some(WorkloadSpec::Kv(mix.with_shards(shards))),
+            WorkloadSpec::ZipfKv { skew_milli, write_pct, .. } => {
+                Some(WorkloadSpec::ZipfKv { buckets: shards.max(1), skew_milli, write_pct })
+            }
+            _ => None,
         }
     }
 }
@@ -218,6 +247,13 @@ impl ScenarioSpec {
         self
     }
 
+    /// Returns the spec with a different shard count, or `None` if the
+    /// workload has no shard axis (see [`WorkloadSpec::with_shards`]).
+    pub fn with_shards(mut self, shards: usize) -> Option<Self> {
+        self.workload = self.workload.with_shards(shards)?;
+        Some(self)
+    }
+
     /// The thread count the run will actually use (and that reports
     /// carry): the requested count, floored by the workload's minimum.
     pub fn effective_threads(&self) -> usize {
@@ -240,6 +276,7 @@ impl ScenarioSpec {
             WorkloadSpec::ZipfKv { buckets, skew_milli, write_pct } => {
                 synth::build_zipf_kv(b, self.lock, threads, buckets, skew_milli, write_pct)
             }
+            WorkloadSpec::Kv(mix) => synth::build_kv(b, self.lock, threads, mix),
             WorkloadSpec::Pipeline => synth::build_pipeline(b, self.lock, threads),
             WorkloadSpec::ReadersWriters { write_pct, read_cs, write_cs } => {
                 synth::build_readers_writers(b, self.lock, threads, write_pct, read_cs, write_cs)

@@ -21,6 +21,50 @@ pub fn cross(
     thread_counts: &[usize],
     base_seed: u64,
 ) -> Vec<ScenarioSpec> {
+    cross_shards(bases, locks, thread_counts, &[], base_seed)
+}
+
+/// [`cross`] with a fourth axis: shard counts, applied to workloads that
+/// have a shard knob (the KV families; see
+/// [`WorkloadSpec::with_shards`](crate::WorkloadSpec::with_shards)).
+/// Workloads without one contribute a single sub-spec, unexpanded.
+///
+/// Cells that differ only in shard count (or lock) share a seed — common
+/// random numbers, so shard-count comparisons divide measurements of the
+/// same arrival stream.
+pub fn cross_shards(
+    bases: &[ScenarioSpec],
+    locks: &[LockKind],
+    thread_counts: &[usize],
+    shard_counts: &[usize],
+    base_seed: u64,
+) -> Vec<ScenarioSpec> {
+    let expanded: Vec<ScenarioSpec> = bases
+        .iter()
+        .flat_map(|base| {
+            let sharded: Vec<ScenarioSpec> = if shard_counts.is_empty() {
+                vec![base.clone()]
+            } else {
+                let subs: Vec<ScenarioSpec> =
+                    shard_counts.iter().filter_map(|&s| base.clone().with_shards(s)).collect();
+                if subs.is_empty() {
+                    vec![base.clone()] // no shard axis on this workload
+                } else {
+                    subs
+                }
+            };
+            sharded
+        })
+        .collect();
+    cross_inner(&expanded, locks, thread_counts, base_seed)
+}
+
+fn cross_inner(
+    bases: &[ScenarioSpec],
+    locks: &[LockKind],
+    thread_counts: &[usize],
+    base_seed: u64,
+) -> Vec<ScenarioSpec> {
     let mut cells = Vec::new();
     for base in bases {
         let lock_list: Vec<LockKind> =
@@ -79,6 +123,9 @@ fn cell_seed(base_seed: u64, name: &str, threads: usize) -> u64 {
 pub struct CellReport {
     /// Scenario name.
     pub scenario: String,
+    /// Workload label (carries the shard count for KV workloads, so
+    /// shard-sweep cells stay distinguishable).
+    pub workload: String,
     /// Machine label.
     pub machine: &'static str,
     /// Lock algorithm.
@@ -114,6 +161,7 @@ impl CellReport {
     pub fn from_sim(spec: &ScenarioSpec, r: &SimReport) -> Self {
         Self {
             scenario: spec.name.clone(),
+            workload: spec.workload.label(),
             machine: spec.machine.label(),
             lock: spec.lock,
             threads: spec.effective_threads(),
@@ -134,11 +182,12 @@ impl CellReport {
     /// Serializes the report as one JSON object (one JSON-lines record).
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"scenario\":{},\"machine\":\"{}\",\"lock\":\"{}\",\"threads\":{},\
+            "{{\"scenario\":{},\"workload\":{},\"machine\":\"{}\",\"lock\":\"{}\",\"threads\":{},\
              \"seed\":{},\"measured_cycles\":{},\"total_ops\":{},\"throughput\":{},\
              \"avg_power_w\":{},\"energy_j\":{},\"tpp\":{},\"epo_uj\":{},\
              \"p50_acq_cycles\":{},\"p99_acq_cycles\":{},\"max_acq_cycles\":{}}}",
             json_str(&self.scenario),
+            json_str(&self.workload),
             self.machine,
             self.lock.label(),
             self.threads,
@@ -157,15 +206,16 @@ impl CellReport {
     }
 
     /// The CSV column header matching [`CellReport::to_csv`].
-    pub const CSV_HEADER: &'static str = "scenario,machine,lock,threads,seed,measured_cycles,\
-        total_ops,throughput,avg_power_w,energy_j,tpp,epo_uj,p50_acq_cycles,p99_acq_cycles,\
-        max_acq_cycles";
+    pub const CSV_HEADER: &'static str = "scenario,workload,machine,lock,threads,seed,\
+        measured_cycles,total_ops,throughput,avg_power_w,energy_j,tpp,epo_uj,p50_acq_cycles,\
+        p99_acq_cycles,max_acq_cycles";
 
     /// Serializes the report as one CSV row.
     pub fn to_csv(&self) -> String {
         format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             csv_str(&self.scenario),
+            csv_str(&self.workload),
             self.machine,
             self.lock.label(),
             self.threads,
@@ -350,6 +400,40 @@ mod tests {
         // Different sweep seed reshuffles.
         let other = cross(&[tiny_stress("a")], &[LockKind::Mutex], &[4], 100);
         assert_ne!(other[0].seed, solo[0].seed);
+    }
+
+    #[test]
+    fn shard_axis_expands_kv_workloads_only() {
+        use crate::spec::WorkloadSpec;
+        use poly_store::KvMix;
+        let kv = ScenarioSpec::new("kv", WorkloadSpec::Kv(KvMix::uniform()))
+            .with_machine(MachineKind::Tiny)
+            .with_duration(1_000_000, 100_000);
+        let plain = tiny_stress("plain");
+        let cells = cross_shards(
+            &[kv.clone(), plain],
+            &[LockKind::Mutex, LockKind::Mutexee],
+            &[2, 4],
+            &[8, 32],
+            5,
+        );
+        // kv: 2 shards x 2 locks x 2 threads = 8; plain: 2 locks x 2 threads.
+        assert_eq!(cells.len(), 12);
+        let kv_shards: Vec<usize> = cells
+            .iter()
+            .filter(|c| c.name == "kv")
+            .filter_map(|c| c.workload.shard_count())
+            .collect();
+        assert_eq!(kv_shards.iter().filter(|&&s| s == 8).count(), 4);
+        assert_eq!(kv_shards.iter().filter(|&&s| s == 32).count(), 4);
+        // Common random numbers across the shard axis too.
+        let seeds: Vec<u64> =
+            cells.iter().filter(|c| c.name == "kv" && c.threads == 2).map(|c| c.seed).collect();
+        assert!(seeds.windows(2).all(|w| w[0] == w[1]), "shard cells drew new seeds: {seeds:?}");
+        // Empty shard axis behaves exactly like cross().
+        let a = cross_shards(std::slice::from_ref(&kv), &[LockKind::Mutex], &[2], &[], 5);
+        let b = cross(&[kv], &[LockKind::Mutex], &[2], 5);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -9,6 +9,7 @@ use poly_locks_sim::{
     SimRwLock,
 };
 use poly_sim::{Cycles, PinPolicy, SimBuilder};
+use poly_store::{KeyDist, KvMix};
 use poly_systems::{pct, Action, SysShared, SysThread, Zipf};
 use rand::Rng;
 
@@ -58,6 +59,71 @@ pub(crate) fn build_zipf_kv(
                 Action::Lock(bucket),
                 Action::Work(cs),
                 Action::Unlock(bucket),
+                Action::Work(Dist::Exp(900)), // respond
+            ]
+        });
+        b.spawn(Box::new(SysThread::new(shared, gen)), PinPolicy::PaperOrder);
+    }
+}
+
+/// The `kv` scenario family on the simulated machine: `mix.shards` shard
+/// locks driven by the same op mix that `poly-store`'s native driver
+/// runs.
+///
+/// Approximations relative to the native store: key-level popularity is
+/// collapsed to shard-level popularity (a Zipf draw over shards with the
+/// mix's skew — hashing concentrates the hot keys' mass onto their
+/// shards), batched writes buffer without locking and flush one shard
+/// with a batch-proportional critical section, and scans visit every
+/// shard lock in order with a per-shard section sized to the resident
+/// keys.
+pub(crate) fn build_kv(b: &mut SimBuilder, lock: LockKind, threads: usize, mix: KvMix) {
+    let shards = mix.shards.max(1);
+    let locks: Vec<SimLock> =
+        (0..shards).map(|_| SimLock::alloc(b, lock, threads, LockParams::default())).collect();
+    let skew = match mix.dist {
+        KeyDist::Uniform => 0.0,
+        KeyDist::Zipf { skew_milli } => f64::from(skew_milli) / 1000.0,
+    };
+    let zipf = Zipf::new(shards, skew);
+    // Per-entry scan cost: hash-map iteration touches each entry once.
+    let scan_cs_per_shard: Cycles = 50 * (mix.keys / shards as u64).max(1);
+    for _ in 0..threads {
+        let shared = SysShared { locks: locks.clone(), ..Default::default() };
+        let zipf = zipf.clone();
+        let gen = Box::new(move |rng: &mut rand::rngs::SmallRng| {
+            let roll = rng.random_range(0..100u32);
+            if roll >= 100 - mix.scan_pct {
+                // Full scan: every shard lock in order.
+                let mut script = vec![Action::Work(Dist::Exp(1_000))];
+                for s in 0..shards {
+                    script.extend([
+                        Action::Lock(s),
+                        Action::Work(Dist::Exp(scan_cs_per_shard)),
+                        Action::Unlock(s),
+                    ]);
+                }
+                return script;
+            }
+            let shard = zipf.sample(rng);
+            let write = roll >= mix.get_pct;
+            if write && mix.batch > 1 && rng.random_range(0..mix.batch) != 0 {
+                // Buffered batch write (probability (batch-1)/batch,
+                // exactly — a percentage would round to 0 for batch > 100
+                // and never flush): no lock this round.
+                return vec![Action::Work(Dist::Exp(1_000))];
+            }
+            let cs = if write {
+                let flush_scale = if mix.batch > 1 { mix.batch as u64 } else { 1 };
+                Dist::Exp(1_500 * flush_scale)
+            } else {
+                Dist::Exp(700)
+            };
+            vec![
+                Action::Work(Dist::Exp(1_200)), // parse + hash
+                Action::Lock(shard),
+                Action::Work(cs),
+                Action::Unlock(shard),
                 Action::Work(Dist::Exp(900)), // respond
             ]
         });

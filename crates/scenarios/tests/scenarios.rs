@@ -2,7 +2,9 @@
 //! determinism.
 
 use poly_locks_sim::LockKind;
-use poly_scenarios::{cross, MachineKind, Registry, SweepRunner};
+use poly_scenarios::{
+    cross, cross_shards, write_reports, MachineKind, Registry, SinkFormat, SweepRunner,
+};
 
 /// Every built-in scenario must build and complete a short smoke run with
 /// real forward progress — a registry entry that stalls or panics is dead
@@ -47,6 +49,65 @@ fn same_spec_and_seed_is_byte_identical() {
     for (a, b) in first.iter().zip(&second) {
         assert_eq!(a.to_json(), b.to_json(), "non-deterministic cell: {}", a.scenario);
         assert_eq!(a.to_csv(), b.to_csv());
+    }
+}
+
+/// The CI gate for the `kv` family: the same seed must yield
+/// byte-identical sweep JSONL across runs and worker counts, over the
+/// full lock x shard x thread cross product.
+#[test]
+fn kv_sweep_jsonl_is_deterministic() {
+    let reg = Registry::builtin();
+    let base = reg.get("kv-zipf").unwrap().spec.clone().with_duration(2_000_000, 200_000);
+    let jsonl = |workers: usize| {
+        let cells = cross_shards(
+            std::slice::from_ref(&base),
+            &[LockKind::Mutex, LockKind::Mutexee],
+            &[4, 8],
+            &[8, 32],
+            2026,
+        );
+        assert_eq!(cells.len(), 8);
+        let reports = SweepRunner::with_workers(workers).run(&cells);
+        let mut out = Vec::new();
+        write_reports(&mut out, SinkFormat::JsonLines, &reports).unwrap();
+        String::from_utf8(out).unwrap()
+    };
+    let first = jsonl(1);
+    let second = jsonl(4);
+    assert_eq!(first, second, "same seed produced different sweep JSONL");
+    assert_eq!(first.lines().count(), 8);
+    for line in first.lines() {
+        assert!(line.contains("\"workload\":\"kv/"), "workload label missing: {line}");
+        assert!(line.contains("\"throughput\":"), "throughput missing: {line}");
+        assert!(line.contains("\"p99_acq_cycles\":"), "p99 missing: {line}");
+        assert!(line.contains("\"epo_uj\":"), "energy-per-op missing: {line}");
+    }
+    // And a different seed must not reproduce it.
+    let cells = cross_shards(&[base], &[LockKind::Mutex, LockKind::Mutexee], &[4, 8], &[8, 32], 7);
+    let reports = SweepRunner::with_workers(2).run(&cells);
+    let mut out = Vec::new();
+    write_reports(&mut out, SinkFormat::JsonLines, &reports).unwrap();
+    assert_ne!(first, String::from_utf8(out).unwrap());
+}
+
+/// Every mix of the kv family simulates and makes progress, including the
+/// batched write-burst shape and the scan-heavy shape.
+#[test]
+fn kv_family_covers_its_mixes() {
+    let reg = Registry::builtin();
+    for name in ["kv-uniform", "kv-zipf", "kv-scan-heavy", "kv-write-burst"] {
+        let spec = reg
+            .get(name)
+            .unwrap_or_else(|| panic!("{name} is built in"))
+            .spec
+            .clone()
+            .with_threads(8)
+            .with_duration(2_000_000, 200_000);
+        let shards = spec.workload.shard_count().expect("kv workloads have a shard axis");
+        assert!(shards > 1);
+        let r = spec.run();
+        assert!(r.total_ops > 0, "{name} stalled");
     }
 }
 

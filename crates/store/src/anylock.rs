@@ -1,0 +1,179 @@
+//! A lock backend selected at runtime by [`LockKind`].
+//!
+//! The store's shards must be generic over every `lockin` algorithm while
+//! the backend is a *runtime* choice (CLI flag, sweep axis). The five
+//! [`lockin::RawLock`] implementors go through [`lockin::Lock`]; MCS and
+//! CLH allocate a queue node per acquisition and therefore expose guard
+//! APIs, so their variants carry the data cell themselves.
+
+use std::cell::UnsafeCell;
+use std::ops::{Deref, DerefMut};
+
+use lockin::{
+    ClhGuard, ClhLock, FutexMutex, Lock, LockGuard, McsGuard, McsLock, Mutexee, TasLock,
+    TicketLock, TtasLock,
+};
+use poly_locks_sim::LockKind;
+
+/// Data protected by a lock algorithm chosen at runtime.
+pub enum AnyLock<T> {
+    /// glibc-style futex mutex (the paper's baseline).
+    Mutex(Lock<T, FutexMutex>),
+    /// The paper's optimized futex mutex.
+    Mutexee(Lock<T, Mutexee>),
+    /// Test-and-set spinlock.
+    Tas(Lock<T, TasLock>),
+    /// Test-and-test-and-set spinlock.
+    Ttas(Lock<T, TtasLock>),
+    /// Ticket spinlock.
+    Ticket(Lock<T, TicketLock>),
+    /// MCS queue lock plus its data cell.
+    Mcs(McsLock, UnsafeCell<T>),
+    /// CLH queue lock plus its data cell.
+    Clh(ClhLock, UnsafeCell<T>),
+}
+
+// SAFETY: every variant serializes access to its data through a real
+// mutual-exclusion primitive; `T: Send` suffices because at most one
+// thread reaches the data at a time (same argument as `lockin::Lock`).
+unsafe impl<T: Send> Send for AnyLock<T> {}
+// SAFETY: as above — `&AnyLock` only yields the data through a guard.
+unsafe impl<T: Send> Sync for AnyLock<T> {}
+
+impl<T> AnyLock<T> {
+    /// Wraps `value` behind a default-configured lock of the given kind.
+    pub fn new(kind: LockKind, value: T) -> Self {
+        match kind {
+            LockKind::Mutex => AnyLock::Mutex(Lock::new(value)),
+            LockKind::Mutexee => AnyLock::Mutexee(Lock::new(value)),
+            LockKind::Tas => AnyLock::Tas(Lock::new(value)),
+            LockKind::Ttas => AnyLock::Ttas(Lock::new(value)),
+            LockKind::Ticket => AnyLock::Ticket(Lock::new(value)),
+            LockKind::Mcs => AnyLock::Mcs(McsLock::new(), UnsafeCell::new(value)),
+            LockKind::Clh => AnyLock::Clh(ClhLock::new(), UnsafeCell::new(value)),
+        }
+    }
+
+    /// The backend this lock was built with.
+    pub fn kind(&self) -> LockKind {
+        match self {
+            AnyLock::Mutex(_) => LockKind::Mutex,
+            AnyLock::Mutexee(_) => LockKind::Mutexee,
+            AnyLock::Tas(_) => LockKind::Tas,
+            AnyLock::Ttas(_) => LockKind::Ttas,
+            AnyLock::Ticket(_) => LockKind::Ticket,
+            AnyLock::Mcs(..) => LockKind::Mcs,
+            AnyLock::Clh(..) => LockKind::Clh,
+        }
+    }
+
+    /// Acquires the lock, blocking until held.
+    pub fn lock(&self) -> AnyGuard<'_, T> {
+        match self {
+            AnyLock::Mutex(l) => AnyGuard::Mutex(l.lock()),
+            AnyLock::Mutexee(l) => AnyGuard::Mutexee(l.lock()),
+            AnyLock::Tas(l) => AnyGuard::Tas(l.lock()),
+            AnyLock::Ttas(l) => AnyGuard::Ttas(l.lock()),
+            AnyLock::Ticket(l) => AnyGuard::Ticket(l.lock()),
+            AnyLock::Mcs(l, cell) => AnyGuard::Mcs(l.lock(), cell),
+            AnyLock::Clh(l, cell) => AnyGuard::Clh(l.lock(), cell),
+        }
+    }
+
+    /// Mutable access without locking (exclusive by construction).
+    pub fn get_mut(&mut self) -> &mut T {
+        match self {
+            AnyLock::Mutex(l) => l.get_mut(),
+            AnyLock::Mutexee(l) => l.get_mut(),
+            AnyLock::Tas(l) => l.get_mut(),
+            AnyLock::Ttas(l) => l.get_mut(),
+            AnyLock::Ticket(l) => l.get_mut(),
+            AnyLock::Mcs(_, cell) | AnyLock::Clh(_, cell) => cell.get_mut(),
+        }
+    }
+}
+
+/// RAII guard over [`AnyLock`]-protected data.
+pub enum AnyGuard<'a, T> {
+    /// Guard of the MUTEX backend.
+    Mutex(LockGuard<'a, T, FutexMutex>),
+    /// Guard of the MUTEXEE backend.
+    Mutexee(LockGuard<'a, T, Mutexee>),
+    /// Guard of the TAS backend.
+    Tas(LockGuard<'a, T, TasLock>),
+    /// Guard of the TTAS backend.
+    Ttas(LockGuard<'a, T, TtasLock>),
+    /// Guard of the TICKET backend.
+    Ticket(LockGuard<'a, T, TicketLock>),
+    /// Guard of the MCS backend (queue guard plus the data cell it protects).
+    Mcs(McsGuard<'a>, &'a UnsafeCell<T>),
+    /// Guard of the CLH backend (queue guard plus the data cell it protects).
+    Clh(ClhGuard<'a>, &'a UnsafeCell<T>),
+}
+
+impl<T> Deref for AnyGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        match self {
+            AnyGuard::Mutex(g) => g,
+            AnyGuard::Mutexee(g) => g,
+            AnyGuard::Tas(g) => g,
+            AnyGuard::Ttas(g) => g,
+            AnyGuard::Ticket(g) => g,
+            // SAFETY: the queue guard proves the lock is held, so this
+            // thread has exclusive access to the cell until drop.
+            AnyGuard::Mcs(_, cell) | AnyGuard::Clh(_, cell) => unsafe { &*cell.get() },
+        }
+    }
+}
+
+impl<T> DerefMut for AnyGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        match self {
+            AnyGuard::Mutex(g) => g,
+            AnyGuard::Mutexee(g) => g,
+            AnyGuard::Tas(g) => g,
+            AnyGuard::Ttas(g) => g,
+            AnyGuard::Ticket(g) => g,
+            // SAFETY: as in `deref`; `&mut self` prevents aliasing the guard.
+            AnyGuard::Mcs(_, cell) | AnyGuard::Clh(_, cell) => unsafe { &mut *cell.get() },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_backend_round_trips() {
+        for kind in LockKind::ALL {
+            let l = AnyLock::new(kind, 0u64);
+            assert_eq!(l.kind(), kind);
+            *l.lock() += 41;
+            *l.lock() += 1;
+            assert_eq!(*l.lock(), 42, "{}", kind.label());
+        }
+    }
+
+    #[test]
+    fn every_backend_excludes_concurrent_increments() {
+        // Tiny counts: the host may have a single hardware thread, where
+        // spin handovers cost a scheduler quantum each.
+        let threads = 2;
+        let iters = 200;
+        for kind in LockKind::ALL {
+            let l = AnyLock::new(kind, 0u64);
+            std::thread::scope(|s| {
+                for _ in 0..threads {
+                    s.spawn(|| {
+                        for _ in 0..iters {
+                            *l.lock() += 1;
+                        }
+                    });
+                }
+            });
+            assert_eq!(*l.lock(), threads * iters, "{}", kind.label());
+        }
+    }
+}

@@ -1,0 +1,288 @@
+//! The multithreaded open-loop load driver.
+//!
+//! Each client thread issues operations sampled from a [`KvMix`] against a
+//! shared [`PolyStore`]. With a target rate, arrivals follow a fixed
+//! schedule and latency is measured **from the scheduled arrival time**,
+//! so queueing delay shows up in the tail (the open-loop property a
+//! closed-loop benchmark hides); without one, clients run back-to-back at
+//! saturation. Results fold the store's per-shard stats and the modeled
+//! Xeon energy into one [`LoadReport`].
+
+use std::time::{Duration, Instant};
+
+use crate::energy::{estimate, EnergyEstimate};
+use crate::stats::{HistogramSnapshot, LatencyHistogram, StatsSnapshot};
+use crate::store::PolyStore;
+use crate::workload::{KeySampler, KvMix, KvOp, Rng64};
+use crate::WriteBatch;
+
+/// Parameters of one load run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadSpec {
+    /// The op mix (shard count inside it is ignored here — the store is
+    /// already built).
+    pub mix: KvMix,
+    /// Client threads.
+    pub threads: usize,
+    /// Operations issued per thread.
+    pub ops_per_thread: u64,
+    /// Deterministic seed (per-thread streams are derived from it).
+    pub seed: u64,
+    /// Per-thread arrival rate in ops/s; `None` = saturation (closed
+    /// loop, zero think time).
+    pub rate_ops_s: Option<u64>,
+    /// Entries inserted before the measured interval (warms the store so
+    /// gets can hit). Keys `0..prefill` get value `key`.
+    pub prefill: u64,
+}
+
+impl LoadSpec {
+    /// A saturation load: `threads` clients, `ops` each, half the
+    /// keyspace prefilled.
+    pub fn saturating(mix: KvMix, threads: usize, ops: u64, seed: u64) -> Self {
+        Self {
+            mix,
+            threads: threads.max(1),
+            ops_per_thread: ops,
+            seed,
+            rate_ops_s: None,
+            prefill: mix.keys / 2,
+        }
+    }
+}
+
+/// The measured outcome of one load run.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Operations completed (scans count as one).
+    pub ops: u64,
+    /// Wall-clock time of the measured interval.
+    pub wall: Duration,
+    /// Operations per second.
+    pub throughput: f64,
+    /// Median request latency, nanoseconds (from the scheduled arrival
+    /// when paced, from issue otherwise).
+    pub p50_ns: u64,
+    /// 99th-percentile request latency, nanoseconds.
+    pub p99_ns: u64,
+    /// Maximum request latency, nanoseconds.
+    pub max_ns: u64,
+    /// Cumulative shard-lock wait over the run, nanoseconds.
+    pub lock_wait_ns: u64,
+    /// Cumulative shard-lock hold over the run, nanoseconds.
+    pub lock_hold_ns: u64,
+    /// Cumulative open-loop pacing slack, nanoseconds.
+    pub idle_ns: u64,
+    /// Modeled Xeon energy for the run.
+    pub energy: EnergyEstimate,
+    /// Store-side stats delta over the run (all shards merged).
+    pub store_stats: StatsSnapshot,
+    /// Client-side request-latency histogram (all threads merged).
+    pub request_latency: HistogramSnapshot,
+}
+
+/// Runs a load against the store and reports the outcome.
+///
+/// # Panics
+///
+/// Panics if the mix fails [`KvMix::validate`].
+pub fn run_load(store: &PolyStore, spec: &LoadSpec) -> LoadReport {
+    spec.mix.validate().unwrap_or_else(|e| panic!("invalid mix: {e}"));
+    let mix = spec.mix;
+
+    // Prefill outside the measured interval, through the batch path.
+    let mut fill = WriteBatch::with_capacity(1024);
+    for key in 0..spec.prefill.min(mix.keys) {
+        fill.put(key, key);
+        if fill.len() == 1024 {
+            store.apply(&fill);
+            fill.clear();
+        }
+    }
+    store.apply(&fill);
+
+    let base = store.total_stats();
+    let sampler = KeySampler::new(mix.dist, mix.keys);
+    let threads = spec.threads.max(1);
+    // Floor at 1 ns: a rate above 1e9/s would otherwise schedule every
+    // arrival at t=0 and turn latencies into time-since-start.
+    let interval_ns = spec.rate_ops_s.map(|r| (1_000_000_000 / r.max(1)).max(1));
+
+    let start = Instant::now();
+    let per_thread: Vec<(HistogramSnapshot, u64, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let sampler = &sampler;
+                scope.spawn(move || {
+                    client_thread(store, spec, sampler, t as u64, start, interval_ns)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread panicked")).collect()
+    });
+    let wall = start.elapsed();
+
+    let mut request_latency = HistogramSnapshot::default();
+    let mut ops = 0u64;
+    let mut idle_ns = 0u64;
+    for (hist, thread_ops, thread_idle) in &per_thread {
+        request_latency.merge(hist);
+        ops += thread_ops;
+        idle_ns += thread_idle;
+    }
+
+    let store_stats = store.total_stats().since(&base);
+    let thread_ns = (wall.as_nanos() as u64).max(1) as f64 * threads as f64;
+    let wait_frac = store_stats.lock_wait_ns as f64 / thread_ns;
+    let idle_frac = idle_ns as f64 / thread_ns;
+    let energy = estimate(store.lock_kind(), threads, wall, wait_frac, idle_frac, ops);
+
+    LoadReport {
+        ops,
+        wall,
+        throughput: ops as f64 / wall.as_secs_f64().max(1e-9),
+        p50_ns: request_latency.percentile(50.0),
+        p99_ns: request_latency.percentile(99.0),
+        max_ns: request_latency.max_ns,
+        lock_wait_ns: store_stats.lock_wait_ns,
+        lock_hold_ns: store_stats.lock_hold_ns,
+        idle_ns,
+        energy,
+        store_stats,
+        request_latency,
+    }
+}
+
+/// One client thread's loop; returns (latency histogram, ops done, idle ns).
+fn client_thread(
+    store: &PolyStore,
+    spec: &LoadSpec,
+    sampler: &KeySampler,
+    tid: u64,
+    start: Instant,
+    interval_ns: Option<u64>,
+) -> (HistogramSnapshot, u64, u64) {
+    let mix = spec.mix;
+    // Decorrelate per-thread streams; SplitMix64 scrambles the seed, so a
+    // simple odd-multiplier offset suffices.
+    let mut rng = Rng64::new(spec.seed ^ (tid.wrapping_add(1)).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let hist = LatencyHistogram::new();
+    let mut batch = WriteBatch::with_capacity(mix.batch.max(1));
+    let mut idle_ns = 0u64;
+    let mut ops = 0u64;
+
+    for i in 0..spec.ops_per_thread {
+        // Open-loop pacing: wait for the scheduled arrival, measure
+        // latency from it so queueing delay is visible.
+        let due_ns = interval_ns.map(|iv| i * iv);
+        if let Some(due) = due_ns {
+            let now = start.elapsed().as_nanos() as u64;
+            if now < due {
+                std::thread::sleep(Duration::from_nanos(due - now));
+                idle_ns += due - now;
+            }
+        }
+        let issued = start.elapsed().as_nanos() as u64;
+        match mix.sample_op(sampler, &mut rng) {
+            KvOp::Get(k) => {
+                store.get(k);
+            }
+            KvOp::Put(k, v) => {
+                if mix.batch > 1 {
+                    batch.put(k, v);
+                    if batch.len() >= mix.batch {
+                        store.apply(&batch);
+                        batch.clear();
+                    }
+                } else {
+                    store.put(k, v);
+                }
+            }
+            KvOp::Remove(k) => {
+                if mix.batch > 1 {
+                    batch.remove(k);
+                    if batch.len() >= mix.batch {
+                        store.apply(&batch);
+                        batch.clear();
+                    }
+                } else {
+                    store.remove(k);
+                }
+            }
+            KvOp::Scan => {
+                let mut n = 0u64;
+                store.scan(|_, _| n += 1);
+            }
+        }
+        ops += 1;
+        let done = start.elapsed().as_nanos() as u64;
+        // Paced: latency from the scheduled arrival (the earlier of due
+        // and issue), so falling behind schedule shows up as queueing.
+        let origin = due_ns.map_or(issued, |due| due.min(issued));
+        hist.record(done.saturating_sub(origin));
+    }
+    if !batch.is_empty() {
+        store.apply(&batch);
+    }
+    (hist.snapshot(), ops, idle_ns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::StoreConfig;
+    use poly_locks_sim::LockKind;
+
+    fn host_threads() -> usize {
+        // Single-CPU hosts pay a scheduler quantum per contended
+        // handover; keep concurrency tiny there.
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(4)
+    }
+
+    #[test]
+    fn saturating_load_reports_consistent_numbers() {
+        let mix = KvMix::uniform().with_shards(8);
+        let store = PolyStore::new(StoreConfig { shards: mix.shards, lock: LockKind::Mutexee });
+        let spec = LoadSpec::saturating(mix, host_threads(), 2_000, 42);
+        let r = run_load(&store, &spec);
+        assert_eq!(r.ops, spec.threads as u64 * 2_000);
+        assert!(r.throughput > 0.0);
+        assert!(r.p50_ns <= r.p99_ns && r.p99_ns <= r.max_ns.max(1));
+        assert_eq!(r.request_latency.count(), r.ops);
+        // Store-side deltas exclude the prefill.
+        assert!(r.store_stats.gets > 0);
+        assert!(r.energy.avg_power_w > 27.0 && r.energy.avg_power_w < 207.0);
+        assert!(r.energy.epo_uj.is_finite());
+    }
+
+    #[test]
+    fn prefill_makes_gets_hit() {
+        let mix = KvMix::uniform().with_shards(4);
+        let store = PolyStore::new(StoreConfig { shards: mix.shards, lock: LockKind::Ttas });
+        let r = run_load(&store, &LoadSpec::saturating(mix, 1, 3_000, 7));
+        // Half the keyspace is prefilled; with uniform keys roughly half
+        // the gets must hit. Allow wide slack: puts/removes also run.
+        let hit_rate = r.store_stats.get_hits as f64 / r.store_stats.gets.max(1) as f64;
+        assert!(hit_rate > 0.25, "hit rate {hit_rate}");
+    }
+
+    #[test]
+    fn paced_load_records_idle_time() {
+        let mix = KvMix::uniform().with_shards(2);
+        let store = PolyStore::new(StoreConfig { shards: mix.shards, lock: LockKind::Mutex });
+        let spec = LoadSpec { rate_ops_s: Some(2_000), ..LoadSpec::saturating(mix, 1, 200, 9) };
+        let r = run_load(&store, &spec);
+        assert_eq!(r.ops, 200);
+        // 200 ops at 2000/s is 100 ms of schedule; a modern host finishes
+        // the work itself far faster, so most of the time is slack.
+        assert!(r.idle_ns > 0, "paced run recorded no idle time");
+    }
+
+    #[test]
+    fn batched_writes_take_fewer_lock_acquisitions() {
+        let mix = KvMix::write_burst().with_shards(4);
+        let store = PolyStore::new(StoreConfig { shards: mix.shards, lock: LockKind::Mutexee });
+        let r = run_load(&store, &LoadSpec::saturating(mix, 2, 2_000, 11));
+        assert!(r.store_stats.batches > 0, "write-burst mix never applied a batch");
+    }
+}

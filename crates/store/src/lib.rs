@@ -1,0 +1,57 @@
+//! `poly-store` — the serving subsystem of the "Unlocking Energy"
+//! reproduction: a sharded key-value store generic over every `lockin`
+//! lock backend, instrumented down to the shard.
+//!
+//! The paper's §6 argument is that lock policy decides both throughput
+//! and energy for real services. This crate is the "real service" side of
+//! that experiment, natively:
+//!
+//! * [`PolyStore`] — a sharded `u64 -> u64` store whose shard locks are a
+//!   runtime [`LockKind`] choice ([`AnyLock`] dispatches across MUTEX,
+//!   MUTEXEE, TAS/TTAS/TICKET, MCS, CLH); per-shard point ops,
+//!   epoch-guarded [`scan`](PolyStore::scan)s, and [`WriteBatch`]
+//!   application with one lock acquisition per shard;
+//! * [`ShardStats`] — per-shard op counts, lock wait/hold time and
+//!   log-scaled latency histograms, recorded off the critical path;
+//! * [`KvMix`] — the declarative `kv` workload family (uniform, zipf-hot,
+//!   scan-heavy, write-burst) shared with `poly-scenarios`, so the same
+//!   mix drives this native store and the simulated Xeon;
+//! * [`run_load`] — a multithreaded open-loop client (scheduled arrivals,
+//!   latency measured from the schedule) producing a [`LoadReport`];
+//! * [`energy`] — feeds the measured time split into the calibrated
+//!   `poly-energy` Xeon model for modeled watts and joules-per-op.
+//!
+//! # Example
+//!
+//! ```
+//! use poly_locks_sim::LockKind;
+//! use poly_store::{KvMix, LoadSpec, PolyStore, StoreConfig, run_load};
+//!
+//! let mix = KvMix::zipf_hot().with_shards(4);
+//! let store = PolyStore::new(StoreConfig { shards: mix.shards, lock: LockKind::Mutexee });
+//! let report = run_load(&store, &LoadSpec::saturating(mix, 2, 500, 42));
+//! assert_eq!(report.ops, 1_000);
+//! assert!(report.energy.avg_power_w > 0.0);
+//! ```
+
+#![deny(missing_docs)]
+
+mod anylock;
+mod batch;
+mod driver;
+pub mod energy;
+mod stats;
+mod store;
+mod workload;
+
+pub use anylock::{AnyGuard, AnyLock};
+pub use batch::{BatchOp, WriteBatch};
+pub use driver::{run_load, LoadReport, LoadSpec};
+pub use energy::EnergyEstimate;
+pub use stats::{HistogramSnapshot, LatencyHistogram, ShardStats, StatsSnapshot, HIST_BUCKETS};
+pub use store::{PolyStore, StoreConfig};
+pub use workload::{KeyDist, KeySampler, KvMix, KvOp, Rng64, ZipfSampler};
+
+// Re-exported so store users name lock backends without importing the
+// simulator crate themselves.
+pub use poly_locks_sim::LockKind;

@@ -1,0 +1,314 @@
+//! Per-shard operation statistics: counters, lock timing, latency tails.
+//!
+//! Recording is lock-free (relaxed atomics touched by the operating thread
+//! only after its own critical section), so the stats path never perturbs
+//! the lock behavior under test. Readers take [`ShardStats::snapshot`]s —
+//! plain data that can be merged across shards and queried for
+//! percentiles.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of logarithmic latency buckets: bucket `i` holds samples in
+/// `[2^i, 2^(i+1))` nanoseconds, except bucket 0 (`[0, 2)`) and the last
+/// bucket, which absorbs everything above ~9 hours.
+pub const HIST_BUCKETS: usize = 45;
+
+/// A log-scaled concurrent latency histogram (nanosecond samples).
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    max_ns: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self { buckets: std::array::from_fn(|_| AtomicU64::new(0)), max_ns: AtomicU64::new(0) }
+    }
+
+    fn bucket_of(ns: u64) -> usize {
+        ((64 - ns.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+    }
+
+    /// Records one sample.
+    pub fn record(&self, ns: u64) {
+        self.buckets[Self::bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Takes a plain-data snapshot.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; HIST_BUCKETS];
+        for (dst, src) in buckets.iter_mut().zip(&self.buckets) {
+            *dst = src.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot { buckets, max_ns: self.max_ns.load(Ordering::Relaxed) }
+    }
+}
+
+/// A mergeable point-in-time copy of a [`LatencyHistogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Sample count per log-scaled bucket.
+    pub buckets: [u64; HIST_BUCKETS],
+    /// Largest recorded sample.
+    pub max_ns: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self { buckets: [0; HIST_BUCKETS], max_ns: 0 }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Total number of samples.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// The value at percentile `p` (0..=100), as the upper bound of the
+    /// bucket containing it — an overestimate by at most 2x, which is the
+    /// usual log-histogram trade-off. Returns 0 for an empty histogram.
+    pub fn percentile(&self, p: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Upper bound of bucket i, capped by the observed max
+                // (the last bucket is unbounded, so the max IS its bound).
+                if i == HIST_BUCKETS - 1 {
+                    return self.max_ns;
+                }
+                return (1u64 << i).min(self.max_ns.max(1));
+            }
+        }
+        self.max_ns
+    }
+
+    /// Folds another snapshot into this one.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (dst, src) in self.buckets.iter_mut().zip(&other.buckets) {
+            *dst += src;
+        }
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
+    /// The samples recorded since `base` was taken (counters are
+    /// monotonic; the max is carried over as-is, an upper bound).
+    pub fn since(&self, base: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut out = *self;
+        for (dst, src) in out.buckets.iter_mut().zip(&base.buckets) {
+            *dst = dst.saturating_sub(*src);
+        }
+        out
+    }
+}
+
+/// Concurrent per-shard counters.
+#[derive(Debug, Default)]
+pub struct ShardStats {
+    gets: AtomicU64,
+    get_hits: AtomicU64,
+    puts: AtomicU64,
+    removes: AtomicU64,
+    scans: AtomicU64,
+    batches: AtomicU64,
+    lock_wait_ns: AtomicU64,
+    lock_hold_ns: AtomicU64,
+    /// Service time of point operations against this shard.
+    op_latency: LatencyHistogram,
+}
+
+impl ShardStats {
+    /// Creates zeroed stats.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counts a get (and whether it hit).
+    pub fn record_get(&self, hit: bool) {
+        self.gets.fetch_add(1, Ordering::Relaxed);
+        if hit {
+            self.get_hits.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Counts a put.
+    pub fn record_put(&self) {
+        self.puts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a remove.
+    pub fn record_remove(&self) {
+        self.removes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one scan visit to this shard.
+    pub fn record_scan(&self) {
+        self.scans.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a batch application to this shard.
+    pub fn record_batch(&self) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Attributes one critical section's wait (acquisition) and hold time.
+    pub fn record_lock(&self, wait_ns: u64, hold_ns: u64) {
+        self.lock_wait_ns.fetch_add(wait_ns, Ordering::Relaxed);
+        self.lock_hold_ns.fetch_add(hold_ns, Ordering::Relaxed);
+    }
+
+    /// Records a point-op service latency.
+    pub fn record_latency(&self, ns: u64) {
+        self.op_latency.record(ns);
+    }
+
+    /// Takes a plain-data snapshot.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            gets: self.gets.load(Ordering::Relaxed),
+            get_hits: self.get_hits.load(Ordering::Relaxed),
+            puts: self.puts.load(Ordering::Relaxed),
+            removes: self.removes.load(Ordering::Relaxed),
+            scans: self.scans.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            lock_wait_ns: self.lock_wait_ns.load(Ordering::Relaxed),
+            lock_hold_ns: self.lock_hold_ns.load(Ordering::Relaxed),
+            latency: self.op_latency.snapshot(),
+        }
+    }
+}
+
+/// Plain-data snapshot of one shard's stats (or a merged aggregate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    /// Point lookups.
+    pub gets: u64,
+    /// Point lookups that found the key.
+    pub get_hits: u64,
+    /// Point inserts/updates.
+    pub puts: u64,
+    /// Point deletions.
+    pub removes: u64,
+    /// Scan visits.
+    pub scans: u64,
+    /// Batches applied.
+    pub batches: u64,
+    /// Cumulative lock-acquisition wait, nanoseconds.
+    pub lock_wait_ns: u64,
+    /// Cumulative lock hold time, nanoseconds.
+    pub lock_hold_ns: u64,
+    /// Point-op service-time histogram.
+    pub latency: HistogramSnapshot,
+}
+
+impl StatsSnapshot {
+    /// Total point operations.
+    pub fn point_ops(&self) -> u64 {
+        self.gets + self.puts + self.removes
+    }
+
+    /// The activity recorded since `base` was taken.
+    pub fn since(&self, base: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            gets: self.gets.saturating_sub(base.gets),
+            get_hits: self.get_hits.saturating_sub(base.get_hits),
+            puts: self.puts.saturating_sub(base.puts),
+            removes: self.removes.saturating_sub(base.removes),
+            scans: self.scans.saturating_sub(base.scans),
+            batches: self.batches.saturating_sub(base.batches),
+            lock_wait_ns: self.lock_wait_ns.saturating_sub(base.lock_wait_ns),
+            lock_hold_ns: self.lock_hold_ns.saturating_sub(base.lock_hold_ns),
+            latency: self.latency.since(&base.latency),
+        }
+    }
+
+    /// Folds another snapshot into this one.
+    pub fn merge(&mut self, other: &StatsSnapshot) {
+        self.gets += other.gets;
+        self.get_hits += other.get_hits;
+        self.puts += other.puts;
+        self.removes += other.removes;
+        self.scans += other.scans;
+        self.batches += other.batches;
+        self.lock_wait_ns += other.lock_wait_ns;
+        self.lock_hold_ns += other.lock_hold_ns;
+        self.latency.merge(&other.latency);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_percentiles_bracket_the_samples() {
+        let h = LatencyHistogram::new();
+        for ns in [10u64, 20, 30, 40, 1000] {
+            h.record(ns);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 5);
+        assert_eq!(s.max_ns, 1000);
+        let p50 = s.percentile(50.0);
+        assert!((16..=64).contains(&p50), "p50 = {p50}");
+        let p99 = s.percentile(99.0);
+        assert!((512..=1024).contains(&p99), "p99 = {p99}");
+        assert!(s.percentile(100.0) <= 1024);
+    }
+
+    #[test]
+    fn histogram_handles_extremes() {
+        let h = LatencyHistogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.percentile(1.0), 1);
+        assert_eq!(s.percentile(100.0), u64::MAX);
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let s = LatencyHistogram::new().snapshot();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.percentile(99.0), 0);
+    }
+
+    #[test]
+    fn snapshots_merge_componentwise() {
+        let a = ShardStats::new();
+        a.record_get(true);
+        a.record_put();
+        a.record_lock(10, 20);
+        a.record_latency(100);
+        let b = ShardStats::new();
+        b.record_get(false);
+        b.record_remove();
+        b.record_lock(1, 2);
+        b.record_latency(200);
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.gets, 2);
+        assert_eq!(m.get_hits, 1);
+        assert_eq!(m.puts, 1);
+        assert_eq!(m.removes, 1);
+        assert_eq!(m.point_ops(), 4);
+        assert_eq!(m.lock_wait_ns, 11);
+        assert_eq!(m.lock_hold_ns, 22);
+        assert_eq!(m.latency.count(), 2);
+    }
+}

@@ -1,0 +1,321 @@
+//! The sharded store: point ops, epoch-guarded scans, batch application.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use lockin::{Mutexee, RwLock};
+use poly_locks_sim::LockKind;
+
+use crate::anylock::AnyLock;
+use crate::batch::WriteBatch;
+use crate::stats::{LatencyHistogram, ShardStats, StatsSnapshot};
+
+/// Construction parameters of a [`PolyStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreConfig {
+    /// Number of shards (floored at 1).
+    pub shards: usize,
+    /// Lock algorithm guarding each shard.
+    pub lock: LockKind,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        Self { shards: 16, lock: LockKind::Mutexee }
+    }
+}
+
+struct Shard {
+    map: AnyLock<HashMap<u64, u64>>,
+    stats: ShardStats,
+}
+
+/// A sharded `u64 -> u64` key-value store over a runtime-selected
+/// [`LockKind`] backend.
+///
+/// * **Point ops** ([`get`](PolyStore::get), [`put`](PolyStore::put),
+///   [`remove`](PolyStore::remove)) touch exactly one shard lock.
+/// * **Scans** ([`scan`](PolyStore::scan)) hold the store-wide *epoch*
+///   rwlock in read mode while visiting shards one at a time, so an epoch
+///   bump ([`bump_epoch`](PolyStore::bump_epoch) — the maintenance /
+///   compaction slot) cannot run mid-scan, and a scan observes a single
+///   epoch end to end.
+/// * **Batches** ([`apply`](PolyStore::apply)) group writes by shard and
+///   take each shard lock once.
+///
+/// Every operation feeds the owning shard's [`ShardStats`]: op counts,
+/// lock wait/hold time, and a service-time histogram — the raw material
+/// for the [`crate::energy`] bridge's joules-per-op estimate.
+pub struct PolyStore {
+    shards: Box<[Shard]>,
+    lock: LockKind,
+    epoch: RwLock<u64, Mutexee>,
+    scan_latency: LatencyHistogram,
+}
+
+impl PolyStore {
+    /// Builds an empty store.
+    pub fn new(cfg: StoreConfig) -> Self {
+        let n = cfg.shards.max(1);
+        let shards = (0..n)
+            .map(|_| Shard {
+                map: AnyLock::new(cfg.lock, HashMap::new()),
+                stats: ShardStats::new(),
+            })
+            .collect();
+        Self {
+            shards,
+            lock: cfg.lock,
+            epoch: RwLock::new(0),
+            scan_latency: LatencyHistogram::new(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The lock backend guarding each shard.
+    pub fn lock_kind(&self) -> LockKind {
+        self.lock
+    }
+
+    /// Shard index owning `key` (Fibonacci multiplicative hash, so
+    /// sequential keys spread across shards).
+    pub fn shard_of(&self, key: u64) -> usize {
+        (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % self.shards.len()
+    }
+
+    /// Runs `f` under the shard lock, attributing wait/hold time.
+    fn with_shard<R>(&self, idx: usize, f: impl FnOnce(&mut HashMap<u64, u64>) -> R) -> R {
+        let shard = &self.shards[idx];
+        let t0 = Instant::now();
+        let mut guard = shard.map.lock();
+        let t1 = Instant::now();
+        let r = f(&mut guard);
+        drop(guard);
+        let t2 = Instant::now();
+        shard.stats.record_lock(
+            t1.duration_since(t0).as_nanos() as u64,
+            t2.duration_since(t1).as_nanos() as u64,
+        );
+        r
+    }
+
+    /// Point lookup.
+    pub fn get(&self, key: u64) -> Option<u64> {
+        let t0 = Instant::now();
+        let idx = self.shard_of(key);
+        let v = self.with_shard(idx, |m| m.get(&key).copied());
+        let stats = &self.shards[idx].stats;
+        stats.record_get(v.is_some());
+        stats.record_latency(t0.elapsed().as_nanos() as u64);
+        v
+    }
+
+    /// Point insert/update; returns the previous value.
+    pub fn put(&self, key: u64, value: u64) -> Option<u64> {
+        let t0 = Instant::now();
+        let idx = self.shard_of(key);
+        let prev = self.with_shard(idx, |m| m.insert(key, value));
+        let stats = &self.shards[idx].stats;
+        stats.record_put();
+        stats.record_latency(t0.elapsed().as_nanos() as u64);
+        prev
+    }
+
+    /// Point deletion; returns the removed value.
+    pub fn remove(&self, key: u64) -> Option<u64> {
+        let t0 = Instant::now();
+        let idx = self.shard_of(key);
+        let prev = self.with_shard(idx, |m| m.remove(&key));
+        let stats = &self.shards[idx].stats;
+        stats.record_remove();
+        stats.record_latency(t0.elapsed().as_nanos() as u64);
+        prev
+    }
+
+    /// Applies a [`WriteBatch`], taking each touched shard's lock exactly
+    /// once. Writes within a shard land atomically and in batch order.
+    pub fn apply(&self, batch: &WriteBatch) {
+        if batch.is_empty() {
+            return;
+        }
+        // Bucket ops by shard, preserving order within each shard.
+        let mut by_shard: Vec<Vec<(u64, Option<u64>)>> = vec![Vec::new(); self.shards.len()];
+        for &(key, val) in batch.ops() {
+            by_shard[self.shard_of(key)].push((key, val));
+        }
+        for (idx, ops) in by_shard.iter().enumerate() {
+            if ops.is_empty() {
+                continue;
+            }
+            let t0 = Instant::now();
+            self.with_shard(idx, |m| {
+                for &(key, val) in ops {
+                    match val {
+                        Some(v) => {
+                            m.insert(key, v);
+                        }
+                        None => {
+                            m.remove(&key);
+                        }
+                    }
+                }
+            });
+            let stats = &self.shards[idx].stats;
+            stats.record_batch();
+            for &(_, val) in ops {
+                if val.is_some() {
+                    stats.record_put();
+                } else {
+                    stats.record_remove();
+                }
+            }
+            stats.record_latency(t0.elapsed().as_nanos() as u64);
+        }
+    }
+
+    /// Epoch-guarded scan: visits every entry shard by shard under the
+    /// epoch read lock and returns the epoch the scan observed.
+    ///
+    /// Point writes can proceed concurrently (the scan holds each shard
+    /// lock only while copying that shard out), but maintenance
+    /// ([`bump_epoch`](PolyStore::bump_epoch)) is excluded for the whole
+    /// scan, so all visited shards belong to one epoch.
+    pub fn scan<F: FnMut(u64, u64)>(&self, mut f: F) -> u64 {
+        let t0 = Instant::now();
+        let epoch = self.epoch.read();
+        for idx in 0..self.shards.len() {
+            self.shards[idx].stats.record_scan();
+            // Through with_shard so scan-side contention reaches the
+            // wait/hold stats (and thus the energy model) too.
+            self.with_shard(idx, |m| {
+                for (&k, &v) in m.iter() {
+                    f(k, v);
+                }
+            });
+        }
+        let e = *epoch;
+        drop(epoch);
+        self.scan_latency.record(t0.elapsed().as_nanos() as u64);
+        e
+    }
+
+    /// Number of entries across all shards (a scan that only counts).
+    pub fn len(&self) -> u64 {
+        let mut n = 0u64;
+        self.scan(|_, _| n += 1);
+        n
+    }
+
+    /// Whether the store holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The current maintenance epoch.
+    pub fn epoch(&self) -> u64 {
+        *self.epoch.read()
+    }
+
+    /// Enters the maintenance slot: waits out in-flight scans (epoch write
+    /// lock), bumps the epoch, and returns the new value. This is where a
+    /// real service would compact/resize; the exclusion is what matters.
+    pub fn bump_epoch(&self) -> u64 {
+        let mut e = self.epoch.write();
+        *e += 1;
+        *e
+    }
+
+    /// Per-shard stats snapshots, indexed by shard.
+    pub fn shard_stats(&self) -> Vec<StatsSnapshot> {
+        self.shards.iter().map(|s| s.stats.snapshot()).collect()
+    }
+
+    /// All shards' stats merged, plus scan service times folded into the
+    /// latency histogram.
+    pub fn total_stats(&self) -> StatsSnapshot {
+        let mut total = StatsSnapshot::default();
+        for s in &self.shards {
+            total.merge(&s.stats.snapshot());
+        }
+        total.latency.merge(&self.scan_latency.snapshot());
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_ops_round_trip() {
+        let store = PolyStore::new(StoreConfig { shards: 4, lock: LockKind::Ttas });
+        assert_eq!(store.put(1, 10), None);
+        assert_eq!(store.put(1, 11), Some(10));
+        assert_eq!(store.get(1), Some(11));
+        assert_eq!(store.get(2), None);
+        assert_eq!(store.remove(1), Some(11));
+        assert_eq!(store.get(1), None);
+        let t = store.total_stats();
+        assert_eq!(t.puts, 2);
+        assert_eq!(t.gets, 3);
+        assert_eq!(t.get_hits, 1);
+        assert_eq!(t.removes, 1);
+        assert!(t.latency.count() >= 6);
+        assert!(t.lock_hold_ns > 0);
+    }
+
+    #[test]
+    fn batch_applies_once_per_shard() {
+        let store = PolyStore::new(StoreConfig { shards: 2, lock: LockKind::Mutex });
+        let mut batch = WriteBatch::new();
+        for k in 0..100 {
+            batch.put(k, k * 2);
+        }
+        batch.remove(0);
+        store.apply(&batch);
+        assert_eq!(store.get(0), None);
+        assert_eq!(store.get(7), Some(14));
+        assert_eq!(store.len(), 99);
+        let total = store.total_stats();
+        assert_eq!(total.puts, 100);
+        assert_eq!(total.removes, 1);
+        // 101 writes, but at most one batch (= one lock acquisition
+        // beyond the stats' view) per shard.
+        assert_eq!(total.batches, 2);
+    }
+
+    #[test]
+    fn scans_observe_one_epoch() {
+        let store = PolyStore::new(StoreConfig { shards: 8, lock: LockKind::Mutexee });
+        for k in 0..50 {
+            store.put(k, k);
+        }
+        assert_eq!(store.epoch(), 0);
+        assert_eq!(store.bump_epoch(), 1);
+        let mut seen = 0u64;
+        let epoch = store.scan(|_, v| seen += v);
+        assert_eq!(epoch, 1);
+        assert_eq!(seen, (0..50).sum::<u64>());
+        assert_eq!(store.len(), 50);
+        let total = store.total_stats();
+        // scan() + len() each visit all 8 shards.
+        assert_eq!(total.scans, 2 * 8);
+    }
+
+    #[test]
+    fn keys_spread_across_shards() {
+        let store = PolyStore::new(StoreConfig { shards: 8, lock: LockKind::Ticket });
+        for k in 0..1024 {
+            store.put(k, k);
+        }
+        let per_shard = store.shard_stats();
+        let non_empty = per_shard.iter().filter(|s| s.puts > 0).count();
+        assert_eq!(non_empty, 8, "sequential keys must not pile onto one shard");
+        let max = per_shard.iter().map(|s| s.puts).max().unwrap();
+        assert!(max < 1024 / 2, "one shard absorbed {max} of 1024 puts");
+    }
+}

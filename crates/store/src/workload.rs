@@ -1,0 +1,352 @@
+//! Workload description: key distributions, op mixes, and the
+//! deterministic samplers behind them.
+//!
+//! A [`KvMix`] is plain, comparable data shared by two consumers: the
+//! native load driver ([`crate::driver`]) samples real operations from it,
+//! and `poly-scenarios` builds the equivalent simulated workload so the
+//! same scenario family runs on both the real host and the modeled Xeon.
+
+/// SplitMix64: a tiny, high-quality, deterministic PRNG (public-domain
+/// constants from Steele et al.). One per driver thread; seeded from the
+/// run seed and the thread id.
+#[derive(Debug, Clone)]
+pub struct Rng64 {
+    state: u64,
+}
+
+impl Rng64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, n)` (`n > 0`).
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "empty range");
+        // Multiply-shift: unbiased enough for workload sampling.
+        ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
+    }
+
+    /// True with probability `pct`/100.
+    pub fn pct(&mut self, pct: u32) -> bool {
+        self.below(100) < u64::from(pct)
+    }
+}
+
+/// A Zipf(s) sampler over ranks `0..n`, driven by [`Rng64`].
+///
+/// Rank 0 is the most popular. `s = 0` degenerates to uniform; the
+/// classic web-cache skew is `s ≈ 1`. The inverse-CDF math lives in
+/// [`poly_systems::Zipf`] (one implementation repo-wide); this wrapper
+/// only binds it to the driver's RNG.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    zipf: poly_systems::Zipf,
+}
+
+impl ZipfSampler {
+    /// Builds the sampler (`n > 0`).
+    pub fn new(n: usize, s: f64) -> Self {
+        Self { zipf: poly_systems::Zipf::new(n, s) }
+    }
+
+    /// Draws one rank.
+    pub fn sample(&self, rng: &mut Rng64) -> u64 {
+        self.zipf.sample_unit(rng.next_f64()) as u64
+    }
+
+    /// Domain size.
+    pub fn len(&self) -> usize {
+        self.zipf.len()
+    }
+
+    /// Whether the domain is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.zipf.is_empty()
+    }
+}
+
+/// How keys are drawn from the keyspace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeyDist {
+    /// Every key equally likely.
+    Uniform,
+    /// Zipf-skewed popularity; skew in milli-units (1200 = s 1.2).
+    Zipf {
+        /// Skew `s` in thousandths.
+        skew_milli: u32,
+    },
+}
+
+impl KeyDist {
+    /// Short stable label (`uni` / `z1200`).
+    pub fn label(&self) -> String {
+        match self {
+            KeyDist::Uniform => "uni".into(),
+            KeyDist::Zipf { skew_milli } => format!("z{skew_milli}"),
+        }
+    }
+}
+
+/// A key sampler materialized from a [`KeyDist`] over a keyspace.
+#[derive(Debug, Clone)]
+pub enum KeySampler {
+    /// Uniform over `0..keys`.
+    Uniform(u64),
+    /// Zipf ranks mapped to keys.
+    Zipf(ZipfSampler),
+}
+
+impl KeySampler {
+    /// Materializes `dist` over `keys` keys.
+    pub fn new(dist: KeyDist, keys: u64) -> Self {
+        match dist {
+            KeyDist::Uniform => KeySampler::Uniform(keys.max(1)),
+            KeyDist::Zipf { skew_milli } => KeySampler::Zipf(ZipfSampler::new(
+                keys.max(1) as usize,
+                f64::from(skew_milli) / 1000.0,
+            )),
+        }
+    }
+
+    /// Draws one key.
+    pub fn sample(&self, rng: &mut Rng64) -> u64 {
+        match self {
+            KeySampler::Uniform(n) => rng.below(*n),
+            KeySampler::Zipf(z) => z.sample(rng),
+        }
+    }
+}
+
+/// One sampled client operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KvOp {
+    /// Point lookup of a key.
+    Get(u64),
+    /// Point write of a key.
+    Put(u64, u64),
+    /// Point removal of a key.
+    Remove(u64),
+    /// Full scan.
+    Scan,
+}
+
+/// A declarative KV op mix: the scenario family's parameter block.
+///
+/// `get_pct + put_pct + remove_pct + scan_pct` must equal 100
+/// ([`KvMix::validate`]). Plain `Copy` data so scenario specs stay
+/// comparable and serializable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KvMix {
+    /// Store shard count (a sweep axis; see `cross_shards`).
+    pub shards: usize,
+    /// Keyspace size.
+    pub keys: u64,
+    /// Key popularity distribution.
+    pub dist: KeyDist,
+    /// Percentage of point lookups.
+    pub get_pct: u32,
+    /// Percentage of point writes.
+    pub put_pct: u32,
+    /// Percentage of point removals.
+    pub remove_pct: u32,
+    /// Percentage of full scans.
+    pub scan_pct: u32,
+    /// Write-batch size (0 or 1 = unbatched writes).
+    pub batch: usize,
+}
+
+impl KvMix {
+    /// Read-mostly uniform traffic: the cache-like baseline.
+    pub fn uniform() -> Self {
+        Self {
+            shards: 32,
+            keys: 65_536,
+            dist: KeyDist::Uniform,
+            get_pct: 80,
+            put_pct: 18,
+            remove_pct: 2,
+            scan_pct: 0,
+            batch: 0,
+        }
+    }
+
+    /// Hot-key Zipf traffic (skew 1.2): a handful of shards absorb most
+    /// operations — the contention regime where lock choice dominates.
+    pub fn zipf_hot() -> Self {
+        Self {
+            shards: 32,
+            keys: 65_536,
+            dist: KeyDist::Zipf { skew_milli: 1_200 },
+            get_pct: 70,
+            put_pct: 25,
+            remove_pct: 3,
+            scan_pct: 2,
+            batch: 0,
+        }
+    }
+
+    /// Scan-heavy analytics mix over a small keyspace: scans serialize
+    /// against maintenance via the epoch lock.
+    pub fn scan_heavy() -> Self {
+        Self {
+            shards: 32,
+            keys: 4_096,
+            dist: KeyDist::Uniform,
+            get_pct: 60,
+            put_pct: 9,
+            remove_pct: 1,
+            scan_pct: 30,
+            batch: 0,
+        }
+    }
+
+    /// Write burst with batching: mostly puts, grouped 32 to a batch —
+    /// the group-commit shape of the paper's RocksDB model.
+    pub fn write_burst() -> Self {
+        Self {
+            shards: 32,
+            keys: 65_536,
+            dist: KeyDist::Zipf { skew_milli: 900 },
+            get_pct: 24,
+            put_pct: 64,
+            remove_pct: 10,
+            scan_pct: 2,
+            batch: 32,
+        }
+    }
+
+    /// Returns the mix with a different shard count.
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Checks the op percentages sum to 100.
+    pub fn validate(&self) -> Result<(), String> {
+        let sum = self.get_pct + self.put_pct + self.remove_pct + self.scan_pct;
+        if sum != 100 {
+            return Err(format!("op percentages sum to {sum}, expected 100"));
+        }
+        if self.keys == 0 {
+            return Err("keyspace must be non-empty".into());
+        }
+        Ok(())
+    }
+
+    /// Fraction of operations that write (puts + removes).
+    pub fn write_pct(&self) -> u32 {
+        self.put_pct + self.remove_pct
+    }
+
+    /// Short stable label for reports:
+    /// `kv/<shards>sh/<dist>/g<get>p<put>d<del>s<scan>[/b<batch>]`.
+    pub fn label(&self) -> String {
+        let mut l = format!(
+            "kv/{}sh/{}/g{}p{}d{}s{}",
+            self.shards,
+            self.dist.label(),
+            self.get_pct,
+            self.put_pct,
+            self.remove_pct,
+            self.scan_pct
+        );
+        if self.batch > 1 {
+            l.push_str(&format!("/b{}", self.batch));
+        }
+        l
+    }
+
+    /// Samples one operation.
+    pub fn sample_op(&self, sampler: &KeySampler, rng: &mut Rng64) -> KvOp {
+        let roll = rng.below(100) as u32;
+        let key = sampler.sample(rng);
+        if roll < self.get_pct {
+            KvOp::Get(key)
+        } else if roll < self.get_pct + self.put_pct {
+            KvOp::Put(key, rng.next_u64())
+        } else if roll < self.get_pct + self.put_pct + self.remove_pct {
+            KvOp::Remove(key)
+        } else {
+            KvOp::Scan
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_and_spread() {
+        let mut a = Rng64::new(7);
+        let mut b = Rng64::new(7);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        let mut dedup = xs.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), xs.len());
+        let mut c = Rng64::new(8);
+        assert_ne!(c.next_u64(), xs[0]);
+    }
+
+    #[test]
+    fn below_stays_in_range() {
+        let mut rng = Rng64::new(1);
+        for n in [1u64, 2, 7, 100] {
+            for _ in 0..200 {
+                assert!(rng.below(n) < n);
+            }
+        }
+    }
+
+    #[test]
+    fn presets_validate() {
+        for mix in [KvMix::uniform(), KvMix::zipf_hot(), KvMix::scan_heavy(), KvMix::write_burst()]
+        {
+            mix.validate().unwrap();
+            assert!(mix.label().starts_with("kv/"));
+        }
+        let mut bad = KvMix::uniform();
+        bad.get_pct += 1;
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn op_sampling_follows_the_mix() {
+        let mix = KvMix { scan_pct: 0, ..KvMix::uniform() };
+        let mix = KvMix { get_pct: 100 - mix.put_pct - mix.remove_pct, ..mix };
+        let sampler = KeySampler::new(mix.dist, mix.keys);
+        let mut rng = Rng64::new(3);
+        let mut gets = 0;
+        for _ in 0..2_000 {
+            match mix.sample_op(&sampler, &mut rng) {
+                KvOp::Get(k) => {
+                    assert!(k < mix.keys);
+                    gets += 1;
+                }
+                KvOp::Put(k, _) | KvOp::Remove(k) => assert!(k < mix.keys),
+                KvOp::Scan => panic!("scan_pct is 0"),
+            }
+        }
+        let frac = f64::from(gets) / 2_000.0;
+        assert!((frac - 0.8).abs() < 0.05, "get fraction {frac}");
+    }
+}

@@ -1,0 +1,166 @@
+//! poly-store integration tests: cross-thread consistency, epoch
+//! exclusion, and workload-sampler statistics.
+
+use poly_locks_sim::LockKind;
+use poly_store::{
+    run_load, KvMix, LoadSpec, PolyStore, Rng64, StoreConfig, WriteBatch, ZipfSampler,
+};
+
+/// Thread count scaled to the host: this box may expose a single hardware
+/// thread, where every contended handover costs a scheduler quantum, so
+/// concurrency (not iteration count) is what must stay bounded.
+fn host_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).clamp(2, 8)
+}
+
+/// Concurrent put/get smoke: writers own disjoint key ranges while a
+/// reader thread continuously observes. Every observed value must be one
+/// the owner actually wrote, and after the join the final value of every
+/// key must be the owner's last write — across a sleeping, a spinning,
+/// and a queue backend.
+#[test]
+fn concurrent_put_get_consistency() {
+    let writers = host_threads();
+    let keys_per_writer = 64u64;
+    let rounds = 30u64;
+    for lock in [LockKind::Mutexee, LockKind::Ttas, LockKind::Mcs] {
+        let store = PolyStore::new(StoreConfig { shards: 8, lock });
+        std::thread::scope(|s| {
+            for w in 0..writers as u64 {
+                let store = &store;
+                s.spawn(move || {
+                    for round in 1..=rounds {
+                        for k in 0..keys_per_writer {
+                            let key = w * keys_per_writer + k;
+                            // Value encodes owner and round: verifiable.
+                            store.put(key, w * 1_000_000 + round);
+                        }
+                    }
+                });
+            }
+            let store = &store;
+            s.spawn(move || {
+                let mut rng = Rng64::new(99);
+                for _ in 0..(rounds * keys_per_writer) {
+                    let key = rng.below(writers as u64 * keys_per_writer);
+                    let owner = key / keys_per_writer;
+                    if let Some(v) = store.get(key) {
+                        let (seen_owner, round) = (v / 1_000_000, v % 1_000_000);
+                        assert_eq!(seen_owner, owner, "{}: foreign write leaked in", lock.label());
+                        assert!(
+                            (1..=rounds).contains(&round),
+                            "{}: impossible round {round}",
+                            lock.label()
+                        );
+                    }
+                }
+            });
+        });
+        // After the join: last write per key wins.
+        for w in 0..writers as u64 {
+            for k in 0..keys_per_writer {
+                let key = w * keys_per_writer + k;
+                assert_eq!(
+                    store.get(key),
+                    Some(w * 1_000_000 + rounds),
+                    "{}: key {key} lost its final write",
+                    lock.label()
+                );
+            }
+        }
+        assert_eq!(store.len(), writers as u64 * keys_per_writer);
+    }
+}
+
+/// A scan running concurrently with an epoch bump must observe either the
+/// old or the new epoch — and the bump must wait for in-flight scans, so
+/// the epoch can never advance mid-scan.
+#[test]
+fn epoch_bump_excludes_scans() {
+    let store = PolyStore::new(StoreConfig { shards: 4, lock: LockKind::Mutexee });
+    for k in 0..256 {
+        store.put(k, 1);
+    }
+    std::thread::scope(|s| {
+        let bumper = s.spawn(|| {
+            for _ in 0..20 {
+                store.bump_epoch();
+            }
+        });
+        for _ in 0..40 {
+            let before = store.epoch();
+            let seen = store.scan(|_, _| {});
+            assert!(seen >= before, "epoch went backwards");
+        }
+        bumper.join().unwrap();
+    });
+    assert_eq!(store.epoch(), 20);
+}
+
+/// Zipf sampler sanity: rank frequencies must decrease (hot head), match
+/// the analytic head mass, and collapse to uniform at skew 0.
+#[test]
+fn zipf_sampler_distribution() {
+    let n = 64usize;
+    let draws = 200_000u64;
+
+    // Skewed: empirical head mass close to the analytic CDF.
+    let z = ZipfSampler::new(n, 1.2);
+    let mut rng = Rng64::new(12345);
+    let mut counts = vec![0u64; n];
+    for _ in 0..draws {
+        counts[z.sample(&mut rng) as usize] += 1;
+    }
+    let h: f64 = (1..=n).map(|k| 1.0 / (k as f64).powf(1.2)).sum();
+    let expect_rank0 = 1.0 / h; // ~0.36 for n=64, s=1.2
+    let got_rank0 = counts[0] as f64 / draws as f64;
+    assert!(
+        (got_rank0 - expect_rank0).abs() < 0.01,
+        "rank-0 mass {got_rank0:.3}, analytic {expect_rank0:.3}"
+    );
+    // Monotone non-increasing over the head (tail counts are tiny and noisy).
+    for i in 0..8 {
+        assert!(
+            counts[i] >= counts[i + 1],
+            "rank {i} ({}) < rank {} ({})",
+            counts[i],
+            i + 1,
+            counts[i + 1]
+        );
+    }
+    let top4: u64 = counts[..4].iter().sum();
+    assert!(top4 as f64 / draws as f64 > 0.5, "skew 1.2 must concentrate the head");
+
+    // Uniform: every rank within 20% of the expected share.
+    let u = ZipfSampler::new(n, 0.0);
+    let mut counts = vec![0u64; n];
+    for _ in 0..draws {
+        counts[u.sample(&mut rng) as usize] += 1;
+    }
+    let expect = draws as f64 / n as f64;
+    for (i, &c) in counts.iter().enumerate() {
+        assert!(
+            (c as f64 - expect).abs() / expect < 0.2,
+            "uniform rank {i} count {c} vs expected {expect}"
+        );
+    }
+}
+
+/// The full service surface in one pass: batched load, scans, epoch
+/// maintenance and stats all running against one store.
+#[test]
+fn mixed_service_smoke() {
+    let mix = KvMix::write_burst().with_shards(4);
+    let store = PolyStore::new(StoreConfig { shards: mix.shards, lock: LockKind::Mutex });
+    let threads = host_threads().min(3);
+    let r = run_load(&store, &LoadSpec::saturating(mix, threads, 1_500, 2026));
+    assert_eq!(r.ops, threads as u64 * 1_500);
+    assert!(r.store_stats.batches > 0);
+    assert!(r.energy.energy_j > 0.0);
+    // Maintenance interleaves fine after the run.
+    store.bump_epoch();
+    let mut batch = WriteBatch::new();
+    batch.put(u64::MAX, 7);
+    store.apply(&batch);
+    assert_eq!(store.get(u64::MAX), Some(7));
+}

@@ -47,7 +47,13 @@ impl Zipf {
 
     /// Draws one index.
     pub fn sample(&self, rng: &mut SmallRng) -> usize {
-        let u: f64 = rng.random();
+        self.sample_unit(rng.random())
+    }
+
+    /// Maps one uniform draw `u` in `[0, 1)` to an index — the inverse
+    /// CDF, usable with any randomness source (poly-store's native driver
+    /// brings its own RNG).
+    pub fn sample_unit(&self, u: f64) -> usize {
         self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
     }
 

@@ -1,96 +1,63 @@
-//! A small sharded key-value store built on `lockin` locks, exercised with
-//! a zipf-skewed workload — the kind of service the paper's §6 systems are.
-//! The same workload shape then runs on the simulated Xeon through the
-//! scenario API, comparing lock algorithms with energy attached.
+//! The `poly-store` serving subsystem end to end: the same declarative
+//! `kv` mix drives (1) the real sharded store on this host — native lock
+//! acquisitions, per-shard stats, modeled Xeon energy — and (2) the
+//! simulated Xeon through the scenario API, so lock algorithms can be
+//! compared with energy attached on both sides.
 
-use std::collections::HashMap;
-
-use lockin::{Lock, Mutexee, RwLock};
 use unlocking_energy::poly_locks_sim::LockKind;
-use unlocking_energy::poly_scenarios::{cross, Registry, SweepRunner};
-
-/// A sharded map: point lookups/updates take a shard mutex; scans take a
-/// store-wide rwlock in read mode while a (rare) compaction writes.
-struct KvStore {
-    shards: Vec<Lock<HashMap<u64, u64>, Mutexee>>,
-    epoch: RwLock<u64, Mutexee>,
-}
-
-impl KvStore {
-    fn new(shards: usize) -> Self {
-        Self {
-            shards: (0..shards).map(|_| Lock::new(HashMap::new())).collect(),
-            epoch: RwLock::new(0),
-        }
-    }
-
-    fn put(&self, k: u64, v: u64) {
-        let _e = self.epoch.read();
-        let shard = (k as usize) % self.shards.len();
-        self.shards[shard].lock().insert(k, v);
-    }
-
-    fn get(&self, k: u64) -> Option<u64> {
-        let _e = self.epoch.read();
-        let shard = (k as usize) % self.shards.len();
-        self.shards[shard].lock().get(&k).copied()
-    }
-
-    fn bump_epoch(&self) {
-        *self.epoch.write() += 1;
-    }
-}
+use unlocking_energy::poly_scenarios::{cross_shards, Registry, SweepRunner};
+use unlocking_energy::poly_store::{run_load, KvMix, LoadSpec, PolyStore, StoreConfig, WriteBatch};
 
 fn main() {
-    let store = KvStore::new(16);
-    let threads = 4;
-    let ops: u64 = 100_000;
-    let start = std::time::Instant::now();
-    std::thread::scope(|s| {
-        for t in 0..threads {
-            let store = &store;
-            s.spawn(move || {
-                // Cheap zipf-ish skew: quadratic rejection toward small keys.
-                let mut x = 88_172_645_463_325_252u64 ^ (t + 1);
-                for i in 0..ops {
-                    x ^= x << 13;
-                    x ^= x >> 7;
-                    x ^= x << 17;
-                    let key = (x % 1000) * (x % 97) % 1000;
-                    if x % 10 < 3 {
-                        store.put(key, i);
-                    } else {
-                        let _ = store.get(key);
-                    }
-                    if x.is_multiple_of(100_000) {
-                        store.bump_epoch();
-                    }
-                }
-            });
-        }
-    });
-    let dt = start.elapsed();
-    let total = threads * ops;
-    println!(
-        "{} ops across {} threads in {:.1} ms  ({:.2} Mops/s)",
-        total,
-        threads,
-        dt.as_secs_f64() * 1e3,
-        total as f64 / dt.as_secs_f64() / 1e6
-    );
-    println!("final epoch: {}", *store.epoch.read());
+    // --- Native: the real store under a zipf-hot mix -------------------
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(4);
+    let mix = KvMix::zipf_hot().with_shards(16);
+    println!("native poly-store, {} ({} threads, {} shards):", mix.label(), threads, mix.shards);
+    for lock in [LockKind::Mutex, LockKind::Ticket, LockKind::Mutexee] {
+        let store = PolyStore::new(StoreConfig { shards: mix.shards, lock });
+        let r = run_load(&store, &LoadSpec::saturating(mix, threads, 20_000, 42));
+        println!(
+            "{:>8}: {:6.2} Mops/s  p99 {:>7} ns  wait {:>6.1} ms  {:6.1} W (modeled)  {:7.2} uJ/op",
+            lock.label(),
+            r.throughput / 1e6,
+            r.p99_ns,
+            r.lock_wait_ns as f64 / 1e6,
+            r.energy.avg_power_w,
+            r.energy.epo_uj,
+        );
+    }
 
-    // The same zipf-sharded-KV shape as a declarative scenario: the
-    // registry's `kv-hot-zipf` entry, swept over three lock algorithms on
-    // the simulated Xeon, with energy per operation measured.
-    println!("\nsimulated Xeon, kv-hot-zipf scenario, 16 threads:");
+    // --- Epoch-guarded maintenance and batched writes ------------------
+    let store = PolyStore::new(StoreConfig { shards: 8, lock: LockKind::Mutexee });
+    let mut batch = WriteBatch::new();
+    for k in 0..1_000 {
+        batch.put(k, k * k);
+    }
+    store.apply(&batch); // one lock acquisition per shard
+    let epoch = store.bump_epoch(); // waits out in-flight scans
+    let mut sum = 0u64;
+    let seen_at = store.scan(|_, v| sum += v);
+    println!(
+        "\nbatched 1000 puts across 8 shards ({} batches), scan at epoch {seen_at}/{epoch}: \
+         sum {sum}",
+        store.total_stats().batches,
+    );
+
+    // --- Simulated: the same mix on the modeled Xeon -------------------
+    println!("\nsimulated Xeon, kv-zipf scenario, 16 threads, shards swept:");
     let base = Registry::builtin()
-        .get("kv-hot-zipf")
-        .expect("kv-hot-zipf is built in")
+        .get("kv-zipf")
+        .expect("kv-zipf is built in")
         .spec
         .clone()
         .with_duration(8_000_000, 800_000);
-    let cells = cross(&[base], &[LockKind::Mutex, LockKind::Ticket, LockKind::Mutexee], &[16], 42);
+    let cells = cross_shards(
+        &[base],
+        &[LockKind::Mutex, LockKind::Ticket, LockKind::Mutexee],
+        &[16],
+        &[16],
+        42,
+    );
     for r in SweepRunner::new().run(&cells) {
         println!(
             "{:>8}: {:6.2} Mops/s  {:6.1} W  {:7.2} uJ/op  p99 acquire {} cycles",

@@ -16,4 +16,5 @@ pub use poly_locks_sim;
 pub use poly_scenarios;
 pub use poly_sched;
 pub use poly_sim;
+pub use poly_store;
 pub use poly_systems;

@@ -13,7 +13,8 @@ use std::sync::Arc;
 /// invariants are identical either way; only the counts shrink.
 ///
 /// Same policy as `lockin`'s crate-private `test_stress_scale` (threads
-/// capped at 4, iterations divided by 20 with a 500 floor); that helper is
+/// capped at 4, iterations divided by 20 with a 500 floor — inert here,
+/// since 25_000 / 20 = 1250 > 500, so it is not restated); that helper is
 /// `#[cfg(test)]` and unreachable from this integration test, so keep the
 /// two in step when tuning either.
 fn stress_size() -> (u64, u64) {
@@ -21,7 +22,7 @@ fn stress_size() -> (u64, u64) {
     if cpus > 1 {
         (8, 25_000)
     } else {
-        (4, (25_000 / 20u64).max(500))
+        (4, 25_000 / 20u64)
     }
 }
 
