@@ -1,24 +1,30 @@
 //! The native `poly-store` serving CLI: run and sweep KV loads against the
-//! real sharded store on this host, with modeled Xeon energy attached.
+//! real sharded store on this host — in-process or through the `poly-net`
+//! TCP front-end — with modeled Xeon energy attached.
 //!
 //! ```text
 //! cargo run --release -p poly-bench --bin store -- list
 //! cargo run --release -p poly-bench --bin store -- run kv-zipf --lock MUTEXEE --threads 4
+//! cargo run --release -p poly-bench --bin store -- serve --addr 127.0.0.1:7878 --lock MUTEXEE
 //! cargo run --release -p poly-bench --bin store -- sweep \
-//!     --scenarios kv-zipf --locks MUTEX,MUTEXEE --shards 8,32 \
+//!     --scenarios kv-net-zipf --transport tcp,local --locks MUTEX,MUTEXEE \
 //!     --threads 2,4 --ops 20000 --format jsonl --out store-sweep.jsonl
 //! ```
 //!
 //! Unlike the `scenarios` bin (which runs the *simulated* Xeon), every
-//! cell here executes real lock acquisitions on the host; `POLY_QUICK=1`
-//! shrinks the default per-thread op count for CI.
+//! cell here executes real lock acquisitions on the host; with
+//! `--transport tcp` every operation additionally crosses a loopback TCP
+//! connection through a `poly-net` server spun up for the cell.
+//! `POLY_QUICK=1` shrinks the default per-thread op count for CI.
 
-use std::io::Write;
+use std::io::{Read, Write};
 use std::process::exit;
+use std::sync::Arc;
 
 use poly_locks_sim::LockKind;
+use poly_net::{NetClient, NetServer};
 use poly_scenarios::{parse_lock, Registry, SinkFormat, WorkloadSpec};
-use poly_store::{run_load, KvMix, LoadReport, LoadSpec, PolyStore, StoreConfig};
+use poly_store::{run_load, run_load_on, KvMix, LoadReport, LoadSpec, PolyStore, StoreConfig};
 
 fn usage() -> ! {
     eprintln!(
@@ -28,11 +34,14 @@ fn usage() -> ! {
          \x20 list                         list the kv scenarios (native-runnable)\n\
          \x20 run <name> [options]         run one load, print its report\n\
          \x20 sweep [options]              run a cross product of cells\n\
+         \x20 serve [options]              serve a store over TCP until stdin closes\n\
          \n\
          options (run and sweep):\n\
          \x20 --locks L1,L2 | --lock L     lock backends (default: MUTEXEE)\n\
          \x20 --threads N1,N2              client thread counts (default: host parallelism)\n\
          \x20 --shards S1,S2               store shard counts (default: mix default)\n\
+         \x20 --transport T1,T2            local | tcp (default: local); tcp runs each cell\n\
+         \x20                              through a loopback poly-net server\n\
          \x20 --ops N                      ops per thread (default: 50000; 5000 under POLY_QUICK)\n\
          \x20 --rate OPS_PER_S             open-loop arrival rate per thread (default: saturation)\n\
          \x20 --seed S                     workload seed (default: 42)\n\
@@ -40,9 +49,39 @@ fn usage() -> ! {
          \x20 --out FILE                   write reports to FILE instead of stdout\n\
          \n\
          options (sweep only):\n\
-         \x20 --scenarios n1,n2 | all      kv scenarios to sweep (default: all kv)"
+         \x20 --scenarios n1,n2 | all      kv scenarios to sweep (default: all kv)\n\
+         \n\
+         options (serve only):\n\
+         \x20 --addr HOST:PORT             listen address (default: 127.0.0.1:7878; port 0 = OS pick)\n\
+         \x20 --lock L, --shards N         store configuration (defaults: MUTEXEE, 32)"
     );
     exit(2);
+}
+
+/// How a cell's operations reach the store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Transport {
+    /// In-process calls, no serialization.
+    Local,
+    /// Through a loopback `poly-net` server: framed requests over TCP.
+    Tcp,
+}
+
+impl Transport {
+    fn label(self) -> &'static str {
+        match self {
+            Transport::Local => "local",
+            Transport::Tcp => "tcp",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Transport> {
+        match s.to_ascii_lowercase().as_str() {
+            "local" => Some(Transport::Local),
+            "tcp" => Some(Transport::Tcp),
+            _ => None,
+        }
+    }
 }
 
 fn fail(msg: String) -> ! {
@@ -54,12 +93,14 @@ struct Options {
     locks: Vec<LockKind>,
     threads: Vec<usize>,
     shards: Vec<usize>,
+    transports: Vec<Transport>,
     ops: u64,
     rate: Option<u64>,
     seed: u64,
     format: SinkFormat,
     out: Option<String>,
     scenarios: Option<Vec<String>>,
+    addr: String,
 }
 
 fn default_ops() -> u64 {
@@ -79,12 +120,14 @@ fn parse_options(args: &[String]) -> Options {
         locks: Vec::new(),
         threads: Vec::new(),
         shards: Vec::new(),
+        transports: Vec::new(),
         ops: default_ops(),
         rate: None,
         seed: 42,
         format: SinkFormat::JsonLines,
         out: None,
         scenarios: None,
+        addr: "127.0.0.1:7878".into(),
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -109,6 +152,17 @@ fn parse_options(args: &[String]) -> Options {
                     .map(|s| s.parse().unwrap_or_else(|_| fail(format!("bad shard count: {s}"))))
                     .collect();
             }
+            "--transport" | "--transports" => {
+                opts.transports = value()
+                    .split(',')
+                    .map(|s| {
+                        Transport::parse(s).unwrap_or_else(|| {
+                            fail(format!("unknown transport: {s} (local or tcp)"))
+                        })
+                    })
+                    .collect();
+            }
+            "--addr" => opts.addr = value().to_string(),
             "--ops" => opts.ops = value().parse().unwrap_or_else(|_| fail("bad --ops".into())),
             "--rate" => {
                 let r: u64 = value().parse().unwrap_or_else(|_| fail("bad --rate".into()));
@@ -161,6 +215,7 @@ fn lookup_mix(reg: &Registry, name: &str) -> KvMix {
 struct Cell {
     scenario: String,
     mix: KvMix,
+    transport: Transport,
     lock: LockKind,
     threads: usize,
     report: LoadReport,
@@ -193,12 +248,14 @@ impl Cell {
     fn to_json(&self) -> String {
         let r = &self.report;
         format!(
-            "{{\"scenario\":{},\"workload\":{},\"lock\":\"{}\",\"shards\":{},\"threads\":{},\
+            "{{\"scenario\":{},\"workload\":{},\"transport\":\"{}\",\"lock\":\"{}\",\
+             \"shards\":{},\"threads\":{},\
              \"ops\":{},\"wall_ms\":{},\"throughput\":{},\"p50_ns\":{},\"p99_ns\":{},\
              \"max_ns\":{},\"lock_wait_ns\":{},\"lock_hold_ns\":{},\"avg_power_w\":{},\
              \"energy_j\":{},\"epo_uj\":{},\"energy_model\":\"xeon\"}}",
             json_escape(&self.scenario),
             json_escape(&self.mix.label()),
+            self.transport.label(),
             self.lock.label(),
             self.mix.shards,
             self.threads,
@@ -216,15 +273,16 @@ impl Cell {
         )
     }
 
-    const CSV_HEADER: &'static str = "scenario,workload,lock,shards,threads,ops,wall_ms,\
+    const CSV_HEADER: &'static str = "scenario,workload,transport,lock,shards,threads,ops,wall_ms,\
         throughput,p50_ns,p99_ns,max_ns,lock_wait_ns,lock_hold_ns,avg_power_w,energy_j,epo_uj";
 
     fn to_csv(&self) -> String {
         let r = &self.report;
         format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             self.scenario,
             self.mix.label(),
+            self.transport.label(),
             self.lock.label(),
             self.mix.shards,
             self.threads,
@@ -243,14 +301,59 @@ impl Cell {
     }
 }
 
-fn run_cell(scenario: &str, mix: KvMix, lock: LockKind, threads: usize, opts: &Options) -> Cell {
-    let store = PolyStore::new(StoreConfig { shards: mix.shards, lock });
+/// Spins up a loopback server + client for one TCP cell, retrying
+/// transient failures (ephemeral-port exhaustion under per-cell server
+/// churn) before giving up on the whole sweep.
+fn connect_loopback(shards: usize, lock: LockKind) -> (NetServer, NetClient) {
+    let mut last_err = None;
+    for attempt in 0..3 {
+        if attempt > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(100 << attempt));
+        }
+        let store = Arc::new(PolyStore::new(StoreConfig { shards, lock }));
+        match NetServer::bind("127.0.0.1:0", store) {
+            Ok(server) => match NetClient::connect(server.local_addr()) {
+                Ok(client) => return (server, client),
+                Err(e) => last_err = Some(format!("connecting to {}: {e}", server.local_addr())),
+            },
+            Err(e) => last_err = Some(format!("binding loopback server: {e}")),
+        }
+    }
+    fail(last_err.unwrap_or_else(|| "loopback setup failed".into()));
+}
+
+fn run_cell(
+    scenario: &str,
+    mix: KvMix,
+    transport: Transport,
+    lock: LockKind,
+    threads: usize,
+    opts: &Options,
+) -> Cell {
     let spec = LoadSpec {
         rate_ops_s: opts.rate,
         ..LoadSpec::saturating(mix, threads, opts.ops, opts.seed)
     };
-    let report = run_load(&store, &spec);
-    Cell { scenario: scenario.to_string(), mix, lock, threads, report }
+    let report = match transport {
+        Transport::Local => {
+            let store = PolyStore::new(StoreConfig { shards: mix.shards, lock });
+            run_load(&store, &spec)
+        }
+        Transport::Tcp => {
+            // Each cell gets its own loopback server on an OS-assigned
+            // port; the server shuts down (joining every worker) when it
+            // drops at the end of the cell. Setup failures are retried:
+            // the per-cell server churn of a long sweep can transiently
+            // exhaust ephemeral ports, and one flaky cell must not
+            // abort the process with every finished cell unemitted.
+            let (server, client) = connect_loopback(mix.shards, lock);
+            let report = run_load_on(&client, &spec);
+            drop(client);
+            drop(server); // graceful shutdown: joins every worker
+            report
+        }
+    };
+    Cell { scenario: scenario.to_string(), mix, transport, lock, threads, report }
 }
 
 fn emit(cells: &[Cell], opts: &Options) {
@@ -299,9 +402,39 @@ fn cmd_run(reg: &Registry, name: &str, opts: &Options) {
     let mix = lookup_mix(reg, name);
     let lock = *opts.locks.first().unwrap_or(&LockKind::Mutexee);
     let threads = *opts.threads.first().unwrap_or(&host_threads());
+    let transport = *opts.transports.first().unwrap_or(&Transport::Local);
     let mix = if let Some(&s) = opts.shards.first() { mix.with_shards(s) } else { mix };
-    let cell = run_cell(name, mix, lock, threads, opts);
+    let cell = run_cell(name, mix, transport, lock, threads, opts);
     emit(std::slice::from_ref(&cell), opts);
+}
+
+/// Serves a store on `--addr` until stdin reaches EOF (pipe-friendly:
+/// `store serve < /dev/null` exits immediately after binding; an
+/// interactive run stops on Ctrl-D), then shuts down gracefully.
+fn cmd_serve(opts: &Options) {
+    let lock = *opts.locks.first().unwrap_or(&LockKind::Mutexee);
+    let shards = *opts.shards.first().unwrap_or(&32);
+    let store = Arc::new(PolyStore::new(StoreConfig { shards, lock }));
+    let mut server = NetServer::bind(opts.addr.as_str(), store)
+        .unwrap_or_else(|e| fail(format!("binding {}: {e}", opts.addr)));
+    // The bound address goes to stdout (scripts parse it; with port 0 the
+    // OS picks); everything else to stderr.
+    println!("{}", server.local_addr());
+    std::io::stdout().flush().ok();
+    eprintln!(
+        "serving {} shards under {} on {} (EOF on stdin stops the server)",
+        shards,
+        lock.label(),
+        server.local_addr()
+    );
+    let mut sink = Vec::new();
+    let _ = std::io::stdin().read_to_end(&mut sink);
+    server.shutdown();
+    let net = server.net_stats();
+    eprintln!(
+        "served {} connections, {} frames ({} B in, {} B out)",
+        net.connections, net.frames, net.bytes_in, net.bytes_out
+    );
 }
 
 fn cmd_sweep(reg: &Registry, opts: &Options) {
@@ -321,25 +454,32 @@ fn cmd_sweep(reg: &Registry, opts: &Options) {
             opts.shards.clone()
         }
     };
-    let planned: usize =
-        bases.iter().map(|(_, mix)| shard_list_of(mix).len() * locks.len() * threads.len()).sum();
+    let transports =
+        if opts.transports.is_empty() { vec![Transport::Local] } else { opts.transports.clone() };
+    let planned: usize = bases
+        .iter()
+        .map(|(_, mix)| shard_list_of(mix).len() * locks.len() * threads.len() * transports.len())
+        .sum();
     let mut cells = Vec::new();
     for (name, mix) in &bases {
         let shard_list = shard_list_of(mix);
         for &s in &shard_list {
             let mix = mix.with_shards(s);
-            for &lock in &locks {
-                for &t in &threads {
-                    eprintln!(
-                        "cell {}/{}: {} lock={} shards={} threads={}",
-                        cells.len() + 1,
-                        planned,
-                        name,
-                        lock.label(),
-                        s,
-                        t
-                    );
-                    cells.push(run_cell(name, mix, lock, t, opts));
+            for &transport in &transports {
+                for &lock in &locks {
+                    for &t in &threads {
+                        eprintln!(
+                            "cell {}/{}: {} transport={} lock={} shards={} threads={}",
+                            cells.len() + 1,
+                            planned,
+                            name,
+                            transport.label(),
+                            lock.label(),
+                            s,
+                            t
+                        );
+                        cells.push(run_cell(name, mix, transport, lock, t, opts));
+                    }
                 }
             }
         }
@@ -357,6 +497,7 @@ fn main() {
             cmd_run(&reg, name, &parse_options(&args[2..]));
         }
         Some("sweep") => cmd_sweep(&reg, &parse_options(&args[1..])),
+        Some("serve") => cmd_serve(&parse_options(&args[1..])),
         _ => usage(),
     }
 }

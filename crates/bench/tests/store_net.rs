@@ -1,0 +1,201 @@
+//! Loopback end-to-end tests of the `store` CLI's network path: the
+//! acceptance gate for the TCP front-end. Each test execs the real
+//! `store` binary (via `CARGO_BIN_EXE_store`), so the whole stack —
+//! argument parsing, scenario lookup, poly-net server + client, open-loop
+//! driver, JSONL emission — runs exactly as a user would run it.
+
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Command, Stdio};
+
+fn store_bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_store"))
+}
+
+/// Runs `store sweep` with the given transport over a kv-net scenario and
+/// returns the JSONL lines.
+fn sweep_jsonl(transport: &str) -> Vec<String> {
+    let out = store_bin()
+        .args([
+            "sweep",
+            "--scenarios",
+            "kv-net-zipf",
+            "--transport",
+            transport,
+            "--locks",
+            "MUTEX,MUTEXEE",
+            "--threads",
+            "2",
+            "--ops",
+            "300",
+            "--seed",
+            "7",
+            "--format",
+            "jsonl",
+        ])
+        .output()
+        .expect("store sweep runs");
+    assert!(
+        out.status.success(),
+        "sweep --transport {transport} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).expect("utf-8 jsonl");
+    stdout.lines().map(str::to_string).collect()
+}
+
+/// The JSON keys of one flat object, in emission order (good enough for
+/// the hand-rolled single-level records the CLI emits: keys never contain
+/// escapes).
+fn json_keys(line: &str) -> Vec<String> {
+    let mut keys = Vec::new();
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'"' {
+            let start = i + 1;
+            let end = start + line[start..].find('"').expect("closing quote");
+            if bytes.get(end + 1) == Some(&b':') {
+                keys.push(line[start..end].to_string());
+                // Skip past the value's opening quote, if any, so string
+                // *values* are never mistaken for keys.
+                if bytes.get(end + 2) == Some(&b'"') {
+                    let vstart = end + 3;
+                    i = vstart + line[vstart..].find('"').expect("closing value quote") + 1;
+                    continue;
+                }
+            }
+            i = end + 1;
+        } else {
+            i += 1;
+        }
+    }
+    keys
+}
+
+/// Extracts a field's raw value text from a flat JSON object.
+fn json_value<'a>(line: &'a str, key: &str) -> &'a str {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat).unwrap_or_else(|| panic!("{key} missing in {line}")) + pat.len();
+    let rest = &line[start..];
+    let end = rest
+        .char_indices()
+        .scan(false, |in_str, (i, c)| {
+            match c {
+                '"' => *in_str = !*in_str,
+                ',' | '}' if !*in_str => return Some(Some(i)),
+                _ => {}
+            }
+            Some(None)
+        })
+        .flatten()
+        .next()
+        .expect("value terminator");
+    &rest[..end]
+}
+
+/// `store sweep --transport tcp` over a kv-net scenario: JSONL cells with
+/// throughput, tails, and modeled energy; schema byte-identical to the
+/// local transport apart from the `transport` field; labels deterministic
+/// across runs.
+#[test]
+fn tcp_sweep_matches_local_schema_and_is_label_deterministic() {
+    let tcp = sweep_jsonl("tcp");
+    let local = sweep_jsonl("local");
+    assert_eq!(tcp.len(), 2, "two locks => two cells: {tcp:?}");
+    assert_eq!(local.len(), 2);
+
+    for (t, l) in tcp.iter().zip(&local) {
+        // Identical schema: same keys, same order.
+        assert_eq!(json_keys(t), json_keys(l), "tcp/local schemas diverge");
+        assert_eq!(json_value(t, "transport"), "\"tcp\"");
+        assert_eq!(json_value(l, "transport"), "\"local\"");
+        // Identity fields agree cell by cell; only measurements differ.
+        for key in ["scenario", "workload", "lock", "shards", "threads", "ops"] {
+            assert_eq!(json_value(t, key), json_value(l, key), "{key} diverged");
+        }
+        assert_eq!(json_value(t, "scenario"), "\"kv-net-zipf\"");
+        // The measured fields are present and sane.
+        assert_eq!(json_value(t, "ops"), "600");
+        assert!(json_value(t, "throughput").parse::<f64>().unwrap() > 0.0);
+        assert!(json_value(t, "p50_ns").parse::<u64>().unwrap() > 0);
+        assert!(json_value(t, "p99_ns").parse::<u64>().unwrap() > 0);
+        assert!(json_value(t, "avg_power_w").parse::<f64>().unwrap() > 27.0);
+        assert!(json_value(t, "energy_j").parse::<f64>().unwrap() > 0.0);
+    }
+
+    // Scenario labels are deterministic: a second tcp sweep names the
+    // same cells in the same order.
+    let again = sweep_jsonl("tcp");
+    for (a, b) in tcp.iter().zip(&again) {
+        for key in ["scenario", "workload", "transport", "lock", "shards", "threads"] {
+            assert_eq!(json_value(a, key), json_value(b, key), "{key} not deterministic");
+        }
+    }
+}
+
+/// One sweep can carry both transports as an axis.
+#[test]
+fn transport_is_a_sweep_axis() {
+    let out = store_bin()
+        .args([
+            "sweep",
+            "--scenarios",
+            "kv-net-uniform",
+            "--transport",
+            "local,tcp",
+            "--locks",
+            "MUTEXEE",
+            "--threads",
+            "1",
+            "--ops",
+            "200",
+            "--format",
+            "csv",
+        ])
+        .output()
+        .expect("store sweep runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let mut lines = stdout.lines();
+    let header = lines.next().expect("csv header");
+    assert!(header.contains(",transport,"), "header: {header}");
+    let rows: Vec<&str> = lines.collect();
+    assert_eq!(rows.len(), 2);
+    let col = header.split(',').position(|c| c == "transport").unwrap();
+    let transports: Vec<&str> = rows.iter().map(|r| r.split(',').nth(col).unwrap()).collect();
+    assert_eq!(transports, ["local", "tcp"]);
+}
+
+/// `store serve` binds, prints its address, serves real clients, and
+/// shuts down cleanly when stdin closes.
+#[test]
+fn serve_command_serves_until_stdin_eof() {
+    let mut child = store_bin()
+        .args(["serve", "--addr", "127.0.0.1:0", "--lock", "TTAS", "--shards", "4"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("store serve spawns");
+    let mut addr = String::new();
+    BufReader::new(child.stdout.take().expect("stdout piped"))
+        .read_line(&mut addr)
+        .expect("serve prints its address");
+
+    let client = poly_net::NetClient::connect(addr.trim()).expect("connect to served store");
+    let mut session = client.session().unwrap();
+    let conn = session.conn_mut();
+    assert_eq!(conn.put(9, 90).unwrap(), None);
+    assert_eq!(conn.get(9).unwrap(), Some(90));
+    let ws = conn.stats().unwrap();
+    assert_eq!(ws.lock, poly_store::LockKind::Ttas);
+    assert_eq!(ws.shards, 4);
+    drop(session);
+
+    // Closing stdin stops the server; the process must exit on its own.
+    let mut stdin = child.stdin.take().expect("stdin piped");
+    stdin.flush().ok();
+    drop(stdin);
+    let status = child.wait().expect("serve exits after stdin EOF");
+    assert!(status.success(), "serve exited with {status}");
+}

@@ -1,0 +1,220 @@
+//! The connection-pooled client and the network side of the open-loop
+//! driver.
+//!
+//! A [`NetClient`] owns a pool of TCP connections to one server. It
+//! implements [`poly_store::KvService`], so `poly_store::run_load_on`
+//! drives it exactly like the in-process store: same pacing, same
+//! staggered schedules, same latency accounting — the transport is the
+//! only variable. Stats come back over the wire (`STATS` frames), so the
+//! report's lock wait/hold and modeled energy reflect the *server's*
+//! shard locks.
+
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use poly_locks_sim::LockKind;
+use poly_store::{KvConnection, KvService, StatsSnapshot, WriteBatch};
+
+use crate::proto::{batch_request, read_frame, write_frame, Request, Response};
+
+/// One framed TCP connection to a [`crate::NetServer`].
+pub struct NetConn {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl NetConn {
+    /// Dials the server.
+    pub fn dial(addr: SocketAddr) -> io::Result<NetConn> {
+        let stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5))?;
+        stream.set_nodelay(true).ok();
+        Ok(NetConn { reader: BufReader::new(stream.try_clone()?), writer: BufWriter::new(stream) })
+    }
+
+    /// Sends one request and waits for its response.
+    pub fn request(&mut self, req: &Request) -> io::Result<Response> {
+        write_frame(&mut self.writer, &req.encode())?;
+        self.writer.flush()?;
+        let body = read_frame(&mut self.reader)?
+            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "server closed"))?;
+        Response::decode(&body, req)
+    }
+
+    fn expect_value(&mut self, req: &Request) -> io::Result<Option<u64>> {
+        match self.request(req)? {
+            Response::Value(v) => Ok(v),
+            other => Err(unexpected(req, &other)),
+        }
+    }
+
+    /// Point lookup over the wire.
+    pub fn get(&mut self, key: u64) -> io::Result<Option<u64>> {
+        self.expect_value(&Request::Get(key))
+    }
+
+    /// Point insert/update over the wire; returns the previous value.
+    pub fn put(&mut self, key: u64, value: u64) -> io::Result<Option<u64>> {
+        self.expect_value(&Request::Put(key, value))
+    }
+
+    /// Point deletion over the wire; returns the removed value.
+    pub fn remove(&mut self, key: u64) -> io::Result<Option<u64>> {
+        self.expect_value(&Request::Remove(key))
+    }
+
+    /// Server-side scan; returns `(entries, epoch)`.
+    pub fn scan(&mut self) -> io::Result<(u64, u64)> {
+        let req = Request::Scan;
+        match self.request(&req)? {
+            Response::Scan { count, epoch } => Ok((count, epoch)),
+            other => Err(unexpected(&req, &other)),
+        }
+    }
+
+    /// Ships a write batch; returns the number of writes applied.
+    pub fn apply(&mut self, batch: &WriteBatch) -> io::Result<u32> {
+        let req = batch_request(batch);
+        match self.request(&req)? {
+            Response::Batch { applied } => Ok(applied),
+            other => Err(unexpected(&req, &other)),
+        }
+    }
+
+    /// Fetches the server's identity and merged shard stats.
+    pub fn stats(&mut self) -> io::Result<crate::proto::WireStats> {
+        let req = Request::Stats;
+        match self.request(&req)? {
+            Response::Stats(ws) => Ok(*ws),
+            other => Err(unexpected(&req, &other)),
+        }
+    }
+}
+
+fn unexpected(req: &Request, resp: &Response) -> io::Error {
+    let msg = match resp {
+        Response::Error(e) => format!("server error for {req:?}: {e}"),
+        other => format!("mismatched response for {req:?}: {other:?}"),
+    };
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// A pooled client to one server: hand out sessions with
+/// [`NetClient::session`], and they return to the pool on drop.
+pub struct NetClient {
+    addr: SocketAddr,
+    pool: Mutex<Vec<NetConn>>,
+    lock: LockKind,
+    shards: u32,
+}
+
+impl NetClient {
+    /// Connects to the server and learns its identity (lock backend and
+    /// shard count) via a `STATS` exchange; the probing connection seeds
+    /// the pool.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<NetClient> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no address"))?;
+        let mut conn = NetConn::dial(addr)?;
+        let ws = conn.stats()?;
+        Ok(NetClient { addr, pool: Mutex::new(vec![conn]), lock: ws.lock, shards: ws.shards })
+    }
+
+    /// The server address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The server's shard count (learned at connect).
+    pub fn shards(&self) -> u32 {
+        self.shards
+    }
+
+    /// Number of idle pooled connections.
+    pub fn pooled(&self) -> usize {
+        self.pool.lock().unwrap().len()
+    }
+
+    /// Checks a connection out of the pool, dialing a fresh one when the
+    /// pool is dry. The session returns its connection on drop.
+    pub fn session(&self) -> io::Result<PooledConn<'_>> {
+        let conn = match self.pool.lock().unwrap().pop() {
+            Some(conn) => conn,
+            None => NetConn::dial(self.addr)?,
+        };
+        Ok(PooledConn { conn: Some(conn), client: self })
+    }
+}
+
+/// A pooled connection checked out of a [`NetClient`]; implements the
+/// driver's [`KvConnection`], panicking on I/O errors (the open-loop
+/// driver has no error channel — a dead server invalidates the run).
+/// Use the inherent [`NetConn`] methods via [`PooledConn::conn_mut`] for
+/// fallible access.
+pub struct PooledConn<'c> {
+    conn: Option<NetConn>,
+    client: &'c NetClient,
+}
+
+impl PooledConn<'_> {
+    /// The underlying connection, for fallible (Result-returning) use.
+    pub fn conn_mut(&mut self) -> &mut NetConn {
+        self.conn.as_mut().expect("connection present until drop")
+    }
+}
+
+impl Drop for PooledConn<'_> {
+    fn drop(&mut self) {
+        if let Some(conn) = self.conn.take() {
+            self.client.pool.lock().unwrap().push(conn);
+        }
+    }
+}
+
+impl KvConnection for PooledConn<'_> {
+    fn get(&mut self, key: u64) -> Option<u64> {
+        self.conn_mut().get(key).expect("net get")
+    }
+
+    fn put(&mut self, key: u64, value: u64) -> Option<u64> {
+        self.conn_mut().put(key, value).expect("net put")
+    }
+
+    fn remove(&mut self, key: u64) -> Option<u64> {
+        self.conn_mut().remove(key).expect("net remove")
+    }
+
+    fn scan_count(&mut self) -> u64 {
+        self.conn_mut().scan().expect("net scan").0
+    }
+
+    fn apply(&mut self, batch: &WriteBatch) {
+        self.conn_mut().apply(batch).expect("net batch");
+    }
+}
+
+impl KvService for NetClient {
+    type Conn<'s> = PooledConn<'s>;
+
+    fn connect(&self) -> PooledConn<'_> {
+        self.session().expect("dialing the server")
+    }
+
+    fn lock_kind(&self) -> LockKind {
+        self.lock
+    }
+
+    fn service_stats(&self) -> StatsSnapshot {
+        let mut session = self.session().expect("dialing the server");
+        session.conn_mut().stats().expect("net stats").stats
+    }
+
+    fn extra_threads_per_client(&self) -> usize {
+        // The server runs one worker thread per client connection; the
+        // serving path's power is part of the service's cost.
+        1
+    }
+}

@@ -1,0 +1,203 @@
+//! `poly-net` — the TCP serving front-end of the "Unlocking Energy"
+//! reproduction: the paper's lock/energy argument, put under a real
+//! network service.
+//!
+//! Pure `std::net` (the workspace builds offline), three layers:
+//!
+//! * [`proto`] — a compact length-prefixed binary protocol
+//!   (GET/PUT/REMOVE/SCAN/BATCH/STATS over little-endian frames);
+//! * [`NetServer`] — a blocking accept loop serving one
+//!   [`poly_store::PolyStore`], one worker thread per connection (capped
+//!   by [`ServerConfig::max_conns`], scaled to the host's parallelism),
+//!   graceful shutdown, and per-connection op/byte counters
+//!   ([`NetStatsSnapshot`]);
+//! * [`NetClient`] — a connection-pooled client implementing
+//!   [`poly_store::KvService`], so `poly_store::run_load_on` paces the
+//!   same open-loop kv scenarios over TCP that it runs in-process, and
+//!   the `STATS` exchange folds the *server's* shard-lock waits into the
+//!   modeled joules-per-op.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use poly_store::{KvMix, LoadSpec, PolyStore, StoreConfig, run_load_on, LockKind};
+//! use poly_net::{NetClient, NetServer};
+//!
+//! let mix = KvMix::uniform().with_shards(4);
+//! let store = Arc::new(PolyStore::new(StoreConfig { shards: mix.shards, lock: LockKind::Mutexee }));
+//! let server = NetServer::bind("127.0.0.1:0", Arc::clone(&store)).unwrap();
+//! let client = NetClient::connect(server.local_addr()).unwrap();
+//! let report = run_load_on(&client, &LoadSpec::saturating(mix, 2, 100, 42));
+//! assert_eq!(report.ops, 200);
+//! ```
+
+#![deny(missing_docs)]
+
+mod client;
+pub mod proto;
+mod server;
+
+pub use client::{NetClient, NetConn, PooledConn};
+pub use server::{NetServer, NetStatsSnapshot, ServerConfig};
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    use poly_locks_sim::LockKind;
+    use poly_store::{run_load_on, KvMix, LoadSpec, PolyStore, StoreConfig};
+
+    use crate::proto::Request;
+    use crate::{NetClient, NetServer, ServerConfig};
+
+    fn serve(lock: LockKind, shards: usize) -> (NetServer, NetClient) {
+        let store = Arc::new(PolyStore::new(StoreConfig { shards, lock }));
+        let server = NetServer::bind("127.0.0.1:0", store).expect("bind loopback");
+        let client = NetClient::connect(server.local_addr()).expect("connect loopback");
+        (server, client)
+    }
+
+    #[test]
+    fn point_ops_round_trip_over_loopback() {
+        let (server, client) = serve(LockKind::Mutexee, 4);
+        let mut s = client.session().unwrap();
+        let conn = s.conn_mut();
+        assert_eq!(conn.put(1, 10).unwrap(), None);
+        assert_eq!(conn.put(1, 11).unwrap(), Some(10));
+        assert_eq!(conn.get(1).unwrap(), Some(11));
+        assert_eq!(conn.get(2).unwrap(), None);
+        assert_eq!(conn.remove(1).unwrap(), Some(11));
+        assert_eq!(conn.get(1).unwrap(), None);
+        drop(s);
+        let net = server.net_stats();
+        assert_eq!(net.gets, 3);
+        assert_eq!(net.puts, 2);
+        assert_eq!(net.removes, 1);
+        assert!(net.frames >= 7, "stats probe + 6 point ops");
+        assert!(net.bytes_in > 0 && net.bytes_out > 0);
+    }
+
+    #[test]
+    fn scans_and_batches_cross_the_wire() {
+        let (server, client) = serve(LockKind::Ttas, 8);
+        let mut s = client.session().unwrap();
+        let conn = s.conn_mut();
+        let mut batch = poly_store::WriteBatch::new();
+        for k in 0..100 {
+            batch.put(k, k * 3);
+        }
+        batch.remove(7);
+        assert_eq!(conn.apply(&batch).unwrap(), 101);
+        let (count, epoch) = conn.scan().unwrap();
+        assert_eq!(count, 99);
+        assert_eq!(epoch, 0);
+        server.store().bump_epoch();
+        assert_eq!(conn.scan().unwrap().1, 1);
+        // The server-side store saw the batch as batches, not point ops.
+        let ws = conn.stats().unwrap();
+        assert_eq!(ws.lock, LockKind::Ttas);
+        assert_eq!(ws.shards, 8);
+        assert_eq!(ws.stats.puts, 100);
+        assert!(ws.stats.batches >= 1);
+    }
+
+    #[test]
+    fn sessions_return_to_the_pool() {
+        let (_server, client) = serve(LockKind::Mutex, 2);
+        assert_eq!(client.pooled(), 1);
+        {
+            let _a = client.session().unwrap();
+            let _b = client.session().unwrap();
+            assert_eq!(client.pooled(), 0);
+        }
+        assert_eq!(client.pooled(), 2, "dropped sessions must return their connections");
+    }
+
+    #[test]
+    fn open_loop_driver_runs_over_tcp() {
+        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(2);
+        let mix = KvMix { keys: 1_024, ..KvMix::uniform() }.with_shards(4);
+        let (server, client) = serve(LockKind::Mutexee, mix.shards);
+        let spec = LoadSpec::saturating(mix, threads, 300, 42);
+        let r = run_load_on(&client, &spec);
+        assert_eq!(r.ops, threads as u64 * 300);
+        assert_eq!(r.request_latency.count(), r.ops);
+        assert!(r.throughput > 0.0);
+        assert!(r.p50_ns <= r.p99_ns);
+        // Stats came over the wire from the server's shards.
+        assert!(r.store_stats.gets > 0);
+        assert!(r.lock_hold_ns > 0);
+        assert!(r.energy.avg_power_w > 27.0 && r.energy.avg_power_w < 207.0);
+        let net = server.net_stats();
+        assert!(net.frames >= r.ops, "every op crossed the wire");
+    }
+
+    #[test]
+    fn batched_kv_mix_runs_over_tcp() {
+        let mix = KvMix { keys: 1_024, batch: 8, ..KvMix::write_burst() }.with_shards(4);
+        let (server, client) = serve(LockKind::Mutex, mix.shards);
+        let r = run_load_on(&client, &LoadSpec::saturating(mix, 1, 200, 7));
+        assert_eq!(r.ops, 200);
+        assert_eq!(r.request_latency.count(), 200);
+        assert!(r.store_stats.batches > 0, "batches must ship as BATCH frames");
+        assert!(server.net_stats().batches > 0);
+    }
+
+    #[test]
+    fn graceful_shutdown_joins_workers_and_closes_conns() {
+        let (mut server, client) = serve(LockKind::Mutexee, 2);
+        let mut s = client.session().unwrap();
+        s.conn_mut().put(5, 50).unwrap();
+        server.shutdown();
+        server.shutdown(); // idempotent
+                           // The worker is gone: the next request fails instead of hanging.
+        assert!(s.conn_mut().get(5).is_err(), "request against a shut-down server must error");
+    }
+
+    #[test]
+    fn connection_cap_refuses_extra_clients() {
+        let store = Arc::new(PolyStore::new(StoreConfig { shards: 2, lock: LockKind::Mutex }));
+        let cfg = ServerConfig { max_conns: 1, read_timeout: Duration::from_millis(10) };
+        let server = NetServer::bind_with("127.0.0.1:0", store, cfg).expect("bind");
+        let client = NetClient::connect(server.local_addr()).expect("first client fits");
+        // The pooled probe connection holds the only slot; a second dial
+        // is accepted by the OS but closed by the server without service.
+        let refused = NetClient::connect(server.local_addr());
+        assert!(refused.is_err(), "second connection must be refused");
+        // Wait for the refusal to be counted (accept loop is async).
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while server.net_stats().refused == 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(server.net_stats().refused >= 1);
+        drop(client);
+    }
+
+    #[test]
+    fn malformed_request_yields_error_response_not_crash() {
+        let (_server, client) = serve(LockKind::Mutex, 2);
+        let mut s = client.session().unwrap();
+        // An unknown opcode must come back as a protocol-level error
+        // response; the connection stays usable afterwards.
+        let resp = s.conn_mut().request(&Request::Get(1));
+        assert!(resp.is_ok());
+        // Hand-feed garbage through the raw protocol: unknown opcode.
+        // (Request has no "bad" variant, so exercise the server by proxy:
+        // the decode failure path is covered in proto's own tests; here we
+        // confirm a live server survives a bad frame from a raw socket.)
+        use crate::proto::write_frame;
+        use std::io::{Read, Write};
+        let mut raw = std::net::TcpStream::connect(client.addr()).unwrap();
+        write_frame(&mut raw, &[0x7F, 1, 2, 3]).unwrap();
+        raw.flush().unwrap();
+        let mut len = [0u8; 4];
+        raw.read_exact(&mut len).unwrap();
+        let mut body = vec![0u8; u32::from_le_bytes(len) as usize];
+        raw.read_exact(&mut body).unwrap();
+        assert_eq!(body[0], 0x01, "status must be ERR");
+        // And the original session still works.
+        assert!(s.conn_mut().get(1).is_ok());
+    }
+}

@@ -1,0 +1,481 @@
+//! The wire protocol: compact length-prefixed binary frames.
+//!
+//! Every message is a `u32` little-endian body length followed by the
+//! body; the body's first byte is an opcode (requests) or a status byte
+//! (responses), and all integers are little-endian `u64`/`u32`. The
+//! format is deliberately dumb — fixed-width fields, no varints, no
+//! self-description — so encode/decode stay off the latency path's
+//! profile and a frame can be parsed with no allocation except `BATCH`.
+//!
+//! | request | body |
+//! |---|---|
+//! | `GET` | op `0x01`, key `u64` |
+//! | `PUT` | op `0x02`, key `u64`, value `u64` |
+//! | `REMOVE` | op `0x03`, key `u64` |
+//! | `SCAN` | op `0x04` |
+//! | `BATCH` | op `0x05`, count `u32`, then per write: tag `u8` (1 put / 0 remove), key `u64`, value `u64` |
+//! | `STATS` | op `0x06` |
+//!
+//! Responses open with status `0x00` (ok) or `0x01` (error, rest of the
+//! body is a UTF-8 message). Ok payloads: point ops return
+//! `present u8 + value u64`; `SCAN` returns `count u64 + epoch u64`;
+//! `BATCH` returns `applied u32`; `STATS` returns the lock kind, shard
+//! count and a full [`StatsSnapshot`] including the latency histogram.
+
+use std::io::{self, Read, Write};
+
+use poly_locks_sim::LockKind;
+use poly_store::{BatchOp, HistogramSnapshot, StatsSnapshot, WriteBatch, HIST_BUCKETS};
+
+/// Upper bound on a frame body, enforced on both ends: a corrupt or
+/// hostile length prefix must not become a multi-gigabyte allocation.
+pub const MAX_FRAME: usize = 4 << 20;
+
+const OP_GET: u8 = 0x01;
+const OP_PUT: u8 = 0x02;
+const OP_REMOVE: u8 = 0x03;
+const OP_SCAN: u8 = 0x04;
+const OP_BATCH: u8 = 0x05;
+const OP_STATS: u8 = 0x06;
+
+const STATUS_OK: u8 = 0x00;
+const STATUS_ERR: u8 = 0x01;
+
+/// One client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Point lookup.
+    Get(u64),
+    /// Point insert/update.
+    Put(u64, u64),
+    /// Point deletion.
+    Remove(u64),
+    /// Full scan (the server aggregates; entries never cross the wire).
+    Scan,
+    /// A write batch, applied with one lock acquisition per shard.
+    Batch(Vec<BatchOp>),
+    /// Server stats: lock kind, shard count, merged shard stats.
+    Stats,
+}
+
+/// One server response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Point-op result: the previous/found value, if any.
+    Value(Option<u64>),
+    /// Scan result: entries visited and the epoch the scan observed.
+    Scan {
+        /// Entries visited.
+        count: u64,
+        /// The maintenance epoch the scan ran under.
+        epoch: u64,
+    },
+    /// Batch acknowledged.
+    Batch {
+        /// Writes applied.
+        applied: u32,
+    },
+    /// Server stats snapshot (boxed: the histogram makes it two orders
+    /// of magnitude larger than the hot point-op variants).
+    Stats(Box<WireStats>),
+    /// The request could not be served.
+    Error(String),
+}
+
+/// The server-side identity and counters a `STATS` request returns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireStats {
+    /// Lock backend guarding the server's shards.
+    pub lock: LockKind,
+    /// Server shard count.
+    pub shards: u32,
+    /// Merged shard stats (op counts, lock wait/hold, latency histogram).
+    pub stats: StatsSnapshot,
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// A bounds-checked little-endian reader over one frame body.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.buf.len());
+        let Some(end) = end else {
+            return Err(bad_frame("truncated frame"));
+        };
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> io::Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> io::Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> io::Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn rest(&mut self) -> &'a [u8] {
+        let s = &self.buf[self.pos..];
+        self.pos = self.buf.len();
+        s
+    }
+
+    fn finish(&self) -> io::Result<()> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(bad_frame("trailing bytes in frame"))
+        }
+    }
+}
+
+fn bad_frame(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+impl Request {
+    /// Encodes the request body (no length prefix).
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Request::Get(k) => {
+                let mut b = Vec::with_capacity(9);
+                b.push(OP_GET);
+                put_u64(&mut b, *k);
+                b
+            }
+            Request::Put(k, v) => {
+                let mut b = Vec::with_capacity(17);
+                b.push(OP_PUT);
+                put_u64(&mut b, *k);
+                put_u64(&mut b, *v);
+                b
+            }
+            Request::Remove(k) => {
+                let mut b = Vec::with_capacity(9);
+                b.push(OP_REMOVE);
+                put_u64(&mut b, *k);
+                b
+            }
+            Request::Scan => vec![OP_SCAN],
+            Request::Batch(ops) => {
+                let mut b = Vec::with_capacity(5 + ops.len() * 17);
+                b.push(OP_BATCH);
+                put_u32(&mut b, ops.len() as u32);
+                for &(key, val) in ops {
+                    b.push(u8::from(val.is_some()));
+                    put_u64(&mut b, key);
+                    put_u64(&mut b, val.unwrap_or(0));
+                }
+                b
+            }
+            Request::Stats => vec![OP_STATS],
+        }
+    }
+
+    /// Decodes one request body.
+    pub fn decode(body: &[u8]) -> io::Result<Request> {
+        let mut c = Cursor::new(body);
+        let req = match c.u8()? {
+            OP_GET => Request::Get(c.u64()?),
+            OP_PUT => Request::Put(c.u64()?, c.u64()?),
+            OP_REMOVE => Request::Remove(c.u64()?),
+            OP_SCAN => Request::Scan,
+            OP_BATCH => {
+                let n = c.u32()? as usize;
+                // The count must agree with the frame length before any
+                // allocation sized by it.
+                if body.len() != 5 + n * 17 {
+                    return Err(bad_frame("batch count disagrees with frame length"));
+                }
+                let mut ops = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let tag = c.u8()?;
+                    let key = c.u64()?;
+                    let val = c.u64()?;
+                    ops.push((key, (tag != 0).then_some(val)));
+                }
+                Request::Batch(ops)
+            }
+            OP_STATS => Request::Stats,
+            op => return Err(bad_frame(&format!("unknown opcode 0x{op:02x}"))),
+        };
+        c.finish()?;
+        Ok(req)
+    }
+}
+
+/// Wire index of a lock kind: its position in [`LockKind::ALL`] (stable —
+/// the paper's table order).
+fn lock_to_wire(lock: LockKind) -> u8 {
+    LockKind::ALL.iter().position(|&k| k == lock).expect("LockKind::ALL is exhaustive") as u8
+}
+
+fn lock_from_wire(idx: u8) -> io::Result<LockKind> {
+    LockKind::ALL.get(idx as usize).copied().ok_or_else(|| bad_frame("unknown lock kind"))
+}
+
+fn encode_stats_snapshot(b: &mut Vec<u8>, s: &StatsSnapshot) {
+    for v in
+        [s.gets, s.get_hits, s.puts, s.removes, s.scans, s.batches, s.lock_wait_ns, s.lock_hold_ns]
+    {
+        put_u64(b, v);
+    }
+    for &bucket in &s.latency.buckets {
+        put_u64(b, bucket);
+    }
+    put_u64(b, s.latency.max_ns);
+}
+
+fn decode_stats_snapshot(c: &mut Cursor) -> io::Result<StatsSnapshot> {
+    let mut s = StatsSnapshot {
+        gets: c.u64()?,
+        get_hits: c.u64()?,
+        puts: c.u64()?,
+        removes: c.u64()?,
+        scans: c.u64()?,
+        batches: c.u64()?,
+        lock_wait_ns: c.u64()?,
+        lock_hold_ns: c.u64()?,
+        latency: HistogramSnapshot::default(),
+    };
+    for bucket in s.latency.buckets.iter_mut() {
+        *bucket = c.u64()?;
+    }
+    s.latency.max_ns = c.u64()?;
+    Ok(s)
+}
+
+impl Response {
+    /// Encodes the response body (no length prefix).
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Response::Value(v) => {
+                let mut b = Vec::with_capacity(10);
+                b.push(STATUS_OK);
+                b.push(u8::from(v.is_some()));
+                put_u64(&mut b, v.unwrap_or(0));
+                b
+            }
+            Response::Scan { count, epoch } => {
+                let mut b = Vec::with_capacity(17);
+                b.push(STATUS_OK);
+                put_u64(&mut b, *count);
+                put_u64(&mut b, *epoch);
+                b
+            }
+            Response::Batch { applied } => {
+                let mut b = Vec::with_capacity(5);
+                b.push(STATUS_OK);
+                put_u32(&mut b, *applied);
+                b
+            }
+            Response::Stats(ws) => {
+                let mut b = Vec::with_capacity(6 + (8 + HIST_BUCKETS + 1) * 8);
+                b.push(STATUS_OK);
+                b.push(lock_to_wire(ws.lock));
+                put_u32(&mut b, ws.shards);
+                encode_stats_snapshot(&mut b, &ws.stats);
+                b
+            }
+            Response::Error(msg) => {
+                let mut b = Vec::with_capacity(1 + msg.len());
+                b.push(STATUS_ERR);
+                b.extend_from_slice(msg.as_bytes());
+                b
+            }
+        }
+    }
+
+    /// Decodes one response body, `in reply to` the request that asked
+    /// (responses are not self-describing — GET and BATCH replies with the
+    /// same bytes mean different things).
+    pub fn decode(body: &[u8], in_reply_to: &Request) -> io::Result<Response> {
+        let mut c = Cursor::new(body);
+        match c.u8()? {
+            STATUS_OK => {}
+            STATUS_ERR => {
+                let msg = String::from_utf8_lossy(c.rest()).into_owned();
+                return Ok(Response::Error(msg));
+            }
+            s => return Err(bad_frame(&format!("unknown status 0x{s:02x}"))),
+        }
+        let resp = match in_reply_to {
+            Request::Get(_) | Request::Put(_, _) | Request::Remove(_) => {
+                let present = c.u8()? != 0;
+                let val = c.u64()?;
+                Response::Value(present.then_some(val))
+            }
+            Request::Scan => Response::Scan { count: c.u64()?, epoch: c.u64()? },
+            Request::Batch(_) => Response::Batch { applied: c.u32()? },
+            Request::Stats => Response::Stats(Box::new(WireStats {
+                lock: lock_from_wire(c.u8()?)?,
+                shards: c.u32()?,
+                stats: decode_stats_snapshot(&mut c)?,
+            })),
+        };
+        c.finish()?;
+        Ok(resp)
+    }
+}
+
+/// Writes one length-prefixed frame. Oversized bodies are rejected here,
+/// on the sending side, as [`io::ErrorKind::InvalidInput`]: shipping one
+/// would make the receiver kill the connection without a response, which
+/// the sender could not tell apart from a crash.
+pub fn write_frame<W: Write>(w: &mut W, body: &[u8]) -> io::Result<()> {
+    if body.len() > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame of {} bytes exceeds MAX_FRAME ({MAX_FRAME})", body.len()),
+        ));
+    }
+    w.write_all(&(body.len() as u32).to_le_bytes())?;
+    w.write_all(body)
+}
+
+/// Reads one length-prefixed frame; `Ok(None)` is a clean EOF at a frame
+/// boundary (the peer hung up between requests).
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
+    let mut len = [0u8; 4];
+    // A clean disconnect yields EOF on the first length byte; EOF
+    // anywhere else is a torn frame.
+    match r.read(&mut len[..1])? {
+        0 => return Ok(None),
+        1 => {}
+        _ => unreachable!("read of 1 byte"),
+    }
+    r.read_exact(&mut len[1..])?;
+    let n = u32::from_le_bytes(len) as usize;
+    if n > MAX_FRAME {
+        return Err(bad_frame(&format!("frame of {n} bytes exceeds MAX_FRAME")));
+    }
+    let mut body = vec![0u8; n];
+    r.read_exact(&mut body)?;
+    Ok(Some(body))
+}
+
+/// Converts a [`WriteBatch`] into the wire op list.
+pub fn batch_request(batch: &WriteBatch) -> Request {
+    Request::Batch(batch.ops().to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_req(req: Request) -> Request {
+        Request::decode(&req.encode()).expect("request round-trip")
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        for req in [
+            Request::Get(7),
+            Request::Put(u64::MAX, 0),
+            Request::Remove(42),
+            Request::Scan,
+            Request::Batch(vec![(1, Some(2)), (3, None), (u64::MAX, Some(u64::MAX))]),
+            Request::Batch(Vec::new()),
+            Request::Stats,
+        ] {
+            assert_eq!(round_trip_req(req.clone()), req);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let mut stats =
+            StatsSnapshot { gets: 3, get_hits: 2, lock_wait_ns: 99, ..Default::default() };
+        stats.latency.buckets[5] = 17;
+        stats.latency.max_ns = 1 << 20;
+        let cases: Vec<(Request, Response)> = vec![
+            (Request::Get(1), Response::Value(Some(5))),
+            (Request::Get(1), Response::Value(None)),
+            (Request::Put(1, 2), Response::Value(Some(u64::MAX))),
+            (Request::Remove(1), Response::Value(None)),
+            (Request::Scan, Response::Scan { count: 10, epoch: 3 }),
+            (Request::Batch(Vec::new()), Response::Batch { applied: 0 }),
+            (
+                Request::Stats,
+                Response::Stats(Box::new(WireStats { lock: LockKind::Mutexee, shards: 32, stats })),
+            ),
+            (Request::Get(1), Response::Error("boom".into())),
+        ];
+        for (req, resp) in cases {
+            assert_eq!(Response::decode(&resp.encode(), &req).expect("round-trip"), resp);
+        }
+    }
+
+    #[test]
+    fn every_lock_kind_crosses_the_wire() {
+        for lock in LockKind::ALL {
+            assert_eq!(lock_from_wire(lock_to_wire(lock)).unwrap(), lock);
+        }
+        assert!(lock_from_wire(200).is_err());
+    }
+
+    #[test]
+    fn malformed_frames_are_rejected_not_panics() {
+        assert!(Request::decode(&[]).is_err());
+        assert!(Request::decode(&[0x7F]).is_err());
+        assert!(Request::decode(&[OP_GET, 1, 2]).is_err()); // truncated key
+        let mut extra = Request::Get(1).encode();
+        extra.push(0);
+        assert!(Request::decode(&extra).is_err()); // trailing bytes
+                                                   // A batch header claiming more ops than the frame carries must
+                                                   // fail before allocating for them.
+        let mut lying = vec![OP_BATCH];
+        lying.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(Request::decode(&lying).is_err());
+        assert!(Response::decode(&[], &Request::Scan).is_err());
+        assert!(Response::decode(&[9], &Request::Scan).is_err());
+    }
+
+    #[test]
+    fn frames_round_trip_and_bound_length() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Request::Put(1, 2).encode()).unwrap();
+        write_frame(&mut wire, &Request::Scan.encode()).unwrap();
+        let mut r = &wire[..];
+        assert_eq!(
+            Request::decode(&read_frame(&mut r).unwrap().unwrap()).unwrap(),
+            Request::Put(1, 2)
+        );
+        assert_eq!(Request::decode(&read_frame(&mut r).unwrap().unwrap()).unwrap(), Request::Scan);
+        assert_eq!(read_frame(&mut r).unwrap(), None, "clean EOF at a frame boundary");
+
+        // An oversized length prefix is rejected without allocating.
+        let huge = ((MAX_FRAME + 1) as u32).to_le_bytes();
+        assert!(read_frame(&mut &huge[..]).is_err());
+        // The write side refuses to produce such a frame in the first
+        // place (InvalidInput, nothing written).
+        let mut sink = Vec::new();
+        let oversized = vec![0u8; MAX_FRAME + 1];
+        let err = write_frame(&mut sink, &oversized).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        assert!(sink.is_empty(), "no partial frame may leak out");
+        // A torn frame (EOF mid-body) is an error, not a silent None.
+        let torn = [5u8, 0, 0, 0, 1, 2];
+        assert!(read_frame(&mut &torn[..]).is_err());
+    }
+}

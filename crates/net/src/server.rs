@@ -1,0 +1,343 @@
+//! The TCP front-end: a blocking accept loop, one worker thread per
+//! connection, graceful shutdown, and per-connection op counters.
+
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use poly_store::{PolyStore, WriteBatch};
+
+use crate::proto::{read_frame, write_frame, Request, Response, WireStats};
+
+/// Tuning knobs of a [`NetServer`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Maximum concurrent connections; connections beyond it are closed
+    /// at accept. Each connection owns one worker thread, so this caps
+    /// the serving thread pool.
+    pub max_conns: usize,
+    /// Per-connection read timeout: how often an idle worker wakes to
+    /// check for shutdown. Smaller = faster shutdown, more idle wakeups.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        // Thread-per-connection scaled to the host: a single-CPU box gets
+        // a handful of workers, a 40-context Xeon gets hundreds.
+        let par = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        Self { max_conns: par * 16, read_timeout: Duration::from_millis(25) }
+    }
+}
+
+/// Aggregate serving-path counters (all connections merged).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NetStatsSnapshot {
+    /// Connections accepted over the server's lifetime.
+    pub connections: u64,
+    /// Connections refused because `max_conns` were already live.
+    pub refused: u64,
+    /// Request frames served.
+    pub frames: u64,
+    /// Request bytes read (bodies, excluding length prefixes).
+    pub bytes_in: u64,
+    /// Response bytes written (bodies, excluding length prefixes).
+    pub bytes_out: u64,
+    /// GET requests served.
+    pub gets: u64,
+    /// PUT requests served.
+    pub puts: u64,
+    /// REMOVE requests served.
+    pub removes: u64,
+    /// SCAN requests served.
+    pub scans: u64,
+    /// BATCH requests served.
+    pub batches: u64,
+    /// STATS requests served.
+    pub stats_reqs: u64,
+}
+
+#[derive(Default)]
+struct NetCounters {
+    connections: AtomicU64,
+    refused: AtomicU64,
+    frames: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+    gets: AtomicU64,
+    puts: AtomicU64,
+    removes: AtomicU64,
+    scans: AtomicU64,
+    batches: AtomicU64,
+    stats_reqs: AtomicU64,
+}
+
+impl NetCounters {
+    fn snapshot(&self) -> NetStatsSnapshot {
+        NetStatsSnapshot {
+            connections: self.connections.load(Ordering::Relaxed),
+            refused: self.refused.load(Ordering::Relaxed),
+            frames: self.frames.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            gets: self.gets.load(Ordering::Relaxed),
+            puts: self.puts.load(Ordering::Relaxed),
+            removes: self.removes.load(Ordering::Relaxed),
+            scans: self.scans.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            stats_reqs: self.stats_reqs.load(Ordering::Relaxed),
+        }
+    }
+}
+
+struct Inner {
+    store: Arc<PolyStore>,
+    cfg: ServerConfig,
+    stop: AtomicBool,
+    live: AtomicUsize,
+    counters: NetCounters,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// A running TCP front-end over one [`PolyStore`].
+///
+/// `bind` spawns the accept thread; every accepted connection gets a
+/// dedicated worker thread (bounded by [`ServerConfig::max_conns`]).
+/// Dropping the server — or calling [`NetServer::shutdown`] — stops the
+/// accept loop, wakes every idle worker, and joins them all, so no
+/// request is torn mid-response.
+pub struct NetServer {
+    local_addr: SocketAddr,
+    inner: Arc<Inner>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl NetServer {
+    /// Binds `addr` (use port 0 for an OS-assigned loopback port) and
+    /// starts serving `store`.
+    pub fn bind<A: ToSocketAddrs>(addr: A, store: Arc<PolyStore>) -> io::Result<NetServer> {
+        Self::bind_with(addr, store, ServerConfig::default())
+    }
+
+    /// [`NetServer::bind`] with explicit tuning.
+    pub fn bind_with<A: ToSocketAddrs>(
+        addr: A,
+        store: Arc<PolyStore>,
+        cfg: ServerConfig,
+    ) -> io::Result<NetServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let inner = Arc::new(Inner {
+            store,
+            cfg,
+            stop: AtomicBool::new(false),
+            live: AtomicUsize::new(0),
+            counters: NetCounters::default(),
+            workers: Mutex::new(Vec::new()),
+        });
+        let accept = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("poly-net-accept".into())
+                .spawn(move || accept_loop(&listener, &inner))?
+        };
+        Ok(NetServer { local_addr, inner, accept: Some(accept) })
+    }
+
+    /// The address the server is listening on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The store being served.
+    pub fn store(&self) -> &Arc<PolyStore> {
+        &self.inner.store
+    }
+
+    /// Aggregate serving-path counters (all connections merged).
+    pub fn net_stats(&self) -> NetStatsSnapshot {
+        self.inner.counters.snapshot()
+    }
+
+    /// Stops accepting, wakes idle workers, and joins every serving
+    /// thread. Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        if self.inner.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // The accept loop blocks in accept(); a throwaway connection to
+        // ourselves unblocks it so it can observe the stop flag.
+        let _ = TcpStream::connect_timeout(&self.local_addr, Duration::from_secs(1));
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        let workers = std::mem::take(&mut *self.inner.workers.lock().unwrap());
+        for h in workers {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, inner: &Arc<Inner>) {
+    loop {
+        let (stream, _) = match listener.accept() {
+            Ok(conn) => conn,
+            Err(_) if inner.stop.load(Ordering::SeqCst) => return,
+            Err(_) => {
+                // Persistent accept errors (EMFILE when the fd budget is
+                // exhausted, say) must not busy-spin the accept thread.
+                std::thread::sleep(Duration::from_millis(10));
+                continue;
+            }
+        };
+        if inner.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        if inner.live.load(Ordering::SeqCst) >= inner.cfg.max_conns {
+            inner.counters.refused.fetch_add(1, Ordering::Relaxed);
+            drop(stream);
+            continue;
+        }
+        inner.live.fetch_add(1, Ordering::SeqCst);
+        inner.counters.connections.fetch_add(1, Ordering::Relaxed);
+        let conn_inner = Arc::clone(inner);
+        let worker = std::thread::Builder::new().name("poly-net-conn".into()).spawn(move || {
+            let _ = serve_connection(stream, &conn_inner);
+            conn_inner.live.fetch_sub(1, Ordering::SeqCst);
+        });
+        match worker {
+            Ok(handle) => {
+                let mut workers = inner.workers.lock().unwrap();
+                // Drop handles of workers that already finished so a
+                // long-lived server doesn't accumulate one per past
+                // connection.
+                workers.retain(|h| !h.is_finished());
+                workers.push(handle);
+            }
+            Err(_) => {
+                inner.live.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+    }
+}
+
+/// A [`Read`] adapter over the connection's stream that absorbs read
+/// timeouts *below* `read_exact`, so a frame arriving in slow pieces is
+/// never torn: a `WouldBlock`/`TimedOut` from the socket retries in place
+/// (no consumed byte is ever dropped), checking the server's stop flag on
+/// each wakeup. Once the flag is set the next blocked read fails with
+/// [`io::ErrorKind::ConnectionAborted`] (not `Interrupted`, which
+/// `read_exact` would transparently retry).
+struct PatientStream<'a> {
+    stream: TcpStream,
+    stop: &'a AtomicBool,
+}
+
+impl io::Read for PatientStream<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        loop {
+            match io::Read::read(&mut self.stream, buf) {
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    if self.stop.load(Ordering::SeqCst) {
+                        return Err(io::Error::new(
+                            io::ErrorKind::ConnectionAborted,
+                            "server shutting down",
+                        ));
+                    }
+                }
+                r => return r,
+            }
+        }
+    }
+}
+
+fn serve_connection(stream: TcpStream, inner: &Inner) -> io::Result<()> {
+    stream.set_nodelay(true).ok();
+    // The timeout is the stop-flag polling cadence of PatientStream, not
+    // a frame deadline: timeouts never surface past it.
+    stream.set_read_timeout(Some(inner.cfg.read_timeout))?;
+    let mut reader =
+        BufReader::new(PatientStream { stream: stream.try_clone()?, stop: &inner.stop });
+    let mut writer = BufWriter::new(stream);
+    loop {
+        let body = match read_frame(&mut reader) {
+            Ok(Some(body)) => body,
+            Ok(None) => return Ok(()), // client hung up cleanly
+            Err(e) if e.kind() == io::ErrorKind::ConnectionAborted => return Ok(()), // shutdown
+            Err(e) => return Err(e),   // torn frame or dead socket
+        };
+        inner.counters.frames.fetch_add(1, Ordering::Relaxed);
+        inner.counters.bytes_in.fetch_add(body.len() as u64, Ordering::Relaxed);
+        let response = match Request::decode(&body) {
+            Ok(req) => execute(&req, inner),
+            Err(e) => Response::Error(e.to_string()),
+        };
+        let out = response.encode();
+        inner.counters.bytes_out.fetch_add(out.len() as u64, Ordering::Relaxed);
+        write_frame(&mut writer, &out)?;
+        writer.flush()?;
+        // Re-check between requests too: a client with back-to-back
+        // frames in flight never blocks in read, so this is the only
+        // point where shutdown can interpose on a busy connection.
+        if inner.stop.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+    }
+}
+
+fn execute(req: &Request, inner: &Inner) -> Response {
+    let store = &inner.store;
+    let c = &inner.counters;
+    match req {
+        Request::Get(k) => {
+            c.gets.fetch_add(1, Ordering::Relaxed);
+            Response::Value(store.get(*k))
+        }
+        Request::Put(k, v) => {
+            c.puts.fetch_add(1, Ordering::Relaxed);
+            Response::Value(store.put(*k, *v))
+        }
+        Request::Remove(k) => {
+            c.removes.fetch_add(1, Ordering::Relaxed);
+            Response::Value(store.remove(*k))
+        }
+        Request::Scan => {
+            c.scans.fetch_add(1, Ordering::Relaxed);
+            let mut count = 0u64;
+            let epoch = store.scan(|_, _| count += 1);
+            Response::Scan { count, epoch }
+        }
+        Request::Batch(ops) => {
+            c.batches.fetch_add(1, Ordering::Relaxed);
+            let mut batch = WriteBatch::with_capacity(ops.len());
+            for &(key, val) in ops {
+                match val {
+                    Some(v) => batch.put(key, v),
+                    None => batch.remove(key),
+                }
+            }
+            store.apply(&batch);
+            Response::Batch { applied: ops.len() as u32 }
+        }
+        Request::Stats => {
+            c.stats_reqs.fetch_add(1, Ordering::Relaxed);
+            Response::Stats(Box::new(WireStats {
+                lock: store.lock_kind(),
+                shards: store.shard_count() as u32,
+                stats: store.total_stats(),
+            }))
+        }
+    }
+}

@@ -113,6 +113,43 @@ impl Registry {
                 .with_threads(16),
         );
 
+        // -- The `kv-net` family: serving-shaped mixes for the TCP
+        // front-end (smaller keyspaces, so loopback cells finish fast;
+        // run them with `store sweep --transport tcp|local`, or simulated
+        // here like any other kv workload) ------------------------------
+        add(
+            &mut reg,
+            "kv-net family: read-mostly uniform traffic sized for the TCP front-end",
+            ScenarioSpec::new(
+                "kv-net-uniform",
+                WorkloadSpec::Kv(KvMix { keys: 16_384, shards: 16, ..KvMix::uniform() }),
+            )
+            .with_threads(8),
+        );
+        add(
+            &mut reg,
+            "kv-net family: hot Zipf keys over the TCP front-end — contention plus the wire",
+            ScenarioSpec::new(
+                "kv-net-zipf",
+                WorkloadSpec::Kv(KvMix { keys: 16_384, shards: 16, ..KvMix::zipf_hot() }),
+            )
+            .with_threads(8),
+        );
+        add(
+            &mut reg,
+            "kv-net family: write bursts shipped as BATCH frames (16-op group commit)",
+            ScenarioSpec::new(
+                "kv-net-burst",
+                WorkloadSpec::Kv(KvMix {
+                    keys: 16_384,
+                    shards: 16,
+                    batch: 16,
+                    ..KvMix::write_burst()
+                }),
+            )
+            .with_threads(8),
+        );
+
         add(
             &mut reg,
             "Producer-consumer pipeline: mutex-guarded queue plus condvar wake-ups",

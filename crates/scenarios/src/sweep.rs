@@ -128,6 +128,10 @@ pub struct CellReport {
     pub workload: String,
     /// Machine label.
     pub machine: &'static str,
+    /// Transport the cell ran over: `"sim"` for the simulated Xeon (this
+    /// runner); the native `store` CLI emits `"local"` (in-process) and
+    /// `"tcp"` (through `poly-net`) in the same position.
+    pub transport: &'static str,
     /// Lock algorithm.
     pub lock: LockKind,
     /// Effective thread count.
@@ -163,6 +167,7 @@ impl CellReport {
             scenario: spec.name.clone(),
             workload: spec.workload.label(),
             machine: spec.machine.label(),
+            transport: "sim",
             lock: spec.lock,
             threads: spec.effective_threads(),
             seed: spec.seed,
@@ -182,13 +187,15 @@ impl CellReport {
     /// Serializes the report as one JSON object (one JSON-lines record).
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"scenario\":{},\"workload\":{},\"machine\":\"{}\",\"lock\":\"{}\",\"threads\":{},\
+            "{{\"scenario\":{},\"workload\":{},\"machine\":\"{}\",\"transport\":\"{}\",\
+             \"lock\":\"{}\",\"threads\":{},\
              \"seed\":{},\"measured_cycles\":{},\"total_ops\":{},\"throughput\":{},\
              \"avg_power_w\":{},\"energy_j\":{},\"tpp\":{},\"epo_uj\":{},\
              \"p50_acq_cycles\":{},\"p99_acq_cycles\":{},\"max_acq_cycles\":{}}}",
             json_str(&self.scenario),
             json_str(&self.workload),
             self.machine,
+            self.transport,
             self.lock.label(),
             self.threads,
             self.seed,
@@ -206,17 +213,18 @@ impl CellReport {
     }
 
     /// The CSV column header matching [`CellReport::to_csv`].
-    pub const CSV_HEADER: &'static str = "scenario,workload,machine,lock,threads,seed,\
+    pub const CSV_HEADER: &'static str = "scenario,workload,machine,transport,lock,threads,seed,\
         measured_cycles,total_ops,throughput,avg_power_w,energy_j,tpp,epo_uj,p50_acq_cycles,\
         p99_acq_cycles,max_acq_cycles";
 
     /// Serializes the report as one CSV row.
     pub fn to_csv(&self) -> String {
         format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             csv_str(&self.scenario),
             csv_str(&self.workload),
             self.machine,
+            self.transport,
             self.lock.label(),
             self.threads,
             self.seed,

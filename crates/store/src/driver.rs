@@ -1,20 +1,113 @@
 //! The multithreaded open-loop load driver.
 //!
 //! Each client thread issues operations sampled from a [`KvMix`] against a
-//! shared [`PolyStore`]. With a target rate, arrivals follow a fixed
-//! schedule and latency is measured **from the scheduled arrival time**,
-//! so queueing delay shows up in the tail (the open-loop property a
-//! closed-loop benchmark hides); without one, clients run back-to-back at
-//! saturation. Results fold the store's per-shard stats and the modeled
-//! Xeon energy into one [`LoadReport`].
+//! [`KvService`] — the in-process [`PolyStore`] or any other backend (the
+//! `poly-net` TCP client implements the same trait, so every kv scenario
+//! runs unchanged over the network). With a target rate, arrivals follow a
+//! fixed schedule and latency is measured **from the scheduled arrival
+//! time**, so queueing delay shows up in the tail (the open-loop property
+//! a closed-loop benchmark hides); without one, clients run back-to-back
+//! at saturation. Results fold the service's per-shard stats and the
+//! modeled Xeon energy into one [`LoadReport`].
 
 use std::time::{Duration, Instant};
+
+use poly_locks_sim::LockKind;
 
 use crate::energy::{estimate, EnergyEstimate};
 use crate::stats::{HistogramSnapshot, LatencyHistogram, StatsSnapshot};
 use crate::store::PolyStore;
 use crate::workload::{KeySampler, KvMix, KvOp, Rng64};
 use crate::WriteBatch;
+
+/// One client's session against a KV service: the driver issues its
+/// sampled operations through this. A session is owned by exactly one
+/// driver thread (for the TCP backend it wraps one pooled connection).
+pub trait KvConnection {
+    /// Point lookup.
+    fn get(&mut self, key: u64) -> Option<u64>;
+    /// Point insert/update; returns the previous value.
+    fn put(&mut self, key: u64, value: u64) -> Option<u64>;
+    /// Point deletion; returns the removed value.
+    fn remove(&mut self, key: u64) -> Option<u64>;
+    /// Full scan; returns the number of entries visited.
+    fn scan_count(&mut self) -> u64;
+    /// Applies a write batch.
+    fn apply(&mut self, batch: &WriteBatch);
+}
+
+/// A KV service the open-loop driver can run a [`LoadSpec`] against.
+///
+/// Implemented by [`PolyStore`] (in-process) and by `poly-net`'s
+/// `NetClient` (over TCP), so the same driver — same pacing, same latency
+/// accounting — measures both transports.
+pub trait KvService: Sync {
+    /// Per-thread session type.
+    type Conn<'s>: KvConnection
+    where
+        Self: 's;
+
+    /// Opens a session for one driver thread.
+    fn connect(&self) -> Self::Conn<'_>;
+
+    /// The lock backend guarding the service's shards (prices the energy
+    /// model's wait activity).
+    fn lock_kind(&self) -> LockKind;
+
+    /// A snapshot of the service's merged shard stats (for a remote
+    /// service, fetched over the wire).
+    fn service_stats(&self) -> StatsSnapshot;
+
+    /// Service-side threads dedicated to each client session beyond the
+    /// client thread itself (the TCP server runs one worker per
+    /// connection); folded into the modeled energy.
+    fn extra_threads_per_client(&self) -> usize {
+        0
+    }
+}
+
+/// In-process session: every call goes straight to the store.
+pub struct LocalConn<'s>(&'s PolyStore);
+
+impl KvConnection for LocalConn<'_> {
+    fn get(&mut self, key: u64) -> Option<u64> {
+        self.0.get(key)
+    }
+
+    fn put(&mut self, key: u64, value: u64) -> Option<u64> {
+        self.0.put(key, value)
+    }
+
+    fn remove(&mut self, key: u64) -> Option<u64> {
+        self.0.remove(key)
+    }
+
+    fn scan_count(&mut self) -> u64 {
+        let mut n = 0u64;
+        self.0.scan(|_, _| n += 1);
+        n
+    }
+
+    fn apply(&mut self, batch: &WriteBatch) {
+        self.0.apply(batch);
+    }
+}
+
+impl KvService for PolyStore {
+    type Conn<'s> = LocalConn<'s>;
+
+    fn connect(&self) -> LocalConn<'_> {
+        LocalConn(self)
+    }
+
+    fn lock_kind(&self) -> LockKind {
+        PolyStore::lock_kind(self)
+    }
+
+    fn service_stats(&self) -> StatsSnapshot {
+        self.total_stats()
+    }
+}
 
 /// Parameters of one load run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -75,33 +168,60 @@ pub struct LoadReport {
     pub idle_ns: u64,
     /// Modeled Xeon energy for the run.
     pub energy: EnergyEstimate,
-    /// Store-side stats delta over the run (all shards merged).
+    /// Service-side stats delta over the run (all shards merged).
     pub store_stats: StatsSnapshot,
     /// Client-side request-latency histogram (all threads merged).
     pub request_latency: HistogramSnapshot,
 }
 
-/// Runs a load against the store and reports the outcome.
+/// The scheduled arrival time (ns since run start) of thread `tid`'s
+/// `i`-th operation under open-loop pacing.
+///
+/// Every thread runs at the same `interval_ns` cadence, but each thread's
+/// schedule is phase-shifted by `tid * interval_ns / threads` so the
+/// aggregate arrival stream interleaves instead of waking all `threads`
+/// clients at the same instants (the thundering-herd bug: identical
+/// schedules turn a nominally smooth arrival process into synchronized
+/// bursts of `threads`, distorting exactly the queueing tails the
+/// open-loop method exists to expose).
+pub fn scheduled_arrival_ns(interval_ns: u64, threads: usize, tid: usize, i: u64) -> u64 {
+    let phase = (tid as u64) * interval_ns / (threads.max(1) as u64);
+    i * interval_ns + phase
+}
+
+/// Runs a load against the in-process store and reports the outcome.
 ///
 /// # Panics
 ///
 /// Panics if the mix fails [`KvMix::validate`].
 pub fn run_load(store: &PolyStore, spec: &LoadSpec) -> LoadReport {
+    run_load_on(store, spec)
+}
+
+/// Runs a load against any [`KvService`] and reports the outcome.
+///
+/// # Panics
+///
+/// Panics if the mix fails [`KvMix::validate`].
+pub fn run_load_on<S: KvService>(svc: &S, spec: &LoadSpec) -> LoadReport {
     spec.mix.validate().unwrap_or_else(|e| panic!("invalid mix: {e}"));
     let mix = spec.mix;
 
     // Prefill outside the measured interval, through the batch path.
-    let mut fill = WriteBatch::with_capacity(1024);
-    for key in 0..spec.prefill.min(mix.keys) {
-        fill.put(key, key);
-        if fill.len() == 1024 {
-            store.apply(&fill);
-            fill.clear();
+    {
+        let mut conn = svc.connect();
+        let mut fill = WriteBatch::with_capacity(1024);
+        for key in 0..spec.prefill.min(mix.keys) {
+            fill.put(key, key);
+            if fill.len() == 1024 {
+                conn.apply(&fill);
+                fill.clear();
+            }
         }
+        conn.apply(&fill);
     }
-    store.apply(&fill);
 
-    let base = store.total_stats();
+    let base = svc.service_stats();
     let sampler = KeySampler::new(mix.dist, mix.keys);
     let threads = spec.threads.max(1);
     // Floor at 1 ns: a rate above 1e9/s would otherwise schedule every
@@ -114,7 +234,8 @@ pub fn run_load(store: &PolyStore, spec: &LoadSpec) -> LoadReport {
             .map(|t| {
                 let sampler = &sampler;
                 scope.spawn(move || {
-                    client_thread(store, spec, sampler, t as u64, start, interval_ns)
+                    let conn = svc.connect();
+                    client_thread(conn, spec, sampler, t, start, interval_ns)
                 })
             })
             .collect();
@@ -131,11 +252,14 @@ pub fn run_load(store: &PolyStore, spec: &LoadSpec) -> LoadReport {
         idle_ns += thread_idle;
     }
 
-    let store_stats = store.total_stats().since(&base);
-    let thread_ns = (wall.as_nanos() as u64).max(1) as f64 * threads as f64;
+    let store_stats = svc.service_stats().since(&base);
+    // The serving path's threads (e.g. the TCP server's per-connection
+    // workers) burn power too; fold them into the modeled machine.
+    let total_threads = threads * (1 + svc.extra_threads_per_client());
+    let thread_ns = (wall.as_nanos() as u64).max(1) as f64 * total_threads as f64;
     let wait_frac = store_stats.lock_wait_ns as f64 / thread_ns;
     let idle_frac = idle_ns as f64 / thread_ns;
-    let energy = estimate(store.lock_kind(), threads, wall, wait_frac, idle_frac, ops);
+    let energy = estimate(svc.lock_kind(), total_threads, wall, wait_frac, idle_frac, ops);
 
     LoadReport {
         ops,
@@ -154,27 +278,32 @@ pub fn run_load(store: &PolyStore, spec: &LoadSpec) -> LoadReport {
 }
 
 /// One client thread's loop; returns (latency histogram, ops done, idle ns).
-fn client_thread(
-    store: &PolyStore,
+fn client_thread<C: KvConnection>(
+    mut conn: C,
     spec: &LoadSpec,
     sampler: &KeySampler,
-    tid: u64,
+    tid: usize,
     start: Instant,
     interval_ns: Option<u64>,
 ) -> (HistogramSnapshot, u64, u64) {
     let mix = spec.mix;
     // Decorrelate per-thread streams; SplitMix64 scrambles the seed, so a
     // simple odd-multiplier offset suffices.
-    let mut rng = Rng64::new(spec.seed ^ (tid.wrapping_add(1)).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let mut rng =
+        Rng64::new(spec.seed ^ ((tid as u64).wrapping_add(1)).wrapping_mul(0x9E37_79B9_7F4A_7C15));
     let hist = LatencyHistogram::new();
     let mut batch = WriteBatch::with_capacity(mix.batch.max(1));
+    // Scheduled origins of the writes buffered in `batch`: a batched
+    // write's latency is not known until its batch is applied, so the
+    // origin rides along and the sample is recorded at apply time.
+    let mut batch_origins: Vec<u64> = Vec::with_capacity(mix.batch.max(1));
     let mut idle_ns = 0u64;
     let mut ops = 0u64;
 
     for i in 0..spec.ops_per_thread {
         // Open-loop pacing: wait for the scheduled arrival, measure
         // latency from it so queueing delay is visible.
-        let due_ns = interval_ns.map(|iv| i * iv);
+        let due_ns = interval_ns.map(|iv| scheduled_arrival_ns(iv, spec.threads, tid, i));
         if let Some(due) = due_ns {
             let now = start.elapsed().as_nanos() as u64;
             if now < due {
@@ -183,48 +312,68 @@ fn client_thread(
             }
         }
         let issued = start.elapsed().as_nanos() as u64;
+        // Paced: latency from the scheduled arrival (the earlier of due
+        // and issue), so falling behind schedule shows up as queueing.
+        let origin = due_ns.map_or(issued, |due| due.min(issued));
+        let mut buffered = false;
         match mix.sample_op(sampler, &mut rng) {
             KvOp::Get(k) => {
-                store.get(k);
+                conn.get(k);
             }
             KvOp::Put(k, v) => {
                 if mix.batch > 1 {
                     batch.put(k, v);
+                    batch_origins.push(origin);
+                    buffered = true;
                     if batch.len() >= mix.batch {
-                        store.apply(&batch);
+                        conn.apply(&batch);
+                        flush_batch_latencies(&hist, &mut batch_origins, start);
                         batch.clear();
                     }
                 } else {
-                    store.put(k, v);
+                    conn.put(k, v);
                 }
             }
             KvOp::Remove(k) => {
                 if mix.batch > 1 {
                     batch.remove(k);
+                    batch_origins.push(origin);
+                    buffered = true;
                     if batch.len() >= mix.batch {
-                        store.apply(&batch);
+                        conn.apply(&batch);
+                        flush_batch_latencies(&hist, &mut batch_origins, start);
                         batch.clear();
                     }
                 } else {
-                    store.remove(k);
+                    conn.remove(k);
                 }
             }
             KvOp::Scan => {
-                let mut n = 0u64;
-                store.scan(|_, _| n += 1);
+                conn.scan_count();
             }
         }
         ops += 1;
-        let done = start.elapsed().as_nanos() as u64;
-        // Paced: latency from the scheduled arrival (the earlier of due
-        // and issue), so falling behind schedule shows up as queueing.
-        let origin = due_ns.map_or(issued, |due| due.min(issued));
-        hist.record(done.saturating_sub(origin));
+        if !buffered {
+            let done = start.elapsed().as_nanos() as u64;
+            hist.record(done.saturating_sub(origin));
+        }
     }
     if !batch.is_empty() {
-        store.apply(&batch);
+        conn.apply(&batch);
+        flush_batch_latencies(&hist, &mut batch_origins, start);
     }
     (hist.snapshot(), ops, idle_ns)
+}
+
+/// Records one latency sample per buffered write, measured from each
+/// write's scheduled origin to the batch's apply completion — so a
+/// batched op's latency includes the time it sat in the buffer, and every
+/// issued op contributes exactly one histogram sample.
+fn flush_batch_latencies(hist: &LatencyHistogram, origins: &mut Vec<u64>, start: Instant) {
+    let done = start.elapsed().as_nanos() as u64;
+    for origin in origins.drain(..) {
+        hist.record(done.saturating_sub(origin));
+    }
 }
 
 #[cfg(test)]
@@ -279,10 +428,134 @@ mod tests {
     }
 
     #[test]
+    fn paced_schedules_are_staggered_across_threads() {
+        // Two threads at the same rate must not share arrival instants:
+        // thread 1's schedule is offset by half an interval, so the merged
+        // arrival stream strictly interleaves instead of arriving in
+        // synchronized bursts of 2.
+        let iv = 1_000u64;
+        let t0: Vec<u64> = (0..4).map(|i| scheduled_arrival_ns(iv, 2, 0, i)).collect();
+        let t1: Vec<u64> = (0..4).map(|i| scheduled_arrival_ns(iv, 2, 1, i)).collect();
+        assert_eq!(t0, vec![0, 1_000, 2_000, 3_000]);
+        assert_eq!(t1, vec![500, 1_500, 2_500, 3_500]);
+        for (a, b) in t0.iter().zip(&t1) {
+            assert!(a < b && *b < a + iv, "schedules not interleaved: {a} vs {b}");
+        }
+        // More generally: across N threads the N phases are distinct and
+        // evenly spread over one interval.
+        let n = 5usize;
+        let phases: Vec<u64> = (0..n).map(|tid| scheduled_arrival_ns(iv, n, tid, 0)).collect();
+        for (tid, &p) in phases.iter().enumerate() {
+            assert_eq!(p, tid as u64 * iv / n as u64);
+            assert!(p < iv);
+        }
+        let mut dedup = phases.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), n, "colliding phases: {phases:?}");
+    }
+
+    #[test]
     fn batched_writes_take_fewer_lock_acquisitions() {
         let mix = KvMix::write_burst().with_shards(4);
         let store = PolyStore::new(StoreConfig { shards: mix.shards, lock: LockKind::Mutexee });
         let r = run_load(&store, &LoadSpec::saturating(mix, 2, 2_000, 11));
         assert!(r.store_stats.batches > 0, "write-burst mix never applied a batch");
+    }
+
+    #[test]
+    fn batched_write_histogram_counts_every_op_once() {
+        // `ops_per_thread` deliberately not a multiple of the batch size,
+        // so the post-loop leftover flush must also record its samples.
+        let mix = KvMix { batch: 32, ..KvMix::write_burst() }.with_shards(4);
+        let store = PolyStore::new(StoreConfig { shards: mix.shards, lock: LockKind::Mutex });
+        let spec = LoadSpec::saturating(mix, 2, 1_037, 13);
+        let r = run_load(&store, &spec);
+        assert_eq!(r.ops, 2 * 1_037);
+        assert_eq!(
+            r.request_latency.count(),
+            r.ops,
+            "every op (batched or not) must contribute exactly one latency sample"
+        );
+    }
+
+    /// A service whose batch application is slow: batched writes must be
+    /// charged the apply time, not the (near-zero) buffering time.
+    struct SlowApply {
+        store: PolyStore,
+        apply_delay: Duration,
+    }
+
+    struct SlowApplyConn<'s>(&'s SlowApply);
+
+    impl KvConnection for SlowApplyConn<'_> {
+        fn get(&mut self, key: u64) -> Option<u64> {
+            self.0.store.get(key)
+        }
+
+        fn put(&mut self, key: u64, value: u64) -> Option<u64> {
+            self.0.store.put(key, value)
+        }
+
+        fn remove(&mut self, key: u64) -> Option<u64> {
+            self.0.store.remove(key)
+        }
+
+        fn scan_count(&mut self) -> u64 {
+            let mut n = 0;
+            self.0.store.scan(|_, _| n += 1);
+            n
+        }
+
+        fn apply(&mut self, batch: &WriteBatch) {
+            std::thread::sleep(self.0.apply_delay);
+            self.0.store.apply(batch);
+        }
+    }
+
+    impl KvService for SlowApply {
+        type Conn<'s> = SlowApplyConn<'s>;
+
+        fn connect(&self) -> SlowApplyConn<'_> {
+            SlowApplyConn(self)
+        }
+
+        fn lock_kind(&self) -> LockKind {
+            self.store.lock_kind()
+        }
+
+        fn service_stats(&self) -> StatsSnapshot {
+            self.store.total_stats()
+        }
+    }
+
+    #[test]
+    fn batched_write_latency_reflects_apply_time() {
+        let mix = KvMix {
+            get_pct: 0,
+            put_pct: 100,
+            remove_pct: 0,
+            scan_pct: 0,
+            batch: 8,
+            ..KvMix::uniform()
+        }
+        .with_shards(2);
+        let delay = Duration::from_millis(2);
+        let svc = SlowApply {
+            store: PolyStore::new(StoreConfig { shards: mix.shards, lock: LockKind::Mutex }),
+            apply_delay: delay,
+        };
+        let spec = LoadSpec { prefill: 0, ..LoadSpec::saturating(mix, 1, 16, 3) };
+        let r = run_load_on(&svc, &spec);
+        assert_eq!(r.request_latency.count(), 16);
+        // All 16 ops are batched puts; each waits for its batch's slow
+        // apply, so even the *median* must carry the apply delay. Before
+        // the fix, buffering time (~ns) was recorded instead.
+        assert!(
+            r.p50_ns >= delay.as_nanos() as u64 / 2,
+            "batched p50 {} ns ignores the {} ns apply",
+            r.p50_ns,
+            delay.as_nanos()
+        );
     }
 }

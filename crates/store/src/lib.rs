@@ -16,8 +16,11 @@
 //! * [`KvMix`] — the declarative `kv` workload family (uniform, zipf-hot,
 //!   scan-heavy, write-burst) shared with `poly-scenarios`, so the same
 //!   mix drives this native store and the simulated Xeon;
-//! * [`run_load`] — a multithreaded open-loop client (scheduled arrivals,
-//!   latency measured from the schedule) producing a [`LoadReport`];
+//! * [`run_load`] / [`run_load_on`] — a multithreaded open-loop client
+//!   (scheduled arrivals with per-thread phase stagger, latency measured
+//!   from the schedule) producing a [`LoadReport`]; generic over
+//!   [`KvService`], so the same driver measures the in-process store and
+//!   the `poly-net` TCP transport;
 //! * [`energy`] — feeds the measured time split into the calibrated
 //!   `poly-energy` Xeon model for modeled watts and joules-per-op.
 //!
@@ -46,7 +49,10 @@ mod workload;
 
 pub use anylock::{AnyGuard, AnyLock};
 pub use batch::{BatchOp, WriteBatch};
-pub use driver::{run_load, LoadReport, LoadSpec};
+pub use driver::{
+    run_load, run_load_on, scheduled_arrival_ns, KvConnection, KvService, LoadReport, LoadSpec,
+    LocalConn,
+};
 pub use energy::EnergyEstimate;
 pub use stats::{HistogramSnapshot, LatencyHistogram, ShardStats, StatsSnapshot, HIST_BUCKETS};
 pub use store::{PolyStore, StoreConfig};

@@ -8,9 +8,10 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Number of logarithmic latency buckets: bucket `i` holds samples in
-/// `[2^i, 2^(i+1))` nanoseconds, except bucket 0 (`[0, 2)`) and the last
-/// bucket, which absorbs everything above ~9 hours.
+/// Number of logarithmic latency buckets: bucket 0 holds only the sample
+/// `0`, bucket `i >= 1` holds samples in `[2^(i-1), 2^i)` nanoseconds
+/// (i.e. `bucket_of(ns) = 64 - leading_zeros(ns)`), and the last bucket
+/// absorbs everything from `2^43` ns (~2.4 hours) up.
 pub const HIST_BUCKETS: usize = 45;
 
 /// A log-scaled concurrent latency histogram (nanosecond samples).
@@ -32,6 +33,11 @@ impl LatencyHistogram {
         Self { buckets: std::array::from_fn(|_| AtomicU64::new(0)), max_ns: AtomicU64::new(0) }
     }
 
+    /// Bucket index of a sample: 0 for `ns == 0`, otherwise one past the
+    /// position of `ns`'s highest set bit, so bucket `i` spans
+    /// `[2^(i-1), 2^i)` with upper bound `2^i` (what
+    /// [`HistogramSnapshot::percentile`] reports), capped at the last
+    /// bucket.
     fn bucket_of(ns: u64) -> usize {
         ((64 - ns.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
     }
@@ -279,6 +285,53 @@ mod tests {
         assert_eq!(s.count(), 2);
         assert_eq!(s.percentile(1.0), 1);
         assert_eq!(s.percentile(100.0), u64::MAX);
+    }
+
+    #[test]
+    fn bucket_boundaries_at_powers_of_two() {
+        // Bucket 0 holds only 0; bucket i >= 1 holds [2^(i-1), 2^i).
+        assert_eq!(LatencyHistogram::bucket_of(0), 0);
+        assert_eq!(LatencyHistogram::bucket_of(1), 1);
+        for i in 1..=42usize {
+            let lo = 1u64 << (i - 1);
+            let hi = (1u64 << i) - 1;
+            assert_eq!(LatencyHistogram::bucket_of(lo), i, "lower bound of bucket {i}");
+            assert_eq!(LatencyHistogram::bucket_of(hi), i, "upper bound of bucket {i}");
+            assert_eq!(
+                LatencyHistogram::bucket_of(1u64 << i),
+                i + 1,
+                "2^{i} opens bucket {}",
+                i + 1
+            );
+        }
+        // Everything from 2^43 ns up lands in the final bucket.
+        assert_eq!(LatencyHistogram::bucket_of(1u64 << 43), HIST_BUCKETS - 1);
+        assert_eq!(LatencyHistogram::bucket_of(u64::MAX), HIST_BUCKETS - 1);
+    }
+
+    #[test]
+    fn percentile_reports_bucket_upper_bounds() {
+        // A power-of-two sample 2^k sits in bucket k+1, whose upper bound
+        // is 2^(k+1) — but percentile() caps the answer at the observed
+        // max, so a lone sample is reported exactly.
+        for k in [3u32, 10, 20] {
+            let h = LatencyHistogram::new();
+            h.record(1u64 << k);
+            assert_eq!(h.snapshot().percentile(100.0), 1u64 << k);
+        }
+        // With a larger max in play the bound is the bucket's, not the
+        // sample's: 9 sits in bucket 4 = [8, 16), reported as 16.
+        let h = LatencyHistogram::new();
+        h.record(9);
+        h.record(1 << 20);
+        let s = h.snapshot();
+        assert_eq!(s.percentile(50.0), 16);
+        assert_eq!(s.percentile(100.0), 1 << 20);
+        // One-past-a-power sample 2^k + 1 rounds up to 2^(k+1).
+        let h = LatencyHistogram::new();
+        h.record((1 << 10) + 1);
+        h.record(1 << 30);
+        assert_eq!(h.snapshot().percentile(50.0), 1 << 11);
     }
 
     #[test]

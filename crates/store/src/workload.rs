@@ -239,7 +239,13 @@ impl KvMix {
 
     /// Checks the op percentages sum to 100.
     pub fn validate(&self) -> Result<(), String> {
-        let sum = self.get_pct + self.put_pct + self.remove_pct + self.scan_pct;
+        // Sum in u64: four u32 percentages can exceed u32::MAX, and a
+        // hostile mix must come back as Err, not a debug-build overflow
+        // panic.
+        let sum = u64::from(self.get_pct)
+            + u64::from(self.put_pct)
+            + u64::from(self.remove_pct)
+            + u64::from(self.scan_pct);
         if sum != 100 {
             return Err(format!("op percentages sum to {sum}, expected 100"));
         }
@@ -327,6 +333,34 @@ mod tests {
         let mut bad = KvMix::uniform();
         bad.get_pct += 1;
         assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_overflowing_percentages() {
+        // Near-u32::MAX percentages used to overflow the u32 sum and
+        // panic in debug builds; they must simply be invalid.
+        let bad = KvMix {
+            get_pct: u32::MAX,
+            put_pct: u32::MAX,
+            remove_pct: u32::MAX,
+            scan_pct: u32::MAX,
+            ..KvMix::uniform()
+        };
+        assert!(bad.validate().is_err());
+        // A wrapping sum could land exactly on 100; the u64 sum must not.
+        let sneaky = KvMix {
+            get_pct: u32::MAX,
+            put_pct: 1,
+            remove_pct: 100,
+            scan_pct: 0,
+            ..KvMix::uniform()
+        };
+        assert_eq!(
+            sneaky.get_pct.wrapping_add(sneaky.put_pct).wrapping_add(sneaky.remove_pct),
+            100,
+            "test premise: the wrapping u32 sum lands on 100"
+        );
+        assert!(sneaky.validate().is_err());
     }
 
     #[test]
