@@ -1,6 +1,7 @@
 //! The native `poly-store` serving CLI: run and sweep KV loads against the
 //! real sharded store on this host — in-process or through the `poly-net`
-//! TCP front-end — with modeled Xeon energy attached.
+//! TCP front-end — with modeled Xeon energy attached and, on hosts with
+//! RAPL (`--energy rapl|auto`), measured joules beside it.
 //!
 //! ```text
 //! cargo run --release -p poly-bench --bin store -- list
@@ -20,11 +21,15 @@
 use std::io::{Read, Write};
 use std::process::exit;
 use std::sync::Arc;
+use std::time::Duration;
 
 use poly_locks_sim::LockKind;
-use poly_net::{NetClient, NetServer};
+use poly_meter::{EnergySource, RaplSampler};
+use poly_net::{NetClient, NetServer, ServerConfig};
 use poly_scenarios::{parse_lock, Registry, SinkFormat, WorkloadSpec};
-use poly_store::{run_load, run_load_on, KvMix, LoadReport, LoadSpec, PolyStore, StoreConfig};
+use poly_store::{
+    run_load, run_load_on, KvMix, LoadReport, LoadSpec, Metered, PolyStore, StoreConfig,
+};
 
 fn usage() -> ! {
     eprintln!(
@@ -42,6 +47,13 @@ fn usage() -> ! {
          \x20 --shards S1,S2               store shard counts (default: mix default)\n\
          \x20 --transport T1,T2            local | tcp (default: local); tcp runs each cell\n\
          \x20                              through a loopback poly-net server\n\
+         \x20 --energy rapl|modeled|auto   energy source (default: auto). rapl: require the\n\
+         \x20                              host's RAPL counters (fails without them); auto:\n\
+         \x20                              measure when available, degrade to modeled\n\
+         \x20                              otherwise. Reports always keep the modeled\n\
+         \x20                              fields; measured_j/measured_uj_per_op fill in\n\
+         \x20                              when RAPL is live (POLY_RAPL_ROOT overrides the\n\
+         \x20                              powercap root, for tests)\n\
          \x20 --ops N                      ops per thread (default: 50000; 5000 under POLY_QUICK)\n\
          \x20 --rate OPS_PER_S             open-loop arrival rate per thread (default: saturation)\n\
          \x20 --seed S                     workload seed (default: 42)\n\
@@ -94,6 +106,7 @@ struct Options {
     threads: Vec<usize>,
     shards: Vec<usize>,
     transports: Vec<Transport>,
+    energy: EnergySource,
     ops: u64,
     rate: Option<u64>,
     seed: u64,
@@ -121,6 +134,7 @@ fn parse_options(args: &[String]) -> Options {
         threads: Vec::new(),
         shards: Vec::new(),
         transports: Vec::new(),
+        energy: EnergySource::Both,
         ops: default_ops(),
         rate: None,
         seed: 42,
@@ -162,6 +176,12 @@ fn parse_options(args: &[String]) -> Options {
                     })
                     .collect();
             }
+            "--energy" => {
+                let v = value();
+                opts.energy = EnergySource::parse(v).unwrap_or_else(|| {
+                    fail(format!("unknown energy source: {v} (rapl, modeled or auto)"))
+                });
+            }
             "--addr" => opts.addr = value().to_string(),
             "--ops" => opts.ops = value().parse().unwrap_or_else(|_| fail("bad --ops".into())),
             "--rate" => {
@@ -191,6 +211,32 @@ fn parse_options(args: &[String]) -> Options {
         fail("--ops must be positive".into());
     }
     opts
+}
+
+/// Resolves `--energy` to an optional RAPL sampler, shared by every cell
+/// of the invocation. `rapl` fails hard when the host has no counters;
+/// `auto` degrades to modeled silently (the report's `energy_source`
+/// column says which happened). `POLY_RAPL_ROOT` redirects discovery to a
+/// fake powercap tree (tests).
+fn make_sampler(energy: EnergySource) -> Option<Arc<RaplSampler>> {
+    if energy == EnergySource::Modeled {
+        return None;
+    }
+    let interval = Duration::from_millis(50);
+    let (sampler, root) = match std::env::var_os("POLY_RAPL_ROOT") {
+        Some(root) => {
+            let path = std::path::PathBuf::from(&root);
+            (RaplSampler::probe_at(&path, interval), path.display().to_string())
+        }
+        None => (RaplSampler::probe(interval), "/sys/class/powercap".to_string()),
+    };
+    match (sampler, energy) {
+        (Some(s), _) => Some(Arc::new(s)),
+        (None, EnergySource::Rapl) => {
+            fail(format!("--energy rapl: no RAPL domains under {root} (try --energy auto)"))
+        }
+        (None, _) => None,
+    }
 }
 
 /// The kv scenarios of the registry: the ones this bin can run natively.
@@ -244,6 +290,12 @@ fn fmt_f64(v: f64) -> String {
     }
 }
 
+/// Absent measurements are `null` in both sinks, so the measured columns
+/// always exist and parse uniformly.
+fn fmt_opt_f64(v: Option<f64>) -> String {
+    v.map_or_else(|| "null".into(), fmt_f64)
+}
+
 impl Cell {
     fn to_json(&self) -> String {
         let r = &self.report;
@@ -252,7 +304,8 @@ impl Cell {
              \"shards\":{},\"threads\":{},\
              \"ops\":{},\"wall_ms\":{},\"throughput\":{},\"p50_ns\":{},\"p99_ns\":{},\
              \"max_ns\":{},\"lock_wait_ns\":{},\"lock_hold_ns\":{},\"avg_power_w\":{},\
-             \"energy_j\":{},\"epo_uj\":{},\"energy_model\":\"xeon\"}}",
+             \"energy_j\":{},\"epo_uj\":{},\"measured_j\":{},\"measured_uj_per_op\":{},\
+             \"energy_source\":\"{}\",\"energy_model\":\"xeon\"}}",
             json_escape(&self.scenario),
             json_escape(&self.mix.label()),
             self.transport.label(),
@@ -270,16 +323,20 @@ impl Cell {
             fmt_f64(r.energy.avg_power_w),
             fmt_f64(r.energy.energy_j),
             fmt_f64(r.energy.epo_uj),
+            fmt_opt_f64(r.measured_j()),
+            fmt_opt_f64(r.measured_uj_per_op()),
+            r.energy_source.label(),
         )
     }
 
     const CSV_HEADER: &'static str = "scenario,workload,transport,lock,shards,threads,ops,wall_ms,\
-        throughput,p50_ns,p99_ns,max_ns,lock_wait_ns,lock_hold_ns,avg_power_w,energy_j,epo_uj";
+        throughput,p50_ns,p99_ns,max_ns,lock_wait_ns,lock_hold_ns,avg_power_w,energy_j,epo_uj,\
+        measured_j,measured_uj_per_op,energy_source";
 
     fn to_csv(&self) -> String {
         let r = &self.report;
         format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             self.scenario,
             self.mix.label(),
             self.transport.label(),
@@ -297,21 +354,36 @@ impl Cell {
             fmt_f64(r.energy.avg_power_w),
             fmt_f64(r.energy.energy_j),
             fmt_f64(r.energy.epo_uj),
+            fmt_opt_f64(r.measured_j()),
+            fmt_opt_f64(r.measured_uj_per_op()),
+            r.energy_source.label(),
         )
     }
 }
 
 /// Spins up a loopback server + client for one TCP cell, retrying
 /// transient failures (ephemeral-port exhaustion under per-cell server
-/// churn) before giving up on the whole sweep.
-fn connect_loopback(shards: usize, lock: LockKind) -> (NetServer, NetClient) {
+/// churn) before giving up on the whole sweep. With a sampler, the server
+/// is metered: measured joules come back over STATS, attributed to the
+/// serving process.
+fn connect_loopback(
+    shards: usize,
+    lock: LockKind,
+    sampler: Option<&Arc<RaplSampler>>,
+) -> (NetServer, NetClient) {
     let mut last_err = None;
     for attempt in 0..3 {
         if attempt > 0 {
             std::thread::sleep(std::time::Duration::from_millis(100 << attempt));
         }
         let store = Arc::new(PolyStore::new(StoreConfig { shards, lock }));
-        match NetServer::bind("127.0.0.1:0", store) {
+        let bound = NetServer::bind_metered(
+            "127.0.0.1:0",
+            store,
+            ServerConfig::default(),
+            sampler.cloned(),
+        );
+        match bound {
             Ok(server) => match NetClient::connect(server.local_addr()) {
                 Ok(client) => return (server, client),
                 Err(e) => last_err = Some(format!("connecting to {}: {e}", server.local_addr())),
@@ -329,6 +401,7 @@ fn run_cell(
     lock: LockKind,
     threads: usize,
     opts: &Options,
+    sampler: Option<&Arc<RaplSampler>>,
 ) -> Cell {
     let spec = LoadSpec {
         rate_ops_s: opts.rate,
@@ -337,7 +410,10 @@ fn run_cell(
     let report = match transport {
         Transport::Local => {
             let store = PolyStore::new(StoreConfig { shards: mix.shards, lock });
-            run_load(&store, &spec)
+            match sampler {
+                Some(s) => run_load_on(&Metered::new(&store, s), &spec),
+                None => run_load(&store, &spec),
+            }
         }
         Transport::Tcp => {
             // Each cell gets its own loopback server on an OS-assigned
@@ -346,7 +422,7 @@ fn run_cell(
             // the per-cell server churn of a long sweep can transiently
             // exhaust ephemeral ports, and one flaky cell must not
             // abort the process with every finished cell unemitted.
-            let (server, client) = connect_loopback(mix.shards, lock);
+            let (server, client) = connect_loopback(mix.shards, lock, sampler);
             let report = run_load_on(&client, &spec);
             drop(client);
             drop(server); // graceful shutdown: joins every worker
@@ -404,7 +480,8 @@ fn cmd_run(reg: &Registry, name: &str, opts: &Options) {
     let threads = *opts.threads.first().unwrap_or(&host_threads());
     let transport = *opts.transports.first().unwrap_or(&Transport::Local);
     let mix = if let Some(&s) = opts.shards.first() { mix.with_shards(s) } else { mix };
-    let cell = run_cell(name, mix, transport, lock, threads, opts);
+    let sampler = make_sampler(opts.energy);
+    let cell = run_cell(name, mix, transport, lock, threads, opts, sampler.as_ref());
     emit(std::slice::from_ref(&cell), opts);
 }
 
@@ -415,8 +492,14 @@ fn cmd_serve(opts: &Options) {
     let lock = *opts.locks.first().unwrap_or(&LockKind::Mutexee);
     let shards = *opts.shards.first().unwrap_or(&32);
     let store = Arc::new(PolyStore::new(StoreConfig { shards, lock }));
-    let mut server = NetServer::bind(opts.addr.as_str(), store)
-        .unwrap_or_else(|e| fail(format!("binding {}: {e}", opts.addr)));
+    let sampler = make_sampler(opts.energy);
+    let mut server = NetServer::bind_metered(
+        opts.addr.as_str(),
+        store,
+        ServerConfig::default(),
+        sampler.clone(),
+    )
+    .unwrap_or_else(|e| fail(format!("binding {}: {e}", opts.addr)));
     // The bound address goes to stdout (scripts parse it; with port 0 the
     // OS picks); everything else to stderr.
     println!("{}", server.local_addr());
@@ -427,6 +510,10 @@ fn cmd_serve(opts: &Options) {
         lock.label(),
         server.local_addr()
     );
+    if let Some(s) = &sampler {
+        eprintln!("measuring energy over {} RAPL domains", s.domains().len());
+        s.start_window();
+    }
     let mut sink = Vec::new();
     let _ = std::io::stdin().read_to_end(&mut sink);
     server.shutdown();
@@ -435,6 +522,15 @@ fn cmd_serve(opts: &Options) {
         "served {} connections, {} frames ({} B in, {} B out)",
         net.connections, net.frames, net.bytes_in, net.bytes_out
     );
+    if let Some(m) = sampler.as_ref().and_then(|s| s.stop_window()) {
+        eprintln!(
+            "measured {:.3} J package + {:.3} J dram over {} samples (source: {})",
+            m.package_j,
+            m.dram_j,
+            m.samples,
+            m.source.label()
+        );
+    }
 }
 
 fn cmd_sweep(reg: &Registry, opts: &Options) {
@@ -456,6 +552,7 @@ fn cmd_sweep(reg: &Registry, opts: &Options) {
     };
     let transports =
         if opts.transports.is_empty() { vec![Transport::Local] } else { opts.transports.clone() };
+    let sampler = make_sampler(opts.energy);
     let planned: usize = bases
         .iter()
         .map(|(_, mix)| shard_list_of(mix).len() * locks.len() * threads.len() * transports.len())
@@ -478,7 +575,7 @@ fn cmd_sweep(reg: &Registry, opts: &Options) {
                             s,
                             t
                         );
-                        cells.push(run_cell(name, mix, transport, lock, t, opts));
+                        cells.push(run_cell(name, mix, transport, lock, t, opts, sampler.as_ref()));
                     }
                 }
             }

@@ -1,0 +1,160 @@
+//! End-to-end tests of the `store` CLI's measured-energy path: the
+//! acceptance gate for `--energy rapl|modeled|auto`. Each test execs the
+//! real `store` binary with `POLY_RAPL_ROOT` pointed at a fake powercap
+//! tree (or at nothing), so argument parsing, sampler probing, the
+//! driver's measure window and the JSONL schema all run exactly as a
+//! user would run them — on a host that has no RAPL.
+
+use std::process::Command;
+
+use poly_meter::FakeRapl;
+
+fn store_bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_store"))
+}
+
+fn run_jsonl(rapl_root: &str, extra: &[&str]) -> String {
+    let mut args = vec![
+        "run",
+        "kv-net-uniform",
+        "--threads",
+        "1",
+        "--ops",
+        "400",
+        "--seed",
+        "5",
+        "--format",
+        "jsonl",
+    ];
+    args.extend_from_slice(extra);
+    let out = store_bin()
+        .args(&args)
+        .env("POLY_RAPL_ROOT", rapl_root)
+        .output()
+        .expect("store run executes");
+    assert!(out.status.success(), "store run failed: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).expect("utf-8 jsonl");
+    assert_eq!(stdout.lines().count(), 1, "one cell, one line: {stdout:?}");
+    stdout.trim().to_string()
+}
+
+/// Extracts a field's raw value text from a flat JSON object.
+fn json_value<'a>(line: &'a str, key: &str) -> &'a str {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat).unwrap_or_else(|| panic!("{key} missing in {line}")) + pat.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).expect("value terminator");
+    &rest[..end]
+}
+
+/// `--energy auto` on a host without RAPL: the report degrades to the
+/// modeled source with the measured columns present-but-null, and the
+/// modeled fields sit in exactly the PR 3 schema positions (the three
+/// measured columns are appended between `epo_uj` and `energy_model`).
+#[test]
+fn auto_without_rapl_degrades_to_modeled_with_stable_schema() {
+    for energy in ["auto", "modeled"] {
+        let line =
+            run_jsonl("/nonexistent-poly-rapl", &["--transport", "local", "--energy", energy]);
+        assert_eq!(json_value(&line, "energy_source"), "\"modeled\"", "{energy}: {line}");
+        assert_eq!(json_value(&line, "measured_j"), "null");
+        assert_eq!(json_value(&line, "measured_uj_per_op"), "null");
+        // The full key order, pinned: everything before the measured
+        // block is the PR 3 schema, byte-for-byte.
+        let expected = "{\"scenario\":\"kv-net-uniform\",\"workload\":\"kv/16sh/uni/g80p18d2s0\",\
+             \"transport\":\"local\",\"lock\":\"MUTEXEE\",\"shards\":16,\"threads\":1,\"ops\":400,";
+        assert!(line.starts_with(expected), "schema prefix changed: {line}");
+        for key in [
+            "wall_ms",
+            "throughput",
+            "p50_ns",
+            "p99_ns",
+            "max_ns",
+            "lock_wait_ns",
+            "lock_hold_ns",
+            "avg_power_w",
+            "energy_j",
+            "epo_uj",
+            "measured_j",
+            "measured_uj_per_op",
+            "energy_source",
+            "energy_model",
+        ] {
+            assert!(line.contains(&format!("\"{key}\":")), "{key} missing: {line}");
+        }
+        assert!(line.ends_with("\"energy_model\":\"xeon\"}"), "tail changed: {line}");
+        // Modeled energy still present and sane.
+        assert!(json_value(&line, "energy_j").parse::<f64>().unwrap() > 0.0);
+        assert!(json_value(&line, "avg_power_w").parse::<f64>().unwrap() > 27.0);
+    }
+}
+
+/// `--energy rapl` without RAPL is a hard, explicit failure — no silent
+/// model substitution when the user demanded measurement.
+#[test]
+fn rapl_without_rapl_fails_loudly() {
+    let out = store_bin()
+        .args(["run", "kv-net-uniform", "--threads", "1", "--ops", "50", "--energy", "rapl"])
+        .env("POLY_RAPL_ROOT", "/nonexistent-poly-rapl")
+        .output()
+        .expect("store run executes");
+    assert!(!out.status.success(), "--energy rapl must fail without RAPL");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("no RAPL domains"), "unhelpful error: {stderr}");
+}
+
+/// With a (fake) powercap tree whose counters advance while the load
+/// runs, the exec'd CLI reports nonzero measured joules with
+/// `energy_source: "rapl"` — over both transports, off one sweep.
+#[test]
+fn fake_tree_yields_measured_joules_over_both_transports() {
+    let fake = FakeRapl::new("store-cli-e2e");
+    fake.domain(0, "package-0", 0);
+    let mut child = store_bin()
+        .args([
+            "sweep",
+            "--scenarios",
+            "kv-net-uniform",
+            "--transport",
+            "local,tcp",
+            "--locks",
+            "MUTEXEE",
+            "--threads",
+            "1",
+            "--ops",
+            "2000",
+            "--rate",
+            "40000", // ~50 ms per cell: spans many mutator ticks below
+            "--seed",
+            "7",
+            "--energy",
+            "auto",
+            "--format",
+            "jsonl",
+        ])
+        .env("POLY_RAPL_ROOT", fake.root())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("store sweep spawns");
+    // Burn fake package energy until the sweep finishes.
+    while child.try_wait().expect("try_wait").is_none() {
+        fake.advance(0, 20_000);
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    let out = child.wait_with_output().expect("sweep output");
+    assert!(out.status.success(), "sweep failed");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 2, "two transports, two cells: {stdout:?}");
+    for (line, transport) in lines.iter().zip(["\"local\"", "\"tcp\""]) {
+        assert_eq!(json_value(line, "transport"), transport);
+        assert_eq!(json_value(line, "energy_source"), "\"rapl\"", "{line}");
+        let measured: f64 = json_value(line, "measured_j").parse().expect("numeric measured_j");
+        assert!(measured > 0.0, "no measured joules in {line}");
+        let per_op: f64 = json_value(line, "measured_uj_per_op").parse().expect("numeric per-op");
+        assert!(per_op > 0.0);
+        // Modeled fields ride along untouched.
+        assert!(json_value(line, "energy_j").parse::<f64>().unwrap() > 0.0);
+    }
+}

@@ -19,7 +19,8 @@
 //! * [`RwLock`] and [`Condvar`] built on the same primitives;
 //! * [`rapl`] — a reader for Intel RAPL energy counters via
 //!   `/sys/class/powercap`, and [`EnergyMeter`]/[`TppMeter`] for measuring
-//!   throughput-per-power the way the paper does;
+//!   throughput-per-power the way the paper does (both now live in the
+//!   `poly-meter` crate and are re-exported here for compatibility);
 //! * [`autotune`] — the paper's "fine-tuning script": measures the
 //!   platform's futex and coherence latencies and derives [`MutexeeConfig`]
 //!   parameters.
@@ -53,22 +54,28 @@ mod clh;
 mod condvar;
 mod futex;
 mod mcs;
-mod meter;
 mod mutex;
 mod mutexee;
-pub mod rapl;
 mod raw;
 mod rwlock;
 mod spin;
 mod spinlocks;
 
+/// The raw RAPL powercap reader, now maintained in `poly-meter` (this
+/// alias keeps `lockin::rapl` paths working).
+pub use poly_meter::rapl;
+
 pub use clh::{ClhGuard, ClhLock};
 pub use condvar::Condvar;
 pub use futex::{futex_wait, futex_wake, WaitOutcome};
 pub use mcs::{McsGuard, McsLock};
-pub use meter::{EnergyMeter, EnergySample, TppMeter, TppReport};
 pub use mutex::FutexMutex;
 pub use mutexee::{Mutexee, MutexeeConfig, MutexeeMode};
+#[deprecated(
+    since = "0.1.0",
+    note = "the meter implementation moved to the poly-meter crate; import from `poly_meter`"
+)]
+pub use poly_meter::{EnergyMeter, EnergySample, TppMeter, TppReport};
 pub use raw::{Lock, LockGuard, RawLock};
 pub use rwlock::{RwLock, RwReadGuard, RwWriteGuard};
 pub use spin::SpinPolicy;

@@ -1,0 +1,54 @@
+//! `poly-meter` — the measured-energy subsystem of the "Unlocking Energy"
+//! reproduction.
+//!
+//! Every POLY result in the paper is a *measured* RAPL reading, not a
+//! model. This crate unifies energy measurement behind one abstraction so
+//! every serving and reporting path can put measured joules next to the
+//! modeled ones:
+//!
+//! * [`rapl`] — the raw powercap reader ([`RaplReader`]): domain
+//!   discovery in stable numeric order, integer wraparound-correct deltas
+//!   (`max_energy_range_uj`), testable against a fake sysfs root via
+//!   [`RaplReader::probe_at`];
+//! * [`RaplSampler`] — a background thread polling the domains at a
+//!   configurable interval, folding each delta into cumulative
+//!   [`MeasuredReading`] totals, with explicit measurement windows
+//!   ([`RaplSampler::start_window`] / [`RaplSampler::stop_window`]) that
+//!   exclude warmup from the measured joules;
+//! * [`MeasuredEnergy`] — the per-window summary (package and DRAM
+//!   joules, poll count, provenance) reports carry beside the modeled
+//!   estimate;
+//! * [`EnergySource`] — where a report's joules came from (`rapl`,
+//!   `modeled`, or the `auto`/`both` collection policy);
+//! * [`EnergyMeter`] / [`TppMeter`] — the paper's throughput-per-power
+//!   measurement, migrated here from `lockin` (which re-exports them);
+//! * [`testfs`] — fake powercap trees, so hosts without RAPL (every CI
+//!   container) still exercise the full measured path.
+//!
+//! # Example
+//!
+//! ```
+//! use std::time::Duration;
+//! use poly_meter::{FakeRapl, RaplSampler};
+//!
+//! let fake = FakeRapl::new("doc");
+//! fake.domain(0, "package-0", 0);
+//! let sampler = RaplSampler::probe_at(fake.root(), Duration::from_millis(10)).unwrap();
+//! fake.advance(0, 2_000_000); // warmup: excluded below
+//! sampler.start_window();
+//! fake.advance(0, 1_000_000); // the measured phase
+//! let win = sampler.stop_window().unwrap();
+//! assert!((win.package_j - 1.0).abs() < 1e-9);
+//! ```
+
+#![deny(missing_docs)]
+
+mod meter;
+pub mod rapl;
+mod sampler;
+pub mod testfs;
+
+pub use meter::{EnergyMeter, EnergySample, TppMeter, TppReport};
+pub use rapl::{RaplDomain, RaplReader, RaplSample};
+pub use sampler::{EnergySource, MeasuredEnergy, MeasuredReading, RaplSampler};
+pub use testfs::FakeRapl;

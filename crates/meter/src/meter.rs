@@ -1,4 +1,8 @@
 //! Throughput-per-power measurement, the paper's TPP metric.
+//!
+//! Migrated from `lockin` (`crates/core`), which re-exports these types
+//! for compatibility — this crate is the one meter implementation in the
+//! workspace.
 
 use std::time::{Duration, Instant};
 

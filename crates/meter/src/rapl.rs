@@ -1,0 +1,271 @@
+//! Intel RAPL energy counters via the Linux powercap interface.
+//!
+//! The paper measures every result with RAPL. On hosts that expose
+//! `/sys/class/powercap/intel-rapl*`, [`RaplReader`] samples the package,
+//! cores (PP0) and DRAM domains exactly like the paper's setup; elsewhere
+//! (containers, non-Intel machines) probing returns `None` and callers
+//! fall back to modeled or throughput-only reporting (see
+//! [`crate::RaplSampler`] and [`crate::TppMeter`]).
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// One RAPL domain (e.g. `package-0`, `core`, `dram`).
+#[derive(Debug, Clone)]
+pub struct RaplDomain {
+    /// Domain name as reported by the kernel.
+    pub name: String,
+    energy_path: PathBuf,
+    /// Wraparound range of the counter, in micro-joules.
+    pub max_energy_range_uj: u64,
+}
+
+/// A point-in-time sample of every discovered domain, in micro-joules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RaplSample {
+    /// `(domain name, energy counter in micro-joules)` pairs, in discovery
+    /// order.
+    pub energy_uj: Vec<(String, u64)>,
+}
+
+impl RaplSample {
+    /// Total energy across package domains (packages already include the
+    /// cores component), in joules.
+    pub fn total_package_j(&self) -> f64 {
+        self.energy_uj
+            .iter()
+            .filter(|(n, _)| n.starts_with("package"))
+            .map(|(_, uj)| *uj as f64 * 1e-6)
+            .sum()
+    }
+}
+
+/// Sort key for a powercap entry name: the numeric components of the
+/// `intel-rapl:<socket>[:<sub>]` suffix, so `intel-rapl:10` orders after
+/// `intel-rapl:2` (plain lexicographic order would interleave them and
+/// shuffle domains between hosts with many sockets).
+fn discovery_key(path: &Path) -> (Vec<u64>, String) {
+    let name = path.file_name().and_then(|n| n.to_str()).unwrap_or_default();
+    let suffix = name.strip_prefix("intel-rapl").unwrap_or(name);
+    let nums: Vec<u64> = suffix.split(':').filter_map(|part| part.parse().ok()).collect();
+    (nums, name.to_string())
+}
+
+/// Reader over the host's RAPL domains.
+#[derive(Debug, Clone)]
+pub struct RaplReader {
+    domains: Vec<RaplDomain>,
+}
+
+impl RaplReader {
+    /// Discovers RAPL domains; returns `None` when the host exposes none
+    /// (the common case in containers and on non-Intel hardware).
+    pub fn probe() -> Option<Self> {
+        Self::probe_at(Path::new("/sys/class/powercap"))
+    }
+
+    /// Discovery rooted at an arbitrary directory (testable against a
+    /// fake sysfs tree; see the crate tests).
+    pub fn probe_at(root: &Path) -> Option<Self> {
+        let mut domains = Vec::new();
+        let entries = fs::read_dir(root).ok()?;
+        let mut names: Vec<PathBuf> = entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| {
+                p.file_name().and_then(|n| n.to_str()).is_some_and(|n| n.starts_with("intel-rapl:"))
+            })
+            .collect();
+        names.sort_by_key(|p| discovery_key(p));
+        for dir in names {
+            // Per-domain failures skip that domain, never the probe: one
+            // stray or permission-hardened entry must not hide the
+            // working counters next to it.
+            let Some(name) =
+                fs::read_to_string(dir.join("name")).ok().map(|s| s.trim().to_string())
+            else {
+                continue;
+            };
+            let energy_path = dir.join("energy_uj");
+            // The counter must actually *read* as a number here, not just
+            // exist: modern kernels make energy_uj root-only (the
+            // PLATYPUS mitigation), and a domain that probes but never
+            // samples would report measured zeros under `energy_source:
+            // "rapl"` instead of degrading to the model.
+            let readable = fs::read_to_string(&energy_path)
+                .ok()
+                .and_then(|s| s.trim().parse::<u64>().ok())
+                .is_some();
+            if !readable {
+                continue;
+            }
+            let max_energy_range_uj = fs::read_to_string(dir.join("max_energy_range_uj"))
+                .ok()
+                .and_then(|s| s.trim().parse().ok())
+                .unwrap_or(u64::MAX);
+            domains.push(RaplDomain { name, energy_path, max_energy_range_uj });
+        }
+        if domains.is_empty() {
+            None
+        } else {
+            Some(Self { domains })
+        }
+    }
+
+    /// The discovered domains.
+    pub fn domains(&self) -> &[RaplDomain] {
+        &self.domains
+    }
+
+    /// Samples every domain.
+    pub fn sample(&self) -> std::io::Result<RaplSample> {
+        let mut energy_uj = Vec::with_capacity(self.domains.len());
+        for d in &self.domains {
+            let v = fs::read_to_string(&d.energy_path)?
+                .trim()
+                .parse::<u64>()
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+            energy_uj.push((d.name.clone(), v));
+        }
+        Ok(RaplSample { energy_uj })
+    }
+
+    /// Energy consumed between two samples, handling counter wraparound,
+    /// in micro-joules per domain. A counter that wrapped (`after <
+    /// before`) consumed `max_energy_range_uj - before + after` — exact
+    /// integer arithmetic, no float rounding.
+    pub fn delta_uj(&self, before: &RaplSample, after: &RaplSample) -> Vec<(String, u64)> {
+        before
+            .energy_uj
+            .iter()
+            .zip(&after.energy_uj)
+            .zip(&self.domains)
+            .map(|(((name, b), (_, a)), d)| {
+                let uj = if a >= b {
+                    a - b
+                } else {
+                    // The counter wrapped.
+                    d.max_energy_range_uj - b + a
+                };
+                (name.clone(), uj)
+            })
+            .collect()
+    }
+
+    /// Energy consumed between two samples, handling counter wraparound,
+    /// in joules per domain.
+    pub fn delta_j(&self, before: &RaplSample, after: &RaplSample) -> Vec<(String, f64)> {
+        self.delta_uj(before, after)
+            .into_iter()
+            .map(|(name, uj)| (name, uj as f64 * 1e-6))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testfs::FakeRapl;
+
+    #[test]
+    fn probe_missing_root_returns_none() {
+        assert!(RaplReader::probe_at(Path::new("/nonexistent-rapl")).is_none());
+    }
+
+    #[test]
+    fn probe_and_sample_fake_tree() {
+        let fake = FakeRapl::new("reader-sample");
+        fake.domain(0, "package-0", 1_000_000);
+        fake.domain(1, "package-1", 2_000_000);
+        let r = RaplReader::probe_at(fake.root()).expect("fake domains discovered");
+        assert_eq!(r.domains().len(), 2);
+        let s1 = r.sample().unwrap();
+        assert!((s1.total_package_j() - 3.0).abs() < 1e-9);
+        // Bump the counters and check the delta.
+        fake.set_energy(0, 1_500_000);
+        let s2 = r.sample().unwrap();
+        let delta = r.delta_j(&s1, &s2);
+        assert!((delta[0].1 - 0.5).abs() < 1e-9);
+        assert_eq!(r.delta_uj(&s1, &s2)[0].1, 500_000);
+    }
+
+    #[test]
+    fn discovery_order_is_numeric_not_lexicographic() {
+        // With ≥ 10 entries, lexicographic path order would visit
+        // intel-rapl:10 before intel-rapl:2; the reader must order by the
+        // numeric suffix so domain order is stable across hosts.
+        let fake = FakeRapl::new("reader-order");
+        for i in [10u32, 2, 0, 1, 11] {
+            fake.domain(i, &format!("package-{i}"), 1_000);
+        }
+        let r = RaplReader::probe_at(fake.root()).unwrap();
+        let names: Vec<&str> = r.domains().iter().map(|d| d.name.as_str()).collect();
+        assert_eq!(names, ["package-0", "package-1", "package-2", "package-10", "package-11"]);
+    }
+
+    #[test]
+    fn subdomains_order_under_their_package() {
+        // Real sysfs exposes sub-domains as intel-rapl:<pkg>:<sub> beside
+        // their parents; :0:1 (dram) must follow :0 and precede :1.
+        let fake = FakeRapl::new("reader-subdomains");
+        fake.named_domain("intel-rapl:1", "package-1", 10);
+        fake.named_domain("intel-rapl:0:1", "dram", 5);
+        fake.named_domain("intel-rapl:0", "package-0", 20);
+        fake.named_domain("intel-rapl:0:0", "core", 7);
+        let r = RaplReader::probe_at(fake.root()).unwrap();
+        let names: Vec<&str> = r.domains().iter().map(|d| d.name.as_str()).collect();
+        assert_eq!(names, ["package-0", "core", "dram", "package-1"]);
+    }
+
+    #[test]
+    fn unreadable_counters_are_not_discovered() {
+        // A domain whose energy_uj cannot be read as a number (the shape
+        // a root-only counter presents to the parse, and literally what a
+        // corrupt file presents) must be skipped at probe time: reporting
+        // `energy_source: "rapl"` with permanent zeros would be worse
+        // than degrading to the model.
+        let fake = FakeRapl::new("reader-unreadable");
+        fake.domain(0, "package-0", 100);
+        fake.domain(1, "package-1", 200);
+        std::fs::write(fake.root().join("intel-rapl:1/energy_uj"), "not-a-number").unwrap();
+        // A domain with no readable `name` is likewise skipped, not fatal.
+        fake.domain(2, "package-2", 300);
+        std::fs::remove_file(fake.root().join("intel-rapl:2/name")).unwrap();
+        let r = RaplReader::probe_at(fake.root()).unwrap();
+        let names: Vec<&str> = r.domains().iter().map(|d| d.name.as_str()).collect();
+        assert_eq!(names, ["package-0"], "unreadable domains must be dropped");
+        // With *no* readable counter the probe finds nothing at all.
+        std::fs::write(fake.root().join("intel-rapl:0/energy_uj"), "").unwrap();
+        assert!(RaplReader::probe_at(fake.root()).is_none());
+    }
+
+    #[test]
+    fn missing_max_energy_range_falls_back_to_u64_max() {
+        let fake = FakeRapl::new("reader-norange");
+        fake.domain(0, "package-0", 500);
+        std::fs::remove_file(fake.root().join("intel-rapl:0/max_energy_range_uj")).unwrap();
+        let r = RaplReader::probe_at(fake.root()).unwrap();
+        assert_eq!(r.domains()[0].max_energy_range_uj, u64::MAX);
+        // Forward deltas still work under the fallback range.
+        let s1 = r.sample().unwrap();
+        fake.set_energy(0, 800);
+        let s2 = r.sample().unwrap();
+        assert_eq!(r.delta_uj(&s1, &s2)[0].1, 300);
+    }
+
+    #[test]
+    fn wraparound_delta_is_exact() {
+        // Sample N, wrap, sample N' < N  =>  delta = range - N + N'.
+        let fake = FakeRapl::new("reader-wrap");
+        let n = FakeRapl::RANGE_UJ - 1_328_850;
+        fake.domain(0, "package-0", n);
+        let r = RaplReader::probe_at(fake.root()).unwrap();
+        let s1 = r.sample().unwrap();
+        let n2 = 1_000;
+        fake.set_energy(0, n2);
+        let s2 = r.sample().unwrap();
+        assert_eq!(r.delta_uj(&s1, &s2)[0].1, FakeRapl::RANGE_UJ - n + n2);
+        let delta_j = r.delta_j(&s1, &s2);
+        assert!(delta_j[0].1 > 0.0, "wrapped delta must stay positive: {delta_j:?}");
+        assert!((delta_j[0].1 - (FakeRapl::RANGE_UJ - n + n2) as f64 * 1e-6).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,368 @@
+//! The background RAPL sampler: cumulative wraparound-correct accounting
+//! plus explicit measurement windows.
+//!
+//! RAPL counters are ~32-bit micro-joule registers that wrap every few
+//! minutes under load, so a single begin/end pair of reads is only
+//! correct for short runs. [`RaplSampler`] follows the methodology of the
+//! OpenMP energy-evaluation literature instead: a background thread polls
+//! every domain at a configurable interval, folds each wraparound-correct
+//! delta into monotonically growing totals ([`MeasuredReading`]), and
+//! callers bracket the phase they care about — either with explicit
+//! [`start_window`](RaplSampler::start_window) /
+//! [`stop_window`](RaplSampler::stop_window) marks or by diffing two
+//! [`reading`](RaplSampler::reading)s — so warmup never pollutes the
+//! measured joules.
+
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::rapl::{RaplDomain, RaplReader, RaplSample};
+
+/// Where a report's energy figures come from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnergySource {
+    /// Measured joules, read from the host's RAPL counters.
+    Rapl,
+    /// Modeled joules only (the calibrated Xeon power model).
+    Modeled,
+    /// Collect both: model always, RAPL when the host exposes it — the
+    /// `--energy auto` policy. Reports resolve this to what was actually
+    /// measured ([`EnergySource::Rapl`] or [`EnergySource::Modeled`]).
+    Both,
+}
+
+impl EnergySource {
+    /// Stable lowercase label carried in report schemas.
+    pub const fn label(self) -> &'static str {
+        match self {
+            EnergySource::Rapl => "rapl",
+            EnergySource::Modeled => "modeled",
+            EnergySource::Both => "both",
+        }
+    }
+
+    /// Parses a label (case-insensitive); `auto` is the CLI spelling of
+    /// [`EnergySource::Both`].
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "rapl" => Some(EnergySource::Rapl),
+            "modeled" | "model" => Some(EnergySource::Modeled),
+            "auto" | "both" => Some(EnergySource::Both),
+            _ => None,
+        }
+    }
+}
+
+/// Cumulative measured energy since a sampler started: monotonically
+/// non-decreasing counters that never wrap (u64 micro-joules overflow
+/// after half a million years at typical package power). Diff two
+/// readings to get the energy of the span between them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MeasuredReading {
+    /// Micro-joules across `package-*` domains (packages already include
+    /// the cores component).
+    pub package_uj: u64,
+    /// Micro-joules across `dram` domains.
+    pub dram_uj: u64,
+    /// Counter polls folded in (background ticks plus synchronous reads).
+    pub samples: u64,
+}
+
+/// Measured energy over one window, the summary that rides into reports
+/// beside the modeled estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeasuredEnergy {
+    /// Package joules over the window.
+    pub package_j: f64,
+    /// DRAM joules over the window.
+    pub dram_j: f64,
+    /// Counter polls folded into the window (≥ 1: the closing mark).
+    pub samples: u64,
+    /// Provenance of the numbers (always [`EnergySource::Rapl`] for a
+    /// real sampler).
+    pub source: EnergySource,
+}
+
+impl MeasuredEnergy {
+    /// The window between two cumulative readings.
+    pub fn between(start: MeasuredReading, end: MeasuredReading) -> Self {
+        Self {
+            package_j: end.package_uj.saturating_sub(start.package_uj) as f64 * 1e-6,
+            dram_j: end.dram_uj.saturating_sub(start.dram_uj) as f64 * 1e-6,
+            samples: end.samples.saturating_sub(start.samples),
+            source: EnergySource::Rapl,
+        }
+    }
+
+    /// Total measured joules (package + DRAM).
+    pub fn total_j(&self) -> f64 {
+        self.package_j + self.dram_j
+    }
+
+    /// Measured micro-joules per operation, `None` when no op completed.
+    pub fn uj_per_op(&self, ops: u64) -> Option<f64> {
+        (ops > 0).then(|| self.total_j() / ops as f64 * 1e6)
+    }
+}
+
+struct SamplerState {
+    /// Last raw counter snapshot; the next fold diffs against it.
+    prev: Option<RaplSample>,
+    cum: MeasuredReading,
+    window_start: Option<MeasuredReading>,
+}
+
+struct SamplerInner {
+    reader: RaplReader,
+    state: Mutex<SamplerState>,
+    stop: AtomicBool,
+}
+
+impl SamplerInner {
+    /// Takes one counter snapshot and folds its wraparound-correct delta
+    /// into the cumulative totals. Unreadable counters (a domain raced a
+    /// hotplug, a fake tree mid-rewrite) skip the fold and keep the
+    /// previous baseline, so one bad read never corrupts the totals.
+    fn fold(&self) -> MeasuredReading {
+        let mut st = self.state.lock().unwrap();
+        if let Ok(cur) = self.reader.sample() {
+            if let Some(prev) = &st.prev {
+                // Saturating: a counter reset on a domain with the
+                // u64::MAX fallback range yields a near-u64::MAX "wrap"
+                // delta once; the next fold must not overflow the totals
+                // (debug panic would kill this thread, release wrap would
+                // poison every later window diff).
+                for (name, uj) in self.reader.delta_uj(prev, &cur) {
+                    if name.starts_with("package") {
+                        st.cum.package_uj = st.cum.package_uj.saturating_add(uj);
+                    } else if name.starts_with("dram") {
+                        st.cum.dram_uj = st.cum.dram_uj.saturating_add(uj);
+                    }
+                }
+            }
+            st.prev = Some(cur);
+            st.cum.samples += 1;
+        }
+        st.cum
+    }
+}
+
+/// A background thread polling the host's RAPL domains.
+///
+/// Construction takes a baseline snapshot; from then on the thread folds
+/// a delta every `interval` (and every synchronous [`reading`] /
+/// [`start_window`] / [`stop_window`] call folds one more at the exact
+/// mark), so totals stay wraparound-correct as long as the interval is
+/// shorter than a counter wrap (~40 minutes at 100 W against the Xeon's
+/// 262 kJ range — any sane interval qualifies). Dropping the sampler
+/// stops and joins the thread.
+///
+/// [`reading`]: RaplSampler::reading
+/// [`start_window`]: RaplSampler::start_window
+/// [`stop_window`]: RaplSampler::stop_window
+pub struct RaplSampler {
+    inner: Arc<SamplerInner>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for RaplSampler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RaplSampler")
+            .field("domains", &self.inner.reader.domains().len())
+            .field("reading", &self.inner.state.lock().unwrap().cum)
+            .finish()
+    }
+}
+
+impl RaplSampler {
+    /// Probes `/sys/class/powercap` and starts sampling; `None` when the
+    /// host exposes no RAPL.
+    pub fn probe(interval: Duration) -> Option<Self> {
+        RaplReader::probe().map(|r| Self::from_reader(r, interval))
+    }
+
+    /// [`RaplSampler::probe`] rooted at an arbitrary directory (fake
+    /// sysfs trees in tests, `POLY_RAPL_ROOT` in the CLIs).
+    pub fn probe_at(root: &Path, interval: Duration) -> Option<Self> {
+        RaplReader::probe_at(root).map(|r| Self::from_reader(r, interval))
+    }
+
+    /// Starts a sampler over an already-probed reader.
+    pub fn from_reader(reader: RaplReader, interval: Duration) -> Self {
+        let inner = Arc::new(SamplerInner {
+            reader,
+            state: Mutex::new(SamplerState {
+                prev: None,
+                cum: MeasuredReading::default(),
+                window_start: None,
+            }),
+            stop: AtomicBool::new(false),
+        });
+        inner.fold(); // baseline snapshot: the first delta starts here
+        let thread = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("poly-meter-rapl".into())
+                .spawn(move || sampler_loop(&inner, interval))
+                .expect("spawn RAPL sampler thread")
+        };
+        Self { inner, thread: Some(thread) }
+    }
+
+    /// The domains being sampled.
+    pub fn domains(&self) -> &[RaplDomain] {
+        self.inner.reader.domains()
+    }
+
+    /// Cumulative totals since the sampler started, folded up to this
+    /// instant (takes a fresh counter snapshot — marks are exact, never
+    /// stale by one polling interval).
+    pub fn reading(&self) -> MeasuredReading {
+        self.inner.fold()
+    }
+
+    /// Opens a measurement window at this instant, discarding any window
+    /// already open. Call after warmup/prefill so the window covers only
+    /// the measured phase.
+    pub fn start_window(&self) {
+        let mark = self.inner.fold();
+        // A background tick between the fold and the mark only *adds*
+        // post-mark energy to the totals, which the closing diff keeps —
+        // exactly right, so the two lock acquisitions are benign.
+        self.inner.state.lock().unwrap().window_start = Some(mark);
+    }
+
+    /// Closes the window and returns its measured energy; `None` when no
+    /// window is open.
+    pub fn stop_window(&self) -> Option<MeasuredEnergy> {
+        let end = self.inner.fold();
+        let start = self.inner.state.lock().unwrap().window_start.take()?;
+        Some(MeasuredEnergy::between(start, end))
+    }
+}
+
+impl Drop for RaplSampler {
+    fn drop(&mut self) {
+        self.inner.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn sampler_loop(inner: &SamplerInner, interval: Duration) {
+    // Sleep in short slices so drop never waits a full interval.
+    let slice = interval.min(Duration::from_millis(25)).max(Duration::from_micros(100));
+    let mut slept = Duration::ZERO;
+    loop {
+        std::thread::sleep(slice);
+        if inner.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        slept += slice;
+        if slept >= interval {
+            slept = Duration::ZERO;
+            inner.fold();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testfs::FakeRapl;
+
+    const TICK: Duration = Duration::from_millis(2);
+
+    #[test]
+    fn energy_source_labels_round_trip() {
+        for src in [EnergySource::Rapl, EnergySource::Modeled, EnergySource::Both] {
+            assert_eq!(EnergySource::parse(src.label()), Some(src));
+        }
+        assert_eq!(EnergySource::parse("auto"), Some(EnergySource::Both));
+        assert_eq!(EnergySource::parse("AUTO"), Some(EnergySource::Both));
+        assert_eq!(EnergySource::parse("joules"), None);
+    }
+
+    #[test]
+    fn probe_without_rapl_is_none() {
+        assert!(RaplSampler::probe_at(Path::new("/nonexistent-rapl"), TICK).is_none());
+    }
+
+    #[test]
+    fn readings_accumulate_package_and_dram_separately() {
+        let fake = FakeRapl::new("sampler-acc");
+        fake.named_domain("intel-rapl:0", "package-0", 1_000);
+        fake.named_domain("intel-rapl:0:1", "dram", 500);
+        let s = RaplSampler::probe_at(fake.root(), Duration::from_secs(3600)).unwrap();
+        let r0 = s.reading();
+        fake.advance(0, 2_000_000);
+        let d = fake.root().join("intel-rapl:0:1");
+        std::fs::write(d.join("energy_uj"), "750500").unwrap();
+        let r1 = s.reading();
+        assert_eq!(r1.package_uj - r0.package_uj, 2_000_000);
+        assert_eq!(r1.dram_uj - r0.dram_uj, 750_000);
+        assert!(r1.samples > r0.samples);
+        let win = MeasuredEnergy::between(r0, r1);
+        assert!((win.package_j - 2.0).abs() < 1e-9);
+        assert!((win.dram_j - 0.75).abs() < 1e-9);
+        assert!((win.total_j() - 2.75).abs() < 1e-9);
+        assert_eq!(win.source, EnergySource::Rapl);
+        assert_eq!(win.uj_per_op(1_000_000), Some(2.75));
+        assert_eq!(win.uj_per_op(0), None);
+    }
+
+    #[test]
+    fn window_excludes_warmup_energy() {
+        let fake = FakeRapl::new("sampler-window");
+        fake.domain(0, "package-0", 0);
+        let s = RaplSampler::probe_at(fake.root(), Duration::from_secs(3600)).unwrap();
+        fake.advance(0, 5_000_000); // warmup burn: must not be charged
+        s.start_window();
+        fake.advance(0, 1_500_000); // measured burn
+        let win = s.stop_window().expect("window was open");
+        assert!((win.package_j - 1.5).abs() < 1e-9, "window leaked warmup: {win:?}");
+        assert!(win.samples >= 1);
+        assert!(s.stop_window().is_none(), "window closes once");
+    }
+
+    #[test]
+    fn background_thread_keeps_wrapped_counters_correct() {
+        // The counter wraps *twice* between the explicit marks; only the
+        // background polls (every 2 ms) can observe the intermediate
+        // values, so a correct total proves the thread both runs and
+        // corrects wraparound.
+        let fake = FakeRapl::new("sampler-wrap");
+        fake.domain(0, "package-0", FakeRapl::RANGE_UJ - 1_000);
+        let s = RaplSampler::probe_at(fake.root(), TICK).unwrap();
+        let r0 = s.reading();
+        let mut expected = 0u64;
+        for _ in 0..2 {
+            // +RANGE-2000 in small steps: each step small enough that the
+            // sampler can't mistake forward progress for a wrap.
+            for _ in 0..8 {
+                let step = (FakeRapl::RANGE_UJ - 2_000) / 8;
+                fake.advance(0, step);
+                expected += step;
+                std::thread::sleep(TICK * 5);
+            }
+        }
+        let r1 = s.reading();
+        let got = r1.package_uj - r0.package_uj;
+        assert_eq!(got, expected, "wrap-corrected total diverged");
+        assert!(r1.samples - r0.samples >= 16, "background thread barely ran");
+    }
+
+    #[test]
+    fn drop_joins_the_thread_quickly() {
+        let fake = FakeRapl::new("sampler-drop");
+        fake.domain(0, "package-0", 0);
+        let s = RaplSampler::probe_at(fake.root(), Duration::from_secs(3600)).unwrap();
+        let t0 = std::time::Instant::now();
+        drop(s);
+        assert!(t0.elapsed() < Duration::from_secs(2), "drop hung on the sampler thread");
+    }
+}

@@ -1,0 +1,91 @@
+//! Fake powercap sysfs trees for tests.
+//!
+//! The build/test hosts (containers, CI runners) expose no RAPL, so every
+//! measured-energy code path is exercised against a fake
+//! `/sys/class/powercap` directory instead: the same `name` /
+//! `energy_uj` / `max_energy_range_uj` file layout, rooted in a temp
+//! directory and fed to [`RaplReader::probe_at`](crate::RaplReader::probe_at).
+//! Public (not `#[cfg(test)]`) because downstream crates' integration
+//! tests — the store driver, the net server, the `store` CLI — build the
+//! same trees.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// A fake powercap tree rooted in a per-process temp directory; removed
+/// on drop.
+#[derive(Debug)]
+pub struct FakeRapl {
+    root: PathBuf,
+}
+
+impl FakeRapl {
+    /// The `max_energy_range_uj` every fake domain advertises (the value
+    /// of the paper's Xeon: ~262 kJ).
+    pub const RANGE_UJ: u64 = 262_143_328_850;
+
+    /// Creates an empty tree under the system temp directory. `tag` keeps
+    /// concurrent tests from colliding; the process id keeps concurrent
+    /// test *binaries* apart.
+    pub fn new(tag: &str) -> Self {
+        let root = std::env::temp_dir().join(format!("poly-rapl-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        fs::create_dir_all(&root).expect("create fake powercap root");
+        Self { root }
+    }
+
+    /// The tree's root (pass to `probe_at`, or export as `POLY_RAPL_ROOT`).
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Adds domain `intel-rapl:<idx>` with the given kernel name and
+    /// starting counter.
+    pub fn domain(&self, idx: u32, name: &str, energy_uj: u64) {
+        self.named_domain(&format!("intel-rapl:{idx}"), name, energy_uj);
+    }
+
+    /// Adds a domain under an explicit directory name (for sub-domains
+    /// like `intel-rapl:0:1`).
+    pub fn named_domain(&self, dir: &str, name: &str, energy_uj: u64) {
+        let d = self.root.join(dir);
+        fs::create_dir_all(&d).expect("create fake domain");
+        fs::write(d.join("name"), name).expect("write name");
+        fs::write(d.join("max_energy_range_uj"), Self::RANGE_UJ.to_string()).expect("write range");
+        write_atomic(&d.join("energy_uj"), &energy_uj.to_string());
+    }
+
+    /// Sets domain `intel-rapl:<idx>`'s counter. Atomic (write + rename),
+    /// so a concurrent sampler never reads a torn or empty file.
+    pub fn set_energy(&self, idx: u32, energy_uj: u64) {
+        let d = self.root.join(format!("intel-rapl:{idx}"));
+        write_atomic(&d.join("energy_uj"), &energy_uj.to_string());
+    }
+
+    /// Reads domain `intel-rapl:<idx>`'s counter back.
+    pub fn energy(&self, idx: u32) -> u64 {
+        let d = self.root.join(format!("intel-rapl:{idx}"));
+        fs::read_to_string(d.join("energy_uj")).expect("read energy").trim().parse().expect("u64")
+    }
+
+    /// Advances domain `intel-rapl:<idx>` by `delta_uj`, wrapping at
+    /// [`FakeRapl::RANGE_UJ`] like the hardware counter.
+    pub fn advance(&self, idx: u32, delta_uj: u64) {
+        let next = (self.energy(idx) + delta_uj) % Self::RANGE_UJ;
+        self.set_energy(idx, next);
+    }
+}
+
+impl Drop for FakeRapl {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.root);
+    }
+}
+
+/// Write-then-rename so concurrent readers see either the old or the new
+/// content, never a truncated file.
+fn write_atomic(path: &Path, content: &str) {
+    let tmp = path.with_extension("tmp");
+    fs::write(&tmp, content).expect("write temp file");
+    fs::rename(&tmp, path).expect("rename over energy_uj");
+}

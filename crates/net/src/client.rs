@@ -15,6 +15,7 @@ use std::sync::Mutex;
 use std::time::Duration;
 
 use poly_locks_sim::LockKind;
+use poly_meter::MeasuredReading;
 use poly_store::{KvConnection, KvService, StatsSnapshot, WriteBatch};
 
 use crate::proto::{batch_request, read_frame, write_frame, Request, Response};
@@ -210,6 +211,22 @@ impl KvService for NetClient {
     fn service_stats(&self) -> StatsSnapshot {
         let mut session = self.session().expect("dialing the server");
         session.conn_mut().stats().expect("net stats").stats
+    }
+
+    fn measured_energy(&self) -> Option<MeasuredReading> {
+        // The *server's* cumulative measured energy, over the wire: a TCP
+        // sweep charges joules to the serving process, not to this client.
+        let mut session = self.session().expect("dialing the server");
+        session.conn_mut().stats().expect("net stats").measured
+    }
+
+    fn stats_and_energy(&self) -> (StatsSnapshot, Option<MeasuredReading>) {
+        // One STATS frame answers both marks: the driver must not pay —
+        // or charge into the energy window it just opened — a second
+        // round trip.
+        let mut session = self.session().expect("dialing the server");
+        let ws = session.conn_mut().stats().expect("net stats");
+        (ws.stats, ws.measured)
     }
 
     fn extra_threads_per_client(&self) -> usize {

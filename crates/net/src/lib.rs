@@ -17,6 +17,11 @@
 //!   the `STATS` exchange folds the *server's* shard-lock waits into the
 //!   modeled joules-per-op.
 //!
+//! When the server is bound with [`NetServer::bind_metered`], STATS
+//! replies additionally carry the serving process's cumulative *measured*
+//! (RAPL) energy; the driver diffs two readings around its measure window
+//! so TCP sweeps report measured joules attributed to the server.
+//!
 //! # Example
 //!
 //! ```
@@ -143,6 +148,54 @@ mod tests {
         assert_eq!(r.request_latency.count(), 200);
         assert!(r.store_stats.batches > 0, "batches must ship as BATCH frames");
         assert!(server.net_stats().batches > 0);
+    }
+
+    #[test]
+    fn metered_server_ships_measured_energy_over_the_wire() {
+        use poly_meter::{EnergySource, FakeRapl, RaplSampler};
+        use std::sync::atomic::{AtomicBool, Ordering};
+
+        let fake = FakeRapl::new("net-measured");
+        fake.domain(0, "package-0", 0);
+        let sampler =
+            Arc::new(RaplSampler::probe_at(fake.root(), Duration::from_millis(2)).unwrap());
+        let mix = KvMix { keys: 1_024, ..KvMix::uniform() }.with_shards(4);
+        let store =
+            Arc::new(PolyStore::new(StoreConfig { shards: mix.shards, lock: LockKind::Mutexee }));
+        let server = NetServer::bind_metered(
+            "127.0.0.1:0",
+            store,
+            ServerConfig::default(),
+            Some(Arc::clone(&sampler)),
+        )
+        .expect("bind metered loopback");
+        let client = NetClient::connect(server.local_addr()).expect("connect");
+
+        // A mutator burns fake package energy while the load runs.
+        let stop = AtomicBool::new(false);
+        let r = std::thread::scope(|scope| {
+            scope.spawn(|| {
+                while !stop.load(Ordering::SeqCst) {
+                    fake.advance(0, 10_000);
+                    std::thread::sleep(Duration::from_micros(500));
+                }
+            });
+            // Paced: ~200 ops at 20k/s ≈ 10 ms, spanning many mutator ticks.
+            let spec =
+                LoadSpec { rate_ops_s: Some(20_000), ..LoadSpec::saturating(mix, 1, 200, 11) };
+            let r = run_load_on(&client, &spec);
+            stop.store(true, Ordering::SeqCst);
+            r
+        });
+        assert_eq!(r.energy_source, EnergySource::Rapl);
+        let measured = r.measured.expect("server-side measured energy crossed the wire");
+        assert!(measured.package_j > 0.0, "no joules attributed: {measured:?}");
+        assert!(r.measured_uj_per_op().unwrap() > 0.0);
+        // An unmetered server on the same fake host reports model-only.
+        let (_plain_server, plain_client) = serve(LockKind::Mutex, 2);
+        let r2 = run_load_on(&plain_client, &LoadSpec::saturating(mix, 1, 50, 3));
+        assert_eq!(r2.energy_source, EnergySource::Modeled);
+        assert!(r2.measured.is_none());
     }
 
     #[test]

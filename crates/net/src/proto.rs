@@ -20,11 +20,16 @@
 //! body is a UTF-8 message). Ok payloads: point ops return
 //! `present u8 + value u64`; `SCAN` returns `count u64 + epoch u64`;
 //! `BATCH` returns `applied u32`; `STATS` returns the lock kind, shard
-//! count and a full [`StatsSnapshot`] including the latency histogram.
+//! count, a full [`StatsSnapshot`] including the latency histogram, and —
+//! when the server meters its process with RAPL — the cumulative
+//! server-side measured energy (`present u8`, then
+//! `package_uj u64 + dram_uj u64 + samples u64`), so TCP sweeps attribute
+//! joules to the serving process rather than the client.
 
 use std::io::{self, Read, Write};
 
 use poly_locks_sim::LockKind;
+use poly_meter::MeasuredReading;
 use poly_store::{BatchOp, HistogramSnapshot, StatsSnapshot, WriteBatch, HIST_BUCKETS};
 
 /// Upper bound on a frame body, enforced on both ends: a corrupt or
@@ -91,6 +96,10 @@ pub struct WireStats {
     pub shards: u32,
     /// Merged shard stats (op counts, lock wait/hold, latency histogram).
     pub stats: StatsSnapshot,
+    /// Cumulative measured (RAPL) energy of the serving process, when the
+    /// server runs a sampler; clients diff two readings around their
+    /// measure window.
+    pub measured: Option<MeasuredReading>,
 }
 
 fn put_u32(buf: &mut Vec<u8>, v: u32) {
@@ -290,11 +299,17 @@ impl Response {
                 b
             }
             Response::Stats(ws) => {
-                let mut b = Vec::with_capacity(6 + (8 + HIST_BUCKETS + 1) * 8);
+                let mut b = Vec::with_capacity(7 + (8 + HIST_BUCKETS + 1 + 3) * 8);
                 b.push(STATUS_OK);
                 b.push(lock_to_wire(ws.lock));
                 put_u32(&mut b, ws.shards);
                 encode_stats_snapshot(&mut b, &ws.stats);
+                b.push(u8::from(ws.measured.is_some()));
+                if let Some(m) = &ws.measured {
+                    put_u64(&mut b, m.package_uj);
+                    put_u64(&mut b, m.dram_uj);
+                    put_u64(&mut b, m.samples);
+                }
                 b
             }
             Response::Error(msg) => {
@@ -327,11 +342,20 @@ impl Response {
             }
             Request::Scan => Response::Scan { count: c.u64()?, epoch: c.u64()? },
             Request::Batch(_) => Response::Batch { applied: c.u32()? },
-            Request::Stats => Response::Stats(Box::new(WireStats {
-                lock: lock_from_wire(c.u8()?)?,
-                shards: c.u32()?,
-                stats: decode_stats_snapshot(&mut c)?,
-            })),
+            Request::Stats => {
+                let lock = lock_from_wire(c.u8()?)?;
+                let shards = c.u32()?;
+                let stats = decode_stats_snapshot(&mut c)?;
+                let measured = match c.u8()? {
+                    0 => None,
+                    _ => Some(MeasuredReading {
+                        package_uj: c.u64()?,
+                        dram_uj: c.u64()?,
+                        samples: c.u64()?,
+                    }),
+                };
+                Response::Stats(Box::new(WireStats { lock, shards, stats, measured }))
+            }
         };
         c.finish()?;
         Ok(resp)
@@ -417,7 +441,25 @@ mod tests {
             (Request::Batch(Vec::new()), Response::Batch { applied: 0 }),
             (
                 Request::Stats,
-                Response::Stats(Box::new(WireStats { lock: LockKind::Mutexee, shards: 32, stats })),
+                Response::Stats(Box::new(WireStats {
+                    lock: LockKind::Mutexee,
+                    shards: 32,
+                    stats,
+                    measured: None,
+                })),
+            ),
+            (
+                Request::Stats,
+                Response::Stats(Box::new(WireStats {
+                    lock: LockKind::Ttas,
+                    shards: 8,
+                    stats,
+                    measured: Some(MeasuredReading {
+                        package_uj: u64::MAX,
+                        dram_uj: 12_345,
+                        samples: 9,
+                    }),
+                })),
             ),
             (Request::Get(1), Response::Error("boom".into())),
         ];
@@ -449,6 +491,16 @@ mod tests {
         assert!(Request::decode(&lying).is_err());
         assert!(Response::decode(&[], &Request::Scan).is_err());
         assert!(Response::decode(&[9], &Request::Scan).is_err());
+        // A STATS reply whose measured block is cut short is torn, not
+        // silently measured-less.
+        let full = Response::Stats(Box::new(WireStats {
+            lock: LockKind::Mutex,
+            shards: 1,
+            stats: StatsSnapshot::default(),
+            measured: Some(MeasuredReading { package_uj: 1, dram_uj: 2, samples: 3 }),
+        }))
+        .encode();
+        assert!(Response::decode(&full[..full.len() - 1], &Request::Stats).is_err());
     }
 
     #[test]

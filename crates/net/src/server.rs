@@ -8,6 +8,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use poly_meter::RaplSampler;
 use poly_store::{PolyStore, WriteBatch};
 
 use crate::proto::{read_frame, write_frame, Request, Response, WireStats};
@@ -96,6 +97,9 @@ impl NetCounters {
 struct Inner {
     store: Arc<PolyStore>,
     cfg: ServerConfig,
+    /// Server-side RAPL sampler: when present, STATS replies carry the
+    /// serving process's cumulative measured energy.
+    sampler: Option<Arc<RaplSampler>>,
     stop: AtomicBool,
     live: AtomicUsize,
     counters: NetCounters,
@@ -128,11 +132,25 @@ impl NetServer {
         store: Arc<PolyStore>,
         cfg: ServerConfig,
     ) -> io::Result<NetServer> {
+        Self::bind_metered(addr, store, cfg, None)
+    }
+
+    /// [`NetServer::bind_with`] plus a server-side RAPL sampler: STATS
+    /// replies then carry the serving process's cumulative measured
+    /// energy, so remote drivers charge joules to the server, not to
+    /// themselves.
+    pub fn bind_metered<A: ToSocketAddrs>(
+        addr: A,
+        store: Arc<PolyStore>,
+        cfg: ServerConfig,
+        sampler: Option<Arc<RaplSampler>>,
+    ) -> io::Result<NetServer> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let inner = Arc::new(Inner {
             store,
             cfg,
+            sampler,
             stop: AtomicBool::new(false),
             live: AtomicUsize::new(0),
             counters: NetCounters::default(),
@@ -337,6 +355,7 @@ fn execute(req: &Request, inner: &Inner) -> Response {
                 lock: store.lock_kind(),
                 shards: store.shard_count() as u32,
                 stats: store.total_stats(),
+                measured: inner.sampler.as_ref().map(|s| s.reading()),
             }))
         }
     }

@@ -25,6 +25,12 @@ pub struct Registry {
 }
 
 impl Registry {
+    /// Number of entries [`Registry::builtin`] ships — the single place
+    /// the count lives. Adding a scenario means bumping this constant
+    /// (builtin() asserts the two agree), and every count check in the
+    /// workspace references it instead of hard-coding a number.
+    pub const BUILTIN_LEN: usize = 22;
+
     /// An empty registry.
     pub fn new() -> Self {
         Self::default()
@@ -213,6 +219,11 @@ impl Registry {
             "SQLite TPC-C at 64 connections: oversubscribed, one database lock",
             ScenarioSpec::new("sqlite-64", WorkloadSpec::System(PaperSystem::Sqlite(64))),
         );
+        assert_eq!(
+            reg.len(),
+            Self::BUILTIN_LEN,
+            "Registry::BUILTIN_LEN is stale; update it with the new scenario"
+        );
         reg
     }
 
@@ -257,9 +268,9 @@ mod tests {
     use super::*;
 
     #[test]
-    fn builtin_has_at_least_a_dozen_unique_entries() {
+    fn builtin_matches_its_published_count() {
         let reg = Registry::builtin();
-        assert!(reg.len() >= 12, "only {} scenarios", reg.len());
+        assert_eq!(reg.len(), Registry::BUILTIN_LEN);
         let names = reg.names();
         let mut dedup = names.clone();
         dedup.sort_unstable();

@@ -6,6 +6,7 @@ use std::sync::Mutex;
 
 use poly_locks_sim::LockKind;
 use poly_sim::SimReport;
+use poly_store::EnergySource;
 
 use crate::spec::{json_str, ScenarioSpec};
 
@@ -152,6 +153,15 @@ pub struct CellReport {
     pub tpp: f64,
     /// Energy per operation in microjoules.
     pub epo_uj: f64,
+    /// Measured (RAPL) joules over the measured interval: always `None`
+    /// for simulated cells; the native `store` CLI fills it when the host
+    /// is metered, in the same schema position.
+    pub measured_j: Option<f64>,
+    /// Measured microjoules per operation (`None` like `measured_j`).
+    pub measured_uj_per_op: Option<f64>,
+    /// Where the cell's joules come from: `"modeled"` for every simulated
+    /// cell (the Xeon power model), `"rapl"` when the native CLI measured.
+    pub energy_source: EnergySource,
     /// Median lock-acquisition latency in cycles.
     pub p50_acq_cycles: u64,
     /// 99th-percentile lock-acquisition latency in cycles.
@@ -178,6 +188,9 @@ impl CellReport {
             energy_j: r.energy.total_j(),
             tpp: r.tpp,
             epo_uj: r.epo() * 1e6,
+            measured_j: None,
+            measured_uj_per_op: None,
+            energy_source: EnergySource::Modeled,
             p50_acq_cycles: r.acquire_latency.percentile(50.0),
             p99_acq_cycles: r.acquire_latency.percentile(99.0),
             max_acq_cycles: r.acquire_latency.max(),
@@ -191,6 +204,7 @@ impl CellReport {
              \"lock\":\"{}\",\"threads\":{},\
              \"seed\":{},\"measured_cycles\":{},\"total_ops\":{},\"throughput\":{},\
              \"avg_power_w\":{},\"energy_j\":{},\"tpp\":{},\"epo_uj\":{},\
+             \"measured_j\":{},\"measured_uj_per_op\":{},\"energy_source\":\"{}\",\
              \"p50_acq_cycles\":{},\"p99_acq_cycles\":{},\"max_acq_cycles\":{}}}",
             json_str(&self.scenario),
             json_str(&self.workload),
@@ -206,6 +220,9 @@ impl CellReport {
             json_f64(self.energy_j),
             json_f64(self.tpp),
             json_f64(self.epo_uj),
+            json_opt_f64(self.measured_j),
+            json_opt_f64(self.measured_uj_per_op),
+            self.energy_source.label(),
             self.p50_acq_cycles,
             self.p99_acq_cycles,
             self.max_acq_cycles,
@@ -214,13 +231,13 @@ impl CellReport {
 
     /// The CSV column header matching [`CellReport::to_csv`].
     pub const CSV_HEADER: &'static str = "scenario,workload,machine,transport,lock,threads,seed,\
-        measured_cycles,total_ops,throughput,avg_power_w,energy_j,tpp,epo_uj,p50_acq_cycles,\
-        p99_acq_cycles,max_acq_cycles";
+        measured_cycles,total_ops,throughput,avg_power_w,energy_j,tpp,epo_uj,measured_j,\
+        measured_uj_per_op,energy_source,p50_acq_cycles,p99_acq_cycles,max_acq_cycles";
 
     /// Serializes the report as one CSV row.
     pub fn to_csv(&self) -> String {
         format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             csv_str(&self.scenario),
             csv_str(&self.workload),
             self.machine,
@@ -235,6 +252,9 @@ impl CellReport {
             json_f64(self.energy_j),
             json_f64(self.tpp),
             json_f64(self.epo_uj),
+            json_opt_f64(self.measured_j),
+            json_opt_f64(self.measured_uj_per_op),
+            self.energy_source.label(),
             self.p50_acq_cycles,
             self.p99_acq_cycles,
             self.max_acq_cycles,
@@ -250,6 +270,12 @@ fn json_f64(v: f64) -> String {
     } else {
         "null".into()
     }
+}
+
+/// Formats an optional float: absent measurements are `null` in both
+/// sinks, so the measured columns always exist and parse uniformly.
+fn json_opt_f64(v: Option<f64>) -> String {
+    v.map_or_else(|| "null".into(), json_f64)
 }
 
 /// Quotes a CSV field when it contains a delimiter, quote or newline
@@ -475,6 +501,10 @@ mod tests {
         let line = jsonl.lines().next().unwrap();
         assert!(line.starts_with('{') && line.ends_with('}'));
         assert!(line.contains("\"throughput\":") && line.contains("\"epo_uj\":"));
+        // Simulated cells always carry the measured columns, empty, with
+        // modeled provenance.
+        assert!(line.contains("\"measured_j\":null,\"measured_uj_per_op\":null"));
+        assert!(line.contains("\"energy_source\":\"modeled\""));
 
         let mut csv = Vec::new();
         write_reports(&mut csv, SinkFormat::Csv, &reports).unwrap();

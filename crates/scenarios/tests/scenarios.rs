@@ -3,8 +3,52 @@
 
 use poly_locks_sim::LockKind;
 use poly_scenarios::{
-    cross, cross_shards, write_reports, MachineKind, Registry, SinkFormat, SweepRunner,
+    cross, cross_shards, parse_lock, write_reports, MachineKind, Registry, SinkFormat, SweepRunner,
+    WorkloadSpec,
 };
+use poly_store::KvMix;
+
+/// Registry hygiene: the count is pinned in exactly one place
+/// ([`Registry::BUILTIN_LEN`]), every name is unique, and every `kv` /
+/// `kv-net` entry survives the report-schema round trip — the workload
+/// label a sweep emits parses back to the same mix, and the enumerable
+/// spec fields (lock, machine) parse back from their serialized labels.
+#[test]
+fn registry_hygiene_count_names_and_kv_round_trips() {
+    let reg = Registry::builtin();
+    assert_eq!(reg.len(), Registry::BUILTIN_LEN);
+
+    let names = reg.names();
+    let mut dedup = names.clone();
+    dedup.sort_unstable();
+    dedup.dedup();
+    assert_eq!(dedup.len(), names.len(), "duplicate scenario names: {names:?}");
+
+    let mut kv_entries = 0;
+    for e in reg.iter() {
+        let spec = &e.spec;
+        // Enumerable fields of every entry serialize to parseable labels.
+        assert_eq!(parse_lock(spec.lock.label()), Some(spec.lock), "{}", spec.name);
+        assert_eq!(MachineKind::parse(spec.machine.label()), Some(spec.machine), "{}", spec.name);
+        let json = spec.to_json();
+        assert!(json.contains(&format!("\"name\":\"{}\"", spec.name)), "{json}");
+
+        if let WorkloadSpec::Kv(mix) = spec.workload {
+            kv_entries += 1;
+            mix.validate().unwrap_or_else(|err| panic!("{}: invalid mix: {err}", spec.name));
+            let parsed = KvMix::parse_label(&mix.label())
+                .unwrap_or_else(|| panic!("{}: label {:?} does not parse", spec.name, mix.label()));
+            // The label round-trips everything it encodes (keyspace size
+            // is not part of the label, and batch 0/1 share the canonical
+            // unbatched spelling; normalize both before comparing).
+            let canonical = KvMix { batch: if mix.batch <= 1 { 0 } else { mix.batch }, ..mix };
+            assert_eq!(KvMix { keys: mix.keys, ..parsed }, canonical, "{} round-trip", spec.name);
+            assert_eq!(parsed.label(), mix.label(), "{} label stability", spec.name);
+        }
+    }
+    // The kv family (4) plus the kv-net family (3).
+    assert_eq!(kv_entries, 7, "kv/kv-net families changed size");
+}
 
 /// Every built-in scenario must build and complete a short smoke run with
 /// real forward progress — a registry entry that stalls or panics is dead
@@ -12,7 +56,7 @@ use poly_scenarios::{
 #[test]
 fn every_builtin_scenario_smoke_runs() {
     let reg = Registry::builtin();
-    assert!(reg.len() >= 12);
+    assert_eq!(reg.len(), Registry::BUILTIN_LEN);
     let bases: Vec<_> =
         reg.iter().map(|e| e.spec.clone().with_duration(2_000_000, 200_000)).collect();
     // One cell per scenario, via the parallel runner (which also exercises

@@ -8,11 +8,14 @@
 //! time**, so queueing delay shows up in the tail (the open-loop property
 //! a closed-loop benchmark hides); without one, clients run back-to-back
 //! at saturation. Results fold the service's per-shard stats and the
-//! modeled Xeon energy into one [`LoadReport`].
+//! modeled Xeon energy into one [`LoadReport`]; a metered service (see
+//! [`crate::Metered`] and [`KvService::measured_energy`]) additionally
+//! contributes measured RAPL joules over the same interval.
 
 use std::time::{Duration, Instant};
 
 use poly_locks_sim::LockKind;
+use poly_meter::{EnergySource, MeasuredEnergy, MeasuredReading};
 
 use crate::energy::{estimate, EnergyEstimate};
 use crate::stats::{HistogramSnapshot, LatencyHistogram, StatsSnapshot};
@@ -63,6 +66,25 @@ pub trait KvService: Sync {
     /// connection); folded into the modeled energy.
     fn extra_threads_per_client(&self) -> usize {
         0
+    }
+
+    /// Cumulative *measured* (RAPL) energy of the serving process, when
+    /// the service is metered: `None` for unmetered services (the
+    /// default). The driver reads this at its measure-window marks —
+    /// right after prefill and right after the clients join — and diffs
+    /// the two readings, so warmup is excluded and, for a remote service,
+    /// the joules are the *server's*, not the client's.
+    fn measured_energy(&self) -> Option<MeasuredReading> {
+        None
+    }
+
+    /// Stats snapshot and measured-energy reading taken together — the
+    /// driver's window marks. Remote services override this to answer
+    /// both from a *single* exchange (one STATS frame already carries
+    /// both), so no second round trip lands inside the energy window it
+    /// just opened.
+    fn stats_and_energy(&self) -> (StatsSnapshot, Option<MeasuredReading>) {
+        (self.service_stats(), self.measured_energy())
     }
 }
 
@@ -168,10 +190,32 @@ pub struct LoadReport {
     pub idle_ns: u64,
     /// Modeled Xeon energy for the run.
     pub energy: EnergyEstimate,
+    /// Measured (RAPL) energy over the measured interval, when the
+    /// service is metered — the paper's actual methodology, reported
+    /// beside the model.
+    pub measured: Option<MeasuredEnergy>,
+    /// Where this report's headline joules come from: [`EnergySource::Rapl`]
+    /// when [`LoadReport::measured`] is populated, [`EnergySource::Modeled`]
+    /// otherwise.
+    pub energy_source: EnergySource,
     /// Service-side stats delta over the run (all shards merged).
     pub store_stats: StatsSnapshot,
     /// Client-side request-latency histogram (all threads merged).
     pub request_latency: HistogramSnapshot,
+}
+
+impl LoadReport {
+    /// Measured joules over the run (package + DRAM), `None` when the
+    /// run was model-only.
+    pub fn measured_j(&self) -> Option<f64> {
+        self.measured.map(|m| m.total_j())
+    }
+
+    /// Measured micro-joules per completed operation, `None` when the
+    /// run was model-only.
+    pub fn measured_uj_per_op(&self) -> Option<f64> {
+        self.measured.and_then(|m| m.uj_per_op(self.ops))
+    }
 }
 
 /// The scheduled arrival time (ns since run start) of thread `tid`'s
@@ -221,7 +265,9 @@ pub fn run_load_on<S: KvService>(svc: &S, spec: &LoadSpec) -> LoadReport {
         conn.apply(&fill);
     }
 
-    let base = svc.service_stats();
+    // Measure-window start mark (one exchange: stats base + energy
+    // base): prefill (warmup) energy stays outside the window.
+    let (base, measured_base) = svc.stats_and_energy();
     let sampler = KeySampler::new(mix.dist, mix.keys);
     let threads = spec.threads.max(1);
     // Floor at 1 ns: a rate above 1e9/s would otherwise schedule every
@@ -242,6 +288,14 @@ pub fn run_load_on<S: KvService>(svc: &S, spec: &LoadSpec) -> LoadReport {
         handles.into_iter().map(|h| h.join().expect("client thread panicked")).collect()
     });
     let wall = start.elapsed();
+    // Measure-window stop mark, taken right at client join so the window
+    // matches `wall` as closely as the transport allows; the same
+    // exchange carries the closing stats snapshot.
+    let (end_stats, measured_end) = svc.stats_and_energy();
+    let measured = match (measured_base, measured_end) {
+        (Some(start_r), Some(end_r)) => Some(MeasuredEnergy::between(start_r, end_r)),
+        _ => None,
+    };
 
     let mut request_latency = HistogramSnapshot::default();
     let mut ops = 0u64;
@@ -252,7 +306,7 @@ pub fn run_load_on<S: KvService>(svc: &S, spec: &LoadSpec) -> LoadReport {
         idle_ns += thread_idle;
     }
 
-    let store_stats = svc.service_stats().since(&base);
+    let store_stats = end_stats.since(&base);
     // The serving path's threads (e.g. the TCP server's per-connection
     // workers) burn power too; fold them into the modeled machine.
     let total_threads = threads * (1 + svc.extra_threads_per_client());
@@ -272,6 +326,8 @@ pub fn run_load_on<S: KvService>(svc: &S, spec: &LoadSpec) -> LoadReport {
         lock_hold_ns: store_stats.lock_hold_ns,
         idle_ns,
         energy,
+        energy_source: if measured.is_some() { EnergySource::Rapl } else { EnergySource::Modeled },
+        measured,
         store_stats,
         request_latency,
     }

@@ -22,7 +22,11 @@
 //!   [`KvService`], so the same driver measures the in-process store and
 //!   the `poly-net` TCP transport;
 //! * [`energy`] — feeds the measured time split into the calibrated
-//!   `poly-energy` Xeon model for modeled watts and joules-per-op.
+//!   `poly-energy` Xeon model for modeled watts and joules-per-op;
+//! * [`Metered`] — pairs any service with a `poly-meter` RAPL sampler,
+//!   so the same driver reports *measured* joules
+//!   ([`LoadReport::measured`]) beside the modeled estimate on hosts
+//!   that expose `/sys/class/powercap`.
 //!
 //! # Example
 //!
@@ -43,6 +47,7 @@ mod anylock;
 mod batch;
 mod driver;
 pub mod energy;
+mod metered;
 mod stats;
 mod store;
 mod workload;
@@ -54,6 +59,7 @@ pub use driver::{
     LocalConn,
 };
 pub use energy::EnergyEstimate;
+pub use metered::{Metered, MeteredConn};
 pub use stats::{HistogramSnapshot, LatencyHistogram, ShardStats, StatsSnapshot, HIST_BUCKETS};
 pub use store::{PolyStore, StoreConfig};
 pub use workload::{KeyDist, KeySampler, KvMix, KvOp, Rng64, ZipfSampler};
@@ -61,3 +67,6 @@ pub use workload::{KeyDist, KeySampler, KvMix, KvOp, Rng64, ZipfSampler};
 // Re-exported so store users name lock backends without importing the
 // simulator crate themselves.
 pub use poly_locks_sim::LockKind;
+// Re-exported so report consumers name energy provenance without
+// importing the meter crate themselves.
+pub use poly_meter::{EnergySource, MeasuredEnergy, MeasuredReading};

@@ -278,6 +278,48 @@ impl KvMix {
         l
     }
 
+    /// Parses a [`KvMix::label`] back into the mix — the report-schema
+    /// round trip. The label does not carry the keyspace size, so `keys`
+    /// comes from the family default ([`KvMix::uniform`]), and an absent
+    /// `/b` segment parses as `batch: 0` (the label folds the equivalent
+    /// unbatched spellings 0 and 1 into one canonical form); pass the
+    /// original through [`KvMix::label`] to compare everything the label
+    /// encodes.
+    pub fn parse_label(label: &str) -> Option<KvMix> {
+        let mut parts = label.split('/');
+        if parts.next()? != "kv" {
+            return None;
+        }
+        let shards: usize = parts.next()?.strip_suffix("sh")?.parse().ok()?;
+        let dist = match parts.next()? {
+            "uni" => KeyDist::Uniform,
+            z => KeyDist::Zipf { skew_milli: z.strip_prefix('z')?.parse().ok()? },
+        };
+        let mix_part = parts.next()?;
+        let batch = match parts.next() {
+            Some(b) => b.strip_prefix('b')?.parse().ok()?,
+            None => 0,
+        };
+        if parts.next().is_some() {
+            return None;
+        }
+        // g<get>p<put>d<del>s<scan>: split on the letter markers.
+        let rest = mix_part.strip_prefix('g')?;
+        let (get, rest) = rest.split_once('p')?;
+        let (put, rest) = rest.split_once('d')?;
+        let (remove, scan) = rest.split_once('s')?;
+        Some(KvMix {
+            shards,
+            keys: KvMix::uniform().keys,
+            dist,
+            get_pct: get.parse().ok()?,
+            put_pct: put.parse().ok()?,
+            remove_pct: remove.parse().ok()?,
+            scan_pct: scan.parse().ok()?,
+            batch,
+        })
+    }
+
     /// Samples one operation.
     pub fn sample_op(&self, sampler: &KeySampler, rng: &mut Rng64) -> KvOp {
         let roll = rng.below(100) as u32;
@@ -361,6 +403,30 @@ mod tests {
             "test premise: the wrapping u32 sum lands on 100"
         );
         assert!(sneaky.validate().is_err());
+    }
+
+    #[test]
+    fn labels_parse_back() {
+        let batch_one = KvMix { batch: 1, ..KvMix::uniform() };
+        for mix in [
+            KvMix::uniform(),
+            KvMix::zipf_hot(),
+            KvMix::scan_heavy(),
+            KvMix::write_burst(),
+            // batch 0 and 1 both mean "unbatched" and share a label; the
+            // parse lands on the canonical 0.
+            batch_one,
+        ] {
+            let parsed = KvMix::parse_label(&mix.label()).expect("label parses");
+            // The label carries everything but the keyspace size (and
+            // the batch ≤ 1 normalization).
+            assert_eq!(parsed.label(), mix.label());
+            let canonical = KvMix { batch: if mix.batch <= 1 { 0 } else { mix.batch }, ..mix };
+            assert_eq!(KvMix { keys: mix.keys, ..parsed }, canonical);
+        }
+        for bad in ["", "kv", "kv/32sh", "kv/32sh/uni/g80p18d2", "zipf-kv/64b/s1200", "kv/xsh"] {
+            assert!(KvMix::parse_label(bad).is_none(), "{bad:?} must not parse");
+        }
     }
 
     #[test]

@@ -1,0 +1,103 @@
+//! Measured-energy integration: the open-loop driver over a [`Metered`]
+//! service, against a fake powercap tree whose counters a mutator thread
+//! advances (and wraps) while the load runs — the full RAPL path,
+//! exercised on a host that has no RAPL.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use poly_locks_sim::LockKind;
+use poly_meter::{EnergySource, FakeRapl, RaplSampler};
+use poly_store::{run_load, run_load_on, KvMix, LoadSpec, Metered, PolyStore, StoreConfig};
+
+fn host_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(4)
+}
+
+#[test]
+fn unmetered_runs_stay_model_only() {
+    let mix = KvMix { keys: 2_048, ..KvMix::uniform() }.with_shards(4);
+    let store = PolyStore::new(StoreConfig { shards: mix.shards, lock: LockKind::Mutexee });
+    let r = run_load(&store, &LoadSpec::saturating(mix, 1, 500, 3));
+    assert_eq!(r.energy_source, EnergySource::Modeled);
+    assert!(r.measured.is_none());
+    assert_eq!(r.measured_j(), None);
+    assert_eq!(r.measured_uj_per_op(), None);
+    assert!(r.energy.energy_j > 0.0, "modeled energy still reported");
+}
+
+/// The acceptance test of the measured path: a metered run must produce a
+/// nonzero `measured_j` with the counter wrapping mid-run, while the
+/// modeled fields keep working exactly as in an unmetered run.
+#[test]
+fn metered_run_reports_measured_joules_with_wraparound() {
+    let fake = FakeRapl::new("store-measured");
+    // Start near the wrap point so the mutator pushes the counter over
+    // it during the measured interval.
+    let start_uj = FakeRapl::RANGE_UJ - 40_000;
+    fake.domain(0, "package-0", start_uj);
+    fake.named_domain("intel-rapl:0:1", "dram", 0);
+    let sampler = RaplSampler::probe_at(fake.root(), Duration::from_millis(2)).unwrap();
+
+    let mix = KvMix { keys: 2_048, ..KvMix::uniform() }.with_shards(4);
+    let store = PolyStore::new(StoreConfig { shards: mix.shards, lock: LockKind::Mutexee });
+    let svc = Metered::new(&store, &sampler);
+
+    // Mutator: burns a steady 10 uJ per 500 us tick until told to stop,
+    // like a host whose package draws power while the load runs.
+    let stop = AtomicBool::new(false);
+    let r = std::thread::scope(|scope| {
+        scope.spawn(|| {
+            while !stop.load(Ordering::SeqCst) {
+                fake.advance(0, 10_000);
+                std::thread::sleep(Duration::from_micros(500));
+            }
+        });
+        // Paced so the measured interval spans many mutator ticks (and
+        // the wrap) even on a fast host: 3000 ops at 100k/s ≈ 30 ms.
+        let spec = LoadSpec {
+            rate_ops_s: Some(100_000),
+            ..LoadSpec::saturating(mix, host_threads(), 3_000, 42)
+        };
+        let r = run_load_on(&svc, &spec);
+        stop.store(true, Ordering::SeqCst);
+        r
+    });
+
+    assert_eq!(r.energy_source, EnergySource::Rapl);
+    let m = r.measured.expect("metered run carries a measured summary");
+    assert_eq!(m.source, EnergySource::Rapl);
+    assert!(m.package_j > 0.0, "measured package joules must be nonzero: {m:?}");
+    assert!(m.samples >= 1);
+    let measured_j = r.measured_j().expect("measured_j populated");
+    assert!((measured_j - m.total_j()).abs() < 1e-12);
+    assert!(r.measured_uj_per_op().expect("per-op joules") > 0.0);
+    // The counter wrapped under the mutator; a wraparound bug would show
+    // up as a near-RANGE_UJ (or negative-saturated) total.
+    assert!(fake.energy(0) < start_uj, "test premise: the counter wrapped");
+    assert!(
+        measured_j < FakeRapl::RANGE_UJ as f64 * 1e-6 / 2.0,
+        "wraparound mishandled: {measured_j} J"
+    );
+    // The modeled side is untouched by measurement.
+    assert!(r.energy.avg_power_w > 27.0 && r.energy.avg_power_w < 207.0);
+    assert_eq!(r.ops, host_threads() as u64 * 3_000);
+    assert_eq!(r.request_latency.count(), r.ops);
+}
+
+/// Prefill burn lands outside the measured window: a service that only
+/// consumes energy during prefill reports ~zero measured joules.
+#[test]
+fn prefill_energy_is_excluded_from_the_window() {
+    let fake = FakeRapl::new("store-warmup");
+    fake.domain(0, "package-0", 0);
+    let sampler = RaplSampler::probe_at(fake.root(), Duration::from_secs(3600)).unwrap();
+    // Burn "warmup energy" before the run; nothing burns during it.
+    fake.advance(0, 7_000_000);
+    let mix = KvMix { keys: 512, ..KvMix::uniform() }.with_shards(2);
+    let store = PolyStore::new(StoreConfig { shards: mix.shards, lock: LockKind::Mutex });
+    let svc = Metered::new(&store, &sampler);
+    let r = run_load_on(&svc, &LoadSpec::saturating(mix, 1, 200, 9));
+    let m = r.measured.expect("metered");
+    assert!(m.total_j() < 1e-9, "warmup joules leaked into the measured window: {:?}", r.measured);
+}

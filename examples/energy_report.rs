@@ -1,8 +1,8 @@
 //! Survey this host's energy instrumentation and run a small native
 //! lock comparison with whatever is available (RAPL or throughput-only).
 
-use lockin::rapl::RaplReader;
-use lockin::{FutexMutex, Lock, Mutexee, RawLock, TicketLock, TppMeter, TtasLock};
+use lockin::{FutexMutex, Lock, Mutexee, RawLock, TicketLock, TtasLock};
+use poly_meter::{RaplReader, TppMeter};
 
 fn bench<L: RawLock + Send + Sync>(meter: &TppMeter, label: &str) {
     let lock = Lock::<u64, L>::new(0);

@@ -1,7 +1,8 @@
 //! Quickstart: protect data with MUTEXEE and compare against the
 //! glibc-style mutex on your machine.
 
-use lockin::{FutexMutex, Lock, Mutexee, TppMeter};
+use lockin::{FutexMutex, Lock, Mutexee};
+use poly_meter::TppMeter;
 
 fn hammer<L: lockin::RawLock + Send + Sync>(label: &str) {
     let meter = TppMeter::new();
