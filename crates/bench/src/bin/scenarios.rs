@@ -14,9 +14,10 @@ use std::io::Write;
 use std::process::exit;
 
 use poly_bench::horizon;
+use poly_cap::FreqPolicy;
 use poly_locks_sim::LockKind;
 use poly_scenarios::{
-    cross_shards, parse_lock, write_reports, MachineKind, Registry, ScenarioSpec, SinkFormat,
+    cross_capped, parse_lock, write_reports, MachineKind, Registry, ScenarioSpec, SinkFormat,
     SweepRunner,
 };
 
@@ -34,6 +35,8 @@ fn usage() -> ! {
          \x20 --machine xeon|core-i7|tiny  simulated machine (default: scenario default)\n\
          \x20 --threads N1,N2              thread counts (default: scenario default)\n\
          \x20 --shards S1,S2               shard counts (kv workloads only)\n\
+         \x20 --freq base|K1,K2            frequency caps in kHz (simulated DVFS axis;\n\
+         \x20                              'base' = uncapped; default: base)\n\
          \x20 --duration CYCLES            simulated cycles (default: figure horizon)\n\
          \x20 --warmup CYCLES              warmup prefix (default: duration/10)\n\
          \x20 --seed S                     sweep seed (default: 42)\n\
@@ -52,6 +55,7 @@ struct Options {
     locks: Vec<LockKind>,
     threads: Vec<usize>,
     shards: Vec<usize>,
+    freqs: Vec<Option<u64>>,
     duration: Option<u64>,
     warmup: Option<u64>,
     seed: u64,
@@ -72,6 +76,7 @@ fn parse_options(args: &[String]) -> Options {
         locks: Vec::new(),
         threads: Vec::new(),
         shards: Vec::new(),
+        freqs: Vec::new(),
         duration: None,
         warmup: None,
         seed: 42,
@@ -108,6 +113,14 @@ fn parse_options(args: &[String]) -> Options {
                     .split(',')
                     .map(|s| s.parse().unwrap_or_else(|_| fail(format!("bad shard count: {s}"))))
                     .collect();
+            }
+            "--freq" => {
+                let v = value();
+                opts.freqs = FreqPolicy::parse(v)
+                    .unwrap_or_else(|| {
+                        fail(format!("bad --freq: {v} (base or a kHz list, e.g. base,1200000)"))
+                    })
+                    .points();
             }
             "--duration" => {
                 opts.duration =
@@ -191,7 +204,8 @@ fn cmd_run(reg: &Registry, name: &str, opts: &Options) {
     let entry =
         reg.get(name).unwrap_or_else(|| fail(format!("unknown scenario: {name} (try `list`)")));
     let base = with_horizon(entry.spec.clone(), opts);
-    let cells = cross_shards(&[base], &opts.locks, &opts.threads, &opts.shards, opts.seed);
+    let cells =
+        cross_capped(&[base], &opts.locks, &opts.threads, &opts.shards, &opts.freqs, opts.seed);
     let runner = opts.workers.map(SweepRunner::with_workers).unwrap_or_default();
     emit(&runner.run(&cells), opts);
 }
@@ -209,9 +223,10 @@ fn cmd_sweep(reg: &Registry, opts: &Options) {
             with_horizon(entry.spec.clone(), opts)
         })
         .collect();
-    let cells = cross_shards(&bases, &opts.locks, &opts.threads, &opts.shards, opts.seed);
+    let cells =
+        cross_capped(&bases, &opts.locks, &opts.threads, &opts.shards, &opts.freqs, opts.seed);
     eprintln!(
-        "sweeping {} cells ({} scenarios x locks x shards x threads)...",
+        "sweeping {} cells ({} scenarios x locks x shards x threads x freqs)...",
         cells.len(),
         bases.len()
     );

@@ -20,9 +20,11 @@
 
 use std::io::{Read, Write};
 use std::process::exit;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use poly_cap::{CalibrationTable, CapGuard, CpuCap, FreqPolicy};
 use poly_locks_sim::LockKind;
 use poly_meter::{EnergySource, RaplSampler};
 use poly_net::{NetClient, NetServer, ServerConfig};
@@ -40,6 +42,7 @@ fn usage() -> ! {
          \x20 run <name> [options]         run one load, print its report\n\
          \x20 sweep [options]              run a cross product of cells\n\
          \x20 serve [options]              serve a store over TCP until stdin closes\n\
+         \x20 calibrate <sweep.jsonl>      per-frequency measured/modeled residual table\n\
          \n\
          options (run and sweep):\n\
          \x20 --locks L1,L2 | --lock L     lock backends (default: MUTEXEE)\n\
@@ -54,6 +57,13 @@ fn usage() -> ! {
          \x20                              fields; measured_j/measured_uj_per_op fill in\n\
          \x20                              when RAPL is live (POLY_RAPL_ROOT overrides the\n\
          \x20                              powercap root, for tests)\n\
+         \x20 --freq base|K1,K2            frequency caps in kHz, a sweep axis: each capped\n\
+         \x20                              cell writes the host's cpufreq scaling_max_freq\n\
+         \x20                              (restored afterwards; needs root) and prices the\n\
+         \x20                              modeled joules at the capped VF point. 'base' =\n\
+         \x20                              uncapped. Unwritable hosts run the cell uncapped\n\
+         \x20                              with freq_applied=false (POLY_CPUFREQ_ROOT\n\
+         \x20                              overrides the sysfs root, for tests)\n\
          \x20 --ops N                      ops per thread (default: 50000; 5000 under POLY_QUICK)\n\
          \x20 --rate OPS_PER_S             open-loop arrival rate per thread (default: saturation)\n\
          \x20 --seed S                     workload seed (default: 42)\n\
@@ -65,7 +75,12 @@ fn usage() -> ! {
          \n\
          options (serve only):\n\
          \x20 --addr HOST:PORT             listen address (default: 127.0.0.1:7878; port 0 = OS pick)\n\
-         \x20 --lock L, --shards N         store configuration (defaults: MUTEXEE, 32)"
+         \x20 --lock L, --shards N         store configuration (defaults: MUTEXEE, 32)\n\
+         \x20 --freq K                     cap the host at K kHz while serving (restored at\n\
+         \x20                              shutdown)\n\
+         \n\
+         options (calibrate only):\n\
+         \x20 --format table|csv           output shape (default: table)"
     );
     exit(2);
 }
@@ -106,6 +121,7 @@ struct Options {
     threads: Vec<usize>,
     shards: Vec<usize>,
     transports: Vec<Transport>,
+    freqs: Vec<Option<u64>>,
     energy: EnergySource,
     ops: u64,
     rate: Option<u64>,
@@ -134,6 +150,7 @@ fn parse_options(args: &[String]) -> Options {
         threads: Vec::new(),
         shards: Vec::new(),
         transports: Vec::new(),
+        freqs: Vec::new(),
         energy: EnergySource::Both,
         ops: default_ops(),
         rate: None,
@@ -181,6 +198,14 @@ fn parse_options(args: &[String]) -> Options {
                 opts.energy = EnergySource::parse(v).unwrap_or_else(|| {
                     fail(format!("unknown energy source: {v} (rapl, modeled or auto)"))
                 });
+            }
+            "--freq" => {
+                let v = value();
+                opts.freqs = FreqPolicy::parse(v)
+                    .unwrap_or_else(|| {
+                        fail(format!("bad --freq: {v} (base or a kHz list, e.g. base,1200000)"))
+                    })
+                    .points();
             }
             "--addr" => opts.addr = value().to_string(),
             "--ops" => opts.ops = value().parse().unwrap_or_else(|_| fail("bad --ops".into())),
@@ -230,12 +255,97 @@ fn make_sampler(energy: EnergySource) -> Option<Arc<RaplSampler>> {
         }
         None => (RaplSampler::probe(interval), "/sys/class/powercap".to_string()),
     };
+    let sampler = sampler.unwrap_or_else(|e| fail(format!("sampler config: {e}")));
     match (sampler, energy) {
         (Some(s), _) => Some(Arc::new(s)),
         (None, EnergySource::Rapl) => {
             fail(format!("--energy rapl: no RAPL domains under {root} (try --energy auto)"))
         }
         (None, _) => None,
+    }
+}
+
+/// Set by the SIGINT/SIGTERM handler: finish the current cell (or stop
+/// serving), restore the frequency caps, then exit.
+static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+extern "C" {
+    /// `signal(2)`. Declared directly (the workspace builds offline, no
+    /// libc crate); the handler rides as a plain address — `SIG_DFL` is
+    /// 0 — which matches glibc and musl on every Linux target this repo
+    /// runs on.
+    fn signal(signum: i32, handler: usize) -> usize;
+}
+
+#[cfg(unix)]
+extern "C" fn on_fatal_signal(signum: i32) {
+    INTERRUPTED.store(true, Ordering::SeqCst);
+    // A second Ctrl-C falls back to the default fatal disposition
+    // (SIG_DFL = 0), so a stuck cell can still be killed — restoration
+    // is then on the operator. `signal` is async-signal-safe.
+    unsafe {
+        signal(signum, 0);
+    }
+}
+
+/// Converts the first SIGINT/SIGTERM from "kill mid-cell, strand the
+/// host capped" into "set a flag": capped runs check it between cells
+/// (and serve polls it), finish cleanly, and the [`CapGuard`]s restore
+/// every `scaling_max_freq` on the way out. Installed only when a cap is
+/// actually in play — uncapped runs keep the default fatal behavior.
+fn install_interrupt_restore() {
+    #[cfg(unix)]
+    unsafe {
+        signal(2, on_fatal_signal as *const () as usize); // SIGINT
+        signal(15, on_fatal_signal as *const () as usize); // SIGTERM
+    }
+}
+
+/// Resolves the cpufreq writer for `--freq` cells, shared by every cell
+/// of the invocation. `None` (with a warning) when the host exposes no
+/// cpufreq: capped cells then run uncapped and report
+/// `freq_applied=false` — the sweep still completes, nothing pretends.
+/// `POLY_CPUFREQ_ROOT` redirects discovery to a fake tree (tests).
+fn make_capper(freqs: &[Option<u64>]) -> Option<CpuCap> {
+    if !freqs.iter().any(Option::is_some) {
+        return None;
+    }
+    let (capper, root) = match std::env::var_os("POLY_CPUFREQ_ROOT") {
+        Some(root) => {
+            let path = std::path::PathBuf::from(&root);
+            (CpuCap::probe_at(&path), path.display().to_string())
+        }
+        None => (CpuCap::probe(), CpuCap::SYSFS_ROOT.to_string()),
+    };
+    if capper.is_none() {
+        eprintln!(
+            "store: no cpufreq policies under {root}; capped cells will run uncapped \
+             (freq_applied=false)"
+        );
+    }
+    capper
+}
+
+/// Applies one cell's frequency point. Returns the report columns
+/// (requested-or-applied kHz, whether it is in force) plus the guard that
+/// restores the host's cap — hold it for the duration of the cell.
+fn apply_freq(
+    point: Option<u64>,
+    capper: Option<&CpuCap>,
+) -> (Option<u64>, bool, Option<CapGuard>) {
+    let Some(khz) = point else { return (None, false, None) };
+    let applied = capper.and_then(|c| match c.apply(khz) {
+        Ok(guard) => Some(guard),
+        Err(e) => {
+            eprintln!("store: cannot cap at {khz} kHz: {e}; running uncapped");
+            None
+        }
+    });
+    match applied {
+        // Report the *effective* cap (clamped into the hardware range).
+        Some(guard) => (Some(guard.applied_khz), true, Some(guard)),
+        None => (Some(khz), false, None),
     }
 }
 
@@ -264,6 +374,11 @@ struct Cell {
     transport: Transport,
     lock: LockKind,
     threads: usize,
+    /// The cell's frequency point: the effective cap when applied, the
+    /// requested one when the host refused it, `None` for base cells.
+    freq_khz: Option<u64>,
+    /// Whether the cap was actually in force while the cell ran.
+    freq_applied: bool,
     report: LoadReport,
 }
 
@@ -296,6 +411,11 @@ fn fmt_opt_f64(v: Option<f64>) -> String {
     v.map_or_else(|| "null".into(), fmt_f64)
 }
 
+/// Same for optional integers (`freq_khz`: `null` = base frequency).
+fn fmt_opt_u64(v: Option<u64>) -> String {
+    v.map_or_else(|| "null".into(), |x| x.to_string())
+}
+
 impl Cell {
     fn to_json(&self) -> String {
         let r = &self.report;
@@ -305,7 +425,8 @@ impl Cell {
              \"ops\":{},\"wall_ms\":{},\"throughput\":{},\"p50_ns\":{},\"p99_ns\":{},\
              \"max_ns\":{},\"lock_wait_ns\":{},\"lock_hold_ns\":{},\"avg_power_w\":{},\
              \"energy_j\":{},\"epo_uj\":{},\"measured_j\":{},\"measured_uj_per_op\":{},\
-             \"energy_source\":\"{}\",\"energy_model\":\"xeon\"}}",
+             \"measured_pkg_j\":{},\"measured_dram_j\":{},\"energy_source\":\"{}\",\
+             \"freq_khz\":{},\"freq_applied\":{},\"energy_model\":\"xeon\"}}",
             json_escape(&self.scenario),
             json_escape(&self.mix.label()),
             self.transport.label(),
@@ -325,18 +446,23 @@ impl Cell {
             fmt_f64(r.energy.epo_uj),
             fmt_opt_f64(r.measured_j()),
             fmt_opt_f64(r.measured_uj_per_op()),
+            fmt_opt_f64(r.measured_pkg_j()),
+            fmt_opt_f64(r.measured_dram_j()),
             r.energy_source.label(),
+            fmt_opt_u64(self.freq_khz),
+            self.freq_applied,
         )
     }
 
     const CSV_HEADER: &'static str = "scenario,workload,transport,lock,shards,threads,ops,wall_ms,\
         throughput,p50_ns,p99_ns,max_ns,lock_wait_ns,lock_hold_ns,avg_power_w,energy_j,epo_uj,\
-        measured_j,measured_uj_per_op,energy_source";
+        measured_j,measured_uj_per_op,measured_pkg_j,measured_dram_j,energy_source,freq_khz,\
+        freq_applied";
 
     fn to_csv(&self) -> String {
         let r = &self.report;
         format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             self.scenario,
             self.mix.label(),
             self.transport.label(),
@@ -356,7 +482,11 @@ impl Cell {
             fmt_f64(r.energy.epo_uj),
             fmt_opt_f64(r.measured_j()),
             fmt_opt_f64(r.measured_uj_per_op()),
+            fmt_opt_f64(r.measured_pkg_j()),
+            fmt_opt_f64(r.measured_dram_j()),
             r.energy_source.label(),
+            fmt_opt_u64(self.freq_khz),
+            self.freq_applied,
         )
     }
 }
@@ -394,17 +524,26 @@ fn connect_loopback(
     fail(last_err.unwrap_or_else(|| "loopback setup failed".into()));
 }
 
+#[allow(clippy::too_many_arguments)] // one call site; the axes are the arguments
 fn run_cell(
     scenario: &str,
     mix: KvMix,
     transport: Transport,
     lock: LockKind,
     threads: usize,
+    freq: Option<u64>,
     opts: &Options,
     sampler: Option<&Arc<RaplSampler>>,
+    capper: Option<&CpuCap>,
 ) -> Cell {
+    // Cap the host for the duration of the cell; the guard restores the
+    // prior frequency when the cell ends (panics included). Modeled
+    // energy is priced at the cap only when it is actually in force —
+    // never at a frequency the host refused to run at.
+    let (freq_khz, freq_applied, _cap_guard) = apply_freq(freq, capper);
     let spec = LoadSpec {
         rate_ops_s: opts.rate,
+        freq_khz: freq_applied.then_some(freq_khz).flatten(),
         ..LoadSpec::saturating(mix, threads, opts.ops, opts.seed)
     };
     let report = match transport {
@@ -429,7 +568,16 @@ fn run_cell(
             report
         }
     };
-    Cell { scenario: scenario.to_string(), mix, transport, lock, threads, report }
+    Cell {
+        scenario: scenario.to_string(),
+        mix,
+        transport,
+        lock,
+        threads,
+        freq_khz,
+        freq_applied,
+        report,
+    }
 }
 
 fn emit(cells: &[Cell], opts: &Options) {
@@ -479,9 +627,24 @@ fn cmd_run(reg: &Registry, name: &str, opts: &Options) {
     let lock = *opts.locks.first().unwrap_or(&LockKind::Mutexee);
     let threads = *opts.threads.first().unwrap_or(&host_threads());
     let transport = *opts.transports.first().unwrap_or(&Transport::Local);
+    let freq = opts.freqs.first().copied().unwrap_or(None);
     let mix = if let Some(&s) = opts.shards.first() { mix.with_shards(s) } else { mix };
     let sampler = make_sampler(opts.energy);
-    let cell = run_cell(name, mix, transport, lock, threads, opts, sampler.as_ref());
+    let capper = make_capper(std::slice::from_ref(&freq));
+    if capper.is_some() {
+        install_interrupt_restore();
+    }
+    let cell = run_cell(
+        name,
+        mix,
+        transport,
+        lock,
+        threads,
+        freq,
+        opts,
+        sampler.as_ref(),
+        capper.as_ref(),
+    );
     emit(std::slice::from_ref(&cell), opts);
 }
 
@@ -493,6 +656,18 @@ fn cmd_serve(opts: &Options) {
     let shards = *opts.shards.first().unwrap_or(&32);
     let store = Arc::new(PolyStore::new(StoreConfig { shards, lock }));
     let sampler = make_sampler(opts.energy);
+    // An optional serve-wide frequency cap, restored at shutdown.
+    let freq = opts.freqs.first().copied().unwrap_or(None);
+    let capper = make_capper(std::slice::from_ref(&freq));
+    let (freq_khz, freq_applied, _cap_guard) = apply_freq(freq, capper.as_ref());
+    if let Some(khz) = freq_khz {
+        if freq_applied {
+            install_interrupt_restore();
+            eprintln!("capped at {khz} kHz for the lifetime of the server");
+        } else {
+            eprintln!("requested cap of {khz} kHz NOT applied; serving at base frequency");
+        }
+    }
     let mut server = NetServer::bind_metered(
         opts.addr.as_str(),
         store,
@@ -514,8 +689,26 @@ fn cmd_serve(opts: &Options) {
         eprintln!("measuring energy over {} RAPL domains", s.domains().len());
         s.start_window();
     }
-    let mut sink = Vec::new();
-    let _ = std::io::stdin().read_to_end(&mut sink);
+    // Serve until stdin closes — or, when capped, until SIGINT/SIGTERM
+    // flips the flag: stdin is read off-thread so the main thread can
+    // poll the flag and still reach the graceful shutdown (and the cap
+    // restore) below.
+    let (eof_tx, eof_rx) = std::sync::mpsc::channel::<()>();
+    std::thread::spawn(move || {
+        let mut sink = Vec::new();
+        let _ = std::io::stdin().read_to_end(&mut sink);
+        let _ = eof_tx.send(());
+    });
+    loop {
+        if INTERRUPTED.load(Ordering::SeqCst) {
+            eprintln!("interrupted: shutting down (caps restored)");
+            break;
+        }
+        match eof_rx.recv_timeout(Duration::from_millis(100)) {
+            Ok(()) | Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => break,
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {}
+        }
+    }
     server.shutdown();
     let net = server.net_stats();
     eprintln!(
@@ -552,36 +745,103 @@ fn cmd_sweep(reg: &Registry, opts: &Options) {
     };
     let transports =
         if opts.transports.is_empty() { vec![Transport::Local] } else { opts.transports.clone() };
+    let freqs: Vec<Option<u64>> =
+        if opts.freqs.is_empty() { vec![None] } else { opts.freqs.clone() };
     let sampler = make_sampler(opts.energy);
+    let capper = make_capper(&freqs);
+    if capper.is_some() {
+        install_interrupt_restore();
+    }
     let planned: usize = bases
         .iter()
-        .map(|(_, mix)| shard_list_of(mix).len() * locks.len() * threads.len() * transports.len())
+        .map(|(_, mix)| {
+            shard_list_of(mix).len() * locks.len() * threads.len() * transports.len() * freqs.len()
+        })
         .sum();
     let mut cells = Vec::new();
-    for (name, mix) in &bases {
+    'cells: for (name, mix) in &bases {
         let shard_list = shard_list_of(mix);
         for &s in &shard_list {
             let mix = mix.with_shards(s);
             for &transport in &transports {
                 for &lock in &locks {
                     for &t in &threads {
-                        eprintln!(
-                            "cell {}/{}: {} transport={} lock={} shards={} threads={}",
-                            cells.len() + 1,
-                            planned,
-                            name,
-                            transport.label(),
-                            lock.label(),
-                            s,
-                            t
-                        );
-                        cells.push(run_cell(name, mix, transport, lock, t, opts, sampler.as_ref()));
+                        for &freq in &freqs {
+                            if INTERRUPTED.load(Ordering::SeqCst) {
+                                eprintln!(
+                                    "interrupted: stopping after {} of {planned} cells \
+                                     (caps restored)",
+                                    cells.len()
+                                );
+                                break 'cells;
+                            }
+                            eprintln!(
+                                "cell {}/{}: {} transport={} lock={} shards={} threads={} freq={}",
+                                cells.len() + 1,
+                                planned,
+                                name,
+                                transport.label(),
+                                lock.label(),
+                                s,
+                                t,
+                                FreqPolicy::point_label(freq),
+                            );
+                            cells.push(run_cell(
+                                name,
+                                mix,
+                                transport,
+                                lock,
+                                t,
+                                freq,
+                                opts,
+                                sampler.as_ref(),
+                                capper.as_ref(),
+                            ));
+                        }
                     }
                 }
             }
         }
     }
     emit(&cells, opts);
+}
+
+/// Distills a sweep's JSONL into the per-frequency measured/modeled
+/// residual table — the calibration feedback loop (`--format csv` for the
+/// machine-readable shape).
+fn cmd_calibrate(path: &str, args: &[String]) {
+    let mut csv = false;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--format" => {
+                match it.next().map(String::as_str) {
+                    Some("table") => csv = false,
+                    Some("csv") => csv = true,
+                    other => fail(format!("calibrate --format takes table or csv, got {other:?}")),
+                };
+            }
+            other => fail(format!("unknown calibrate option: {other}")),
+        }
+    }
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| fail(format!("cannot read {path}: {e}")));
+    let table = CalibrationTable::from_jsonl(&text)
+        .unwrap_or_else(|e| fail(format!("{path} is not a sweep JSONL: {e}")));
+    if table.rows().is_empty() {
+        fail(format!("{path} holds no sweep cells"));
+    }
+    if csv {
+        print!("{}", table.to_csv());
+    } else {
+        print!("{}", table.to_text());
+    }
+    if table.overall_ratio().is_none() {
+        eprintln!(
+            "note: no measured cells in {path}; re-run the sweep with --energy rapl|auto on a \
+             RAPL host to calibrate"
+        );
+    }
 }
 
 fn main() {
@@ -595,6 +855,10 @@ fn main() {
         }
         Some("sweep") => cmd_sweep(&reg, &parse_options(&args[1..])),
         Some("serve") => cmd_serve(&parse_options(&args[1..])),
+        Some("calibrate") => {
+            let Some(path) = args.get(1) else { fail("calibrate needs a sweep JSONL path".into()) };
+            cmd_calibrate(path, &args[2..]);
+        }
         _ => usage(),
     }
 }

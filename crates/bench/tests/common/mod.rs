@@ -1,0 +1,55 @@
+//! Shared helpers for the `store` CLI end-to-end suites: one flat-JSON
+//! field extractor instead of a copy per test file (the records under
+//! test are the hand-rolled single-level objects the CLI emits).
+
+/// Extracts a field's raw value text from a flat JSON object. The value
+/// terminator scan is string-aware, so string *values* containing `,` or
+/// `}` never truncate the extraction.
+pub fn json_value<'a>(line: &'a str, key: &str) -> &'a str {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat).unwrap_or_else(|| panic!("{key} missing in {line}")) + pat.len();
+    let rest = &line[start..];
+    let end = rest
+        .char_indices()
+        .scan(false, |in_str, (i, c)| {
+            match c {
+                '"' => *in_str = !*in_str,
+                ',' | '}' if !*in_str => return Some(Some(i)),
+                _ => {}
+            }
+            Some(None)
+        })
+        .flatten()
+        .next()
+        .expect("value terminator");
+    &rest[..end]
+}
+
+/// The JSON keys of one flat object, in emission order (keys never
+/// contain escapes in these schemas).
+#[allow(dead_code)] // each e2e suite compiles its own copy; not all use it
+pub fn json_keys(line: &str) -> Vec<String> {
+    let mut keys = Vec::new();
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'"' {
+            let start = i + 1;
+            let end = start + line[start..].find('"').expect("closing quote");
+            if bytes.get(end + 1) == Some(&b':') {
+                keys.push(line[start..end].to_string());
+                // Skip past the value's opening quote, if any, so string
+                // *values* are never mistaken for keys.
+                if bytes.get(end + 2) == Some(&b'"') {
+                    let vstart = end + 3;
+                    i = vstart + line[vstart..].find('"').expect("closing value quote") + 1;
+                    continue;
+                }
+            }
+            i = end + 1;
+        } else {
+            i += 1;
+        }
+    }
+    keys
+}

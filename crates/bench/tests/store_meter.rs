@@ -9,6 +9,9 @@ use std::process::Command;
 
 use poly_meter::FakeRapl;
 
+mod common;
+use common::json_value;
+
 fn store_bin() -> Command {
     Command::new(env!("CARGO_BIN_EXE_store"))
 }
@@ -38,15 +41,6 @@ fn run_jsonl(rapl_root: &str, extra: &[&str]) -> String {
     stdout.trim().to_string()
 }
 
-/// Extracts a field's raw value text from a flat JSON object.
-fn json_value<'a>(line: &'a str, key: &str) -> &'a str {
-    let pat = format!("\"{key}\":");
-    let start = line.find(&pat).unwrap_or_else(|| panic!("{key} missing in {line}")) + pat.len();
-    let rest = &line[start..];
-    let end = rest.find([',', '}']).expect("value terminator");
-    &rest[..end]
-}
-
 /// `--energy auto` on a host without RAPL: the report degrades to the
 /// modeled source with the measured columns present-but-null, and the
 /// modeled fields sit in exactly the PR 3 schema positions (the three
@@ -59,6 +53,11 @@ fn auto_without_rapl_degrades_to_modeled_with_stable_schema() {
         assert_eq!(json_value(&line, "energy_source"), "\"modeled\"", "{energy}: {line}");
         assert_eq!(json_value(&line, "measured_j"), "null");
         assert_eq!(json_value(&line, "measured_uj_per_op"), "null");
+        assert_eq!(json_value(&line, "measured_pkg_j"), "null");
+        assert_eq!(json_value(&line, "measured_dram_j"), "null");
+        // No --freq: the cell ran (and was modeled) at base frequency.
+        assert_eq!(json_value(&line, "freq_khz"), "null");
+        assert_eq!(json_value(&line, "freq_applied"), "false");
         // The full key order, pinned: everything before the measured
         // block is the PR 3 schema, byte-for-byte.
         let expected = "{\"scenario\":\"kv-net-uniform\",\"workload\":\"kv/16sh/uni/g80p18d2s0\",\
@@ -77,7 +76,11 @@ fn auto_without_rapl_degrades_to_modeled_with_stable_schema() {
             "epo_uj",
             "measured_j",
             "measured_uj_per_op",
+            "measured_pkg_j",
+            "measured_dram_j",
             "energy_source",
+            "freq_khz",
+            "freq_applied",
             "energy_model",
         ] {
             assert!(line.contains(&format!("\"{key}\":")), "{key} missing: {line}");
@@ -154,6 +157,14 @@ fn fake_tree_yields_measured_joules_over_both_transports() {
         assert!(measured > 0.0, "no measured joules in {line}");
         let per_op: f64 = json_value(line, "measured_uj_per_op").parse().expect("numeric per-op");
         assert!(per_op > 0.0);
+        // The per-domain split: all of this fake tree's joules are
+        // package joules (it has no dram domain), and the split sums to
+        // the total.
+        let pkg: f64 = json_value(line, "measured_pkg_j").parse().expect("numeric pkg_j");
+        let dram: f64 = json_value(line, "measured_dram_j").parse().expect("numeric dram_j");
+        assert!(pkg > 0.0, "package split empty in {line}");
+        assert_eq!(dram, 0.0, "no dram domain in the fake tree: {line}");
+        assert!((pkg + dram - measured).abs() < 1e-9, "split must sum to measured_j: {line}");
         // Modeled fields ride along untouched.
         assert!(json_value(line, "energy_j").parse::<f64>().unwrap() > 0.0);
     }

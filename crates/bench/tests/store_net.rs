@@ -7,6 +7,9 @@
 use std::io::{BufRead, BufReader, Write};
 use std::process::{Command, Stdio};
 
+mod common;
+use common::{json_keys, json_value};
+
 fn store_bin() -> Command {
     Command::new(env!("CARGO_BIN_EXE_store"))
 }
@@ -41,56 +44,6 @@ fn sweep_jsonl(transport: &str) -> Vec<String> {
     );
     let stdout = String::from_utf8(out.stdout).expect("utf-8 jsonl");
     stdout.lines().map(str::to_string).collect()
-}
-
-/// The JSON keys of one flat object, in emission order (good enough for
-/// the hand-rolled single-level records the CLI emits: keys never contain
-/// escapes).
-fn json_keys(line: &str) -> Vec<String> {
-    let mut keys = Vec::new();
-    let bytes = line.as_bytes();
-    let mut i = 0;
-    while i < bytes.len() {
-        if bytes[i] == b'"' {
-            let start = i + 1;
-            let end = start + line[start..].find('"').expect("closing quote");
-            if bytes.get(end + 1) == Some(&b':') {
-                keys.push(line[start..end].to_string());
-                // Skip past the value's opening quote, if any, so string
-                // *values* are never mistaken for keys.
-                if bytes.get(end + 2) == Some(&b'"') {
-                    let vstart = end + 3;
-                    i = vstart + line[vstart..].find('"').expect("closing value quote") + 1;
-                    continue;
-                }
-            }
-            i = end + 1;
-        } else {
-            i += 1;
-        }
-    }
-    keys
-}
-
-/// Extracts a field's raw value text from a flat JSON object.
-fn json_value<'a>(line: &'a str, key: &str) -> &'a str {
-    let pat = format!("\"{key}\":");
-    let start = line.find(&pat).unwrap_or_else(|| panic!("{key} missing in {line}")) + pat.len();
-    let rest = &line[start..];
-    let end = rest
-        .char_indices()
-        .scan(false, |in_str, (i, c)| {
-            match c {
-                '"' => *in_str = !*in_str,
-                ',' | '}' if !*in_str => return Some(Some(i)),
-                _ => {}
-            }
-            Some(None)
-        })
-        .flatten()
-        .next()
-        .expect("value terminator");
-    &rest[..end]
 }
 
 /// `store sweep --transport tcp` over a kv-net scenario: JSONL cells with

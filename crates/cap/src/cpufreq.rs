@@ -1,0 +1,452 @@
+//! The cpufreq/powercap sysfs writer.
+//!
+//! The paper's frequency-capping experiments pin the cores to a P-state
+//! and re-measure every lock workload there; this module is the host-side
+//! mechanism. [`CpuCap`] discovers the kernel's cpufreq policies
+//! (`cpufreq/policy*` under `/sys/devices/system/cpu`), writes a cap into
+//! every policy's `scaling_max_freq` — falling back to the
+//! `intel_pstate/max_perf_pct` percent interface where the per-policy
+//! files refuse the write — and hands back a [`CapGuard`] that restores
+//! the prior values on drop, panic included. [`apply_power_limit_at`]
+//! does the same for the RAPL powercap `constraint_0_power_limit_uw`
+//! knob.
+//!
+//! Writing these files needs root (or relaxed sysfs permissions); callers
+//! that cannot write must report the cell as *uncapped* rather than
+//! pretend (`freq_applied=false` in every report schema).
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::guard::RestoreGuard;
+
+/// One discovered cpufreq policy (a group of cores sharing a frequency
+/// domain).
+#[derive(Debug, Clone)]
+pub struct CapPolicy {
+    /// Directory name (`policy0`, `policy1`, ...).
+    pub name: String,
+    dir: PathBuf,
+    /// Hardware minimum frequency in kHz (0 when unreadable).
+    pub cpuinfo_min_khz: u64,
+    /// Hardware maximum frequency in kHz (0 when unreadable).
+    pub cpuinfo_max_khz: u64,
+}
+
+/// Which sysfs interface a cap went through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CapMechanism {
+    /// Per-policy `scaling_max_freq` writes.
+    ScalingMax,
+    /// The `intel_pstate/max_perf_pct` percent fallback.
+    PstatePct,
+}
+
+/// An applied frequency cap: holds the restore guard for every file
+/// written. Drop it (or let a panic drop it) to restore the host.
+#[derive(Debug)]
+pub struct CapGuard {
+    guard: RestoreGuard,
+    /// The cap that was applied, in kHz (after clamping to the hardware
+    /// range).
+    pub applied_khz: u64,
+    /// The interface the cap went through.
+    pub mechanism: CapMechanism,
+}
+
+impl CapGuard {
+    /// Number of sysfs files the cap modified (and will restore).
+    pub fn files(&self) -> usize {
+        self.guard.len()
+    }
+
+    /// Restores every modified file now instead of at drop. Idempotent.
+    pub fn restore(&mut self) -> io::Result<()> {
+        self.guard.restore()
+    }
+}
+
+/// Writer over the host's cpufreq policies.
+#[derive(Debug, Clone)]
+pub struct CpuCap {
+    policies: Vec<CapPolicy>,
+    pstate_pct: Option<PathBuf>,
+}
+
+/// Numeric sort key for `policy<N>` entries, so `policy10` orders after
+/// `policy2` (same concern as RAPL domain discovery).
+fn policy_key(path: &Path) -> (u64, String) {
+    let name = path.file_name().and_then(|n| n.to_str()).unwrap_or_default();
+    let num = name.strip_prefix("policy").and_then(|s| s.parse().ok()).unwrap_or(u64::MAX);
+    (num, name.to_string())
+}
+
+fn read_khz(path: &Path) -> Option<u64> {
+    fs::read_to_string(path).ok()?.trim().parse().ok()
+}
+
+impl CpuCap {
+    /// The real sysfs root the kernel exposes cpufreq under.
+    pub const SYSFS_ROOT: &'static str = "/sys/devices/system/cpu";
+
+    /// Discovers the host's cpufreq policies; `None` when the host
+    /// exposes none (containers without a cpufreq mount, some VMs).
+    pub fn probe() -> Option<Self> {
+        Self::probe_at(Path::new(Self::SYSFS_ROOT))
+    }
+
+    /// Discovery rooted at an arbitrary directory laid out like
+    /// `/sys/devices/system/cpu` (`cpufreq/policy*`, optionally
+    /// `intel_pstate/max_perf_pct`); testable against a
+    /// [`FakeCpufreq`](crate::FakeCpufreq) tree.
+    pub fn probe_at(root: &Path) -> Option<Self> {
+        let mut policies = Vec::new();
+        if let Ok(entries) = fs::read_dir(root.join("cpufreq")) {
+            let mut dirs: Vec<PathBuf> = entries
+                .filter_map(|e| e.ok().map(|e| e.path()))
+                .filter(|p| {
+                    p.file_name().and_then(|n| n.to_str()).is_some_and(|n| n.starts_with("policy"))
+                })
+                .collect();
+            dirs.sort_by_key(|p| policy_key(p));
+            for dir in dirs {
+                // A policy whose current cap cannot be read offers nothing
+                // to cap *or* restore; skip it, never the probe.
+                if read_khz(&dir.join("scaling_max_freq")).is_none() {
+                    continue;
+                }
+                let name = dir.file_name().and_then(|n| n.to_str()).unwrap_or_default().to_string();
+                policies.push(CapPolicy {
+                    cpuinfo_min_khz: read_khz(&dir.join("cpuinfo_min_freq")).unwrap_or(0),
+                    cpuinfo_max_khz: read_khz(&dir.join("cpuinfo_max_freq")).unwrap_or(0),
+                    name,
+                    dir,
+                });
+            }
+        }
+        let pstate = root.join("intel_pstate/max_perf_pct");
+        let pstate_pct = fs::read_to_string(&pstate)
+            .ok()
+            .and_then(|s| s.trim().parse::<u64>().ok())
+            .map(|_| pstate);
+        if policies.is_empty() && pstate_pct.is_none() {
+            None
+        } else {
+            Some(Self { policies, pstate_pct })
+        }
+    }
+
+    /// The discovered policies.
+    pub fn policies(&self) -> &[CapPolicy] {
+        &self.policies
+    }
+
+    /// Whether the percent fallback interface is present.
+    pub fn has_pstate_pct(&self) -> bool {
+        self.pstate_pct.is_some()
+    }
+
+    /// The hardware base (maximum) frequency: the highest
+    /// `cpuinfo_max_freq` across policies, `None` when no policy
+    /// advertises one.
+    pub fn base_khz(&self) -> Option<u64> {
+        self.policies.iter().map(|p| p.cpuinfo_max_khz).max().filter(|&k| k > 0)
+    }
+
+    /// Caps every policy at `khz` (clamped into each policy's hardware
+    /// range), returning the guard that restores the prior caps. When a
+    /// `scaling_max_freq` write fails and the host exposes
+    /// `intel_pstate/max_perf_pct`, the partial writes are rolled back
+    /// and the cap is re-applied through the percent interface instead.
+    ///
+    /// A cap only ever *lowers* a policy's limit: a request above the
+    /// current `scaling_max_freq` keeps the current value (an
+    /// administrative or thermal cap an operator set must not be loosened
+    /// for the duration of a sweep cell). The guard's `applied_khz`
+    /// reports what is actually in force.
+    ///
+    /// On error, everything already written has been restored: a failed
+    /// apply never leaves the host half-capped.
+    pub fn apply(&self, khz: u64) -> io::Result<CapGuard> {
+        if khz == 0 {
+            return Err(io::Error::new(io::ErrorKind::InvalidInput, "cap frequency must be > 0"));
+        }
+        match self.apply_scaling_max(khz) {
+            Ok(g) => Ok(g),
+            Err(scaling_err) => {
+                if self.pstate_pct.is_some() {
+                    self.apply_pstate(khz)
+                } else {
+                    Err(scaling_err)
+                }
+            }
+        }
+    }
+
+    /// The per-policy `scaling_max_freq` path of [`CpuCap::apply`].
+    fn apply_scaling_max(&self, khz: u64) -> io::Result<CapGuard> {
+        if self.policies.is_empty() {
+            return Err(io::Error::new(io::ErrorKind::NotFound, "no cpufreq policies"));
+        }
+        let mut guard = RestoreGuard::new();
+        let mut applied_khz = 0;
+        for p in &self.policies {
+            let mut target = clamp_khz(khz, p.cpuinfo_min_khz, p.cpuinfo_max_khz);
+            let file = p.dir.join("scaling_max_freq");
+            // Never raise a pre-existing (admin/thermal) cap: "cap" means
+            // at-most, so the effective target is the lower of the
+            // request and what is already in force.
+            if let Some(current) = read_khz(&file) {
+                target = target.min(current);
+            }
+            // Record before writing; an error after partial writes drops
+            // the guard, which restores everything recorded so far.
+            guard.record(&file)?;
+            fs::write(&file, target.to_string())?;
+            applied_khz = applied_khz.max(target);
+        }
+        Ok(CapGuard { guard, applied_khz, mechanism: CapMechanism::ScalingMax })
+    }
+
+    /// The hardware minimum frequency: the lowest `cpuinfo_min_freq`
+    /// across policies, `None` when no policy advertises one.
+    pub fn min_khz(&self) -> Option<u64> {
+        self.policies.iter().map(|p| p.cpuinfo_min_khz).filter(|&k| k > 0).min()
+    }
+
+    /// The `intel_pstate/max_perf_pct` percent fallback: caps at
+    /// `khz / base_khz` percent (rounded up so the cap is never *below*
+    /// the request), clamped to `1..=100`. The request is clamped into
+    /// the advertised hardware range first — same contract as the
+    /// per-policy path, so `applied_khz` never names a frequency below
+    /// the floor the kernel would refuse anyway.
+    pub fn apply_pstate(&self, khz: u64) -> io::Result<CapGuard> {
+        let Some(file) = &self.pstate_pct else {
+            return Err(io::Error::new(io::ErrorKind::NotFound, "no intel_pstate interface"));
+        };
+        let Some(base) = self.base_khz() else {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "percent fallback needs a readable cpuinfo_max_freq for the base frequency",
+            ));
+        };
+        let khz = clamp_khz(khz, self.min_khz().unwrap_or(0), base);
+        let mut pct = khz.saturating_mul(100).div_ceil(base).clamp(1, 100);
+        // Same at-most contract as the per-policy path: never raise a
+        // pre-existing percent cap.
+        if let Some(current) = read_khz(file) {
+            pct = pct.min(current.clamp(1, 100));
+        }
+        let mut guard = RestoreGuard::new();
+        guard.record(file)?;
+        fs::write(file, pct.to_string())?;
+        // The effective cap in kHz, for the report's freq_khz column.
+        let applied_khz = (base * pct / 100).min(base);
+        Ok(CapGuard { guard, applied_khz, mechanism: CapMechanism::PstatePct })
+    }
+}
+
+/// Clamps a requested cap into a policy's advertised hardware range
+/// (unreadable bounds, reported as 0, do not constrain).
+fn clamp_khz(khz: u64, min_khz: u64, max_khz: u64) -> u64 {
+    let mut k = khz;
+    if min_khz > 0 {
+        k = k.max(min_khz);
+    }
+    if max_khz > 0 {
+        k = k.min(max_khz);
+    }
+    k
+}
+
+/// Writes `limit_uw` into every top-level RAPL package zone's
+/// `constraint_0_power_limit_uw` under `root` (the powercap directory,
+/// `/sys/class/powercap` on real hosts, `POLY_RAPL_ROOT` in tests),
+/// returning the guard that restores the prior limits. The paper's other
+/// capping axis: bounding *power* instead of frequency and letting RAPL
+/// pick the P-state.
+pub fn apply_power_limit_at(root: &Path, limit_uw: u64) -> io::Result<RestoreGuard> {
+    let entries = fs::read_dir(root)?;
+    let mut files: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            // Top-level packages only (`intel-rapl:N`, not `intel-rapl:N:M`):
+            // sub-zone limits are bounded by their parent anyway.
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("intel-rapl:") && n.matches(':').count() == 1)
+        })
+        .map(|p| p.join("constraint_0_power_limit_uw"))
+        .filter(|p| p.is_file())
+        .collect();
+    files.sort();
+    if files.is_empty() {
+        return Err(io::Error::new(io::ErrorKind::NotFound, "no powercap constraint files"));
+    }
+    let mut guard = RestoreGuard::new();
+    for file in &files {
+        guard.record(file)?;
+        fs::write(file, limit_uw.to_string())?;
+    }
+    Ok(guard)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fake::FakeCpufreq;
+
+    #[test]
+    fn probe_missing_root_returns_none() {
+        assert!(CpuCap::probe_at(Path::new("/nonexistent-poly-cpufreq")).is_none());
+    }
+
+    #[test]
+    fn discovery_is_numeric_and_skips_broken_policies() {
+        let fake = FakeCpufreq::new("discover");
+        for i in [10u32, 2, 0, 1] {
+            fake.policy(i);
+        }
+        fake.policy(3);
+        fake.break_policy(3);
+        let cap = CpuCap::probe_at(fake.root()).expect("policies discovered");
+        let names: Vec<&str> = cap.policies().iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(names, ["policy0", "policy1", "policy2", "policy10"]);
+        assert_eq!(cap.base_khz(), Some(FakeCpufreq::MAX_KHZ));
+        assert!(!cap.has_pstate_pct());
+    }
+
+    #[test]
+    fn apply_caps_every_policy_and_guard_restores() {
+        let fake = FakeCpufreq::xeon("apply");
+        let cap = CpuCap::probe_at(fake.root()).unwrap();
+        {
+            let g = cap.apply(1_200_000).expect("cap applies");
+            assert_eq!(g.applied_khz, 1_200_000);
+            assert_eq!(g.mechanism, CapMechanism::ScalingMax);
+            assert_eq!(g.files(), 2);
+            assert_eq!(fake.scaling_max(0), 1_200_000);
+            assert_eq!(fake.scaling_max(1), 1_200_000);
+        }
+        // Guard dropped: both policies back at the prior cap.
+        assert_eq!(fake.scaling_max(0), FakeCpufreq::MAX_KHZ);
+        assert_eq!(fake.scaling_max(1), FakeCpufreq::MAX_KHZ);
+    }
+
+    #[test]
+    fn apply_clamps_into_the_hardware_range() {
+        let fake = FakeCpufreq::xeon("clamp");
+        let cap = CpuCap::probe_at(fake.root()).unwrap();
+        let g = cap.apply(1).expect("below-range cap clamps up");
+        assert_eq!(g.applied_khz, FakeCpufreq::MIN_KHZ);
+        assert_eq!(fake.scaling_max(0), FakeCpufreq::MIN_KHZ);
+        drop(g);
+        let g = cap.apply(9_999_999).expect("above-range cap clamps down");
+        assert_eq!(g.applied_khz, FakeCpufreq::MAX_KHZ);
+        drop(g);
+        assert!(cap.apply(0).is_err(), "zero is not a frequency");
+    }
+
+    #[test]
+    fn apply_never_raises_a_preexisting_cap() {
+        // policy0 carries an administrative 1.6 GHz cap; a 2.0 GHz
+        // "cap" request must not loosen it (while policy1, uncapped,
+        // takes the 2.0 GHz limit normally).
+        let fake = FakeCpufreq::xeon("no-raise");
+        fake.set_scaling_max(0, 1_600_000);
+        let cap = CpuCap::probe_at(fake.root()).unwrap();
+        {
+            let g = cap.apply(2_000_000).expect("cap applies");
+            assert_eq!(fake.scaling_max(0), 1_600_000, "admin cap was loosened");
+            assert_eq!(fake.scaling_max(1), 2_000_000);
+            assert_eq!(g.applied_khz, 2_000_000, "effective machine cap is the fastest policy");
+        }
+        // Restore puts back the heterogeneous priors, not one value.
+        assert_eq!(fake.scaling_max(0), 1_600_000);
+        assert_eq!(fake.scaling_max(1), FakeCpufreq::MAX_KHZ);
+        // The percent fallback honors the same contract.
+        fake.with_pstate();
+        let d = fake.root().join("intel_pstate");
+        std::fs::write(d.join("max_perf_pct"), "50").unwrap();
+        let cap = CpuCap::probe_at(fake.root()).unwrap();
+        let g = cap.apply_pstate(2_000_000).expect("percent cap applies");
+        assert_eq!(fake.max_perf_pct(), 50, "percent cap was loosened");
+        drop(g);
+        assert_eq!(fake.max_perf_pct(), 50);
+    }
+
+    #[test]
+    fn restore_survives_a_panicking_cell() {
+        let fake = FakeCpufreq::xeon("panic");
+        let cap = CpuCap::probe_at(fake.root()).unwrap();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _g = cap.apply(1_600_000).unwrap();
+            assert_eq!(fake.scaling_max(0), 1_600_000);
+            panic!("sweep cell crashed while capped");
+        }));
+        assert!(result.is_err(), "test premise: the cell panicked");
+        assert_eq!(fake.scaling_max(0), FakeCpufreq::MAX_KHZ, "panic must restore the cap");
+        assert_eq!(fake.scaling_max(1), FakeCpufreq::MAX_KHZ);
+    }
+
+    #[test]
+    fn pstate_percent_fallback_rounds_up_and_restores() {
+        let fake = FakeCpufreq::xeon("pstate");
+        fake.with_pstate();
+        let cap = CpuCap::probe_at(fake.root()).unwrap();
+        assert!(cap.has_pstate_pct());
+        {
+            // 1.2 GHz of 2.8 GHz = 42.857% -> 43% (never below the request).
+            let g = cap.apply_pstate(1_200_000).expect("percent cap applies");
+            assert_eq!(g.mechanism, CapMechanism::PstatePct);
+            assert_eq!(fake.max_perf_pct(), 43);
+            assert!(g.applied_khz >= 1_200_000, "effective cap below request: {}", g.applied_khz);
+        }
+        assert_eq!(fake.max_perf_pct(), 100, "fallback cap must restore");
+        // Below-range requests clamp to the hardware floor before the
+        // percent math, matching the per-policy path's contract.
+        let g = cap.apply_pstate(800_000).expect("clamped percent cap applies");
+        assert_eq!(fake.max_perf_pct(), 43, "800 MHz must clamp to the 1.2 GHz floor");
+        assert!(g.applied_khz >= FakeCpufreq::MIN_KHZ, "applied {} below floor", g.applied_khz);
+    }
+
+    #[test]
+    fn pstate_only_tree_probes_but_cannot_compute_percent() {
+        let fake = FakeCpufreq::new("pstate-only");
+        fake.with_pstate();
+        let cap = CpuCap::probe_at(fake.root()).expect("pstate alone is discoverable");
+        assert!(cap.policies().is_empty());
+        // Without a readable base frequency the percent is undefined; the
+        // apply must error rather than guess.
+        assert!(cap.apply(1_200_000).is_err());
+    }
+
+    #[test]
+    fn power_limit_writer_caps_packages_and_restores() {
+        // A minimal powercap tree: two packages and one sub-zone that
+        // must be left alone.
+        let root = std::env::temp_dir().join(format!("poly-cap-powercap-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        for d in ["intel-rapl:0", "intel-rapl:1", "intel-rapl:0:0"] {
+            fs::create_dir_all(root.join(d)).unwrap();
+            fs::write(root.join(d).join("constraint_0_power_limit_uw"), "250000000").unwrap();
+        }
+        let read = |d: &str| {
+            fs::read_to_string(root.join(d).join("constraint_0_power_limit_uw"))
+                .unwrap()
+                .trim()
+                .to_string()
+        };
+        {
+            let _g = apply_power_limit_at(&root, 90_000_000).expect("limits apply");
+            assert_eq!(read("intel-rapl:0"), "90000000");
+            assert_eq!(read("intel-rapl:1"), "90000000");
+            assert_eq!(read("intel-rapl:0:0"), "250000000", "sub-zones untouched");
+        }
+        assert_eq!(read("intel-rapl:0"), "250000000", "limits restored on drop");
+        assert_eq!(read("intel-rapl:1"), "250000000");
+        assert!(apply_power_limit_at(Path::new("/nonexistent-powercap"), 1).is_err());
+        let _ = fs::remove_dir_all(&root);
+    }
+}

@@ -1,0 +1,116 @@
+//! Fake cpufreq sysfs trees for tests.
+//!
+//! The build/test hosts (containers, CI runners) expose no writable
+//! cpufreq, so the whole cap/restore/sweep path is exercised against a
+//! fake `/sys/devices/system/cpu` directory instead: the same
+//! `cpufreq/policy*` file layout (plus an optional `intel_pstate`
+//! directory), rooted in a temp directory and fed to
+//! [`CpuCap::probe_at`](crate::CpuCap::probe_at) — or exported as
+//! `POLY_CPUFREQ_ROOT` for the CLIs. Public (not `#[cfg(test)]`) for the
+//! same reason as `poly_meter::FakeRapl`: downstream crates' integration
+//! tests build the same trees.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// A fake cpufreq tree rooted in a per-process temp directory; removed on
+/// drop.
+#[derive(Debug)]
+pub struct FakeCpufreq {
+    root: PathBuf,
+}
+
+impl FakeCpufreq {
+    /// Minimum DVFS frequency every fake policy advertises (the paper's
+    /// Xeon floor).
+    pub const MIN_KHZ: u64 = 1_200_000;
+
+    /// Maximum (base) frequency every fake policy advertises (the paper's
+    /// Xeon ceiling).
+    pub const MAX_KHZ: u64 = 2_800_000;
+
+    /// Creates an empty tree under the system temp directory. `tag` keeps
+    /// concurrent tests from colliding; the process id keeps concurrent
+    /// test *binaries* apart.
+    pub fn new(tag: &str) -> Self {
+        let root = std::env::temp_dir().join(format!("poly-cpufreq-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        fs::create_dir_all(root.join("cpufreq")).expect("create fake cpufreq root");
+        Self { root }
+    }
+
+    /// A tree shaped like the paper's Xeon: two policies (one per
+    /// socket's first core, the usual shared-policy layout) spanning
+    /// 1.2–2.8 GHz, uncapped.
+    pub fn xeon(tag: &str) -> Self {
+        let fake = Self::new(tag);
+        fake.policy(0);
+        fake.policy(1);
+        fake
+    }
+
+    /// The tree's root (pass to `probe_at`, or export as
+    /// `POLY_CPUFREQ_ROOT`).
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Adds `cpufreq/policy<idx>` with the default Xeon range, uncapped
+    /// (`scaling_max_freq` = [`FakeCpufreq::MAX_KHZ`]).
+    pub fn policy(&self, idx: u32) {
+        self.policy_with_range(idx, Self::MIN_KHZ, Self::MAX_KHZ);
+    }
+
+    /// Adds `cpufreq/policy<idx>` with an explicit hardware range.
+    pub fn policy_with_range(&self, idx: u32, min_khz: u64, max_khz: u64) {
+        let d = self.root.join(format!("cpufreq/policy{idx}"));
+        fs::create_dir_all(&d).expect("create fake policy");
+        fs::write(d.join("cpuinfo_min_freq"), min_khz.to_string()).expect("write cpuinfo_min");
+        fs::write(d.join("cpuinfo_max_freq"), max_khz.to_string()).expect("write cpuinfo_max");
+        fs::write(d.join("scaling_min_freq"), min_khz.to_string()).expect("write scaling_min");
+        fs::write(d.join("scaling_max_freq"), max_khz.to_string()).expect("write scaling_max");
+    }
+
+    /// Adds an `intel_pstate` directory with `max_perf_pct` at 100 (the
+    /// percent-based fallback interface).
+    pub fn with_pstate(&self) {
+        let d = self.root.join("intel_pstate");
+        fs::create_dir_all(&d).expect("create fake intel_pstate");
+        fs::write(d.join("max_perf_pct"), "100").expect("write max_perf_pct");
+    }
+
+    /// Reads `policy<idx>`'s current `scaling_max_freq` back.
+    pub fn scaling_max(&self, idx: u32) -> u64 {
+        let p = self.root.join(format!("cpufreq/policy{idx}/scaling_max_freq"));
+        fs::read_to_string(p).expect("read scaling_max").trim().parse().expect("u64")
+    }
+
+    /// Sets `policy<idx>`'s `scaling_max_freq` directly (a pre-existing
+    /// administrative cap, in tests).
+    pub fn set_scaling_max(&self, idx: u32, khz: u64) {
+        let p = self.root.join(format!("cpufreq/policy{idx}/scaling_max_freq"));
+        fs::write(p, khz.to_string()).expect("write scaling_max");
+    }
+
+    /// Reads the fake `intel_pstate/max_perf_pct` back.
+    pub fn max_perf_pct(&self) -> u64 {
+        let p = self.root.join("intel_pstate/max_perf_pct");
+        fs::read_to_string(p).expect("read max_perf_pct").trim().parse().expect("u64")
+    }
+
+    /// Breaks `policy<idx>`'s `scaling_max_freq` by replacing the file
+    /// with a directory, so reads *and* writes fail regardless of
+    /// privilege (tests often run as root, where a read-only mode bit
+    /// would not stop a write).
+    pub fn break_policy(&self, idx: u32) {
+        let p = self.root.join(format!("cpufreq/policy{idx}/scaling_max_freq"));
+        fs::remove_file(&p).expect("remove scaling_max");
+        fs::create_dir(&p).expect("block scaling_max");
+    }
+}
+
+impl Drop for FakeCpufreq {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.root);
+    }
+}

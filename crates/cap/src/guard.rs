@@ -1,0 +1,188 @@
+//! RAII restoration of sysfs files a cap writer has modified.
+//!
+//! Capping a host mutates global state (`scaling_max_freq`,
+//! `max_perf_pct`, powercap limits) that outlives the process unless it
+//! is put back. [`RestoreGuard`] records every file's prior content
+//! *before* the first write and restores all of them on drop — which
+//! includes panic unwinding, so a crashed sweep cell still leaves the
+//! host at its original frequency. (An `abort` or SIGKILL skips drops;
+//! nothing in userspace can restore through those.)
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Records `(path, prior content)` pairs and writes them back on drop,
+/// in reverse order of recording (unwind order, so layered caps — e.g.
+/// a frequency cap over a power limit — restore cleanly).
+#[derive(Debug, Default)]
+pub struct RestoreGuard {
+    entries: Vec<(PathBuf, String)>,
+}
+
+impl RestoreGuard {
+    /// An empty guard (nothing to restore yet).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reads `path`'s current content and records it for restoration.
+    /// Call *before* overwriting the file.
+    pub fn record(&mut self, path: &Path) -> io::Result<()> {
+        let prior = fs::read_to_string(path)?;
+        self.entries.push((path.to_path_buf(), prior.trim().to_string()));
+        Ok(())
+    }
+
+    /// Number of files recorded.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Restores every recorded file now, newest first. Returns the first
+    /// error but still attempts every remaining file — one unwritable
+    /// entry must not strand the rest of the host capped.
+    ///
+    /// Successfully restored entries are released (a later call — or the
+    /// drop — never overwrites a file the guard already gave back
+    /// control of), while *failed* entries stay recorded, so a transient
+    /// sysfs error is retried at the next `restore` or at drop instead
+    /// of permanently stranding the host capped.
+    pub fn restore(&mut self) -> io::Result<()> {
+        let mut first_err = None;
+        let mut failed = Vec::new();
+        for (path, prior) in self.entries.drain(..).rev() {
+            if let Err(e) = fs::write(&path, &prior) {
+                first_err.get_or_insert(e);
+                failed.push((path, prior));
+            }
+        }
+        // Keep recording order so a retry still restores newest-first.
+        failed.reverse();
+        self.entries = failed;
+        first_err.map_or(Ok(()), Err)
+    }
+}
+
+impl Drop for RestoreGuard {
+    fn drop(&mut self) {
+        let _ = self.restore();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("poly-cap-guard-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn restores_prior_content_on_drop() {
+        let d = tmpdir("drop");
+        let f = d.join("scaling_max_freq");
+        fs::write(&f, "2800000\n").unwrap();
+        {
+            let mut g = RestoreGuard::new();
+            g.record(&f).unwrap();
+            fs::write(&f, "1200000").unwrap();
+            assert_eq!(g.len(), 1);
+        }
+        assert_eq!(fs::read_to_string(&f).unwrap().trim(), "2800000");
+        let _ = fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn restore_is_explicit_and_idempotent() {
+        let d = tmpdir("idem");
+        let f = d.join("max_perf_pct");
+        fs::write(&f, "100").unwrap();
+        let mut g = RestoreGuard::new();
+        g.record(&f).unwrap();
+        fs::write(&f, "42").unwrap();
+        g.restore().unwrap();
+        assert_eq!(fs::read_to_string(&f).unwrap(), "100");
+        // Mutate again: neither the second restore nor the drop may
+        // overwrite a value the guard already gave back control of.
+        fs::write(&f, "77").unwrap();
+        g.restore().unwrap();
+        drop(g);
+        assert_eq!(fs::read_to_string(&f).unwrap(), "77");
+        let _ = fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn restores_during_panic_unwind() {
+        let d = tmpdir("panic");
+        let f = d.join("scaling_max_freq");
+        fs::write(&f, "2800000").unwrap();
+        let f2 = f.clone();
+        let result = std::panic::catch_unwind(move || {
+            let mut g = RestoreGuard::new();
+            g.record(&f2).unwrap();
+            fs::write(&f2, "1200000").unwrap();
+            panic!("cell crashed mid-cap");
+        });
+        assert!(result.is_err(), "test premise: the closure panicked");
+        assert_eq!(
+            fs::read_to_string(&f).unwrap().trim(),
+            "2800000",
+            "panic unwind must restore the cap"
+        );
+        let _ = fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn failed_restores_are_retried_at_drop() {
+        // A transiently unwritable file must stay recorded: the explicit
+        // restore errors, but once the path is writable again the drop
+        // (or a later restore) puts the prior value back.
+        let d = tmpdir("retry");
+        let f = d.join("scaling_max_freq");
+        fs::write(&f, "2800000").unwrap();
+        {
+            let mut g = RestoreGuard::new();
+            g.record(&f).unwrap();
+            fs::write(&f, "1200000").unwrap();
+            // Break the path: restore fails and the entry is retained.
+            fs::remove_file(&f).unwrap();
+            fs::create_dir(&f).unwrap();
+            assert!(g.restore().is_err());
+            assert_eq!(g.len(), 1, "failed entry must stay recorded for retry");
+            // Heal the path; the drop retries and restores.
+            fs::remove_dir(&f).unwrap();
+        }
+        assert_eq!(fs::read_to_string(&f).unwrap(), "2800000", "drop must retry the restore");
+        let _ = fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn restore_continues_past_a_missing_file() {
+        let d = tmpdir("missing");
+        let a = d.join("a");
+        let b = d.join("b");
+        fs::write(&a, "1").unwrap();
+        fs::write(&b, "2").unwrap();
+        let mut g = RestoreGuard::new();
+        g.record(&a).unwrap();
+        g.record(&b).unwrap();
+        fs::write(&a, "9").unwrap();
+        fs::write(&b, "9").unwrap();
+        // `a` vanishes (fs::write recreates missing files, so break it
+        // harder: turn the path into a directory).
+        fs::remove_file(&a).unwrap();
+        fs::create_dir(&a).unwrap();
+        assert!(g.restore().is_err(), "broken entry must surface");
+        assert_eq!(fs::read_to_string(&b).unwrap(), "2", "later entries still restore");
+        let _ = fs::remove_dir_all(&d);
+    }
+}

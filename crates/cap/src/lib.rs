@@ -1,0 +1,57 @@
+//! `poly-cap` — the frequency-control subsystem of the "Unlocking
+//! Energy" reproduction.
+//!
+//! The paper's central results come from running every lock workload
+//! *across frequency points*: the spin-vs-sleep energy tradeoff inverts
+//! as DVFS drops the clock. This crate owns the host-side mechanism for
+//! that axis:
+//!
+//! * [`CpuCap`] — the sysfs cpufreq writer: per-policy discovery
+//!   (`cpufreq/policy*/scaling_max_freq`), caps clamped into each
+//!   policy's hardware range, an `intel_pstate/max_perf_pct` percent
+//!   fallback, and [`apply_power_limit_at`] for the RAPL powercap
+//!   `constraint_0_power_limit_uw` knob;
+//! * [`CapGuard`] / [`RestoreGuard`] — RAII restoration: prior values
+//!   are recorded before the first write and written back on drop,
+//!   which includes panic unwinding, so a crashed sweep cell never
+//!   leaves the host capped;
+//! * [`FreqPolicy`] — the declarative `--freq base|<khz-list>` axis the
+//!   sweep CLIs parse (`base`, one cap, or a ladder of points);
+//! * [`FakeCpufreq`] — fake cpufreq trees mirroring `FakeRapl`,
+//!   redirectable via `POLY_CPUFREQ_ROOT`, so the whole
+//!   write/restore/sweep path runs on hosts whose sysfs is read-only
+//!   (every CI container);
+//! * [`CalibrationTable`] — per-frequency `measured_j / modeled_j`
+//!   residuals distilled from a sweep's JSONL, feeding back into the
+//!   power model ([`CalibrationTable::recalibrated`]) — the `store
+//!   calibrate` subcommand.
+//!
+//! # Example
+//!
+//! ```
+//! use poly_cap::{CpuCap, FakeCpufreq, FreqPolicy};
+//!
+//! let fake = FakeCpufreq::xeon("doc");
+//! let cap = CpuCap::probe_at(fake.root()).unwrap();
+//! let ladder = FreqPolicy::parse("1200000,2800000").unwrap();
+//! for point in ladder.points() {
+//!     let guard = point.map(|khz| cap.apply(khz).unwrap());
+//!     // ... run the workload at this frequency ...
+//!     drop(guard); // every scaling_max_freq restored
+//! }
+//! assert_eq!(fake.scaling_max(0), FakeCpufreq::MAX_KHZ);
+//! ```
+
+#![deny(missing_docs)]
+
+mod cpufreq;
+pub mod fake;
+mod guard;
+mod policy;
+mod residual;
+
+pub use cpufreq::{apply_power_limit_at, CapGuard, CapMechanism, CapPolicy, CpuCap};
+pub use fake::FakeCpufreq;
+pub use guard::RestoreGuard;
+pub use policy::FreqPolicy;
+pub use residual::{CalibrationTable, ResidualRow};

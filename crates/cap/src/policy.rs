@@ -1,0 +1,93 @@
+//! Frequency policies: what to cap a sweep cell at.
+
+/// A frequency-capping policy, parsed from `--freq` on the CLIs and from
+/// scenario specs.
+///
+/// A *point* of the policy is `Option<u64>`: `None` means "base" (no cap,
+/// the host's or model's maximum frequency), `Some(khz)` a cap at that
+/// frequency. A sweep expands its policy into one cell per point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FreqPolicy {
+    /// No capping: every cell runs at the base frequency.
+    Base,
+    /// One fixed cap, in kHz, applied to every cell.
+    Khz(u64),
+    /// A ladder of points swept as an axis; `None` entries mean base.
+    Ladder(Vec<Option<u64>>),
+}
+
+impl FreqPolicy {
+    /// Parses a `--freq` value: `base`, a single kHz figure, or a comma
+    /// list mixing the two (`base,1200000,2000000`). Frequencies must be
+    /// positive; anything else returns `None`.
+    pub fn parse(s: &str) -> Option<Self> {
+        let points: Option<Vec<Option<u64>>> = s
+            .split(',')
+            .map(|tok| match tok.trim() {
+                t if t.eq_ignore_ascii_case("base") => Some(None),
+                t => t.parse::<u64>().ok().filter(|&k| k > 0).map(Some),
+            })
+            .collect();
+        let points = points?;
+        match points.as_slice() {
+            [] => None,
+            [None] => Some(FreqPolicy::Base),
+            [Some(khz)] => Some(FreqPolicy::Khz(*khz)),
+            _ => Some(FreqPolicy::Ladder(points)),
+        }
+    }
+
+    /// The policy's sweep points, in order. Never empty.
+    pub fn points(&self) -> Vec<Option<u64>> {
+        match self {
+            FreqPolicy::Base => vec![None],
+            FreqPolicy::Khz(khz) => vec![Some(*khz)],
+            FreqPolicy::Ladder(points) => points.clone(),
+        }
+    }
+
+    /// Stable label of one policy point, as reports and file names use it.
+    pub fn point_label(point: Option<u64>) -> String {
+        match point {
+            None => "base".into(),
+            Some(khz) => khz.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_base_single_and_ladders() {
+        assert_eq!(FreqPolicy::parse("base"), Some(FreqPolicy::Base));
+        assert_eq!(FreqPolicy::parse("BASE"), Some(FreqPolicy::Base));
+        assert_eq!(FreqPolicy::parse("1200000"), Some(FreqPolicy::Khz(1_200_000)));
+        assert_eq!(
+            FreqPolicy::parse("1200000,2000000,2800000"),
+            Some(FreqPolicy::Ladder(vec![Some(1_200_000), Some(2_000_000), Some(2_800_000)]))
+        );
+        assert_eq!(
+            FreqPolicy::parse("base,1600000"),
+            Some(FreqPolicy::Ladder(vec![None, Some(1_600_000)]))
+        );
+    }
+
+    #[test]
+    fn rejects_zero_empty_and_junk() {
+        for bad in ["", "0", "fast", "1200000,", "base,oops", "-5"] {
+            assert_eq!(FreqPolicy::parse(bad), None, "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn points_round_trip_the_axis() {
+        assert_eq!(FreqPolicy::Base.points(), vec![None]);
+        assert_eq!(FreqPolicy::Khz(7).points(), vec![Some(7)]);
+        let ladder = FreqPolicy::parse("base,1200000").unwrap();
+        assert_eq!(ladder.points(), vec![None, Some(1_200_000)]);
+        assert_eq!(FreqPolicy::point_label(None), "base");
+        assert_eq!(FreqPolicy::point_label(Some(1_200_000)), "1200000");
+    }
+}

@@ -1,0 +1,284 @@
+//! Measured-vs-modeled residual tracking across a frequency sweep.
+//!
+//! A capped sweep leaves a JSONL file whose cells carry both the modeled
+//! joules (`energy_j`, priced at the cell's VF point) and — on hosts with
+//! RAPL — the measured ones (`measured_j`). [`CalibrationTable`] folds
+//! those cells into per-frequency `measured / modeled` ratios: a ratio
+//! near 1.0 at every P-state means the Xeon calibration transfers to this
+//! host; a frequency-dependent drift is exactly the signal needed to
+//! recalibrate the model's interpolation endpoints. The overall ratio can
+//! be fed straight back as a power-config override
+//! ([`CalibrationTable::recalibrated`]) — the first step toward fitting
+//! the model to a real machine.
+
+use poly_energy::PowerConfig;
+
+/// Residuals of every cell at one frequency point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResidualRow {
+    /// The cells' frequency cap in kHz; `None` is the base (uncapped)
+    /// frequency.
+    pub freq_khz: Option<u64>,
+    /// Sweep cells at this frequency.
+    pub cells: usize,
+    /// Cells that carried a measured reading (the rest were model-only).
+    pub measured_cells: usize,
+    /// Measured joules summed over the measured cells.
+    pub measured_j: f64,
+    /// Modeled joules summed over the *same* cells (model-only cells are
+    /// excluded so the ratio compares like for like).
+    pub modeled_j: f64,
+}
+
+impl ResidualRow {
+    /// `measured / modeled` over this frequency's measured cells; `None`
+    /// when nothing was measured (or the model priced zero joules).
+    pub fn ratio(&self) -> Option<f64> {
+        (self.measured_cells > 0 && self.modeled_j > 0.0).then(|| self.measured_j / self.modeled_j)
+    }
+}
+
+/// Extracts a field's raw value text from one flat JSON object (the
+/// hand-rolled single-level records the sweep sinks emit). String values
+/// containing `,` or `}` are skipped over correctly.
+fn json_value<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let mut in_str = false;
+    for (i, c) in rest.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            ',' | '}' if !in_str => return Some(&rest[..i]),
+            _ => {}
+        }
+    }
+    None
+}
+
+/// The per-frequency calibration table distilled from one sweep.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CalibrationTable {
+    rows: Vec<ResidualRow>,
+}
+
+impl CalibrationTable {
+    /// Folds the cells of a JSONL sweep report into per-frequency rows.
+    ///
+    /// Blank lines are skipped. Every other line must carry `energy_j`
+    /// (the modeled joules every report schema has); `freq_khz` and
+    /// `measured_j` default to base / unmeasured when absent, so PR 4-era
+    /// sweeps (no frequency axis yet) still calibrate as one base row.
+    pub fn from_jsonl(text: &str) -> Result<Self, String> {
+        let mut rows: Vec<ResidualRow> = Vec::new();
+        for (n, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let modeled: f64 = json_value(line, "energy_j")
+                .ok_or_else(|| format!("line {}: no energy_j field", n + 1))?
+                .parse()
+                .map_err(|_| format!("line {}: energy_j is not a number", n + 1))?;
+            // A refused cap (`freq_applied: false`) ran — and was modeled
+            // — at base frequency; pooling it into the *requested*
+            // frequency's row would attribute base-frequency joules to a
+            // P-state nothing ran at. Key such cells by what they actually
+            // ran at.
+            let applied = json_value(line, "freq_applied") != Some("false");
+            let freq_khz = match json_value(line, "freq_khz") {
+                _ if !applied => None,
+                None | Some("null") => None,
+                Some(v) => {
+                    Some(v.parse().map_err(|_| format!("line {}: bad freq_khz {v}", n + 1))?)
+                }
+            };
+            let measured: Option<f64> = match json_value(line, "measured_j") {
+                None | Some("null") => None,
+                Some(v) => {
+                    Some(v.parse().map_err(|_| format!("line {}: bad measured_j {v}", n + 1))?)
+                }
+            };
+            let row = match rows.iter_mut().find(|r| r.freq_khz == freq_khz) {
+                Some(row) => row,
+                None => {
+                    rows.push(ResidualRow {
+                        freq_khz,
+                        cells: 0,
+                        measured_cells: 0,
+                        measured_j: 0.0,
+                        modeled_j: 0.0,
+                    });
+                    rows.last_mut().expect("just pushed")
+                }
+            };
+            row.cells += 1;
+            if let Some(m) = measured {
+                row.measured_cells += 1;
+                row.measured_j += m;
+                row.modeled_j += modeled;
+            }
+        }
+        // Base first, then ascending frequency: the reading order of a
+        // ladder.
+        rows.sort_by_key(|r| r.freq_khz.map_or((0, 0), |k| (1, k)));
+        Ok(Self { rows })
+    }
+
+    /// The per-frequency rows, base first then ascending kHz.
+    pub fn rows(&self) -> &[ResidualRow] {
+        &self.rows
+    }
+
+    /// `measured / modeled` pooled over every measured cell of the sweep;
+    /// `None` when nothing was measured.
+    pub fn overall_ratio(&self) -> Option<f64> {
+        let measured: f64 = self.rows.iter().map(|r| r.measured_j).sum();
+        let modeled: f64 = self.rows.iter().map(|r| r.modeled_j).sum();
+        (self.rows.iter().any(|r| r.measured_cells > 0) && modeled > 0.0)
+            .then(|| measured / modeled)
+    }
+
+    /// A power config scaled by the sweep's overall measured/modeled
+    /// ratio — the calibration fed back. `None` when the sweep carried no
+    /// measurements (there is nothing to recalibrate from).
+    pub fn recalibrated(&self, cfg: &PowerConfig) -> Option<PowerConfig> {
+        self.overall_ratio().map(|r| cfg.scaled(r))
+    }
+
+    /// The table as aligned text (the `store calibrate` default output).
+    pub fn to_text(&self) -> String {
+        let mut out =
+            String::from("freq_khz    cells  measured  measured_j      modeled_j       ratio\n");
+        for r in &self.rows {
+            let freq = r.freq_khz.map_or_else(|| "base".into(), |k| k.to_string());
+            let ratio = r.ratio().map_or_else(|| "-".into(), |x| format!("{x:.4}"));
+            out.push_str(&format!(
+                "{freq:<11} {:<6} {:<9} {:<15.6} {:<15.6} {ratio}\n",
+                r.cells, r.measured_cells, r.measured_j, r.modeled_j,
+            ));
+        }
+        let overall = self.overall_ratio().map_or_else(|| "-".into(), |x| format!("{x:.4}"));
+        out.push_str(&format!("overall measured/modeled ratio: {overall}\n"));
+        out
+    }
+
+    /// The table as CSV (machine-readable calibrate output).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("freq_khz,cells,measured_cells,measured_j,modeled_j,ratio\n");
+        for r in &self.rows {
+            let freq = r.freq_khz.map_or_else(|| "base".into(), |k| k.to_string());
+            let ratio = r.ratio().map_or_else(|| "null".into(), |x| format!("{x}"));
+            out.push_str(&format!(
+                "{freq},{},{},{},{},{ratio}\n",
+                r.cells, r.measured_cells, r.measured_j, r.modeled_j,
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(freq: &str, measured: &str, modeled: f64) -> String {
+        format!(
+            "{{\"scenario\":\"kv-cap-uniform\",\"workload\":\"kv/8sh,x\",\"lock\":\"MUTEXEE\",\
+             \"energy_j\":{modeled},\"measured_j\":{measured},\"freq_khz\":{freq},\
+             \"freq_applied\":true}}"
+        )
+    }
+
+    #[test]
+    fn groups_by_frequency_and_computes_ratios() {
+        let jsonl = [
+            cell("1200000", "2.0", 4.0),
+            cell("1200000", "1.0", 2.0),
+            cell("2800000", "9.0", 6.0),
+            cell("null", "null", 5.0),
+            String::new(),
+        ]
+        .join("\n");
+        let t = CalibrationTable::from_jsonl(&jsonl).expect("parses");
+        assert_eq!(t.rows().len(), 3);
+        // Base row first, then ascending kHz.
+        assert_eq!(t.rows()[0].freq_khz, None);
+        assert_eq!(t.rows()[0].cells, 1);
+        assert_eq!(t.rows()[0].measured_cells, 0);
+        assert_eq!(t.rows()[0].ratio(), None, "model-only cells have no ratio");
+        let low = &t.rows()[1];
+        assert_eq!(low.freq_khz, Some(1_200_000));
+        assert_eq!((low.cells, low.measured_cells), (2, 2));
+        assert!((low.ratio().unwrap() - 0.5).abs() < 1e-12);
+        let high = &t.rows()[2];
+        assert!((high.ratio().unwrap() - 1.5).abs() < 1e-12);
+        // Pooled: (2+1+9) / (4+2+6) = 1.0.
+        assert!((t.overall_ratio().unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn refused_caps_pool_into_the_base_row() {
+        // freq_applied=false cells ran (and were modeled) at base; the
+        // requested frequency must not get a row built from base data.
+        let refused = "{\"scenario\":\"kv-cap-uniform\",\"energy_j\":2.0,\"measured_j\":3.0,\
+                       \"freq_khz\":1200000,\"freq_applied\":false}";
+        let jsonl = [cell("null", "4.0", 4.0), refused.into()].join("\n");
+        let t = CalibrationTable::from_jsonl(&jsonl).unwrap();
+        assert_eq!(t.rows().len(), 1, "refused cap must not mint a 1200000 row: {t:?}");
+        assert_eq!(t.rows()[0].freq_khz, None);
+        assert_eq!(t.rows()[0].cells, 2);
+        assert!((t.rows()[0].ratio().unwrap() - 7.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pre_frequency_sweeps_calibrate_as_one_base_row() {
+        // PR 4-era schema: no freq_khz column at all.
+        let jsonl = "{\"scenario\":\"kv-zipf\",\"energy_j\":3.0,\"measured_j\":6.0}\n\
+                     {\"scenario\":\"kv-zipf\",\"energy_j\":1.0,\"measured_j\":2.0}";
+        let t = CalibrationTable::from_jsonl(jsonl).unwrap();
+        assert_eq!(t.rows().len(), 1);
+        assert_eq!(t.rows()[0].freq_khz, None);
+        assert!((t.overall_ratio().unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unmeasured_sweeps_have_no_ratio_and_no_recalibration() {
+        let jsonl = cell("1200000", "null", 4.0);
+        let t = CalibrationTable::from_jsonl(&jsonl).unwrap();
+        assert_eq!(t.overall_ratio(), None);
+        assert!(t.recalibrated(&PowerConfig::xeon()).is_none());
+        assert!(t.to_text().contains("overall measured/modeled ratio: -"));
+    }
+
+    #[test]
+    fn recalibration_scales_the_power_config() {
+        let jsonl = cell("2800000", "111.0", 55.5);
+        let t = CalibrationTable::from_jsonl(&jsonl).unwrap();
+        let cfg = t.recalibrated(&PowerConfig::xeon()).expect("measured sweep recalibrates");
+        // The Xeon idles at 55.5 W; a 2x ratio doubles it.
+        assert!((cfg.idle_power_w(2) - 111.0).abs() < 1e-9);
+        assert_eq!(cfg.base_khz, PowerConfig::xeon().base_khz, "frequencies are not watts");
+    }
+
+    #[test]
+    fn malformed_lines_are_reported_with_their_number() {
+        let jsonl = format!("{}\n{{\"scenario\":\"x\"}}", cell("base", "1.0", 2.0));
+        // "base" is not valid JSON for freq_khz; line 1 errors.
+        assert!(CalibrationTable::from_jsonl(&jsonl).unwrap_err().contains("line 1"));
+        let jsonl = format!("{}\n{{\"scenario\":\"x\"}}", cell("null", "1.0", 2.0));
+        assert!(CalibrationTable::from_jsonl(&jsonl).unwrap_err().contains("line 2"));
+    }
+
+    #[test]
+    fn sinks_render_both_shapes() {
+        let jsonl = [cell("null", "2.0", 4.0), cell("1200000", "1.0", 2.0)].join("\n");
+        let t = CalibrationTable::from_jsonl(&jsonl).unwrap();
+        let text = t.to_text();
+        assert!(text.starts_with("freq_khz"), "{text}");
+        assert!(text.contains("base") && text.contains("1200000"));
+        assert!(text.contains("0.5000"));
+        let csv = t.to_csv();
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.lines().nth(1).unwrap().starts_with("base,1,1,2,4,0.5"), "{csv}");
+    }
+}

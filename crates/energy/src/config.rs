@@ -173,6 +173,37 @@ impl PowerConfig {
         self.class_power[idx] = power;
     }
 
+    /// Returns the calibration with every power component scaled by
+    /// `factor` (> 0): static, uncore, DRAM background and all
+    /// per-activity dynamic powers. Frequencies, C-state factors and the
+    /// mwait multiplier are ratios or clocks, not watts, and stay put.
+    ///
+    /// This is the feedback path for measured-vs-modeled residual
+    /// tracking: a capped sweep's overall `measured_j / modeled_j` ratio
+    /// applied here shifts the whole model onto the measured host.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `factor` is not a positive finite number.
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> Self {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "power scale factor must be positive and finite, got {factor}"
+        );
+        let scale_d = |d: DomainPower| DomainPower::new(d.min_w * factor, d.max_w * factor);
+        let mut out = self.clone();
+        out.pkg_static_w *= factor;
+        out.uncore_w = scale_d(out.uncore_w);
+        out.core_static_w = scale_d(out.core_static_w);
+        out.dram_background_w *= factor;
+        for cp in &mut out.class_power {
+            cp.core_w = scale_d(cp.core_w);
+            cp.dram_w = scale_d(cp.dram_w);
+        }
+        out
+    }
+
     /// Converts base-frequency cycles to seconds.
     pub fn cycles_to_seconds(&self, cycles: u64) -> f64 {
         cycles as f64 / (self.base_khz as f64 * 1e3)
@@ -229,6 +260,32 @@ mod tests {
             ClassPower { core_w: DomainPower::flat(9.0), dram_w: DomainPower::flat(0.0) },
         );
         assert_eq!(cfg.class(ActivityClass::LocalSpin).core_w.at(0.3), 9.0);
+    }
+
+    #[test]
+    fn scaled_multiplies_watts_only() {
+        let cfg = PowerConfig::xeon().scaled(2.0);
+        assert!((cfg.idle_power_w(2) - 111.0).abs() < 1e-9);
+        assert_eq!(cfg.base_khz, PowerConfig::xeon().base_khz);
+        assert_eq!(cfg.min_khz, PowerConfig::xeon().min_khz);
+        assert_eq!(cfg.cstate_factor, PowerConfig::xeon().cstate_factor);
+        let base = PowerConfig::xeon();
+        for class in ActivityClass::ALL {
+            assert!(
+                (cfg.class(class).core_w.at(1.0) - 2.0 * base.class(class).core_w.at(1.0)).abs()
+                    < 1e-12
+            );
+            assert!(
+                (cfg.class(class).dram_w.at(0.0) - 2.0 * base.class(class).dram_w.at(0.0)).abs()
+                    < 1e-12
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn scaled_rejects_nonpositive_factors() {
+        let _ = PowerConfig::xeon().scaled(0.0);
     }
 
     #[test]

@@ -44,7 +44,18 @@ impl VfPoint {
 
     /// Position of this point between `min_khz` and `max_khz`, clamped to
     /// `[0, 1]`. Used to interpolate calibrated power endpoints.
+    ///
+    /// A degenerate range with *equal* endpoints has only one operating
+    /// point, so the interpolation collapses to the (identical) maximum
+    /// endpoint and 1.0 comes back. *Reversed* endpoints are a caller
+    /// bug — a calibration with `min > max` would silently pin every
+    /// component at its "max" power — and trip a debug assertion; release
+    /// builds keep the old lenient 1.0.
     pub fn fraction(&self, min_khz: u64, max_khz: u64) -> f64 {
+        debug_assert!(
+            min_khz <= max_khz,
+            "reversed VF range: min {min_khz} kHz > max {max_khz} kHz"
+        );
         if max_khz <= min_khz {
             return 1.0;
         }
@@ -78,7 +89,26 @@ mod tests {
 
     #[test]
     fn degenerate_range_maps_to_max() {
+        // Equal endpoints: one operating point, fraction 1.0 — wherever
+        // the query sits relative to it.
         assert_eq!(VfPoint::new(500).fraction(500, 500), 1.0);
+        assert_eq!(VfPoint::new(100).fraction(500, 500), 1.0);
+        assert_eq!(VfPoint::new(900).fraction(500, 500), 1.0);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "reversed VF range")]
+    fn reversed_range_is_a_debug_assertion() {
+        let _ = VfPoint::new(1_000).fraction(2_800_000, 1_200_000);
+    }
+
+    #[test]
+    fn boundary_above_equal_endpoints_is_not_reversed() {
+        // min == max must take the degenerate branch, not the assertion:
+        // the boundary between "collapsed" and "reversed" is exact.
+        assert_eq!(VfPoint::new(1).fraction(u64::MAX, u64::MAX), 1.0);
+        assert_eq!(VfPoint::new(1).fraction(0, 0), 1.0);
     }
 
     #[test]

@@ -33,7 +33,7 @@
 //!
 //! let fake = FakeRapl::new("doc");
 //! fake.domain(0, "package-0", 0);
-//! let sampler = RaplSampler::probe_at(fake.root(), Duration::from_millis(10)).unwrap();
+//! let sampler = RaplSampler::probe_at(fake.root(), Duration::from_millis(10)).unwrap().unwrap();
 //! fake.advance(0, 2_000_000); // warmup: excluded below
 //! sampler.start_window();
 //! fake.advance(0, 1_000_000); // the measured phase
@@ -50,5 +50,5 @@ pub mod testfs;
 
 pub use meter::{EnergyMeter, EnergySample, TppMeter, TppReport};
 pub use rapl::{RaplDomain, RaplReader, RaplSample};
-pub use sampler::{EnergySource, MeasuredEnergy, MeasuredReading, RaplSampler};
+pub use sampler::{EnergySource, MeasuredEnergy, MeasuredReading, RaplSampler, ZeroInterval};
 pub use testfs::FakeRapl;

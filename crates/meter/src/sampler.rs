@@ -56,6 +56,23 @@ impl EnergySource {
     }
 }
 
+/// Rejected sampler configuration: a zero polling interval.
+///
+/// A zero interval makes every background sleep slice "due" immediately,
+/// so the sampler thread would poll the counters as fast as the kernel
+/// serves reads — a hot loop burning exactly the energy the meter is
+/// supposed to observe. Constructors reject it instead of spinning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ZeroInterval;
+
+impl std::fmt::Display for ZeroInterval {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "RAPL sampling interval must be non-zero (zero would spin the sampler hot)")
+    }
+}
+
+impl std::error::Error for ZeroInterval {}
+
 /// Cumulative measured energy since a sampler started: monotonically
 /// non-decreasing counters that never wrap (u64 micro-joules overflow
 /// after half a million years at typical package power). Diff two
@@ -178,20 +195,31 @@ impl std::fmt::Debug for RaplSampler {
 }
 
 impl RaplSampler {
-    /// Probes `/sys/class/powercap` and starts sampling; `None` when the
-    /// host exposes no RAPL.
-    pub fn probe(interval: Duration) -> Option<Self> {
-        RaplReader::probe().map(|r| Self::from_reader(r, interval))
+    /// Probes `/sys/class/powercap` and starts sampling; `Ok(None)` when
+    /// the host exposes no RAPL, `Err` on a rejected configuration (a
+    /// zero interval).
+    pub fn probe(interval: Duration) -> Result<Option<Self>, ZeroInterval> {
+        if interval.is_zero() {
+            return Err(ZeroInterval);
+        }
+        RaplReader::probe().map(|r| Self::from_reader(r, interval)).transpose()
     }
 
     /// [`RaplSampler::probe`] rooted at an arbitrary directory (fake
     /// sysfs trees in tests, `POLY_RAPL_ROOT` in the CLIs).
-    pub fn probe_at(root: &Path, interval: Duration) -> Option<Self> {
-        RaplReader::probe_at(root).map(|r| Self::from_reader(r, interval))
+    pub fn probe_at(root: &Path, interval: Duration) -> Result<Option<Self>, ZeroInterval> {
+        if interval.is_zero() {
+            return Err(ZeroInterval);
+        }
+        RaplReader::probe_at(root).map(|r| Self::from_reader(r, interval)).transpose()
     }
 
-    /// Starts a sampler over an already-probed reader.
-    pub fn from_reader(reader: RaplReader, interval: Duration) -> Self {
+    /// Starts a sampler over an already-probed reader. Rejects a zero
+    /// `interval` (see [`ZeroInterval`]).
+    pub fn from_reader(reader: RaplReader, interval: Duration) -> Result<Self, ZeroInterval> {
+        if interval.is_zero() {
+            return Err(ZeroInterval);
+        }
         let inner = Arc::new(SamplerInner {
             reader,
             state: Mutex::new(SamplerState {
@@ -209,7 +237,7 @@ impl RaplSampler {
                 .spawn(move || sampler_loop(&inner, interval))
                 .expect("spawn RAPL sampler thread")
         };
-        Self { inner, thread: Some(thread) }
+        Ok(Self { inner, thread: Some(thread) })
     }
 
     /// The domains being sampled.
@@ -289,7 +317,21 @@ mod tests {
 
     #[test]
     fn probe_without_rapl_is_none() {
-        assert!(RaplSampler::probe_at(Path::new("/nonexistent-rapl"), TICK).is_none());
+        assert!(RaplSampler::probe_at(Path::new("/nonexistent-rapl"), TICK).unwrap().is_none());
+    }
+
+    #[test]
+    fn zero_interval_is_a_config_error_not_a_hot_loop() {
+        let fake = FakeRapl::new("sampler-zero");
+        fake.domain(0, "package-0", 0);
+        let err = RaplSampler::probe_at(fake.root(), Duration::ZERO).unwrap_err();
+        assert_eq!(err, ZeroInterval);
+        assert!(err.to_string().contains("non-zero"), "unhelpful error: {err}");
+        // A RAPL-less host with a zero interval still reports the config
+        // error first: the bad interval is the caller's bug either way.
+        assert!(RaplSampler::probe_at(Path::new("/nonexistent-rapl"), Duration::ZERO).is_err());
+        // The smallest valid interval constructs fine.
+        assert!(RaplSampler::probe_at(fake.root(), Duration::from_nanos(1)).unwrap().is_some());
     }
 
     #[test]
@@ -297,7 +339,7 @@ mod tests {
         let fake = FakeRapl::new("sampler-acc");
         fake.named_domain("intel-rapl:0", "package-0", 1_000);
         fake.named_domain("intel-rapl:0:1", "dram", 500);
-        let s = RaplSampler::probe_at(fake.root(), Duration::from_secs(3600)).unwrap();
+        let s = RaplSampler::probe_at(fake.root(), Duration::from_secs(3600)).unwrap().unwrap();
         let r0 = s.reading();
         fake.advance(0, 2_000_000);
         let d = fake.root().join("intel-rapl:0:1");
@@ -319,7 +361,7 @@ mod tests {
     fn window_excludes_warmup_energy() {
         let fake = FakeRapl::new("sampler-window");
         fake.domain(0, "package-0", 0);
-        let s = RaplSampler::probe_at(fake.root(), Duration::from_secs(3600)).unwrap();
+        let s = RaplSampler::probe_at(fake.root(), Duration::from_secs(3600)).unwrap().unwrap();
         fake.advance(0, 5_000_000); // warmup burn: must not be charged
         s.start_window();
         fake.advance(0, 1_500_000); // measured burn
@@ -337,7 +379,7 @@ mod tests {
         // corrects wraparound.
         let fake = FakeRapl::new("sampler-wrap");
         fake.domain(0, "package-0", FakeRapl::RANGE_UJ - 1_000);
-        let s = RaplSampler::probe_at(fake.root(), TICK).unwrap();
+        let s = RaplSampler::probe_at(fake.root(), TICK).unwrap().unwrap();
         let r0 = s.reading();
         let mut expected = 0u64;
         for _ in 0..2 {
@@ -360,7 +402,7 @@ mod tests {
     fn drop_joins_the_thread_quickly() {
         let fake = FakeRapl::new("sampler-drop");
         fake.domain(0, "package-0", 0);
-        let s = RaplSampler::probe_at(fake.root(), Duration::from_secs(3600)).unwrap();
+        let s = RaplSampler::probe_at(fake.root(), Duration::from_secs(3600)).unwrap().unwrap();
         let t0 = std::time::Instant::now();
         drop(s);
         assert!(t0.elapsed() < Duration::from_secs(2), "drop hung on the sampler thread");

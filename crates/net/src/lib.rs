@@ -157,8 +157,9 @@ mod tests {
 
         let fake = FakeRapl::new("net-measured");
         fake.domain(0, "package-0", 0);
-        let sampler =
-            Arc::new(RaplSampler::probe_at(fake.root(), Duration::from_millis(2)).unwrap());
+        let sampler = Arc::new(
+            RaplSampler::probe_at(fake.root(), Duration::from_millis(2)).unwrap().unwrap(),
+        );
         let mix = KvMix { keys: 1_024, ..KvMix::uniform() }.with_shards(4);
         let store =
             Arc::new(PolyStore::new(StoreConfig { shards: mix.shards, lock: LockKind::Mutexee }));

@@ -42,4 +42,6 @@ mod synth;
 
 pub use registry::{Registry, RegistryEntry};
 pub use spec::{parse_lock, MachineKind, ScenarioSpec, WorkloadSpec};
-pub use sweep::{cross, cross_shards, write_reports, CellReport, SinkFormat, SweepRunner};
+pub use sweep::{
+    cross, cross_capped, cross_shards, write_reports, CellReport, SinkFormat, SweepRunner,
+};

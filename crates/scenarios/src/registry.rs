@@ -29,7 +29,7 @@ impl Registry {
     /// the count lives. Adding a scenario means bumping this constant
     /// (builtin() asserts the two agree), and every count check in the
     /// workspace references it instead of hard-coding a number.
-    pub const BUILTIN_LEN: usize = 22;
+    pub const BUILTIN_LEN: usize = 24;
 
     /// An empty registry.
     pub fn new() -> Self {
@@ -152,6 +152,30 @@ impl Registry {
                     batch: 16,
                     ..KvMix::write_burst()
                 }),
+            )
+            .with_threads(8),
+        );
+
+        // -- The `kv-cap` family: mixes sized for frequency-capped
+        // sweeps (small keyspaces so a full `--freq` ladder of cells
+        // finishes fast; sweep them with `store sweep --freq
+        // base,<khz,...>` on a cappable host, or simulated here with
+        // `scenarios sweep --freq`) --------------------------------------
+        add(
+            &mut reg,
+            "kv-cap family: read-mostly uniform traffic swept across a frequency ladder",
+            ScenarioSpec::new(
+                "kv-cap-uniform",
+                WorkloadSpec::Kv(KvMix { keys: 8_192, shards: 8, ..KvMix::uniform() }),
+            )
+            .with_threads(8),
+        );
+        add(
+            &mut reg,
+            "kv-cap family: hot Zipf keys under DVFS — where spin-vs-sleep rankings invert",
+            ScenarioSpec::new(
+                "kv-cap-zipf",
+                WorkloadSpec::Kv(KvMix { keys: 8_192, shards: 8, ..KvMix::zipf_hot() }),
             )
             .with_threads(8),
         );

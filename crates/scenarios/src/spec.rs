@@ -193,6 +193,11 @@ pub struct ScenarioSpec {
     pub warmup: Cycles,
     /// Deterministic seed for every random stream of the run.
     pub seed: u64,
+    /// Frequency cap in kHz (the `--freq` sweep axis): the simulated
+    /// machine starts every core at this VF point, clamped into the
+    /// machine's DVFS range — the simulated equivalent of a
+    /// `scaling_max_freq` write before the run. `None` = base frequency.
+    pub freq_khz: Option<u64>,
 }
 
 impl ScenarioSpec {
@@ -208,6 +213,7 @@ impl ScenarioSpec {
             duration: 20_000_000,
             warmup: 2_000_000,
             seed: 0xC0FF_EE00,
+            freq_khz: None,
         }
     }
 
@@ -244,6 +250,13 @@ impl ScenarioSpec {
     #[must_use]
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Returns the spec with a different frequency cap (`None` = base).
+    #[must_use]
+    pub fn with_freq(mut self, freq_khz: Option<u64>) -> Self {
+        self.freq_khz = freq_khz;
         self
     }
 
@@ -297,6 +310,7 @@ impl ScenarioSpec {
     pub fn run(&self) -> SimReport {
         assert!(self.warmup < self.duration, "warmup must be shorter than the duration");
         let mut b = SimBuilder::new(self.machine.config());
+        b.config_mut().cap_khz = self.freq_khz;
         b.seed(self.seed);
         self.build_into(&mut b);
         b.run(RunSpec { duration: self.duration, warmup: self.warmup })
@@ -307,7 +321,7 @@ impl ScenarioSpec {
     pub fn to_json(&self) -> String {
         format!(
             "{{\"name\":{},\"machine\":\"{}\",\"workload\":{},\"lock\":\"{}\",\
-             \"threads\":{},\"duration\":{},\"warmup\":{},\"seed\":{}}}",
+             \"threads\":{},\"duration\":{},\"warmup\":{},\"seed\":{},\"freq_khz\":{}}}",
             json_str(&self.name),
             self.machine.label(),
             json_str(&self.workload.label()),
@@ -316,6 +330,7 @@ impl ScenarioSpec {
             self.duration,
             self.warmup,
             self.seed,
+            self.freq_khz.map_or_else(|| "null".into(), |k| k.to_string()),
         )
     }
 }

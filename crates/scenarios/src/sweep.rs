@@ -60,6 +60,36 @@ pub fn cross_shards(
     cross_inner(&expanded, locks, thread_counts, base_seed)
 }
 
+/// [`cross_shards`] with a fifth axis: frequency caps, applied to every
+/// workload (`None` points mean base frequency — see
+/// [`ScenarioSpec::with_freq`](crate::ScenarioSpec::with_freq)). An empty
+/// `freq_points` behaves exactly like [`cross_shards`].
+///
+/// Like the lock and shard axes, frequency is *excluded* from the cell
+/// seed: cells that differ only in cap replay the same workload stream,
+/// so frequency comparisons divide measurements of identical runs
+/// (common random numbers — the paper's frequency figures normalize
+/// against the base P-state).
+pub fn cross_capped(
+    bases: &[ScenarioSpec],
+    locks: &[LockKind],
+    thread_counts: &[usize],
+    shard_counts: &[usize],
+    freq_points: &[Option<u64>],
+    base_seed: u64,
+) -> Vec<ScenarioSpec> {
+    let cells = cross_shards(bases, locks, thread_counts, shard_counts, base_seed);
+    if freq_points.is_empty() {
+        return cells;
+    }
+    cells
+        .into_iter()
+        .flat_map(|cell| {
+            freq_points.iter().map(move |&point| cell.clone().with_freq(point)).collect::<Vec<_>>()
+        })
+        .collect()
+}
+
 fn cross_inner(
     bases: &[ScenarioSpec],
     locks: &[LockKind],
@@ -159,9 +189,22 @@ pub struct CellReport {
     pub measured_j: Option<f64>,
     /// Measured microjoules per operation (`None` like `measured_j`).
     pub measured_uj_per_op: Option<f64>,
+    /// Measured package-domain joules — the per-domain split of
+    /// `measured_j` (`None` like it).
+    pub measured_pkg_j: Option<f64>,
+    /// Measured DRAM-domain joules (`None` like `measured_j`).
+    pub measured_dram_j: Option<f64>,
     /// Where the cell's joules come from: `"modeled"` for every simulated
     /// cell (the Xeon power model), `"rapl"` when the native CLI measured.
     pub energy_source: EnergySource,
+    /// The cell's frequency cap in kHz (`None` = base frequency).
+    pub freq_khz: Option<u64>,
+    /// Whether the cap was actually in force: always true for a capped
+    /// simulated cell (the simulator applies it exactly); the native CLI
+    /// reports `false` when the host's cpufreq refused the write (the
+    /// cell then ran — and was modeled — at base, never silently
+    /// pretending).
+    pub freq_applied: bool,
     /// Median lock-acquisition latency in cycles.
     pub p50_acq_cycles: u64,
     /// 99th-percentile lock-acquisition latency in cycles.
@@ -173,6 +216,12 @@ pub struct CellReport {
 impl CellReport {
     /// Distills a simulation report into a cell report.
     pub fn from_sim(spec: &ScenarioSpec, r: &SimReport) -> Self {
+        // `SimReport::cap_khz` is the engine's *effective* cap (the
+        // request clamped into the machine's DVFS range), so the report
+        // names the frequency the cell actually ran at — the native
+        // `store` CLI likewise reports the clamped applied cap, and
+        // calibrate keys residual rows by real operating points.
+        let freq_khz = r.cap_khz;
         Self {
             scenario: spec.name.clone(),
             workload: spec.workload.label(),
@@ -190,7 +239,11 @@ impl CellReport {
             epo_uj: r.epo() * 1e6,
             measured_j: None,
             measured_uj_per_op: None,
+            measured_pkg_j: None,
+            measured_dram_j: None,
             energy_source: EnergySource::Modeled,
+            freq_khz,
+            freq_applied: freq_khz.is_some(),
             p50_acq_cycles: r.acquire_latency.percentile(50.0),
             p99_acq_cycles: r.acquire_latency.percentile(99.0),
             max_acq_cycles: r.acquire_latency.max(),
@@ -204,7 +257,9 @@ impl CellReport {
              \"lock\":\"{}\",\"threads\":{},\
              \"seed\":{},\"measured_cycles\":{},\"total_ops\":{},\"throughput\":{},\
              \"avg_power_w\":{},\"energy_j\":{},\"tpp\":{},\"epo_uj\":{},\
-             \"measured_j\":{},\"measured_uj_per_op\":{},\"energy_source\":\"{}\",\
+             \"measured_j\":{},\"measured_uj_per_op\":{},\"measured_pkg_j\":{},\
+             \"measured_dram_j\":{},\"energy_source\":\"{}\",\"freq_khz\":{},\
+             \"freq_applied\":{},\
              \"p50_acq_cycles\":{},\"p99_acq_cycles\":{},\"max_acq_cycles\":{}}}",
             json_str(&self.scenario),
             json_str(&self.workload),
@@ -222,7 +277,11 @@ impl CellReport {
             json_f64(self.epo_uj),
             json_opt_f64(self.measured_j),
             json_opt_f64(self.measured_uj_per_op),
+            json_opt_f64(self.measured_pkg_j),
+            json_opt_f64(self.measured_dram_j),
             self.energy_source.label(),
+            json_opt_u64(self.freq_khz),
+            self.freq_applied,
             self.p50_acq_cycles,
             self.p99_acq_cycles,
             self.max_acq_cycles,
@@ -232,12 +291,13 @@ impl CellReport {
     /// The CSV column header matching [`CellReport::to_csv`].
     pub const CSV_HEADER: &'static str = "scenario,workload,machine,transport,lock,threads,seed,\
         measured_cycles,total_ops,throughput,avg_power_w,energy_j,tpp,epo_uj,measured_j,\
-        measured_uj_per_op,energy_source,p50_acq_cycles,p99_acq_cycles,max_acq_cycles";
+        measured_uj_per_op,measured_pkg_j,measured_dram_j,energy_source,freq_khz,freq_applied,\
+        p50_acq_cycles,p99_acq_cycles,max_acq_cycles";
 
     /// Serializes the report as one CSV row.
     pub fn to_csv(&self) -> String {
         format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             csv_str(&self.scenario),
             csv_str(&self.workload),
             self.machine,
@@ -254,7 +314,11 @@ impl CellReport {
             json_f64(self.epo_uj),
             json_opt_f64(self.measured_j),
             json_opt_f64(self.measured_uj_per_op),
+            json_opt_f64(self.measured_pkg_j),
+            json_opt_f64(self.measured_dram_j),
             self.energy_source.label(),
+            json_opt_u64(self.freq_khz),
+            self.freq_applied,
             self.p50_acq_cycles,
             self.p99_acq_cycles,
             self.max_acq_cycles,
@@ -276,6 +340,11 @@ fn json_f64(v: f64) -> String {
 /// sinks, so the measured columns always exist and parse uniformly.
 fn json_opt_f64(v: Option<f64>) -> String {
     v.map_or_else(|| "null".into(), json_f64)
+}
+
+/// Formats an optional integer the same way (`freq_khz`: `null` = base).
+fn json_opt_u64(v: Option<u64>) -> String {
+    v.map_or_else(|| "null".into(), |x| x.to_string())
 }
 
 /// Quotes a CSV field when it contains a delimiter, quote or newline
@@ -471,6 +540,69 @@ mod tests {
     }
 
     #[test]
+    fn freq_axis_expands_every_cell_and_shares_seeds() {
+        let cells = cross_capped(
+            &[tiny_stress("a")],
+            &[LockKind::Ttas, LockKind::Mutex],
+            &[2],
+            &[],
+            &[None, Some(1_200_000)],
+            99,
+        );
+        assert_eq!(cells.len(), 4);
+        let freqs: Vec<Option<u64>> = cells.iter().map(|c| c.freq_khz).collect();
+        assert_eq!(freqs, [None, Some(1_200_000), None, Some(1_200_000)]);
+        // Common random numbers across the frequency axis: capped and
+        // base cells replay the same stream.
+        assert_eq!(cells[0].seed, cells[1].seed);
+        // An empty frequency axis is exactly cross_shards.
+        let a = cross_capped(&[tiny_stress("a")], &[LockKind::Ttas], &[2], &[], &[], 99);
+        let b = cross_shards(&[tiny_stress("a")], &[LockKind::Ttas], &[2], &[], 99);
+        assert_eq!(a, b);
+        assert_eq!(a[0].freq_khz, None);
+    }
+
+    #[test]
+    fn capped_cells_report_their_frequency_and_lower_power() {
+        let base = tiny_stress("cap");
+        let cells =
+            cross_capped(&[base], &[LockKind::Ttas], &[2], &[], &[None, Some(1_200_000)], 5);
+        let reports = SweepRunner::with_workers(1).run(&cells);
+        assert_eq!(reports.len(), 2);
+        let (uncapped, capped) = (&reports[0], &reports[1]);
+        assert_eq!(uncapped.freq_khz, None);
+        assert!(!uncapped.freq_applied);
+        assert_eq!(capped.freq_khz, Some(1_200_000));
+        assert!(capped.freq_applied, "the simulator always applies a requested cap");
+        assert!(
+            capped.avg_power_w < uncapped.avg_power_w,
+            "DVFS must lower modeled power: {} vs {}",
+            capped.avg_power_w,
+            uncapped.avg_power_w
+        );
+        assert!(
+            capped.total_ops < uncapped.total_ops,
+            "a capped core retires less work per wall-clock"
+        );
+        let json = capped.to_json();
+        assert!(json.contains("\"freq_khz\":1200000,\"freq_applied\":true"), "{json}");
+        let json = uncapped.to_json();
+        assert!(json.contains("\"freq_khz\":null,\"freq_applied\":false"), "{json}");
+    }
+
+    #[test]
+    fn reported_frequency_is_the_clamped_effective_cap() {
+        // The engine clamps a below-range cap to the DVFS floor; the
+        // report must carry that effective frequency (what the cell ran
+        // at), not the raw request — same contract as the native CLI.
+        let cells = cross_capped(&[tiny_stress("clamp")], &[], &[], &[], &[Some(500)], 5);
+        let reports = SweepRunner::with_workers(1).run(&cells);
+        // Tiny runs the Xeon power calibration: floor 1.2 GHz.
+        assert_eq!(reports[0].freq_khz, Some(1_200_000), "unclamped request leaked");
+        assert!(reports[0].freq_applied);
+    }
+
+    #[test]
     fn runner_order_is_input_order_and_parallelism_invariant() {
         let cells = cross(
             &[tiny_stress("a"), tiny_stress("b")],
@@ -501,10 +633,12 @@ mod tests {
         let line = jsonl.lines().next().unwrap();
         assert!(line.starts_with('{') && line.ends_with('}'));
         assert!(line.contains("\"throughput\":") && line.contains("\"epo_uj\":"));
-        // Simulated cells always carry the measured columns, empty, with
-        // modeled provenance.
+        // Simulated cells always carry the measured columns — total and
+        // per-domain — empty, with modeled provenance, at base frequency.
         assert!(line.contains("\"measured_j\":null,\"measured_uj_per_op\":null"));
+        assert!(line.contains("\"measured_pkg_j\":null,\"measured_dram_j\":null"));
         assert!(line.contains("\"energy_source\":\"modeled\""));
+        assert!(line.contains("\"freq_khz\":null,\"freq_applied\":false"));
 
         let mut csv = Vec::new();
         write_reports(&mut csv, SinkFormat::Csv, &reports).unwrap();

@@ -182,6 +182,13 @@ pub struct MachineConfig {
     pub mwait: MwaitConfig,
     /// OS-path costs.
     pub os: OsConfig,
+    /// Frequency cap in kHz applied to every core at start (the
+    /// simulated equivalent of writing `scaling_max_freq` before the
+    /// run): execution slows by `base/cap` and the power model prices
+    /// the capped VF point. `None` runs at the base frequency. Programs
+    /// that issue their own `Op::SetVf` override it per context, exactly
+    /// like a runtime sysfs write would.
+    pub cap_khz: Option<u64>,
 }
 
 impl MachineConfig {
@@ -221,6 +228,7 @@ impl MachineConfig {
             idle: IdleConfig::default(),
             mwait: MwaitConfig::default(),
             os: OsConfig::default(),
+            cap_khz: None,
         }
     }
 

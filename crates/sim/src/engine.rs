@@ -170,6 +170,12 @@ impl Engine {
         let order = shape.paper_pin_order();
         let mut sched = Scheduler::new(cfg.sched.clone(), shape.contexts(), order.clone());
         let max_vf = VfPoint::new(cfg.power.base_khz);
+        // A configured frequency cap starts every core below base, like a
+        // sysfs scaling_max_freq written before the run.
+        let init_vf = match effective_cap_khz(&cfg) {
+            Some(khz) => VfPoint::new(khz),
+            None => max_vf,
+        };
         let mut power = PowerModel::new(cfg.power.clone(), shape);
         let mut slots = Vec::with_capacity(programs.len());
         let n = programs.len();
@@ -196,6 +202,7 @@ impl Engine {
         // Cores start in shallow idle (the machine was "just in use").
         for core in 0..shape.cores() {
             power.set_core_idle(core, CoreIdleState::C1);
+            power.set_core_vf(core, init_vf);
         }
         let watchers = vec![Vec::new(); mem.len()];
         Self {
@@ -213,12 +220,16 @@ impl Engine {
                     current: None,
                     dispatch_time: 0,
                     preempt_pending: false,
-                    vf_req: max_vf,
+                    vf_req: init_vf,
                     spin: None,
                 })
                 .collect(),
             cores: (0..shape.cores())
-                .map(|_| CoreState { gen: 0, idle: CoreIdleState::C1, slowdown: 1.0 })
+                .map(|_| CoreState {
+                    gen: 0,
+                    idle: CoreIdleState::C1,
+                    slowdown: init_vf.slowdown(cfg.power.base_khz),
+                })
                 .collect(),
             watchers,
             cs: CsTracker::default(),
@@ -991,6 +1002,15 @@ impl Engine {
                 cycles: self.total_cpi.cycles - self.total_cpi_base.cycles,
                 instructions: self.total_cpi.instructions - self.total_cpi_base.instructions,
             },
+            cap_khz: effective_cap_khz(&self.cfg),
         }
     }
+}
+
+/// The effective initial frequency cap: the configured `cap_khz` clamped
+/// into the machine's calibrated DVFS range (so the power interpolation
+/// stays on its anchors). The one place the clamp lives — `new()` starts
+/// the cores here and `report()` publishes the same value.
+fn effective_cap_khz(cfg: &MachineConfig) -> Option<u64> {
+    cfg.cap_khz.map(|khz| khz.clamp(cfg.power.min_khz, cfg.power.base_khz))
 }

@@ -216,6 +216,12 @@ pub struct SimReport {
     pub wait_cpi: CpiCounter,
     /// Aggregate CPI over all activity.
     pub total_cpi: CpiCounter,
+    /// The *effective* frequency cap the machine started under, in kHz:
+    /// the configured [`cap_khz`](crate::MachineConfig::cap_khz) after
+    /// the engine clamped it into the machine's DVFS range. `None` when
+    /// the run was uncapped. Reports key frequency columns off this —
+    /// the engine's own value, never a re-derivation.
+    pub cap_khz: Option<u64>,
 }
 
 impl SimReport {

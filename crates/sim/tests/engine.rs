@@ -135,6 +135,32 @@ fn parallel_workers_scale() {
 }
 
 #[test]
+fn configured_frequency_cap_slows_execution_and_saves_power() {
+    let run_capped = |cap_khz| {
+        let mut b = SimBuilder::new(MachineConfig::tiny());
+        b.config_mut().cap_khz = cap_khz;
+        b.spawn(Box::new(Worker { cs: 1000 }), PinPolicy::PaperOrder);
+        b.run(RunSpec { duration: 10_000_000, warmup: 0 })
+    };
+    let base = run_capped(None);
+    // Half the Xeon's base clock: every work item takes twice the
+    // wall-clock cycles, and the power model prices the lower VF point.
+    let capped = run_capped(Some(1_400_000));
+    let ratio = base.total_ops as f64 / capped.total_ops as f64;
+    assert!((1.8..2.2).contains(&ratio), "half-clock throughput ratio {ratio}");
+    assert!(
+        capped.avg_power.total_w < base.avg_power.total_w,
+        "capped {} W >= base {} W",
+        capped.avg_power.total_w,
+        base.avg_power.total_w
+    );
+    // Caps clamp into the calibrated DVFS range instead of extrapolating.
+    let floor = run_capped(Some(1));
+    let min = run_capped(Some(1_200_000));
+    assert_eq!(floor.total_ops, min.total_ops, "below-range caps clamp to the DVFS floor");
+}
+
+#[test]
 fn tas_lock_preserves_mutual_exclusion_under_contention() {
     // The CsTracker panics on violation, so finishing is the assertion.
     let r = run_tiny(

@@ -17,7 +17,7 @@ use std::time::{Duration, Instant};
 use poly_locks_sim::LockKind;
 use poly_meter::{EnergySource, MeasuredEnergy, MeasuredReading};
 
-use crate::energy::{estimate, EnergyEstimate};
+use crate::energy::EnergyEstimate;
 use crate::stats::{HistogramSnapshot, LatencyHistogram, StatsSnapshot};
 use crate::store::PolyStore;
 use crate::workload::{KeySampler, KvMix, KvOp, Rng64};
@@ -149,6 +149,11 @@ pub struct LoadSpec {
     /// Entries inserted before the measured interval (warms the store so
     /// gets can hit). Keys `0..prefill` get value `key`.
     pub prefill: u64,
+    /// Frequency cap (kHz) the host is running under for this load, if
+    /// one was *actually applied* (see `poly-cap`); prices the modeled
+    /// energy at the capped VF point so modeled and measured joules are
+    /// drawn at the same frequency. `None` = base frequency.
+    pub freq_khz: Option<u64>,
 }
 
 impl LoadSpec {
@@ -162,6 +167,7 @@ impl LoadSpec {
             seed,
             rate_ops_s: None,
             prefill: mix.keys / 2,
+            freq_khz: None,
         }
     }
 }
@@ -188,7 +194,11 @@ pub struct LoadReport {
     pub lock_hold_ns: u64,
     /// Cumulative open-loop pacing slack, nanoseconds.
     pub idle_ns: u64,
-    /// Modeled Xeon energy for the run.
+    /// The frequency cap the run was modeled (and, when applied for
+    /// real, measured) under; echoes [`LoadSpec::freq_khz`].
+    pub freq_khz: Option<u64>,
+    /// Modeled Xeon energy for the run, priced at
+    /// [`LoadReport::freq_khz`].
     pub energy: EnergyEstimate,
     /// Measured (RAPL) energy over the measured interval, when the
     /// service is metered — the paper's actual methodology, reported
@@ -215,6 +225,18 @@ impl LoadReport {
     /// run was model-only.
     pub fn measured_uj_per_op(&self) -> Option<f64> {
         self.measured.and_then(|m| m.uj_per_op(self.ops))
+    }
+
+    /// Measured package-domain joules over the run, `None` when the run
+    /// was model-only — the per-domain half of [`LoadReport::measured_j`].
+    pub fn measured_pkg_j(&self) -> Option<f64> {
+        self.measured.map(|m| m.package_j)
+    }
+
+    /// Measured DRAM-domain joules over the run, `None` when the run was
+    /// model-only.
+    pub fn measured_dram_j(&self) -> Option<f64> {
+        self.measured.map(|m| m.dram_j)
     }
 }
 
@@ -313,11 +335,20 @@ pub fn run_load_on<S: KvService>(svc: &S, spec: &LoadSpec) -> LoadReport {
     let thread_ns = (wall.as_nanos() as u64).max(1) as f64 * total_threads as f64;
     let wait_frac = store_stats.lock_wait_ns as f64 / thread_ns;
     let idle_frac = idle_ns as f64 / thread_ns;
-    let energy = estimate(svc.lock_kind(), total_threads, wall, wait_frac, idle_frac, ops);
+    let energy = crate::energy::estimate_at(
+        svc.lock_kind(),
+        total_threads,
+        wall,
+        wait_frac,
+        idle_frac,
+        ops,
+        spec.freq_khz,
+    );
 
     LoadReport {
         ops,
         wall,
+        freq_khz: spec.freq_khz,
         throughput: ops as f64 / wall.as_secs_f64().max(1e-9),
         p50_ns: request_latency.percentile(50.0),
         p99_ns: request_latency.percentile(99.0),

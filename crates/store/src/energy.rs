@@ -11,7 +11,7 @@
 
 use std::time::Duration;
 
-use poly_energy::{ActivityClass, CtxPowerState, MachineShape, PowerConfig, PowerModel};
+use poly_energy::{ActivityClass, CtxPowerState, MachineShape, PowerConfig, PowerModel, VfPoint};
 use poly_locks_sim::LockKind;
 
 /// Modeled energy outcome of one load run.
@@ -59,8 +59,31 @@ pub fn estimate(
     idle_frac: f64,
     ops: u64,
 ) -> EnergyEstimate {
+    estimate_at(lock, threads, wall, wait_frac, idle_frac, ops, None)
+}
+
+/// [`estimate`] at an explicit frequency cap.
+///
+/// `freq_khz` is the cap the host actually ran under (`None` = base):
+/// every modeled core is pinned to that VF point, clamped into the
+/// calibrated DVFS range, so modeled joules are priced at the *same*
+/// frequency the measured ones were drawn at. The wall time already
+/// reflects the capped host's real speed — only the power curve moves.
+pub fn estimate_at(
+    lock: LockKind,
+    threads: usize,
+    wall: Duration,
+    wait_frac: f64,
+    idle_frac: f64,
+    ops: u64,
+    freq_khz: Option<u64>,
+) -> EnergyEstimate {
     let shape = MachineShape::xeon();
     let cfg = PowerConfig::xeon();
+    let vf = match freq_khz {
+        Some(khz) => VfPoint::new(khz.clamp(cfg.min_khz, cfg.base_khz)),
+        None => VfPoint::new(cfg.base_khz),
+    };
     let base_hz = cfg.base_khz as f64 * 1000.0;
     let total_cycles = (wall.as_secs_f64().max(1e-9) * base_hz) as u64;
 
@@ -70,6 +93,9 @@ pub fn estimate(
 
     let active_ctx = threads.min(shape.contexts());
     let mut model = PowerModel::new(cfg, shape);
+    for core in 0..shape.cores() {
+        model.set_core_vf(core, vf);
+    }
     // Three piecewise-constant segments; their order is irrelevant to the
     // integral, only the durations matter.
     let segments = [
@@ -141,6 +167,26 @@ mod tests {
         let busy = estimate(LockKind::Mutexee, 8, wall, 0.1, 0.0, 1_000);
         let paced = estimate(LockKind::Mutexee, 8, wall, 0.1, 0.6, 1_000);
         assert!(paced.avg_power_w < busy.avg_power_w);
+    }
+
+    #[test]
+    fn capped_frequency_lowers_modeled_power() {
+        // The paper's DVFS observation: the same time split priced at the
+        // minimum P-state draws less power than at base — and a cap is
+        // clamped into the calibrated range, never extrapolated past it.
+        let wall = Duration::from_millis(100);
+        let base = estimate_at(LockKind::Ttas, 16, wall, 0.4, 0.0, 10_000, None);
+        let capped = estimate_at(LockKind::Ttas, 16, wall, 0.4, 0.0, 10_000, Some(1_200_000));
+        assert!(
+            capped.avg_power_w < base.avg_power_w,
+            "capped {} W >= base {} W",
+            capped.avg_power_w,
+            base.avg_power_w
+        );
+        let floor = estimate_at(LockKind::Ttas, 16, wall, 0.4, 0.0, 10_000, Some(1));
+        assert_eq!(floor.avg_power_w, capped.avg_power_w, "below-range caps clamp to min");
+        let ceil = estimate_at(LockKind::Ttas, 16, wall, 0.4, 0.0, 10_000, Some(u64::MAX));
+        assert_eq!(ceil.avg_power_w, base.avg_power_w, "above-range caps clamp to base");
     }
 
     #[test]

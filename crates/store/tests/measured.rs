@@ -37,7 +37,7 @@ fn metered_run_reports_measured_joules_with_wraparound() {
     let start_uj = FakeRapl::RANGE_UJ - 40_000;
     fake.domain(0, "package-0", start_uj);
     fake.named_domain("intel-rapl:0:1", "dram", 0);
-    let sampler = RaplSampler::probe_at(fake.root(), Duration::from_millis(2)).unwrap();
+    let sampler = RaplSampler::probe_at(fake.root(), Duration::from_millis(2)).unwrap().unwrap();
 
     let mix = KvMix { keys: 2_048, ..KvMix::uniform() }.with_shards(4);
     let store = PolyStore::new(StoreConfig { shards: mix.shards, lock: LockKind::Mutexee });
@@ -91,7 +91,7 @@ fn metered_run_reports_measured_joules_with_wraparound() {
 fn prefill_energy_is_excluded_from_the_window() {
     let fake = FakeRapl::new("store-warmup");
     fake.domain(0, "package-0", 0);
-    let sampler = RaplSampler::probe_at(fake.root(), Duration::from_secs(3600)).unwrap();
+    let sampler = RaplSampler::probe_at(fake.root(), Duration::from_secs(3600)).unwrap().unwrap();
     // Burn "warmup energy" before the run; nothing burns during it.
     fake.advance(0, 7_000_000);
     let mix = KvMix { keys: 512, ..KvMix::uniform() }.with_shards(2);

@@ -10,6 +10,7 @@
 
 pub use lockin;
 pub use poly_bench;
+pub use poly_cap;
 pub use poly_energy;
 pub use poly_futex;
 pub use poly_locks_sim;
