@@ -12,6 +12,7 @@
 
 use std::io::Write;
 use std::process::exit;
+use std::time::Duration;
 
 use poly_bench::horizon;
 use poly_cap::FreqPolicy;
@@ -20,6 +21,7 @@ use poly_scenarios::{
     cross_capped, parse_lock, write_reports, MachineKind, Registry, ScenarioSpec, SinkFormat,
     SweepRunner,
 };
+use poly_trace::{TimelineCell, TimelineRow};
 
 fn usage() -> ! {
     eprintln!(
@@ -42,6 +44,11 @@ fn usage() -> ! {
          \x20 --seed S                     sweep seed (default: 42)\n\
          \x20 --format jsonl|csv           output format (default: jsonl)\n\
          \x20 --out FILE                   write reports to FILE instead of stdout\n\
+         \x20 --trace-interval D           accept a telemetry interval (50ms, 1s, 500us) for\n\
+         \x20                              CLI symmetry with `store`; the simulator always\n\
+         \x20                              emits one whole-run window per cell\n\
+         \x20 --timeline FILE              write one whole-run timeline window per cell as\n\
+         \x20                              timeline JSONL (needs --trace-interval)\n\
          \n\
          options (sweep only):\n\
          \x20 --scenarios n1,n2 | all      scenarios to sweep (default: all)\n\
@@ -61,8 +68,32 @@ struct Options {
     seed: u64,
     format: SinkFormat,
     out: Option<String>,
+    /// `--trace-interval`: parsed and validated like the `store` CLI's
+    /// flag, but the simulator has no wall clock to window — it gates
+    /// `--timeline` and is otherwise advisory.
+    trace_interval: Option<Duration>,
+    /// `--timeline FILE`: one whole-run window per cell, in the shared
+    /// timeline JSONL schema.
+    timeline: Option<String>,
     scenarios: Option<Vec<String>>,
     workers: Option<usize>,
+}
+
+/// Parses `50ms`, `1s`, `500us`; a bare number means milliseconds.
+/// Mirrors the `store` CLI so both sweeps speak the same durations.
+fn parse_duration(s: &str) -> Option<Duration> {
+    let (digits, unit) = match s.find(|c: char| !c.is_ascii_digit()) {
+        Some(i) => s.split_at(i),
+        None => (s, "ms"),
+    };
+    let n: u64 = digits.parse().ok()?;
+    let d = match unit {
+        "us" | "µs" => Duration::from_micros(n),
+        "ms" => Duration::from_millis(n),
+        "s" => Duration::from_secs(n),
+        _ => return None,
+    };
+    (!d.is_zero()).then_some(d)
 }
 
 fn fail(msg: String) -> ! {
@@ -82,6 +113,8 @@ fn parse_options(args: &[String]) -> Options {
         seed: 42,
         format: SinkFormat::JsonLines,
         out: None,
+        trace_interval: None,
+        timeline: None,
         scenarios: None,
         workers: None,
     };
@@ -138,6 +171,13 @@ fn parse_options(args: &[String]) -> Options {
                     SinkFormat::parse(v).unwrap_or_else(|| fail(format!("unknown format: {v}")));
             }
             "--out" => opts.out = Some(value().to_string()),
+            "--trace-interval" => {
+                let v = value();
+                opts.trace_interval = Some(parse_duration(v).unwrap_or_else(|| {
+                    fail(format!("bad --trace-interval: {v} (try 50ms, 1s, 500us)"))
+                }));
+            }
+            "--timeline" => opts.timeline = Some(value().to_string()),
             "--scenarios" => {
                 let v = value();
                 if v != "all" {
@@ -150,6 +190,9 @@ fn parse_options(args: &[String]) -> Options {
             }
             other => fail(format!("unknown option: {other}")),
         }
+    }
+    if opts.timeline.is_some() && opts.trace_interval.is_none() {
+        fail("--timeline needs --trace-interval (same contract as the store CLI)".into());
     }
     opts
 }
@@ -184,6 +227,52 @@ fn emit(reports: &[poly_scenarios::CellReport], opts: &Options) {
     result.unwrap_or_else(|e| fail(format!("writing reports: {e}")));
 }
 
+/// Writes one whole-run timeline window per cell. The simulator measures
+/// a run only in aggregate, so every per-window column it cannot produce
+/// (latency percentiles, lock wait/hold, measured joules) is `null` —
+/// the row still parses as the same timeline schema the native `store`
+/// sweeps emit.
+fn emit_timeline(cells: &[ScenarioSpec], reports: &[poly_scenarios::CellReport], opts: &Options) {
+    let Some(path) = &opts.timeline else { return };
+    let file =
+        std::fs::File::create(path).unwrap_or_else(|e| fail(format!("cannot create {path}: {e}")));
+    let mut w = std::io::BufWriter::new(file);
+    // `SweepRunner::run` fills results by index, so reports line up with
+    // the specs that produced them — the spec supplies the shard count
+    // the aggregate report folds into its workload label.
+    let result = cells.iter().zip(reports).try_for_each(|(spec, r)| {
+        let cell = TimelineCell {
+            scenario: r.scenario.clone(),
+            workload: r.workload.clone(),
+            transport: r.transport.to_string(),
+            lock: r.lock.label().to_string(),
+            shards: spec.workload.shard_count().unwrap_or(0) as u64,
+            threads: r.threads as u64,
+            seed: r.seed,
+        };
+        let wall_ns =
+            if r.throughput > 0.0 { (r.total_ops as f64 / r.throughput * 1e9) as u64 } else { 0 };
+        let row = TimelineRow {
+            window: 0,
+            start_ns: 0,
+            end_ns: wall_ns,
+            ops: r.total_ops,
+            throughput: r.throughput,
+            p50_ns: None,
+            p99_ns: None,
+            lock_wait_ns: None,
+            lock_hold_ns: None,
+            measured_pkg_j: None,
+            measured_dram_j: None,
+            measured_w: None,
+            freq_khz: r.freq_khz,
+        };
+        writeln!(w, "{}", row.to_json(&cell))
+    });
+    result.and_then(|()| w.flush()).unwrap_or_else(|e| fail(format!("writing timeline: {e}")));
+    eprintln!("wrote {} timeline windows to {path}", reports.len());
+}
+
 fn cmd_list(reg: &Registry) {
     println!("{} built-in scenarios:\n", reg.len());
     for e in reg.iter() {
@@ -207,7 +296,9 @@ fn cmd_run(reg: &Registry, name: &str, opts: &Options) {
     let cells =
         cross_capped(&[base], &opts.locks, &opts.threads, &opts.shards, &opts.freqs, opts.seed);
     let runner = opts.workers.map(SweepRunner::with_workers).unwrap_or_default();
-    emit(&runner.run(&cells), opts);
+    let reports = runner.run(&cells);
+    emit(&reports, opts);
+    emit_timeline(&cells, &reports, opts);
 }
 
 fn cmd_sweep(reg: &Registry, opts: &Options) {
@@ -231,7 +322,9 @@ fn cmd_sweep(reg: &Registry, opts: &Options) {
         bases.len()
     );
     let runner = opts.workers.map(SweepRunner::with_workers).unwrap_or_default();
-    emit(&runner.run(&cells), opts);
+    let reports = runner.run(&cells);
+    emit(&reports, opts);
+    emit_timeline(&cells, &reports, opts);
 }
 
 fn main() {

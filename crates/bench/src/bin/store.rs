@@ -27,10 +27,16 @@ use std::time::Duration;
 use poly_cap::{CalibrationTable, CapGuard, CpuCap, FreqPolicy};
 use poly_locks_sim::LockKind;
 use poly_meter::{EnergySource, RaplSampler};
-use poly_net::{NetClient, NetServer, ServerConfig};
+use poly_net::{NetClient, NetConn, NetServer, ServerConfig};
+use poly_report::columns::STORE_CELL;
+use poly_report::Value;
 use poly_scenarios::{parse_lock, Registry, SinkFormat, WorkloadSpec};
 use poly_store::{
     run_load, run_load_on, KvMix, LoadReport, LoadSpec, Metered, PolyStore, StoreConfig,
+};
+use poly_trace::{
+    run_load_traced, write_timeline, ChromeTrace, StoreCollector, TimelineCell, TraceSpec,
+    WindowSample,
 };
 
 fn usage() -> ! {
@@ -42,6 +48,7 @@ fn usage() -> ! {
          \x20 run <name> [options]         run one load, print its report\n\
          \x20 sweep [options]              run a cross product of cells\n\
          \x20 serve [options]              serve a store over TCP until stdin closes\n\
+         \x20 top <addr> [options]         live view of a serving store (STATS v2)\n\
          \x20 calibrate <sweep.jsonl>      per-frequency measured/modeled residual table\n\
          \n\
          options (run and sweep):\n\
@@ -69,6 +76,14 @@ fn usage() -> ! {
          \x20 --seed S                     workload seed (default: 42)\n\
          \x20 --format jsonl|csv           output format (default: jsonl)\n\
          \x20 --out FILE                   write reports to FILE instead of stdout\n\
+         \x20 --trace-interval D           collect windowed telemetry every D (50ms, 1s, 500us;\n\
+         \x20                              a bare number is ms). run/sweep: per-window samples\n\
+         \x20                              beside the aggregate; serve: a live collector that\n\
+         \x20                              STATS v2 (and `store top`) reads; top: poll cadence\n\
+         \x20 --timeline FILE              write per-window rows as timeline JSONL (needs\n\
+         \x20                              --trace-interval)\n\
+         \x20 --chrome-trace FILE          write the windows as a chrome://tracing JSON\n\
+         \x20                              document (needs --trace-interval)\n\
          \n\
          options (sweep only):\n\
          \x20 --scenarios n1,n2 | all      kv scenarios to sweep (default: all kv)\n\
@@ -78,6 +93,9 @@ fn usage() -> ! {
          \x20 --lock L, --shards N         store configuration (defaults: MUTEXEE, 32)\n\
          \x20 --freq K                     cap the host at K kHz while serving (restored at\n\
          \x20                              shutdown)\n\
+         \n\
+         options (top only):\n\
+         \x20 --frames N                   refresh N times then exit (default: 0 = forever)\n\
          \n\
          options (calibrate only):\n\
          \x20 --format table|csv           output shape (default: table)"
@@ -130,6 +148,32 @@ struct Options {
     out: Option<String>,
     scenarios: Option<Vec<String>>,
     addr: String,
+    /// `--trace-interval`: when set, run/sweep collect windowed telemetry
+    /// and serve runs a live collector; `top` uses it as poll cadence.
+    trace_interval: Option<Duration>,
+    /// `--timeline FILE`: per-window JSONL sink beside the aggregate.
+    timeline: Option<String>,
+    /// `--chrome-trace FILE`: chrome://tracing export of the windows.
+    chrome_out: Option<String>,
+    /// `--frames N` (top): refresh N times then exit; 0 = forever.
+    frames: u64,
+}
+
+/// Parses a human duration: `50ms`, `1s`, `500us`, or a bare number of
+/// milliseconds.
+fn parse_duration(s: &str) -> Option<Duration> {
+    let (digits, unit) = match s.find(|c: char| !c.is_ascii_digit()) {
+        Some(i) => s.split_at(i),
+        None => (s, "ms"),
+    };
+    let n: u64 = digits.parse().ok()?;
+    let d = match unit {
+        "us" | "µs" => Duration::from_micros(n),
+        "ms" => Duration::from_millis(n),
+        "s" => Duration::from_secs(n),
+        _ => return None,
+    };
+    (!d.is_zero()).then_some(d)
 }
 
 fn default_ops() -> u64 {
@@ -159,6 +203,10 @@ fn parse_options(args: &[String]) -> Options {
         out: None,
         scenarios: None,
         addr: "127.0.0.1:7878".into(),
+        trace_interval: None,
+        timeline: None,
+        chrome_out: None,
+        frames: 0,
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -223,6 +271,17 @@ fn parse_options(args: &[String]) -> Options {
                     SinkFormat::parse(v).unwrap_or_else(|| fail(format!("unknown format: {v}")));
             }
             "--out" => opts.out = Some(value().to_string()),
+            "--trace-interval" => {
+                let v = value();
+                opts.trace_interval = Some(parse_duration(v).unwrap_or_else(|| {
+                    fail(format!("bad --trace-interval: {v} (try 50ms, 1s, 500us)"))
+                }));
+            }
+            "--timeline" => opts.timeline = Some(value().to_string()),
+            "--chrome-trace" => opts.chrome_out = Some(value().to_string()),
+            "--frames" => {
+                opts.frames = value().parse().unwrap_or_else(|_| fail("bad --frames".into()));
+            }
             "--scenarios" => {
                 let v = value();
                 if v != "all" {
@@ -234,6 +293,9 @@ fn parse_options(args: &[String]) -> Options {
     }
     if opts.ops == 0 {
         fail("--ops must be positive".into());
+    }
+    if (opts.timeline.is_some() || opts.chrome_out.is_some()) && opts.trace_interval.is_none() {
+        fail("--timeline/--chrome-trace need --trace-interval (the windows to write)".into());
     }
     opts
 }
@@ -380,113 +442,80 @@ struct Cell {
     /// Whether the cap was actually in force while the cell ran.
     freq_applied: bool,
     report: LoadReport,
-}
-
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
-
-fn fmt_f64(v: f64) -> String {
-    if v.is_finite() {
-        format!("{v}")
-    } else {
-        "null".into()
-    }
-}
-
-/// Absent measurements are `null` in both sinks, so the measured columns
-/// always exist and parse uniformly.
-fn fmt_opt_f64(v: Option<f64>) -> String {
-    v.map_or_else(|| "null".into(), fmt_f64)
-}
-
-/// Same for optional integers (`freq_khz`: `null` = base frequency).
-fn fmt_opt_u64(v: Option<u64>) -> String {
-    v.map_or_else(|| "null".into(), |x| x.to_string())
+    /// Per-window telemetry, when the cell ran under `--trace-interval`.
+    windows: Vec<WindowSample>,
 }
 
 impl Cell {
-    fn to_json(&self) -> String {
+    /// The cell as one row of the canonical `STORE_CELL` schema — the
+    /// single list both sinks render from, so JSONL and CSV can never
+    /// disagree on columns.
+    fn render(&self, csv: bool) -> String {
         let r = &self.report;
-        format!(
-            "{{\"scenario\":{},\"workload\":{},\"transport\":\"{}\",\"lock\":\"{}\",\
-             \"shards\":{},\"threads\":{},\
-             \"ops\":{},\"wall_ms\":{},\"throughput\":{},\"p50_ns\":{},\"p99_ns\":{},\
-             \"max_ns\":{},\"lock_wait_ns\":{},\"lock_hold_ns\":{},\"avg_power_w\":{},\
-             \"energy_j\":{},\"epo_uj\":{},\"measured_j\":{},\"measured_uj_per_op\":{},\
-             \"measured_pkg_j\":{},\"measured_dram_j\":{},\"energy_source\":\"{}\",\
-             \"freq_khz\":{},\"freq_applied\":{},\"energy_model\":\"xeon\"}}",
-            json_escape(&self.scenario),
-            json_escape(&self.mix.label()),
-            self.transport.label(),
-            self.lock.label(),
-            self.mix.shards,
-            self.threads,
-            r.ops,
-            fmt_f64(r.wall.as_secs_f64() * 1e3),
-            fmt_f64(r.throughput),
-            r.p50_ns,
-            r.p99_ns,
-            r.max_ns,
-            r.lock_wait_ns,
-            r.lock_hold_ns,
-            fmt_f64(r.energy.avg_power_w),
-            fmt_f64(r.energy.energy_j),
-            fmt_f64(r.energy.epo_uj),
-            fmt_opt_f64(r.measured_j()),
-            fmt_opt_f64(r.measured_uj_per_op()),
-            fmt_opt_f64(r.measured_pkg_j()),
-            fmt_opt_f64(r.measured_dram_j()),
-            r.energy_source.label(),
-            fmt_opt_u64(self.freq_khz),
-            self.freq_applied,
-        )
+        let workload = self.mix.label();
+        let row = [
+            Value::Str(&self.scenario),
+            Value::Str(&workload),
+            Value::Str(self.transport.label()),
+            Value::Str(self.lock.label()),
+            Value::U64(self.mix.shards as u64),
+            Value::U64(self.threads as u64),
+            Value::U64(r.ops),
+            Value::F64(r.wall.as_secs_f64() * 1e3),
+            Value::F64(r.throughput),
+            Value::U64(r.p50_ns),
+            Value::U64(r.p99_ns),
+            Value::U64(r.max_ns),
+            Value::U64(r.lock_wait_ns),
+            Value::U64(r.lock_hold_ns),
+            Value::F64(r.energy.avg_power_w),
+            Value::F64(r.energy.energy_j),
+            Value::F64(r.energy.epo_uj),
+            Value::OptF64(r.measured_j()),
+            Value::OptF64(r.measured_uj_per_op()),
+            Value::OptF64(r.measured_pkg_j()),
+            Value::OptF64(r.measured_dram_j()),
+            Value::Str(r.energy_source.label()),
+            Value::OptU64(self.freq_khz),
+            Value::Bool(self.freq_applied),
+            Value::Str("xeon"),
+        ];
+        if csv {
+            STORE_CELL.row_csv(&row)
+        } else {
+            STORE_CELL.row_json(&row)
+        }
     }
 
-    const CSV_HEADER: &'static str = "scenario,workload,transport,lock,shards,threads,ops,wall_ms,\
-        throughput,p50_ns,p99_ns,max_ns,lock_wait_ns,lock_hold_ns,avg_power_w,energy_j,epo_uj,\
-        measured_j,measured_uj_per_op,measured_pkg_j,measured_dram_j,energy_source,freq_khz,\
-        freq_applied";
+    fn to_json(&self) -> String {
+        self.render(false)
+    }
 
     fn to_csv(&self) -> String {
-        let r = &self.report;
+        self.render(true)
+    }
+
+    /// The cell identity its timeline rows carry.
+    fn timeline_cell(&self, seed: u64) -> TimelineCell {
+        TimelineCell {
+            scenario: self.scenario.clone(),
+            workload: self.mix.label(),
+            transport: self.transport.label().to_string(),
+            lock: self.lock.label().to_string(),
+            shards: self.mix.shards as u64,
+            threads: self.threads as u64,
+            seed,
+        }
+    }
+
+    /// The cell's track name in the chrome://tracing export.
+    fn track_name(&self) -> String {
         format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{}/{}/{}/t{}",
             self.scenario,
-            self.mix.label(),
             self.transport.label(),
             self.lock.label(),
-            self.mix.shards,
-            self.threads,
-            r.ops,
-            fmt_f64(r.wall.as_secs_f64() * 1e3),
-            fmt_f64(r.throughput),
-            r.p50_ns,
-            r.p99_ns,
-            r.max_ns,
-            r.lock_wait_ns,
-            r.lock_hold_ns,
-            fmt_f64(r.energy.avg_power_w),
-            fmt_f64(r.energy.energy_j),
-            fmt_f64(r.energy.epo_uj),
-            fmt_opt_f64(r.measured_j()),
-            fmt_opt_f64(r.measured_uj_per_op()),
-            fmt_opt_f64(r.measured_pkg_j()),
-            fmt_opt_f64(r.measured_dram_j()),
-            r.energy_source.label(),
-            fmt_opt_u64(self.freq_khz),
-            self.freq_applied,
+            self.threads
         )
     }
 }
@@ -546,12 +575,15 @@ fn run_cell(
         freq_khz: freq_applied.then_some(freq_khz).flatten(),
         ..LoadSpec::saturating(mix, threads, opts.ops, opts.seed)
     };
-    let report = match transport {
+    let trace = opts.trace_interval.map(TraceSpec::new);
+    let (report, windows) = match transport {
         Transport::Local => {
             let store = PolyStore::new(StoreConfig { shards: mix.shards, lock });
-            match sampler {
-                Some(s) => run_load_on(&Metered::new(&store, s), &spec),
-                None => run_load(&store, &spec),
+            match (sampler, &trace) {
+                (Some(s), Some(t)) => run_load_traced(&Metered::new(&store, s), &spec, t),
+                (Some(s), None) => (run_load_on(&Metered::new(&store, s), &spec), Vec::new()),
+                (None, Some(t)) => run_load_traced(&store, &spec, t),
+                (None, None) => (run_load(&store, &spec), Vec::new()),
             }
         }
         Transport::Tcp => {
@@ -562,10 +594,13 @@ fn run_cell(
             // exhaust ephemeral ports, and one flaky cell must not
             // abort the process with every finished cell unemitted.
             let (server, client) = connect_loopback(mix.shards, lock, sampler);
-            let report = run_load_on(&client, &spec);
+            let out = match &trace {
+                Some(t) => run_load_traced(&client, &spec, t),
+                None => (run_load_on(&client, &spec), Vec::new()),
+            };
             drop(client);
             drop(server); // graceful shutdown: joins every worker
-            report
+            out
         }
     };
     Cell {
@@ -577,6 +612,7 @@ fn run_cell(
         freq_khz,
         freq_applied,
         report,
+        windows,
     }
 }
 
@@ -590,7 +626,7 @@ fn emit(cells: &[Cell], opts: &Options) {
             }
         }
         SinkFormat::Csv => {
-            buf.push_str(Cell::CSV_HEADER);
+            buf.push_str(&STORE_CELL.csv_header());
             buf.push('\n');
             for c in cells {
                 buf.push_str(&c.to_csv());
@@ -609,6 +645,33 @@ fn emit(cells: &[Cell], opts: &Options) {
             eprintln!("wrote {} cells to {path}", cells.len());
         }
         None => print!("{buf}"),
+    }
+}
+
+/// Writes the telemetry sinks of a traced run/sweep: the per-window
+/// timeline JSONL and/or the chrome://tracing document.
+fn emit_traces(cells: &[Cell], opts: &Options) {
+    if let Some(path) = &opts.timeline {
+        let f = std::fs::File::create(path)
+            .unwrap_or_else(|e| fail(format!("cannot create {path}: {e}")));
+        let mut w = std::io::BufWriter::new(f);
+        let mut windows = 0usize;
+        for c in cells {
+            windows += c.windows.len();
+            write_timeline(&mut w, &c.timeline_cell(opts.seed), &c.windows)
+                .unwrap_or_else(|e| fail(format!("writing timeline {path}: {e}")));
+        }
+        w.flush().unwrap_or_else(|e| fail(format!("writing timeline {path}: {e}")));
+        eprintln!("wrote {windows} windows to {path}");
+    }
+    if let Some(path) = &opts.chrome_out {
+        let mut trace = ChromeTrace::new();
+        for c in cells {
+            trace.add_track(&c.track_name(), &c.windows);
+        }
+        std::fs::write(path, trace.to_json())
+            .unwrap_or_else(|e| fail(format!("cannot write {path}: {e}")));
+        eprintln!("wrote chrome trace ({} tracks) to {path}", trace.tracks());
     }
 }
 
@@ -646,6 +709,7 @@ fn cmd_run(reg: &Registry, name: &str, opts: &Options) {
         capper.as_ref(),
     );
     emit(std::slice::from_ref(&cell), opts);
+    emit_traces(std::slice::from_ref(&cell), opts);
 }
 
 /// Serves a store on `--addr` until stdin reaches EOF (pipe-friendly:
@@ -668,11 +732,23 @@ fn cmd_serve(opts: &Options) {
             eprintln!("requested cap of {khz} kHz NOT applied; serving at base frequency");
         }
     }
-    let mut server = NetServer::bind_metered(
+    // With --trace-interval, a collector windows the serving store for
+    // the server's lifetime; its ring feeds STATS v2 (`store top`).
+    let mut collector = opts.trace_interval.map(|interval| {
+        StoreCollector::spawn(
+            Arc::clone(&store),
+            sampler.clone(),
+            interval,
+            TraceSpec::new(interval).capacity,
+            freq_applied.then_some(freq_khz).flatten(),
+        )
+    });
+    let mut server = NetServer::bind_full(
         opts.addr.as_str(),
-        store,
+        Arc::clone(&store),
         ServerConfig::default(),
         sampler.clone(),
+        collector.as_ref().map(|c| c.ring()),
     )
     .unwrap_or_else(|e| fail(format!("binding {}: {e}", opts.addr)));
     // The bound address goes to stdout (scripts parse it; with port 0 the
@@ -710,11 +786,32 @@ fn cmd_serve(opts: &Options) {
         }
     }
     server.shutdown();
+    if let Some(c) = collector.as_mut() {
+        c.stop();
+        eprintln!("collected {} telemetry windows", c.ring().pushed());
+    }
     let net = server.net_stats();
     eprintln!(
         "served {} connections, {} frames ({} B in, {} B out)",
         net.connections, net.frames, net.bytes_in, net.bytes_out
     );
+    // Per-shard breakdown: where the ops landed and what their locks
+    // cost, so a skewed keyspace shows up at shutdown.
+    let shard_stats = store.shard_stats();
+    let (mut wait, mut hold) = (0u64, 0u64);
+    for (i, s) in shard_stats.iter().enumerate() {
+        wait += s.lock_wait_ns;
+        hold += s.lock_hold_ns;
+        let ops = s.point_ops() + s.scans + s.batches;
+        if ops > 0 {
+            eprintln!(
+                "shard {i:>3}: {ops} ops ({} gets, {} puts, {} removes), lock wait {} ns, \
+                 hold {} ns",
+                s.gets, s.puts, s.removes, s.lock_wait_ns, s.lock_hold_ns
+            );
+        }
+    }
+    eprintln!("total lock wait {wait} ns, hold {hold} ns across {} shards", shard_stats.len());
     if let Some(m) = sampler.as_ref().and_then(|s| s.stop_window()) {
         eprintln!(
             "measured {:.3} J package + {:.3} J dram over {} samples (source: {})",
@@ -723,6 +820,98 @@ fn cmd_serve(opts: &Options) {
             m.samples,
             m.source.label()
         );
+    }
+}
+
+/// Renders nanoseconds as a human latency.
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Live view of a serving store: polls STATS v2 at `--trace-interval`
+/// (default 1s) and renders the server's latest telemetry window —
+/// throughput, per-window p50/p99, measured watts, lock-wait share.
+/// Falls back to v1 cumulative stats when the server predates STATS v2.
+/// `--frames N` exits after N refreshes (scripts and tests); 0 runs until
+/// the connection drops or Ctrl-C.
+fn cmd_top(addr: &str, opts: &Options) {
+    use std::net::ToSocketAddrs;
+    let sockaddr = addr
+        .to_socket_addrs()
+        .ok()
+        .and_then(|mut it| it.next())
+        .unwrap_or_else(|| fail(format!("bad address: {addr}")));
+    let interval = opts.trace_interval.unwrap_or(Duration::from_secs(1));
+    let mut conn = NetConn::dial(sockaddr).unwrap_or_else(|e| fail(format!("dialing {addr}: {e}")));
+    let mut v2 = true;
+    let mut frame = 0u64;
+    let mut last_window = u64::MAX;
+    loop {
+        frame += 1;
+        if frame > 1 {
+            // Clear between frames only: a single-frame run (--frames 1)
+            // stays pipe-friendly.
+            print!("\x1b[2J\x1b[H");
+        }
+        let ws = if v2 {
+            match conn.stats_v2() {
+                Ok(ws2) => {
+                    if let Some(w) = &ws2.window {
+                        let stale = if w.window == last_window { " (stale)" } else { "" };
+                        last_window = w.window;
+                        let watts =
+                            w.watts().map_or_else(|| "unmetered".into(), |p| format!("{p:.1} W"));
+                        println!(
+                            "window {:>4}{stale}: {:>10.0} ops/s | p50 {} | p99 {} | {} | \
+                             lock-wait {:.1}%",
+                            w.window,
+                            w.throughput(),
+                            fmt_ns(w.p50_ns),
+                            fmt_ns(w.p99_ns),
+                            watts,
+                            w.lock_wait_share() * 100.0,
+                        );
+                    } else {
+                        println!("no telemetry window yet (serve with --trace-interval)");
+                    }
+                    ws2.stats
+                }
+                Err(_) => {
+                    // A pre-v2 server answers the unknown opcode with an
+                    // error response; the connection stays usable.
+                    v2 = false;
+                    eprintln!("server does not speak STATS v2; showing cumulative v1 stats");
+                    conn.stats().unwrap_or_else(|e| fail(format!("stats from {addr}: {e}")))
+                }
+            }
+        } else {
+            conn.stats().unwrap_or_else(|e| fail(format!("stats from {addr}: {e}")))
+        };
+        let s = &ws.stats;
+        println!(
+            "{} / {} shards | cumulative: {} point ops, {} scans, {} batches | lock wait {} \
+             hold {}",
+            ws.lock.label(),
+            ws.shards,
+            s.point_ops(),
+            s.scans,
+            s.batches,
+            fmt_ns(s.lock_wait_ns),
+            fmt_ns(s.lock_hold_ns),
+        );
+        std::io::stdout().flush().ok();
+        if opts.frames != 0 && frame >= opts.frames {
+            return;
+        }
+        std::thread::sleep(interval);
     }
 }
 
@@ -804,6 +993,7 @@ fn cmd_sweep(reg: &Registry, opts: &Options) {
         }
     }
     emit(&cells, opts);
+    emit_traces(&cells, opts);
 }
 
 /// Distills a sweep's JSONL into the per-frequency measured/modeled
@@ -855,10 +1045,207 @@ fn main() {
         }
         Some("sweep") => cmd_sweep(&reg, &parse_options(&args[1..])),
         Some("serve") => cmd_serve(&parse_options(&args[1..])),
+        Some("top") => {
+            let Some(addr) = args.get(1) else { fail("top needs a server address".into()) };
+            cmd_top(addr, &parse_options(&args[2..]));
+        }
         Some("calibrate") => {
             let Some(path) = args.get(1) else { fail("calibrate needs a sweep JSONL path".into()) };
             cmd_calibrate(path, &args[2..]);
         }
         _ => usage(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use poly_store::{EnergyEstimate, MeasuredEnergy, StatsSnapshot};
+
+    /// The pre-registry emitter, kept verbatim as the drift guard: the
+    /// `STORE_CELL` registry must keep producing these exact bytes.
+    mod legacy {
+        use super::super::Cell;
+
+        fn json_escape(s: &str) -> String {
+            let mut out = String::with_capacity(s.len() + 2);
+            out.push('"');
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+            out
+        }
+
+        fn fmt_f64(v: f64) -> String {
+            if v.is_finite() {
+                format!("{v}")
+            } else {
+                "null".into()
+            }
+        }
+
+        fn fmt_opt_f64(v: Option<f64>) -> String {
+            v.map_or_else(|| "null".into(), fmt_f64)
+        }
+
+        fn fmt_opt_u64(v: Option<u64>) -> String {
+            v.map_or_else(|| "null".into(), |x| x.to_string())
+        }
+
+        pub const CSV_HEADER: &str = "scenario,workload,transport,lock,shards,threads,ops,wall_ms,\
+            throughput,p50_ns,p99_ns,max_ns,lock_wait_ns,lock_hold_ns,avg_power_w,energy_j,epo_uj,\
+            measured_j,measured_uj_per_op,measured_pkg_j,measured_dram_j,energy_source,freq_khz,\
+            freq_applied";
+
+        pub fn to_json(cell: &Cell) -> String {
+            let r = &cell.report;
+            format!(
+                "{{\"scenario\":{},\"workload\":{},\"transport\":\"{}\",\"lock\":\"{}\",\
+                 \"shards\":{},\"threads\":{},\
+                 \"ops\":{},\"wall_ms\":{},\"throughput\":{},\"p50_ns\":{},\"p99_ns\":{},\
+                 \"max_ns\":{},\"lock_wait_ns\":{},\"lock_hold_ns\":{},\"avg_power_w\":{},\
+                 \"energy_j\":{},\"epo_uj\":{},\"measured_j\":{},\"measured_uj_per_op\":{},\
+                 \"measured_pkg_j\":{},\"measured_dram_j\":{},\"energy_source\":\"{}\",\
+                 \"freq_khz\":{},\"freq_applied\":{},\"energy_model\":\"xeon\"}}",
+                json_escape(&cell.scenario),
+                json_escape(&cell.mix.label()),
+                cell.transport.label(),
+                cell.lock.label(),
+                cell.mix.shards,
+                cell.threads,
+                r.ops,
+                fmt_f64(r.wall.as_secs_f64() * 1e3),
+                fmt_f64(r.throughput),
+                r.p50_ns,
+                r.p99_ns,
+                r.max_ns,
+                r.lock_wait_ns,
+                r.lock_hold_ns,
+                fmt_f64(r.energy.avg_power_w),
+                fmt_f64(r.energy.energy_j),
+                fmt_f64(r.energy.epo_uj),
+                fmt_opt_f64(r.measured_j()),
+                fmt_opt_f64(r.measured_uj_per_op()),
+                fmt_opt_f64(r.measured_pkg_j()),
+                fmt_opt_f64(r.measured_dram_j()),
+                r.energy_source.label(),
+                fmt_opt_u64(cell.freq_khz),
+                cell.freq_applied,
+            )
+        }
+
+        pub fn to_csv(cell: &Cell) -> String {
+            let r = &cell.report;
+            format!(
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                cell.scenario,
+                cell.mix.label(),
+                cell.transport.label(),
+                cell.lock.label(),
+                cell.mix.shards,
+                cell.threads,
+                r.ops,
+                fmt_f64(r.wall.as_secs_f64() * 1e3),
+                fmt_f64(r.throughput),
+                r.p50_ns,
+                r.p99_ns,
+                r.max_ns,
+                r.lock_wait_ns,
+                r.lock_hold_ns,
+                fmt_f64(r.energy.avg_power_w),
+                fmt_f64(r.energy.energy_j),
+                fmt_f64(r.energy.epo_uj),
+                fmt_opt_f64(r.measured_j()),
+                fmt_opt_f64(r.measured_uj_per_op()),
+                fmt_opt_f64(r.measured_pkg_j()),
+                fmt_opt_f64(r.measured_dram_j()),
+                r.energy_source.label(),
+                fmt_opt_u64(cell.freq_khz),
+                cell.freq_applied,
+            )
+        }
+    }
+
+    fn report(measured: Option<MeasuredEnergy>) -> LoadReport {
+        LoadReport {
+            ops: 1_000,
+            wall: Duration::from_millis(250),
+            throughput: 4_000.0,
+            p50_ns: 1_000,
+            p99_ns: 9_000,
+            max_ns: 20_000,
+            lock_wait_ns: 5_000_000,
+            lock_hold_ns: 2_000_000,
+            idle_ns: 0,
+            freq_khz: None,
+            energy: EnergyEstimate { avg_power_w: 35.5, energy_j: 8.875, epo_uj: 8_875.0 },
+            energy_source: if measured.is_some() {
+                EnergySource::Rapl
+            } else {
+                EnergySource::Modeled
+            },
+            measured,
+            store_stats: StatsSnapshot::default(),
+            request_latency: Default::default(),
+        }
+    }
+
+    fn cells() -> Vec<Cell> {
+        let metered =
+            MeasuredEnergy { package_j: 2.5, dram_j: 0.5, samples: 10, source: EnergySource::Rapl };
+        vec![
+            Cell {
+                scenario: "kv-zipf".into(),
+                mix: KvMix::uniform().with_shards(8),
+                transport: Transport::Local,
+                lock: LockKind::Mutexee,
+                threads: 4,
+                freq_khz: Some(1_200_000),
+                freq_applied: true,
+                report: report(Some(metered)),
+                windows: Vec::new(),
+            },
+            Cell {
+                scenario: "kv-uniform".into(),
+                mix: KvMix::uniform(),
+                transport: Transport::Tcp,
+                lock: LockKind::Ticket,
+                threads: 1,
+                freq_khz: None,
+                freq_applied: false,
+                report: report(None),
+                windows: Vec::new(),
+            },
+        ]
+    }
+
+    #[test]
+    fn registry_render_matches_the_legacy_emitter_byte_for_byte() {
+        for cell in cells() {
+            assert_eq!(cell.to_json(), legacy::to_json(&cell));
+            assert_eq!(cell.to_csv(), legacy::to_csv(&cell));
+        }
+    }
+
+    #[test]
+    fn registry_csv_header_matches_the_legacy_header() {
+        assert_eq!(STORE_CELL.csv_header(), legacy::CSV_HEADER);
+    }
+
+    #[test]
+    fn durations_parse_like_humans_write_them() {
+        assert_eq!(parse_duration("50ms"), Some(Duration::from_millis(50)));
+        assert_eq!(parse_duration("1s"), Some(Duration::from_secs(1)));
+        assert_eq!(parse_duration("500us"), Some(Duration::from_micros(500)));
+        assert_eq!(parse_duration("250"), Some(Duration::from_millis(250)));
+        assert_eq!(parse_duration("0ms"), None);
+        assert_eq!(parse_duration("fast"), None);
+        assert_eq!(parse_duration("10m"), None);
     }
 }

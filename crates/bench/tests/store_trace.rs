@@ -1,0 +1,218 @@
+//! End-to-end tests of the windowed-telemetry path: the acceptance gate
+//! for `--trace-interval`/`--timeline`/`--chrome-trace`. Each test execs
+//! the real CLI binaries against fake powercap trees, then checks the
+//! conservation laws the timeline promises — every window row sums back
+//! into the aggregate report it rode beside.
+
+use std::process::Command;
+use std::time::Duration;
+
+use poly_meter::FakeRapl;
+
+mod common;
+use common::{json_keys, json_value};
+
+/// The canonical timeline column order (pinned in poly-report's
+/// registry); both sweep families must emit exactly these keys.
+const TIMELINE_KEYS: [&str; 20] = [
+    "scenario",
+    "workload",
+    "transport",
+    "lock",
+    "shards",
+    "threads",
+    "seed",
+    "window",
+    "start_ns",
+    "end_ns",
+    "ops",
+    "throughput",
+    "p50_ns",
+    "p99_ns",
+    "lock_wait_ns",
+    "lock_hold_ns",
+    "measured_pkg_j",
+    "measured_dram_j",
+    "measured_w",
+    "freq_khz",
+];
+
+fn out_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("poly-trace-e2e-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create output dir");
+    dir
+}
+
+/// A traced sweep over a fake RAPL tree writes a timeline whose windows
+/// conserve the aggregate: Σ window ops == aggregate ops and Σ window
+/// joules == aggregate measured_j, per cell — the windows are a
+/// partition of the run, not a second measurement.
+#[test]
+fn traced_sweep_windows_sum_to_the_aggregate() {
+    let fake = FakeRapl::new("store-trace-e2e");
+    fake.domain(0, "package-0", 0);
+    let dir = out_dir("sweep");
+    let timeline = dir.join("sweep.timeline.jsonl");
+    let chrome = dir.join("sweep.trace.json");
+    let mut child = Command::new(env!("CARGO_BIN_EXE_store"))
+        .args([
+            "sweep",
+            "--scenarios",
+            "kv-net-uniform",
+            "--transport",
+            "local",
+            "--locks",
+            "MUTEXEE,TICKET",
+            "--threads",
+            "1",
+            "--ops",
+            "2000",
+            "--rate",
+            "40000", // ~50 ms per cell: several 10 ms windows each
+            "--seed",
+            "7",
+            "--energy",
+            "auto",
+            "--format",
+            "jsonl",
+            "--trace-interval",
+            "10ms",
+            "--timeline",
+            timeline.to_str().unwrap(),
+            "--chrome-trace",
+            chrome.to_str().unwrap(),
+        ])
+        .env("POLY_RAPL_ROOT", fake.root())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("store sweep spawns");
+    while child.try_wait().expect("try_wait").is_none() {
+        fake.advance(0, 20_000);
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let out = child.wait_with_output().expect("sweep output");
+    assert!(out.status.success(), "traced sweep failed");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let aggregates: Vec<&str> = stdout.lines().collect();
+    assert_eq!(aggregates.len(), 2, "two locks, two cells: {stdout:?}");
+
+    let text = std::fs::read_to_string(&timeline).expect("timeline written");
+    let rows: Vec<&str> = text.lines().collect();
+    assert!(rows.len() >= 2, "at least one window per cell: {text:?}");
+    for row in &rows {
+        assert_eq!(json_keys(row), TIMELINE_KEYS, "timeline schema drifted: {row}");
+    }
+
+    for agg in &aggregates {
+        let lock = json_value(agg, "lock");
+        let cell_rows: Vec<&&str> = rows.iter().filter(|r| json_value(r, "lock") == lock).collect();
+        assert!(!cell_rows.is_empty(), "no windows for {lock}");
+        // Window indices are dense from 0 and intervals telescope.
+        let mut prev_end = 0u64;
+        for (i, row) in cell_rows.iter().enumerate() {
+            assert_eq!(json_value(row, "window"), i.to_string(), "sparse windows: {row}");
+            assert_eq!(json_value(row, "start_ns"), prev_end.to_string(), "gap: {row}");
+            prev_end = json_value(row, "end_ns").parse().unwrap();
+        }
+        // Conservation of operations.
+        let window_ops: u64 =
+            cell_rows.iter().map(|r| json_value(r, "ops").parse::<u64>().unwrap()).sum();
+        let agg_ops: u64 = json_value(agg, "ops").parse().unwrap();
+        assert_eq!(window_ops, agg_ops, "windows dropped or double-counted ops for {lock}");
+        // Conservation of measured energy: the windows split the exact
+        // µJ the driver's own marks measured, so their joules sum back
+        // to measured_j up to f64 rendering noise.
+        let window_j: f64 = cell_rows
+            .iter()
+            .map(|r| {
+                json_value(r, "measured_pkg_j").parse::<f64>().unwrap_or(0.0)
+                    + json_value(r, "measured_dram_j").parse::<f64>().unwrap_or(0.0)
+            })
+            .sum();
+        let agg_j: f64 = json_value(agg, "measured_j").parse().expect("metered aggregate");
+        assert!(
+            (window_j - agg_j).abs() < 1e-6,
+            "window joules {window_j} diverge from measured_j {agg_j} for {lock}"
+        );
+    }
+
+    // The chrome export holds one metadata event per track plus one
+    // complete event per window, and is a JSON object viewers accept.
+    let chrome_text = std::fs::read_to_string(&chrome).expect("chrome trace written");
+    assert!(chrome_text.starts_with("{\"traceEvents\":["), "not a trace object: {chrome_text}");
+    assert!(chrome_text.contains("\"ph\":\"M\""), "no track metadata: {chrome_text}");
+    assert_eq!(
+        chrome_text.matches("\"name\":\"window ").count(),
+        rows.len(),
+        "one complete event per timeline window"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `--timeline` without `--trace-interval` is a usage error: there are
+/// no windows to write.
+#[test]
+fn timeline_without_an_interval_fails_loudly() {
+    let out = Command::new(env!("CARGO_BIN_EXE_store"))
+        .args(["run", "kv-net-uniform", "--ops", "50", "--timeline", "/dev/null"])
+        .output()
+        .expect("store run executes");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--trace-interval"));
+}
+
+/// The simulated `scenarios` sweep writes the same timeline schema: one
+/// whole-run window per cell, with the columns a simulation cannot
+/// window rendered as null — consumers parse one shape for both CLIs.
+#[test]
+fn scenarios_sweep_emits_one_sim_window_per_cell_in_the_shared_schema() {
+    let dir = out_dir("scenarios");
+    let timeline = dir.join("sim.timeline.jsonl");
+    let out = Command::new(env!("CARGO_BIN_EXE_scenarios"))
+        .args([
+            "run",
+            "kv-hot-zipf",
+            "--lock",
+            "MUTEX,MUTEXEE",
+            "--threads",
+            "2",
+            "--duration",
+            "200000",
+            "--warmup",
+            "20000",
+            "--seed",
+            "9",
+            "--format",
+            "jsonl",
+            "--trace-interval",
+            "10ms",
+            "--timeline",
+            timeline.to_str().unwrap(),
+        ])
+        .output()
+        .expect("scenarios run executes");
+    assert!(out.status.success(), "sim run failed: {}", String::from_utf8_lossy(&out.stderr));
+    let aggregates: Vec<String> =
+        String::from_utf8(out.stdout).unwrap().lines().map(str::to_string).collect();
+    assert_eq!(aggregates.len(), 2);
+
+    let text = std::fs::read_to_string(&timeline).expect("timeline written");
+    let rows: Vec<&str> = text.lines().collect();
+    assert_eq!(rows.len(), 2, "one whole-run window per cell: {text:?}");
+    for (row, agg) in rows.iter().zip(&aggregates) {
+        assert_eq!(json_keys(row), TIMELINE_KEYS, "timeline schema drifted: {row}");
+        assert_eq!(json_value(row, "transport"), "\"sim\"");
+        assert_eq!(json_value(row, "window"), "0");
+        assert_eq!(json_value(row, "start_ns"), "0");
+        assert_eq!(json_value(row, "ops"), json_value(agg, "total_ops"));
+        assert_eq!(json_value(row, "lock"), json_value(agg, "lock"));
+        for unwindowable in
+            ["p50_ns", "p99_ns", "lock_wait_ns", "lock_hold_ns", "measured_pkg_j", "measured_w"]
+        {
+            assert_eq!(json_value(row, unwindowable), "null", "{unwindowable} in {row}");
+        }
+        assert!(json_value(row, "end_ns").parse::<u64>().unwrap() > 0);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -372,6 +372,22 @@ mod tests {
     }
 
     #[test]
+    fn window_straddling_a_counter_wrap_yields_the_exact_corrected_delta() {
+        let fake = FakeRapl::new("sampler-window-wrap");
+        fake.domain(0, "package-0", FakeRapl::RANGE_UJ - 1_000);
+        let s = RaplSampler::probe_at(fake.root(), Duration::from_secs(3600)).unwrap().unwrap();
+        s.start_window();
+        // +1500 µJ carries the register past max_energy_range_uj, so the
+        // raw counter (500) reads *smaller* than the start mark; only the
+        // wrap correction (new + range - old) makes the window 1500 µJ.
+        fake.advance(0, 1_500);
+        assert_eq!(fake.energy(0), 500);
+        let win = s.stop_window().expect("window was open");
+        assert!((win.package_j - 1.5e-3).abs() < 1e-12, "wrap corrupted the window: {win:?}");
+        assert_eq!(win.dram_j, 0.0);
+    }
+
+    #[test]
     fn background_thread_keeps_wrapped_counters_correct() {
         // The counter wraps *twice* between the explicit marks; only the
         // background polls (every 2 ms) can observe the intermediate

@@ -91,6 +91,18 @@ impl NetConn {
             other => Err(unexpected(&req, &other)),
         }
     }
+
+    /// Fetches STATS v2: the v1 snapshot plus the server's latest
+    /// telemetry window. A pre-v2 server answers the unknown opcode with
+    /// an error response, which surfaces here as `Err` — callers (e.g.
+    /// `store top`) fall back to polling [`NetConn::stats`].
+    pub fn stats_v2(&mut self) -> io::Result<crate::proto::WireStatsV2> {
+        let req = Request::Stats2;
+        match self.request(&req)? {
+            Response::Stats2(v2) => Ok(*v2),
+            other => Err(unexpected(&req, &other)),
+        }
+    }
 }
 
 fn unexpected(req: &Request, resp: &Response) -> io::Error {

@@ -22,6 +22,13 @@
 //! (RAPL) energy; the driver diffs two readings around its measure window
 //! so TCP sweeps report measured joules attributed to the server.
 //!
+//! When it is bound with [`NetServer::bind_full`] and handed a
+//! `poly_trace::TraceRing`, the `STATS2` opcode additionally answers with
+//! the server's latest complete telemetry window (throughput, per-window
+//! p50/p99, lock wait/hold, measured joules) — the frame `store top`
+//! polls for its live view. STATS v1 is frozen: v1 clients keep parsing
+//! v2 servers, and a v2 client falls back to v1 when `STATS2` errors.
+//!
 //! # Example
 //!
 //! ```
@@ -197,6 +204,49 @@ mod tests {
         let r2 = run_load_on(&plain_client, &LoadSpec::saturating(mix, 1, 50, 3));
         assert_eq!(r2.energy_source, EnergySource::Modeled);
         assert!(r2.measured.is_none());
+    }
+
+    #[test]
+    fn stats2_round_trips_over_loopback() {
+        use poly_trace::{TraceRing, WindowSample};
+
+        // A server with no collector answers STATS2 with no window.
+        let (_plain, plain_client) = serve(LockKind::Mutex, 2);
+        let v2 = plain_client.session().unwrap().conn_mut().stats_v2().unwrap();
+        assert_eq!(v2.stats.lock, LockKind::Mutex);
+        assert_eq!(v2.window, None);
+
+        // A server with a ring answers with the newest complete window.
+        let ring = Arc::new(TraceRing::new(8));
+        let sample = WindowSample {
+            window: 3,
+            start_ns: 150_000_000,
+            end_ns: 200_000_000,
+            ops: 4_200,
+            p50_ns: 900,
+            p99_ns: 7_000,
+            ..WindowSample::default()
+        };
+        ring.push(&WindowSample { window: 2, ..WindowSample::default() });
+        ring.push(&sample);
+        let store = Arc::new(PolyStore::new(StoreConfig { shards: 4, lock: LockKind::Mutexee }));
+        let server = NetServer::bind_full(
+            "127.0.0.1:0",
+            store,
+            ServerConfig::default(),
+            None,
+            Some(Arc::clone(&ring)),
+        )
+        .expect("bind with ring");
+        let client = NetClient::connect(server.local_addr()).expect("connect");
+        let v2 = client.session().unwrap().conn_mut().stats_v2().unwrap();
+        assert_eq!(v2.stats.shards, 4);
+        assert_eq!(v2.window, Some(sample));
+        // v1 clients still get their frozen frame from the same server.
+        let v1 = client.session().unwrap().conn_mut().stats().unwrap();
+        assert_eq!(v1.lock, LockKind::Mutexee);
+        // Each exchange counted as a stats request.
+        assert!(server.net_stats().stats_reqs >= 3, "probe + stats2 + stats");
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! | `SCAN` | op `0x04` |
 //! | `BATCH` | op `0x05`, count `u32`, then per write: tag `u8` (1 put / 0 remove), key `u64`, value `u64` |
 //! | `STATS` | op `0x06` |
+//! | `STATS2` | op `0x07` |
 //!
 //! Responses open with status `0x00` (ok) or `0x01` (error, rest of the
 //! body is a UTF-8 message). Ok payloads: point ops return
@@ -25,12 +26,22 @@
 //! server-side measured energy (`present u8`, then
 //! `package_uj u64 + dram_uj u64 + samples u64`), so TCP sweeps attribute
 //! joules to the serving process rather than the client.
+//!
+//! `STATS2` is the v1 `STATS` payload byte-for-byte, followed by a
+//! `present u8` and, when present, the server's latest telemetry window
+//! as [`poly_trace::WORDS`] little-endian `u64` words (the
+//! [`poly_trace::WindowSample`] wire encoding). STATS v1 stays frozen —
+//! old clients keep parsing it — and a server without a trace collector
+//! answers `STATS2` with `present = 0`; a *pre-v2 server* answers the
+//! unknown `0x07` opcode with an error response, which v2 clients treat
+//! as "fall back to v1".
 
 use std::io::{self, Read, Write};
 
 use poly_locks_sim::LockKind;
 use poly_meter::MeasuredReading;
 use poly_store::{BatchOp, HistogramSnapshot, StatsSnapshot, WriteBatch, HIST_BUCKETS};
+use poly_trace::{WindowSample, WORDS};
 
 /// Upper bound on a frame body, enforced on both ends: a corrupt or
 /// hostile length prefix must not become a multi-gigabyte allocation.
@@ -42,6 +53,7 @@ const OP_REMOVE: u8 = 0x03;
 const OP_SCAN: u8 = 0x04;
 const OP_BATCH: u8 = 0x05;
 const OP_STATS: u8 = 0x06;
+const OP_STATS2: u8 = 0x07;
 
 const STATUS_OK: u8 = 0x00;
 const STATUS_ERR: u8 = 0x01;
@@ -61,6 +73,9 @@ pub enum Request {
     Batch(Vec<BatchOp>),
     /// Server stats: lock kind, shard count, merged shard stats.
     Stats,
+    /// STATS v2: everything `Stats` carries plus the server's latest
+    /// telemetry window, when a trace collector is running.
+    Stats2,
 }
 
 /// One server response.
@@ -83,6 +98,8 @@ pub enum Response {
     /// Server stats snapshot (boxed: the histogram makes it two orders
     /// of magnitude larger than the hot point-op variants).
     Stats(Box<WireStats>),
+    /// STATS v2 reply: the v1 snapshot plus the latest telemetry window.
+    Stats2(Box<WireStatsV2>),
     /// The request could not be served.
     Error(String),
 }
@@ -100,6 +117,16 @@ pub struct WireStats {
     /// server runs a sampler; clients diff two readings around their
     /// measure window.
     pub measured: Option<MeasuredReading>,
+}
+
+/// The STATS v2 payload: the frozen v1 [`WireStats`] plus the server's
+/// latest telemetry window (`None` when the server runs no collector).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireStatsV2 {
+    /// The v1 payload, byte-identical on the wire.
+    pub stats: WireStats,
+    /// The newest complete window from the server's trace ring.
+    pub window: Option<WindowSample>,
 }
 
 fn put_u32(buf: &mut Vec<u8>, v: u32) {
@@ -198,6 +225,7 @@ impl Request {
                 b
             }
             Request::Stats => vec![OP_STATS],
+            Request::Stats2 => vec![OP_STATS2],
         }
     }
 
@@ -226,6 +254,7 @@ impl Request {
                 Request::Batch(ops)
             }
             OP_STATS => Request::Stats,
+            OP_STATS2 => Request::Stats2,
             op => return Err(bad_frame(&format!("unknown opcode 0x{op:02x}"))),
         };
         c.finish()?;
@@ -274,6 +303,31 @@ fn decode_stats_snapshot(c: &mut Cursor) -> io::Result<StatsSnapshot> {
     Ok(s)
 }
 
+/// The v1 STATS payload body (after the status byte) — shared verbatim by
+/// STATS and the prefix of STATS2, so the v1 encoding can never drift.
+fn encode_wire_stats(b: &mut Vec<u8>, ws: &WireStats) {
+    b.push(lock_to_wire(ws.lock));
+    put_u32(b, ws.shards);
+    encode_stats_snapshot(b, &ws.stats);
+    b.push(u8::from(ws.measured.is_some()));
+    if let Some(m) = &ws.measured {
+        put_u64(b, m.package_uj);
+        put_u64(b, m.dram_uj);
+        put_u64(b, m.samples);
+    }
+}
+
+fn decode_wire_stats(c: &mut Cursor) -> io::Result<WireStats> {
+    let lock = lock_from_wire(c.u8()?)?;
+    let shards = c.u32()?;
+    let stats = decode_stats_snapshot(c)?;
+    let measured = match c.u8()? {
+        0 => None,
+        _ => Some(MeasuredReading { package_uj: c.u64()?, dram_uj: c.u64()?, samples: c.u64()? }),
+    };
+    Ok(WireStats { lock, shards, stats, measured })
+}
+
 impl Response {
     /// Encodes the response body (no length prefix).
     pub fn encode(&self) -> Vec<u8> {
@@ -301,14 +355,18 @@ impl Response {
             Response::Stats(ws) => {
                 let mut b = Vec::with_capacity(7 + (8 + HIST_BUCKETS + 1 + 3) * 8);
                 b.push(STATUS_OK);
-                b.push(lock_to_wire(ws.lock));
-                put_u32(&mut b, ws.shards);
-                encode_stats_snapshot(&mut b, &ws.stats);
-                b.push(u8::from(ws.measured.is_some()));
-                if let Some(m) = &ws.measured {
-                    put_u64(&mut b, m.package_uj);
-                    put_u64(&mut b, m.dram_uj);
-                    put_u64(&mut b, m.samples);
+                encode_wire_stats(&mut b, ws);
+                b
+            }
+            Response::Stats2(v2) => {
+                let mut b = Vec::with_capacity(8 + (8 + HIST_BUCKETS + 1 + 3 + WORDS) * 8);
+                b.push(STATUS_OK);
+                encode_wire_stats(&mut b, &v2.stats);
+                b.push(u8::from(v2.window.is_some()));
+                if let Some(w) = &v2.window {
+                    for word in w.to_words() {
+                        put_u64(&mut b, word);
+                    }
                 }
                 b
             }
@@ -342,19 +400,20 @@ impl Response {
             }
             Request::Scan => Response::Scan { count: c.u64()?, epoch: c.u64()? },
             Request::Batch(_) => Response::Batch { applied: c.u32()? },
-            Request::Stats => {
-                let lock = lock_from_wire(c.u8()?)?;
-                let shards = c.u32()?;
-                let stats = decode_stats_snapshot(&mut c)?;
-                let measured = match c.u8()? {
+            Request::Stats => Response::Stats(Box::new(decode_wire_stats(&mut c)?)),
+            Request::Stats2 => {
+                let stats = decode_wire_stats(&mut c)?;
+                let window = match c.u8()? {
                     0 => None,
-                    _ => Some(MeasuredReading {
-                        package_uj: c.u64()?,
-                        dram_uj: c.u64()?,
-                        samples: c.u64()?,
-                    }),
+                    _ => {
+                        let mut words = [0u64; WORDS];
+                        for word in words.iter_mut() {
+                            *word = c.u64()?;
+                        }
+                        Some(WindowSample::from_words(&words))
+                    }
                 };
-                Response::Stats(Box::new(WireStats { lock, shards, stats, measured }))
+                Response::Stats2(Box::new(WireStatsV2 { stats, window }))
             }
         };
         c.finish()?;
@@ -421,6 +480,7 @@ mod tests {
             Request::Batch(vec![(1, Some(2)), (3, None), (u64::MAX, Some(u64::MAX))]),
             Request::Batch(Vec::new()),
             Request::Stats,
+            Request::Stats2,
         ] {
             assert_eq!(round_trip_req(req.clone()), req);
         }
@@ -462,6 +522,43 @@ mod tests {
                 })),
             ),
             (Request::Get(1), Response::Error("boom".into())),
+            (
+                Request::Stats2,
+                Response::Stats2(Box::new(WireStatsV2 {
+                    stats: WireStats {
+                        lock: LockKind::Clh,
+                        shards: 16,
+                        stats,
+                        measured: Some(MeasuredReading { package_uj: 77, dram_uj: 0, samples: 2 }),
+                    },
+                    window: Some(WindowSample {
+                        window: 4,
+                        start_ns: 200_000_000,
+                        end_ns: 250_000_000,
+                        ops: 5_000,
+                        p50_ns: 1_024,
+                        p99_ns: 8_192,
+                        lock_wait_ns: 3_000_000,
+                        lock_hold_ns: 1_000_000,
+                        pkg_uj: 2_000_000,
+                        dram_uj: 100,
+                        measured: true,
+                        freq_khz: Some(1_200_000),
+                    }),
+                })),
+            ),
+            (
+                Request::Stats2,
+                Response::Stats2(Box::new(WireStatsV2 {
+                    stats: WireStats {
+                        lock: LockKind::Mutex,
+                        shards: 1,
+                        stats: StatsSnapshot::default(),
+                        measured: None,
+                    },
+                    window: None,
+                })),
+            ),
         ];
         for (req, resp) in cases {
             assert_eq!(Response::decode(&resp.encode(), &req).expect("round-trip"), resp);
@@ -501,6 +598,45 @@ mod tests {
         }))
         .encode();
         assert!(Response::decode(&full[..full.len() - 1], &Request::Stats).is_err());
+        // Likewise a STATS2 reply torn inside its window words.
+        let v2 = Response::Stats2(Box::new(WireStatsV2 {
+            stats: WireStats {
+                lock: LockKind::Mutex,
+                shards: 1,
+                stats: StatsSnapshot::default(),
+                measured: None,
+            },
+            window: Some(WindowSample { end_ns: 1_000, ops: 7, ..WindowSample::default() }),
+        }))
+        .encode();
+        assert!(Response::decode(&v2[..v2.len() - 3], &Request::Stats2).is_err());
+    }
+
+    #[test]
+    fn stats2_is_the_v1_payload_plus_a_window_suffix() {
+        // The compat contract: a v2 reply's prefix must be the v1 bytes
+        // byte-for-byte, so the v1 schema can never drift underneath old
+        // clients.
+        let mut stats = StatsSnapshot { gets: 9, lock_hold_ns: 5, ..Default::default() };
+        stats.latency.buckets[2] = 4;
+        let ws = WireStats {
+            lock: LockKind::Ticket,
+            shards: 4,
+            stats,
+            measured: Some(MeasuredReading { package_uj: 123, dram_uj: 45, samples: 6 }),
+        };
+        let v1 = Response::Stats(Box::new(ws.clone())).encode();
+        let none =
+            Response::Stats2(Box::new(WireStatsV2 { stats: ws.clone(), window: None })).encode();
+        assert_eq!(&none[..v1.len()], &v1[..]);
+        assert_eq!(none.len(), v1.len() + 1, "windowless v2 = v1 + present byte");
+        let some = Response::Stats2(Box::new(WireStatsV2 {
+            stats: ws,
+            window: Some(WindowSample { end_ns: 1, ..WindowSample::default() }),
+        }))
+        .encode();
+        assert_eq!(&some[..v1.len()], &v1[..]);
+        assert_eq!(some.len(), v1.len() + 1 + WORDS * 8);
     }
 
     #[test]

@@ -10,8 +10,9 @@ use std::time::Duration;
 
 use poly_meter::RaplSampler;
 use poly_store::{PolyStore, WriteBatch};
+use poly_trace::TraceRing;
 
-use crate::proto::{read_frame, write_frame, Request, Response, WireStats};
+use crate::proto::{read_frame, write_frame, Request, Response, WireStats, WireStatsV2};
 
 /// Tuning knobs of a [`NetServer`].
 #[derive(Debug, Clone, Copy)]
@@ -100,6 +101,10 @@ struct Inner {
     /// Server-side RAPL sampler: when present, STATS replies carry the
     /// serving process's cumulative measured energy.
     sampler: Option<Arc<RaplSampler>>,
+    /// Telemetry ring written by a collector (e.g.
+    /// `poly_trace::StoreCollector`): when present, STATS2 replies carry
+    /// the latest complete window.
+    window: Option<Arc<TraceRing>>,
     stop: AtomicBool,
     live: AtomicUsize,
     counters: NetCounters,
@@ -145,12 +150,27 @@ impl NetServer {
         cfg: ServerConfig,
         sampler: Option<Arc<RaplSampler>>,
     ) -> io::Result<NetServer> {
+        Self::bind_full(addr, store, cfg, sampler, None)
+    }
+
+    /// [`NetServer::bind_metered`] plus a telemetry ring: `STATS2`
+    /// requests then answer with the newest complete window from it
+    /// (wire a `poly_trace::StoreCollector`'s ring here so `store top`
+    /// reads live per-window throughput/latency/joules).
+    pub fn bind_full<A: ToSocketAddrs>(
+        addr: A,
+        store: Arc<PolyStore>,
+        cfg: ServerConfig,
+        sampler: Option<Arc<RaplSampler>>,
+        window: Option<Arc<TraceRing>>,
+    ) -> io::Result<NetServer> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let inner = Arc::new(Inner {
             store,
             cfg,
             sampler,
+            window,
             stop: AtomicBool::new(false),
             live: AtomicUsize::new(0),
             counters: NetCounters::default(),
@@ -351,12 +371,23 @@ fn execute(req: &Request, inner: &Inner) -> Response {
         }
         Request::Stats => {
             c.stats_reqs.fetch_add(1, Ordering::Relaxed);
-            Response::Stats(Box::new(WireStats {
-                lock: store.lock_kind(),
-                shards: store.shard_count() as u32,
-                stats: store.total_stats(),
-                measured: inner.sampler.as_ref().map(|s| s.reading()),
+            Response::Stats(Box::new(wire_stats(inner)))
+        }
+        Request::Stats2 => {
+            c.stats_reqs.fetch_add(1, Ordering::Relaxed);
+            Response::Stats2(Box::new(WireStatsV2 {
+                stats: wire_stats(inner),
+                window: inner.window.as_ref().and_then(|ring| ring.latest()),
             }))
         }
+    }
+}
+
+fn wire_stats(inner: &Inner) -> WireStats {
+    WireStats {
+        lock: inner.store.lock_kind(),
+        shards: inner.store.shard_count() as u32,
+        stats: inner.store.total_stats(),
+        measured: inner.sampler.as_ref().map(|s| s.reading()),
     }
 }

@@ -1,0 +1,212 @@
+//! The canonical column registries.
+//!
+//! These are *the* schemas: the `store` CLI, `poly-scenarios` and
+//! `poly-trace` all render against the registries below, and each
+//! emitter's test suite pins its full column list here (the
+//! schema-drift guard) — adding a column to one emitter without the
+//! other now fails a test instead of silently forking the sinks.
+
+use crate::{Column, ColumnType, Schema};
+
+use ColumnType::{Bool, OptF64, OptU64, Str, F64, U64};
+
+/// The native `store` CLI's sweep cell (`store run`/`store sweep`).
+///
+/// The trailing `energy_model` constant is JSON-only: the historical CSV
+/// sink never carried it, and byte-compatibility wins over symmetry.
+pub const STORE_CELL: Schema = Schema::new(&[
+    Column::new("scenario", Str),
+    Column::new("workload", Str),
+    Column::new("transport", Str),
+    Column::new("lock", Str),
+    Column::new("shards", U64),
+    Column::new("threads", U64),
+    Column::new("ops", U64),
+    Column::new("wall_ms", F64),
+    Column::new("throughput", F64),
+    Column::new("p50_ns", U64),
+    Column::new("p99_ns", U64),
+    Column::new("max_ns", U64),
+    Column::new("lock_wait_ns", U64),
+    Column::new("lock_hold_ns", U64),
+    Column::new("avg_power_w", F64),
+    Column::new("energy_j", F64),
+    Column::new("epo_uj", F64),
+    Column::new("measured_j", OptF64),
+    Column::new("measured_uj_per_op", OptF64),
+    Column::new("measured_pkg_j", OptF64),
+    Column::new("measured_dram_j", OptF64),
+    Column::new("energy_source", Str),
+    Column::new("freq_khz", OptU64),
+    Column::new("freq_applied", Bool),
+    Column::json_only("energy_model", Str),
+]);
+
+/// The simulated sweep cell (`poly-scenarios` `CellReport`).
+pub const SCENARIO_CELL: Schema = Schema::new(&[
+    Column::new("scenario", Str),
+    Column::new("workload", Str),
+    Column::new("machine", Str),
+    Column::new("transport", Str),
+    Column::new("lock", Str),
+    Column::new("threads", U64),
+    Column::new("seed", U64),
+    Column::new("measured_cycles", U64),
+    Column::new("total_ops", U64),
+    Column::new("throughput", F64),
+    Column::new("avg_power_w", F64),
+    Column::new("energy_j", F64),
+    Column::new("tpp", F64),
+    Column::new("epo_uj", F64),
+    Column::new("measured_j", OptF64),
+    Column::new("measured_uj_per_op", OptF64),
+    Column::new("measured_pkg_j", OptF64),
+    Column::new("measured_dram_j", OptF64),
+    Column::new("energy_source", Str),
+    Column::new("freq_khz", OptU64),
+    Column::new("freq_applied", Bool),
+    Column::new("p50_acq_cycles", U64),
+    Column::new("p99_acq_cycles", U64),
+    Column::new("max_acq_cycles", U64),
+]);
+
+/// One window of a `*.timeline.jsonl` sink (`poly-trace`), shared by the
+/// native and simulated sweeps.
+///
+/// The native driver fills every column; the simulator (whose runs are
+/// atomic — one whole-run window per cell) leaves the per-window latency
+/// and lock columns `null`, and both leave the measured columns `null`
+/// on unmetered hosts — the schema never changes shape.
+pub const TIMELINE: Schema = Schema::new(&[
+    Column::new("scenario", Str),
+    Column::new("workload", Str),
+    Column::new("transport", Str),
+    Column::new("lock", Str),
+    Column::new("shards", U64),
+    Column::new("threads", U64),
+    Column::new("seed", U64),
+    Column::new("window", U64),
+    Column::new("start_ns", U64),
+    Column::new("end_ns", U64),
+    Column::new("ops", U64),
+    Column::new("throughput", F64),
+    Column::new("p50_ns", OptU64),
+    Column::new("p99_ns", OptU64),
+    Column::new("lock_wait_ns", OptU64),
+    Column::new("lock_hold_ns", OptU64),
+    Column::new("measured_pkg_j", OptF64),
+    Column::new("measured_dram_j", OptF64),
+    Column::new("measured_w", OptF64),
+    Column::new("freq_khz", OptU64),
+]);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registries_are_well_formed() {
+        for schema in [STORE_CELL, SCENARIO_CELL, TIMELINE] {
+            schema.validate();
+        }
+    }
+
+    /// The registry side of the schema-drift guard: the exact historical
+    /// column lists, pinned. The emitters pin their own output against
+    /// the registry in their test suites; this test pins the registry
+    /// itself, so a drift is caught even if both ends move together by
+    /// accident.
+    #[test]
+    fn store_cell_columns_are_pinned() {
+        assert_eq!(
+            STORE_CELL.names(),
+            [
+                "scenario",
+                "workload",
+                "transport",
+                "lock",
+                "shards",
+                "threads",
+                "ops",
+                "wall_ms",
+                "throughput",
+                "p50_ns",
+                "p99_ns",
+                "max_ns",
+                "lock_wait_ns",
+                "lock_hold_ns",
+                "avg_power_w",
+                "energy_j",
+                "epo_uj",
+                "measured_j",
+                "measured_uj_per_op",
+                "measured_pkg_j",
+                "measured_dram_j",
+                "energy_source",
+                "freq_khz",
+                "freq_applied",
+                "energy_model",
+            ]
+        );
+        // The historical CSV header, byte for byte (no energy_model).
+        assert_eq!(
+            STORE_CELL.csv_header(),
+            "scenario,workload,transport,lock,shards,threads,ops,wall_ms,throughput,p50_ns,\
+             p99_ns,max_ns,lock_wait_ns,lock_hold_ns,avg_power_w,energy_j,epo_uj,measured_j,\
+             measured_uj_per_op,measured_pkg_j,measured_dram_j,energy_source,freq_khz,freq_applied"
+        );
+    }
+
+    #[test]
+    fn scenario_cell_columns_are_pinned() {
+        assert_eq!(
+            SCENARIO_CELL.csv_header(),
+            "scenario,workload,machine,transport,lock,threads,seed,measured_cycles,total_ops,\
+             throughput,avg_power_w,energy_j,tpp,epo_uj,measured_j,measured_uj_per_op,\
+             measured_pkg_j,measured_dram_j,energy_source,freq_khz,freq_applied,p50_acq_cycles,\
+             p99_acq_cycles,max_acq_cycles"
+        );
+        // No JSON-only columns here: JSON keys == CSV header.
+        assert_eq!(SCENARIO_CELL.names(), SCENARIO_CELL.csv_names());
+    }
+
+    #[test]
+    fn timeline_columns_are_pinned() {
+        assert_eq!(
+            TIMELINE.names(),
+            [
+                "scenario",
+                "workload",
+                "transport",
+                "lock",
+                "shards",
+                "threads",
+                "seed",
+                "window",
+                "start_ns",
+                "end_ns",
+                "ops",
+                "throughput",
+                "p50_ns",
+                "p99_ns",
+                "lock_wait_ns",
+                "lock_hold_ns",
+                "measured_pkg_j",
+                "measured_dram_j",
+                "measured_w",
+                "freq_khz",
+            ]
+        );
+    }
+
+    /// Cells from the two sweep families must stay joinable on their
+    /// shared identity and measured columns.
+    #[test]
+    fn shared_columns_agree_on_type() {
+        for a in STORE_CELL.columns() {
+            if let Some(b) = SCENARIO_CELL.columns().iter().find(|c| c.name == a.name) {
+                assert_eq!(a.ty, b.ty, "column {} diverged across sweep families", a.name);
+            }
+        }
+    }
+}

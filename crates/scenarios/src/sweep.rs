@@ -5,10 +5,12 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use poly_locks_sim::LockKind;
+use poly_report::columns::SCENARIO_CELL;
+use poly_report::Value;
 use poly_sim::SimReport;
 use poly_store::EnergySource;
 
-use crate::spec::{json_str, ScenarioSpec};
+use crate::spec::ScenarioSpec;
 
 /// Expands base scenarios into the cross product with `locks` and
 /// `thread_counts`, deriving a deterministic seed for every cell.
@@ -250,45 +252,50 @@ impl CellReport {
         }
     }
 
-    /// Serializes the report as one JSON object (one JSON-lines record).
-    pub fn to_json(&self) -> String {
-        format!(
-            "{{\"scenario\":{},\"workload\":{},\"machine\":\"{}\",\"transport\":\"{}\",\
-             \"lock\":\"{}\",\"threads\":{},\
-             \"seed\":{},\"measured_cycles\":{},\"total_ops\":{},\"throughput\":{},\
-             \"avg_power_w\":{},\"energy_j\":{},\"tpp\":{},\"epo_uj\":{},\
-             \"measured_j\":{},\"measured_uj_per_op\":{},\"measured_pkg_j\":{},\
-             \"measured_dram_j\":{},\"energy_source\":\"{}\",\"freq_khz\":{},\
-             \"freq_applied\":{},\
-             \"p50_acq_cycles\":{},\"p99_acq_cycles\":{},\"max_acq_cycles\":{}}}",
-            json_str(&self.scenario),
-            json_str(&self.workload),
-            self.machine,
-            self.transport,
-            self.lock.label(),
-            self.threads,
-            self.seed,
-            self.measured_cycles,
-            self.total_ops,
-            json_f64(self.throughput),
-            json_f64(self.avg_power_w),
-            json_f64(self.energy_j),
-            json_f64(self.tpp),
-            json_f64(self.epo_uj),
-            json_opt_f64(self.measured_j),
-            json_opt_f64(self.measured_uj_per_op),
-            json_opt_f64(self.measured_pkg_j),
-            json_opt_f64(self.measured_dram_j),
-            self.energy_source.label(),
-            json_opt_u64(self.freq_khz),
-            self.freq_applied,
-            self.p50_acq_cycles,
-            self.p99_acq_cycles,
-            self.max_acq_cycles,
-        )
+    /// The report as one row of the canonical `SCENARIO_CELL` schema —
+    /// both sinks render from the same value list, so JSONL and CSV can
+    /// never disagree on columns.
+    fn render(&self, csv: bool) -> String {
+        let row = [
+            Value::Str(&self.scenario),
+            Value::Str(&self.workload),
+            Value::Str(self.machine),
+            Value::Str(self.transport),
+            Value::Str(self.lock.label()),
+            Value::U64(self.threads as u64),
+            Value::U64(self.seed),
+            Value::U64(self.measured_cycles),
+            Value::U64(self.total_ops),
+            Value::F64(self.throughput),
+            Value::F64(self.avg_power_w),
+            Value::F64(self.energy_j),
+            Value::F64(self.tpp),
+            Value::F64(self.epo_uj),
+            Value::OptF64(self.measured_j),
+            Value::OptF64(self.measured_uj_per_op),
+            Value::OptF64(self.measured_pkg_j),
+            Value::OptF64(self.measured_dram_j),
+            Value::Str(self.energy_source.label()),
+            Value::OptU64(self.freq_khz),
+            Value::Bool(self.freq_applied),
+            Value::U64(self.p50_acq_cycles),
+            Value::U64(self.p99_acq_cycles),
+            Value::U64(self.max_acq_cycles),
+        ];
+        if csv {
+            SCENARIO_CELL.row_csv(&row)
+        } else {
+            SCENARIO_CELL.row_json(&row)
+        }
     }
 
-    /// The CSV column header matching [`CellReport::to_csv`].
+    /// Serializes the report as one JSON object (one JSON-lines record).
+    pub fn to_json(&self) -> String {
+        self.render(false)
+    }
+
+    /// The CSV column header matching [`CellReport::to_csv`] (frozen —
+    /// pinned against `SCENARIO_CELL` by the schema-drift tests).
     pub const CSV_HEADER: &'static str = "scenario,workload,machine,transport,lock,threads,seed,\
         measured_cycles,total_ops,throughput,avg_power_w,energy_j,tpp,epo_uj,measured_j,\
         measured_uj_per_op,measured_pkg_j,measured_dram_j,energy_source,freq_khz,freq_applied,\
@@ -296,64 +303,7 @@ impl CellReport {
 
     /// Serializes the report as one CSV row.
     pub fn to_csv(&self) -> String {
-        format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
-            csv_str(&self.scenario),
-            csv_str(&self.workload),
-            self.machine,
-            self.transport,
-            self.lock.label(),
-            self.threads,
-            self.seed,
-            self.measured_cycles,
-            self.total_ops,
-            json_f64(self.throughput),
-            json_f64(self.avg_power_w),
-            json_f64(self.energy_j),
-            json_f64(self.tpp),
-            json_f64(self.epo_uj),
-            json_opt_f64(self.measured_j),
-            json_opt_f64(self.measured_uj_per_op),
-            json_opt_f64(self.measured_pkg_j),
-            json_opt_f64(self.measured_dram_j),
-            self.energy_source.label(),
-            json_opt_u64(self.freq_khz),
-            self.freq_applied,
-            self.p50_acq_cycles,
-            self.p99_acq_cycles,
-            self.max_acq_cycles,
-        )
-    }
-}
-
-/// Formats a float deterministically; non-finite values become `null`
-/// (JSON has no NaN/Infinity).
-fn json_f64(v: f64) -> String {
-    if v.is_finite() {
-        format!("{v}")
-    } else {
-        "null".into()
-    }
-}
-
-/// Formats an optional float: absent measurements are `null` in both
-/// sinks, so the measured columns always exist and parse uniformly.
-fn json_opt_f64(v: Option<f64>) -> String {
-    v.map_or_else(|| "null".into(), json_f64)
-}
-
-/// Formats an optional integer the same way (`freq_khz`: `null` = base).
-fn json_opt_u64(v: Option<u64>) -> String {
-    v.map_or_else(|| "null".into(), |x| x.to_string())
-}
-
-/// Quotes a CSV field when it contains a delimiter, quote or newline
-/// (RFC 4180); scenario names are arbitrary caller-provided strings.
-fn csv_str(s: &str) -> String {
-    if s.contains([',', '"', '\n', '\r']) {
-        format!("\"{}\"", s.replace('"', "\"\""))
-    } else {
-        s.to_string()
+        self.render(true)
     }
 }
 
@@ -642,6 +592,11 @@ mod tests {
 
         let mut csv = Vec::new();
         write_reports(&mut csv, SinkFormat::Csv, &reports).unwrap();
+        assert_eq!(
+            CellReport::CSV_HEADER,
+            SCENARIO_CELL.csv_header(),
+            "the frozen header and the registry must agree"
+        );
         let csv = String::from_utf8(csv).unwrap();
         let mut lines = csv.lines();
         let header = lines.next().unwrap();

@@ -240,6 +240,37 @@ impl LoadReport {
     }
 }
 
+/// Hooks into a load run's measure window — how `poly-trace` watches a
+/// run without the driver knowing about tracing.
+///
+/// The driver calls [`window_open`](LoadObserver::window_open) right
+/// after it takes its start marks (stats base + energy base, prefill
+/// already excluded), [`on_op`](LoadObserver::on_op) exactly once per
+/// completed operation from the issuing client thread (so an observer
+/// counting ops reproduces the report's `ops` exactly, batched writes
+/// included), and [`window_close`](LoadObserver::window_close) right
+/// after the end marks. All hooks default to no-ops; `on_op` sits on
+/// the client hot path, so implementations must stay lock-free.
+pub trait LoadObserver: Sync {
+    /// The measure window opened: `base` is the service-stats base mark,
+    /// `measured` the energy base reading (for a metered service).
+    fn window_open(&self, _base: &StatsSnapshot, _measured: Option<MeasuredReading>) {}
+
+    /// One operation completed with the given request latency
+    /// (nanoseconds from its scheduled origin).
+    fn on_op(&self, _latency_ns: u64) {}
+
+    /// The measure window closed: `end` is the closing service-stats
+    /// mark, `measured` the closing energy reading.
+    fn window_close(&self, _end: &StatsSnapshot, _measured: Option<MeasuredReading>) {}
+}
+
+/// The default observer: observes nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoObserver;
+
+impl LoadObserver for NoObserver {}
+
 /// The scheduled arrival time (ns since run start) of thread `tid`'s
 /// `i`-th operation under open-loop pacing.
 ///
@@ -270,6 +301,20 @@ pub fn run_load(store: &PolyStore, spec: &LoadSpec) -> LoadReport {
 ///
 /// Panics if the mix fails [`KvMix::validate`].
 pub fn run_load_on<S: KvService>(svc: &S, spec: &LoadSpec) -> LoadReport {
+    run_load_observed(svc, spec, &NoObserver)
+}
+
+/// [`run_load_on`] with a [`LoadObserver`] watching the measure window —
+/// the entry point `poly-trace` builds windowed timelines on.
+///
+/// # Panics
+///
+/// Panics if the mix fails [`KvMix::validate`].
+pub fn run_load_observed<S: KvService, O: LoadObserver>(
+    svc: &S,
+    spec: &LoadSpec,
+    obs: &O,
+) -> LoadReport {
     spec.mix.validate().unwrap_or_else(|e| panic!("invalid mix: {e}"));
     let mix = spec.mix;
 
@@ -290,6 +335,7 @@ pub fn run_load_on<S: KvService>(svc: &S, spec: &LoadSpec) -> LoadReport {
     // Measure-window start mark (one exchange: stats base + energy
     // base): prefill (warmup) energy stays outside the window.
     let (base, measured_base) = svc.stats_and_energy();
+    obs.window_open(&base, measured_base);
     let sampler = KeySampler::new(mix.dist, mix.keys);
     let threads = spec.threads.max(1);
     // Floor at 1 ns: a rate above 1e9/s would otherwise schedule every
@@ -303,7 +349,7 @@ pub fn run_load_on<S: KvService>(svc: &S, spec: &LoadSpec) -> LoadReport {
                 let sampler = &sampler;
                 scope.spawn(move || {
                     let conn = svc.connect();
-                    client_thread(conn, spec, sampler, t, start, interval_ns)
+                    client_thread(conn, spec, sampler, t, start, interval_ns, obs)
                 })
             })
             .collect();
@@ -314,6 +360,7 @@ pub fn run_load_on<S: KvService>(svc: &S, spec: &LoadSpec) -> LoadReport {
     // matches `wall` as closely as the transport allows; the same
     // exchange carries the closing stats snapshot.
     let (end_stats, measured_end) = svc.stats_and_energy();
+    obs.window_close(&end_stats, measured_end);
     let measured = match (measured_base, measured_end) {
         (Some(start_r), Some(end_r)) => Some(MeasuredEnergy::between(start_r, end_r)),
         _ => None,
@@ -365,13 +412,15 @@ pub fn run_load_on<S: KvService>(svc: &S, spec: &LoadSpec) -> LoadReport {
 }
 
 /// One client thread's loop; returns (latency histogram, ops done, idle ns).
-fn client_thread<C: KvConnection>(
+#[allow(clippy::too_many_arguments)] // one call site; the run's axes
+fn client_thread<C: KvConnection, O: LoadObserver>(
     mut conn: C,
     spec: &LoadSpec,
     sampler: &KeySampler,
     tid: usize,
     start: Instant,
     interval_ns: Option<u64>,
+    obs: &O,
 ) -> (HistogramSnapshot, u64, u64) {
     let mix = spec.mix;
     // Decorrelate per-thread streams; SplitMix64 scrambles the seed, so a
@@ -414,7 +463,7 @@ fn client_thread<C: KvConnection>(
                     buffered = true;
                     if batch.len() >= mix.batch {
                         conn.apply(&batch);
-                        flush_batch_latencies(&hist, &mut batch_origins, start);
+                        flush_batch_latencies(&hist, &mut batch_origins, start, obs);
                         batch.clear();
                     }
                 } else {
@@ -428,7 +477,7 @@ fn client_thread<C: KvConnection>(
                     buffered = true;
                     if batch.len() >= mix.batch {
                         conn.apply(&batch);
-                        flush_batch_latencies(&hist, &mut batch_origins, start);
+                        flush_batch_latencies(&hist, &mut batch_origins, start, obs);
                         batch.clear();
                     }
                 } else {
@@ -442,12 +491,14 @@ fn client_thread<C: KvConnection>(
         ops += 1;
         if !buffered {
             let done = start.elapsed().as_nanos() as u64;
-            hist.record(done.saturating_sub(origin));
+            let latency = done.saturating_sub(origin);
+            hist.record(latency);
+            obs.on_op(latency);
         }
     }
     if !batch.is_empty() {
         conn.apply(&batch);
-        flush_batch_latencies(&hist, &mut batch_origins, start);
+        flush_batch_latencies(&hist, &mut batch_origins, start, obs);
     }
     (hist.snapshot(), ops, idle_ns)
 }
@@ -455,11 +506,19 @@ fn client_thread<C: KvConnection>(
 /// Records one latency sample per buffered write, measured from each
 /// write's scheduled origin to the batch's apply completion — so a
 /// batched op's latency includes the time it sat in the buffer, and every
-/// issued op contributes exactly one histogram sample.
-fn flush_batch_latencies(hist: &LatencyHistogram, origins: &mut Vec<u64>, start: Instant) {
+/// issued op contributes exactly one histogram sample (and one
+/// [`LoadObserver::on_op`] call).
+fn flush_batch_latencies<O: LoadObserver>(
+    hist: &LatencyHistogram,
+    origins: &mut Vec<u64>,
+    start: Instant,
+    obs: &O,
+) {
     let done = start.elapsed().as_nanos() as u64;
     for origin in origins.drain(..) {
-        hist.record(done.saturating_sub(origin));
+        let latency = done.saturating_sub(origin);
+        hist.record(latency);
+        obs.on_op(latency);
     }
 }
 
@@ -614,6 +673,52 @@ mod tests {
         fn service_stats(&self) -> StatsSnapshot {
             self.store.total_stats()
         }
+    }
+
+    #[test]
+    fn observer_sees_every_op_and_both_window_marks() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Mutex;
+
+        #[derive(Default)]
+        struct Counting {
+            ops: AtomicU64,
+            marks: Mutex<Vec<(&'static str, StatsSnapshot)>>,
+        }
+
+        impl LoadObserver for Counting {
+            fn window_open(&self, base: &StatsSnapshot, _m: Option<MeasuredReading>) {
+                self.marks.lock().unwrap().push(("open", *base));
+            }
+
+            fn on_op(&self, _latency_ns: u64) {
+                self.ops.fetch_add(1, Ordering::Relaxed);
+            }
+
+            fn window_close(&self, end: &StatsSnapshot, _m: Option<MeasuredReading>) {
+                self.marks.lock().unwrap().push(("close", *end));
+            }
+        }
+
+        // A batch size the op count doesn't divide, so the leftover flush
+        // must notify the observer too.
+        let mix = KvMix { batch: 32, ..KvMix::write_burst() }.with_shards(4);
+        let store = PolyStore::new(StoreConfig { shards: mix.shards, lock: LockKind::Mutexee });
+        let obs = Counting::default();
+        let r = run_load_observed(&store, &LoadSpec::saturating(mix, 2, 1_037, 21), &obs);
+        assert_eq!(
+            obs.ops.load(Ordering::Relaxed),
+            r.ops,
+            "on_op must fire exactly once per completed op"
+        );
+        let marks = obs.marks.into_inner().unwrap();
+        assert_eq!(marks.len(), 2);
+        assert_eq!(marks[0].0, "open");
+        assert_eq!(marks[1].0, "close");
+        // The marks bracket the run: their delta is the report's stats.
+        assert_eq!(marks[1].1.delta(&marks[0].1), r.store_stats);
+        // The base mark already carries the prefill, excluded from the run.
+        assert!(marks[0].1.puts > 0, "prefill must predate the open mark");
     }
 
     #[test]

@@ -55,8 +55,8 @@ mod workload;
 pub use anylock::{AnyGuard, AnyLock};
 pub use batch::{BatchOp, WriteBatch};
 pub use driver::{
-    run_load, run_load_on, scheduled_arrival_ns, KvConnection, KvService, LoadReport, LoadSpec,
-    LocalConn,
+    run_load, run_load_observed, run_load_on, scheduled_arrival_ns, KvConnection, KvService,
+    LoadObserver, LoadReport, LoadSpec, LocalConn, NoObserver,
 };
 pub use energy::EnergyEstimate;
 pub use metered::{Metered, MeteredConn};

@@ -227,19 +227,33 @@ impl StatsSnapshot {
         self.gets + self.puts + self.removes
     }
 
-    /// The activity recorded since `base` was taken.
-    pub fn since(&self, base: &StatsSnapshot) -> StatsSnapshot {
+    /// The activity recorded between `earlier` and this snapshot — the
+    /// windowed view `poly-trace` samples are built from.
+    ///
+    /// Every component subtracts saturating (counters *and* histogram
+    /// buckets): counters are monotonic in normal operation, but a
+    /// wrapped or restarted counter must yield an empty window, never a
+    /// panic or a garbage near-`u64::MAX` delta that would dwarf every
+    /// real sample downstream.
+    pub fn delta(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
         StatsSnapshot {
-            gets: self.gets.saturating_sub(base.gets),
-            get_hits: self.get_hits.saturating_sub(base.get_hits),
-            puts: self.puts.saturating_sub(base.puts),
-            removes: self.removes.saturating_sub(base.removes),
-            scans: self.scans.saturating_sub(base.scans),
-            batches: self.batches.saturating_sub(base.batches),
-            lock_wait_ns: self.lock_wait_ns.saturating_sub(base.lock_wait_ns),
-            lock_hold_ns: self.lock_hold_ns.saturating_sub(base.lock_hold_ns),
-            latency: self.latency.since(&base.latency),
+            gets: self.gets.saturating_sub(earlier.gets),
+            get_hits: self.get_hits.saturating_sub(earlier.get_hits),
+            puts: self.puts.saturating_sub(earlier.puts),
+            removes: self.removes.saturating_sub(earlier.removes),
+            scans: self.scans.saturating_sub(earlier.scans),
+            batches: self.batches.saturating_sub(earlier.batches),
+            lock_wait_ns: self.lock_wait_ns.saturating_sub(earlier.lock_wait_ns),
+            lock_hold_ns: self.lock_hold_ns.saturating_sub(earlier.lock_hold_ns),
+            latency: self.latency.since(&earlier.latency),
         }
+    }
+
+    /// The activity recorded since `base` was taken (alias of
+    /// [`StatsSnapshot::delta`], kept for the driver's historical
+    /// window-mark phrasing).
+    pub fn since(&self, base: &StatsSnapshot) -> StatsSnapshot {
+        self.delta(base)
     }
 
     /// Folds another snapshot into this one.
@@ -363,5 +377,78 @@ mod tests {
         assert_eq!(m.lock_wait_ns, 11);
         assert_eq!(m.lock_hold_ns, 22);
         assert_eq!(m.latency.count(), 2);
+    }
+
+    #[test]
+    fn delta_is_the_windowed_view() {
+        let s = ShardStats::new();
+        s.record_get(true);
+        s.record_lock(10, 20);
+        s.record_latency(100);
+        let base = s.snapshot();
+        s.record_get(false);
+        s.record_put();
+        s.record_lock(5, 7);
+        s.record_latency(300);
+        let d = s.snapshot().delta(&base);
+        assert_eq!(d.gets, 1);
+        assert_eq!(d.get_hits, 0);
+        assert_eq!(d.puts, 1);
+        assert_eq!(d.point_ops(), 2);
+        assert_eq!(d.lock_wait_ns, 5);
+        assert_eq!(d.lock_hold_ns, 7);
+        assert_eq!(d.latency.count(), 1);
+        // `since` is the same computation under its historical name.
+        assert_eq!(s.snapshot().since(&base), d);
+    }
+
+    #[test]
+    fn delta_of_an_empty_window_is_all_zero() {
+        let s = ShardStats::new();
+        s.record_get(true);
+        s.record_put();
+        s.record_lock(3, 4);
+        s.record_latency(50);
+        let snap = s.snapshot();
+        let d = snap.delta(&snap);
+        assert_eq!(d.point_ops(), 0, "identical marks must yield an empty window");
+        assert_eq!((d.gets, d.get_hits, d.scans, d.batches), (0, 0, 0, 0));
+        assert_eq!((d.lock_wait_ns, d.lock_hold_ns), (0, 0));
+        assert_eq!(d.latency.count(), 0);
+        // The histogram max is carried as-is (an upper bound), never
+        // subtracted below a real sample.
+        assert_eq!(d.latency.max_ns, snap.latency.max_ns);
+    }
+
+    #[test]
+    fn delta_saturates_on_counter_wrap() {
+        // A wrapped (or restarted) counter makes the "later" snapshot
+        // smaller than the base; the delta must clamp to zero in every
+        // component, not wrap to ~u64::MAX.
+        let mut later = StatsSnapshot {
+            gets: 3,
+            get_hits: 1,
+            puts: 0,
+            removes: 0,
+            scans: 0,
+            batches: 0,
+            lock_wait_ns: 10,
+            lock_hold_ns: 0,
+            latency: HistogramSnapshot::default(),
+        };
+        later.latency.buckets[4] = 2;
+        let mut base = later;
+        base.gets = u64::MAX - 5; // wrapped since the base was taken
+        base.puts = 7;
+        base.lock_wait_ns = 4;
+        base.lock_hold_ns = 1_000;
+        base.latency.buckets[4] = 9;
+        let d = later.delta(&base);
+        assert_eq!(d.gets, 0);
+        assert_eq!(d.puts, 0);
+        assert_eq!(d.lock_hold_ns, 0);
+        assert_eq!(d.latency.buckets[4], 0, "histogram buckets saturate too");
+        // Components that did move still report their real delta.
+        assert_eq!(d.lock_wait_ns, 6);
     }
 }

@@ -1,0 +1,181 @@
+//! chrome://tracing (`trace_event`) export.
+//!
+//! Turns window timelines into the Trace Event JSON format that
+//! `chrome://tracing` and [Perfetto](https://ui.perfetto.dev) load: one
+//! named track per cell, one complete (`"ph":"X"`) slice per window,
+//! and a nested `lock-wait` child slice sized to the window's lock wait
+//! (clamped to the window) — so contention phases read directly off the
+//! flame view, and the slice `args` carry the exact numbers.
+
+use poly_report::{fmt_f64, fmt_opt_f64, json_escape};
+
+use crate::sample::WindowSample;
+
+/// Builds a Trace Event JSON document from window timelines.
+#[derive(Debug, Default)]
+pub struct ChromeTrace {
+    events: Vec<String>,
+    next_tid: u64,
+}
+
+impl ChromeTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of tracks added so far.
+    pub fn tracks(&self) -> u64 {
+        self.next_tid
+    }
+
+    /// Adds one cell's windows as a named track (e.g.
+    /// `"kv-zipf/local/MUTEXEE/t4"`). Returns the track's tid.
+    pub fn add_track(&mut self, name: &str, windows: &[WindowSample]) -> u64 {
+        let tid = self.next_tid;
+        self.next_tid += 1;
+        // Metadata event: names the track in the viewer.
+        self.events.push(format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\
+             \"args\":{{\"name\":{}}}}}",
+            json_escape(name)
+        ));
+        for w in windows {
+            let ts_us = us(w.start_ns);
+            let dur_us = us(w.duration_ns());
+            self.events.push(format!(
+                "{{\"name\":\"window {}\",\"ph\":\"X\",\"pid\":1,\"tid\":{tid},\"ts\":{},\
+                 \"dur\":{},\"args\":{{\"ops\":{},\"throughput\":{},\"p50_ns\":{},\
+                 \"p99_ns\":{},\"lock_wait_ns\":{},\"lock_hold_ns\":{},\"watts\":{}}}}}",
+                w.window,
+                ts_us,
+                dur_us,
+                w.ops,
+                fmt_f64(w.throughput()),
+                w.p50_ns,
+                w.p99_ns,
+                w.lock_wait_ns,
+                w.lock_hold_ns,
+                fmt_opt_f64(w.watts()),
+            ));
+            if w.lock_wait_ns > 0 {
+                // Nested child slice: lock-wait share of the window,
+                // clamped so aggregate wait across threads (which can
+                // exceed wall time) still renders inside its parent.
+                let wait_us = us(w.lock_wait_ns.min(w.duration_ns()));
+                self.events.push(format!(
+                    "{{\"name\":\"lock-wait\",\"ph\":\"X\",\"pid\":1,\"tid\":{tid},\"ts\":{},\
+                     \"dur\":{},\"args\":{{\"lock_wait_ns\":{},\"share\":{}}}}}",
+                    ts_us,
+                    wait_us,
+                    w.lock_wait_ns,
+                    fmt_f64(w.lock_wait_share()),
+                ));
+            }
+        }
+        tid
+    }
+
+    /// The complete Trace Event JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"traceEvents\":[");
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(e);
+        }
+        out.push_str("],\"displayTimeUnit\":\"ms\"}");
+        out
+    }
+}
+
+/// Trace Event timestamps are microseconds (fractions allowed).
+fn us(ns: u64) -> String {
+    fmt_f64(ns as f64 / 1e3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window(i: u64, wait_ns: u64) -> WindowSample {
+        WindowSample {
+            window: i,
+            start_ns: i * 50_000_000,
+            end_ns: (i + 1) * 50_000_000,
+            ops: 1_000,
+            p50_ns: 800,
+            p99_ns: 9_000,
+            lock_wait_ns: wait_ns,
+            lock_hold_ns: wait_ns / 2,
+            pkg_uj: 1_000_000,
+            dram_uj: 0,
+            measured: true,
+            freq_khz: None,
+        }
+    }
+
+    #[test]
+    fn emits_named_tracks_with_window_and_wait_slices() {
+        let mut trace = ChromeTrace::new();
+        let tid =
+            trace.add_track("kv-zipf/local/MUTEXEE/t4", &[window(0, 5_000_000), window(1, 0)]);
+        assert_eq!(tid, 0);
+        assert_eq!(trace.tracks(), 1);
+        let json = trace.to_json();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.ends_with("],\"displayTimeUnit\":\"ms\"}"));
+        assert!(json.contains("\"thread_name\""));
+        assert!(json.contains("\"name\":\"kv-zipf/local/MUTEXEE/t4\""));
+        // Window 0 at ts 0 µs, 50 ms duration.
+        assert!(
+            json.contains(
+                "\"name\":\"window 0\",\"ph\":\"X\",\"pid\":1,\"tid\":0,\"ts\":0,\"dur\":50000"
+            ),
+            "{json}"
+        );
+        // Its lock-wait child: 5 ms inside the 50 ms window.
+        assert!(
+            json.contains(
+                "\"name\":\"lock-wait\",\"ph\":\"X\",\"pid\":1,\"tid\":0,\"ts\":0,\"dur\":5000"
+            ),
+            "{json}"
+        );
+        // Window 1 waited 0 ns: no child slice at its ts (50000 µs).
+        assert!(json.contains("\"name\":\"window 1\""));
+        assert_eq!(json.matches("\"lock-wait\"").count(), 1);
+    }
+
+    #[test]
+    fn wait_slices_clamp_to_their_window() {
+        // 4 threads waiting the whole window: 200 ms of wait in a 50 ms
+        // window must render as a 50 ms child, not escape the parent.
+        let mut trace = ChromeTrace::new();
+        trace.add_track("hot", &[window(0, 200_000_000)]);
+        let json = trace.to_json();
+        assert!(
+            json.contains(
+                "\"name\":\"lock-wait\",\"ph\":\"X\",\"pid\":1,\"tid\":0,\"ts\":0,\"dur\":50000"
+            ),
+            "{json}"
+        );
+        // The raw number still rides in args.
+        assert!(json.contains("\"lock_wait_ns\":200000000"));
+    }
+
+    #[test]
+    fn tracks_get_distinct_tids() {
+        let mut trace = ChromeTrace::new();
+        assert_eq!(trace.add_track("a", &[]), 0);
+        assert_eq!(trace.add_track("b", &[]), 1);
+        let json = trace.to_json();
+        assert!(json.contains("\"tid\":0"));
+        assert!(json.contains("\"tid\":1"));
+    }
+
+    #[test]
+    fn empty_trace_is_a_valid_document() {
+        assert_eq!(ChromeTrace::new().to_json(), "{\"traceEvents\":[],\"displayTimeUnit\":\"ms\"}");
+    }
+}

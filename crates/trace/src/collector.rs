@@ -1,0 +1,400 @@
+//! The collectors: background threads that tick a [`Windower`] against
+//! live marks and push the windows into a [`TraceRing`].
+//!
+//! Two shapes:
+//!
+//! * [`run_load_traced`] — wraps one driver run. A [`LoadTelemetry`]
+//!   observer counts client ops and latencies on the hot path
+//!   (lock-free), a collector thread ticks at `--trace-interval`, and
+//!   the driver's own window marks open/close the accounting — so the
+//!   windows bracket *exactly* the measured interval: their op counts
+//!   sum to the report's, their µJ sum to its measured energy.
+//! * [`StoreCollector`] — watches a serving [`PolyStore`] for the
+//!   lifetime of `store serve`, feeding the ring the STATS v2 frame and
+//!   `store top` read from.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use poly_meter::{MeasuredReading, RaplSampler};
+use poly_store::{
+    run_load_observed, KvService, LatencyHistogram, LoadObserver, LoadReport, LoadSpec, PolyStore,
+    StatsSnapshot,
+};
+
+use crate::ring::TraceRing;
+use crate::sample::WindowSample;
+use crate::windower::Windower;
+
+/// Telemetry parameters of a traced run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceSpec {
+    /// Window length the collector ticks at.
+    pub interval: Duration,
+    /// Ring capacity in windows (the timeline keeps at most this many;
+    /// default 4096 ≈ 3.4 minutes at 50 ms windows).
+    pub capacity: usize,
+}
+
+impl TraceSpec {
+    /// A spec with the default ring capacity.
+    pub fn new(interval: Duration) -> Self {
+        Self { interval, capacity: 4096 }
+    }
+}
+
+/// How long the collector sleeps between due-checks: short enough to
+/// stop promptly when the run ends, long enough not to perturb a 1-CPU
+/// host.
+fn poll_slice(interval: Duration) -> Duration {
+    (interval / 4).clamp(Duration::from_micros(500), Duration::from_millis(5))
+}
+
+struct OpenWindow {
+    windower: Windower,
+    /// Wall-clock origin of the measure window; collector ticks convert
+    /// to ns-since-open against it.
+    origin: Instant,
+}
+
+/// The [`LoadObserver`] feeding a traced run: counts ops and latencies
+/// lock-free on the client hot path, and turns collector ticks into
+/// ring windows.
+///
+/// The driver's `window_open`/`window_close` marks start and finish the
+/// accounting; [`LoadTelemetry::poll`] (called by the collector thread
+/// with fresh service marks) closes intermediate windows. The closing
+/// mark always produces a final window, so the ring's windows partition
+/// the whole measured interval.
+pub struct LoadTelemetry {
+    ops: AtomicU64,
+    hist: LatencyHistogram,
+    ring: Arc<TraceRing>,
+    freq_khz: Option<u64>,
+    state: Mutex<Option<OpenWindow>>,
+}
+
+impl LoadTelemetry {
+    /// A telemetry sink with a fresh ring of `capacity` windows;
+    /// `freq_khz` stamps every window with the cap in force.
+    pub fn new(capacity: usize, freq_khz: Option<u64>) -> Self {
+        Self {
+            ops: AtomicU64::new(0),
+            hist: LatencyHistogram::new(),
+            ring: Arc::new(TraceRing::new(capacity)),
+            freq_khz,
+            state: Mutex::new(None),
+        }
+    }
+
+    /// The ring the windows land in (share it with a STATS v2 server or
+    /// snapshot it after the run).
+    pub fn ring(&self) -> Arc<TraceRing> {
+        Arc::clone(&self.ring)
+    }
+
+    /// Closes the current window at fresh service marks and pushes it.
+    /// No-op before the measure window opens or after it closes.
+    pub fn poll(&self, stats: &StatsSnapshot, measured: Option<MeasuredReading>) {
+        let mut state = self.state.lock().unwrap();
+        if let Some(open) = state.as_mut() {
+            let now_ns = open.origin.elapsed().as_nanos() as u64;
+            let sample = open.windower.tick(
+                now_ns,
+                self.ops.load(Ordering::Relaxed),
+                self.hist.snapshot(),
+                *stats,
+                measured,
+            );
+            self.ring.push(&sample);
+        }
+    }
+}
+
+impl LoadObserver for LoadTelemetry {
+    fn window_open(&self, base: &StatsSnapshot, measured: Option<MeasuredReading>) {
+        let windower = Windower::open(
+            0,
+            self.ops.load(Ordering::Relaxed),
+            self.hist.snapshot(),
+            *base,
+            measured,
+            self.freq_khz,
+        );
+        *self.state.lock().unwrap() = Some(OpenWindow { windower, origin: Instant::now() });
+    }
+
+    fn on_op(&self, latency_ns: u64) {
+        self.ops.fetch_add(1, Ordering::Relaxed);
+        self.hist.record(latency_ns);
+    }
+
+    fn window_close(&self, end: &StatsSnapshot, measured: Option<MeasuredReading>) {
+        let mut state = self.state.lock().unwrap();
+        if let Some(mut open) = state.take() {
+            // The final (usually partial) window: closed at the driver's
+            // own end marks, so the tail ops and joules are never lost
+            // and the windows telescope to the aggregate exactly.
+            let now_ns = open.origin.elapsed().as_nanos() as u64;
+            let sample = open.windower.tick(
+                now_ns,
+                self.ops.load(Ordering::Relaxed),
+                self.hist.snapshot(),
+                *end,
+                measured,
+            );
+            self.ring.push(&sample);
+        }
+    }
+}
+
+/// Runs a load with windowed telemetry: [`poly_store::run_load_on`]
+/// plus a collector thread ticking every `trace.interval`. Returns the
+/// aggregate report and the run's windows (oldest first).
+///
+/// The windows partition the measured interval: their `ops` sum to
+/// `report.ops`, and on a metered service their µJ sum to the report's
+/// measured energy exactly (the collector reuses the driver's own
+/// window marks). Windows beyond `trace.capacity` are dropped oldest
+/// first — size the ring to the run when the full timeline matters.
+///
+/// # Panics
+///
+/// Panics if the mix fails validation (like `run_load_on`).
+pub fn run_load_traced<S: KvService>(
+    svc: &S,
+    spec: &LoadSpec,
+    trace: &TraceSpec,
+) -> (LoadReport, Vec<WindowSample>) {
+    let telemetry = LoadTelemetry::new(trace.capacity, spec.freq_khz);
+    let stop = AtomicBool::new(false);
+    let report = std::thread::scope(|scope| {
+        let telemetry = &telemetry;
+        let stop = &stop;
+        let collector = scope.spawn(move || {
+            let slice = poll_slice(trace.interval);
+            let mut next = Instant::now() + trace.interval;
+            while !stop.load(Ordering::Acquire) {
+                std::thread::sleep(slice);
+                let now = Instant::now();
+                if now >= next {
+                    let (stats, measured) = svc.stats_and_energy();
+                    telemetry.poll(&stats, measured);
+                    // Skip missed windows instead of bunching ticks: on
+                    // an overloaded host the next window is simply
+                    // longer (its marks say so) — never zero-length.
+                    next += trace.interval;
+                    if next < now {
+                        next = now + trace.interval;
+                    }
+                }
+            }
+        });
+        let report = run_load_observed(svc, spec, telemetry);
+        stop.store(true, Ordering::Release);
+        collector.join().expect("trace collector panicked");
+        report
+    });
+    let windows = telemetry.ring().snapshot();
+    (report, windows)
+}
+
+/// A background collector for a *serving* store (`store serve`): ticks
+/// the store's merged stats (and the process's RAPL sampler, when
+/// metered) every `interval` into a ring, for as long as the collector
+/// lives.
+///
+/// Server-side semantics differ from a driver run: `ops` counts the
+/// store's *point ops* (gets + puts + removes — scans and batch
+/// applications move through their own counters), and the latency
+/// percentiles are service times, not client request latencies.
+pub struct StoreCollector {
+    ring: Arc<TraceRing>,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for StoreCollector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StoreCollector").field("ring", &self.ring).finish()
+    }
+}
+
+impl StoreCollector {
+    /// Spawns the collector thread; windows start at the spawn instant.
+    pub fn spawn(
+        store: Arc<PolyStore>,
+        sampler: Option<Arc<RaplSampler>>,
+        interval: Duration,
+        capacity: usize,
+        freq_khz: Option<u64>,
+    ) -> Self {
+        let ring = Arc::new(TraceRing::new(capacity));
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_ring = Arc::clone(&ring);
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            let origin = Instant::now();
+            let marks = |stats: &StatsSnapshot| (stats.point_ops(), stats.latency);
+            let stats = store.total_stats();
+            let measured = sampler.as_ref().map(|s| s.reading());
+            let (ops, hist) = marks(&stats);
+            let mut windower = Windower::open(0, ops, hist, stats, measured, freq_khz);
+            let slice = poll_slice(interval);
+            let mut next = origin + interval;
+            while !thread_stop.load(Ordering::Acquire) {
+                std::thread::sleep(slice);
+                let now = Instant::now();
+                if now < next {
+                    continue;
+                }
+                let stats = store.total_stats();
+                let measured = sampler.as_ref().map(|s| s.reading());
+                let (ops, hist) = marks(&stats);
+                let now_ns = now.duration_since(origin).as_nanos() as u64;
+                thread_ring.push(&windower.tick(now_ns, ops, hist, stats, measured));
+                next += interval;
+                if next < now {
+                    next = now + interval;
+                }
+            }
+        });
+        Self { ring, stop, handle: Some(handle) }
+    }
+
+    /// The ring the windows land in (hand it to the STATS v2 server).
+    pub fn ring(&self) -> Arc<TraceRing> {
+        Arc::clone(&self.ring)
+    }
+
+    /// Stops the collector thread and waits for it (idempotent; also
+    /// runs on drop).
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for StoreCollector {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use poly_locks_sim::LockKind;
+    use poly_meter::FakeRapl;
+    use poly_store::{KvMix, Metered, StoreConfig};
+
+    fn small_threads() -> usize {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(2)
+    }
+
+    #[test]
+    fn traced_run_windows_sum_to_the_aggregate() {
+        let mix = KvMix::uniform().with_shards(4);
+        let store = PolyStore::new(StoreConfig { shards: mix.shards, lock: LockKind::Mutexee });
+        // Paced so the run spans several windows deterministically-ish:
+        // 400 ops at 4000/s per thread ≈ 100 ms against 10 ms windows.
+        let spec = LoadSpec {
+            rate_ops_s: Some(4_000),
+            ..LoadSpec::saturating(mix, small_threads(), 400, 42)
+        };
+        let (report, windows) =
+            run_load_traced(&store, &spec, &TraceSpec::new(Duration::from_millis(10)));
+        assert_eq!(report.ops, spec.threads as u64 * 400);
+        assert!(!windows.is_empty());
+        assert!(windows.len() > 1, "a ~100 ms paced run must span several 10 ms windows");
+        assert_eq!(
+            windows.iter().map(|w| w.ops).sum::<u64>(),
+            report.ops,
+            "window ops must partition the run's ops"
+        );
+        // Contiguous partition of the measured interval, in order.
+        for (i, w) in windows.iter().enumerate() {
+            assert_eq!(w.window, i as u64);
+        }
+        for pair in windows.windows(2) {
+            assert_eq!(pair[0].end_ns, pair[1].start_ns);
+        }
+        // Unmetered service: every window says so.
+        assert!(windows.iter().all(|w| !w.measured && w.total_j().is_none()));
+        assert!(windows.iter().all(|w| w.freq_khz.is_none()));
+    }
+
+    #[test]
+    fn traced_metered_run_windows_sum_to_measured_energy() {
+        let fake = FakeRapl::new("trace-collector");
+        fake.domain(0, "package-0", 1_000_000);
+        fake.named_domain("intel-rapl:0:0", "dram", 500);
+        let sampler = Arc::new(
+            RaplSampler::probe_at(fake.root(), Duration::from_millis(1)).unwrap().unwrap(),
+        );
+        let mix = KvMix::uniform().with_shards(2);
+        let store = PolyStore::new(StoreConfig { shards: mix.shards, lock: LockKind::Ttas });
+        let svc = Metered::new(&store, &sampler);
+        let spec = LoadSpec {
+            rate_ops_s: Some(3_000),
+            ..LoadSpec::saturating(mix, small_threads(), 200, 7)
+        };
+        // A mutator advances the fake counters while the run executes,
+        // like a live host would.
+        let stop = AtomicBool::new(false);
+        let (report, windows) = std::thread::scope(|scope| {
+            let stop = &stop;
+            let fake = &fake;
+            let mutator = scope.spawn(move || {
+                while !stop.load(Ordering::Acquire) {
+                    fake.advance(0, 10_000);
+                    std::thread::sleep(Duration::from_micros(500));
+                }
+            });
+            let out = run_load_traced(&svc, &spec, &TraceSpec::new(Duration::from_millis(10)));
+            stop.store(true, Ordering::Release);
+            mutator.join().unwrap();
+            out
+        });
+        let measured = report.measured.expect("metered run must measure");
+        assert!(measured.total_j() > 0.0, "mutator advanced the counter");
+        let window_uj: u64 = windows.iter().map(|w| w.pkg_uj + w.dram_uj).sum();
+        // The collector reuses the driver's own marks, so the windows'
+        // µJ telescope to the aggregate *exactly* (both sides integer µJ).
+        let aggregate_uj = (measured.total_j() * 1e6).round() as u64;
+        assert_eq!(window_uj, aggregate_uj, "window joules must sum to the report's");
+        assert!(windows.iter().all(|w| w.measured));
+        assert_eq!(windows.iter().map(|w| w.ops).sum::<u64>(), report.ops);
+    }
+
+    #[test]
+    fn store_collector_watches_a_serving_store() {
+        let store = Arc::new(PolyStore::new(StoreConfig { shards: 4, lock: LockKind::Mutex }));
+        let mut collector =
+            StoreCollector::spawn(Arc::clone(&store), None, Duration::from_millis(5), 64, None);
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let mut key = 0u64;
+        // Drive ops until at least three windows landed.
+        while collector.ring().pushed() < 3 {
+            assert!(Instant::now() < deadline, "collector produced no windows");
+            store.put(key, key);
+            store.get(key);
+            key += 1;
+        }
+        collector.stop();
+        let ring = collector.ring();
+        let windows = ring.snapshot();
+        let total_ops: u64 = windows.iter().map(|w| w.ops).sum();
+        let stats = store.total_stats();
+        // The collector's windows cover everything up to its last tick;
+        // ops issued after that tick are simply not yet windowed.
+        assert!(total_ops > 0);
+        assert!(total_ops <= stats.point_ops());
+        assert!(windows.iter().all(|w| !w.measured));
+        // Stop is idempotent and drop after stop is fine.
+        collector.stop();
+    }
+}

@@ -1,0 +1,58 @@
+//! `poly-trace` — windowed time-series telemetry for the "Unlocking
+//! Energy" reproduction.
+//!
+//! Every number the repo emitted before this crate was an end-of-run
+//! aggregate; the paper's core claims (MUTEXEE's spin-vs-sleep
+//! trade-off, TPP/EPO under DVFS) are about *behavior over time*. This
+//! crate watches runs as they happen:
+//!
+//! * [`WindowSample`] — one window of deltas: ops, per-window p50/p99,
+//!   lock wait/hold, measured pkg/dram µJ, the applied frequency cap;
+//! * [`TraceRing`] — a lock-free single-writer/many-reader ring of the
+//!   most recent windows (the STATS v2 frame and `store top` read it
+//!   while the collector writes);
+//! * [`Windower`] — virtual-clock window accounting over cumulative
+//!   marks, so tests drive windows deterministically;
+//! * [`run_load_traced`] / [`LoadTelemetry`] — a driver run with a
+//!   collector thread ticking at `--trace-interval`; windows bracket
+//!   the measured interval exactly (ops and µJ telescope to the
+//!   aggregate report);
+//! * [`StoreCollector`] — the serve-mode collector watching a
+//!   [`poly_store::PolyStore`] for the server's lifetime;
+//! * [`TimelineRow`] / [`write_timeline`] — the `*.timeline.jsonl` sink
+//!   (schema owned by `poly-report`'s `TIMELINE` registry);
+//! * [`ChromeTrace`] — the chrome://tracing (`trace_event`) exporter
+//!   with per-window slices and nested lock-wait children.
+//!
+//! # Example
+//!
+//! ```
+//! use std::time::Duration;
+//! use poly_locks_sim::LockKind;
+//! use poly_store::{KvMix, LoadSpec, PolyStore, StoreConfig};
+//! use poly_trace::{run_load_traced, TraceSpec};
+//!
+//! let mix = KvMix::uniform().with_shards(4);
+//! let store = PolyStore::new(StoreConfig { shards: mix.shards, lock: LockKind::Mutexee });
+//! let spec = LoadSpec { rate_ops_s: Some(5_000), ..LoadSpec::saturating(mix, 2, 250, 42) };
+//! let (report, windows) =
+//!     run_load_traced(&store, &spec, &TraceSpec::new(Duration::from_millis(10)));
+//! assert_eq!(windows.iter().map(|w| w.ops).sum::<u64>(), report.ops);
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod chrome;
+mod collector;
+mod ring;
+mod sample;
+mod timeline;
+mod windower;
+
+pub use chrome::ChromeTrace;
+pub use collector::{run_load_traced, LoadTelemetry, StoreCollector, TraceSpec};
+pub use ring::TraceRing;
+pub use sample::{WindowSample, WORDS};
+pub use timeline::{write_timeline, TimelineCell, TimelineRow};
+pub use windower::Windower;

@@ -1,0 +1,232 @@
+//! The lock-free telemetry ring.
+//!
+//! One writer (the collector) pushes [`WindowSample`]s; any number of
+//! readers — the STATS v2 server path, `store top`, the timeline flush —
+//! read without blocking the writer. Each slot is a seqlock over the
+//! sample's word encoding: the writer marks the slot odd, stores the
+//! words, then marks it even with the slot's generation; a reader
+//! re-checks the sequence after copying and discards torn reads. All
+//! slot words are atomics, so a torn read is merely *rejected*, never
+//! undefined.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::sample::{WindowSample, WORDS};
+
+struct Slot {
+    /// `2 * push_index + 1` while the writer is mid-store,
+    /// `2 * push_index + 2` once the words are complete, 0 when never
+    /// written. Encoding the push index (not just odd/even) lets a
+    /// reader detect a slot that was *overwritten* by a later lap, not
+    /// only one that is mid-write.
+    seq: AtomicU64,
+    words: [AtomicU64; WORDS],
+}
+
+impl Slot {
+    fn empty() -> Self {
+        Self { seq: AtomicU64::new(0), words: std::array::from_fn(|_| AtomicU64::new(0)) }
+    }
+
+    /// Copies the slot out if it holds push `idx`'s complete sample.
+    fn read(&self, idx: u64) -> Option<WindowSample> {
+        let want = 2 * idx + 2;
+        if self.seq.load(Ordering::Acquire) != want {
+            return None;
+        }
+        let mut w = [0u64; WORDS];
+        for (dst, src) in w.iter_mut().zip(&self.words) {
+            *dst = src.load(Ordering::Relaxed);
+        }
+        // Acquire re-check: the copy above is only coherent if no writer
+        // touched the slot while it ran.
+        if self.seq.load(Ordering::Acquire) != want {
+            return None;
+        }
+        Some(WindowSample::from_words(&w))
+    }
+}
+
+/// A bounded ring of the most recent [`WindowSample`]s, single-writer /
+/// many-reader, never blocking either side.
+pub struct TraceRing {
+    slots: Box<[Slot]>,
+    /// Total samples ever pushed; the next push takes this index.
+    head: AtomicU64,
+}
+
+impl std::fmt::Debug for TraceRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceRing")
+            .field("capacity", &self.slots.len())
+            .field("pushed", &self.head.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl TraceRing {
+    /// A ring holding the last `capacity` samples (floored at 1).
+    pub fn new(capacity: usize) -> Self {
+        let cap = capacity.max(1);
+        Self { slots: (0..cap).map(|_| Slot::empty()).collect(), head: AtomicU64::new(0) }
+    }
+
+    /// Maximum samples retained.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total samples ever pushed (not the retained count).
+    pub fn pushed(&self) -> u64 {
+        self.head.load(Ordering::Acquire)
+    }
+
+    /// Whether nothing was ever pushed.
+    pub fn is_empty(&self) -> bool {
+        self.pushed() == 0
+    }
+
+    /// Pushes one sample, overwriting the oldest once full.
+    ///
+    /// Single-writer: collectors serialize their pushes (one collector
+    /// thread per ring). Concurrent pushers would not corrupt memory —
+    /// every word is atomic — but could interleave a slot's seq/words.
+    pub fn push(&self, sample: &WindowSample) {
+        let idx = self.head.load(Ordering::Relaxed);
+        let slot = &self.slots[(idx % self.slots.len() as u64) as usize];
+        slot.seq.store(2 * idx + 1, Ordering::Release);
+        for (dst, src) in slot.words.iter().zip(sample.to_words()) {
+            dst.store(src, Ordering::Relaxed);
+        }
+        slot.seq.store(2 * idx + 2, Ordering::Release);
+        self.head.store(idx + 1, Ordering::Release);
+    }
+
+    /// The most recent complete sample, `None` when empty (or when the
+    /// only candidates are currently being overwritten).
+    pub fn latest(&self) -> Option<WindowSample> {
+        let head = self.head.load(Ordering::Acquire);
+        let floor = head.saturating_sub(self.slots.len() as u64);
+        // Newest first; an index can be torn only if the writer lapped
+        // into it since the head load.
+        (floor..head)
+            .rev()
+            .find_map(|idx| self.slots[(idx % self.slots.len() as u64) as usize].read(idx))
+    }
+
+    /// The retained samples, oldest first, skipping any slot torn by a
+    /// concurrent overwrite. With the writer stopped this is exactly the
+    /// last `min(pushed, capacity)` windows in order.
+    pub fn snapshot(&self) -> Vec<WindowSample> {
+        let head = self.head.load(Ordering::Acquire);
+        let floor = head.saturating_sub(self.slots.len() as u64);
+        (floor..head)
+            .filter_map(|idx| self.slots[(idx % self.slots.len() as u64) as usize].read(idx))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window(i: u64) -> WindowSample {
+        WindowSample {
+            window: i,
+            start_ns: i * 1_000,
+            end_ns: (i + 1) * 1_000,
+            ops: 10 + i,
+            measured: i.is_multiple_of(2),
+            freq_khz: i.is_multiple_of(3).then_some(1_200_000),
+            ..WindowSample::default()
+        }
+    }
+
+    #[test]
+    fn push_and_read_in_order() {
+        let ring = TraceRing::new(8);
+        assert!(ring.is_empty());
+        assert_eq!(ring.latest(), None);
+        assert_eq!(ring.snapshot(), Vec::new());
+        for i in 0..5 {
+            ring.push(&window(i));
+        }
+        assert_eq!(ring.pushed(), 5);
+        assert_eq!(ring.latest(), Some(window(4)));
+        let snap = ring.snapshot();
+        assert_eq!(snap.len(), 5);
+        for (i, s) in snap.iter().enumerate() {
+            assert_eq!(*s, window(i as u64));
+        }
+    }
+
+    #[test]
+    fn overwrites_keep_the_newest() {
+        let ring = TraceRing::new(4);
+        for i in 0..11 {
+            ring.push(&window(i));
+        }
+        assert_eq!(ring.pushed(), 11);
+        let snap = ring.snapshot();
+        assert_eq!(snap.iter().map(|s| s.window).collect::<Vec<_>>(), [7, 8, 9, 10]);
+        assert_eq!(ring.latest(), Some(window(10)));
+    }
+
+    #[test]
+    fn capacity_is_floored_at_one() {
+        let ring = TraceRing::new(0);
+        assert_eq!(ring.capacity(), 1);
+        ring.push(&window(0));
+        ring.push(&window(1));
+        assert_eq!(ring.snapshot(), vec![window(1)]);
+    }
+
+    #[test]
+    fn concurrent_readers_never_observe_a_torn_sample() {
+        use std::sync::atomic::AtomicBool;
+
+        // A sample whose words are all tied to its index: any mix of two
+        // writes is detectable.
+        fn marked(i: u64) -> WindowSample {
+            WindowSample {
+                window: i,
+                start_ns: i,
+                end_ns: 2 * i,
+                ops: 3 * i,
+                p50_ns: 4 * i,
+                p99_ns: 5 * i,
+                lock_wait_ns: 6 * i,
+                lock_hold_ns: 7 * i,
+                pkg_uj: 8 * i,
+                dram_uj: 9 * i,
+                measured: false,
+                freq_khz: Some(10 * i),
+            }
+        }
+
+        let ring = TraceRing::new(2); // tiny: maximize overwrite races
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            let readers: Vec<_> = (0..2)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut seen = 0u64;
+                        while !stop.load(Ordering::Acquire) {
+                            for s in ring.snapshot().into_iter().chain(ring.latest()) {
+                                assert_eq!(s, marked(s.window), "torn sample escaped: {s:?}");
+                                seen += 1;
+                            }
+                        }
+                        seen
+                    })
+                })
+                .collect();
+            for i in 0..20_000 {
+                ring.push(&marked(i));
+            }
+            stop.store(true, Ordering::Release);
+            let seen: u64 = readers.into_iter().map(|h| h.join().unwrap()).sum();
+            assert!(seen > 0, "readers never observed a sample");
+        });
+    }
+}

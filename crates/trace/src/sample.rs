@@ -1,0 +1,199 @@
+//! One telemetry window and its fixed-width word encoding.
+
+/// Number of `u64` words a [`WindowSample`] encodes to — the unit the
+/// lock-free ring stores and the STATS v2 frame carries.
+pub const WORDS: usize = 12;
+
+/// One window of a run's telemetry: what happened between two collector
+/// ticks.
+///
+/// Every field is a *delta over the window* (ops completed in it, lock
+/// wait accumulated in it, joules drawn in it), not a cumulative total —
+/// consecutive windows telescope, so summing a run's windows reproduces
+/// its aggregate report exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WindowSample {
+    /// Window index within the run (0-based, contiguous).
+    pub window: u64,
+    /// Window start, nanoseconds since the measure window opened.
+    pub start_ns: u64,
+    /// Window end, nanoseconds since the measure window opened.
+    pub end_ns: u64,
+    /// Operations completed in the window.
+    pub ops: u64,
+    /// Median latency of the window's own samples, nanoseconds (0 when
+    /// the window saw no samples). Client request latency for driver
+    /// collectors, service time for store-side collectors.
+    pub p50_ns: u64,
+    /// 99th-percentile latency of the window's samples, nanoseconds.
+    pub p99_ns: u64,
+    /// Shard-lock wait accumulated in the window, nanoseconds (all
+    /// shards; can exceed the window's duration under contention).
+    pub lock_wait_ns: u64,
+    /// Shard-lock hold accumulated in the window, nanoseconds.
+    pub lock_hold_ns: u64,
+    /// Measured package-domain micro-joules drawn in the window
+    /// (meaningful only when [`WindowSample::measured`]).
+    pub pkg_uj: u64,
+    /// Measured DRAM-domain micro-joules drawn in the window.
+    pub dram_uj: u64,
+    /// Whether the energy fields are real RAPL measurements (both the
+    /// opening and closing marks carried a reading).
+    pub measured: bool,
+    /// Frequency cap in force during the window, kHz (`None` = base).
+    pub freq_khz: Option<u64>,
+}
+
+impl WindowSample {
+    /// Window duration in nanoseconds (saturating; 0 for a degenerate
+    /// window).
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+
+    /// Throughput over the window, ops/s (0 for a degenerate window).
+    pub fn throughput(&self) -> f64 {
+        let d = self.duration_ns();
+        if d == 0 {
+            return 0.0;
+        }
+        self.ops as f64 / (d as f64 * 1e-9)
+    }
+
+    /// Measured package joules over the window, `None` when unmetered.
+    pub fn pkg_j(&self) -> Option<f64> {
+        self.measured.then_some(self.pkg_uj as f64 * 1e-6)
+    }
+
+    /// Measured DRAM joules over the window, `None` when unmetered.
+    pub fn dram_j(&self) -> Option<f64> {
+        self.measured.then_some(self.dram_uj as f64 * 1e-6)
+    }
+
+    /// Measured joules over the window (package + DRAM), `None` when
+    /// unmetered.
+    pub fn total_j(&self) -> Option<f64> {
+        self.measured.then(|| (self.pkg_uj + self.dram_uj) as f64 * 1e-6)
+    }
+
+    /// Average measured power over the window in watts, `None` when
+    /// unmetered or the window is degenerate.
+    pub fn watts(&self) -> Option<f64> {
+        let d = self.duration_ns();
+        if !self.measured || d == 0 {
+            return None;
+        }
+        Some((self.pkg_uj + self.dram_uj) as f64 * 1e-6 / (d as f64 * 1e-9))
+    }
+
+    /// Lock-wait share of the window: thread-seconds spent waiting per
+    /// wall-clock second (0..=threads — exceeds 1.0 when more than one
+    /// thread waits at once). 0 for a degenerate window.
+    pub fn lock_wait_share(&self) -> f64 {
+        let d = self.duration_ns();
+        if d == 0 {
+            return 0.0;
+        }
+        self.lock_wait_ns as f64 / d as f64
+    }
+
+    /// Encodes the sample as [`WORDS`] `u64` words — the ring-slot and
+    /// wire representation. `freq_khz` uses `u64::MAX` for `None` (a cap
+    /// of 2^64-1 kHz is not a frequency), `measured` is 0/1.
+    pub fn to_words(&self) -> [u64; WORDS] {
+        [
+            self.window,
+            self.start_ns,
+            self.end_ns,
+            self.ops,
+            self.p50_ns,
+            self.p99_ns,
+            self.lock_wait_ns,
+            self.lock_hold_ns,
+            self.pkg_uj,
+            self.dram_uj,
+            u64::from(self.measured),
+            self.freq_khz.unwrap_or(u64::MAX),
+        ]
+    }
+
+    /// Decodes a sample from its word representation (inverse of
+    /// [`WindowSample::to_words`]; any nonzero word reads as
+    /// `measured = true`).
+    pub fn from_words(w: &[u64; WORDS]) -> Self {
+        Self {
+            window: w[0],
+            start_ns: w[1],
+            end_ns: w[2],
+            ops: w[3],
+            p50_ns: w[4],
+            p99_ns: w[5],
+            lock_wait_ns: w[6],
+            lock_hold_ns: w[7],
+            pkg_uj: w[8],
+            dram_uj: w[9],
+            measured: w[10] != 0,
+            freq_khz: (w[11] != u64::MAX).then_some(w[11]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> WindowSample {
+        WindowSample {
+            window: 3,
+            start_ns: 150_000_000,
+            end_ns: 200_000_000,
+            ops: 12_500,
+            p50_ns: 800,
+            p99_ns: 12_000,
+            lock_wait_ns: 9_000_000,
+            lock_hold_ns: 4_000_000,
+            pkg_uj: 1_500_000,
+            dram_uj: 250_000,
+            measured: true,
+            freq_khz: Some(1_200_000),
+        }
+    }
+
+    #[test]
+    fn words_round_trip() {
+        for s in [
+            sample(),
+            WindowSample::default(),
+            WindowSample { measured: false, freq_khz: None, ..sample() },
+            WindowSample { freq_khz: Some(0), ..sample() },
+        ] {
+            assert_eq!(WindowSample::from_words(&s.to_words()), s);
+        }
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let s = sample();
+        assert_eq!(s.duration_ns(), 50_000_000);
+        assert!((s.throughput() - 250_000.0).abs() < 1e-6);
+        assert_eq!(s.pkg_j(), Some(1.5));
+        assert_eq!(s.dram_j(), Some(0.25));
+        assert_eq!(s.total_j(), Some(1.75));
+        // 1.75 J over 50 ms = 35 W.
+        assert!((s.watts().unwrap() - 35.0).abs() < 1e-9);
+        assert!((s.lock_wait_share() - 0.18).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unmetered_and_degenerate_windows_stay_defined() {
+        let s = WindowSample { measured: false, ..sample() };
+        assert_eq!(s.pkg_j(), None);
+        assert_eq!(s.total_j(), None);
+        assert_eq!(s.watts(), None);
+        let z = WindowSample { end_ns: 10, start_ns: 10, ..sample() };
+        assert_eq!(z.duration_ns(), 0);
+        assert_eq!(z.throughput(), 0.0);
+        assert_eq!(z.watts(), None);
+        assert_eq!(z.lock_wait_share(), 0.0);
+    }
+}

@@ -1,0 +1,203 @@
+//! The `*.timeline.jsonl` sink: one JSON line per window, rendered
+//! against `poly-report`'s canonical [`TIMELINE`] registry.
+//!
+//! Both sweep families write this schema — the native `store` CLI from
+//! real [`WindowSample`]s, the simulated `scenarios` CLI from one
+//! whole-run window per cell (with the columns a simulation cannot
+//! window set to `null`) — so timeline consumers parse one shape.
+
+use std::io::{self, Write};
+
+use poly_report::columns::TIMELINE;
+use poly_report::Value;
+
+use crate::sample::WindowSample;
+
+/// The cell identity stamped onto every one of its timeline rows (the
+/// join key back to the aggregate report).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimelineCell {
+    /// Scenario name.
+    pub scenario: String,
+    /// Workload label.
+    pub workload: String,
+    /// Transport label (`local`, `tcp`, `sim`).
+    pub transport: String,
+    /// Lock label.
+    pub lock: String,
+    /// Shard count.
+    pub shards: u64,
+    /// Client thread count.
+    pub threads: u64,
+    /// The cell's seed.
+    pub seed: u64,
+}
+
+/// One timeline row: a window with every per-window column optional, so
+/// emitters that cannot produce a column (the simulator's latencies, an
+/// unmetered host's joules) write `null` instead of a different schema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimelineRow {
+    /// Window index within the cell.
+    pub window: u64,
+    /// Window start, ns since the cell's measure window opened.
+    pub start_ns: u64,
+    /// Window end, ns.
+    pub end_ns: u64,
+    /// Operations completed in the window.
+    pub ops: u64,
+    /// Throughput over the window, ops/s.
+    pub throughput: f64,
+    /// Median latency in the window, ns (`None` when unwindowable).
+    pub p50_ns: Option<u64>,
+    /// p99 latency in the window, ns.
+    pub p99_ns: Option<u64>,
+    /// Lock wait accumulated in the window, ns.
+    pub lock_wait_ns: Option<u64>,
+    /// Lock hold accumulated in the window, ns.
+    pub lock_hold_ns: Option<u64>,
+    /// Measured package joules in the window.
+    pub measured_pkg_j: Option<f64>,
+    /// Measured DRAM joules in the window.
+    pub measured_dram_j: Option<f64>,
+    /// Average measured watts over the window.
+    pub measured_w: Option<f64>,
+    /// Frequency cap in force, kHz.
+    pub freq_khz: Option<u64>,
+}
+
+impl TimelineRow {
+    /// A row from a native collector window (fills every column the
+    /// sample carries; measured columns `null` on unmetered runs).
+    pub fn from_window(w: &WindowSample) -> Self {
+        Self {
+            window: w.window,
+            start_ns: w.start_ns,
+            end_ns: w.end_ns,
+            ops: w.ops,
+            throughput: w.throughput(),
+            p50_ns: Some(w.p50_ns),
+            p99_ns: Some(w.p99_ns),
+            lock_wait_ns: Some(w.lock_wait_ns),
+            lock_hold_ns: Some(w.lock_hold_ns),
+            measured_pkg_j: w.pkg_j(),
+            measured_dram_j: w.dram_j(),
+            measured_w: w.watts(),
+            freq_khz: w.freq_khz,
+        }
+    }
+
+    /// Renders the row as one timeline JSONL record for `cell`.
+    pub fn to_json(&self, cell: &TimelineCell) -> String {
+        TIMELINE.row_json(&[
+            Value::Str(&cell.scenario),
+            Value::Str(&cell.workload),
+            Value::Str(&cell.transport),
+            Value::Str(&cell.lock),
+            Value::U64(cell.shards),
+            Value::U64(cell.threads),
+            Value::U64(cell.seed),
+            Value::U64(self.window),
+            Value::U64(self.start_ns),
+            Value::U64(self.end_ns),
+            Value::U64(self.ops),
+            Value::F64(self.throughput),
+            Value::OptU64(self.p50_ns),
+            Value::OptU64(self.p99_ns),
+            Value::OptU64(self.lock_wait_ns),
+            Value::OptU64(self.lock_hold_ns),
+            Value::OptF64(self.measured_pkg_j),
+            Value::OptF64(self.measured_dram_j),
+            Value::OptF64(self.measured_w),
+            Value::OptU64(self.freq_khz),
+        ])
+    }
+}
+
+/// Writes one cell's windows as timeline JSONL records.
+pub fn write_timeline<W: Write>(
+    w: &mut W,
+    cell: &TimelineCell,
+    windows: &[WindowSample],
+) -> io::Result<()> {
+    for sample in windows {
+        writeln!(w, "{}", TimelineRow::from_window(sample).to_json(cell))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell() -> TimelineCell {
+        TimelineCell {
+            scenario: "kv-zipf".into(),
+            workload: "kv(zipf)".into(),
+            transport: "local".into(),
+            lock: "MUTEXEE".into(),
+            shards: 16,
+            threads: 4,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn rows_render_the_canonical_schema() {
+        let w = WindowSample {
+            window: 2,
+            start_ns: 100_000_000,
+            end_ns: 150_000_000,
+            ops: 5_000,
+            p50_ns: 1_024,
+            p99_ns: 8_192,
+            lock_wait_ns: 3_000_000,
+            lock_hold_ns: 1_000_000,
+            pkg_uj: 2_000_000,
+            dram_uj: 0,
+            measured: true,
+            freq_khz: Some(1_200_000),
+        };
+        let line = TimelineRow::from_window(&w).to_json(&cell());
+        assert_eq!(
+            line,
+            "{\"scenario\":\"kv-zipf\",\"workload\":\"kv(zipf)\",\"transport\":\"local\",\
+             \"lock\":\"MUTEXEE\",\"shards\":16,\"threads\":4,\"seed\":42,\"window\":2,\
+             \"start_ns\":100000000,\"end_ns\":150000000,\"ops\":5000,\"throughput\":100000,\
+             \"p50_ns\":1024,\"p99_ns\":8192,\"lock_wait_ns\":3000000,\"lock_hold_ns\":1000000,\
+             \"measured_pkg_j\":2,\"measured_dram_j\":0,\"measured_w\":40,\
+             \"freq_khz\":1200000}"
+        );
+    }
+
+    #[test]
+    fn unmetered_windows_render_null_measured_columns() {
+        let w = WindowSample { end_ns: 1_000, ops: 1, ..WindowSample::default() };
+        let line = TimelineRow::from_window(&w).to_json(&cell());
+        assert!(line.contains("\"measured_pkg_j\":null,\"measured_dram_j\":null"));
+        assert!(line.contains("\"measured_w\":null,\"freq_khz\":null"));
+        // Native rows always window latencies (0 when no samples).
+        assert!(line.contains("\"p50_ns\":0,\"p99_ns\":0"));
+    }
+
+    #[test]
+    fn write_timeline_emits_one_line_per_window() {
+        let windows: Vec<WindowSample> = (0..3)
+            .map(|i| WindowSample {
+                window: i,
+                start_ns: i * 1_000,
+                end_ns: (i + 1) * 1_000,
+                ops: 10,
+                ..WindowSample::default()
+            })
+            .collect();
+        let mut out = Vec::new();
+        write_timeline(&mut out, &cell(), &windows).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert_eq!(text.lines().count(), 3);
+        for (i, line) in text.lines().enumerate() {
+            assert!(line.contains(&format!("\"window\":{i}")), "{line}");
+            assert!(line.starts_with('{') && line.ends_with('}'));
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! Window accounting over cumulative marks — the virtual-clock core of
+//! every collector.
+//!
+//! A [`Windower`] holds the *previous* tick's cumulative marks (ops,
+//! latency histogram, service stats, energy reading) and turns each new
+//! set of marks into one [`WindowSample`] of deltas. The caller supplies
+//! the clock (`now_ns`), so tests drive windows deterministically and
+//! the same logic serves the real collectors, which pass wall time.
+//!
+//! Because every tick's closing marks become the next tick's opening
+//! marks, consecutive windows telescope: summing the `ops` (or µJ) of a
+//! run's windows reproduces the difference between the run's first and
+//! last marks *exactly* — the invariant the acceptance test pins.
+
+use poly_meter::MeasuredReading;
+use poly_store::{HistogramSnapshot, StatsSnapshot};
+
+use crate::sample::WindowSample;
+
+/// Turns cumulative marks into windows of deltas. See the module docs.
+#[derive(Debug, Clone)]
+pub struct Windower {
+    window: u64,
+    last_ns: u64,
+    last_ops: u64,
+    last_hist: HistogramSnapshot,
+    last_stats: StatsSnapshot,
+    last_measured: Option<MeasuredReading>,
+    freq_khz: Option<u64>,
+}
+
+impl Windower {
+    /// Opens window accounting at the measure window's start marks.
+    ///
+    /// `now_ns` is the caller's clock at the opening mark (0 for a run
+    /// measured from its own start); `ops`/`hist` are the client-side
+    /// cumulative op count and latency histogram (both usually empty at
+    /// open); `stats` and `measured` are the service-side base marks the
+    /// driver already takes. `freq_khz` stamps every window with the cap
+    /// in force.
+    pub fn open(
+        now_ns: u64,
+        ops: u64,
+        hist: HistogramSnapshot,
+        stats: StatsSnapshot,
+        measured: Option<MeasuredReading>,
+        freq_khz: Option<u64>,
+    ) -> Self {
+        Self {
+            window: 0,
+            last_ns: now_ns,
+            last_ops: ops,
+            last_hist: hist,
+            last_stats: stats,
+            last_measured: measured,
+            freq_khz,
+        }
+    }
+
+    /// Index the next produced window will carry.
+    pub fn next_window(&self) -> u64 {
+        self.window
+    }
+
+    /// Closes the current window at the given marks and opens the next.
+    ///
+    /// Latency percentiles come from the *window's own* histogram delta
+    /// (`hist - last_hist`), not the run's cumulative one — the whole
+    /// point of windowed telemetry. Energy is measured only when both
+    /// this tick's and the previous tick's marks carried a reading;
+    /// windows around a sampler hiccup degrade to unmetered instead of
+    /// inventing joules.
+    pub fn tick(
+        &mut self,
+        now_ns: u64,
+        ops: u64,
+        hist: HistogramSnapshot,
+        stats: StatsSnapshot,
+        measured: Option<MeasuredReading>,
+    ) -> WindowSample {
+        let wh = hist.since(&self.last_hist);
+        let ws = stats.delta(&self.last_stats);
+        let (pkg_uj, dram_uj, is_measured) = match (self.last_measured, measured) {
+            (Some(a), Some(b)) => (
+                b.package_uj.saturating_sub(a.package_uj),
+                b.dram_uj.saturating_sub(a.dram_uj),
+                true,
+            ),
+            _ => (0, 0, false),
+        };
+        let sample = WindowSample {
+            window: self.window,
+            start_ns: self.last_ns,
+            end_ns: now_ns.max(self.last_ns),
+            ops: ops.saturating_sub(self.last_ops),
+            p50_ns: wh.percentile(50.0),
+            p99_ns: wh.percentile(99.0),
+            lock_wait_ns: ws.lock_wait_ns,
+            lock_hold_ns: ws.lock_hold_ns,
+            pkg_uj,
+            dram_uj,
+            measured: is_measured,
+            freq_khz: self.freq_khz,
+        };
+        self.window += 1;
+        self.last_ns = sample.end_ns;
+        self.last_ops = ops;
+        self.last_hist = hist;
+        self.last_stats = stats;
+        self.last_measured = measured;
+        sample
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use poly_store::{LatencyHistogram, ShardStats};
+
+    fn reading(pkg: u64, dram: u64) -> MeasuredReading {
+        MeasuredReading { package_uj: pkg, dram_uj: dram, samples: 1 }
+    }
+
+    #[test]
+    fn windows_carry_deltas_not_totals() {
+        let stats = ShardStats::new();
+        let hist = LatencyHistogram::new();
+        let mut w = Windower::open(
+            0,
+            0,
+            hist.snapshot(),
+            stats.snapshot(),
+            Some(reading(1_000, 100)),
+            Some(2_400_000),
+        );
+
+        // Window 0: 3 ops, two fast and one slow, 30 µJ pkg / 3 µJ dram.
+        for ns in [500, 600, 40_000] {
+            hist.record(ns);
+        }
+        stats.record_lock(7_000, 2_000);
+        let s0 =
+            w.tick(50_000_000, 3, hist.snapshot(), stats.snapshot(), Some(reading(1_030, 103)));
+        assert_eq!(s0.window, 0);
+        assert_eq!((s0.start_ns, s0.end_ns), (0, 50_000_000));
+        assert_eq!(s0.ops, 3);
+        assert_eq!(s0.lock_wait_ns, 7_000);
+        assert_eq!(s0.lock_hold_ns, 2_000);
+        assert_eq!((s0.pkg_uj, s0.dram_uj, s0.measured), (30, 3, true));
+        assert_eq!(s0.freq_khz, Some(2_400_000));
+        // p99 reflects the slow sample's bucket, p50 the fast ones'.
+        assert!(s0.p50_ns <= 1_024, "p50 {}", s0.p50_ns);
+        assert!(s0.p99_ns >= 32_768, "p99 {}", s0.p99_ns);
+
+        // Window 1: one fast op only — percentiles must forget window
+        // 0's slow sample (windowed, not cumulative).
+        hist.record(700);
+        stats.record_lock(100, 50);
+        let s1 =
+            w.tick(100_000_000, 4, hist.snapshot(), stats.snapshot(), Some(reading(1_040, 104)));
+        assert_eq!(s1.window, 1);
+        assert_eq!((s1.start_ns, s1.end_ns), (50_000_000, 100_000_000));
+        assert_eq!(s1.ops, 1);
+        assert!(s1.p99_ns <= 1_024, "window 1 p99 {} still sees window 0's tail", s1.p99_ns);
+        assert_eq!((s1.pkg_uj, s1.dram_uj), (10, 1));
+        assert_eq!(s1.lock_wait_ns, 100);
+    }
+
+    #[test]
+    fn windows_telescope_to_the_aggregate() {
+        let stats = ShardStats::new();
+        let hist = LatencyHistogram::new();
+        let mut w =
+            Windower::open(0, 0, hist.snapshot(), stats.snapshot(), Some(reading(0, 0)), None);
+        let mut ops = 0u64;
+        let mut uj = 0u64;
+        let mut windows = Vec::new();
+        for i in 1..=7u64 {
+            for _ in 0..i * 3 {
+                hist.record(1_000);
+                ops += 1;
+            }
+            uj += i * 11;
+            windows.push(w.tick(
+                i * 10_000_000,
+                ops,
+                hist.snapshot(),
+                stats.snapshot(),
+                Some(reading(uj, 0)),
+            ));
+        }
+        assert_eq!(windows.iter().map(|s| s.ops).sum::<u64>(), ops);
+        assert_eq!(windows.iter().map(|s| s.pkg_uj).sum::<u64>(), uj);
+        // Contiguous: each window starts where the previous ended.
+        for pair in windows.windows(2) {
+            assert_eq!(pair[0].end_ns, pair[1].start_ns);
+            assert_eq!(pair[0].window + 1, pair[1].window);
+        }
+    }
+
+    #[test]
+    fn sampler_gaps_degrade_to_unmetered_windows() {
+        let stats = ShardStats::new();
+        let hist = LatencyHistogram::new();
+        let mut w =
+            Windower::open(0, 0, hist.snapshot(), stats.snapshot(), Some(reading(100, 0)), None);
+        // The sampler missed this tick: no reading, window unmetered.
+        let s0 = w.tick(10, 1, hist.snapshot(), stats.snapshot(), None);
+        assert!(!s0.measured);
+        assert_eq!(s0.total_j(), None);
+        // The reading returns: the window spanning the gap is unmetered
+        // too (its opening mark is missing), never inventing a delta.
+        let s1 = w.tick(20, 2, hist.snapshot(), stats.snapshot(), Some(reading(150, 0)));
+        assert!(!s1.measured);
+        // Fully bracketed again: measured resumes.
+        let s2 = w.tick(30, 3, hist.snapshot(), stats.snapshot(), Some(reading(175, 0)));
+        assert!(s2.measured);
+        assert_eq!(s2.pkg_uj, 25);
+    }
+
+    #[test]
+    fn clock_regressions_clamp_instead_of_wrapping() {
+        let stats = ShardStats::new();
+        let hist = LatencyHistogram::new();
+        let mut w = Windower::open(1_000, 5, hist.snapshot(), stats.snapshot(), None, None);
+        // now_ns and ops both behind the opening marks (restarted
+        // counters): the window is empty, not enormous.
+        let s = w.tick(500, 3, hist.snapshot(), stats.snapshot(), None);
+        assert_eq!(s.duration_ns(), 0);
+        assert_eq!(s.ops, 0);
+    }
+}

@@ -16,8 +16,10 @@ pub use poly_futex;
 pub use poly_locks_sim;
 pub use poly_meter;
 pub use poly_net;
+pub use poly_report;
 pub use poly_scenarios;
 pub use poly_sched;
 pub use poly_sim;
 pub use poly_store;
 pub use poly_systems;
+pub use poly_trace;
