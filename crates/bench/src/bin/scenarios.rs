@@ -245,6 +245,7 @@ fn emit_timeline(cells: &[ScenarioSpec], reports: &[poly_scenarios::CellReport],
             scenario: r.scenario.clone(),
             workload: r.workload.clone(),
             transport: r.transport.to_string(),
+            server: "sim".to_string(),
             lock: r.lock.label().to_string(),
             shards: spec.workload.shard_count().unwrap_or(0) as u64,
             threads: r.threads as u64,

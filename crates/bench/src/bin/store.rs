@@ -27,7 +27,7 @@ use std::time::Duration;
 use poly_cap::{CalibrationTable, CapGuard, CpuCap, FreqPolicy};
 use poly_locks_sim::LockKind;
 use poly_meter::{EnergySource, RaplSampler};
-use poly_net::{NetClient, NetConn, NetServer, ServerConfig};
+use poly_net::{Arch, NetClient, NetConn, NetServer, ServerConfig};
 use poly_report::columns::STORE_CELL;
 use poly_report::Value;
 use poly_scenarios::{parse_lock, Registry, SinkFormat, WorkloadSpec};
@@ -57,6 +57,15 @@ fn usage() -> ! {
          \x20 --shards S1,S2               store shard counts (default: mix default)\n\
          \x20 --transport T1,T2            local | tcp (default: local); tcp runs each cell\n\
          \x20                              through a loopback poly-net server\n\
+         \x20 --server A1,A2               serving architecture, a sweep axis for tcp cells:\n\
+         \x20                              threads (one worker thread per connection) |\n\
+         \x20                              epoll (one readiness event loop). Local cells\n\
+         \x20                              report server=none (default: threads)\n\
+         \x20 --depth N                    pipeline depth per connection (default: 1 =\n\
+         \x20                              strict request/response; >1 keeps N requests\n\
+         \x20                              in flight and disables client-side batching)\n\
+         \x20 --conns N                    connections per client session (tcp fan,\n\
+         \x20                              default: 1); ops round-robin across them\n\
          \x20 --energy rapl|modeled|auto   energy source (default: auto). rapl: require the\n\
          \x20                              host's RAPL counters (fails without them); auto:\n\
          \x20                              measure when available, degrade to modeled\n\
@@ -91,6 +100,7 @@ fn usage() -> ! {
          options (serve only):\n\
          \x20 --addr HOST:PORT             listen address (default: 127.0.0.1:7878; port 0 = OS pick)\n\
          \x20 --lock L, --shards N         store configuration (defaults: MUTEXEE, 32)\n\
+         \x20 --server threads|epoll       serving architecture (default: threads)\n\
          \x20 --freq K                     cap the host at K kHz while serving (restored at\n\
          \x20                              shutdown)\n\
          \n\
@@ -139,6 +149,14 @@ struct Options {
     threads: Vec<usize>,
     shards: Vec<usize>,
     transports: Vec<Transport>,
+    /// `--server`: serving architectures, a sweep axis for tcp cells
+    /// (local cells always report `none`).
+    servers: Vec<Arch>,
+    /// `--depth`: pipeline depth per connection (1 = strict
+    /// request/response).
+    depth: usize,
+    /// `--conns`: connections per client session (the tcp fan).
+    conns: usize,
     freqs: Vec<Option<u64>>,
     energy: EnergySource,
     ops: u64,
@@ -194,6 +212,9 @@ fn parse_options(args: &[String]) -> Options {
         threads: Vec::new(),
         shards: Vec::new(),
         transports: Vec::new(),
+        servers: Vec::new(),
+        depth: 1,
+        conns: 1,
         freqs: Vec::new(),
         energy: EnergySource::Both,
         ops: default_ops(),
@@ -240,6 +261,28 @@ fn parse_options(args: &[String]) -> Options {
                         })
                     })
                     .collect();
+            }
+            "--server" | "--servers" => {
+                opts.servers = value()
+                    .split(',')
+                    .map(|s| {
+                        Arch::parse(s).unwrap_or_else(|| {
+                            fail(format!("unknown server architecture: {s} (threads or epoll)"))
+                        })
+                    })
+                    .collect();
+            }
+            "--depth" => {
+                opts.depth = value().parse().unwrap_or_else(|_| fail("bad --depth".into()));
+                if opts.depth == 0 {
+                    fail("--depth must be positive".into());
+                }
+            }
+            "--conns" => {
+                opts.conns = value().parse().unwrap_or_else(|_| fail("bad --conns".into()));
+                if opts.conns == 0 {
+                    fail("--conns must be positive".into());
+                }
             }
             "--energy" => {
                 let v = value();
@@ -434,6 +477,9 @@ struct Cell {
     scenario: String,
     mix: KvMix,
     transport: Transport,
+    /// Serving architecture label: `threads`/`epoll` for tcp cells,
+    /// `none` for in-process ones.
+    server: &'static str,
     lock: LockKind,
     threads: usize,
     /// The cell's frequency point: the effective cap when applied, the
@@ -457,6 +503,7 @@ impl Cell {
             Value::Str(&self.scenario),
             Value::Str(&workload),
             Value::Str(self.transport.label()),
+            Value::Str(self.server),
             Value::Str(self.lock.label()),
             Value::U64(self.mix.shards as u64),
             Value::U64(self.threads as u64),
@@ -501,6 +548,7 @@ impl Cell {
             scenario: self.scenario.clone(),
             workload: self.mix.label(),
             transport: self.transport.label().to_string(),
+            server: self.server.to_string(),
             lock: self.lock.label().to_string(),
             shards: self.mix.shards as u64,
             threads: self.threads as u64,
@@ -511,9 +559,10 @@ impl Cell {
     /// The cell's track name in the chrome://tracing export.
     fn track_name(&self) -> String {
         format!(
-            "{}/{}/{}/t{}",
+            "{}/{}/{}/{}/t{}",
             self.scenario,
             self.transport.label(),
+            self.server,
             self.lock.label(),
             self.threads
         )
@@ -528,6 +577,9 @@ impl Cell {
 fn connect_loopback(
     shards: usize,
     lock: LockKind,
+    arch: Arch,
+    fan: usize,
+    depth: usize,
     sampler: Option<&Arc<RaplSampler>>,
 ) -> (NetServer, NetClient) {
     let mut last_err = None;
@@ -536,15 +588,14 @@ fn connect_loopback(
             std::thread::sleep(std::time::Duration::from_millis(100 << attempt));
         }
         let store = Arc::new(PolyStore::new(StoreConfig { shards, lock }));
-        let bound = NetServer::bind_metered(
-            "127.0.0.1:0",
-            store,
-            ServerConfig::default(),
-            sampler.cloned(),
-        );
+        let bound = NetServer::builder("127.0.0.1:0")
+            .architecture(arch)
+            .config(ServerConfig::default())
+            .metered(sampler.cloned())
+            .serve(store);
         match bound {
             Ok(server) => match NetClient::connect(server.local_addr()) {
-                Ok(client) => return (server, client),
+                Ok(client) => return (server, client.with_pipeline(fan, depth)),
                 Err(e) => last_err = Some(format!("connecting to {}: {e}", server.local_addr())),
             },
             Err(e) => last_err = Some(format!("binding loopback server: {e}")),
@@ -558,6 +609,7 @@ fn run_cell(
     scenario: &str,
     mix: KvMix,
     transport: Transport,
+    arch: Arch,
     lock: LockKind,
     threads: usize,
     freq: Option<u64>,
@@ -573,6 +625,7 @@ fn run_cell(
     let spec = LoadSpec {
         rate_ops_s: opts.rate,
         freq_khz: freq_applied.then_some(freq_khz).flatten(),
+        depth: opts.depth,
         ..LoadSpec::saturating(mix, threads, opts.ops, opts.seed)
     };
     let trace = opts.trace_interval.map(TraceSpec::new);
@@ -593,7 +646,8 @@ fn run_cell(
             // the per-cell server churn of a long sweep can transiently
             // exhaust ephemeral ports, and one flaky cell must not
             // abort the process with every finished cell unemitted.
-            let (server, client) = connect_loopback(mix.shards, lock, sampler);
+            let (server, client) =
+                connect_loopback(mix.shards, lock, arch, opts.conns, opts.depth, sampler);
             let out = match &trace {
                 Some(t) => run_load_traced(&client, &spec, t),
                 None => (run_load_on(&client, &spec), Vec::new()),
@@ -607,6 +661,10 @@ fn run_cell(
         scenario: scenario.to_string(),
         mix,
         transport,
+        server: match transport {
+            Transport::Local => "none",
+            Transport::Tcp => arch.label(),
+        },
         lock,
         threads,
         freq_khz,
@@ -690,6 +748,7 @@ fn cmd_run(reg: &Registry, name: &str, opts: &Options) {
     let lock = *opts.locks.first().unwrap_or(&LockKind::Mutexee);
     let threads = *opts.threads.first().unwrap_or(&host_threads());
     let transport = *opts.transports.first().unwrap_or(&Transport::Local);
+    let arch = *opts.servers.first().unwrap_or(&Arch::Threads);
     let freq = opts.freqs.first().copied().unwrap_or(None);
     let mix = if let Some(&s) = opts.shards.first() { mix.with_shards(s) } else { mix };
     let sampler = make_sampler(opts.energy);
@@ -701,6 +760,7 @@ fn cmd_run(reg: &Registry, name: &str, opts: &Options) {
         name,
         mix,
         transport,
+        arch,
         lock,
         threads,
         freq,
@@ -718,6 +778,7 @@ fn cmd_run(reg: &Registry, name: &str, opts: &Options) {
 fn cmd_serve(opts: &Options) {
     let lock = *opts.locks.first().unwrap_or(&LockKind::Mutexee);
     let shards = *opts.shards.first().unwrap_or(&32);
+    let arch = *opts.servers.first().unwrap_or(&Arch::Threads);
     let store = Arc::new(PolyStore::new(StoreConfig { shards, lock }));
     let sampler = make_sampler(opts.energy);
     // An optional serve-wide frequency cap, restored at shutdown.
@@ -743,23 +804,26 @@ fn cmd_serve(opts: &Options) {
             freq_applied.then_some(freq_khz).flatten(),
         )
     });
-    let mut server = NetServer::bind_full(
-        opts.addr.as_str(),
-        Arc::clone(&store),
-        ServerConfig::default(),
-        sampler.clone(),
-        collector.as_ref().map(|c| c.ring()),
-    )
-    .unwrap_or_else(|e| fail(format!("binding {}: {e}", opts.addr)));
+    let mut builder = NetServer::builder(opts.addr.as_str())
+        .architecture(arch)
+        .config(ServerConfig::default())
+        .metered(sampler.clone());
+    if let Some(c) = &collector {
+        builder = builder.trace_ring(c.ring());
+    }
+    let mut server = builder
+        .serve(Arc::clone(&store))
+        .unwrap_or_else(|e| fail(format!("binding {}: {e}", opts.addr)));
     // The bound address goes to stdout (scripts parse it; with port 0 the
     // OS picks); everything else to stderr.
     println!("{}", server.local_addr());
     std::io::stdout().flush().ok();
     eprintln!(
-        "serving {} shards under {} on {} (EOF on stdin stops the server)",
+        "serving {} shards under {} on {} ({} architecture; EOF on stdin stops the server)",
         shards,
         lock.label(),
-        server.local_addr()
+        server.local_addr(),
+        server.architecture(),
     );
     if let Some(s) = &sampler {
         eprintln!("measuring energy over {} RAPL domains", s.domains().len());
@@ -934,6 +998,15 @@ fn cmd_sweep(reg: &Registry, opts: &Options) {
     };
     let transports =
         if opts.transports.is_empty() { vec![Transport::Local] } else { opts.transports.clone() };
+    let servers = if opts.servers.is_empty() { vec![Arch::Threads] } else { opts.servers.clone() };
+    // The server axis only multiplies tcp cells: a local cell has no
+    // serving architecture (it reports server=none), so sweeping
+    // `--server threads,epoll --transport local,tcp` runs each local
+    // cell once, not once per architecture.
+    let arch_list_of = |t: Transport| match t {
+        Transport::Tcp => servers.clone(),
+        Transport::Local => vec![Arch::Threads],
+    };
     let freqs: Vec<Option<u64>> =
         if opts.freqs.is_empty() { vec![None] } else { opts.freqs.clone() };
     let sampler = make_sampler(opts.energy);
@@ -941,10 +1014,11 @@ fn cmd_sweep(reg: &Registry, opts: &Options) {
     if capper.is_some() {
         install_interrupt_restore();
     }
+    let arch_cells: usize = transports.iter().map(|&t| arch_list_of(t).len()).sum();
     let planned: usize = bases
         .iter()
         .map(|(_, mix)| {
-            shard_list_of(mix).len() * locks.len() * threads.len() * transports.len() * freqs.len()
+            shard_list_of(mix).len() * locks.len() * threads.len() * arch_cells * freqs.len()
         })
         .sum();
     let mut cells = Vec::new();
@@ -953,39 +1027,48 @@ fn cmd_sweep(reg: &Registry, opts: &Options) {
         for &s in &shard_list {
             let mix = mix.with_shards(s);
             for &transport in &transports {
-                for &lock in &locks {
-                    for &t in &threads {
-                        for &freq in &freqs {
-                            if INTERRUPTED.load(Ordering::SeqCst) {
+                for &arch in &arch_list_of(transport) {
+                    for &lock in &locks {
+                        for &t in &threads {
+                            for &freq in &freqs {
+                                if INTERRUPTED.load(Ordering::SeqCst) {
+                                    eprintln!(
+                                        "interrupted: stopping after {} of {planned} cells \
+                                         (caps restored)",
+                                        cells.len()
+                                    );
+                                    break 'cells;
+                                }
+                                let server = match transport {
+                                    Transport::Local => "none".to_string(),
+                                    Transport::Tcp => arch.to_string(),
+                                };
                                 eprintln!(
-                                    "interrupted: stopping after {} of {planned} cells \
-                                     (caps restored)",
-                                    cells.len()
+                                    "cell {}/{}: {} transport={} server={} lock={} shards={} \
+                                     threads={} freq={}",
+                                    cells.len() + 1,
+                                    planned,
+                                    name,
+                                    transport.label(),
+                                    server,
+                                    lock.label(),
+                                    s,
+                                    t,
+                                    FreqPolicy::point_label(freq),
                                 );
-                                break 'cells;
+                                cells.push(run_cell(
+                                    name,
+                                    mix,
+                                    transport,
+                                    arch,
+                                    lock,
+                                    t,
+                                    freq,
+                                    opts,
+                                    sampler.as_ref(),
+                                    capper.as_ref(),
+                                ));
                             }
-                            eprintln!(
-                                "cell {}/{}: {} transport={} lock={} shards={} threads={} freq={}",
-                                cells.len() + 1,
-                                planned,
-                                name,
-                                transport.label(),
-                                lock.label(),
-                                s,
-                                t,
-                                FreqPolicy::point_label(freq),
-                            );
-                            cells.push(run_cell(
-                                name,
-                                mix,
-                                transport,
-                                lock,
-                                t,
-                                freq,
-                                opts,
-                                sampler.as_ref(),
-                                capper.as_ref(),
-                            ));
                         }
                     }
                 }
@@ -1098,15 +1181,16 @@ mod tests {
             v.map_or_else(|| "null".into(), |x| x.to_string())
         }
 
-        pub const CSV_HEADER: &str = "scenario,workload,transport,lock,shards,threads,ops,wall_ms,\
-            throughput,p50_ns,p99_ns,max_ns,lock_wait_ns,lock_hold_ns,avg_power_w,energy_j,epo_uj,\
-            measured_j,measured_uj_per_op,measured_pkg_j,measured_dram_j,energy_source,freq_khz,\
-            freq_applied";
+        pub const CSV_HEADER: &str = "scenario,workload,transport,server,lock,shards,threads,ops,\
+            wall_ms,throughput,p50_ns,p99_ns,max_ns,lock_wait_ns,lock_hold_ns,avg_power_w,\
+            energy_j,epo_uj,measured_j,measured_uj_per_op,measured_pkg_j,measured_dram_j,\
+            energy_source,freq_khz,freq_applied";
 
         pub fn to_json(cell: &Cell) -> String {
             let r = &cell.report;
             format!(
-                "{{\"scenario\":{},\"workload\":{},\"transport\":\"{}\",\"lock\":\"{}\",\
+                "{{\"scenario\":{},\"workload\":{},\"transport\":\"{}\",\"server\":\"{}\",\
+                 \"lock\":\"{}\",\
                  \"shards\":{},\"threads\":{},\
                  \"ops\":{},\"wall_ms\":{},\"throughput\":{},\"p50_ns\":{},\"p99_ns\":{},\
                  \"max_ns\":{},\"lock_wait_ns\":{},\"lock_hold_ns\":{},\"avg_power_w\":{},\
@@ -1116,6 +1200,7 @@ mod tests {
                 json_escape(&cell.scenario),
                 json_escape(&cell.mix.label()),
                 cell.transport.label(),
+                cell.server,
                 cell.lock.label(),
                 cell.mix.shards,
                 cell.threads,
@@ -1143,10 +1228,11 @@ mod tests {
         pub fn to_csv(cell: &Cell) -> String {
             let r = &cell.report;
             format!(
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
                 cell.scenario,
                 cell.mix.label(),
                 cell.transport.label(),
+                cell.server,
                 cell.lock.label(),
                 cell.mix.shards,
                 cell.threads,
@@ -1204,6 +1290,7 @@ mod tests {
                 scenario: "kv-zipf".into(),
                 mix: KvMix::uniform().with_shards(8),
                 transport: Transport::Local,
+                server: "none",
                 lock: LockKind::Mutexee,
                 threads: 4,
                 freq_khz: Some(1_200_000),
@@ -1215,6 +1302,7 @@ mod tests {
                 scenario: "kv-uniform".into(),
                 mix: KvMix::uniform(),
                 transport: Transport::Tcp,
+                server: "epoll",
                 lock: LockKind::Ticket,
                 threads: 1,
                 freq_khz: None,

@@ -58,10 +58,11 @@ fn auto_without_rapl_degrades_to_modeled_with_stable_schema() {
         // No --freq: the cell ran (and was modeled) at base frequency.
         assert_eq!(json_value(&line, "freq_khz"), "null");
         assert_eq!(json_value(&line, "freq_applied"), "false");
-        // The full key order, pinned: everything before the measured
-        // block is the PR 3 schema, byte-for-byte.
+        // The full key order, pinned: the PR 3 schema plus the `server`
+        // architecture column after `transport`, byte-for-byte.
         let expected = "{\"scenario\":\"kv-net-uniform\",\"workload\":\"kv/16sh/uni/g80p18d2s0\",\
-             \"transport\":\"local\",\"lock\":\"MUTEXEE\",\"shards\":16,\"threads\":1,\"ops\":400,";
+             \"transport\":\"local\",\"server\":\"none\",\"lock\":\"MUTEXEE\",\"shards\":16,\
+             \"threads\":1,\"ops\":400,";
         assert!(line.starts_with(expected), "schema prefix changed: {line}");
         for key in [
             "wall_ms",

@@ -119,12 +119,92 @@ fn transport_is_a_sweep_axis() {
     assert_eq!(transports, ["local", "tcp"]);
 }
 
+/// One sweep can carry both serving architectures as an axis: the
+/// `--server` list multiplies the tcp cells, every cell renders the same
+/// schema, and only the `server` column tells them apart.
+#[test]
+fn server_architecture_is_a_sweep_axis() {
+    let out = store_bin()
+        .args([
+            "sweep",
+            "--scenarios",
+            "kv-net-uniform",
+            "--transport",
+            "tcp",
+            "--server",
+            "threads,epoll",
+            "--locks",
+            "MUTEXEE",
+            "--threads",
+            "1",
+            "--conns",
+            "2",
+            "--depth",
+            "4",
+            "--ops",
+            "200",
+            "--format",
+            "jsonl",
+        ])
+        .output()
+        .expect("store sweep runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let cells: Vec<&str> = stdout.lines().collect();
+    assert_eq!(cells.len(), 2, "two architectures => two cells: {cells:?}");
+    assert_eq!(json_keys(cells[0]), json_keys(cells[1]), "schemas diverge across --server");
+    assert_eq!(json_value(cells[0], "server"), "\"threads\"");
+    assert_eq!(json_value(cells[1], "server"), "\"epoll\"");
+    for cell in &cells {
+        assert_eq!(json_value(cell, "transport"), "\"tcp\"");
+        assert_eq!(json_value(cell, "ops"), "200");
+        assert!(json_value(cell, "throughput").parse::<f64>().unwrap() > 0.0);
+    }
+
+    // Local cells ignore the axis: one cell, labeled server=none.
+    let out = store_bin()
+        .args([
+            "sweep",
+            "--scenarios",
+            "kv-net-uniform",
+            "--transport",
+            "local",
+            "--server",
+            "threads,epoll",
+            "--locks",
+            "MUTEXEE",
+            "--threads",
+            "1",
+            "--ops",
+            "200",
+            "--format",
+            "jsonl",
+        ])
+        .output()
+        .expect("store sweep runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let cells: Vec<&str> = stdout.lines().collect();
+    assert_eq!(cells.len(), 1, "local cells must not multiply across --server: {cells:?}");
+    assert_eq!(json_value(cells[0], "server"), "\"none\"");
+}
+
 /// `store serve` binds, prints its address, serves real clients, and
 /// shuts down cleanly when stdin closes.
 #[test]
 fn serve_command_serves_until_stdin_eof() {
     let mut child = store_bin()
-        .args(["serve", "--addr", "127.0.0.1:0", "--lock", "TTAS", "--shards", "4"])
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--lock",
+            "TTAS",
+            "--shards",
+            "4",
+            "--server",
+            "epoll",
+        ])
         .stdin(Stdio::piped())
         .stdout(Stdio::piped())
         .stderr(Stdio::null())

@@ -14,10 +14,11 @@ use common::{json_keys, json_value};
 
 /// The canonical timeline column order (pinned in poly-report's
 /// registry); both sweep families must emit exactly these keys.
-const TIMELINE_KEYS: [&str; 20] = [
+const TIMELINE_KEYS: [&str; 21] = [
     "scenario",
     "workload",
     "transport",
+    "server",
     "lock",
     "shards",
     "threads",
@@ -203,6 +204,7 @@ fn scenarios_sweep_emits_one_sim_window_per_cell_in_the_shared_schema() {
     for (row, agg) in rows.iter().zip(&aggregates) {
         assert_eq!(json_keys(row), TIMELINE_KEYS, "timeline schema drifted: {row}");
         assert_eq!(json_value(row, "transport"), "\"sim\"");
+        assert_eq!(json_value(row, "server"), "\"sim\"");
         assert_eq!(json_value(row, "window"), "0");
         assert_eq!(json_value(row, "start_ns"), "0");
         assert_eq!(json_value(row, "ops"), json_value(agg, "total_ops"));

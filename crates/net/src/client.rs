@@ -9,6 +9,7 @@
 //! report's lock wait/hold and modeled energy reflect the *server's*
 //! shard locks.
 
+use std::collections::VecDeque;
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::Mutex;
@@ -16,7 +17,9 @@ use std::time::Duration;
 
 use poly_locks_sim::LockKind;
 use poly_meter::MeasuredReading;
-use poly_store::{KvConnection, KvService, StatsSnapshot, WriteBatch};
+use poly_store::{
+    KvConnection, KvService, PipeOp, Reply, StatsSnapshot, Submitted, Ticket, WriteBatch,
+};
 
 use crate::proto::{batch_request, read_frame, write_frame, Request, Response};
 
@@ -38,6 +41,25 @@ impl NetConn {
     pub fn request(&mut self, req: &Request) -> io::Result<Response> {
         write_frame(&mut self.writer, &req.encode())?;
         self.writer.flush()?;
+        self.recv(req)
+    }
+
+    /// Queues one request frame *without flushing* — the pipelined send
+    /// half. Pair each `send` with a later [`NetConn::recv`] in the same
+    /// order (protocol v2's FIFO rule), with a [`NetConn::flush`] in
+    /// between.
+    pub fn send(&mut self, req: &Request) -> io::Result<()> {
+        write_frame(&mut self.writer, &req.encode())
+    }
+
+    /// Pushes every queued request frame at the socket.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.writer.flush()
+    }
+
+    /// Reads the next response frame and decodes it against `req` — the
+    /// pipelined receive half.
+    pub fn recv(&mut self, req: &Request) -> io::Result<Response> {
         let body = read_frame(&mut self.reader)?
             .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "server closed"))?;
         Response::decode(&body, req)
@@ -115,11 +137,19 @@ fn unexpected(req: &Request, resp: &Response) -> io::Error {
 
 /// A pooled client to one server: hand out sessions with
 /// [`NetClient::session`], and they return to the pool on drop.
+///
+/// [`NetClient::with_pipeline`] turns sessions pipelined: each session
+/// then owns a *fan* of connections and keeps up to *depth × fan*
+/// requests in flight through the [`KvConnection::submit`]/`drain`
+/// surface (protocol v2). The default (`fan = 1`, `depth = 1`) is the v1
+/// strict request/response client.
 pub struct NetClient {
     addr: SocketAddr,
     pool: Mutex<Vec<NetConn>>,
     lock: LockKind,
     shards: u32,
+    fan: usize,
+    depth: usize,
 }
 
 impl NetClient {
@@ -133,7 +163,25 @@ impl NetClient {
             .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no address"))?;
         let mut conn = NetConn::dial(addr)?;
         let ws = conn.stats()?;
-        Ok(NetClient { addr, pool: Mutex::new(vec![conn]), lock: ws.lock, shards: ws.shards })
+        Ok(NetClient {
+            addr,
+            pool: Mutex::new(vec![conn]),
+            lock: ws.lock,
+            shards: ws.shards,
+            fan: 1,
+            depth: 1,
+        })
+    }
+
+    /// Makes every session pipelined: `fan` connections per session,
+    /// submissions round-robined across them, and an advertised pipeline
+    /// depth of `depth` per connection. A c10k-style run is a few driver
+    /// threads × a large fan — thousands of live sockets without
+    /// thousands of client threads.
+    pub fn with_pipeline(mut self, fan: usize, depth: usize) -> NetClient {
+        self.fan = fan.max(1);
+        self.depth = depth.max(1);
+        self
     }
 
     /// The server address.
@@ -151,61 +199,158 @@ impl NetClient {
         self.pool.lock().unwrap().len()
     }
 
-    /// Checks a connection out of the pool, dialing a fresh one when the
-    /// pool is dry. The session returns its connection on drop.
+    /// Checks the session's fan of connections out of the pool, dialing
+    /// fresh ones when the pool runs dry. The session returns its
+    /// connections on drop.
     pub fn session(&self) -> io::Result<PooledConn<'_>> {
-        let conn = match self.pool.lock().unwrap().pop() {
-            Some(conn) => conn,
-            None => NetConn::dial(self.addr)?,
-        };
-        Ok(PooledConn { conn: Some(conn), client: self })
+        let mut conns = Vec::with_capacity(self.fan);
+        {
+            let mut pool = self.pool.lock().unwrap();
+            while conns.len() < self.fan {
+                match pool.pop() {
+                    Some(conn) => conns.push(conn),
+                    None => break,
+                }
+            }
+        }
+        while conns.len() < self.fan {
+            conns.push(NetConn::dial(self.addr)?);
+        }
+        Ok(PooledConn {
+            conns,
+            pending: VecDeque::new(),
+            ready: Vec::new(),
+            next_conn: 0,
+            next_ticket: 0,
+            client: self,
+        })
     }
 }
 
-/// A pooled connection checked out of a [`NetClient`]; implements the
-/// driver's [`KvConnection`], panicking on I/O errors (the open-loop
-/// driver has no error channel — a dead server invalidates the run).
-/// Use the inherent [`NetConn`] methods via [`PooledConn::conn_mut`] for
+/// A session checked out of a [`NetClient`]: one connection in v1 mode,
+/// a fan of them in pipelined mode. Implements the driver's
+/// [`KvConnection`], panicking on I/O errors (the open-loop driver has
+/// no error channel — a dead server invalidates the run). Use the
+/// inherent [`NetConn`] methods via [`PooledConn::conn_mut`] for
 /// fallible access.
 pub struct PooledConn<'c> {
-    conn: Option<NetConn>,
+    conns: Vec<NetConn>,
+    /// Unanswered pipelined submissions, in FIFO order: which connection
+    /// carries each one, the request (responses are not self-describing),
+    /// and its ticket.
+    pending: VecDeque<(usize, Request, Ticket)>,
+    /// Replies collected by an internal sync (a blocking call arriving
+    /// while submissions were in flight); handed out by the next drain.
+    ready: Vec<Reply>,
+    next_conn: usize,
+    next_ticket: u64,
     client: &'c NetClient,
 }
 
 impl PooledConn<'_> {
-    /// The underlying connection, for fallible (Result-returning) use.
+    /// The first underlying connection, for fallible (Result-returning)
+    /// use.
     pub fn conn_mut(&mut self) -> &mut NetConn {
-        self.conn.as_mut().expect("connection present until drop")
+        &mut self.conns[0]
+    }
+
+    /// Flushes every connection with queued frames, then collects the
+    /// pending replies in submission order (valid because the server
+    /// answers each connection FIFO).
+    fn try_collect(&mut self) -> io::Result<Vec<Reply>> {
+        let mut flushed = vec![false; self.conns.len()];
+        for &(idx, _, _) in &self.pending {
+            if !flushed[idx] {
+                self.conns[idx].flush()?;
+                flushed[idx] = true;
+            }
+        }
+        let mut replies = Vec::with_capacity(self.pending.len());
+        while let Some((idx, req, ticket)) = self.pending.pop_front() {
+            let value = match self.conns[idx].recv(&req)? {
+                Response::Value(v) => v,
+                other => return Err(unexpected(&req, &other)),
+            };
+            replies.push(Reply { ticket, value });
+        }
+        Ok(replies)
+    }
+
+    /// Lands every in-flight submission, stashing the replies for the
+    /// next `drain`. Blocking calls go through this first so they never
+    /// read a pipelined response as their own.
+    fn sync(&mut self) {
+        if !self.pending.is_empty() {
+            let replies = self.try_collect().expect("net pipeline drain");
+            self.ready.extend(replies);
+        }
     }
 }
 
 impl Drop for PooledConn<'_> {
     fn drop(&mut self) {
-        if let Some(conn) = self.conn.take() {
-            self.client.pool.lock().unwrap().push(conn);
+        // A session dropped with submissions still in flight settles them
+        // first (best effort); connections go back to the pool only if
+        // the protocol state is clean.
+        if !self.pending.is_empty() && self.try_collect().is_err() {
+            return; // framing state unknown: the conns must not be reused
         }
+        let mut pool = self.client.pool.lock().unwrap();
+        pool.extend(self.conns.drain(..));
     }
 }
 
 impl KvConnection for PooledConn<'_> {
     fn get(&mut self, key: u64) -> Option<u64> {
+        self.sync();
         self.conn_mut().get(key).expect("net get")
     }
 
     fn put(&mut self, key: u64, value: u64) -> Option<u64> {
+        self.sync();
         self.conn_mut().put(key, value).expect("net put")
     }
 
     fn remove(&mut self, key: u64) -> Option<u64> {
+        self.sync();
         self.conn_mut().remove(key).expect("net remove")
     }
 
     fn scan_count(&mut self) -> u64 {
+        self.sync();
         self.conn_mut().scan().expect("net scan").0
     }
 
     fn apply(&mut self, batch: &WriteBatch) {
+        self.sync();
         self.conn_mut().apply(batch).expect("net batch");
+    }
+
+    fn submit(&mut self, op: PipeOp) -> Submitted {
+        let req = match op {
+            PipeOp::Get(k) => Request::Get(k),
+            PipeOp::Put(k, v) => Request::Put(k, v),
+            PipeOp::Remove(k) => Request::Remove(k),
+        };
+        let idx = self.next_conn;
+        self.next_conn = (self.next_conn + 1) % self.conns.len();
+        self.conns[idx].send(&req).expect("net pipeline send");
+        let ticket = Ticket(self.next_ticket);
+        self.next_ticket += 1;
+        self.pending.push_back((idx, req, ticket));
+        Submitted::Queued(ticket)
+    }
+
+    fn drain(&mut self) -> Vec<Reply> {
+        let mut replies = std::mem::take(&mut self.ready);
+        if !self.pending.is_empty() {
+            replies.extend(self.try_collect().expect("net pipeline drain"));
+        }
+        replies
+    }
+
+    fn pipeline_depth(&self) -> usize {
+        self.client.depth * self.conns.len()
     }
 }
 

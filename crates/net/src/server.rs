@@ -1,5 +1,18 @@
-//! The TCP front-end: a blocking accept loop, one worker thread per
-//! connection, graceful shutdown, and per-connection op counters.
+//! The TCP front-end: two interchangeable server architectures behind
+//! one surface.
+//!
+//! [`Arch::Threads`] is the v1 design — a blocking accept loop, one
+//! worker thread per connection, capped at
+//! [`ServerConfig::max_conns`]. [`Arch::Epoll`] is the v2 design — a
+//! single readiness loop over nonblocking sockets (see
+//! [`crate::event_loop`]) that scales to thousands of connections and
+//! drains pipelined bursts. Both share the same request execution path,
+//! counters, graceful shutdown, and wire protocol; a client cannot tell
+//! them apart except by load behaviour.
+//!
+//! Construction goes through [`NetServer::builder`]; the accreted
+//! `bind`/`bind_with`/`bind_metered`/`bind_full` constructors survive as
+//! deprecated shims.
 
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -10,9 +23,47 @@ use std::time::Duration;
 
 use poly_meter::RaplSampler;
 use poly_store::{PolyStore, WriteBatch};
-use poly_trace::TraceRing;
+use poly_trace::{StoreCollector, TraceRing};
 
 use crate::proto::{read_frame, write_frame, Request, Response, WireStats, WireStatsV2};
+
+/// Server architecture: how connections map onto threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Arch {
+    /// v1: blocking accept loop, one worker thread per connection. Low
+    /// per-request latency at small connection counts; concurrency is
+    /// capped by [`ServerConfig::max_conns`].
+    Threads,
+    /// v2: one event-loop thread multiplexing every connection over
+    /// `epoll(7)` readiness, with per-connection buffers and incremental
+    /// frame decoding. Sustains thousands of connections and coalesces
+    /// pipelined contiguous PUTs into write batches.
+    Epoll,
+}
+
+impl Arch {
+    /// Every architecture, in sweep order.
+    pub const ALL: [Arch; 2] = [Arch::Threads, Arch::Epoll];
+
+    /// The label used in CLI flags and report columns.
+    pub fn label(self) -> &'static str {
+        match self {
+            Arch::Threads => "threads",
+            Arch::Epoll => "epoll",
+        }
+    }
+
+    /// Parses a CLI label (case-insensitive).
+    pub fn parse(s: &str) -> Option<Arch> {
+        Arch::ALL.into_iter().find(|a| a.label().eq_ignore_ascii_case(s))
+    }
+}
+
+impl std::fmt::Display for Arch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
 
 /// Tuning knobs of a [`NetServer`].
 #[derive(Debug, Clone, Copy)]
@@ -40,7 +91,10 @@ impl Default for ServerConfig {
 pub struct NetStatsSnapshot {
     /// Connections accepted over the server's lifetime.
     pub connections: u64,
-    /// Connections refused because `max_conns` were already live.
+    /// Highest number of simultaneously live connections observed.
+    pub peak_conns: u64,
+    /// Connections refused because `max_conns` were already live (each
+    /// one was answered with an error frame before the close).
     pub refused: u64,
     /// Request frames served.
     pub frames: u64,
@@ -63,24 +117,26 @@ pub struct NetStatsSnapshot {
 }
 
 #[derive(Default)]
-struct NetCounters {
-    connections: AtomicU64,
-    refused: AtomicU64,
-    frames: AtomicU64,
-    bytes_in: AtomicU64,
-    bytes_out: AtomicU64,
-    gets: AtomicU64,
-    puts: AtomicU64,
-    removes: AtomicU64,
-    scans: AtomicU64,
-    batches: AtomicU64,
-    stats_reqs: AtomicU64,
+pub(crate) struct NetCounters {
+    pub(crate) connections: AtomicU64,
+    pub(crate) peak_conns: AtomicU64,
+    pub(crate) refused: AtomicU64,
+    pub(crate) frames: AtomicU64,
+    pub(crate) bytes_in: AtomicU64,
+    pub(crate) bytes_out: AtomicU64,
+    pub(crate) gets: AtomicU64,
+    pub(crate) puts: AtomicU64,
+    pub(crate) removes: AtomicU64,
+    pub(crate) scans: AtomicU64,
+    pub(crate) batches: AtomicU64,
+    pub(crate) stats_reqs: AtomicU64,
 }
 
 impl NetCounters {
     fn snapshot(&self) -> NetStatsSnapshot {
         NetStatsSnapshot {
             connections: self.connections.load(Ordering::Relaxed),
+            peak_conns: self.peak_conns.load(Ordering::Relaxed),
             refused: self.refused.load(Ordering::Relaxed),
             frames: self.frames.load(Ordering::Relaxed),
             bytes_in: self.bytes_in.load(Ordering::Relaxed),
@@ -95,81 +151,152 @@ impl NetCounters {
     }
 }
 
-struct Inner {
-    store: Arc<PolyStore>,
-    cfg: ServerConfig,
+pub(crate) struct Inner {
+    pub(crate) store: Arc<PolyStore>,
+    pub(crate) cfg: ServerConfig,
     /// Server-side RAPL sampler: when present, STATS replies carry the
     /// serving process's cumulative measured energy.
-    sampler: Option<Arc<RaplSampler>>,
+    pub(crate) sampler: Option<Arc<RaplSampler>>,
     /// Telemetry ring written by a collector (e.g.
     /// `poly_trace::StoreCollector`): when present, STATS2 replies carry
     /// the latest complete window.
-    window: Option<Arc<TraceRing>>,
-    stop: AtomicBool,
-    live: AtomicUsize,
-    counters: NetCounters,
-    workers: Mutex<Vec<JoinHandle<()>>>,
+    pub(crate) window: Option<Arc<TraceRing>>,
+    pub(crate) stop: AtomicBool,
+    pub(crate) live: AtomicUsize,
+    pub(crate) counters: NetCounters,
+    pub(crate) workers: Mutex<Vec<JoinHandle<()>>>,
 }
 
-/// A running TCP front-end over one [`PolyStore`].
+impl Inner {
+    /// Registers a newly accepted connection against the live count and
+    /// the peak-concurrency high-water mark.
+    pub(crate) fn connection_opened(&self) {
+        let now = self.live.fetch_add(1, Ordering::SeqCst) + 1;
+        self.counters.connections.fetch_add(1, Ordering::Relaxed);
+        self.counters.peak_conns.fetch_max(now as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn connection_closed(&self) {
+        self.live.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// True when another connection would exceed `max_conns`.
+    pub(crate) fn at_capacity(&self) -> bool {
+        self.live.load(Ordering::SeqCst) >= self.cfg.max_conns
+    }
+
+    /// Refuses `stream` with a protocol-level error frame (best effort,
+    /// bounded by a short write timeout so a dead peer cannot stall the
+    /// acceptor), then counts the refusal. The v1 behaviour — silently
+    /// closing — was indistinguishable from a crash on the client side.
+    pub(crate) fn refuse(&self, stream: TcpStream) {
+        self.counters.refused.fetch_add(1, Ordering::Relaxed);
+        stream.set_write_timeout(Some(Duration::from_millis(200))).ok();
+        let msg =
+            Response::Error(format!("server at capacity ({} connections)", self.cfg.max_conns));
+        let mut w = BufWriter::new(stream);
+        let _ = write_frame(&mut w, &msg.encode());
+        let _ = w.flush();
+    }
+}
+
+/// Configures and starts a [`NetServer`]; made by [`NetServer::builder`].
 ///
-/// `bind` spawns the accept thread; every accepted connection gets a
-/// dedicated worker thread (bounded by [`ServerConfig::max_conns`]).
-/// Dropping the server — or calling [`NetServer::shutdown`] — stops the
-/// accept loop, wakes every idle worker, and joins them all, so no
-/// request is torn mid-response.
-pub struct NetServer {
-    local_addr: SocketAddr,
-    inner: Arc<Inner>,
-    accept: Option<JoinHandle<()>>,
+/// ```no_run
+/// # use std::sync::Arc;
+/// # use poly_net::{Arch, NetServer};
+/// # use poly_store::{PolyStore, StoreConfig};
+/// let store = Arc::new(PolyStore::new(StoreConfig::default()));
+/// let server = NetServer::builder("127.0.0.1:0")
+///     .architecture(Arch::Epoll)
+///     .serve(store)
+///     .unwrap();
+/// # drop(server);
+/// ```
+#[must_use = "a builder does nothing until serve() is called"]
+pub struct ServerBuilder<A: ToSocketAddrs> {
+    addr: A,
+    cfg: ServerConfig,
+    arch: Arch,
+    sampler: Option<Arc<RaplSampler>>,
+    ring: Option<Arc<TraceRing>>,
+    trace_interval: Option<Duration>,
+    trace_freq_khz: Option<u64>,
 }
 
-impl NetServer {
-    /// Binds `addr` (use port 0 for an OS-assigned loopback port) and
-    /// starts serving `store`.
-    pub fn bind<A: ToSocketAddrs>(addr: A, store: Arc<PolyStore>) -> io::Result<NetServer> {
-        Self::bind_with(addr, store, ServerConfig::default())
+impl<A: ToSocketAddrs> ServerBuilder<A> {
+    /// Replaces the whole tuning block.
+    pub fn config(mut self, cfg: ServerConfig) -> Self {
+        self.cfg = cfg;
+        self
     }
 
-    /// [`NetServer::bind`] with explicit tuning.
-    pub fn bind_with<A: ToSocketAddrs>(
-        addr: A,
-        store: Arc<PolyStore>,
-        cfg: ServerConfig,
-    ) -> io::Result<NetServer> {
-        Self::bind_metered(addr, store, cfg, None)
+    /// Caps concurrent connections (see [`ServerConfig::max_conns`]).
+    pub fn max_conns(mut self, n: usize) -> Self {
+        self.cfg.max_conns = n;
+        self
     }
 
-    /// [`NetServer::bind_with`] plus a server-side RAPL sampler: STATS
-    /// replies then carry the serving process's cumulative measured
-    /// energy, so remote drivers charge joules to the server, not to
-    /// themselves.
-    pub fn bind_metered<A: ToSocketAddrs>(
-        addr: A,
-        store: Arc<PolyStore>,
-        cfg: ServerConfig,
-        sampler: Option<Arc<RaplSampler>>,
-    ) -> io::Result<NetServer> {
-        Self::bind_full(addr, store, cfg, sampler, None)
+    /// Chooses the server architecture (default [`Arch::Threads`]).
+    pub fn architecture(mut self, arch: Arch) -> Self {
+        self.arch = arch;
+        self
     }
 
-    /// [`NetServer::bind_metered`] plus a telemetry ring: `STATS2`
-    /// requests then answer with the newest complete window from it
-    /// (wire a `poly_trace::StoreCollector`'s ring here so `store top`
-    /// reads live per-window throughput/latency/joules).
-    pub fn bind_full<A: ToSocketAddrs>(
-        addr: A,
-        store: Arc<PolyStore>,
-        cfg: ServerConfig,
-        sampler: Option<Arc<RaplSampler>>,
-        window: Option<Arc<TraceRing>>,
-    ) -> io::Result<NetServer> {
-        let listener = TcpListener::bind(addr)?;
+    /// Attaches a server-side RAPL sampler: STATS replies then carry the
+    /// serving process's cumulative measured energy, so remote drivers
+    /// charge joules to the server, not to themselves. `None` is
+    /// accepted so callers can thread an optional sampler straight
+    /// through.
+    pub fn metered(mut self, sampler: Option<Arc<RaplSampler>>) -> Self {
+        self.sampler = sampler;
+        self
+    }
+
+    /// Answers `STATS2` from an externally owned telemetry ring (wire a
+    /// `poly_trace::StoreCollector`'s ring here when the caller wants to
+    /// keep the collector — e.g. to drain it at shutdown).
+    pub fn trace_ring(mut self, ring: Arc<TraceRing>) -> Self {
+        self.ring = Some(ring);
+        self
+    }
+
+    /// Spawns a server-owned `StoreCollector` sampling every `interval`,
+    /// and answers `STATS2` from its ring. The collector stops with the
+    /// server. Overridden by [`ServerBuilder::trace_ring`].
+    pub fn trace_interval(mut self, interval: Duration) -> Self {
+        self.trace_interval = Some(interval);
+        self
+    }
+
+    /// Frequency label stamped on server-owned collector windows (only
+    /// meaningful with [`ServerBuilder::trace_interval`]).
+    pub fn trace_freq_khz(mut self, khz: Option<u64>) -> Self {
+        self.trace_freq_khz = khz;
+        self
+    }
+
+    /// Binds the address (use port 0 for an OS-assigned loopback port)
+    /// and starts serving `store` on the configured architecture.
+    pub fn serve(self, store: Arc<PolyStore>) -> io::Result<NetServer> {
+        let listener = TcpListener::bind(self.addr)?;
         let local_addr = listener.local_addr()?;
+        // A server-owned collector, unless the caller supplied a ring.
+        let collector = match (&self.ring, self.trace_interval) {
+            (None, Some(interval)) => Some(StoreCollector::spawn(
+                Arc::clone(&store),
+                self.sampler.clone(),
+                interval,
+                4096,
+                self.trace_freq_khz,
+            )),
+            _ => None,
+        };
+        let window = self.ring.or_else(|| collector.as_ref().map(|c| c.ring()));
         let inner = Arc::new(Inner {
             store,
-            cfg,
-            sampler,
+            cfg: self.cfg,
+            sampler: self.sampler,
             window,
             stop: AtomicBool::new(false),
             live: AtomicUsize::new(0),
@@ -178,16 +305,102 @@ impl NetServer {
         });
         let accept = {
             let inner = Arc::clone(&inner);
-            std::thread::Builder::new()
-                .name("poly-net-accept".into())
-                .spawn(move || accept_loop(&listener, &inner))?
+            let builder = std::thread::Builder::new().name("poly-net-accept".into());
+            match self.arch {
+                Arch::Threads => builder.spawn(move || accept_loop(&listener, &inner))?,
+                Arch::Epoll => builder.spawn(move || crate::event_loop::run(listener, &inner))?,
+            }
         };
-        Ok(NetServer { local_addr, inner, accept: Some(accept) })
+        Ok(NetServer { local_addr, arch: self.arch, inner, accept: Some(accept), collector })
+    }
+}
+
+/// A running TCP front-end over one [`PolyStore`].
+///
+/// [`NetServer::builder`] configures and starts it; the architecture
+/// ([`Arch`]) decides whether connections get dedicated worker threads
+/// or share one readiness loop. Dropping the server — or calling
+/// [`NetServer::shutdown`] — stops accepting, wakes every serving
+/// thread, and joins them all, so no request is torn mid-response.
+pub struct NetServer {
+    local_addr: SocketAddr,
+    arch: Arch,
+    inner: Arc<Inner>,
+    accept: Option<JoinHandle<()>>,
+    /// A server-owned telemetry collector (from
+    /// [`ServerBuilder::trace_interval`]); stopped at shutdown.
+    collector: Option<StoreCollector>,
+}
+
+impl NetServer {
+    /// Starts configuring a server on `addr`.
+    pub fn builder<A: ToSocketAddrs>(addr: A) -> ServerBuilder<A> {
+        ServerBuilder {
+            addr,
+            cfg: ServerConfig::default(),
+            arch: Arch::Threads,
+            sampler: None,
+            ring: None,
+            trace_interval: None,
+            trace_freq_khz: None,
+        }
+    }
+
+    /// Binds `addr` (use port 0 for an OS-assigned loopback port) and
+    /// starts serving `store`.
+    #[deprecated(since = "0.2.0", note = "use NetServer::builder(addr).serve(store)")]
+    pub fn bind<A: ToSocketAddrs>(addr: A, store: Arc<PolyStore>) -> io::Result<NetServer> {
+        Self::builder(addr).serve(store)
+    }
+
+    /// [`NetServer::builder`] with explicit tuning.
+    #[deprecated(since = "0.2.0", note = "use NetServer::builder(addr).config(cfg).serve(store)")]
+    pub fn bind_with<A: ToSocketAddrs>(
+        addr: A,
+        store: Arc<PolyStore>,
+        cfg: ServerConfig,
+    ) -> io::Result<NetServer> {
+        Self::builder(addr).config(cfg).serve(store)
+    }
+
+    /// [`NetServer::builder`] plus a server-side RAPL sampler.
+    #[deprecated(since = "0.2.0", note = "use NetServer::builder(addr).metered(sampler)")]
+    pub fn bind_metered<A: ToSocketAddrs>(
+        addr: A,
+        store: Arc<PolyStore>,
+        cfg: ServerConfig,
+        sampler: Option<Arc<RaplSampler>>,
+    ) -> io::Result<NetServer> {
+        Self::builder(addr).config(cfg).metered(sampler).serve(store)
+    }
+
+    /// [`NetServer::builder`] plus a sampler and telemetry ring.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use NetServer::builder(addr).metered(sampler).trace_ring(ring)"
+    )]
+    pub fn bind_full<A: ToSocketAddrs>(
+        addr: A,
+        store: Arc<PolyStore>,
+        cfg: ServerConfig,
+        sampler: Option<Arc<RaplSampler>>,
+        window: Option<Arc<TraceRing>>,
+    ) -> io::Result<NetServer> {
+        let mut b = Self::builder(addr).config(cfg).metered(sampler);
+        if let Some(ring) = window {
+            b = b.trace_ring(ring);
+        }
+        b.serve(store)
     }
 
     /// The address the server is listening on.
     pub fn local_addr(&self) -> SocketAddr {
         self.local_addr
+    }
+
+    /// The architecture this server is running.
+    pub fn architecture(&self) -> Arch {
+        self.arch
     }
 
     /// The store being served.
@@ -216,6 +429,9 @@ impl NetServer {
         for h in workers {
             let _ = h.join();
         }
+        if let Some(c) = &mut self.collector {
+            c.stop();
+        }
     }
 }
 
@@ -240,17 +456,15 @@ fn accept_loop(listener: &TcpListener, inner: &Arc<Inner>) {
         if inner.stop.load(Ordering::SeqCst) {
             return;
         }
-        if inner.live.load(Ordering::SeqCst) >= inner.cfg.max_conns {
-            inner.counters.refused.fetch_add(1, Ordering::Relaxed);
-            drop(stream);
+        if inner.at_capacity() {
+            inner.refuse(stream);
             continue;
         }
-        inner.live.fetch_add(1, Ordering::SeqCst);
-        inner.counters.connections.fetch_add(1, Ordering::Relaxed);
+        inner.connection_opened();
         let conn_inner = Arc::clone(inner);
         let worker = std::thread::Builder::new().name("poly-net-conn".into()).spawn(move || {
             let _ = serve_connection(stream, &conn_inner);
-            conn_inner.live.fetch_sub(1, Ordering::SeqCst);
+            conn_inner.connection_closed();
         });
         match worker {
             Ok(handle) => {
@@ -262,7 +476,7 @@ fn accept_loop(listener: &TcpListener, inner: &Arc<Inner>) {
                 workers.push(handle);
             }
             Err(_) => {
-                inner.live.fetch_sub(1, Ordering::SeqCst);
+                inner.connection_closed();
             }
         }
     }
@@ -335,7 +549,7 @@ fn serve_connection(stream: TcpStream, inner: &Inner) -> io::Result<()> {
     }
 }
 
-fn execute(req: &Request, inner: &Inner) -> Response {
+pub(crate) fn execute(req: &Request, inner: &Inner) -> Response {
     let store = &inner.store;
     let c = &inner.counters;
     match req {

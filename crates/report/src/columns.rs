@@ -12,12 +12,18 @@ use ColumnType::{Bool, OptF64, OptU64, Str, F64, U64};
 
 /// The native `store` CLI's sweep cell (`store run`/`store sweep`).
 ///
+/// `server` is the serving architecture axis: `threads`/`epoll` for the
+/// TCP transport, `none` for in-process runs (and `sim` on simulated
+/// timelines), making the architecture joinable like `lock` or
+/// `transport`.
+///
 /// The trailing `energy_model` constant is JSON-only: the historical CSV
 /// sink never carried it, and byte-compatibility wins over symmetry.
 pub const STORE_CELL: Schema = Schema::new(&[
     Column::new("scenario", Str),
     Column::new("workload", Str),
     Column::new("transport", Str),
+    Column::new("server", Str),
     Column::new("lock", Str),
     Column::new("shards", U64),
     Column::new("threads", U64),
@@ -81,6 +87,7 @@ pub const TIMELINE: Schema = Schema::new(&[
     Column::new("scenario", Str),
     Column::new("workload", Str),
     Column::new("transport", Str),
+    Column::new("server", Str),
     Column::new("lock", Str),
     Column::new("shards", U64),
     Column::new("threads", U64),
@@ -124,6 +131,7 @@ mod tests {
                 "scenario",
                 "workload",
                 "transport",
+                "server",
                 "lock",
                 "shards",
                 "threads",
@@ -148,10 +156,10 @@ mod tests {
                 "energy_model",
             ]
         );
-        // The historical CSV header, byte for byte (no energy_model).
+        // The canonical CSV header, byte for byte (no energy_model).
         assert_eq!(
             STORE_CELL.csv_header(),
-            "scenario,workload,transport,lock,shards,threads,ops,wall_ms,throughput,p50_ns,\
+            "scenario,workload,transport,server,lock,shards,threads,ops,wall_ms,throughput,p50_ns,\
              p99_ns,max_ns,lock_wait_ns,lock_hold_ns,avg_power_w,energy_j,epo_uj,measured_j,\
              measured_uj_per_op,measured_pkg_j,measured_dram_j,energy_source,freq_khz,freq_applied"
         );
@@ -178,6 +186,7 @@ mod tests {
                 "scenario",
                 "workload",
                 "transport",
+                "server",
                 "lock",
                 "shards",
                 "threads",

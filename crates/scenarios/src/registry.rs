@@ -29,7 +29,7 @@ impl Registry {
     /// the count lives. Adding a scenario means bumping this constant
     /// (builtin() asserts the two agree), and every count check in the
     /// workspace references it instead of hard-coding a number.
-    pub const BUILTIN_LEN: usize = 24;
+    pub const BUILTIN_LEN: usize = 26;
 
     /// An empty registry.
     pub fn new() -> Self {
@@ -154,6 +154,28 @@ impl Registry {
                 }),
             )
             .with_threads(8),
+        );
+        // The c10k pair: connection-count stress for the epoll server
+        // (four digits of mostly-idle connections, pipelined ops fanned
+        // across them — `store sweep --transport tcp --server
+        // threads,epoll --conns 512 --depth 16`).
+        add(
+            &mut reg,
+            "kv-net family: c10k-shape uniform traffic — thousands of pipelined connections",
+            ScenarioSpec::new(
+                "kv-net-c10k",
+                WorkloadSpec::Kv(KvMix { keys: 16_384, shards: 16, ..KvMix::uniform() }),
+            )
+            .with_threads(4),
+        );
+        add(
+            &mut reg,
+            "kv-net family: c10k-shape hot Zipf keys — connection scale on a contended store",
+            ScenarioSpec::new(
+                "kv-net-c10k-zipf",
+                WorkloadSpec::Kv(KvMix { keys: 16_384, shards: 16, ..KvMix::zipf_hot() }),
+            )
+            .with_threads(4),
         );
 
         // -- The `kv-cap` family: mixes sized for frequency-capped

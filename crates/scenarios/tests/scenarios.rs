@@ -46,9 +46,9 @@ fn registry_hygiene_count_names_and_kv_round_trips() {
             assert_eq!(parsed.label(), mix.label(), "{} label stability", spec.name);
         }
     }
-    // The kv family (4) plus the kv-net family (3) plus the kv-cap
-    // family (2).
-    assert_eq!(kv_entries, 9, "kv/kv-net/kv-cap families changed size");
+    // The kv family (4) plus the kv-net family (3 + the c10k pair) plus
+    // the kv-cap family (2).
+    assert_eq!(kv_entries, 11, "kv/kv-net/kv-cap families changed size");
 }
 
 /// Every built-in scenario must build and complete a short smoke run with

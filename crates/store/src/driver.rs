@@ -23,9 +23,58 @@ use crate::store::PolyStore;
 use crate::workload::{KeySampler, KvMix, KvOp, Rng64};
 use crate::WriteBatch;
 
+/// A point operation going through the pipelined surface
+/// ([`KvConnection::submit`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PipeOp {
+    /// Point lookup.
+    Get(u64),
+    /// Point insert/update.
+    Put(u64, u64),
+    /// Point deletion.
+    Remove(u64),
+}
+
+/// Handle of one in-flight pipelined operation, issued by
+/// [`KvConnection::submit`] in submission order (0, 1, 2, … per
+/// connection).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ticket(pub u64);
+
+/// One pipelined operation's result, yielded by [`KvConnection::drain`]
+/// in ticket order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Reply {
+    /// The submission this answers.
+    pub ticket: Ticket,
+    /// The op's value slot (found/previous value; pipelined PUTs served
+    /// from a coalesced batch report `None` — protocol v2 semantics).
+    pub value: Option<u64>,
+}
+
+/// What [`KvConnection::submit`] did with the operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Submitted {
+    /// The connection has no pipeline: the op executed synchronously and
+    /// this is its result (the default-implementation path).
+    Done(Option<u64>),
+    /// The op is in flight; its result arrives from a later
+    /// [`KvConnection::drain`].
+    Queued(Ticket),
+}
+
 /// One client's session against a KV service: the driver issues its
 /// sampled operations through this. A session is owned by exactly one
 /// driver thread (for the TCP backend it wraps one pooled connection).
+///
+/// The blocking surface (`get`/`put`/`remove`/`scan_count`/`apply`) is
+/// mandatory. The *pipelined* surface ([`submit`](KvConnection::submit) /
+/// [`drain`](KvConnection::drain)) has a default implementation that
+/// executes synchronously, so the local store, the v1 TCP client, and the
+/// v2 pipelined client all share this one trait: the driver calls
+/// `submit`/`drain` unconditionally and every backend behaves correctly,
+/// with depth > 1 actually overlapping requests only where the backend
+/// supports it.
 pub trait KvConnection {
     /// Point lookup.
     fn get(&mut self, key: u64) -> Option<u64>;
@@ -37,6 +86,29 @@ pub trait KvConnection {
     fn scan_count(&mut self) -> u64;
     /// Applies a write batch.
     fn apply(&mut self, batch: &WriteBatch);
+
+    /// Submits a point op to the pipeline. The default executes it
+    /// synchronously and returns [`Submitted::Done`]; pipelined backends
+    /// queue it and return [`Submitted::Queued`].
+    fn submit(&mut self, op: PipeOp) -> Submitted {
+        Submitted::Done(match op {
+            PipeOp::Get(k) => self.get(k),
+            PipeOp::Put(k, v) => self.put(k, v),
+            PipeOp::Remove(k) => self.remove(k),
+        })
+    }
+
+    /// Collects every in-flight submission's result, in ticket order.
+    /// The default (no pipeline) has nothing in flight.
+    fn drain(&mut self) -> Vec<Reply> {
+        Vec::new()
+    }
+
+    /// How many submissions this connection can usefully keep in flight;
+    /// 1 for non-pipelined backends.
+    fn pipeline_depth(&self) -> usize {
+        1
+    }
 }
 
 /// A KV service the open-loop driver can run a [`LoadSpec`] against.
@@ -154,6 +226,14 @@ pub struct LoadSpec {
     /// energy at the capped VF point so modeled and measured joules are
     /// drawn at the same frequency. `None` = base frequency.
     pub freq_khz: Option<u64>,
+    /// Pipeline depth per client: how many point ops each session keeps
+    /// in flight through [`KvConnection::submit`] before draining. `1`
+    /// (the default) is strict request/response on every backend; values
+    /// above 1 overlap requests where the connection supports it and
+    /// fall back to sequential execution where it doesn't. Depth > 1
+    /// disables client-side write batching — the pipeline replaces it
+    /// (a v2 server coalesces contiguous pipelined PUTs itself).
+    pub depth: usize,
 }
 
 impl LoadSpec {
@@ -168,6 +248,7 @@ impl LoadSpec {
             rate_ops_s: None,
             prefill: mix.keys / 2,
             freq_khz: None,
+            depth: 1,
         }
     }
 }
@@ -423,6 +504,7 @@ fn client_thread<C: KvConnection, O: LoadObserver>(
     obs: &O,
 ) -> (HistogramSnapshot, u64, u64) {
     let mix = spec.mix;
+    let depth = spec.depth.max(1);
     // Decorrelate per-thread streams; SplitMix64 scrambles the seed, so a
     // simple odd-multiplier offset suffices.
     let mut rng =
@@ -433,6 +515,11 @@ fn client_thread<C: KvConnection, O: LoadObserver>(
     // write's latency is not known until its batch is applied, so the
     // origin rides along and the sample is recorded at apply time.
     let mut batch_origins: Vec<u64> = Vec::with_capacity(mix.batch.max(1));
+    // Likewise the origins of pipelined submissions still in flight: a
+    // pipelined op's latency runs from its scheduled origin to the drain
+    // that returns its reply, so queue-behind-depth time is charged to
+    // the op exactly as batch-buffering time is.
+    let mut inflight_origins: Vec<u64> = Vec::with_capacity(depth);
     let mut idle_ns = 0u64;
     let mut ops = 0u64;
 
@@ -452,6 +539,44 @@ fn client_thread<C: KvConnection, O: LoadObserver>(
         // and issue), so falling behind schedule shows up as queueing.
         let origin = due_ns.map_or(issued, |due| due.min(issued));
         let mut buffered = false;
+        if depth > 1 {
+            // Pipelined mode: point ops go through submit/drain (client-
+            // side batching is disabled — the pipeline replaces it).
+            // Scans are a pipeline barrier: they use the blocking
+            // surface, so every in-flight op must land first.
+            let pipe_op = match mix.sample_op(sampler, &mut rng) {
+                KvOp::Get(k) => Some(PipeOp::Get(k)),
+                KvOp::Put(k, v) => Some(PipeOp::Put(k, v)),
+                KvOp::Remove(k) => Some(PipeOp::Remove(k)),
+                KvOp::Scan => None,
+            };
+            match pipe_op {
+                Some(op) => match conn.submit(op) {
+                    Submitted::Done(_) => {} // recorded below as !buffered
+                    Submitted::Queued(_) => {
+                        inflight_origins.push(origin);
+                        buffered = true;
+                        if inflight_origins.len() >= depth {
+                            drain_pipeline(&mut conn, &hist, &mut inflight_origins, start, obs);
+                        }
+                    }
+                },
+                None => {
+                    if !inflight_origins.is_empty() {
+                        drain_pipeline(&mut conn, &hist, &mut inflight_origins, start, obs);
+                    }
+                    conn.scan_count();
+                }
+            }
+            ops += 1;
+            if !buffered {
+                let done = start.elapsed().as_nanos() as u64;
+                let latency = done.saturating_sub(origin);
+                hist.record(latency);
+                obs.on_op(latency);
+            }
+            continue;
+        }
         match mix.sample_op(sampler, &mut rng) {
             KvOp::Get(k) => {
                 conn.get(k);
@@ -500,6 +625,9 @@ fn client_thread<C: KvConnection, O: LoadObserver>(
         conn.apply(&batch);
         flush_batch_latencies(&hist, &mut batch_origins, start, obs);
     }
+    if !inflight_origins.is_empty() {
+        drain_pipeline(&mut conn, &hist, &mut inflight_origins, start, obs);
+    }
     (hist.snapshot(), ops, idle_ns)
 }
 
@@ -514,6 +642,32 @@ fn flush_batch_latencies<O: LoadObserver>(
     start: Instant,
     obs: &O,
 ) {
+    let done = start.elapsed().as_nanos() as u64;
+    for origin in origins.drain(..) {
+        let latency = done.saturating_sub(origin);
+        hist.record(latency);
+        obs.on_op(latency);
+    }
+}
+
+/// Drains the connection's pipeline and records one latency sample per
+/// formerly in-flight submission, measured from each op's scheduled
+/// origin to the drain's completion — the pipelined analogue of
+/// [`flush_batch_latencies`], so depth > 1 keeps the one-sample-per-op
+/// invariant and in-flight queueing shows up in the tail.
+fn drain_pipeline<C: KvConnection, O: LoadObserver>(
+    conn: &mut C,
+    hist: &LatencyHistogram,
+    origins: &mut Vec<u64>,
+    start: Instant,
+    obs: &O,
+) {
+    let replies = conn.drain();
+    debug_assert_eq!(
+        replies.len(),
+        origins.len(),
+        "a drain must answer exactly the in-flight submissions"
+    );
     let done = start.elapsed().as_nanos() as u64;
     for origin in origins.drain(..) {
         let latency = done.saturating_sub(origin);
@@ -746,6 +900,146 @@ mod tests {
         assert!(
             r.p50_ns >= delay.as_nanos() as u64 / 2,
             "batched p50 {} ns ignores the {} ns apply",
+            r.p50_ns,
+            delay.as_nanos()
+        );
+    }
+
+    #[test]
+    fn pipelined_depth_works_on_a_non_pipelined_backend() {
+        // depth > 1 against the local store: submit's default executes
+        // synchronously (Submitted::Done), so the run must behave exactly
+        // like depth 1 — every op counted and sampled once.
+        let mix = KvMix::uniform().with_shards(4);
+        let store = PolyStore::new(StoreConfig { shards: mix.shards, lock: LockKind::Mutexee });
+        let spec = LoadSpec { depth: 8, ..LoadSpec::saturating(mix, 2, 1_000, 17) };
+        let r = run_load(&store, &spec);
+        assert_eq!(r.ops, 2_000);
+        assert_eq!(r.request_latency.count(), r.ops);
+    }
+
+    /// A genuinely pipelined backend: submissions queue, a drain pays one
+    /// round-trip delay for the whole in-flight group.
+    struct PipedSvc {
+        store: PolyStore,
+        drain_delay: Duration,
+        max_inflight: std::sync::atomic::AtomicU64,
+        drains: std::sync::atomic::AtomicU64,
+    }
+
+    struct PipedConn<'s> {
+        svc: &'s PipedSvc,
+        queued: Vec<PipeOp>,
+        next_ticket: u64,
+    }
+
+    impl KvConnection for PipedConn<'_> {
+        fn get(&mut self, key: u64) -> Option<u64> {
+            self.svc.store.get(key)
+        }
+
+        fn put(&mut self, key: u64, value: u64) -> Option<u64> {
+            self.svc.store.put(key, value)
+        }
+
+        fn remove(&mut self, key: u64) -> Option<u64> {
+            self.svc.store.remove(key)
+        }
+
+        fn scan_count(&mut self) -> u64 {
+            assert!(self.queued.is_empty(), "scan must be a pipeline barrier");
+            let mut n = 0;
+            self.svc.store.scan(|_, _| n += 1);
+            n
+        }
+
+        fn apply(&mut self, batch: &WriteBatch) {
+            self.svc.store.apply(batch);
+        }
+
+        fn submit(&mut self, op: PipeOp) -> Submitted {
+            self.queued.push(op);
+            use std::sync::atomic::Ordering;
+            self.svc.max_inflight.fetch_max(self.queued.len() as u64, Ordering::Relaxed);
+            let t = Ticket(self.next_ticket);
+            self.next_ticket += 1;
+            Submitted::Queued(t)
+        }
+
+        fn drain(&mut self) -> Vec<Reply> {
+            use std::sync::atomic::Ordering;
+            self.svc.drains.fetch_add(1, Ordering::Relaxed);
+            // One round trip for the whole group — the point of
+            // pipelining.
+            std::thread::sleep(self.svc.drain_delay);
+            let base = self.next_ticket - self.queued.len() as u64;
+            self.queued
+                .drain(..)
+                .enumerate()
+                .map(|(i, op)| {
+                    let value = match op {
+                        PipeOp::Get(k) => self.svc.store.get(k),
+                        PipeOp::Put(k, v) => self.svc.store.put(k, v),
+                        PipeOp::Remove(k) => self.svc.store.remove(k),
+                    };
+                    Reply { ticket: Ticket(base + i as u64), value }
+                })
+                .collect()
+        }
+
+        fn pipeline_depth(&self) -> usize {
+            4
+        }
+    }
+
+    impl KvService for PipedSvc {
+        type Conn<'s> = PipedConn<'s>;
+
+        fn connect(&self) -> PipedConn<'_> {
+            PipedConn { svc: self, queued: Vec::new(), next_ticket: 0 }
+        }
+
+        fn lock_kind(&self) -> LockKind {
+            self.store.lock_kind()
+        }
+
+        fn service_stats(&self) -> StatsSnapshot {
+            self.store.total_stats()
+        }
+    }
+
+    #[test]
+    fn pipelined_latency_covers_in_flight_depth() {
+        use std::sync::atomic::Ordering;
+        // All point ops, depth 4, 16 ops on one thread → exactly 4 drains
+        // of 4 in-flight submissions; each op's latency must include its
+        // group's drain round trip, and every op still contributes
+        // exactly one sample.
+        let mix = KvMix {
+            get_pct: 0,
+            put_pct: 100,
+            remove_pct: 0,
+            scan_pct: 0,
+            batch: 1,
+            ..KvMix::uniform()
+        }
+        .with_shards(2);
+        let delay = Duration::from_millis(2);
+        let svc = PipedSvc {
+            store: PolyStore::new(StoreConfig { shards: mix.shards, lock: LockKind::Mutex }),
+            drain_delay: delay,
+            max_inflight: 0.into(),
+            drains: 0.into(),
+        };
+        let spec = LoadSpec { depth: 4, prefill: 0, ..LoadSpec::saturating(mix, 1, 16, 3) };
+        let r = run_load_on(&svc, &spec);
+        assert_eq!(r.ops, 16);
+        assert_eq!(r.request_latency.count(), 16, "one sample per pipelined op");
+        assert_eq!(svc.max_inflight.load(Ordering::Relaxed), 4, "depth respected");
+        assert_eq!(svc.drains.load(Ordering::Relaxed), 4);
+        assert!(
+            r.p50_ns >= delay.as_nanos() as u64 / 2,
+            "pipelined p50 {} ns ignores the {} ns drain round trip",
             r.p50_ns,
             delay.as_nanos()
         );

@@ -56,7 +56,7 @@ pub use anylock::{AnyGuard, AnyLock};
 pub use batch::{BatchOp, WriteBatch};
 pub use driver::{
     run_load, run_load_observed, run_load_on, scheduled_arrival_ns, KvConnection, KvService,
-    LoadObserver, LoadReport, LoadSpec, LocalConn, NoObserver,
+    LoadObserver, LoadReport, LoadSpec, LocalConn, NoObserver, PipeOp, Reply, Submitted, Ticket,
 };
 pub use energy::EnergyEstimate;
 pub use metered::{Metered, MeteredConn};

@@ -11,7 +11,7 @@
 use poly_locks_sim::LockKind;
 use poly_meter::{MeasuredReading, RaplSampler};
 
-use crate::driver::{KvConnection, KvService};
+use crate::driver::{KvConnection, KvService, PipeOp, Reply, Submitted};
 use crate::stats::StatsSnapshot;
 use crate::WriteBatch;
 
@@ -51,6 +51,21 @@ impl<C: KvConnection> KvConnection for MeteredConn<C> {
 
     fn apply(&mut self, batch: &WriteBatch) {
         self.0.apply(batch)
+    }
+
+    // The pipelined surface must forward too, or metering a pipelined
+    // backend would silently drop it back to depth 1 (the trait's
+    // synchronous defaults).
+    fn submit(&mut self, op: PipeOp) -> Submitted {
+        self.0.submit(op)
+    }
+
+    fn drain(&mut self) -> Vec<Reply> {
+        self.0.drain()
+    }
+
+    fn pipeline_depth(&self) -> usize {
+        self.0.pipeline_depth()
     }
 }
 

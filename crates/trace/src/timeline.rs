@@ -23,6 +23,9 @@ pub struct TimelineCell {
     pub workload: String,
     /// Transport label (`local`, `tcp`, `sim`).
     pub transport: String,
+    /// Serving architecture (`threads`/`epoll` for tcp, `none` for
+    /// local, `sim` for simulated cells).
+    pub server: String,
     /// Lock label.
     pub lock: String,
     /// Shard count.
@@ -93,6 +96,7 @@ impl TimelineRow {
             Value::Str(&cell.scenario),
             Value::Str(&cell.workload),
             Value::Str(&cell.transport),
+            Value::Str(&cell.server),
             Value::Str(&cell.lock),
             Value::U64(cell.shards),
             Value::U64(cell.threads),
@@ -135,6 +139,7 @@ mod tests {
             scenario: "kv-zipf".into(),
             workload: "kv(zipf)".into(),
             transport: "local".into(),
+            server: "none".into(),
             lock: "MUTEXEE".into(),
             shards: 16,
             threads: 4,
@@ -162,6 +167,7 @@ mod tests {
         assert_eq!(
             line,
             "{\"scenario\":\"kv-zipf\",\"workload\":\"kv(zipf)\",\"transport\":\"local\",\
+             \"server\":\"none\",\
              \"lock\":\"MUTEXEE\",\"shards\":16,\"threads\":4,\"seed\":42,\"window\":2,\
              \"start_ns\":100000000,\"end_ns\":150000000,\"ops\":5000,\"throughput\":100000,\
              \"p50_ns\":1024,\"p99_ns\":8192,\"lock_wait_ns\":3000000,\"lock_hold_ns\":1000000,\
