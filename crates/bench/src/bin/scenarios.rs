@@ -267,6 +267,10 @@ fn emit_timeline(cells: &[ScenarioSpec], reports: &[poly_scenarios::CellReport],
             measured_dram_j: None,
             measured_w: None,
             freq_khz: r.freq_khz,
+            // Simulated cells have no byte-value store behind them.
+            mem_bytes: None,
+            hit_pct: None,
+            evictions: None,
         };
         writeln!(w, "{}", row.to_json(&cell))
     });

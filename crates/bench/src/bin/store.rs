@@ -80,6 +80,12 @@ fn usage() -> ! {
          \x20                              uncapped. Unwritable hosts run the cell uncapped\n\
          \x20                              with freq_applied=false (POLY_CPUFREQ_ROOT\n\
          \x20                              overrides the sysfs root, for tests)\n\
+         \x20 --value-bytes N              override the mix's value-size distribution with\n\
+         \x20                              fixed N-byte values (8 = the legacy u64 shape)\n\
+         \x20 --ttl D                      default TTL stamped on every put (50ms, 30s; a\n\
+         \x20                              bare number is ms; default: entries never expire)\n\
+         \x20 --mem-budget BYTES           cap live value bytes store-wide (suffixes k/m/g;\n\
+         \x20                              CLOCK eviction makes room; default: unbounded)\n\
          \x20 --ops N                      ops per thread (default: 50000; 5000 under POLY_QUICK)\n\
          \x20 --rate OPS_PER_S             open-loop arrival rate per thread (default: saturation)\n\
          \x20 --seed S                     workload seed (default: 42)\n\
@@ -100,6 +106,7 @@ fn usage() -> ! {
          options (serve only):\n\
          \x20 --addr HOST:PORT             listen address (default: 127.0.0.1:7878; port 0 = OS pick)\n\
          \x20 --lock L, --shards N         store configuration (defaults: MUTEXEE, 32)\n\
+         \x20 --ttl D, --mem-budget BYTES  cache policy for the served store (as above)\n\
          \x20 --server threads|epoll       serving architecture (default: threads)\n\
          \x20 --freq K                     cap the host at K kHz while serving (restored at\n\
          \x20                              shutdown)\n\
@@ -175,6 +182,33 @@ struct Options {
     chrome_out: Option<String>,
     /// `--frames N` (top): refresh N times then exit; 0 = forever.
     frames: u64,
+    /// `--value-bytes N`: override the mix's value-size distribution
+    /// with fixed N-byte values.
+    value_bytes: Option<u32>,
+    /// `--ttl D`: default TTL stamped on every put.
+    ttl: Option<Duration>,
+    /// `--mem-budget BYTES`: store-wide cap on live value bytes (CLOCK
+    /// eviction makes room).
+    mem_budget: Option<u64>,
+}
+
+/// Parses a byte size: a plain number, or one with a `k`/`m`/`g` suffix
+/// (binary units — `4m` is 4 MiB).
+fn parse_bytes(s: &str) -> Option<u64> {
+    let lower = s.to_ascii_lowercase();
+    let (digits, shift) = match lower.strip_suffix(['k', 'm', 'g']) {
+        Some(body) => (
+            body,
+            match lower.as_bytes()[lower.len() - 1] {
+                b'k' => 10,
+                b'm' => 20,
+                _ => 30,
+            },
+        ),
+        None => (lower.as_str(), 0),
+    };
+    let n: u64 = digits.parse().ok()?;
+    n.checked_shl(shift).filter(|&b| b > 0)
 }
 
 /// Parses a human duration: `50ms`, `1s`, `500us`, or a bare number of
@@ -228,6 +262,9 @@ fn parse_options(args: &[String]) -> Options {
         timeline: None,
         chrome_out: None,
         frames: 0,
+        value_bytes: None,
+        ttl: None,
+        mem_budget: None,
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -324,6 +361,28 @@ fn parse_options(args: &[String]) -> Options {
             "--chrome-trace" => opts.chrome_out = Some(value().to_string()),
             "--frames" => {
                 opts.frames = value().parse().unwrap_or_else(|_| fail("bad --frames".into()));
+            }
+            "--value-bytes" => {
+                let v = value();
+                let n: u32 = v.parse().unwrap_or_else(|_| fail(format!("bad --value-bytes: {v}")));
+                if n == 0 {
+                    fail("--value-bytes must be positive".into());
+                }
+                opts.value_bytes = Some(n);
+            }
+            "--ttl" => {
+                let v = value();
+                opts.ttl = Some(
+                    parse_duration(v)
+                        .unwrap_or_else(|| fail(format!("bad --ttl: {v} (try 50ms, 30s)"))),
+                );
+            }
+            "--mem-budget" => {
+                let v = value();
+                opts.mem_budget = Some(
+                    parse_bytes(v)
+                        .unwrap_or_else(|| fail(format!("bad --mem-budget: {v} (try 4m, 65536)"))),
+                );
             }
             "--scenarios" => {
                 let v = value();
@@ -525,6 +584,13 @@ impl Cell {
             Value::Str(r.energy_source.label()),
             Value::OptU64(self.freq_khz),
             Value::Bool(self.freq_applied),
+            // Cache columns: the store-side delta over the run. Every
+            // native cell has a byte-value store behind it, so these are
+            // always present here (hit_pct is null before the first GET);
+            // simulated cells render them null instead.
+            Value::OptU64(Some(r.store_stats.mem_bytes)),
+            Value::OptF64(r.store_stats.hit_pct()),
+            Value::OptU64(Some(r.store_stats.evictions)),
             Value::Str("xeon"),
         ];
         if csv {
@@ -575,8 +641,7 @@ impl Cell {
 /// is metered: measured joules come back over STATS, attributed to the
 /// serving process.
 fn connect_loopback(
-    shards: usize,
-    lock: LockKind,
+    config: StoreConfig,
     arch: Arch,
     fan: usize,
     depth: usize,
@@ -587,7 +652,7 @@ fn connect_loopback(
         if attempt > 0 {
             std::thread::sleep(std::time::Duration::from_millis(100 << attempt));
         }
-        let store = Arc::new(PolyStore::new(StoreConfig { shards, lock }));
+        let store = Arc::new(PolyStore::new(config));
         let bound = NetServer::builder("127.0.0.1:0")
             .architecture(arch)
             .config(ServerConfig::default())
@@ -622,16 +687,29 @@ fn run_cell(
     // energy is priced at the cap only when it is actually in force —
     // never at a frequency the host refused to run at.
     let (freq_khz, freq_applied, _cap_guard) = apply_freq(freq, capper);
+    // `--value-bytes` overrides the mix's value-size distribution (the
+    // override is part of the cell's workload label, so rows stay
+    // self-describing).
+    let mix = match opts.value_bytes {
+        Some(n) => mix.with_value(poly_store::ValueDist::Fixed(n)),
+        None => mix,
+    };
     let spec = LoadSpec {
         rate_ops_s: opts.rate,
         freq_khz: freq_applied.then_some(freq_khz).flatten(),
         depth: opts.depth,
         ..LoadSpec::saturating(mix, threads, opts.ops, opts.seed)
     };
+    let config = StoreConfig {
+        shards: mix.shards,
+        lock,
+        mem_budget: opts.mem_budget,
+        default_ttl: opts.ttl,
+    };
     let trace = opts.trace_interval.map(TraceSpec::new);
     let (report, windows) = match transport {
         Transport::Local => {
-            let store = PolyStore::new(StoreConfig { shards: mix.shards, lock });
+            let store = PolyStore::new(config);
             match (sampler, &trace) {
                 (Some(s), Some(t)) => run_load_traced(&Metered::new(&store, s), &spec, t),
                 (Some(s), None) => (run_load_on(&Metered::new(&store, s), &spec), Vec::new()),
@@ -646,8 +724,7 @@ fn run_cell(
             // the per-cell server churn of a long sweep can transiently
             // exhaust ephemeral ports, and one flaky cell must not
             // abort the process with every finished cell unemitted.
-            let (server, client) =
-                connect_loopback(mix.shards, lock, arch, opts.conns, opts.depth, sampler);
+            let (server, client) = connect_loopback(config, arch, opts.conns, opts.depth, sampler);
             let out = match &trace {
                 Some(t) => run_load_traced(&client, &spec, t),
                 None => (run_load_on(&client, &spec), Vec::new()),
@@ -779,7 +856,18 @@ fn cmd_serve(opts: &Options) {
     let lock = *opts.locks.first().unwrap_or(&LockKind::Mutexee);
     let shards = *opts.shards.first().unwrap_or(&32);
     let arch = *opts.servers.first().unwrap_or(&Arch::Threads);
-    let store = Arc::new(PolyStore::new(StoreConfig { shards, lock }));
+    let store = Arc::new(PolyStore::new(StoreConfig {
+        shards,
+        lock,
+        mem_budget: opts.mem_budget,
+        default_ttl: opts.ttl,
+    }));
+    if let Some(budget) = opts.mem_budget {
+        eprintln!("mem budget {budget} B (CLOCK eviction makes room)");
+    }
+    if let Some(ttl) = opts.ttl {
+        eprintln!("default TTL {ttl:?} on every put");
+    }
     let sampler = make_sampler(opts.energy);
     // An optional serve-wide frequency cap, restored at shutdown.
     let freq = opts.freqs.first().copied().unwrap_or(None);
@@ -1184,7 +1272,7 @@ mod tests {
         pub const CSV_HEADER: &str = "scenario,workload,transport,server,lock,shards,threads,ops,\
             wall_ms,throughput,p50_ns,p99_ns,max_ns,lock_wait_ns,lock_hold_ns,avg_power_w,\
             energy_j,epo_uj,measured_j,measured_uj_per_op,measured_pkg_j,measured_dram_j,\
-            energy_source,freq_khz,freq_applied";
+            energy_source,freq_khz,freq_applied,mem_bytes,hit_pct,evictions";
 
         pub fn to_json(cell: &Cell) -> String {
             let r = &cell.report;
@@ -1196,7 +1284,8 @@ mod tests {
                  \"max_ns\":{},\"lock_wait_ns\":{},\"lock_hold_ns\":{},\"avg_power_w\":{},\
                  \"energy_j\":{},\"epo_uj\":{},\"measured_j\":{},\"measured_uj_per_op\":{},\
                  \"measured_pkg_j\":{},\"measured_dram_j\":{},\"energy_source\":\"{}\",\
-                 \"freq_khz\":{},\"freq_applied\":{},\"energy_model\":\"xeon\"}}",
+                 \"freq_khz\":{},\"freq_applied\":{},\"mem_bytes\":{},\"hit_pct\":{},\
+                 \"evictions\":{},\"energy_model\":\"xeon\"}}",
                 json_escape(&cell.scenario),
                 json_escape(&cell.mix.label()),
                 cell.transport.label(),
@@ -1222,13 +1311,17 @@ mod tests {
                 r.energy_source.label(),
                 fmt_opt_u64(cell.freq_khz),
                 cell.freq_applied,
+                r.store_stats.mem_bytes,
+                fmt_opt_f64(r.store_stats.hit_pct()),
+                r.store_stats.evictions,
             )
         }
 
         pub fn to_csv(cell: &Cell) -> String {
             let r = &cell.report;
             format!(
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},\
+                 {},{}",
                 cell.scenario,
                 cell.mix.label(),
                 cell.transport.label(),
@@ -1254,6 +1347,9 @@ mod tests {
                 r.energy_source.label(),
                 fmt_opt_u64(cell.freq_khz),
                 cell.freq_applied,
+                r.store_stats.mem_bytes,
+                fmt_opt_f64(r.store_stats.hit_pct()),
+                r.store_stats.evictions,
             )
         }
     }
@@ -1285,6 +1381,17 @@ mod tests {
     fn cells() -> Vec<Cell> {
         let metered =
             MeasuredEnergy { package_j: 2.5, dram_j: 0.5, samples: 10, source: EnergySource::Rapl };
+        // The first cell carries cache stats (a non-null hit_pct and
+        // eviction count) so the byte-pin covers the cache columns; the
+        // second keeps the all-default shape (hit_pct null).
+        let mut cached = report(Some(metered));
+        cached.store_stats = StatsSnapshot {
+            gets: 800,
+            get_hits: 600,
+            evictions: 12,
+            mem_bytes: 65_536,
+            ..StatsSnapshot::default()
+        };
         vec![
             Cell {
                 scenario: "kv-zipf".into(),
@@ -1295,7 +1402,7 @@ mod tests {
                 threads: 4,
                 freq_khz: Some(1_200_000),
                 freq_applied: true,
-                report: report(Some(metered)),
+                report: cached,
                 windows: Vec::new(),
             },
             Cell {
@@ -1324,6 +1431,17 @@ mod tests {
     #[test]
     fn registry_csv_header_matches_the_legacy_header() {
         assert_eq!(STORE_CELL.csv_header(), legacy::CSV_HEADER);
+    }
+
+    #[test]
+    fn byte_sizes_parse_with_binary_suffixes() {
+        assert_eq!(parse_bytes("65536"), Some(65_536));
+        assert_eq!(parse_bytes("4k"), Some(4 << 10));
+        assert_eq!(parse_bytes("4M"), Some(4 << 20));
+        assert_eq!(parse_bytes("2g"), Some(2 << 30));
+        assert_eq!(parse_bytes("0"), None);
+        assert_eq!(parse_bytes("lots"), None);
+        assert_eq!(parse_bytes("4t"), None);
     }
 
     #[test]

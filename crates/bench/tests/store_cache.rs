@@ -1,0 +1,257 @@
+//! End-to-end tests of the byte-value cache path: the acceptance gate
+//! for `--value-bytes`/`--ttl`/`--mem-budget` and the `kv-cache-*`
+//! scenario family. Each test execs the real `store` (and `scenarios`)
+//! binary, so flag parsing, the slab-backed store, CLOCK eviction and
+//! the cache columns of the report schema all run exactly as a user
+//! would run them.
+
+use std::process::Command;
+
+mod common;
+use common::json_value;
+
+fn store_bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_store"))
+}
+
+fn scenarios_bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_scenarios"))
+}
+
+fn out_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("poly-cache-e2e-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create output dir");
+    dir
+}
+
+/// The tentpole acceptance: a `kv-cache-zipf` sweep under a memory
+/// budget small enough to force evictions completes, reports
+/// `evictions > 0`, keeps `mem_bytes` at or under the budget, and fills
+/// a real hit rate — and an unbudgeted run of the same cells reports
+/// zero evictions.
+#[test]
+fn budgeted_kv_cache_sweep_evicts_and_respects_the_budget() {
+    // The cache mix draws ~256 B values over 16k keys: 64 KiB of budget
+    // is oversubscribed many times over, so the CLOCK hand must run.
+    const BUDGET: u64 = 64 * 1024;
+    let run = |budget: bool| -> Vec<String> {
+        let mut args = vec![
+            "sweep",
+            "--scenarios",
+            "kv-cache-zipf",
+            "--locks",
+            "MUTEXEE",
+            "--threads",
+            "1",
+            "--ops",
+            "4000",
+            "--seed",
+            "13",
+            "--format",
+            "jsonl",
+        ];
+        if budget {
+            args.extend_from_slice(&["--mem-budget", "64k"]);
+        }
+        let out = store_bin().args(&args).output().expect("store sweep executes");
+        assert!(out.status.success(), "sweep failed: {}", String::from_utf8_lossy(&out.stderr));
+        String::from_utf8(out.stdout).unwrap().lines().map(str::to_string).collect()
+    };
+
+    let budgeted = run(true);
+    assert_eq!(budgeted.len(), 1, "one cell: {budgeted:?}");
+    let line = &budgeted[0];
+    assert!(
+        json_value(line, "workload").contains("ve256c4096"),
+        "cache mix lost its value distribution: {line}"
+    );
+    let evictions: u64 = json_value(line, "evictions").parse().expect("numeric evictions");
+    assert!(evictions > 0, "64 KiB budget over a 4 MiB working set never evicted: {line}");
+    let mem_bytes: u64 = json_value(line, "mem_bytes").parse().expect("numeric mem_bytes");
+    assert!(mem_bytes > 0, "nothing resident after the run: {line}");
+    assert!(mem_bytes <= BUDGET, "residency {mem_bytes} exceeds the {BUDGET} B budget: {line}");
+    let hit_pct: f64 = json_value(line, "hit_pct").parse().expect("numeric hit_pct");
+    assert!((0.0..=100.0).contains(&hit_pct), "hit_pct out of range: {line}");
+
+    // Without the budget the same cells never evict (and keep more
+    // resident than the capped run was allowed).
+    let unbudgeted = run(false);
+    let line = &unbudgeted[0];
+    assert_eq!(json_value(line, "evictions"), "0", "unbudgeted run evicted: {line}");
+    let free_bytes: u64 = json_value(line, "mem_bytes").parse().expect("numeric mem_bytes");
+    assert!(free_bytes > BUDGET, "uncapped residency {free_bytes} fits the tiny budget: {line}");
+}
+
+/// `--ttl` on a run makes entries expire instead of living forever:
+/// with a TTL much shorter than the run, gets stop finding the prefill
+/// (and all but the most recent puts), so the hit rate drops hard
+/// against the same run without a TTL. (Expiry is lazy — dead entries
+/// are reclaimed on touch or during budget sweeps — so residency is not
+/// the signal; hits are.)
+#[test]
+fn ttl_runs_lose_their_hits() {
+    let run = |ttl: Option<&str>| -> f64 {
+        let mut args = vec![
+            "run",
+            "kv-cache-get",
+            "--threads",
+            "1",
+            "--ops",
+            "3000",
+            "--rate",
+            "20000", // ~150 ms of wall time: many 10 ms TTLs lapse mid-run
+            "--seed",
+            "29",
+        ];
+        if let Some(t) = ttl {
+            args.extend_from_slice(&["--ttl", t]);
+        }
+        let out = store_bin().args(&args).output().expect("store run executes");
+        assert!(out.status.success(), "run failed: {}", String::from_utf8_lossy(&out.stderr));
+        let stdout = String::from_utf8(out.stdout).unwrap();
+        json_value(stdout.trim(), "hit_pct").parse().expect("numeric hit_pct")
+    };
+    let without = run(None);
+    let with = run(Some("10ms"));
+    // Without a TTL the prefilled half-keyspace (plus the run's own
+    // puts) serves most zipf-hot gets; with a 10 ms TTL only keys put
+    // in the last ~200 ops can hit.
+    assert!(without > 30.0, "untimed run barely hit ({without}%)");
+    assert!(with + 10.0 < without, "a 10 ms TTL did not dent the hit rate: {with}% vs {without}%");
+}
+
+/// The head-to-head: the native `kv-cache-zipf` cell and the simulated
+/// `memcached-mix` cell render into one comparison JSONL with the
+/// native cache columns attached — and the comparison is deterministic,
+/// byte for byte, across invocations (same seeds, same bytes).
+#[test]
+fn native_cache_vs_simulated_memcached_comparison_is_deterministic() {
+    let dir = out_dir("vs-sim");
+    let comparison = |tag: &str| -> String {
+        // Native: one budgeted single-thread cell. Deterministic given
+        // the seed: the op stream, slab placement and CLOCK order are
+        // all seed-derived (no TTL — wall-clock expiry is not).
+        let native = store_bin()
+            .args([
+                "sweep",
+                "--scenarios",
+                "kv-cache-zipf",
+                "--locks",
+                "MUTEXEE",
+                "--threads",
+                "1",
+                "--ops",
+                "3000",
+                "--seed",
+                "17",
+                "--mem-budget",
+                "128k",
+                "--format",
+                "jsonl",
+            ])
+            .output()
+            .expect("store sweep executes");
+        assert!(
+            native.status.success(),
+            "native sweep failed: {}",
+            String::from_utf8_lossy(&native.stderr)
+        );
+        // Simulated: the paper's Memcached model at the same lock.
+        let sim = scenarios_bin()
+            .args([
+                "run",
+                "memcached-mix",
+                "--lock",
+                "MUTEXEE",
+                "--duration",
+                "300000",
+                "--warmup",
+                "30000",
+                "--seed",
+                "17",
+                "--format",
+                "jsonl",
+            ])
+            .output()
+            .expect("scenarios run executes");
+        assert!(sim.status.success(), "sim run failed: {}", String::from_utf8_lossy(&sim.stderr));
+        let native_line = String::from_utf8(native.stdout).unwrap().trim().to_string();
+        let sim_line = String::from_utf8(sim.stdout).unwrap().trim().to_string();
+
+        // One comparison record per side: the seed-derived columns both
+        // emitters share, plus the native-only cache columns (null on
+        // the sim side — it has no byte-value store). Modeled energy is
+        // wall-clock-derived on the native side, so only the sim (whose
+        // clock is virtual cycles) pins its epo_uj.
+        let record = |line: &str, side: &str, cached: bool| {
+            let ops_key = if side == "native" { "ops" } else { "total_ops" };
+            format!(
+                "{{\"side\":\"{side}\",\"scenario\":{},\"workload\":{},\"lock\":{},\
+                 \"ops\":{},\"epo_uj\":{},\"mem_bytes\":{},\"hit_pct\":{},\"evictions\":{}}}",
+                json_value(line, "scenario"),
+                json_value(line, "workload"),
+                json_value(line, "lock"),
+                json_value(line, ops_key),
+                if cached { "null" } else { json_value(line, "epo_uj") },
+                if cached { json_value(line, "mem_bytes") } else { "null" },
+                if cached { json_value(line, "hit_pct") } else { "null" },
+                if cached { json_value(line, "evictions") } else { "null" },
+            )
+        };
+        let text = format!(
+            "{}\n{}\n",
+            record(&native_line, "native", true),
+            record(&sim_line, "sim", false)
+        );
+        let path = dir.join(format!("store-cache-vs-sim-{tag}.jsonl"));
+        std::fs::write(&path, &text).expect("write comparison");
+        text
+    };
+
+    let first = comparison("first");
+    let second = comparison("second");
+    assert_eq!(first, second, "comparison JSONL not deterministic across invocations");
+    // Both sides present, and the native side actually cached.
+    let lines: Vec<&str> = first.lines().collect();
+    assert_eq!(lines.len(), 2);
+    assert_eq!(json_value(lines[0], "side"), "\"native\"");
+    assert_eq!(json_value(lines[1], "side"), "\"sim\"");
+    assert!(json_value(lines[0], "evictions").parse::<u64>().unwrap() > 0);
+    assert_eq!(json_value(lines[1], "evictions"), "null");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A v2-era invocation shape — fixed 8-byte values, no budget, no TTL —
+/// still renders the exact legacy workload label (no value segment) and
+/// sane cache columns, so pre-cache dashboards keep parsing.
+#[test]
+fn legacy_u64_shape_keeps_its_label_and_schema() {
+    let out = store_bin()
+        .args([
+            "run",
+            "kv-cache-zipf",
+            "--value-bytes",
+            "8",
+            "--threads",
+            "1",
+            "--ops",
+            "500",
+            "--seed",
+            "3",
+        ])
+        .output()
+        .expect("store run executes");
+    assert!(out.status.success(), "run failed: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let line = stdout.trim();
+    // Fixed(8) is the canonical legacy shape: the label drops its value
+    // segment entirely.
+    assert_eq!(
+        json_value(line, "workload"),
+        "\"kv/16sh/z1000/g50p50d0s0\"",
+        "--value-bytes 8 must restore the legacy label: {line}"
+    );
+    assert_eq!(json_value(line, "evictions"), "0");
+    let mem: u64 = json_value(line, "mem_bytes").parse().unwrap();
+    assert!(mem > 0, "8-byte values still occupy slab space: {line}");
+}

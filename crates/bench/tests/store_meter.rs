@@ -82,11 +82,18 @@ fn auto_without_rapl_degrades_to_modeled_with_stable_schema() {
             "energy_source",
             "freq_khz",
             "freq_applied",
+            "mem_bytes",
+            "hit_pct",
+            "evictions",
             "energy_model",
         ] {
             assert!(line.contains(&format!("\"{key}\":")), "{key} missing: {line}");
         }
         assert!(line.ends_with("\"energy_model\":\"xeon\"}"), "tail changed: {line}");
+        // An unbudgeted legacy-value run keeps real cache columns: the
+        // gauges are genuine zeros/values, only hit_pct can be null (and
+        // this mix issues gets, so it is not).
+        assert!(json_value(&line, "evictions") == "0", "uncapped run evicted: {line}");
         // Modeled energy still present and sane.
         assert!(json_value(&line, "energy_j").parse::<f64>().unwrap() > 0.0);
         assert!(json_value(&line, "avg_power_w").parse::<f64>().unwrap() > 27.0);

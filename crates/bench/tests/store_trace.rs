@@ -14,7 +14,7 @@ use common::{json_keys, json_value};
 
 /// The canonical timeline column order (pinned in poly-report's
 /// registry); both sweep families must emit exactly these keys.
-const TIMELINE_KEYS: [&str; 21] = [
+const TIMELINE_KEYS: [&str; 24] = [
     "scenario",
     "workload",
     "transport",
@@ -36,6 +36,9 @@ const TIMELINE_KEYS: [&str; 21] = [
     "measured_dram_j",
     "measured_w",
     "freq_khz",
+    "mem_bytes",
+    "hit_pct",
+    "evictions",
 ];
 
 fn out_dir(tag: &str) -> std::path::PathBuf {
@@ -209,9 +212,19 @@ fn scenarios_sweep_emits_one_sim_window_per_cell_in_the_shared_schema() {
         assert_eq!(json_value(row, "start_ns"), "0");
         assert_eq!(json_value(row, "ops"), json_value(agg, "total_ops"));
         assert_eq!(json_value(row, "lock"), json_value(agg, "lock"));
-        for unwindowable in
-            ["p50_ns", "p99_ns", "lock_wait_ns", "lock_hold_ns", "measured_pkg_j", "measured_w"]
-        {
+        // The cache columns join the unwindowable set for sim cells:
+        // the simulator has no byte-value store behind it.
+        for unwindowable in [
+            "p50_ns",
+            "p99_ns",
+            "lock_wait_ns",
+            "lock_hold_ns",
+            "measured_pkg_j",
+            "measured_w",
+            "mem_bytes",
+            "hit_pct",
+            "evictions",
+        ] {
             assert_eq!(json_value(row, unwindowable), "null", "{unwindowable} in {row}");
         }
         assert!(json_value(row, "end_ns").parse::<u64>().unwrap() > 0);

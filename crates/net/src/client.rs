@@ -72,19 +72,45 @@ impl NetConn {
         }
     }
 
-    /// Point lookup over the wire.
+    fn expect_value_v(&mut self, req: &Request) -> io::Result<Option<Vec<u8>>> {
+        match self.request(req)? {
+            Response::ValueV(v) => Ok(v),
+            other => Err(unexpected(req, &other)),
+        }
+    }
+
+    /// Point lookup over the wire (v2 `u64` frame: the reply carries a
+    /// value only when the stored bytes are exactly a `u64`).
     pub fn get(&mut self, key: u64) -> io::Result<Option<u64>> {
         self.expect_value(&Request::Get(key))
     }
 
-    /// Point insert/update over the wire; returns the previous value.
+    /// Point insert/update over the wire (v2 `u64` frame); returns the
+    /// previous value.
     pub fn put(&mut self, key: u64, value: u64) -> io::Result<Option<u64>> {
         self.expect_value(&Request::Put(key, value))
     }
 
-    /// Point deletion over the wire; returns the removed value.
+    /// Point deletion over the wire (v2 `u64` frame); returns the removed
+    /// value.
     pub fn remove(&mut self, key: u64) -> io::Result<Option<u64>> {
         self.expect_value(&Request::Remove(key))
+    }
+
+    /// Point lookup of the full byte value (v3 frame).
+    pub fn get_bytes(&mut self, key: u64) -> io::Result<Option<Vec<u8>>> {
+        self.expect_value_v(&Request::GetV(key))
+    }
+
+    /// Point insert/update of a byte value (v3 frame); returns the
+    /// previous value.
+    pub fn put_bytes(&mut self, key: u64, value: &[u8]) -> io::Result<Option<Vec<u8>>> {
+        self.expect_value_v(&Request::PutV(key, value.to_vec()))
+    }
+
+    /// Point deletion returning the full byte value (v3 frame).
+    pub fn remove_bytes(&mut self, key: u64) -> io::Result<Option<Vec<u8>>> {
+        self.expect_value_v(&Request::RemoveV(key))
     }
 
     /// Server-side scan; returns `(entries, epoch)`.
@@ -268,7 +294,7 @@ impl PooledConn<'_> {
         let mut replies = Vec::with_capacity(self.pending.len());
         while let Some((idx, req, ticket)) = self.pending.pop_front() {
             let value = match self.conns[idx].recv(&req)? {
-                Response::Value(v) => v,
+                Response::ValueV(v) => v,
                 other => return Err(unexpected(&req, &other)),
             };
             replies.push(Reply { ticket, value });
@@ -301,19 +327,19 @@ impl Drop for PooledConn<'_> {
 }
 
 impl KvConnection for PooledConn<'_> {
-    fn get(&mut self, key: u64) -> Option<u64> {
+    fn get(&mut self, key: u64) -> Option<Vec<u8>> {
         self.sync();
-        self.conn_mut().get(key).expect("net get")
+        self.conn_mut().get_bytes(key).expect("net get")
     }
 
-    fn put(&mut self, key: u64, value: u64) -> Option<u64> {
+    fn put(&mut self, key: u64, value: &[u8]) -> Option<Vec<u8>> {
         self.sync();
-        self.conn_mut().put(key, value).expect("net put")
+        self.conn_mut().put_bytes(key, value).expect("net put")
     }
 
-    fn remove(&mut self, key: u64) -> Option<u64> {
+    fn remove(&mut self, key: u64) -> Option<Vec<u8>> {
         self.sync();
-        self.conn_mut().remove(key).expect("net remove")
+        self.conn_mut().remove_bytes(key).expect("net remove")
     }
 
     fn scan_count(&mut self) -> u64 {
@@ -328,9 +354,9 @@ impl KvConnection for PooledConn<'_> {
 
     fn submit(&mut self, op: PipeOp) -> Submitted {
         let req = match op {
-            PipeOp::Get(k) => Request::Get(k),
-            PipeOp::Put(k, v) => Request::Put(k, v),
-            PipeOp::Remove(k) => Request::Remove(k),
+            PipeOp::Get(k) => Request::GetV(k),
+            PipeOp::Put(k, v) => Request::PutV(k, v),
+            PipeOp::Remove(k) => Request::RemoveV(k),
         };
         let idx = self.next_conn;
         self.next_conn = (self.next_conn + 1) % self.conns.len();

@@ -248,22 +248,33 @@ fn drain_frames(conn: &mut Conn, inner: &Inner) -> bool {
 }
 
 /// Answers a decoded burst in FIFO order, coalescing every run of two or
-/// more contiguous PUTs into one [`WriteBatch`].
+/// more contiguous PUTs — u64 (`PUT`) and byte-valued (`PUTV`) frames mix
+/// freely in a run — into one [`WriteBatch`]. Each request in the run is
+/// still answered in its own frame, typed to match what it sent.
 fn respond(conn: &mut Conn, inner: &Inner, requests: &[Request]) {
     let mut i = 0;
     while i < requests.len() {
-        let run = requests[i..].iter().take_while(|r| matches!(r, Request::Put(_, _))).count();
+        let run = requests[i..]
+            .iter()
+            .take_while(|r| matches!(r, Request::Put(_, _) | Request::PutV(_, _)))
+            .count();
         if run >= 2 {
             let mut batch = WriteBatch::with_capacity(run);
             for req in &requests[i..i + run] {
-                if let Request::Put(k, v) = req {
-                    batch.put(*k, *v);
+                match req {
+                    Request::Put(k, v) => batch.put_u64(*k, *v),
+                    Request::PutV(k, v) => batch.put(*k, v.clone()),
+                    _ => unreachable!("run holds only put-like requests"),
                 }
             }
             inner.store.apply(&batch);
             inner.counters.puts.fetch_add(run as u64, Ordering::Relaxed);
-            for _ in 0..run {
-                queue(conn, inner, &Response::Value(None));
+            for req in &requests[i..i + run] {
+                let absent = match req {
+                    Request::Put(_, _) => Response::Value(None),
+                    _ => Response::ValueV(None),
+                };
+                queue(conn, inner, &absent);
             }
             i += run;
         } else {

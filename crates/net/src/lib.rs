@@ -7,8 +7,11 @@
 //!
 //! * [`proto`] — a compact length-prefixed binary protocol
 //!   (GET/PUT/REMOVE/SCAN/BATCH/STATS over little-endian frames), with
-//!   an incremental [`proto::FrameDecoder`] and protocol-v2 pipelining
-//!   rules (FIFO per connection, contiguous-PUT coalescing);
+//!   an incremental [`proto::FrameDecoder`], protocol-v2 pipelining
+//!   rules (FIFO per connection, contiguous-PUT coalescing), and
+//!   protocol-v3 byte-valued twins (GETV/PUTV/REMOVEV/BATCHV) carrying
+//!   length-prefixed value bodies — v2 `u64` frames stay decodable and
+//!   round-trip against a v3 server via an 8-byte little-endian shim;
 //! * [`epoll`] — the no-dependency syscall bindings under the readiness
 //!   server;
 //! * [`NetServer`] — one [`poly_store::PolyStore`] behind either
@@ -46,7 +49,7 @@
 //! use poly_net::{Arch, NetClient, NetServer};
 //!
 //! let mix = KvMix::uniform().with_shards(4);
-//! let store = Arc::new(PolyStore::new(StoreConfig { shards: mix.shards, lock: LockKind::Mutexee }));
+//! let store = Arc::new(PolyStore::new(StoreConfig { shards: mix.shards, lock: LockKind::Mutexee, ..Default::default() }));
 //! let server = NetServer::builder("127.0.0.1:0")
 //!     .architecture(Arch::Epoll)
 //!     .serve(Arc::clone(&store))
@@ -83,7 +86,7 @@ mod tests {
     use crate::{Arch, NetClient, NetServer, ServerConfig};
 
     fn serve(lock: LockKind, shards: usize) -> (NetServer, NetClient) {
-        let store = Arc::new(PolyStore::new(StoreConfig { shards, lock }));
+        let store = Arc::new(PolyStore::new(StoreConfig { shards, lock, ..Default::default() }));
         // Via the deprecated shim on purpose: it must stay equivalent to
         // builder().serve().
         let server = NetServer::bind("127.0.0.1:0", store).expect("bind loopback");
@@ -92,7 +95,7 @@ mod tests {
     }
 
     fn serve_arch(lock: LockKind, shards: usize, arch: Arch) -> (NetServer, NetClient) {
-        let store = Arc::new(PolyStore::new(StoreConfig { shards, lock }));
+        let store = Arc::new(PolyStore::new(StoreConfig { shards, lock, ..Default::default() }));
         let server =
             NetServer::builder("127.0.0.1:0").architecture(arch).serve(store).expect("bind");
         let client = NetClient::connect(server.local_addr()).expect("connect loopback");
@@ -126,7 +129,7 @@ mod tests {
         let conn = s.conn_mut();
         let mut batch = poly_store::WriteBatch::new();
         for k in 0..100 {
-            batch.put(k, k * 3);
+            batch.put_u64(k, k * 3);
         }
         batch.remove(7);
         assert_eq!(conn.apply(&batch).unwrap(), 101);
@@ -141,6 +144,28 @@ mod tests {
         assert_eq!(ws.shards, 8);
         assert_eq!(ws.stats.puts, 100);
         assert!(ws.stats.batches >= 1);
+    }
+
+    #[test]
+    fn v2_u64_client_round_trips_against_the_v3_server() {
+        // The compat shim, end to end: old-style u64 frames against a
+        // byte-valued server, on both architectures.
+        for arch in Arch::ALL {
+            let (_server, client) = serve_arch(LockKind::Mutexee, 2, arch);
+            let mut s = client.session().unwrap();
+            let conn = s.conn_mut();
+            assert_eq!(conn.put(9, 900).unwrap(), None);
+            assert_eq!(conn.put(9, 901).unwrap(), Some(900));
+            assert_eq!(conn.get(9).unwrap(), Some(901));
+            // The same key through v3 frames sees the 8 LE bytes.
+            assert_eq!(conn.get_bytes(9).unwrap().as_deref(), Some(&901u64.to_le_bytes()[..]));
+            // A non-8-byte value is invisible to the u64 view but intact
+            // (not clobbered or errored) in the byte view.
+            assert_eq!(conn.put_bytes(10, b"irregular").unwrap(), None);
+            assert_eq!(conn.get(10).unwrap(), None, "[{arch}] 9-byte value has no u64 reading");
+            assert_eq!(conn.get_bytes(10).unwrap().as_deref(), Some(&b"irregular"[..]));
+            assert_eq!(conn.remove(9).unwrap(), Some(901));
+        }
     }
 
     #[test]
@@ -196,8 +221,11 @@ mod tests {
             RaplSampler::probe_at(fake.root(), Duration::from_millis(2)).unwrap().unwrap(),
         );
         let mix = KvMix { keys: 1_024, ..KvMix::uniform() }.with_shards(4);
-        let store =
-            Arc::new(PolyStore::new(StoreConfig { shards: mix.shards, lock: LockKind::Mutexee }));
+        let store = Arc::new(PolyStore::new(StoreConfig {
+            shards: mix.shards,
+            lock: LockKind::Mutexee,
+            ..Default::default()
+        }));
         let server = NetServer::bind_metered(
             "127.0.0.1:0",
             store,
@@ -257,7 +285,11 @@ mod tests {
         };
         ring.push(&WindowSample { window: 2, ..WindowSample::default() });
         ring.push(&sample);
-        let store = Arc::new(PolyStore::new(StoreConfig { shards: 4, lock: LockKind::Mutexee }));
+        let store = Arc::new(PolyStore::new(StoreConfig {
+            shards: 4,
+            lock: LockKind::Mutexee,
+            ..Default::default()
+        }));
         let server = NetServer::bind_full(
             "127.0.0.1:0",
             store,
@@ -294,7 +326,11 @@ mod tests {
         // connection, indistinguishable from a crash. Both architectures
         // must now answer with a protocol-level error frame.
         for arch in Arch::ALL {
-            let store = Arc::new(PolyStore::new(StoreConfig { shards: 2, lock: LockKind::Mutex }));
+            let store = Arc::new(PolyStore::new(StoreConfig {
+                shards: 2,
+                lock: LockKind::Mutex,
+                ..Default::default()
+            }));
             let cfg = ServerConfig { max_conns: 1, read_timeout: Duration::from_millis(10) };
             let server = NetServer::builder("127.0.0.1:0")
                 .config(cfg)
@@ -360,7 +396,7 @@ mod tests {
         assert_eq!(conn.remove(1).unwrap(), Some(11));
         let mut batch = poly_store::WriteBatch::new();
         for k in 0..50 {
-            batch.put(k, k);
+            batch.put_u64(k, k);
         }
         assert_eq!(conn.apply(&batch).unwrap(), 50);
         assert_eq!(conn.scan().unwrap().0, 50);
@@ -414,7 +450,7 @@ mod tests {
         // Interleave gets and removes over prefilled keys so every reply
         // value is distinguishable.
         for k in 0..8u64 {
-            assert_eq!(s.put(k, 100 + k), None);
+            assert_eq!(s.put(k, &(100 + k).to_le_bytes()), None);
         }
         use poly_store::{PipeOp, Submitted};
         let mut tickets = Vec::new();
@@ -428,7 +464,11 @@ mod tests {
         assert_eq!(replies.len(), 8);
         for (i, r) in replies.iter().enumerate() {
             assert_eq!(r.ticket, tickets[i], "FIFO pairing");
-            assert_eq!(r.value, Some(100 + i as u64), "reply {i} answered the wrong request");
+            assert_eq!(
+                r.value,
+                Some((100 + i as u64).to_le_bytes().to_vec()),
+                "reply {i} answered the wrong request"
+            );
         }
     }
 
@@ -440,10 +480,10 @@ mod tests {
         let mut s = client.session().unwrap();
         // Seed a previous value so v1 semantics WOULD have returned
         // Some(…) — the coalesced path must report None instead.
-        assert_eq!(s.put(7, 70), None);
+        assert_eq!(s.put(7, &70u64.to_le_bytes()), None);
         let base_batches = server.store().total_stats().batches;
         for i in 0..4u64 {
-            let sub = s.submit(PipeOp::Put(7, 700 + i));
+            let sub = s.submit(PipeOp::Put(7, (700 + i).to_le_bytes().to_vec()));
             assert!(matches!(sub, Submitted::Queued(_)));
         }
         let replies = s.drain();
@@ -452,7 +492,7 @@ mod tests {
             assert_eq!(r.value, None, "protocol v2: coalesced PUTs report no previous value");
         }
         // The run landed as one store-level batch, and the last write won.
-        assert_eq!(s.get(7), Some(703));
+        assert_eq!(s.get(7), Some(703u64.to_le_bytes().to_vec()));
         let batches = server.store().total_stats().batches;
         assert!(batches > base_batches, "4 contiguous PUTs must coalesce into a WriteBatch");
         drop(s);
@@ -464,7 +504,11 @@ mod tests {
     fn builder_shims_and_builder_build_equivalent_servers() {
         // The deprecated shims must produce servers indistinguishable
         // from the builder path.
-        let store = Arc::new(PolyStore::new(StoreConfig { shards: 2, lock: LockKind::Mutex }));
+        let store = Arc::new(PolyStore::new(StoreConfig {
+            shards: 2,
+            lock: LockKind::Mutex,
+            ..Default::default()
+        }));
         let a = NetServer::bind_with(
             "127.0.0.1:0",
             Arc::clone(&store),
@@ -485,7 +529,11 @@ mod tests {
     fn server_owned_collector_feeds_stats2() {
         // trace_interval spawns a collector inside the server: STATS2
         // windows appear without the caller wiring poly-trace at all.
-        let store = Arc::new(PolyStore::new(StoreConfig { shards: 2, lock: LockKind::Mutexee }));
+        let store = Arc::new(PolyStore::new(StoreConfig {
+            shards: 2,
+            lock: LockKind::Mutexee,
+            ..Default::default()
+        }));
         let server = NetServer::builder("127.0.0.1:0")
             .trace_interval(Duration::from_millis(5))
             .serve(Arc::clone(&store))

@@ -16,6 +16,10 @@
 //! | `BATCH` | op `0x05`, count `u32`, then per write: tag `u8` (1 put / 0 remove), key `u64`, value `u64` |
 //! | `STATS` | op `0x06` |
 //! | `STATS2` | op `0x07` |
+//! | `GETV` | op `0x08`, key `u64` |
+//! | `PUTV` | op `0x09`, key `u64`, len `u32`, value bytes |
+//! | `REMOVEV` | op `0x0A`, key `u64` |
+//! | `BATCHV` | op `0x0B`, count `u32`, then per write: tag `u8` (1 put / 0 remove), key `u64`, and for puts len `u32` + value bytes |
 //!
 //! Responses open with status `0x00` (ok) or `0x01` (error, rest of the
 //! body is a UTF-8 message). Ok payloads: point ops return
@@ -35,6 +39,21 @@
 //! answers `STATS2` with `present = 0`; a *pre-v2 server* answers the
 //! unknown `0x07` opcode with an error response, which v2 clients treat
 //! as "fall back to v1".
+//!
+//! # Protocol v3: byte values
+//!
+//! The store's values are byte slices now, so v3 adds length-prefixed
+//! twins of the point ops (`GETV`/`PUTV`/`REMOVEV`) and of `BATCH`
+//! (`BATCHV`), all answered with a `ValueV` payload
+//! (`present u8 + len u32 + bytes`). The u64 frames stay on the wire
+//! unchanged: a v2 client's `PUT` stores the value as its 8 little-endian
+//! bytes, and its `GET` reads back `present` only when the stored value
+//! is exactly 8 bytes — u64 round-trips written by old clients keep
+//! working against a v3 server (see the compat shim in `Server::execute`).
+//! The `STATS`/`STATS2` wire-stats block also grows a mandatory three-word
+//! cache suffix (`evictions u64 + expired u64 + mem_bytes u64`) after the
+//! measured-energy block; both ends of this crate version together, so the
+//! suffix is not optional on the wire.
 //!
 //! # Protocol v2: pipelining
 //!
@@ -85,6 +104,10 @@ const OP_SCAN: u8 = 0x04;
 const OP_BATCH: u8 = 0x05;
 const OP_STATS: u8 = 0x06;
 const OP_STATS2: u8 = 0x07;
+const OP_GET_V: u8 = 0x08;
+const OP_PUT_V: u8 = 0x09;
+const OP_REMOVE_V: u8 = 0x0A;
+const OP_BATCH_V: u8 = 0x0B;
 
 const STATUS_OK: u8 = 0x00;
 const STATUS_ERR: u8 = 0x01;
@@ -92,21 +115,33 @@ const STATUS_ERR: u8 = 0x01;
 /// One client request.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
-    /// Point lookup.
+    /// Point lookup (v2 compat: the reply carries a value only when the
+    /// stored bytes decode as a `u64`, i.e. are exactly 8 bytes long).
     Get(u64),
-    /// Point insert/update.
+    /// Point insert/update of a `u64` value (v2 compat: stored as the
+    /// value's 8 little-endian bytes).
     Put(u64, u64),
-    /// Point deletion.
+    /// Point deletion (v2 compat reply, like `Get`).
     Remove(u64),
     /// Full scan (the server aggregates; entries never cross the wire).
     Scan,
-    /// A write batch, applied with one lock acquisition per shard.
-    Batch(Vec<BatchOp>),
+    /// A `u64`-valued write batch, applied with one lock acquisition per
+    /// shard (v2 compat: each value is stored as 8 little-endian bytes).
+    Batch(Vec<(u64, Option<u64>)>),
     /// Server stats: lock kind, shard count, merged shard stats.
     Stats,
     /// STATS v2: everything `Stats` carries plus the server's latest
     /// telemetry window, when a trace collector is running.
     Stats2,
+    /// Point lookup of the full byte value.
+    GetV(u64),
+    /// Point insert/update of a byte value.
+    PutV(u64, Vec<u8>),
+    /// Point deletion returning the full byte value.
+    RemoveV(u64),
+    /// A byte-valued write batch, applied with one lock acquisition per
+    /// shard.
+    BatchV(Vec<BatchOp>),
 }
 
 /// One server response.
@@ -114,6 +149,8 @@ pub enum Request {
 pub enum Response {
     /// Point-op result: the previous/found value, if any.
     Value(Option<u64>),
+    /// Byte-valued point-op result: the previous/found value, if any.
+    ValueV(Option<Vec<u8>>),
     /// Scan result: entries visited and the epoch the scan observed.
     Scan {
         /// Entries visited.
@@ -201,6 +238,10 @@ impl<'a> Cursor<'a> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
     fn rest(&mut self) -> &'a [u8] {
         let s = &self.buf[self.pos..];
         self.pos = self.buf.len();
@@ -257,6 +298,42 @@ impl Request {
             }
             Request::Stats => vec![OP_STATS],
             Request::Stats2 => vec![OP_STATS2],
+            Request::GetV(k) => {
+                let mut b = Vec::with_capacity(9);
+                b.push(OP_GET_V);
+                put_u64(&mut b, *k);
+                b
+            }
+            Request::PutV(k, v) => {
+                let mut b = Vec::with_capacity(13 + v.len());
+                b.push(OP_PUT_V);
+                put_u64(&mut b, *k);
+                put_u32(&mut b, v.len() as u32);
+                b.extend_from_slice(v);
+                b
+            }
+            Request::RemoveV(k) => {
+                let mut b = Vec::with_capacity(9);
+                b.push(OP_REMOVE_V);
+                put_u64(&mut b, *k);
+                b
+            }
+            Request::BatchV(ops) => {
+                let bytes: usize =
+                    ops.iter().map(|(_, v)| 9 + v.as_ref().map_or(0, |v| 4 + v.len())).sum();
+                let mut b = Vec::with_capacity(5 + bytes);
+                b.push(OP_BATCH_V);
+                put_u32(&mut b, ops.len() as u32);
+                for (key, val) in ops {
+                    b.push(u8::from(val.is_some()));
+                    put_u64(&mut b, *key);
+                    if let Some(v) = val {
+                        put_u32(&mut b, v.len() as u32);
+                        b.extend_from_slice(v);
+                    }
+                }
+                b
+            }
         }
     }
 
@@ -286,6 +363,35 @@ impl Request {
             }
             OP_STATS => Request::Stats,
             OP_STATS2 => Request::Stats2,
+            OP_GET_V => Request::GetV(c.u64()?),
+            OP_PUT_V => {
+                let key = c.u64()?;
+                let len = c.u32()? as usize;
+                Request::PutV(key, c.take(len)?.to_vec())
+            }
+            OP_REMOVE_V => Request::RemoveV(c.u64()?),
+            OP_BATCH_V => {
+                let n = c.u32()? as usize;
+                // Every op occupies at least 9 bytes (tag + key): a count
+                // the frame cannot possibly hold must fail before the
+                // allocation it would size.
+                if n > c.remaining() / 9 {
+                    return Err(bad_frame("batch count disagrees with frame length"));
+                }
+                let mut ops = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let tag = c.u8()?;
+                    let key = c.u64()?;
+                    let val = if tag != 0 {
+                        let len = c.u32()? as usize;
+                        Some(c.take(len)?.to_vec())
+                    } else {
+                        None
+                    };
+                    ops.push((key, val));
+                }
+                Request::BatchV(ops)
+            }
             op => return Err(bad_frame(&format!("unknown opcode 0x{op:02x}"))),
         };
         c.finish()?;
@@ -326,6 +432,7 @@ fn decode_stats_snapshot(c: &mut Cursor) -> io::Result<StatsSnapshot> {
         lock_wait_ns: c.u64()?,
         lock_hold_ns: c.u64()?,
         latency: HistogramSnapshot::default(),
+        ..StatsSnapshot::default()
     };
     for bucket in s.latency.buckets.iter_mut() {
         *bucket = c.u64()?;
@@ -346,16 +453,24 @@ fn encode_wire_stats(b: &mut Vec<u8>, ws: &WireStats) {
         put_u64(b, m.dram_uj);
         put_u64(b, m.samples);
     }
+    // Protocol v3: the cache counters ride as a mandatory suffix after
+    // the measured block (both ends of this crate version together).
+    put_u64(b, ws.stats.evictions);
+    put_u64(b, ws.stats.expired);
+    put_u64(b, ws.stats.mem_bytes);
 }
 
 fn decode_wire_stats(c: &mut Cursor) -> io::Result<WireStats> {
     let lock = lock_from_wire(c.u8()?)?;
     let shards = c.u32()?;
-    let stats = decode_stats_snapshot(c)?;
+    let mut stats = decode_stats_snapshot(c)?;
     let measured = match c.u8()? {
         0 => None,
         _ => Some(MeasuredReading { package_uj: c.u64()?, dram_uj: c.u64()?, samples: c.u64()? }),
     };
+    stats.evictions = c.u64()?;
+    stats.expired = c.u64()?;
+    stats.mem_bytes = c.u64()?;
     Ok(WireStats { lock, shards, stats, measured })
 }
 
@@ -368,6 +483,15 @@ impl Response {
                 b.push(STATUS_OK);
                 b.push(u8::from(v.is_some()));
                 put_u64(&mut b, v.unwrap_or(0));
+                b
+            }
+            Response::ValueV(v) => {
+                let bytes = v.as_deref().unwrap_or(&[]);
+                let mut b = Vec::with_capacity(6 + bytes.len());
+                b.push(STATUS_OK);
+                b.push(u8::from(v.is_some()));
+                put_u32(&mut b, bytes.len() as u32);
+                b.extend_from_slice(bytes);
                 b
             }
             Response::Scan { count, epoch } => {
@@ -429,8 +553,14 @@ impl Response {
                 let val = c.u64()?;
                 Response::Value(present.then_some(val))
             }
+            Request::GetV(_) | Request::PutV(_, _) | Request::RemoveV(_) => {
+                let present = c.u8()? != 0;
+                let len = c.u32()? as usize;
+                let bytes = c.take(len)?.to_vec();
+                Response::ValueV(present.then_some(bytes))
+            }
             Request::Scan => Response::Scan { count: c.u64()?, epoch: c.u64()? },
-            Request::Batch(_) => Response::Batch { applied: c.u32()? },
+            Request::Batch(_) | Request::BatchV(_) => Response::Batch { applied: c.u32()? },
             Request::Stats => Response::Stats(Box::new(decode_wire_stats(&mut c)?)),
             Request::Stats2 => {
                 let stats = decode_wire_stats(&mut c)?;
@@ -488,9 +618,10 @@ pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
     Ok(Some(body))
 }
 
-/// Converts a [`WriteBatch`] into the wire op list.
+/// Converts a [`WriteBatch`] into the wire op list (a v3 `BATCHV` frame —
+/// the batch's values are byte slices).
 pub fn batch_request(batch: &WriteBatch) -> Request {
-    Request::Batch(batch.ops().to_vec())
+    Request::BatchV(batch.ops().to_vec())
 }
 
 /// Incremental frame decoder for nonblocking sockets.
@@ -581,6 +712,16 @@ mod tests {
             Request::Batch(Vec::new()),
             Request::Stats,
             Request::Stats2,
+            Request::GetV(7),
+            Request::PutV(3, Vec::new()),
+            Request::PutV(u64::MAX, vec![0xAB; 4096]),
+            Request::RemoveV(42),
+            Request::BatchV(vec![
+                (1, Some(vec![1, 2, 3])),
+                (3, None),
+                (u64::MAX, Some(Vec::new())),
+            ]),
+            Request::BatchV(Vec::new()),
         ] {
             assert_eq!(round_trip_req(req.clone()), req);
         }
@@ -597,6 +738,11 @@ mod tests {
             (Request::Get(1), Response::Value(None)),
             (Request::Put(1, 2), Response::Value(Some(u64::MAX))),
             (Request::Remove(1), Response::Value(None)),
+            (Request::GetV(1), Response::ValueV(Some(vec![9; 300]))),
+            (Request::GetV(1), Response::ValueV(None)),
+            (Request::PutV(1, vec![2]), Response::ValueV(Some(Vec::new()))),
+            (Request::RemoveV(1), Response::ValueV(None)),
+            (Request::BatchV(Vec::new()), Response::Batch { applied: 3 }),
             (Request::Scan, Response::Scan { count: 10, epoch: 3 }),
             (Request::Batch(Vec::new()), Response::Batch { applied: 0 }),
             (
@@ -644,6 +790,10 @@ mod tests {
                         dram_uj: 100,
                         measured: true,
                         freq_khz: Some(1_200_000),
+                        gets: 4_000,
+                        get_hits: 3_000,
+                        evictions: 7,
+                        mem_bytes: 65_536,
                     }),
                 })),
             ),
@@ -686,6 +836,19 @@ mod tests {
         let mut lying = vec![OP_BATCH];
         lying.extend_from_slice(&u32::MAX.to_le_bytes());
         assert!(Request::decode(&lying).is_err());
+        // Same for the v3 batch, whose ops are variable-width.
+        let mut lying = vec![OP_BATCH_V];
+        lying.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(Request::decode(&lying).is_err());
+        // A PUTV whose declared value length overruns the frame is torn.
+        let mut torn_put = vec![OP_PUT_V];
+        torn_put.extend_from_slice(&7u64.to_le_bytes());
+        torn_put.extend_from_slice(&100u32.to_le_bytes());
+        torn_put.extend_from_slice(&[1, 2, 3]);
+        assert!(Request::decode(&torn_put).is_err());
+        // A ValueV reply torn inside its bytes.
+        let vv = Response::ValueV(Some(vec![5; 32])).encode();
+        assert!(Response::decode(&vv[..vv.len() - 1], &Request::GetV(1)).is_err());
         assert!(Response::decode(&[], &Request::Scan).is_err());
         assert!(Response::decode(&[9], &Request::Scan).is_err());
         // A STATS reply whose measured block is cut short is torn, not

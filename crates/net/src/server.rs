@@ -553,17 +553,32 @@ pub(crate) fn execute(req: &Request, inner: &Inner) -> Response {
     let store = &inner.store;
     let c = &inner.counters;
     match req {
+        // v2 compat shim: u64 frames keep working against the byte store.
+        // PUT stores the value's 8 little-endian bytes; GET/REMOVE report
+        // a value only when the stored bytes are exactly a u64.
         Request::Get(k) => {
             c.gets.fetch_add(1, Ordering::Relaxed);
-            Response::Value(store.get(*k))
+            Response::Value(store.get_u64(*k))
         }
         Request::Put(k, v) => {
             c.puts.fetch_add(1, Ordering::Relaxed);
-            Response::Value(store.put(*k, *v))
+            Response::Value(store.put_u64(*k, *v))
         }
         Request::Remove(k) => {
             c.removes.fetch_add(1, Ordering::Relaxed);
-            Response::Value(store.remove(*k))
+            Response::Value(store.remove_u64(*k))
+        }
+        Request::GetV(k) => {
+            c.gets.fetch_add(1, Ordering::Relaxed);
+            Response::ValueV(store.get(*k))
+        }
+        Request::PutV(k, v) => {
+            c.puts.fetch_add(1, Ordering::Relaxed);
+            Response::ValueV(store.put(*k, v))
+        }
+        Request::RemoveV(k) => {
+            c.removes.fetch_add(1, Ordering::Relaxed);
+            Response::ValueV(store.remove(*k))
         }
         Request::Scan => {
             c.scans.fetch_add(1, Ordering::Relaxed);
@@ -576,8 +591,20 @@ pub(crate) fn execute(req: &Request, inner: &Inner) -> Response {
             let mut batch = WriteBatch::with_capacity(ops.len());
             for &(key, val) in ops {
                 match val {
-                    Some(v) => batch.put(key, v),
+                    Some(v) => batch.put_u64(key, v),
                     None => batch.remove(key),
+                }
+            }
+            store.apply(&batch);
+            Response::Batch { applied: ops.len() as u32 }
+        }
+        Request::BatchV(ops) => {
+            c.batches.fetch_add(1, Ordering::Relaxed);
+            let mut batch = WriteBatch::with_capacity(ops.len());
+            for (key, val) in ops {
+                match val {
+                    Some(v) => batch.put(*key, v.clone()),
+                    None => batch.remove(*key),
                 }
             }
             store.apply(&batch);

@@ -30,8 +30,11 @@ fn epoll_server_sustains_a_c10k_scale_pipelined_load() {
     );
 
     let mix = KvMix { keys: 16_384, ..KvMix::uniform() }.with_shards(16);
-    let store =
-        Arc::new(PolyStore::new(StoreConfig { shards: mix.shards, lock: LockKind::Mutexee }));
+    let store = Arc::new(PolyStore::new(StoreConfig {
+        shards: mix.shards,
+        lock: LockKind::Mutexee,
+        ..Default::default()
+    }));
     let server = NetServer::builder("127.0.0.1:0")
         .architecture(Arch::Epoll)
         .config(ServerConfig { max_conns: 20_000, read_timeout: Duration::from_millis(25) })

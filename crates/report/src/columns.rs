@@ -19,6 +19,10 @@ use ColumnType::{Bool, OptF64, OptU64, Str, F64, U64};
 ///
 /// The trailing `energy_model` constant is JSON-only: the historical CSV
 /// sink never carried it, and byte-compatibility wins over symmetry.
+///
+/// The cache columns (`mem_bytes`/`hit_pct`/`evictions`) are optional:
+/// cells that never route through the byte-value store (simulated cells,
+/// or runs recorded before the cache landed) render `null` there.
 pub const STORE_CELL: Schema = Schema::new(&[
     Column::new("scenario", Str),
     Column::new("workload", Str),
@@ -45,6 +49,9 @@ pub const STORE_CELL: Schema = Schema::new(&[
     Column::new("energy_source", Str),
     Column::new("freq_khz", OptU64),
     Column::new("freq_applied", Bool),
+    Column::new("mem_bytes", OptU64),
+    Column::new("hit_pct", OptF64),
+    Column::new("evictions", OptU64),
     Column::json_only("energy_model", Str),
 ]);
 
@@ -105,6 +112,9 @@ pub const TIMELINE: Schema = Schema::new(&[
     Column::new("measured_dram_j", OptF64),
     Column::new("measured_w", OptF64),
     Column::new("freq_khz", OptU64),
+    Column::new("mem_bytes", OptU64),
+    Column::new("hit_pct", OptF64),
+    Column::new("evictions", OptU64),
 ]);
 
 #[cfg(test)]
@@ -153,6 +163,9 @@ mod tests {
                 "energy_source",
                 "freq_khz",
                 "freq_applied",
+                "mem_bytes",
+                "hit_pct",
+                "evictions",
                 "energy_model",
             ]
         );
@@ -161,7 +174,8 @@ mod tests {
             STORE_CELL.csv_header(),
             "scenario,workload,transport,server,lock,shards,threads,ops,wall_ms,throughput,p50_ns,\
              p99_ns,max_ns,lock_wait_ns,lock_hold_ns,avg_power_w,energy_j,epo_uj,measured_j,\
-             measured_uj_per_op,measured_pkg_j,measured_dram_j,energy_source,freq_khz,freq_applied"
+             measured_uj_per_op,measured_pkg_j,measured_dram_j,energy_source,freq_khz,freq_applied,\
+             mem_bytes,hit_pct,evictions"
         );
     }
 
@@ -204,6 +218,9 @@ mod tests {
                 "measured_dram_j",
                 "measured_w",
                 "freq_khz",
+                "mem_bytes",
+                "hit_pct",
+                "evictions",
             ]
         );
     }

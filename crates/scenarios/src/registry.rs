@@ -29,7 +29,7 @@ impl Registry {
     /// the count lives. Adding a scenario means bumping this constant
     /// (builtin() asserts the two agree), and every count check in the
     /// workspace references it instead of hard-coding a number.
-    pub const BUILTIN_LEN: usize = 26;
+    pub const BUILTIN_LEN: usize = 29;
 
     /// An empty registry.
     pub fn new() -> Self {
@@ -202,6 +202,28 @@ impl Registry {
             .with_threads(8),
         );
 
+        // -- The `kv-cache` family: the §6 Memcached item model run
+        // against the byte-value store — hot Zipf keys, exponential item
+        // sizes (mean 256 B, cap 4 KiB), get/put only. Natively these
+        // exercise TTL/CLOCK eviction (`store sweep --mem-budget`);
+        // simulated they land next to the `memcached-mix` system model
+        // for the head-to-head comparison. ------------------------------
+        add(
+            &mut reg,
+            "kv-cache family: balanced 50/50 get/put over the §6 Memcached item sizes",
+            ScenarioSpec::new("kv-cache-zipf", WorkloadSpec::Kv(KvMix::cache(50))).with_threads(8),
+        );
+        add(
+            &mut reg,
+            "kv-cache family: read-mostly (90% GET) — the steady-state cache hit path",
+            ScenarioSpec::new("kv-cache-get", WorkloadSpec::Kv(KvMix::cache(10))).with_threads(8),
+        );
+        add(
+            &mut reg,
+            "kv-cache family: write-heavy (90% SET) fill — slab churn and eviction stress",
+            ScenarioSpec::new("kv-cache-set", WorkloadSpec::Kv(KvMix::cache(90))).with_threads(8),
+        );
+
         add(
             &mut reg,
             "Producer-consumer pipeline: mutex-guarded queue plus condvar wake-ups",
@@ -325,6 +347,41 @@ mod tests {
         assert!(reg.get("lock-stress").is_some());
         assert!(reg.get("mysql-mem").is_some());
         assert!(reg.get("missing").is_none());
+    }
+
+    /// Every registered `kv` workload's label must round-trip through
+    /// `KvMix::parse_label` — the report-schema join key. A mix whose
+    /// label drops a field (value distribution, batch size) would make
+    /// sweep rows unparseable back into specs.
+    #[test]
+    fn kv_labels_round_trip_through_parse() {
+        let mut seen = 0;
+        for e in Registry::builtin().iter() {
+            if let WorkloadSpec::Kv(mix) = &e.spec.workload {
+                let label = mix.label();
+                let parsed = KvMix::parse_label(&label)
+                    .unwrap_or_else(|| panic!("{}: unparseable label {label}", e.spec.name));
+                assert_eq!(parsed.label(), label, "{} label did not round-trip", e.spec.name);
+                seen += 1;
+            }
+        }
+        assert!(seen >= 13, "expected the kv families to be registered, saw {seen}");
+    }
+
+    /// The cache family rides the §6 Memcached item model: exponential
+    /// value sizes, get/put only.
+    #[test]
+    fn kv_cache_family_uses_byte_values() {
+        let reg = Registry::builtin();
+        for (name, put_pct) in [("kv-cache-zipf", 50), ("kv-cache-get", 10), ("kv-cache-set", 90)] {
+            let spec = &reg.get(name).unwrap_or_else(|| panic!("{name} missing")).spec;
+            let WorkloadSpec::Kv(mix) = &spec.workload else {
+                panic!("{name} is not a kv workload");
+            };
+            assert_eq!(mix.put_pct, put_pct, "{name}");
+            assert_eq!(mix.get_pct, 100 - put_pct, "{name}");
+            assert_eq!(mix.value, poly_store::ValueDist::Exp { mean: 256, cap: 4_096 }, "{name}");
+        }
     }
 
     #[test]

@@ -88,6 +88,12 @@ pub(crate) fn build_kv(b: &mut SimBuilder, lock: LockKind, threads: usize, mix: 
     let zipf = Zipf::new(shards, skew);
     // Per-entry scan cost: hash-map iteration touches each entry once.
     let scan_cs_per_shard: Cycles = 50 * (mix.keys / shards as u64).max(1);
+    // Value copy cost: moving the item's bytes through the slab, ~50
+    // cycles per cache line. Zero for the legacy 8-byte values (they ride
+    // in a register), which keeps every pre-cache family's simulation
+    // byte-identical — the action script only grows when the mix actually
+    // carries byte values.
+    let copy_cycles: Cycles = 50 * u64::from(mix.value.mean_bytes() / 64);
     for _ in 0..threads {
         let shared = SysShared { locks: locks.clone(), ..Default::default() };
         let zipf = zipf.clone();
@@ -119,13 +125,21 @@ pub(crate) fn build_kv(b: &mut SimBuilder, lock: LockKind, threads: usize, mix: 
             } else {
                 Dist::Exp(700)
             };
-            vec![
+            let mut script = vec![
                 Action::Work(Dist::Exp(1_200)), // parse + hash
                 Action::Lock(shard),
                 Action::Work(cs),
+            ];
+            if copy_cycles > 0 {
+                // Copy the value bytes while the shard is held (a put
+                // moves them into the slab, a get copies them out).
+                script.push(Action::Work(Dist::Fixed(copy_cycles)));
+            }
+            script.extend([
                 Action::Unlock(shard),
                 Action::Work(Dist::Exp(900)), // respond
-            ]
+            ]);
+            script
         });
         b.spawn(Box::new(SysThread::new(shared, gen)), PinPolicy::PaperOrder);
     }

@@ -47,8 +47,8 @@ fn registry_hygiene_count_names_and_kv_round_trips() {
         }
     }
     // The kv family (4) plus the kv-net family (3 + the c10k pair) plus
-    // the kv-cap family (2).
-    assert_eq!(kv_entries, 11, "kv/kv-net/kv-cap families changed size");
+    // the kv-cap family (2) plus the kv-cache family (3).
+    assert_eq!(kv_entries, 14, "kv/kv-net/kv-cap/kv-cache families changed size");
 }
 
 /// Every built-in scenario must build and complete a short smoke run with

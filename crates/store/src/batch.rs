@@ -7,8 +7,8 @@
 //! plain buffer; [`crate::PolyStore::apply`] sorts it by shard and takes
 //! each shard lock exactly once.
 
-/// One buffered write: `Some(v)` is a put, `None` a remove.
-pub type BatchOp = (u64, Option<u64>);
+/// One buffered write: `Some(bytes)` is a put, `None` a remove.
+pub type BatchOp = (u64, Option<Vec<u8>>);
 
 /// A buffer of point writes applied atomically per shard.
 ///
@@ -31,9 +31,16 @@ impl WriteBatch {
         Self { ops: Vec::with_capacity(n) }
     }
 
-    /// Buffers a put.
-    pub fn put(&mut self, key: u64, value: u64) {
-        self.ops.push((key, Some(value)));
+    /// Buffers a put of a byte value.
+    pub fn put(&mut self, key: u64, value: impl Into<Vec<u8>>) {
+        self.ops.push((key, Some(value.into())));
+    }
+
+    /// Buffers a put of a `u64` value in its 8-byte little-endian form —
+    /// the protocol-v2 compatibility encoding (see
+    /// [`crate::PolyStore::put_u64`]).
+    pub fn put_u64(&mut self, key: u64, value: u64) {
+        self.put(key, value.to_le_bytes().to_vec());
     }
 
     /// Buffers a remove.
@@ -71,11 +78,14 @@ mod tests {
     fn batch_buffers_in_order() {
         let mut b = WriteBatch::new();
         assert!(b.is_empty());
-        b.put(1, 10);
+        b.put(1, vec![10u8]);
         b.remove(1);
-        b.put(2, 20);
+        b.put_u64(2, 20);
         assert_eq!(b.len(), 3);
-        assert_eq!(b.ops(), &[(1, Some(10)), (1, None), (2, Some(20))]);
+        assert_eq!(
+            b.ops(),
+            &[(1, Some(vec![10u8])), (1, None), (2, Some(20u64.to_le_bytes().to_vec()))]
+        );
         b.clear();
         assert!(b.is_empty());
     }

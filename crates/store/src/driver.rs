@@ -23,14 +23,33 @@ use crate::store::PolyStore;
 use crate::workload::{KeySampler, KvMix, KvOp, Rng64};
 use crate::WriteBatch;
 
+/// The driver's deterministic value synthesis: the bytes written for
+/// `key` at length `len`. The first 8 bytes are the key's little-endian
+/// encoding (so an 8-byte value reads back as the key through the
+/// protocol-v2 `u64` view — the pre-refactor prefill contract), further
+/// bytes continue a SplitMix-style stream, so any slice is checkable
+/// from `(key, len)` alone.
+pub fn value_bytes(key: u64, len: u32) -> Vec<u8> {
+    let len = len as usize;
+    let mut v = Vec::with_capacity(len);
+    let mut x = key;
+    while v.len() < len {
+        let chunk = x.to_le_bytes();
+        let take = (len - v.len()).min(8);
+        v.extend_from_slice(&chunk[..take]);
+        x = x.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    }
+    v
+}
+
 /// A point operation going through the pipelined surface
 /// ([`KvConnection::submit`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PipeOp {
     /// Point lookup.
     Get(u64),
-    /// Point insert/update.
-    Put(u64, u64),
+    /// Point insert/update carrying the value body.
+    Put(u64, Vec<u8>),
     /// Point deletion.
     Remove(u64),
 }
@@ -43,21 +62,21 @@ pub struct Ticket(pub u64);
 
 /// One pipelined operation's result, yielded by [`KvConnection::drain`]
 /// in ticket order.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Reply {
     /// The submission this answers.
     pub ticket: Ticket,
     /// The op's value slot (found/previous value; pipelined PUTs served
-    /// from a coalesced batch report `None` — protocol v2 semantics).
-    pub value: Option<u64>,
+    /// from a coalesced batch report `None` — protocol v2/v3 semantics).
+    pub value: Option<Vec<u8>>,
 }
 
 /// What [`KvConnection::submit`] did with the operation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Submitted {
     /// The connection has no pipeline: the op executed synchronously and
     /// this is its result (the default-implementation path).
-    Done(Option<u64>),
+    Done(Option<Vec<u8>>),
     /// The op is in flight; its result arrives from a later
     /// [`KvConnection::drain`].
     Queued(Ticket),
@@ -77,11 +96,11 @@ pub enum Submitted {
 /// supports it.
 pub trait KvConnection {
     /// Point lookup.
-    fn get(&mut self, key: u64) -> Option<u64>;
-    /// Point insert/update; returns the previous value.
-    fn put(&mut self, key: u64, value: u64) -> Option<u64>;
+    fn get(&mut self, key: u64) -> Option<Vec<u8>>;
+    /// Point insert/update of a byte value; returns the previous value.
+    fn put(&mut self, key: u64, value: &[u8]) -> Option<Vec<u8>>;
     /// Point deletion; returns the removed value.
-    fn remove(&mut self, key: u64) -> Option<u64>;
+    fn remove(&mut self, key: u64) -> Option<Vec<u8>>;
     /// Full scan; returns the number of entries visited.
     fn scan_count(&mut self) -> u64;
     /// Applies a write batch.
@@ -93,7 +112,7 @@ pub trait KvConnection {
     fn submit(&mut self, op: PipeOp) -> Submitted {
         Submitted::Done(match op {
             PipeOp::Get(k) => self.get(k),
-            PipeOp::Put(k, v) => self.put(k, v),
+            PipeOp::Put(k, v) => self.put(k, &v),
             PipeOp::Remove(k) => self.remove(k),
         })
     }
@@ -164,15 +183,15 @@ pub trait KvService: Sync {
 pub struct LocalConn<'s>(&'s PolyStore);
 
 impl KvConnection for LocalConn<'_> {
-    fn get(&mut self, key: u64) -> Option<u64> {
+    fn get(&mut self, key: u64) -> Option<Vec<u8>> {
         self.0.get(key)
     }
 
-    fn put(&mut self, key: u64, value: u64) -> Option<u64> {
+    fn put(&mut self, key: u64, value: &[u8]) -> Option<Vec<u8>> {
         self.0.put(key, value)
     }
 
-    fn remove(&mut self, key: u64) -> Option<u64> {
+    fn remove(&mut self, key: u64) -> Option<Vec<u8>> {
         self.0.remove(key)
     }
 
@@ -219,7 +238,9 @@ pub struct LoadSpec {
     /// loop, zero think time).
     pub rate_ops_s: Option<u64>,
     /// Entries inserted before the measured interval (warms the store so
-    /// gets can hit). Keys `0..prefill` get value `key`.
+    /// gets can hit). Keys `0..prefill` get [`value_bytes`] at lengths
+    /// drawn from the mix's value distribution (an 8-byte value reads
+    /// back as `key` through the `u64` view).
     pub prefill: u64,
     /// Frequency cap (kHz) the host is running under for this load, if
     /// one was *actually applied* (see `poly-cap`); prices the modeled
@@ -403,8 +424,9 @@ pub fn run_load_observed<S: KvService, O: LoadObserver>(
     {
         let mut conn = svc.connect();
         let mut fill = WriteBatch::with_capacity(1024);
+        let mut fill_rng = Rng64::new(spec.seed ^ 0x00F1_11F1_11F1_11F1);
         for key in 0..spec.prefill.min(mix.keys) {
-            fill.put(key, key);
+            fill.put(key, value_bytes(key, mix.value.sample(&mut fill_rng)));
             if fill.len() == 1024 {
                 conn.apply(&fill);
                 fill.clear();
@@ -546,7 +568,7 @@ fn client_thread<C: KvConnection, O: LoadObserver>(
             // surface, so every in-flight op must land first.
             let pipe_op = match mix.sample_op(sampler, &mut rng) {
                 KvOp::Get(k) => Some(PipeOp::Get(k)),
-                KvOp::Put(k, v) => Some(PipeOp::Put(k, v)),
+                KvOp::Put(k, len) => Some(PipeOp::Put(k, value_bytes(k, len))),
                 KvOp::Remove(k) => Some(PipeOp::Remove(k)),
                 KvOp::Scan => None,
             };
@@ -581,9 +603,10 @@ fn client_thread<C: KvConnection, O: LoadObserver>(
             KvOp::Get(k) => {
                 conn.get(k);
             }
-            KvOp::Put(k, v) => {
+            KvOp::Put(k, len) => {
+                let value = value_bytes(k, len);
                 if mix.batch > 1 {
-                    batch.put(k, v);
+                    batch.put(k, value);
                     batch_origins.push(origin);
                     buffered = true;
                     if batch.len() >= mix.batch {
@@ -592,7 +615,7 @@ fn client_thread<C: KvConnection, O: LoadObserver>(
                         batch.clear();
                     }
                 } else {
-                    conn.put(k, v);
+                    conn.put(k, &value);
                 }
             }
             KvOp::Remove(k) => {
@@ -691,7 +714,11 @@ mod tests {
     #[test]
     fn saturating_load_reports_consistent_numbers() {
         let mix = KvMix::uniform().with_shards(8);
-        let store = PolyStore::new(StoreConfig { shards: mix.shards, lock: LockKind::Mutexee });
+        let store = PolyStore::new(StoreConfig {
+            shards: mix.shards,
+            lock: LockKind::Mutexee,
+            ..Default::default()
+        });
         let spec = LoadSpec::saturating(mix, host_threads(), 2_000, 42);
         let r = run_load(&store, &spec);
         assert_eq!(r.ops, spec.threads as u64 * 2_000);
@@ -707,7 +734,11 @@ mod tests {
     #[test]
     fn prefill_makes_gets_hit() {
         let mix = KvMix::uniform().with_shards(4);
-        let store = PolyStore::new(StoreConfig { shards: mix.shards, lock: LockKind::Ttas });
+        let store = PolyStore::new(StoreConfig {
+            shards: mix.shards,
+            lock: LockKind::Ttas,
+            ..Default::default()
+        });
         let r = run_load(&store, &LoadSpec::saturating(mix, 1, 3_000, 7));
         // Half the keyspace is prefilled; with uniform keys roughly half
         // the gets must hit. Allow wide slack: puts/removes also run.
@@ -718,7 +749,11 @@ mod tests {
     #[test]
     fn paced_load_records_idle_time() {
         let mix = KvMix::uniform().with_shards(2);
-        let store = PolyStore::new(StoreConfig { shards: mix.shards, lock: LockKind::Mutex });
+        let store = PolyStore::new(StoreConfig {
+            shards: mix.shards,
+            lock: LockKind::Mutex,
+            ..Default::default()
+        });
         let spec = LoadSpec { rate_ops_s: Some(2_000), ..LoadSpec::saturating(mix, 1, 200, 9) };
         let r = run_load(&store, &spec);
         assert_eq!(r.ops, 200);
@@ -758,7 +793,11 @@ mod tests {
     #[test]
     fn batched_writes_take_fewer_lock_acquisitions() {
         let mix = KvMix::write_burst().with_shards(4);
-        let store = PolyStore::new(StoreConfig { shards: mix.shards, lock: LockKind::Mutexee });
+        let store = PolyStore::new(StoreConfig {
+            shards: mix.shards,
+            lock: LockKind::Mutexee,
+            ..Default::default()
+        });
         let r = run_load(&store, &LoadSpec::saturating(mix, 2, 2_000, 11));
         assert!(r.store_stats.batches > 0, "write-burst mix never applied a batch");
     }
@@ -768,7 +807,11 @@ mod tests {
         // `ops_per_thread` deliberately not a multiple of the batch size,
         // so the post-loop leftover flush must also record its samples.
         let mix = KvMix { batch: 32, ..KvMix::write_burst() }.with_shards(4);
-        let store = PolyStore::new(StoreConfig { shards: mix.shards, lock: LockKind::Mutex });
+        let store = PolyStore::new(StoreConfig {
+            shards: mix.shards,
+            lock: LockKind::Mutex,
+            ..Default::default()
+        });
         let spec = LoadSpec::saturating(mix, 2, 1_037, 13);
         let r = run_load(&store, &spec);
         assert_eq!(r.ops, 2 * 1_037);
@@ -789,15 +832,15 @@ mod tests {
     struct SlowApplyConn<'s>(&'s SlowApply);
 
     impl KvConnection for SlowApplyConn<'_> {
-        fn get(&mut self, key: u64) -> Option<u64> {
+        fn get(&mut self, key: u64) -> Option<Vec<u8>> {
             self.0.store.get(key)
         }
 
-        fn put(&mut self, key: u64, value: u64) -> Option<u64> {
+        fn put(&mut self, key: u64, value: &[u8]) -> Option<Vec<u8>> {
             self.0.store.put(key, value)
         }
 
-        fn remove(&mut self, key: u64) -> Option<u64> {
+        fn remove(&mut self, key: u64) -> Option<Vec<u8>> {
             self.0.store.remove(key)
         }
 
@@ -857,7 +900,11 @@ mod tests {
         // A batch size the op count doesn't divide, so the leftover flush
         // must notify the observer too.
         let mix = KvMix { batch: 32, ..KvMix::write_burst() }.with_shards(4);
-        let store = PolyStore::new(StoreConfig { shards: mix.shards, lock: LockKind::Mutexee });
+        let store = PolyStore::new(StoreConfig {
+            shards: mix.shards,
+            lock: LockKind::Mutexee,
+            ..Default::default()
+        });
         let obs = Counting::default();
         let r = run_load_observed(&store, &LoadSpec::saturating(mix, 2, 1_037, 21), &obs);
         assert_eq!(
@@ -888,7 +935,11 @@ mod tests {
         .with_shards(2);
         let delay = Duration::from_millis(2);
         let svc = SlowApply {
-            store: PolyStore::new(StoreConfig { shards: mix.shards, lock: LockKind::Mutex }),
+            store: PolyStore::new(StoreConfig {
+                shards: mix.shards,
+                lock: LockKind::Mutex,
+                ..Default::default()
+            }),
             apply_delay: delay,
         };
         let spec = LoadSpec { prefill: 0, ..LoadSpec::saturating(mix, 1, 16, 3) };
@@ -911,7 +962,11 @@ mod tests {
         // synchronously (Submitted::Done), so the run must behave exactly
         // like depth 1 — every op counted and sampled once.
         let mix = KvMix::uniform().with_shards(4);
-        let store = PolyStore::new(StoreConfig { shards: mix.shards, lock: LockKind::Mutexee });
+        let store = PolyStore::new(StoreConfig {
+            shards: mix.shards,
+            lock: LockKind::Mutexee,
+            ..Default::default()
+        });
         let spec = LoadSpec { depth: 8, ..LoadSpec::saturating(mix, 2, 1_000, 17) };
         let r = run_load(&store, &spec);
         assert_eq!(r.ops, 2_000);
@@ -934,15 +989,15 @@ mod tests {
     }
 
     impl KvConnection for PipedConn<'_> {
-        fn get(&mut self, key: u64) -> Option<u64> {
+        fn get(&mut self, key: u64) -> Option<Vec<u8>> {
             self.svc.store.get(key)
         }
 
-        fn put(&mut self, key: u64, value: u64) -> Option<u64> {
+        fn put(&mut self, key: u64, value: &[u8]) -> Option<Vec<u8>> {
             self.svc.store.put(key, value)
         }
 
-        fn remove(&mut self, key: u64) -> Option<u64> {
+        fn remove(&mut self, key: u64) -> Option<Vec<u8>> {
             self.svc.store.remove(key)
         }
 
@@ -979,7 +1034,7 @@ mod tests {
                 .map(|(i, op)| {
                     let value = match op {
                         PipeOp::Get(k) => self.svc.store.get(k),
-                        PipeOp::Put(k, v) => self.svc.store.put(k, v),
+                        PipeOp::Put(k, v) => self.svc.store.put(k, &v),
                         PipeOp::Remove(k) => self.svc.store.remove(k),
                     };
                     Reply { ticket: Ticket(base + i as u64), value }
@@ -1026,7 +1081,11 @@ mod tests {
         .with_shards(2);
         let delay = Duration::from_millis(2);
         let svc = PipedSvc {
-            store: PolyStore::new(StoreConfig { shards: mix.shards, lock: LockKind::Mutex }),
+            store: PolyStore::new(StoreConfig {
+                shards: mix.shards,
+                lock: LockKind::Mutex,
+                ..Default::default()
+            }),
             drain_delay: delay,
             max_inflight: 0.into(),
             drains: 0.into(),

@@ -6,11 +6,14 @@
 //! and energy for real services. This crate is the "real service" side of
 //! that experiment, natively:
 //!
-//! * [`PolyStore`] — a sharded `u64 -> u64` store whose shard locks are a
-//!   runtime [`LockKind`] choice ([`AnyLock`] dispatches across MUTEX,
+//! * [`PolyStore`] — a sharded `u64 -> bytes` store whose shard locks are
+//!   a runtime [`LockKind`] choice ([`AnyLock`] dispatches across MUTEX,
 //!   MUTEXEE, TAS/TTAS/TICKET, MCS, CLH); per-shard point ops,
 //!   epoch-guarded [`scan`](PolyStore::scan)s, and [`WriteBatch`]
-//!   application with one lock acquisition per shard;
+//!   application with one lock acquisition per shard; values live in a
+//!   per-shard [`Slab`] (size-class freelists) with per-item TTL and
+//!   CLOCK eviction under [`StoreConfig::mem_budget`] — the Memcached
+//!   cache semantics the paper's §6 evaluation centers on;
 //! * [`ShardStats`] — per-shard op counts, lock wait/hold time and
 //!   log-scaled latency histograms, recorded off the critical path;
 //! * [`KvMix`] — the declarative `kv` workload family (uniform, zipf-hot,
@@ -35,7 +38,11 @@
 //! use poly_store::{KvMix, LoadSpec, PolyStore, StoreConfig, run_load};
 //!
 //! let mix = KvMix::zipf_hot().with_shards(4);
-//! let store = PolyStore::new(StoreConfig { shards: mix.shards, lock: LockKind::Mutexee });
+//! let store = PolyStore::new(StoreConfig {
+//!     shards: mix.shards,
+//!     lock: LockKind::Mutexee,
+//!     ..Default::default()
+//! });
 //! let report = run_load(&store, &LoadSpec::saturating(mix, 2, 500, 42));
 //! assert_eq!(report.ops, 1_000);
 //! assert!(report.energy.avg_power_w > 0.0);
@@ -48,6 +55,7 @@ mod batch;
 mod driver;
 pub mod energy;
 mod metered;
+mod slab;
 mod stats;
 mod store;
 mod workload;
@@ -55,14 +63,16 @@ mod workload;
 pub use anylock::{AnyGuard, AnyLock};
 pub use batch::{BatchOp, WriteBatch};
 pub use driver::{
-    run_load, run_load_observed, run_load_on, scheduled_arrival_ns, KvConnection, KvService,
-    LoadObserver, LoadReport, LoadSpec, LocalConn, NoObserver, PipeOp, Reply, Submitted, Ticket,
+    run_load, run_load_observed, run_load_on, scheduled_arrival_ns, value_bytes, KvConnection,
+    KvService, LoadObserver, LoadReport, LoadSpec, LocalConn, NoObserver, PipeOp, Reply, Submitted,
+    Ticket,
 };
 pub use energy::EnergyEstimate;
 pub use metered::{Metered, MeteredConn};
+pub use slab::{Slab, SlabHandle, SLAB_CLASSES};
 pub use stats::{HistogramSnapshot, LatencyHistogram, ShardStats, StatsSnapshot, HIST_BUCKETS};
 pub use store::{PolyStore, StoreConfig};
-pub use workload::{KeyDist, KeySampler, KvMix, KvOp, Rng64, ZipfSampler};
+pub use workload::{KeyDist, KeySampler, KvMix, KvOp, Rng64, ValueDist, ZipfSampler};
 
 // Re-exported so store users name lock backends without importing the
 // simulator crate themselves.

@@ -33,15 +33,15 @@ impl<'m, S: KvService> Metered<'m, S> {
 pub struct MeteredConn<C>(C);
 
 impl<C: KvConnection> KvConnection for MeteredConn<C> {
-    fn get(&mut self, key: u64) -> Option<u64> {
+    fn get(&mut self, key: u64) -> Option<Vec<u8>> {
         self.0.get(key)
     }
 
-    fn put(&mut self, key: u64, value: u64) -> Option<u64> {
+    fn put(&mut self, key: u64, value: &[u8]) -> Option<Vec<u8>> {
         self.0.put(key, value)
     }
 
-    fn remove(&mut self, key: u64) -> Option<u64> {
+    fn remove(&mut self, key: u64) -> Option<Vec<u8>> {
         self.0.remove(key)
     }
 

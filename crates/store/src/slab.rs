@@ -1,0 +1,320 @@
+//! The per-shard slab allocator backing byte values.
+//!
+//! Values live in per-size-class arenas: each class owns one contiguous
+//! byte arena carved into fixed-size blocks plus a LIFO freelist, so an
+//! alloc is a freelist pop (or an arena extension) and a free is a push —
+//! no per-value heap allocation on the hot path, and freed blocks are
+//! reused within their class instead of fragmenting the heap. Values
+//! larger than the biggest class fall back to exact-size boxed
+//! allocations ("huge"), still handle-addressed and still accounted.
+//!
+//! Accounting is exact: [`Slab::mem_bytes`] is the sum of the *block*
+//! sizes of live allocations (huge values count their exact length).
+//! Freed blocks stay resident in their arena but are not counted — they
+//! are capacity, not live data — so the eviction loop in
+//! [`crate::PolyStore`] compares live bytes against the memory budget
+//! without double-charging reuse.
+//!
+//! The slab is single-owner by design (`&mut` methods): every
+//! [`PolyStore`](crate::PolyStore) shard keeps one behind its shard
+//! lock, which is exactly the serialization the arena needs.
+
+/// Block sizes of the size classes, smallest first. A value of length
+/// `n` lands in the smallest class with `block >= n`; longer values are
+/// huge-allocated at exact size.
+pub const SLAB_CLASSES: [usize; 9] = [16, 32, 64, 128, 256, 512, 1024, 2048, 4096];
+
+/// Class tag marking a huge (exact-size, out-of-arena) allocation.
+const HUGE: usize = 0xFF;
+
+/// An opaque ticket naming one live slab allocation: size class in the
+/// top byte, slot index below. Handles are only meaningful against the
+/// slab that issued them and become dangling after [`Slab::free`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SlabHandle(u64);
+
+impl SlabHandle {
+    fn new(class: usize, slot: usize) -> Self {
+        debug_assert!(slot <= u32::MAX as usize, "slab slot index overflow");
+        Self(((class as u64) << 56) | slot as u64)
+    }
+
+    fn class(self) -> usize {
+        (self.0 >> 56) as usize
+    }
+
+    fn slot(self) -> usize {
+        (self.0 & 0x00FF_FFFF_FFFF_FFFF) as usize
+    }
+}
+
+struct SizeClass {
+    /// Fixed block size of this class.
+    block: usize,
+    /// The arena: `data.len() / block` blocks, carved on demand.
+    data: Vec<u8>,
+    /// LIFO freelist of block indices (freed most recently, reused
+    /// first — the cache-warm block).
+    free: Vec<u32>,
+}
+
+impl SizeClass {
+    fn new(block: usize) -> Self {
+        Self { block, data: Vec::new(), free: Vec::new() }
+    }
+}
+
+/// A size-class slab/arena allocator for variable-length byte values.
+/// See the module docs for the design; built from std alone.
+pub struct Slab {
+    classes: Vec<SizeClass>,
+    /// Exact-size allocations above the largest class. Freed slots keep
+    /// a `None` and are recycled via `huge_free`.
+    huge: Vec<Option<Box<[u8]>>>,
+    huge_free: Vec<u32>,
+    mem_bytes: u64,
+}
+
+impl Default for Slab {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Slab {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Slab").field("mem_bytes", &self.mem_bytes).finish()
+    }
+}
+
+impl Slab {
+    /// An empty slab (no arenas reserved yet).
+    pub fn new() -> Self {
+        Self {
+            classes: SLAB_CLASSES.iter().map(|&b| SizeClass::new(b)).collect(),
+            huge: Vec::new(),
+            huge_free: Vec::new(),
+            mem_bytes: 0,
+        }
+    }
+
+    /// The block size a value of length `len` is charged at: its size
+    /// class's block, or `len` itself for huge values. This is the unit
+    /// [`Slab::mem_bytes`] moves by.
+    pub fn block_size(len: usize) -> usize {
+        match SLAB_CLASSES.iter().find(|&&b| b >= len) {
+            Some(&b) => b,
+            None => len,
+        }
+    }
+
+    fn class_of(len: usize) -> usize {
+        match SLAB_CLASSES.iter().position(|&b| b >= len) {
+            Some(c) => c,
+            None => HUGE,
+        }
+    }
+
+    /// Copies `value` into the slab and returns its handle. The caller
+    /// must remember the value's length (the store keeps it in the
+    /// entry): blocks are class-sized, not value-sized.
+    pub fn alloc(&mut self, value: &[u8]) -> SlabHandle {
+        let class = Self::class_of(value.len());
+        if class == HUGE {
+            self.mem_bytes += value.len() as u64;
+            let slot = match self.huge_free.pop() {
+                Some(slot) => {
+                    self.huge[slot as usize] = Some(value.into());
+                    slot as usize
+                }
+                None => {
+                    self.huge.push(Some(value.into()));
+                    self.huge.len() - 1
+                }
+            };
+            return SlabHandle::new(HUGE, slot);
+        }
+        let sc = &mut self.classes[class];
+        let slot = match sc.free.pop() {
+            Some(slot) => slot as usize,
+            None => {
+                let slot = sc.data.len() / sc.block;
+                sc.data.resize(sc.data.len() + sc.block, 0);
+                slot
+            }
+        };
+        sc.data[slot * sc.block..slot * sc.block + value.len()].copy_from_slice(value);
+        self.mem_bytes += sc.block as u64;
+        SlabHandle::new(class, slot)
+    }
+
+    /// The live bytes behind `handle`; `len` is the value length the
+    /// caller recorded at [`Slab::alloc`] time.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a dangling or foreign handle, or a `len` beyond the
+    /// handle's block — allocator misuse, never a data condition.
+    pub fn get(&self, handle: SlabHandle, len: usize) -> &[u8] {
+        if handle.class() == HUGE {
+            let v = self.huge[handle.slot()].as_deref().expect("dangling huge slab handle");
+            return &v[..len];
+        }
+        let sc = &self.classes[handle.class()];
+        assert!(len <= sc.block, "value length exceeds its slab class block");
+        &sc.data[handle.slot() * sc.block..handle.slot() * sc.block + len]
+    }
+
+    /// Returns `handle`'s block to its class freelist. `len` must be the
+    /// length recorded at alloc time (it sets the accounting delta for
+    /// huge values).
+    pub fn free(&mut self, handle: SlabHandle, len: usize) {
+        if handle.class() == HUGE {
+            let slot = handle.slot();
+            assert!(self.huge[slot].take().is_some(), "double free of a huge slab block");
+            self.huge_free.push(slot as u32);
+            self.mem_bytes -= len as u64;
+            return;
+        }
+        let sc = &mut self.classes[handle.class()];
+        debug_assert!(len <= sc.block);
+        sc.free.push(handle.slot() as u32);
+        self.mem_bytes -= sc.block as u64;
+    }
+
+    /// Exact live bytes: the sum of [`Slab::block_size`] over every live
+    /// allocation. Freed blocks held in reserve are excluded.
+    pub fn mem_bytes(&self) -> u64 {
+        self.mem_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::Rng64;
+    use std::collections::HashMap;
+
+    /// A distinct deterministic fill pattern per (id, len).
+    fn pattern(id: u64, len: usize) -> Vec<u8> {
+        (0..len).map(|i| (id.wrapping_mul(0x9E37_79B9).wrapping_add(i as u64) >> 3) as u8).collect()
+    }
+
+    #[test]
+    fn size_classes_and_block_charging() {
+        assert_eq!(Slab::block_size(0), 16);
+        assert_eq!(Slab::block_size(8), 16);
+        assert_eq!(Slab::block_size(16), 16);
+        assert_eq!(Slab::block_size(17), 32);
+        assert_eq!(Slab::block_size(4096), 4096);
+        assert_eq!(Slab::block_size(4097), 4097, "huge values charge exact length");
+        let mut slab = Slab::new();
+        let h = slab.alloc(&[7u8; 100]);
+        assert_eq!(slab.mem_bytes(), 128, "100 bytes land in the 128 class");
+        slab.free(h, 100);
+        assert_eq!(slab.mem_bytes(), 0);
+    }
+
+    #[test]
+    fn freed_blocks_are_reused_within_their_class() {
+        let mut slab = Slab::new();
+        let a = slab.alloc(&pattern(1, 60));
+        let b = slab.alloc(&pattern(2, 60));
+        slab.free(a, 60);
+        // LIFO: the next same-class alloc takes the freed block back.
+        let c = slab.alloc(&pattern(3, 50));
+        assert_eq!(c, a, "freed 64-class block must be reused");
+        assert_eq!(slab.get(c, 50), &pattern(3, 50)[..]);
+        assert_eq!(slab.get(b, 60), &pattern(2, 60)[..], "neighbor untouched by reuse");
+        // A different class does not steal it.
+        let d = slab.alloc(&pattern(4, 200));
+        assert_ne!(d, a);
+        assert_eq!(slab.mem_bytes(), 64 + 64 + 256);
+    }
+
+    #[test]
+    fn huge_values_round_trip_and_recycle_slots() {
+        let mut slab = Slab::new();
+        let big = pattern(9, 10_000);
+        let h = slab.alloc(&big);
+        assert_eq!(slab.mem_bytes(), 10_000);
+        assert_eq!(slab.get(h, big.len()), &big[..]);
+        slab.free(h, big.len());
+        assert_eq!(slab.mem_bytes(), 0);
+        let h2 = slab.alloc(&pattern(10, 5_000));
+        assert_eq!(h2.slot(), h.slot(), "huge slots recycle");
+        assert_eq!(slab.get(h2, 5_000), &pattern(10, 5_000)[..]);
+    }
+
+    /// The satellite property test: random alloc/free sequences never
+    /// overlap live allocations (every live value's bytes stay intact),
+    /// freed blocks are reused within their size class, and `mem_bytes`
+    /// matches the live block sizes exactly at every step.
+    #[test]
+    fn random_alloc_free_sequences_stay_consistent() {
+        let mut rng = Rng64::new(0x51AB_51AB);
+        let mut slab = Slab::new();
+        // Model: id -> (handle, len). Contents are derivable from id.
+        let mut live: HashMap<u64, (SlabHandle, usize)> = HashMap::new();
+        let mut expected_bytes = 0u64;
+        let mut next_id = 0u64;
+        let mut reuse_checks = 0u32;
+        for step in 0..4_000u32 {
+            if live.is_empty() || rng.pct(60) {
+                // Mixed sizes across every class plus the huge path.
+                let len = match rng.below(10) {
+                    0 => rng.below(17) as usize,            // smallest class
+                    9 => 4_097 + rng.below(4_000) as usize, // huge
+                    _ => 1 + rng.below(4_096) as usize,     // any class
+                };
+                let id = next_id;
+                next_id += 1;
+                let h = slab.alloc(&pattern(id, len));
+                expected_bytes += Slab::block_size(len) as u64;
+                live.insert(id, (h, len));
+            } else {
+                let victim = *live.keys().nth(rng.below(live.len() as u64) as usize).unwrap();
+                let (h, len) = live.remove(&victim).unwrap();
+                slab.free(h, len);
+                expected_bytes -= Slab::block_size(len) as u64;
+                // Reuse-within-class: an immediate same-class alloc must
+                // come back on the block just freed (LIFO freelist).
+                if Slab::block_size(len) <= *SLAB_CLASSES.last().unwrap() {
+                    let id = next_id;
+                    next_id += 1;
+                    let h2 = slab.alloc(&pattern(id, len));
+                    assert_eq!(h2, h, "step {step}: freed block not reused in its class");
+                    expected_bytes += Slab::block_size(len) as u64;
+                    live.insert(id, (h2, len));
+                    reuse_checks += 1;
+                }
+            }
+            assert_eq!(slab.mem_bytes(), expected_bytes, "step {step}: accounting drifted");
+            // Periodically verify every live allocation end to end: an
+            // overlap between any two would have corrupted one of them.
+            if step % 101 == 0 {
+                for (&id, &(h, len)) in &live {
+                    assert_eq!(slab.get(h, len), &pattern(id, len)[..], "step {step}, id {id}");
+                }
+            }
+        }
+        assert!(reuse_checks > 100, "the reuse path was barely exercised");
+        for (&id, &(h, len)) in &live {
+            assert_eq!(slab.get(h, len), &pattern(id, len)[..], "final integrity, id {id}");
+        }
+        // Tear everything down: accounting must land exactly on zero.
+        for (_, (h, len)) in live.drain() {
+            slab.free(h, len);
+        }
+        assert_eq!(slab.mem_bytes(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn huge_double_free_is_caught() {
+        let mut slab = Slab::new();
+        let h = slab.alloc(&[0u8; 8_000]);
+        slab.free(h, 8_000);
+        slab.free(h, 8_000);
+    }
+}

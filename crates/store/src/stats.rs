@@ -133,6 +133,9 @@ pub struct ShardStats {
     batches: AtomicU64,
     lock_wait_ns: AtomicU64,
     lock_hold_ns: AtomicU64,
+    evictions: AtomicU64,
+    expired: AtomicU64,
+    mem_bytes: AtomicU64,
     /// Service time of point operations against this shard.
     op_latency: LatencyHistogram,
 }
@@ -171,6 +174,22 @@ impl ShardStats {
         self.batches.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Counts entries thrown out by the CLOCK hand under memory pressure.
+    pub fn record_evictions(&self, n: u64) {
+        self.evictions.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Counts entries dropped because their TTL lapsed.
+    pub fn record_expired(&self, n: u64) {
+        self.expired.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Publishes the shard's current live value bytes (a gauge, not a
+    /// counter: the latest write wins).
+    pub fn set_mem_bytes(&self, bytes: u64) {
+        self.mem_bytes.store(bytes, Ordering::Relaxed);
+    }
+
     /// Attributes one critical section's wait (acquisition) and hold time.
     pub fn record_lock(&self, wait_ns: u64, hold_ns: u64) {
         self.lock_wait_ns.fetch_add(wait_ns, Ordering::Relaxed);
@@ -193,6 +212,9 @@ impl ShardStats {
             batches: self.batches.load(Ordering::Relaxed),
             lock_wait_ns: self.lock_wait_ns.load(Ordering::Relaxed),
             lock_hold_ns: self.lock_hold_ns.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            expired: self.expired.load(Ordering::Relaxed),
+            mem_bytes: self.mem_bytes.load(Ordering::Relaxed),
             latency: self.op_latency.snapshot(),
         }
     }
@@ -217,6 +239,15 @@ pub struct StatsSnapshot {
     pub lock_wait_ns: u64,
     /// Cumulative lock hold time, nanoseconds.
     pub lock_hold_ns: u64,
+    /// Entries evicted by the CLOCK hand under memory pressure.
+    pub evictions: u64,
+    /// Entries dropped because their TTL lapsed.
+    pub expired: u64,
+    /// Live value bytes resident in the shard's slab (a gauge:
+    /// [`StatsSnapshot::merge`] sums shards into the store total,
+    /// [`StatsSnapshot::delta`] carries the *later* snapshot's value —
+    /// a window reports the residency at its close, not a difference).
+    pub mem_bytes: u64,
     /// Point-op service-time histogram.
     pub latency: HistogramSnapshot,
 }
@@ -225,6 +256,12 @@ impl StatsSnapshot {
     /// Total point operations.
     pub fn point_ops(&self) -> u64 {
         self.gets + self.puts + self.removes
+    }
+
+    /// Get hit rate as a percentage, `None` before the first get — the
+    /// report columns render that as `null` rather than inventing 0%.
+    pub fn hit_pct(&self) -> Option<f64> {
+        (self.gets > 0).then(|| self.get_hits as f64 * 100.0 / self.gets as f64)
     }
 
     /// The activity recorded between `earlier` and this snapshot — the
@@ -245,6 +282,10 @@ impl StatsSnapshot {
             batches: self.batches.saturating_sub(earlier.batches),
             lock_wait_ns: self.lock_wait_ns.saturating_sub(earlier.lock_wait_ns),
             lock_hold_ns: self.lock_hold_ns.saturating_sub(earlier.lock_hold_ns),
+            evictions: self.evictions.saturating_sub(earlier.evictions),
+            expired: self.expired.saturating_sub(earlier.expired),
+            // Gauge, not counter: the window reports residency at close.
+            mem_bytes: self.mem_bytes,
             latency: self.latency.since(&earlier.latency),
         }
     }
@@ -266,6 +307,10 @@ impl StatsSnapshot {
         self.batches += other.batches;
         self.lock_wait_ns += other.lock_wait_ns;
         self.lock_hold_ns += other.lock_hold_ns;
+        self.evictions += other.evictions;
+        self.expired += other.expired;
+        // Per-shard residency gauges sum into the store-wide total.
+        self.mem_bytes += other.mem_bytes;
         self.latency.merge(&other.latency);
     }
 }
@@ -421,6 +466,42 @@ mod tests {
     }
 
     #[test]
+    fn cache_counters_merge_and_window() {
+        let a = ShardStats::new();
+        a.record_evictions(3);
+        a.record_expired(1);
+        a.set_mem_bytes(100);
+        let base = a.snapshot();
+        a.record_evictions(2);
+        a.set_mem_bytes(40); // shrank: frees outpaced allocs this window
+        let now = a.snapshot();
+        let d = now.delta(&base);
+        assert_eq!(d.evictions, 2);
+        assert_eq!(d.expired, 0);
+        assert_eq!(d.mem_bytes, 40, "gauge carries the window-close value");
+
+        let b = ShardStats::new();
+        b.record_expired(5);
+        b.set_mem_bytes(60);
+        let mut m = now;
+        m.merge(&b.snapshot());
+        assert_eq!(m.evictions, 5);
+        assert_eq!(m.expired, 6);
+        assert_eq!(m.mem_bytes, 100, "per-shard gauges sum to the store total");
+    }
+
+    #[test]
+    fn hit_pct_is_null_before_the_first_get() {
+        assert_eq!(StatsSnapshot::default().hit_pct(), None);
+        let s = ShardStats::new();
+        s.record_get(true);
+        s.record_get(true);
+        s.record_get(false);
+        s.record_get(false);
+        assert_eq!(s.snapshot().hit_pct(), Some(50.0));
+    }
+
+    #[test]
     fn delta_saturates_on_counter_wrap() {
         // A wrapped (or restarted) counter makes the "later" snapshot
         // smaller than the base; the delta must clamp to zero in every
@@ -434,7 +515,7 @@ mod tests {
             batches: 0,
             lock_wait_ns: 10,
             lock_hold_ns: 0,
-            latency: HistogramSnapshot::default(),
+            ..StatsSnapshot::default()
         };
         later.latency.buckets[4] = 2;
         let mut base = later;

@@ -1,13 +1,17 @@
-//! The sharded store: point ops, epoch-guarded scans, batch application.
+//! The sharded store: byte values, point ops, epoch-guarded scans, batch
+//! application, and cache semantics (TTL + CLOCK eviction) under a
+//! memory budget.
 
 use std::collections::HashMap;
-use std::time::Instant;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
 use lockin::{Mutexee, RwLock};
 use poly_locks_sim::LockKind;
 
 use crate::anylock::AnyLock;
 use crate::batch::WriteBatch;
+use crate::slab::{Slab, SlabHandle};
 use crate::stats::{LatencyHistogram, ShardStats, StatsSnapshot};
 
 /// Construction parameters of a [`PolyStore`].
@@ -17,24 +21,242 @@ pub struct StoreConfig {
     pub shards: usize,
     /// Lock algorithm guarding each shard.
     pub lock: LockKind,
+    /// Store-wide cap on live value bytes, split evenly across shards.
+    /// `None` disables eviction entirely (the pre-cache behavior).
+    pub mem_budget: Option<u64>,
+    /// TTL stamped on every put that does not carry its own. `None`
+    /// means entries never expire unless put via
+    /// [`PolyStore::put_with_ttl`].
+    pub default_ttl: Option<Duration>,
 }
 
 impl Default for StoreConfig {
     fn default() -> Self {
-        Self { shards: 16, lock: LockKind::Mutexee }
+        Self { shards: 16, lock: LockKind::Mutexee, mem_budget: None, default_ttl: None }
     }
 }
 
-struct Shard {
-    map: AnyLock<HashMap<u64, u64>>,
-    stats: ShardStats,
+/// Expiry stamp meaning "never".
+const NEVER: u64 = u64::MAX;
+
+/// One live entry: where its bytes sit in the shard slab plus the cache
+/// metadata the CLOCK hand and the TTL check read.
+struct Entry {
+    handle: SlabHandle,
+    len: u32,
+    /// Store-clock nanoseconds after which the entry is dead; [`NEVER`]
+    /// when the entry has no TTL.
+    expires_at_ns: u64,
+    /// This entry's slot in the shard's CLOCK ring.
+    ring: u32,
+    /// CLOCK reference bit: set on every hit, cleared when the hand
+    /// sweeps past, evicted when found clear.
+    referenced: bool,
 }
 
-/// A sharded `u64 -> u64` key-value store over a runtime-selected
-/// [`LockKind`] backend.
+/// Everything a shard guards under its lock: the index, the value arena,
+/// and the CLOCK ring (`ring[i]` is a key; a slot is *stale* when its key
+/// is gone or points at a different slot — removed entries leave their
+/// slot behind and the hand or the compactor reclaims it lazily).
+struct ShardData {
+    map: HashMap<u64, Entry>,
+    slab: Slab,
+    ring: Vec<u64>,
+    hand: usize,
+}
+
+/// What one shard-level mutation did, reported out of the critical
+/// section so stats recording never extends the lock hold.
+#[derive(Default)]
+struct Outcome {
+    prev: Option<Vec<u8>>,
+    evicted: u64,
+    expired: u64,
+}
+
+impl ShardData {
+    fn new() -> Self {
+        Self { map: HashMap::new(), slab: Slab::new(), ring: Vec::new(), hand: 0 }
+    }
+
+    /// Removes `key` outright, returning its bytes and expiry stamp. The
+    /// ring slot goes stale rather than being compacted eagerly.
+    fn take(&mut self, key: u64) -> Option<(Vec<u8>, u64)> {
+        let e = self.map.remove(&key)?;
+        let bytes = self.slab.get(e.handle, e.len as usize).to_vec();
+        self.slab.free(e.handle, e.len as usize);
+        Some((bytes, e.expires_at_ns))
+    }
+
+    /// Point lookup with TTL enforcement: a hit sets the reference bit;
+    /// an expired entry is dropped and reported as a miss.
+    fn get(&mut self, key: u64, now_ns: u64) -> Outcome {
+        let hit = match self.map.get_mut(&key) {
+            None => return Outcome::default(),
+            Some(e) if e.expires_at_ns <= now_ns => None,
+            Some(e) => {
+                e.referenced = true;
+                Some((e.handle, e.len as usize))
+            }
+        };
+        match hit {
+            Some((h, len)) => {
+                Outcome { prev: Some(self.slab.get(h, len).to_vec()), ..Outcome::default() }
+            }
+            None => {
+                let e = self.map.remove(&key).expect("expired entry vanished");
+                self.slab.free(e.handle, e.len as usize);
+                Outcome { expired: 1, ..Outcome::default() }
+            }
+        }
+    }
+
+    /// Insert/overwrite. An overwrite is a remove-then-insert (the freed
+    /// block is the LIFO freelist head, so the bytes usually land right
+    /// back in the same block); the fresh entry's reference bit is set
+    /// only on overwrite, so cold inserts are first in line for the hand.
+    ///
+    /// A value whose charged block exceeds the whole per-shard budget is
+    /// *refused* (the old entry, if any, is still removed and returned):
+    /// storing it would either bust the budget or wipe the shard.
+    fn put(
+        &mut self,
+        key: u64,
+        value: &[u8],
+        expires_at_ns: u64,
+        budget: Option<u64>,
+        now_ns: u64,
+    ) -> Outcome {
+        let mut out = Outcome::default();
+        if let Some((bytes, exp)) = self.take(key) {
+            if exp <= now_ns {
+                out.expired += 1;
+            } else {
+                out.prev = Some(bytes);
+            }
+        }
+        let need = Slab::block_size(value.len()) as u64;
+        if let Some(b) = budget {
+            if need > b {
+                self.maybe_compact();
+                return out;
+            }
+            let (ev, ex) = self.make_room(need, b, now_ns);
+            out.evicted += ev;
+            out.expired += ex;
+        }
+        let handle = self.slab.alloc(value);
+        let ring = self.ring.len() as u32;
+        self.ring.push(key);
+        self.map.insert(
+            key,
+            Entry {
+                handle,
+                len: value.len() as u32,
+                expires_at_ns,
+                ring,
+                referenced: out.prev.is_some(),
+            },
+        );
+        self.maybe_compact();
+        out
+    }
+
+    /// CLOCK sweep until `need` more bytes fit under `budget`. Stale
+    /// slots are reclaimed on contact; expired entries are dropped (and
+    /// counted as expirations, not evictions); referenced entries get a
+    /// second chance. Terminates: every step frees bytes, clears a
+    /// reference bit, or removes a ring slot.
+    fn make_room(&mut self, need: u64, budget: u64, now_ns: u64) -> (u64, u64) {
+        let (mut evicted, mut expired) = (0u64, 0u64);
+        let mut second_chances = self.ring.len();
+        while self.slab.mem_bytes() + need > budget && !self.ring.is_empty() {
+            if self.hand >= self.ring.len() {
+                self.hand = 0;
+            }
+            let key = self.ring[self.hand];
+            let live = matches!(self.map.get(&key), Some(e) if e.ring as usize == self.hand);
+            if !live {
+                self.remove_ring_slot(self.hand);
+                continue;
+            }
+            let e = self.map.get_mut(&key).expect("checked live above");
+            if e.expires_at_ns > now_ns && e.referenced && second_chances > 0 {
+                e.referenced = false;
+                second_chances -= 1;
+                self.hand += 1;
+                continue;
+            }
+            let was_expired = e.expires_at_ns <= now_ns;
+            let e = self.map.remove(&key).expect("checked live above");
+            self.slab.free(e.handle, e.len as usize);
+            self.remove_ring_slot(self.hand);
+            if was_expired {
+                expired += 1;
+            } else {
+                evicted += 1;
+            }
+        }
+        (evicted, expired)
+    }
+
+    /// Drops ring slot `i` by swap-remove, re-pointing the entry that
+    /// owned the moved (previously last) slot. The hand stays put: the
+    /// moved element now occupies `i` and gets examined next.
+    fn remove_ring_slot(&mut self, i: usize) {
+        let old_last = self.ring.len() - 1;
+        self.ring.swap_remove(i);
+        if i < self.ring.len() {
+            let moved = self.ring[i];
+            if let Some(e) = self.map.get_mut(&moved) {
+                if e.ring as usize == old_last {
+                    e.ring = i as u32;
+                }
+            }
+        }
+    }
+
+    /// Rebuilds the ring without stale slots once they outnumber live
+    /// entries (plus slack, so small shards never bother). Order and the
+    /// hand's position are preserved.
+    fn maybe_compact(&mut self) {
+        if self.ring.len() < 2 * self.map.len() + 64 {
+            return;
+        }
+        let mut fresh = Vec::with_capacity(self.map.len());
+        let mut new_hand = 0;
+        for (i, &key) in self.ring.iter().enumerate() {
+            if i == self.hand {
+                new_hand = fresh.len();
+            }
+            if matches!(self.map.get(&key), Some(e) if e.ring as usize == i) {
+                fresh.push(key);
+            }
+        }
+        for (i, &key) in fresh.iter().enumerate() {
+            self.map.get_mut(&key).expect("compact keeps live keys").ring = i as u32;
+        }
+        self.ring = fresh;
+        self.hand = new_hand;
+    }
+}
+
+/// A sharded `u64 -> bytes` key-value store over a runtime-selected
+/// [`LockKind`] backend, with Memcached-style cache semantics.
 ///
 /// * **Point ops** ([`get`](PolyStore::get), [`put`](PolyStore::put),
-///   [`remove`](PolyStore::remove)) touch exactly one shard lock.
+///   [`remove`](PolyStore::remove)) touch exactly one shard lock. Values
+///   are arbitrary byte strings held in a per-shard [`Slab`]; the
+///   [`get_u64`](PolyStore::get_u64) / [`put_u64`](PolyStore::put_u64)
+///   conveniences fix the 8-byte little-endian encoding that protocol v2
+///   clients speak.
+/// * **TTL**: every entry carries an optional expiry against the store's
+///   internal clock ([`StoreConfig::default_ttl`],
+///   [`put_with_ttl`](PolyStore::put_with_ttl)); expired entries read as
+///   misses and are dropped on contact.
+/// * **Eviction**: under a [`StoreConfig::mem_budget`] (split evenly
+///   across shards) each shard runs a CLOCK hand over its entries —
+///   LRU-approximating, one reference bit, no per-access list surgery.
 /// * **Scans** ([`scan`](PolyStore::scan)) hold the store-wide *epoch*
 ///   rwlock in read mode while visiting shards one at a time, so an epoch
 ///   bump ([`bump_epoch`](PolyStore::bump_epoch) — the maintenance /
@@ -44,13 +266,28 @@ struct Shard {
 ///   take each shard lock once.
 ///
 /// Every operation feeds the owning shard's [`ShardStats`]: op counts,
-/// lock wait/hold time, and a service-time histogram — the raw material
-/// for the [`crate::energy`] bridge's joules-per-op estimate.
+/// hit/miss/eviction/expiry counts, live-byte gauges, lock wait/hold
+/// time, and a service-time histogram — the raw material for the
+/// [`crate::energy`] bridge's joules-per-op estimate.
 pub struct PolyStore {
     shards: Box<[Shard]>,
     lock: LockKind,
     epoch: RwLock<u64, Mutexee>,
     scan_latency: LatencyHistogram,
+    /// Per-shard slice of `StoreConfig::mem_budget`.
+    shard_budget: Option<u64>,
+    default_ttl: Option<Duration>,
+    /// TTL clock origin; `now_ns` is the elapsed time since here...
+    origin: Instant,
+    /// ...plus this artificial skew, advanced by tests (and only tests)
+    /// via [`PolyStore::advance_clock`] so expiry is exercisable without
+    /// real sleeps.
+    skew_ns: AtomicU64,
+}
+
+struct Shard {
+    data: AnyLock<ShardData>,
+    stats: ShardStats,
 }
 
 impl PolyStore {
@@ -59,7 +296,7 @@ impl PolyStore {
         let n = cfg.shards.max(1);
         let shards = (0..n)
             .map(|_| Shard {
-                map: AnyLock::new(cfg.lock, HashMap::new()),
+                data: AnyLock::new(cfg.lock, ShardData::new()),
                 stats: ShardStats::new(),
             })
             .collect();
@@ -68,6 +305,10 @@ impl PolyStore {
             lock: cfg.lock,
             epoch: RwLock::new(0),
             scan_latency: LatencyHistogram::new(),
+            shard_budget: cfg.mem_budget.map(|b| b / n as u64),
+            default_ttl: cfg.default_ttl,
+            origin: Instant::now(),
+            skew_ns: AtomicU64::new(0),
         }
     }
 
@@ -81,6 +322,37 @@ impl PolyStore {
         self.lock
     }
 
+    /// The per-shard memory budget, if eviction is enabled.
+    pub fn shard_budget(&self) -> Option<u64> {
+        self.shard_budget
+    }
+
+    /// Live value bytes across all shards (block-size charged; see
+    /// [`Slab::mem_bytes`]).
+    pub fn mem_bytes(&self) -> u64 {
+        (0..self.shards.len()).map(|i| self.with_shard(i, |s| s.slab.mem_bytes())).sum()
+    }
+
+    /// Advances the store's TTL clock without waiting — a test aid that
+    /// makes expiry deterministic.
+    pub fn advance_clock(&self, by: Duration) {
+        self.skew_ns.fetch_add(by.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    fn now_ns(&self) -> u64 {
+        (self.origin.elapsed().as_nanos() as u64)
+            .saturating_add(self.skew_ns.load(Ordering::Relaxed))
+    }
+
+    /// The expiry stamp for a put carrying `ttl` (falling back to the
+    /// store default, then to "never").
+    fn deadline(&self, ttl: Option<Duration>) -> u64 {
+        match ttl.or(self.default_ttl) {
+            None => NEVER,
+            Some(d) => self.now_ns().saturating_add(d.as_nanos() as u64),
+        }
+    }
+
     /// Shard index owning `key` (Fibonacci multiplicative hash, so
     /// sequential keys spread across shards).
     pub fn shard_of(&self, key: u64) -> usize {
@@ -88,10 +360,10 @@ impl PolyStore {
     }
 
     /// Runs `f` under the shard lock, attributing wait/hold time.
-    fn with_shard<R>(&self, idx: usize, f: impl FnOnce(&mut HashMap<u64, u64>) -> R) -> R {
+    fn with_shard<R>(&self, idx: usize, f: impl FnOnce(&mut ShardData) -> R) -> R {
         let shard = &self.shards[idx];
         let t0 = Instant::now();
-        let mut guard = shard.map.lock();
+        let mut guard = shard.data.lock();
         let t1 = Instant::now();
         let r = f(&mut guard);
         drop(guard);
@@ -103,67 +375,147 @@ impl PolyStore {
         r
     }
 
-    /// Point lookup.
-    pub fn get(&self, key: u64) -> Option<u64> {
-        let t0 = Instant::now();
-        let idx = self.shard_of(key);
-        let v = self.with_shard(idx, |m| m.get(&key).copied());
+    /// Books an [`Outcome`]'s cache effects against shard `idx`.
+    fn record_outcome(&self, idx: usize, out: &Outcome, mem: u64) {
         let stats = &self.shards[idx].stats;
-        stats.record_get(v.is_some());
-        stats.record_latency(t0.elapsed().as_nanos() as u64);
-        v
+        if out.evicted > 0 {
+            stats.record_evictions(out.evicted);
+        }
+        if out.expired > 0 {
+            stats.record_expired(out.expired);
+        }
+        stats.set_mem_bytes(mem);
     }
 
-    /// Point insert/update; returns the previous value.
-    pub fn put(&self, key: u64, value: u64) -> Option<u64> {
+    /// Point lookup. An entry past its TTL reads as a miss (and is
+    /// dropped); a hit marks the entry recently used for the CLOCK hand.
+    pub fn get(&self, key: u64) -> Option<Vec<u8>> {
         let t0 = Instant::now();
+        let now = self.now_ns();
         let idx = self.shard_of(key);
-        let prev = self.with_shard(idx, |m| m.insert(key, value));
+        let (out, mem) = self.with_shard(idx, |s| {
+            let out = s.get(key, now);
+            (out, s.slab.mem_bytes())
+        });
+        self.record_outcome(idx, &out, mem);
+        let stats = &self.shards[idx].stats;
+        stats.record_get(out.prev.is_some());
+        stats.record_latency(t0.elapsed().as_nanos() as u64);
+        out.prev
+    }
+
+    /// Point insert/update with the store's default TTL; returns the
+    /// previous live value. Under a memory budget the shard evicts via
+    /// CLOCK until the value fits; a value too large for the whole shard
+    /// budget is refused (the put still removes any old entry).
+    pub fn put(&self, key: u64, value: &[u8]) -> Option<Vec<u8>> {
+        self.put_with_ttl(key, value, None)
+    }
+
+    /// [`put`](PolyStore::put) with an explicit TTL override.
+    pub fn put_with_ttl(&self, key: u64, value: &[u8], ttl: Option<Duration>) -> Option<Vec<u8>> {
+        let t0 = Instant::now();
+        let now = self.now_ns();
+        let expires = self.deadline(ttl);
+        let idx = self.shard_of(key);
+        let budget = self.shard_budget;
+        let (out, mem) = self.with_shard(idx, |s| {
+            let out = s.put(key, value, expires, budget, now);
+            (out, s.slab.mem_bytes())
+        });
+        self.record_outcome(idx, &out, mem);
         let stats = &self.shards[idx].stats;
         stats.record_put();
         stats.record_latency(t0.elapsed().as_nanos() as u64);
-        prev
+        out.prev
     }
 
-    /// Point deletion; returns the removed value.
-    pub fn remove(&self, key: u64) -> Option<u64> {
+    /// Point deletion; returns the removed value (None if absent or
+    /// already expired).
+    pub fn remove(&self, key: u64) -> Option<Vec<u8>> {
         let t0 = Instant::now();
+        let now = self.now_ns();
         let idx = self.shard_of(key);
-        let prev = self.with_shard(idx, |m| m.remove(&key));
+        let (out, mem) = self.with_shard(idx, |s| {
+            let mut out = Outcome::default();
+            if let Some((bytes, exp)) = s.take(key) {
+                if exp <= now {
+                    out.expired += 1;
+                } else {
+                    out.prev = Some(bytes);
+                }
+            }
+            (out, s.slab.mem_bytes())
+        });
+        self.record_outcome(idx, &out, mem);
         let stats = &self.shards[idx].stats;
         stats.record_remove();
         stats.record_latency(t0.elapsed().as_nanos() as u64);
-        prev
+        out.prev
+    }
+
+    /// [`get`](PolyStore::get) decoded as a `u64` — the protocol-v2 view.
+    /// `None` for misses *and* for values that are not exactly 8 bytes.
+    pub fn get_u64(&self, key: u64) -> Option<u64> {
+        decode_u64(self.get(key))
+    }
+
+    /// [`put`](PolyStore::put) of a `u64` in its 8-byte little-endian
+    /// encoding — the protocol-v2 view; returns the previous value when
+    /// it was itself 8 bytes.
+    pub fn put_u64(&self, key: u64, value: u64) -> Option<u64> {
+        decode_u64(self.put(key, &value.to_le_bytes()))
+    }
+
+    /// [`remove`](PolyStore::remove) decoded as a `u64` — the
+    /// protocol-v2 view.
+    pub fn remove_u64(&self, key: u64) -> Option<u64> {
+        decode_u64(self.remove(key))
     }
 
     /// Applies a [`WriteBatch`], taking each touched shard's lock exactly
-    /// once. Writes within a shard land atomically and in batch order.
+    /// once. Writes within a shard land atomically and in batch order;
+    /// puts carry the store's default TTL.
     pub fn apply(&self, batch: &WriteBatch) {
         if batch.is_empty() {
             return;
         }
-        // Bucket ops by shard, preserving order within each shard.
-        let mut by_shard: Vec<Vec<(u64, Option<u64>)>> = vec![Vec::new(); self.shards.len()];
-        for &(key, val) in batch.ops() {
-            by_shard[self.shard_of(key)].push((key, val));
+        let now = self.now_ns();
+        let expires = self.deadline(None);
+        let budget = self.shard_budget;
+        // Bucket ops by shard, preserving order within each shard. A
+        // `None` value is a remove.
+        type ShardOps<'a> = Vec<(u64, Option<&'a [u8]>)>;
+        let mut by_shard: Vec<ShardOps> = vec![Vec::new(); self.shards.len()];
+        for (key, val) in batch.ops() {
+            by_shard[self.shard_of(*key)].push((*key, val.as_deref()));
         }
         for (idx, ops) in by_shard.iter().enumerate() {
             if ops.is_empty() {
                 continue;
             }
             let t0 = Instant::now();
-            self.with_shard(idx, |m| {
+            let (out, mem) = self.with_shard(idx, |s| {
+                let mut out = Outcome::default();
                 for &(key, val) in ops {
                     match val {
                         Some(v) => {
-                            m.insert(key, v);
+                            let o = s.put(key, v, expires, budget, now);
+                            out.evicted += o.evicted;
+                            out.expired += o.expired;
                         }
                         None => {
-                            m.remove(&key);
+                            if let Some((_, exp)) = s.take(key) {
+                                if exp <= now {
+                                    out.expired += 1;
+                                }
+                            }
                         }
                     }
                 }
+                (out, s.slab.mem_bytes())
             });
+            self.record_outcome(idx, &out, mem);
             let stats = &self.shards[idx].stats;
             stats.record_batch();
             for &(_, val) in ops {
@@ -177,23 +529,28 @@ impl PolyStore {
         }
     }
 
-    /// Epoch-guarded scan: visits every entry shard by shard under the
-    /// epoch read lock and returns the epoch the scan observed.
+    /// Epoch-guarded scan: visits every live (unexpired) entry shard by
+    /// shard under the epoch read lock and returns the epoch the scan
+    /// observed. Expired entries are skipped, not dropped — a scan is
+    /// read-shaped and leaves reclamation to point ops and the hand.
     ///
     /// Point writes can proceed concurrently (the scan holds each shard
     /// lock only while copying that shard out), but maintenance
     /// ([`bump_epoch`](PolyStore::bump_epoch)) is excluded for the whole
     /// scan, so all visited shards belong to one epoch.
-    pub fn scan<F: FnMut(u64, u64)>(&self, mut f: F) -> u64 {
+    pub fn scan<F: FnMut(u64, &[u8])>(&self, mut f: F) -> u64 {
         let t0 = Instant::now();
+        let now = self.now_ns();
         let epoch = self.epoch.read();
         for idx in 0..self.shards.len() {
             self.shards[idx].stats.record_scan();
             // Through with_shard so scan-side contention reaches the
             // wait/hold stats (and thus the energy model) too.
-            self.with_shard(idx, |m| {
-                for (&k, &v) in m.iter() {
-                    f(k, v);
+            self.with_shard(idx, |s| {
+                for (&k, e) in s.map.iter() {
+                    if e.expires_at_ns > now {
+                        f(k, s.slab.get(e.handle, e.len as usize));
+                    }
                 }
             });
         }
@@ -203,14 +560,14 @@ impl PolyStore {
         e
     }
 
-    /// Number of entries across all shards (a scan that only counts).
+    /// Number of live entries across all shards (a scan that only counts).
     pub fn len(&self) -> u64 {
         let mut n = 0u64;
         self.scan(|_, _| n += 1);
         n
     }
 
-    /// Whether the store holds no entries.
+    /// Whether the store holds no live entries.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
@@ -234,8 +591,9 @@ impl PolyStore {
         self.shards.iter().map(|s| s.stats.snapshot()).collect()
     }
 
-    /// All shards' stats merged, plus scan service times folded into the
-    /// latency histogram.
+    /// All shards' stats merged (counters summed, `mem_bytes` gauges
+    /// summed into the store-wide residency), plus scan service times
+    /// folded into the latency histogram.
     pub fn total_stats(&self) -> StatsSnapshot {
         let mut total = StatsSnapshot::default();
         for s in &self.shards {
@@ -246,19 +604,28 @@ impl PolyStore {
     }
 }
 
+/// The protocol-v2 value view: exactly 8 little-endian bytes decode,
+/// anything else is `None`.
+fn decode_u64(bytes: Option<Vec<u8>>) -> Option<u64> {
+    let b = bytes?;
+    let arr: [u8; 8] = b.as_slice().try_into().ok()?;
+    Some(u64::from_le_bytes(arr))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn point_ops_round_trip() {
-        let store = PolyStore::new(StoreConfig { shards: 4, lock: LockKind::Ttas });
-        assert_eq!(store.put(1, 10), None);
-        assert_eq!(store.put(1, 11), Some(10));
-        assert_eq!(store.get(1), Some(11));
-        assert_eq!(store.get(2), None);
-        assert_eq!(store.remove(1), Some(11));
-        assert_eq!(store.get(1), None);
+        let store =
+            PolyStore::new(StoreConfig { shards: 4, lock: LockKind::Ttas, ..Default::default() });
+        assert_eq!(store.put_u64(1, 10), None);
+        assert_eq!(store.put_u64(1, 11), Some(10));
+        assert_eq!(store.get_u64(1), Some(11));
+        assert_eq!(store.get_u64(2), None);
+        assert_eq!(store.remove_u64(1), Some(11));
+        assert_eq!(store.get_u64(1), None);
         let t = store.total_stats();
         assert_eq!(t.puts, 2);
         assert_eq!(t.gets, 3);
@@ -269,16 +636,36 @@ mod tests {
     }
 
     #[test]
+    fn byte_values_round_trip_at_any_length() {
+        let store = PolyStore::new(StoreConfig::default());
+        let vals: Vec<Vec<u8>> =
+            [0usize, 1, 8, 100, 4096, 9000].iter().map(|&n| vec![0xAB; n]).collect();
+        for (k, v) in vals.iter().enumerate() {
+            assert_eq!(store.put(k as u64, v), None);
+        }
+        for (k, v) in vals.iter().enumerate() {
+            assert_eq!(store.get(k as u64).as_deref(), Some(v.as_slice()));
+        }
+        // Non-8-byte values are invisible through the u64 view.
+        assert_eq!(store.get_u64(3), None);
+        assert_eq!(store.get_u64(2), Some(u64::from_le_bytes([0xAB; 8])));
+        let total = store.total_stats();
+        assert!(total.mem_bytes >= 4096 + 9000, "gauge tracks residency");
+        assert_eq!(store.mem_bytes(), total.mem_bytes);
+    }
+
+    #[test]
     fn batch_applies_once_per_shard() {
-        let store = PolyStore::new(StoreConfig { shards: 2, lock: LockKind::Mutex });
+        let store =
+            PolyStore::new(StoreConfig { shards: 2, lock: LockKind::Mutex, ..Default::default() });
         let mut batch = WriteBatch::new();
         for k in 0..100 {
-            batch.put(k, k * 2);
+            batch.put_u64(k, k * 2);
         }
         batch.remove(0);
         store.apply(&batch);
-        assert_eq!(store.get(0), None);
-        assert_eq!(store.get(7), Some(14));
+        assert_eq!(store.get_u64(0), None);
+        assert_eq!(store.get_u64(7), Some(14));
         assert_eq!(store.len(), 99);
         let total = store.total_stats();
         assert_eq!(total.puts, 100);
@@ -290,14 +677,18 @@ mod tests {
 
     #[test]
     fn scans_observe_one_epoch() {
-        let store = PolyStore::new(StoreConfig { shards: 8, lock: LockKind::Mutexee });
+        let store = PolyStore::new(StoreConfig {
+            shards: 8,
+            lock: LockKind::Mutexee,
+            ..Default::default()
+        });
         for k in 0..50 {
-            store.put(k, k);
+            store.put_u64(k, k);
         }
         assert_eq!(store.epoch(), 0);
         assert_eq!(store.bump_epoch(), 1);
         let mut seen = 0u64;
-        let epoch = store.scan(|_, v| seen += v);
+        let epoch = store.scan(|_, v| seen += u64::from_le_bytes(v.try_into().unwrap()));
         assert_eq!(epoch, 1);
         assert_eq!(seen, (0..50).sum::<u64>());
         assert_eq!(store.len(), 50);
@@ -308,14 +699,122 @@ mod tests {
 
     #[test]
     fn keys_spread_across_shards() {
-        let store = PolyStore::new(StoreConfig { shards: 8, lock: LockKind::Ticket });
+        let store =
+            PolyStore::new(StoreConfig { shards: 8, lock: LockKind::Ticket, ..Default::default() });
         for k in 0..1024 {
-            store.put(k, k);
+            store.put_u64(k, k);
         }
         let per_shard = store.shard_stats();
         let non_empty = per_shard.iter().filter(|s| s.puts > 0).count();
         assert_eq!(non_empty, 8, "sequential keys must not pile onto one shard");
         let max = per_shard.iter().map(|s| s.puts).max().unwrap();
         assert!(max < 1024 / 2, "one shard absorbed {max} of 1024 puts");
+    }
+
+    #[test]
+    fn ttl_expires_entries() {
+        let store = PolyStore::new(StoreConfig {
+            shards: 2,
+            default_ttl: Some(Duration::from_secs(60)),
+            ..Default::default()
+        });
+        store.put(1, b"soon gone");
+        store.put_with_ttl(2, b"stays", Some(Duration::from_secs(3600)));
+        assert_eq!(store.get(1).as_deref(), Some(&b"soon gone"[..]));
+        store.advance_clock(Duration::from_secs(61));
+        assert_eq!(store.get(1), None, "default-TTL entry expired");
+        assert_eq!(store.get(2).as_deref(), Some(&b"stays"[..]), "override outlives default");
+        assert_eq!(store.len(), 1);
+        let total = store.total_stats();
+        assert_eq!(total.expired, 1);
+        assert_eq!(total.get_hits, 2);
+        assert_eq!(total.gets, 3);
+        // The expired entry's bytes were reclaimed on contact.
+        assert_eq!(store.mem_bytes(), Slab::block_size(5) as u64);
+    }
+
+    #[test]
+    fn clock_eviction_respects_budget_and_references() {
+        // One shard, room for exactly 4 blocks of the 64-byte class.
+        let store = PolyStore::new(StoreConfig {
+            shards: 1,
+            mem_budget: Some(4 * 64),
+            ..Default::default()
+        });
+        for k in 0..4u64 {
+            store.put(k, &[k as u8; 64]);
+        }
+        assert_eq!(store.mem_bytes(), 4 * 64);
+        // Touch keys 0 and 1: the hand must pass them over once.
+        store.get(0);
+        store.get(1);
+        store.put(4, &[4; 64]);
+        assert_eq!(store.mem_bytes(), 4 * 64, "budget holds after eviction");
+        assert_eq!(store.total_stats().evictions, 1);
+        // Key 2 was the first unreferenced entry at the hand.
+        assert_eq!(store.get(2), None, "unreferenced entry evicted first");
+        assert!(store.get(0).is_some() && store.get(1).is_some(), "referenced entries survive");
+        // Keep inserting: the budget is never exceeded.
+        for k in 5..40u64 {
+            store.put(k, &[k as u8; 64]);
+            assert!(store.mem_bytes() <= 4 * 64);
+        }
+        assert!(store.total_stats().evictions >= 36);
+    }
+
+    #[test]
+    fn oversized_values_are_refused() {
+        let store =
+            PolyStore::new(StoreConfig { shards: 1, mem_budget: Some(256), ..Default::default() });
+        store.put(1, &[1; 32]);
+        assert_eq!(store.put(2, &[2; 1000]), None, "value larger than the shard budget");
+        assert_eq!(store.get(2), None);
+        assert_eq!(store.get(1).as_deref(), Some(&[1u8; 32][..]), "small neighbor untouched");
+        // An oversized overwrite still removes (and returns) the old value.
+        assert_eq!(store.put(1, &[9; 1000]).as_deref(), Some(&[1u8; 32][..]));
+        assert_eq!(store.get(1), None);
+        assert_eq!(store.mem_bytes(), 0);
+        assert_eq!(store.total_stats().evictions, 0, "refusal is not eviction");
+    }
+
+    #[test]
+    fn eviction_churn_stays_consistent() {
+        // Zipf-less torture loop: heavy overwrite + remove churn under a
+        // small budget, checking residency and the budget invariant.
+        let store = PolyStore::new(StoreConfig {
+            shards: 4,
+            mem_budget: Some(4 * 1024),
+            default_ttl: Some(Duration::from_secs(5)),
+            ..Default::default()
+        });
+        let mut state = 0x1234_5678_u64;
+        for i in 0..5_000u64 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let key = state >> 48;
+            match state % 5 {
+                0 => {
+                    store.get(key);
+                }
+                4 => {
+                    store.remove(key);
+                }
+                _ => {
+                    let len = 1 + (state >> 16) as usize % 300;
+                    store.put(key, &vec![(key & 0xFF) as u8; len]);
+                }
+            }
+            if i % 700 == 0 {
+                // Jump past the TTL: everything resident expires in place,
+                // so the next room-making sweep reclaims by expiry, not
+                // eviction.
+                store.advance_clock(Duration::from_secs(6));
+            }
+            assert!(store.mem_bytes() <= 4 * 1024, "budget busted at step {i}");
+        }
+        let total = store.total_stats();
+        assert!(total.evictions > 0);
+        assert!(total.expired > 0);
+        // The gauge in the merged snapshot equals true residency.
+        assert_eq!(total.mem_bytes, store.mem_bytes());
     }
 }

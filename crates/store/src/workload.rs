@@ -132,13 +132,74 @@ impl KeySampler {
     }
 }
 
+/// How value sizes are drawn for puts — the §6 Memcached item-size knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValueDist {
+    /// Every value exactly this many bytes. `Fixed(8)` is the legacy
+    /// `u64`-value shape every pre-cache family keeps.
+    Fixed(u32),
+    /// Exponentially distributed lengths (mean in bytes), clamped to
+    /// `[1, cap]` — the skewed small-item shape of a Memcached item
+    /// population.
+    Exp {
+        /// Mean length, bytes.
+        mean: u32,
+        /// Hard upper clamp, bytes.
+        cap: u32,
+    },
+}
+
+impl ValueDist {
+    /// Draws one value length.
+    pub fn sample(&self, rng: &mut Rng64) -> u32 {
+        match *self {
+            ValueDist::Fixed(n) => n,
+            ValueDist::Exp { mean, cap } => {
+                // Inverse-CDF: -mean * ln(1 - u); u < 1 keeps it finite.
+                let v = -f64::from(mean) * (1.0 - rng.next_f64()).ln();
+                (v as u32).clamp(1, cap.max(1))
+            }
+        }
+    }
+
+    /// Expected length in bytes (the Exp mean is taken pre-clamp, close
+    /// enough for sizing work models and prefill).
+    pub fn mean_bytes(&self) -> u32 {
+        match *self {
+            ValueDist::Fixed(n) => n,
+            ValueDist::Exp { mean, cap } => mean.min(cap),
+        }
+    }
+
+    /// Label segment (`""` for the legacy `Fixed(8)`, `v<n>` for fixed,
+    /// `ve<mean>c<cap>` for exponential).
+    fn label(&self) -> String {
+        match *self {
+            ValueDist::Fixed(8) => String::new(),
+            ValueDist::Fixed(n) => format!("v{n}"),
+            ValueDist::Exp { mean, cap } => format!("ve{mean}c{cap}"),
+        }
+    }
+
+    fn parse_segment(s: &str) -> Option<ValueDist> {
+        let body = s.strip_prefix('v')?;
+        if let Some(exp) = body.strip_prefix('e') {
+            let (mean, cap) = exp.split_once('c')?;
+            Some(ValueDist::Exp { mean: mean.parse().ok()?, cap: cap.parse().ok()? })
+        } else {
+            Some(ValueDist::Fixed(body.parse().ok()?))
+        }
+    }
+}
+
 /// One sampled client operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum KvOp {
     /// Point lookup of a key.
     Get(u64),
-    /// Point write of a key.
-    Put(u64, u64),
+    /// Point write of a key: the driver synthesizes this many value
+    /// bytes deterministically from the key.
+    Put(u64, u32),
     /// Point removal of a key.
     Remove(u64),
     /// Full scan.
@@ -168,6 +229,8 @@ pub struct KvMix {
     pub scan_pct: u32,
     /// Write-batch size (0 or 1 = unbatched writes).
     pub batch: usize,
+    /// Value-length distribution for puts.
+    pub value: ValueDist,
 }
 
 impl KvMix {
@@ -182,6 +245,7 @@ impl KvMix {
             remove_pct: 2,
             scan_pct: 0,
             batch: 0,
+            value: ValueDist::Fixed(8),
         }
     }
 
@@ -197,6 +261,7 @@ impl KvMix {
             remove_pct: 3,
             scan_pct: 2,
             batch: 0,
+            value: ValueDist::Fixed(8),
         }
     }
 
@@ -212,6 +277,7 @@ impl KvMix {
             remove_pct: 1,
             scan_pct: 30,
             batch: 0,
+            value: ValueDist::Fixed(8),
         }
     }
 
@@ -227,7 +293,34 @@ impl KvMix {
             remove_pct: 10,
             scan_pct: 2,
             batch: 32,
+            value: ValueDist::Fixed(8),
         }
+    }
+
+    /// The Memcached-style cache family (§6): hot Zipf keys, get/put
+    /// only, exponentially distributed item sizes — the workload the
+    /// simulator's `memcached-mix` cell models, now runnable natively
+    /// with TTL/CLOCK eviction. `put_pct` sets the write share (gets
+    /// take the rest).
+    pub fn cache(put_pct: u32) -> Self {
+        Self {
+            shards: 16,
+            keys: 16_384,
+            dist: KeyDist::Zipf { skew_milli: 1_000 },
+            get_pct: 100 - put_pct.min(100),
+            put_pct: put_pct.min(100),
+            remove_pct: 0,
+            scan_pct: 0,
+            batch: 0,
+            value: ValueDist::Exp { mean: 256, cap: 4_096 },
+        }
+    }
+
+    /// Returns the mix with a different value-length distribution.
+    #[must_use]
+    pub fn with_value(mut self, value: ValueDist) -> Self {
+        self.value = value;
+        self
     }
 
     /// Returns the mix with a different shard count.
@@ -261,7 +354,9 @@ impl KvMix {
     }
 
     /// Short stable label for reports:
-    /// `kv/<shards>sh/<dist>/g<get>p<put>d<del>s<scan>[/b<batch>]`.
+    /// `kv/<shards>sh/<dist>/g<get>p<put>d<del>s<scan>[/v<bytes>|/ve<mean>c<cap>][/b<batch>]`.
+    /// The value segment is omitted for the legacy `Fixed(8)` shape, so
+    /// every pre-cache family's label is byte-identical to before.
     pub fn label(&self) -> String {
         let mut l = format!(
             "kv/{}sh/{}/g{}p{}d{}s{}",
@@ -272,6 +367,11 @@ impl KvMix {
             self.remove_pct,
             self.scan_pct
         );
+        let v = self.value.label();
+        if !v.is_empty() {
+            l.push('/');
+            l.push_str(&v);
+        }
         if self.batch > 1 {
             l.push_str(&format!("/b{}", self.batch));
         }
@@ -296,7 +396,16 @@ impl KvMix {
             z => KeyDist::Zipf { skew_milli: z.strip_prefix('z')?.parse().ok()? },
         };
         let mix_part = parts.next()?;
-        let batch = match parts.next() {
+        let mut next = parts.next();
+        let value = match next {
+            Some(seg) if seg.starts_with('v') => {
+                let v = ValueDist::parse_segment(seg)?;
+                next = parts.next();
+                v
+            }
+            _ => ValueDist::Fixed(8),
+        };
+        let batch = match next {
             Some(b) => b.strip_prefix('b')?.parse().ok()?,
             None => 0,
         };
@@ -317,6 +426,7 @@ impl KvMix {
             remove_pct: remove.parse().ok()?,
             scan_pct: scan.parse().ok()?,
             batch,
+            value,
         })
     }
 
@@ -327,7 +437,7 @@ impl KvMix {
         if roll < self.get_pct {
             KvOp::Get(key)
         } else if roll < self.get_pct + self.put_pct {
-            KvOp::Put(key, rng.next_u64())
+            KvOp::Put(key, self.value.sample(rng))
         } else if roll < self.get_pct + self.put_pct + self.remove_pct {
             KvOp::Remove(key)
         } else {
@@ -367,8 +477,15 @@ mod tests {
 
     #[test]
     fn presets_validate() {
-        for mix in [KvMix::uniform(), KvMix::zipf_hot(), KvMix::scan_heavy(), KvMix::write_burst()]
-        {
+        for mix in [
+            KvMix::uniform(),
+            KvMix::zipf_hot(),
+            KvMix::scan_heavy(),
+            KvMix::write_burst(),
+            KvMix::cache(10),
+            KvMix::cache(50),
+            KvMix::cache(90),
+        ] {
             mix.validate().unwrap();
             assert!(mix.label().starts_with("kv/"));
         }
@@ -413,6 +530,9 @@ mod tests {
             KvMix::zipf_hot(),
             KvMix::scan_heavy(),
             KvMix::write_burst(),
+            KvMix::cache(50),
+            KvMix::cache(50).with_value(ValueDist::Fixed(100)),
+            KvMix { batch: 16, ..KvMix::cache(90) },
             // batch 0 and 1 both mean "unbatched" and share a label; the
             // parse lands on the canonical 0.
             batch_one,
@@ -424,9 +544,42 @@ mod tests {
             let canonical = KvMix { batch: if mix.batch <= 1 { 0 } else { mix.batch }, ..mix };
             assert_eq!(KvMix { keys: mix.keys, ..parsed }, canonical);
         }
-        for bad in ["", "kv", "kv/32sh", "kv/32sh/uni/g80p18d2", "zipf-kv/64b/s1200", "kv/xsh"] {
+        for bad in [
+            "",
+            "kv",
+            "kv/32sh",
+            "kv/32sh/uni/g80p18d2",
+            "zipf-kv/64b/s1200",
+            "kv/xsh",
+            "kv/32sh/uni/g80p18d2s0/vx",
+            "kv/32sh/uni/g80p18d2s0/ve256",
+            "kv/32sh/uni/g80p18d2s0/ve256c",
+            "kv/32sh/uni/g80p18d2s0/v100/b8/extra",
+        ] {
             assert!(KvMix::parse_label(bad).is_none(), "{bad:?} must not parse");
         }
+        // The legacy Fixed(8) shape is the absent segment; an explicit
+        // /v8 still parses but re-labels canonically (like batch 0/1).
+        let v8 = KvMix::parse_label("kv/32sh/uni/g80p18d2s0/v8").unwrap();
+        assert_eq!(v8.value, ValueDist::Fixed(8));
+        assert_eq!(v8.label(), "kv/32sh/uni/g80p18d2s0");
+    }
+
+    #[test]
+    fn value_lengths_follow_the_distribution() {
+        let mut rng = Rng64::new(11);
+        assert_eq!(ValueDist::Fixed(100).sample(&mut rng), 100);
+        let dist = ValueDist::Exp { mean: 256, cap: 4_096 };
+        let n = 4_000u32;
+        let mut sum = 0u64;
+        for _ in 0..n {
+            let len = dist.sample(&mut rng);
+            assert!((1..=4_096).contains(&len));
+            sum += u64::from(len);
+        }
+        let mean = sum as f64 / f64::from(n);
+        assert!((200.0..320.0).contains(&mean), "observed mean {mean}");
+        assert_eq!(dist.mean_bytes(), 256);
     }
 
     #[test]

@@ -17,7 +17,11 @@ fn host_threads() -> usize {
 #[test]
 fn unmetered_runs_stay_model_only() {
     let mix = KvMix { keys: 2_048, ..KvMix::uniform() }.with_shards(4);
-    let store = PolyStore::new(StoreConfig { shards: mix.shards, lock: LockKind::Mutexee });
+    let store = PolyStore::new(StoreConfig {
+        shards: mix.shards,
+        lock: LockKind::Mutexee,
+        ..Default::default()
+    });
     let r = run_load(&store, &LoadSpec::saturating(mix, 1, 500, 3));
     assert_eq!(r.energy_source, EnergySource::Modeled);
     assert!(r.measured.is_none());
@@ -40,7 +44,11 @@ fn metered_run_reports_measured_joules_with_wraparound() {
     let sampler = RaplSampler::probe_at(fake.root(), Duration::from_millis(2)).unwrap().unwrap();
 
     let mix = KvMix { keys: 2_048, ..KvMix::uniform() }.with_shards(4);
-    let store = PolyStore::new(StoreConfig { shards: mix.shards, lock: LockKind::Mutexee });
+    let store = PolyStore::new(StoreConfig {
+        shards: mix.shards,
+        lock: LockKind::Mutexee,
+        ..Default::default()
+    });
     let svc = Metered::new(&store, &sampler);
 
     // Mutator: burns a steady 10 uJ per 500 us tick until told to stop,
@@ -95,7 +103,11 @@ fn prefill_energy_is_excluded_from_the_window() {
     // Burn "warmup energy" before the run; nothing burns during it.
     fake.advance(0, 7_000_000);
     let mix = KvMix { keys: 512, ..KvMix::uniform() }.with_shards(2);
-    let store = PolyStore::new(StoreConfig { shards: mix.shards, lock: LockKind::Mutex });
+    let store = PolyStore::new(StoreConfig {
+        shards: mix.shards,
+        lock: LockKind::Mutex,
+        ..Default::default()
+    });
     let svc = Metered::new(&store, &sampler);
     let r = run_load_on(&svc, &LoadSpec::saturating(mix, 1, 200, 9));
     let m = r.measured.expect("metered");

@@ -24,7 +24,7 @@ fn concurrent_put_get_consistency() {
     let keys_per_writer = 64u64;
     let rounds = 30u64;
     for lock in [LockKind::Mutexee, LockKind::Ttas, LockKind::Mcs] {
-        let store = PolyStore::new(StoreConfig { shards: 8, lock });
+        let store = PolyStore::new(StoreConfig { shards: 8, lock, ..Default::default() });
         std::thread::scope(|s| {
             for w in 0..writers as u64 {
                 let store = &store;
@@ -33,7 +33,7 @@ fn concurrent_put_get_consistency() {
                         for k in 0..keys_per_writer {
                             let key = w * keys_per_writer + k;
                             // Value encodes owner and round: verifiable.
-                            store.put(key, w * 1_000_000 + round);
+                            store.put_u64(key, w * 1_000_000 + round);
                         }
                     }
                 });
@@ -44,7 +44,7 @@ fn concurrent_put_get_consistency() {
                 for _ in 0..(rounds * keys_per_writer) {
                     let key = rng.below(writers as u64 * keys_per_writer);
                     let owner = key / keys_per_writer;
-                    if let Some(v) = store.get(key) {
+                    if let Some(v) = store.get_u64(key) {
                         let (seen_owner, round) = (v / 1_000_000, v % 1_000_000);
                         assert_eq!(seen_owner, owner, "{}: foreign write leaked in", lock.label());
                         assert!(
@@ -61,7 +61,7 @@ fn concurrent_put_get_consistency() {
             for k in 0..keys_per_writer {
                 let key = w * keys_per_writer + k;
                 assert_eq!(
-                    store.get(key),
+                    store.get_u64(key),
                     Some(w * 1_000_000 + rounds),
                     "{}: key {key} lost its final write",
                     lock.label()
@@ -77,9 +77,10 @@ fn concurrent_put_get_consistency() {
 /// the epoch can never advance mid-scan.
 #[test]
 fn epoch_bump_excludes_scans() {
-    let store = PolyStore::new(StoreConfig { shards: 4, lock: LockKind::Mutexee });
+    let store =
+        PolyStore::new(StoreConfig { shards: 4, lock: LockKind::Mutexee, ..Default::default() });
     for k in 0..256 {
-        store.put(k, 1);
+        store.put_u64(k, 1);
     }
     std::thread::scope(|s| {
         let bumper = s.spawn(|| {
@@ -151,7 +152,11 @@ fn zipf_sampler_distribution() {
 #[test]
 fn mixed_service_smoke() {
     let mix = KvMix::write_burst().with_shards(4);
-    let store = PolyStore::new(StoreConfig { shards: mix.shards, lock: LockKind::Mutex });
+    let store = PolyStore::new(StoreConfig {
+        shards: mix.shards,
+        lock: LockKind::Mutex,
+        ..Default::default()
+    });
     let threads = host_threads().min(3);
     let r = run_load(&store, &LoadSpec::saturating(mix, threads, 1_500, 2026));
     assert_eq!(r.ops, threads as u64 * 1_500);
@@ -160,7 +165,7 @@ fn mixed_service_smoke() {
     // Maintenance interleaves fine after the run.
     store.bump_epoch();
     let mut batch = WriteBatch::new();
-    batch.put(u64::MAX, 7);
+    batch.put_u64(u64::MAX, 7);
     store.apply(&batch);
-    assert_eq!(store.get(u64::MAX), Some(7));
+    assert_eq!(store.get_u64(u64::MAX), Some(7));
 }

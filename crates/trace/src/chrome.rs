@@ -113,6 +113,7 @@ mod tests {
             dram_uj: 0,
             measured: true,
             freq_khz: None,
+            ..WindowSample::default()
         }
     }
 

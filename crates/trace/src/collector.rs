@@ -298,7 +298,11 @@ mod tests {
     #[test]
     fn traced_run_windows_sum_to_the_aggregate() {
         let mix = KvMix::uniform().with_shards(4);
-        let store = PolyStore::new(StoreConfig { shards: mix.shards, lock: LockKind::Mutexee });
+        let store = PolyStore::new(StoreConfig {
+            shards: mix.shards,
+            lock: LockKind::Mutexee,
+            ..Default::default()
+        });
         // Paced so the run spans several windows deterministically-ish:
         // 400 ops at 4000/s per thread ≈ 100 ms against 10 ms windows.
         let spec = LoadSpec {
@@ -336,7 +340,11 @@ mod tests {
             RaplSampler::probe_at(fake.root(), Duration::from_millis(1)).unwrap().unwrap(),
         );
         let mix = KvMix::uniform().with_shards(2);
-        let store = PolyStore::new(StoreConfig { shards: mix.shards, lock: LockKind::Ttas });
+        let store = PolyStore::new(StoreConfig {
+            shards: mix.shards,
+            lock: LockKind::Ttas,
+            ..Default::default()
+        });
         let svc = Metered::new(&store, &sampler);
         let spec = LoadSpec {
             rate_ops_s: Some(3_000),
@@ -372,7 +380,11 @@ mod tests {
 
     #[test]
     fn store_collector_watches_a_serving_store() {
-        let store = Arc::new(PolyStore::new(StoreConfig { shards: 4, lock: LockKind::Mutex }));
+        let store = Arc::new(PolyStore::new(StoreConfig {
+            shards: 4,
+            lock: LockKind::Mutex,
+            ..Default::default()
+        }));
         let mut collector =
             StoreCollector::spawn(Arc::clone(&store), None, Duration::from_millis(5), 64, None);
         let deadline = Instant::now() + Duration::from_secs(10);
@@ -380,7 +392,7 @@ mod tests {
         // Drive ops until at least three windows landed.
         while collector.ring().pushed() < 3 {
             assert!(Instant::now() < deadline, "collector produced no windows");
-            store.put(key, key);
+            store.put_u64(key, key);
             store.get(key);
             key += 1;
         }

@@ -33,7 +33,7 @@
 //! use poly_trace::{run_load_traced, TraceSpec};
 //!
 //! let mix = KvMix::uniform().with_shards(4);
-//! let store = PolyStore::new(StoreConfig { shards: mix.shards, lock: LockKind::Mutexee });
+//! let store = PolyStore::new(StoreConfig { shards: mix.shards, lock: LockKind::Mutexee, ..Default::default() });
 //! let spec = LoadSpec { rate_ops_s: Some(5_000), ..LoadSpec::saturating(mix, 2, 250, 42) };
 //! let (report, windows) =
 //!     run_load_traced(&store, &spec, &TraceSpec::new(Duration::from_millis(10)));

@@ -201,6 +201,10 @@ mod tests {
                 dram_uj: 9 * i,
                 measured: false,
                 freq_khz: Some(10 * i),
+                gets: 11 * i,
+                get_hits: 12 * i,
+                evictions: 13 * i,
+                mem_bytes: 14 * i,
             }
         }
 

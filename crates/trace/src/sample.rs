@@ -2,7 +2,7 @@
 
 /// Number of `u64` words a [`WindowSample`] encodes to — the unit the
 /// lock-free ring stores and the STATS v2 frame carries.
-pub const WORDS: usize = 12;
+pub const WORDS: usize = 16;
 
 /// One window of a run's telemetry: what happened between two collector
 /// ticks.
@@ -42,6 +42,15 @@ pub struct WindowSample {
     pub measured: bool,
     /// Frequency cap in force during the window, kHz (`None` = base).
     pub freq_khz: Option<u64>,
+    /// GET requests served in the window.
+    pub gets: u64,
+    /// GET requests that found a live (unexpired) entry in the window.
+    pub get_hits: u64,
+    /// Entries evicted by the CLOCK hand in the window.
+    pub evictions: u64,
+    /// Resident value bytes at window close (a gauge, unlike the other
+    /// fields — it reports where the cache ended, not what it did).
+    pub mem_bytes: u64,
 }
 
 impl WindowSample {
@@ -86,6 +95,12 @@ impl WindowSample {
         Some((self.pkg_uj + self.dram_uj) as f64 * 1e-6 / (d as f64 * 1e-9))
     }
 
+    /// GET hit rate over the window as a percentage, `None` before the
+    /// first GET (a window with no lookups has no hit rate, not a 0% one).
+    pub fn hit_pct(&self) -> Option<f64> {
+        (self.gets > 0).then(|| self.get_hits as f64 * 100.0 / self.gets as f64)
+    }
+
     /// Lock-wait share of the window: thread-seconds spent waiting per
     /// wall-clock second (0..=threads — exceeds 1.0 when more than one
     /// thread waits at once). 0 for a degenerate window.
@@ -114,6 +129,10 @@ impl WindowSample {
             self.dram_uj,
             u64::from(self.measured),
             self.freq_khz.unwrap_or(u64::MAX),
+            self.gets,
+            self.get_hits,
+            self.evictions,
+            self.mem_bytes,
         ]
     }
 
@@ -134,6 +153,10 @@ impl WindowSample {
             dram_uj: w[9],
             measured: w[10] != 0,
             freq_khz: (w[11] != u64::MAX).then_some(w[11]),
+            gets: w[12],
+            get_hits: w[13],
+            evictions: w[14],
+            mem_bytes: w[15],
         }
     }
 }
@@ -156,6 +179,10 @@ mod tests {
             dram_uj: 250_000,
             measured: true,
             freq_khz: Some(1_200_000),
+            gets: 8_000,
+            get_hits: 6_000,
+            evictions: 40,
+            mem_bytes: 1 << 20,
         }
     }
 
@@ -182,6 +209,8 @@ mod tests {
         // 1.75 J over 50 ms = 35 W.
         assert!((s.watts().unwrap() - 35.0).abs() < 1e-9);
         assert!((s.lock_wait_share() - 0.18).abs() < 1e-12);
+        assert_eq!(s.hit_pct(), Some(75.0));
+        assert_eq!(WindowSample { gets: 0, ..s }.hit_pct(), None, "no lookups, no hit rate");
     }
 
     #[test]

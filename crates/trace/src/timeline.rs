@@ -67,6 +67,14 @@ pub struct TimelineRow {
     pub measured_w: Option<f64>,
     /// Frequency cap in force, kHz.
     pub freq_khz: Option<u64>,
+    /// Resident value bytes at window close (`None` for emitters without
+    /// a byte-value store — e.g. simulated cells).
+    pub mem_bytes: Option<u64>,
+    /// GET hit rate over the window, percent (`None` when the window saw
+    /// no GETs, or for emitters without one).
+    pub hit_pct: Option<f64>,
+    /// Entries evicted by the CLOCK hand in the window.
+    pub evictions: Option<u64>,
 }
 
 impl TimelineRow {
@@ -87,6 +95,9 @@ impl TimelineRow {
             measured_dram_j: w.dram_j(),
             measured_w: w.watts(),
             freq_khz: w.freq_khz,
+            mem_bytes: Some(w.mem_bytes),
+            hit_pct: w.hit_pct(),
+            evictions: Some(w.evictions),
         }
     }
 
@@ -114,6 +125,9 @@ impl TimelineRow {
             Value::OptF64(self.measured_dram_j),
             Value::OptF64(self.measured_w),
             Value::OptU64(self.freq_khz),
+            Value::OptU64(self.mem_bytes),
+            Value::OptF64(self.hit_pct),
+            Value::OptU64(self.evictions),
         ])
     }
 }
@@ -162,6 +176,10 @@ mod tests {
             dram_uj: 0,
             measured: true,
             freq_khz: Some(1_200_000),
+            gets: 4_000,
+            get_hits: 3_000,
+            evictions: 12,
+            mem_bytes: 65_536,
         };
         let line = TimelineRow::from_window(&w).to_json(&cell());
         assert_eq!(
@@ -172,7 +190,7 @@ mod tests {
              \"start_ns\":100000000,\"end_ns\":150000000,\"ops\":5000,\"throughput\":100000,\
              \"p50_ns\":1024,\"p99_ns\":8192,\"lock_wait_ns\":3000000,\"lock_hold_ns\":1000000,\
              \"measured_pkg_j\":2,\"measured_dram_j\":0,\"measured_w\":40,\
-             \"freq_khz\":1200000}"
+             \"freq_khz\":1200000,\"mem_bytes\":65536,\"hit_pct\":75,\"evictions\":12}"
         );
     }
 
@@ -184,6 +202,8 @@ mod tests {
         assert!(line.contains("\"measured_w\":null,\"freq_khz\":null"));
         // Native rows always window latencies (0 when no samples).
         assert!(line.contains("\"p50_ns\":0,\"p99_ns\":0"));
+        // A window with no GETs has no hit rate; the gauges still render.
+        assert!(line.contains("\"mem_bytes\":0,\"hit_pct\":null,\"evictions\":0"));
     }
 
     #[test]

@@ -101,6 +101,12 @@ impl Windower {
             dram_uj,
             measured: is_measured,
             freq_khz: self.freq_khz,
+            gets: ws.gets,
+            get_hits: ws.get_hits,
+            evictions: ws.evictions,
+            // delta() carries the closing snapshot's gauge, so this is
+            // residency at window close.
+            mem_bytes: ws.mem_bytes,
         };
         self.window += 1;
         self.last_ns = sample.end_ns;
@@ -139,6 +145,10 @@ mod tests {
             hist.record(ns);
         }
         stats.record_lock(7_000, 2_000);
+        stats.record_get(true);
+        stats.record_get(false);
+        stats.record_evictions(2);
+        stats.set_mem_bytes(4_096);
         let s0 =
             w.tick(50_000_000, 3, hist.snapshot(), stats.snapshot(), Some(reading(1_030, 103)));
         assert_eq!(s0.window, 0);
@@ -151,6 +161,9 @@ mod tests {
         // p99 reflects the slow sample's bucket, p50 the fast ones'.
         assert!(s0.p50_ns <= 1_024, "p50 {}", s0.p50_ns);
         assert!(s0.p99_ns >= 32_768, "p99 {}", s0.p99_ns);
+        assert_eq!((s0.gets, s0.get_hits, s0.evictions), (2, 1, 2));
+        assert_eq!(s0.mem_bytes, 4_096);
+        assert_eq!(s0.hit_pct(), Some(50.0));
 
         // Window 1: one fast op only — percentiles must forget window
         // 0's slow sample (windowed, not cumulative).
@@ -164,6 +177,10 @@ mod tests {
         assert!(s1.p99_ns <= 1_024, "window 1 p99 {} still sees window 0's tail", s1.p99_ns);
         assert_eq!((s1.pkg_uj, s1.dram_uj), (10, 1));
         assert_eq!(s1.lock_wait_ns, 100);
+        // Cache counters are windowed too; the residency gauge persists.
+        assert_eq!((s1.gets, s1.evictions), (0, 0));
+        assert_eq!(s1.hit_pct(), None);
+        assert_eq!(s1.mem_bytes, 4_096);
     }
 
     #[test]

@@ -14,7 +14,7 @@ fn main() {
     let mix = KvMix::zipf_hot().with_shards(16);
     println!("native poly-store, {} ({} threads, {} shards):", mix.label(), threads, mix.shards);
     for lock in [LockKind::Mutex, LockKind::Ticket, LockKind::Mutexee] {
-        let store = PolyStore::new(StoreConfig { shards: mix.shards, lock });
+        let store = PolyStore::new(StoreConfig { shards: mix.shards, lock, ..Default::default() });
         let r = run_load(&store, &LoadSpec::saturating(mix, threads, 20_000, 42));
         println!(
             "{:>8}: {:6.2} Mops/s  p99 {:>7} ns  wait {:>6.1} ms  {:6.1} W (modeled)  {:7.2} uJ/op",
@@ -28,15 +28,17 @@ fn main() {
     }
 
     // --- Epoch-guarded maintenance and batched writes ------------------
-    let store = PolyStore::new(StoreConfig { shards: 8, lock: LockKind::Mutexee });
+    let store =
+        PolyStore::new(StoreConfig { shards: 8, lock: LockKind::Mutexee, ..Default::default() });
     let mut batch = WriteBatch::new();
     for k in 0..1_000 {
-        batch.put(k, k * k);
+        batch.put_u64(k, k * k);
     }
     store.apply(&batch); // one lock acquisition per shard
     let epoch = store.bump_epoch(); // waits out in-flight scans
     let mut sum = 0u64;
-    let seen_at = store.scan(|_, v| sum += v);
+    let seen_at =
+        store.scan(|_, v| sum += u64::from_le_bytes(v[..8].try_into().expect("u64 value")));
     println!(
         "\nbatched 1000 puts across 8 shards ({} batches), scan at epoch {seen_at}/{epoch}: \
          sum {sum}",
