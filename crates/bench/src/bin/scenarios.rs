@@ -271,6 +271,9 @@ fn emit_timeline(cells: &[ScenarioSpec], reports: &[poly_scenarios::CellReport],
             mem_bytes: None,
             hit_pct: None,
             evictions: None,
+            // ... and no per-shard heat sensor either.
+            shard_skew: None,
+            top_shard_pct: None,
         };
         writeln!(w, "{}", row.to_json(&cell))
     });

@@ -35,8 +35,8 @@ use poly_store::{
     run_load, run_load_on, KvMix, LoadReport, LoadSpec, Metered, PolyStore, StoreConfig,
 };
 use poly_trace::{
-    run_load_traced, write_timeline, ChromeTrace, StoreCollector, TimelineCell, TraceSpec,
-    WindowSample,
+    run_load_traced, shard_skew, top_shard_pct, write_heat, write_timeline_with_heat, ChromeTrace,
+    HeatSample, StoreCollector, TimelineCell, TraceSpec, WindowSample,
 };
 
 fn usage() -> ! {
@@ -49,6 +49,9 @@ fn usage() -> ! {
          \x20 sweep [options]              run a cross product of cells\n\
          \x20 serve [options]              serve a store over TCP until stdin closes\n\
          \x20 top <addr> [options]         live view of a serving store (STATS v2)\n\
+         \x20 heat <addr> [options]        live per-shard heat map of a serving store\n\
+         \x20                              (STATS heat; degrades to the aggregate view\n\
+         \x20                              against pre-heat servers)\n\
          \x20 calibrate <sweep.jsonl>      per-frequency measured/modeled residual table\n\
          \n\
          options (run and sweep):\n\
@@ -98,7 +101,13 @@ fn usage() -> ! {
          \x20 --timeline FILE              write per-window rows as timeline JSONL (needs\n\
          \x20                              --trace-interval)\n\
          \x20 --chrome-trace FILE          write the windows as a chrome://tracing JSON\n\
-         \x20                              document (needs --trace-interval)\n\
+         \x20                              document (needs --trace-interval); with --heat,\n\
+         \x20                              one extra track per shard\n\
+         \x20 --heat FILE                  write per-shard heat windows (ops, lock ns,\n\
+         \x20                              evictions, hot keys, skew) as JSONL, one row per\n\
+         \x20                              shard per window (needs --trace-interval); the\n\
+         \x20                              sensor is a store-side collector, so its windows\n\
+         \x20                              also cover the prefill phase\n\
          \n\
          options (sweep only):\n\
          \x20 --scenarios n1,n2 | all      kv scenarios to sweep (default: all kv)\n\
@@ -111,7 +120,7 @@ fn usage() -> ! {
          \x20 --freq K                     cap the host at K kHz while serving (restored at\n\
          \x20                              shutdown)\n\
          \n\
-         options (top only):\n\
+         options (top and heat only):\n\
          \x20 --frames N                   refresh N times then exit (default: 0 = forever)\n\
          \n\
          options (calibrate only):\n\
@@ -180,6 +189,9 @@ struct Options {
     timeline: Option<String>,
     /// `--chrome-trace FILE`: chrome://tracing export of the windows.
     chrome_out: Option<String>,
+    /// `--heat FILE`: per-shard heat JSONL sink (one row per shard per
+    /// window, hot-key sketches nested).
+    heat: Option<String>,
     /// `--frames N` (top): refresh N times then exit; 0 = forever.
     frames: u64,
     /// `--value-bytes N`: override the mix's value-size distribution
@@ -261,6 +273,7 @@ fn parse_options(args: &[String]) -> Options {
         trace_interval: None,
         timeline: None,
         chrome_out: None,
+        heat: None,
         frames: 0,
         value_bytes: None,
         ttl: None,
@@ -359,6 +372,7 @@ fn parse_options(args: &[String]) -> Options {
             }
             "--timeline" => opts.timeline = Some(value().to_string()),
             "--chrome-trace" => opts.chrome_out = Some(value().to_string()),
+            "--heat" => opts.heat = Some(value().to_string()),
             "--frames" => {
                 opts.frames = value().parse().unwrap_or_else(|_| fail("bad --frames".into()));
             }
@@ -396,8 +410,12 @@ fn parse_options(args: &[String]) -> Options {
     if opts.ops == 0 {
         fail("--ops must be positive".into());
     }
-    if (opts.timeline.is_some() || opts.chrome_out.is_some()) && opts.trace_interval.is_none() {
-        fail("--timeline/--chrome-trace need --trace-interval (the windows to write)".into());
+    if (opts.timeline.is_some() || opts.chrome_out.is_some() || opts.heat.is_some())
+        && opts.trace_interval.is_none()
+    {
+        fail(
+            "--timeline/--chrome-trace/--heat need --trace-interval (the windows to write)".into(),
+        );
     }
     opts
 }
@@ -549,6 +567,15 @@ struct Cell {
     report: LoadReport,
     /// Per-window telemetry, when the cell ran under `--trace-interval`.
     windows: Vec<WindowSample>,
+    /// Per-shard heat windows from the cell's store-side collector, when
+    /// the cell ran under `--heat`.
+    heat: Vec<HeatSample>,
+    /// Whole-run shard skew (max/mean per-shard point ops) — the
+    /// per-cell summary of the per-shard breakdown. `None` only when the
+    /// run issued no point ops.
+    shard_skew: Option<f64>,
+    /// Share of all point ops the hottest shard absorbed, in percent.
+    top_shard_pct: Option<f64>,
 }
 
 impl Cell {
@@ -591,6 +618,10 @@ impl Cell {
             Value::OptU64(Some(r.store_stats.mem_bytes)),
             Value::OptF64(r.store_stats.hit_pct()),
             Value::OptU64(Some(r.store_stats.evictions)),
+            // Skew summaries: every native cell has per-shard counters
+            // behind it (simulated cells render these null).
+            Value::OptF64(self.shard_skew),
+            Value::OptF64(self.top_shard_pct),
             Value::Str("xeon"),
         ];
         if csv {
@@ -641,7 +672,7 @@ impl Cell {
 /// is metered: measured joules come back over STATS, attributed to the
 /// serving process.
 fn connect_loopback(
-    config: StoreConfig,
+    store: &Arc<PolyStore>,
     arch: Arch,
     fan: usize,
     depth: usize,
@@ -652,12 +683,11 @@ fn connect_loopback(
         if attempt > 0 {
             std::thread::sleep(std::time::Duration::from_millis(100 << attempt));
         }
-        let store = Arc::new(PolyStore::new(config));
         let bound = NetServer::builder("127.0.0.1:0")
             .architecture(arch)
             .config(ServerConfig::default())
             .metered(sampler.cloned())
-            .serve(store);
+            .serve(Arc::clone(store));
         match bound {
             Ok(server) => match NetClient::connect(server.local_addr()) {
                 Ok(client) => return (server, client.with_pipeline(fan, depth)),
@@ -707,16 +737,30 @@ fn run_cell(
         default_ttl: opts.ttl,
     };
     let trace = opts.trace_interval.map(TraceSpec::new);
+    // The store outlives the load either way, so its per-shard counters
+    // feed the cell's skew columns after the run.
+    let store = Arc::new(PolyStore::new(config));
+    // Under `--heat`, a store-side collector windows the shards while
+    // the load runs — the same sensor `store serve` uses. Its clock
+    // starts before the prefill, so its window ordinals can lead the
+    // driver's timeline windows by the prefill duration.
+    let collector = match (&opts.heat, &trace) {
+        (Some(_), Some(t)) => Some(StoreCollector::spawn(
+            Arc::clone(&store),
+            None,
+            t.interval,
+            t.capacity,
+            freq_applied.then_some(freq_khz).flatten(),
+        )),
+        _ => None,
+    };
     let (report, windows) = match transport {
-        Transport::Local => {
-            let store = PolyStore::new(config);
-            match (sampler, &trace) {
-                (Some(s), Some(t)) => run_load_traced(&Metered::new(&store, s), &spec, t),
-                (Some(s), None) => (run_load_on(&Metered::new(&store, s), &spec), Vec::new()),
-                (None, Some(t)) => run_load_traced(&store, &spec, t),
-                (None, None) => (run_load(&store, &spec), Vec::new()),
-            }
-        }
+        Transport::Local => match (sampler, &trace) {
+            (Some(s), Some(t)) => run_load_traced(&Metered::new(&*store, s), &spec, t),
+            (Some(s), None) => (run_load_on(&Metered::new(&*store, s), &spec), Vec::new()),
+            (None, Some(t)) => run_load_traced(&*store, &spec, t),
+            (None, None) => (run_load(&store, &spec), Vec::new()),
+        },
         Transport::Tcp => {
             // Each cell gets its own loopback server on an OS-assigned
             // port; the server shuts down (joining every worker) when it
@@ -724,7 +768,7 @@ fn run_cell(
             // the per-cell server churn of a long sweep can transiently
             // exhaust ephemeral ports, and one flaky cell must not
             // abort the process with every finished cell unemitted.
-            let (server, client) = connect_loopback(config, arch, opts.conns, opts.depth, sampler);
+            let (server, client) = connect_loopback(&store, arch, opts.conns, opts.depth, sampler);
             let out = match &trace {
                 Some(t) => run_load_traced(&client, &spec, t),
                 None => (run_load_on(&client, &spec), Vec::new()),
@@ -734,6 +778,16 @@ fn run_cell(
             out
         }
     };
+    let heat = collector
+        .map(|mut c| {
+            c.stop();
+            c.heat_log()
+        })
+        .unwrap_or_default();
+    // Whole-run skew summary, straight off the store's shard counters.
+    // Point ops only: the prefill moves through the batch path, so the
+    // summary covers exactly the measured mix.
+    let shard_ops: Vec<u64> = store.shard_stats().iter().map(|s| s.point_ops()).collect();
     Cell {
         scenario: scenario.to_string(),
         mix,
@@ -748,6 +802,9 @@ fn run_cell(
         freq_applied,
         report,
         windows,
+        heat,
+        shard_skew: shard_skew(&shard_ops),
+        top_shard_pct: top_shard_pct(&shard_ops),
     }
 }
 
@@ -784,7 +841,12 @@ fn emit(cells: &[Cell], opts: &Options) {
 }
 
 /// Writes the telemetry sinks of a traced run/sweep: the per-window
-/// timeline JSONL and/or the chrome://tracing document.
+/// timeline JSONL, the per-shard heat JSONL, and/or the chrome://tracing
+/// document. With `--heat`, timeline rows join the heat window of the
+/// same ordinal for their skew columns (the two clocks tick at the same
+/// interval but the heat clock starts at cell setup, so the join can
+/// shear by the prefill duration — the heat JSONL is the authoritative
+/// per-shard record).
 fn emit_traces(cells: &[Cell], opts: &Options) {
     if let Some(path) = &opts.timeline {
         let f = std::fs::File::create(path)
@@ -793,16 +855,34 @@ fn emit_traces(cells: &[Cell], opts: &Options) {
         let mut windows = 0usize;
         for c in cells {
             windows += c.windows.len();
-            write_timeline(&mut w, &c.timeline_cell(opts.seed), &c.windows)
+            write_timeline_with_heat(&mut w, &c.timeline_cell(opts.seed), &c.windows, &c.heat)
                 .unwrap_or_else(|e| fail(format!("writing timeline {path}: {e}")));
         }
         w.flush().unwrap_or_else(|e| fail(format!("writing timeline {path}: {e}")));
         eprintln!("wrote {windows} windows to {path}");
     }
+    if let Some(path) = &opts.heat {
+        let f = std::fs::File::create(path)
+            .unwrap_or_else(|e| fail(format!("cannot create {path}: {e}")));
+        let mut w = std::io::BufWriter::new(f);
+        let mut rows = 0usize;
+        for c in cells {
+            rows += c.heat.iter().map(|h| h.shards.len()).sum::<usize>();
+            write_heat(&mut w, &c.timeline_cell(opts.seed), &c.heat)
+                .unwrap_or_else(|e| fail(format!("writing heat {path}: {e}")));
+        }
+        w.flush().unwrap_or_else(|e| fail(format!("writing heat {path}: {e}")));
+        eprintln!("wrote {rows} heat rows to {path}");
+    }
     if let Some(path) = &opts.chrome_out {
         let mut trace = ChromeTrace::new();
         for c in cells {
             trace.add_track(&c.track_name(), &c.windows);
+            // Under --heat, the aggregate track fans out into one track
+            // per shard so the skew reads off the flame view directly.
+            if !c.heat.is_empty() {
+                trace.add_shard_tracks(&c.track_name(), &c.heat);
+            }
         }
         std::fs::write(path, trace.to_json())
             .unwrap_or_else(|e| fail(format!("cannot write {path}: {e}")));
@@ -897,7 +977,9 @@ fn cmd_serve(opts: &Options) {
         .config(ServerConfig::default())
         .metered(sampler.clone());
     if let Some(c) = &collector {
-        builder = builder.trace_ring(c.ring());
+        // The ring feeds STATS v2 (`store top`); the heat handle feeds
+        // the STATS heat opcode (`store heat`).
+        builder = builder.trace_ring(c.ring()).heat_handle(c.heat_handle());
     }
     let mut server = builder
         .serve(Arc::clone(&store))
@@ -995,14 +1077,8 @@ fn fmt_ns(ns: u64) -> String {
 /// `--frames N` exits after N refreshes (scripts and tests); 0 runs until
 /// the connection drops or Ctrl-C.
 fn cmd_top(addr: &str, opts: &Options) {
-    use std::net::ToSocketAddrs;
-    let sockaddr = addr
-        .to_socket_addrs()
-        .ok()
-        .and_then(|mut it| it.next())
-        .unwrap_or_else(|| fail(format!("bad address: {addr}")));
     let interval = opts.trace_interval.unwrap_or(Duration::from_secs(1));
-    let mut conn = NetConn::dial(sockaddr).unwrap_or_else(|e| fail(format!("dialing {addr}: {e}")));
+    let mut conn = dial(addr);
     let mut v2 = true;
     let mut frame = 0u64;
     let mut last_window = u64::MAX;
@@ -1013,52 +1089,163 @@ fn cmd_top(addr: &str, opts: &Options) {
             // stays pipe-friendly.
             print!("\x1b[2J\x1b[H");
         }
-        let ws = if v2 {
-            match conn.stats_v2() {
-                Ok(ws2) => {
-                    if let Some(w) = &ws2.window {
-                        let stale = if w.window == last_window { " (stale)" } else { "" };
-                        last_window = w.window;
-                        let watts =
-                            w.watts().map_or_else(|| "unmetered".into(), |p| format!("{p:.1} W"));
-                        println!(
-                            "window {:>4}{stale}: {:>10.0} ops/s | p50 {} | p99 {} | {} | \
-                             lock-wait {:.1}%",
-                            w.window,
-                            w.throughput(),
-                            fmt_ns(w.p50_ns),
-                            fmt_ns(w.p99_ns),
-                            watts,
-                            w.lock_wait_share() * 100.0,
-                        );
-                    } else {
-                        println!("no telemetry window yet (serve with --trace-interval)");
-                    }
-                    ws2.stats
+        render_aggregate(&mut conn, addr, &mut v2, &mut last_window, "");
+        std::io::stdout().flush().ok();
+        if opts.frames != 0 && frame >= opts.frames {
+            return;
+        }
+        std::thread::sleep(interval);
+    }
+}
+
+/// Resolves and dials a server address, failing loudly on either step.
+fn dial(addr: &str) -> NetConn {
+    use std::net::ToSocketAddrs;
+    let sockaddr = addr
+        .to_socket_addrs()
+        .ok()
+        .and_then(|mut it| it.next())
+        .unwrap_or_else(|| fail(format!("bad address: {addr}")));
+    NetConn::dial(sockaddr).unwrap_or_else(|e| fail(format!("dialing {addr}: {e}")))
+}
+
+/// One aggregate stats frame — the shared `store top` body and the
+/// fallback `store heat` degrades into. Tries STATS v2 first (window
+/// line + cumulative line), dropping to cumulative v1 against servers
+/// that error the v2 opcode. `src_window` prefixes the window line
+/// (`"src=v2 | "` when `store heat` had to degrade, empty for `top`);
+/// the cumulative line labels itself `src=v1` whenever v2 is gone — the
+/// degraded views say so on stdout, not just in a one-shot stderr note,
+/// so a piped `--frames N` capture stays self-labeling.
+fn render_aggregate(
+    conn: &mut NetConn,
+    addr: &str,
+    v2: &mut bool,
+    last_window: &mut u64,
+    src_window: &str,
+) {
+    let ws = if *v2 {
+        match conn.stats_v2() {
+            Ok(ws2) => {
+                if let Some(w) = &ws2.window {
+                    let stale = if w.window == *last_window { " (stale)" } else { "" };
+                    *last_window = w.window;
+                    let watts =
+                        w.watts().map_or_else(|| "unmetered".into(), |p| format!("{p:.1} W"));
+                    println!(
+                        "{src_window}window {:>4}{stale}: {:>10.0} ops/s | p50 {} | p99 {} | {} | \
+                         lock-wait {:.1}%",
+                        w.window,
+                        w.throughput(),
+                        fmt_ns(w.p50_ns),
+                        fmt_ns(w.p99_ns),
+                        watts,
+                        w.lock_wait_share() * 100.0,
+                    );
+                } else {
+                    println!("no telemetry window yet (serve with --trace-interval)");
+                }
+                ws2.stats
+            }
+            Err(_) => {
+                // A pre-v2 server answers the unknown opcode with an
+                // error response; the connection stays usable.
+                *v2 = false;
+                eprintln!("server does not speak STATS v2; showing cumulative v1 stats");
+                conn.stats().unwrap_or_else(|e| fail(format!("stats from {addr}: {e}")))
+            }
+        }
+    } else {
+        conn.stats().unwrap_or_else(|e| fail(format!("stats from {addr}: {e}")))
+    };
+    let s = &ws.stats;
+    let src = if *v2 { "" } else { "src=v1 | " };
+    println!(
+        "{src}{} / {} shards | cumulative: {} point ops, {} scans, {} batches | lock wait {} \
+         hold {}",
+        ws.lock.label(),
+        ws.shards,
+        s.point_ops(),
+        s.scans,
+        s.batches,
+        fmt_ns(s.lock_wait_ns),
+        fmt_ns(s.lock_hold_ns),
+    );
+}
+
+/// Renders one heat window as a terminal heat map: one bar per shard
+/// (its share of the window's point ops against the hottest shard),
+/// lock wait, evictions, and the shard's hottest keys from the
+/// SpaceSaving sketch.
+fn render_heat(h: &HeatSample) {
+    let skew = h.shard_skew().map_or_else(|| "n/a".to_string(), |s| format!("{s:.2}"));
+    let top = h.top_shard_pct().map_or_else(|| "n/a".to_string(), |p| format!("{p:.1}%"));
+    println!(
+        "window {:>4}: {} ops across {} shards | skew {skew} | hottest shard {top} of ops",
+        h.window,
+        h.total_ops(),
+        h.shards.len(),
+    );
+    const WIDTH: u64 = 24;
+    let max = h.shards.iter().map(|s| s.ops).max().unwrap_or(0).max(1);
+    for (i, s) in h.shards.iter().enumerate() {
+        // Ceiling-scaled: any active shard shows at least one tick.
+        let fill = (s.ops * WIDTH).div_ceil(max) as usize;
+        let bar = format!("{}{}", "#".repeat(fill), ".".repeat(WIDTH as usize - fill));
+        let keys = s
+            .top_keys
+            .iter()
+            .take(3)
+            .map(|hk| format!("{}:{}", hk.key, hk.count))
+            .collect::<Vec<_>>()
+            .join(" ");
+        let hot = if keys.is_empty() { String::new() } else { format!(" | hot {keys}") };
+        println!(
+            "shard {i:>3} [{bar}] {:>8} ops | wait {} | {} ev{hot}",
+            s.ops,
+            fmt_ns(s.lock_wait_ns),
+            s.evictions,
+        );
+    }
+}
+
+/// Live per-shard heat view of a serving store: polls the STATS heat
+/// opcode at `--trace-interval` (default 1s) and renders the server's
+/// latest heat window as a shard-by-shard heat map with hot keys. One
+/// rung up the fallback ladder from `store top`: a pre-heat server
+/// answers the opcode with an error, and the view degrades to the
+/// aggregate STATS v2 window (marked `src=v2`), then to cumulative v1
+/// stats (`src=v1`) like `top` does.
+fn cmd_heat(addr: &str, opts: &Options) {
+    let interval = opts.trace_interval.unwrap_or(Duration::from_secs(1));
+    let mut conn = dial(addr);
+    let mut heat = true;
+    let mut v2 = true;
+    let mut frame = 0u64;
+    let mut last_window = u64::MAX;
+    loop {
+        frame += 1;
+        if frame > 1 {
+            print!("\x1b[2J\x1b[H");
+        }
+        if heat {
+            match conn.stats_heat() {
+                Ok(Some(h)) => render_heat(&h),
+                Ok(None) => {
+                    println!("no heat window yet (serve with --trace-interval)");
                 }
                 Err(_) => {
-                    // A pre-v2 server answers the unknown opcode with an
-                    // error response; the connection stays usable.
-                    v2 = false;
-                    eprintln!("server does not speak STATS v2; showing cumulative v1 stats");
-                    conn.stats().unwrap_or_else(|e| fail(format!("stats from {addr}: {e}")))
+                    // The error response leaves the connection usable;
+                    // fall through to the aggregate view this same frame
+                    // so --frames 1 still captures something.
+                    heat = false;
+                    eprintln!("server does not speak STATS heat; degrading to the aggregate view");
                 }
             }
-        } else {
-            conn.stats().unwrap_or_else(|e| fail(format!("stats from {addr}: {e}")))
-        };
-        let s = &ws.stats;
-        println!(
-            "{} / {} shards | cumulative: {} point ops, {} scans, {} batches | lock wait {} \
-             hold {}",
-            ws.lock.label(),
-            ws.shards,
-            s.point_ops(),
-            s.scans,
-            s.batches,
-            fmt_ns(s.lock_wait_ns),
-            fmt_ns(s.lock_hold_ns),
-        );
+        }
+        if !heat {
+            render_aggregate(&mut conn, addr, &mut v2, &mut last_window, "src=v2 | ");
+        }
         std::io::stdout().flush().ok();
         if opts.frames != 0 && frame >= opts.frames {
             return;
@@ -1220,6 +1407,10 @@ fn main() {
             let Some(addr) = args.get(1) else { fail("top needs a server address".into()) };
             cmd_top(addr, &parse_options(&args[2..]));
         }
+        Some("heat") => {
+            let Some(addr) = args.get(1) else { fail("heat needs a server address".into()) };
+            cmd_heat(addr, &parse_options(&args[2..]));
+        }
         Some("calibrate") => {
             let Some(path) = args.get(1) else { fail("calibrate needs a sweep JSONL path".into()) };
             cmd_calibrate(path, &args[2..]);
@@ -1272,7 +1463,8 @@ mod tests {
         pub const CSV_HEADER: &str = "scenario,workload,transport,server,lock,shards,threads,ops,\
             wall_ms,throughput,p50_ns,p99_ns,max_ns,lock_wait_ns,lock_hold_ns,avg_power_w,\
             energy_j,epo_uj,measured_j,measured_uj_per_op,measured_pkg_j,measured_dram_j,\
-            energy_source,freq_khz,freq_applied,mem_bytes,hit_pct,evictions";
+            energy_source,freq_khz,freq_applied,mem_bytes,hit_pct,evictions,shard_skew,\
+            top_shard_pct";
 
         pub fn to_json(cell: &Cell) -> String {
             let r = &cell.report;
@@ -1285,7 +1477,8 @@ mod tests {
                  \"energy_j\":{},\"epo_uj\":{},\"measured_j\":{},\"measured_uj_per_op\":{},\
                  \"measured_pkg_j\":{},\"measured_dram_j\":{},\"energy_source\":\"{}\",\
                  \"freq_khz\":{},\"freq_applied\":{},\"mem_bytes\":{},\"hit_pct\":{},\
-                 \"evictions\":{},\"energy_model\":\"xeon\"}}",
+                 \"evictions\":{},\"shard_skew\":{},\"top_shard_pct\":{},\
+                 \"energy_model\":\"xeon\"}}",
                 json_escape(&cell.scenario),
                 json_escape(&cell.mix.label()),
                 cell.transport.label(),
@@ -1314,6 +1507,8 @@ mod tests {
                 r.store_stats.mem_bytes,
                 fmt_opt_f64(r.store_stats.hit_pct()),
                 r.store_stats.evictions,
+                fmt_opt_f64(cell.shard_skew),
+                fmt_opt_f64(cell.top_shard_pct),
             )
         }
 
@@ -1321,7 +1516,7 @@ mod tests {
             let r = &cell.report;
             format!(
                 "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},\
-                 {},{}",
+                 {},{},{},{}",
                 cell.scenario,
                 cell.mix.label(),
                 cell.transport.label(),
@@ -1350,6 +1545,8 @@ mod tests {
                 r.store_stats.mem_bytes,
                 fmt_opt_f64(r.store_stats.hit_pct()),
                 r.store_stats.evictions,
+                fmt_opt_f64(cell.shard_skew),
+                fmt_opt_f64(cell.top_shard_pct),
             )
         }
     }
@@ -1404,6 +1601,11 @@ mod tests {
                 freq_applied: true,
                 report: cached,
                 windows: Vec::new(),
+                heat: Vec::new(),
+                // A skewed cell: the byte-pin covers rendered skew
+                // summaries (the sibling cell keeps them null).
+                shard_skew: Some(3.25),
+                top_shard_pct: Some(40.625),
             },
             Cell {
                 scenario: "kv-uniform".into(),
@@ -1416,6 +1618,9 @@ mod tests {
                 freq_applied: false,
                 report: report(None),
                 windows: Vec::new(),
+                heat: Vec::new(),
+                shard_skew: None,
+                top_shard_pct: None,
             },
         ]
     }

@@ -1,0 +1,301 @@
+//! End-to-end tests of the per-shard heat layer: the acceptance gate for
+//! `--heat`, `store heat`, and the skew columns. The conservation law
+//! under test is the telescoping identity — each heat window's per-shard
+//! ops sum to the matching aggregate window's ops *exactly*, because both
+//! sides of every collector tick read one snapshot pass — plus the
+//! observability claims: a zipf cell must report strictly more shard skew
+//! than a uniform one, the hot-key sketch must surface the true hottest
+//! key, and the live view must degrade gracefully against pre-heat
+//! servers.
+
+use std::io::Write as _;
+use std::process::Command;
+use std::sync::Arc;
+use std::time::Duration;
+
+use poly_locks_sim::LockKind;
+use poly_store::{run_load, KvMix, LoadSpec, PolyStore, StoreConfig};
+use poly_trace::StoreCollector;
+
+mod common;
+use common::{json_keys, json_value};
+
+/// The heat JSONL column order (cell identity, window bounds, one shard's
+/// deltas, the window-level skew summary, then the nested hot-key list).
+const HEAT_KEYS: [&str; 20] = [
+    "scenario",
+    "workload",
+    "transport",
+    "server",
+    "lock",
+    "shards",
+    "threads",
+    "seed",
+    "window",
+    "start_ns",
+    "end_ns",
+    "shard",
+    "ops",
+    "lock_wait_ns",
+    "lock_hold_ns",
+    "evictions",
+    "mem_bytes",
+    "shard_skew",
+    "top_shard_pct",
+    "top_keys",
+];
+
+fn out_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("poly-heat-e2e-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create output dir");
+    dir
+}
+
+/// The telescoping identity on a real zipf-hot load: a store-side
+/// collector watches a `kv-zipf` run, and every heat window's per-shard
+/// ops sum to its aggregate sibling's ops exactly — same tick, same
+/// snapshot pass. The cumulative hot-key sketch of the hot shard must
+/// also contain the workload's true hottest key (rank 0 of the Zipf
+/// sampler is key 0).
+#[test]
+fn heat_windows_telescope_to_aggregate_windows_on_a_zipf_load() {
+    let mix = KvMix::zipf_hot();
+    let store = Arc::new(PolyStore::new(StoreConfig {
+        shards: mix.shards,
+        lock: LockKind::Mutexee,
+        ..Default::default()
+    }));
+    let mut collector =
+        StoreCollector::spawn(Arc::clone(&store), None, Duration::from_millis(5), 512, None);
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(2);
+    // Paced so the run spans several 5 ms collector windows.
+    let spec = LoadSpec { rate_ops_s: Some(8_000), ..LoadSpec::saturating(mix, threads, 400, 42) };
+    let report = run_load(&store, &spec);
+    assert_eq!(report.ops, threads as u64 * 400);
+    collector.stop();
+
+    let windows = collector.ring().snapshot();
+    let heat = collector.heat_log();
+    assert!(windows.len() > 1, "a ~100 ms paced run must span several 5 ms windows");
+    assert_eq!(heat.len(), windows.len(), "one heat window per aggregate window");
+    for (h, w) in heat.iter().zip(&windows) {
+        assert_eq!(h.window, w.window);
+        assert_eq!((h.start_ns, h.end_ns), (w.start_ns, w.end_ns));
+        assert_eq!(h.shards.len(), mix.shards, "one ShardHeat per store shard");
+        assert_eq!(
+            h.total_ops(),
+            w.ops,
+            "window {}: per-shard heat ops must telescope to the aggregate exactly",
+            w.window
+        );
+    }
+
+    // The true hottest key of a Zipf stream is rank 0 = key 0; the
+    // cumulative sketch of its shard must have caught it by the end.
+    let hot_shard = store.shard_of(0);
+    let last = heat.last().expect("at least one heat window");
+    assert!(
+        last.shards[hot_shard].top_keys.iter().any(|hk| hk.key == 0),
+        "key 0 missing from shard {hot_shard}'s sketch: {:?}",
+        last.shards[hot_shard].top_keys
+    );
+    // And the hottest shard of the whole run is the one holding key 0.
+    let per_shard: Vec<u64> =
+        (0..mix.shards).map(|s| heat.iter().map(|h| h.shards[s].ops).sum()).collect();
+    let max_shard = per_shard.iter().enumerate().max_by_key(|(_, ops)| **ops).unwrap().0;
+    assert_eq!(max_shard, hot_shard, "zipf heat concentrated off key 0's shard: {per_shard:?}");
+}
+
+/// A `--heat` sweep over a zipf and a uniform cell writes per-shard rows
+/// in the pinned schema, fills the aggregate skew columns, and ranks the
+/// zipf cell's skew strictly above the uniform cell's.
+#[test]
+fn sweep_heat_sink_writes_per_shard_rows_and_skew_columns() {
+    let dir = out_dir("sweep");
+    let cells_path = dir.join("cells.jsonl");
+    let heat_path = dir.join("heat.jsonl");
+    let out = Command::new(env!("CARGO_BIN_EXE_store"))
+        .args([
+            "sweep",
+            "--scenarios",
+            "kv-zipf,kv-uniform",
+            "--transport",
+            "local",
+            "--locks",
+            "MUTEXEE",
+            "--threads",
+            "2",
+            "--ops",
+            "3000",
+            "--rate",
+            "40000", // ~75 ms per cell: several 10 ms heat windows
+            "--seed",
+            "7",
+            "--energy",
+            "modeled",
+            "--format",
+            "jsonl",
+            "--trace-interval",
+            "10ms",
+            "--heat",
+            heat_path.to_str().unwrap(),
+            "--out",
+            cells_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("store sweep executes");
+    assert!(out.status.success(), "heat sweep failed: {}", String::from_utf8_lossy(&out.stderr));
+
+    // Aggregate rows: both cells fill the skew columns, and the zipf
+    // cell's skew strictly exceeds the uniform cell's.
+    let cells = std::fs::read_to_string(&cells_path).expect("cells written");
+    let skew_of = |scenario: &str| -> f64 {
+        let line = cells
+            .lines()
+            .find(|l| json_value(l, "scenario") == format!("\"{scenario}\""))
+            .unwrap_or_else(|| panic!("no {scenario} cell in {cells}"));
+        json_value(line, "shard_skew").parse().expect("numeric shard_skew")
+    };
+    let (zipf, uniform) = (skew_of("kv-zipf"), skew_of("kv-uniform"));
+    assert!(zipf > uniform, "zipf skew {zipf} must strictly exceed uniform skew {uniform}");
+    assert!(uniform >= 1.0, "skew is max/mean, so it can never dip below 1: {uniform}");
+    for line in cells.lines() {
+        let pct: f64 = json_value(line, "top_shard_pct").parse().expect("numeric top_shard_pct");
+        assert!(pct > 0.0 && pct <= 100.0, "top_shard_pct out of range: {line}");
+    }
+
+    // Heat rows: pinned schema (the nested top_keys list is the final
+    // key), one row per shard per window, and the zipf cell's sketch
+    // carries the true hottest key.
+    let heat = std::fs::read_to_string(&heat_path).expect("heat written");
+    assert!(!heat.is_empty(), "no heat rows written");
+    let mut zipf_rows = 0usize;
+    for row in heat.lines() {
+        let (head, tail) = row.split_once("\"top_keys\":").expect("top_keys column: {row}");
+        assert!(tail.starts_with('[') && tail.ends_with("]}"), "malformed top_keys: {row}");
+        let keys = json_keys(&format!("{head}\"top_keys\":[]}}"));
+        assert_eq!(keys, HEAT_KEYS, "heat schema drifted: {row}");
+        if json_value(row, "scenario") == "\"kv-zipf\"" {
+            zipf_rows += 1;
+        }
+    }
+    assert!(zipf_rows > 0, "no zipf heat rows: {heat}");
+    let zipf_heat: String =
+        heat.lines().filter(|r| json_value(r, "scenario") == "\"kv-zipf\"").collect();
+    assert!(
+        zipf_heat.contains("{\"key\":0,"),
+        "zipf hot-key sketch never surfaced key 0: {zipf_heat}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `--heat` without `--trace-interval` is a usage error: there is no
+/// collector to produce the windows.
+#[test]
+fn heat_without_an_interval_fails_loudly() {
+    let out = Command::new(env!("CARGO_BIN_EXE_store"))
+        .args(["run", "kv-net-uniform", "--ops", "50", "--heat", "/dev/null"])
+        .output()
+        .expect("store run executes");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--trace-interval"));
+}
+
+/// `store heat` against a live traced server renders the per-shard heat
+/// map: one bar line per shard, a window header with the skew summary —
+/// the serve-side heat handle wired end to end over the wire.
+#[test]
+fn heat_view_renders_live_shards_over_loopback() {
+    let mut serve = Command::new(env!("CARGO_BIN_EXE_store"))
+        .args(["serve", "--addr", "127.0.0.1:0", "--shards", "4", "--trace-interval", "10ms"])
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("store serve spawns");
+    // The bound address is the first stdout line.
+    let mut addr = String::new();
+    {
+        use std::io::BufRead;
+        let mut reader = std::io::BufReader::new(serve.stdout.take().expect("serve stdout"));
+        reader.read_line(&mut addr).expect("serve prints its address");
+    }
+    let addr = addr.trim().to_string();
+
+    // Drive some load so the heat windows have something to show, then
+    // give the 10 ms collector time to close a window that saw it.
+    let sockaddr: std::net::SocketAddr = addr.parse().expect("bound address parses");
+    let mut conn = poly_net::NetConn::dial(sockaddr).expect("dial serve");
+    for key in 0..200u64 {
+        conn.put(key % 8, key).expect("put");
+    }
+    std::thread::sleep(Duration::from_millis(40));
+
+    let out = Command::new(env!("CARGO_BIN_EXE_store"))
+        .args(["heat", &addr, "--frames", "1"])
+        .output()
+        .expect("store heat executes");
+    // Stop the server before asserting, so a failure never leaks it.
+    drop(serve.stdin.take()); // EOF on stdin stops the server
+    let serve_status = serve.wait().expect("serve exits");
+    assert!(out.status.success(), "store heat failed: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("window "), "no window header: {stdout}");
+    assert!(stdout.contains("shard   0 ["), "no shard bars: {stdout}");
+    assert!(stdout.contains("shard   3 ["), "expected 4 shard lines: {stdout}");
+    assert!(stdout.contains("| skew "), "no skew summary: {stdout}");
+    assert!(serve_status.success());
+}
+
+/// The fallback ladder, proven against a fake pre-heat server: `store
+/// heat` sends the heat opcode, receives the unknown-opcode error a
+/// pre-heat server answers with, and degrades to the aggregate STATS v2
+/// view on the same connection — labeling the degraded frame `src=v2` on
+/// stdout.
+#[test]
+fn heat_degrades_to_the_aggregate_view_against_a_pre_heat_server() {
+    use poly_net::proto::{read_frame, write_frame, Request, Response, WireStats, WireStatsV2};
+    use poly_trace::WindowSample;
+
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind fake server");
+    let addr = listener.local_addr().unwrap();
+    let responder = std::thread::spawn(move || {
+        let (mut sock, _) = listener.accept().expect("accept");
+        while let Ok(Some(body)) = read_frame(&mut sock) {
+            let resp = match Request::decode(&body) {
+                // The pre-heat vocabulary: STATS v2 works, the heat
+                // opcode is unknown.
+                Ok(Request::Stats2) => Response::Stats2(Box::new(WireStatsV2 {
+                    stats: WireStats {
+                        lock: LockKind::Mutex,
+                        shards: 4,
+                        stats: poly_store::StatsSnapshot::default(),
+                        measured: None,
+                    },
+                    window: Some(WindowSample {
+                        window: 3,
+                        start_ns: 0,
+                        end_ns: 50_000_000,
+                        ops: 1_000,
+                        ..WindowSample::default()
+                    }),
+                })),
+                _ => Response::Error("unknown opcode 0x0c".into()),
+            };
+            write_frame(&mut sock, &resp.encode()).expect("respond");
+            sock.flush().expect("flush");
+        }
+    });
+
+    let out = Command::new(env!("CARGO_BIN_EXE_store"))
+        .args(["heat", &addr.to_string(), "--frames", "1"])
+        .output()
+        .expect("store heat executes");
+    responder.join().expect("responder thread");
+    assert!(out.status.success(), "degraded heat failed: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("does not speak STATS heat"), "no degradation note: {stderr}");
+    assert!(stdout.contains("src=v2 | window "), "degraded frame not labeled: {stdout}");
+    assert!(!stdout.contains("shard   0 ["), "heat map rendered without heat data: {stdout}");
+}

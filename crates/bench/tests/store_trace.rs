@@ -14,7 +14,7 @@ use common::{json_keys, json_value};
 
 /// The canonical timeline column order (pinned in poly-report's
 /// registry); both sweep families must emit exactly these keys.
-const TIMELINE_KEYS: [&str; 24] = [
+const TIMELINE_KEYS: [&str; 26] = [
     "scenario",
     "workload",
     "transport",
@@ -39,6 +39,8 @@ const TIMELINE_KEYS: [&str; 24] = [
     "mem_bytes",
     "hit_pct",
     "evictions",
+    "shard_skew",
+    "top_shard_pct",
 ];
 
 fn out_dir(tag: &str) -> std::path::PathBuf {
@@ -224,6 +226,10 @@ fn scenarios_sweep_emits_one_sim_window_per_cell_in_the_shared_schema() {
             "mem_bytes",
             "hit_pct",
             "evictions",
+            // ... as do the per-shard heat summaries: the simulator has
+            // no per-shard sensor.
+            "shard_skew",
+            "top_shard_pct",
         ] {
             assert_eq!(json_value(row, unwindowable), "null", "{unwindowable} in {row}");
         }

@@ -151,6 +151,19 @@ impl NetConn {
             other => Err(unexpected(&req, &other)),
         }
     }
+
+    /// Fetches the server's latest per-shard heat window (`None` when
+    /// the server runs no heat collector or no window has closed yet).
+    /// A pre-heat server answers the unknown opcode with an error
+    /// response, which surfaces here as `Err` — callers (e.g.
+    /// `store heat`) degrade to the aggregate [`NetConn::stats_v2`].
+    pub fn stats_heat(&mut self) -> io::Result<Option<poly_trace::HeatSample>> {
+        let req = Request::StatsHeat;
+        match self.request(&req)? {
+            Response::StatsHeat(heat) => Ok(heat),
+            other => Err(unexpected(&req, &other)),
+        }
+    }
 }
 
 fn unexpected(req: &Request, resp: &Response) -> io::Error {

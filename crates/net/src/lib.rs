@@ -41,6 +41,15 @@
 //! its live view. STATS v1 is frozen: v1 clients keep parsing v2
 //! servers, and a v2 client falls back to v1 when `STATS2` errors.
 //!
+//! A server with a heat collector (a server-owned one via
+//! `.trace_interval(d)`, or an external `StoreCollector`'s slot via
+//! `.heat_handle(h)`) also answers the `STATSHEAT` opcode with its
+//! latest *per-shard* heat window (per-shard ops, lock wait/hold,
+//! evictions, residency, hot-key sketch) — the frame `store heat` polls.
+//! The fallback ladder extends one rung: a pre-heat server errors the
+//! unknown opcode and heat clients degrade to the aggregate `STATS2`
+//! (and from there to v1, as before).
+//!
 //! # Example
 //!
 //! ```
@@ -552,6 +561,80 @@ mod tests {
         }
         let w = window.expect("server-owned collector produced a window");
         assert!(w.end_ns > 0);
+    }
+
+    #[test]
+    fn stats_heat_round_trips_over_loopback() {
+        // A heat-aware server with no collector answers present=0, not
+        // an error — degradation is for *pre-heat* servers only.
+        let (_plain, plain_client) = serve(LockKind::Mutex, 2);
+        let heat = plain_client.session().unwrap().conn_mut().stats_heat().unwrap();
+        assert_eq!(heat, None);
+
+        // A server-owned collector feeds per-shard windows on both
+        // architectures.
+        for arch in Arch::ALL {
+            let store = Arc::new(PolyStore::new(StoreConfig {
+                shards: 4,
+                lock: LockKind::Mutexee,
+                ..Default::default()
+            }));
+            let server = NetServer::builder("127.0.0.1:0")
+                .architecture(arch)
+                .trace_interval(Duration::from_millis(5))
+                .serve(Arc::clone(&store))
+                .unwrap();
+            let client = NetClient::connect(server.local_addr()).unwrap();
+            let mut s = client.session().unwrap();
+            let deadline = std::time::Instant::now() + Duration::from_secs(5);
+            let heat = loop {
+                // Keep traffic flowing so windows have ops to report.
+                for k in 0..50 {
+                    s.conn_mut().put(k, k).unwrap();
+                }
+                match s.conn_mut().stats_heat().unwrap() {
+                    Some(h) if h.total_ops() > 0 => break h,
+                    _ => assert!(
+                        std::time::Instant::now() < deadline,
+                        "[{arch}] no busy heat window appeared"
+                    ),
+                }
+            };
+            assert_eq!(heat.shards.len(), 4, "[{arch}] one block per shard");
+            assert!(heat.end_ns > heat.start_ns, "[{arch}]");
+            assert!(heat.shard_skew().unwrap() >= 1.0, "[{arch}] skew is max/mean");
+            // The sketch saw the keys the puts touched.
+            assert!(
+                heat.shards.iter().any(|sh| !sh.top_keys.is_empty()),
+                "[{arch}] some shard must report hot keys"
+            );
+        }
+    }
+
+    #[test]
+    fn stats_heat_error_from_a_pre_heat_server_surfaces_as_err() {
+        use crate::proto::{read_frame, write_frame, Response};
+        use std::io::Write;
+
+        // A minimal pre-heat responder: answers every frame the way an
+        // old server answers an unknown opcode — with an error response.
+        // NetConn::stats_heat must surface that as Err (the signal the
+        // CLI uses to degrade to STATS2), not a panic or a mis-decode.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let responder = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            while let Ok(Some(_)) = read_frame(&mut stream) {
+                let resp = Response::Error("unknown opcode 0x0c".into()).encode();
+                write_frame(&mut stream, &resp).unwrap();
+                stream.flush().unwrap();
+            }
+        });
+        let mut conn = crate::NetConn::dial(addr).unwrap();
+        let err = conn.stats_heat().expect_err("pre-heat server must error the opcode");
+        assert!(err.to_string().contains("unknown opcode"), "{err}");
+        drop(conn);
+        responder.join().unwrap();
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //! | `PUTV` | op `0x09`, key `u64`, len `u32`, value bytes |
 //! | `REMOVEV` | op `0x0A`, key `u64` |
 //! | `BATCHV` | op `0x0B`, count `u32`, then per write: tag `u8` (1 put / 0 remove), key `u64`, and for puts len `u32` + value bytes |
+//! | `STATSHEAT` | op `0x0C` |
 //!
 //! Responses open with status `0x00` (ok) or `0x01` (error, rest of the
 //! body is a UTF-8 message). Ok payloads: point ops return
@@ -39,6 +40,16 @@
 //! answers `STATS2` with `present = 0`; a *pre-v2 server* answers the
 //! unknown `0x07` opcode with an error response, which v2 clients treat
 //! as "fall back to v1".
+//!
+//! `STATSHEAT` returns the server's latest *per-shard* heat window:
+//! `present u8` and, when present, `window u64 + start_ns u64 +
+//! end_ns u64 + shard_count u32`, then per shard five `u64`s
+//! (`ops + lock_wait_ns + lock_hold_ns + evictions + mem_bytes`), a
+//! top-k count `u8`, and `key u64 + count u64` per hot key. The same
+//! fallback ladder as STATS2 applies one rung up: a server without a
+//! heat collector answers `present = 0`, and a *pre-heat server*
+//! answers the unknown `0x0C` opcode with an error response, which heat
+//! clients treat as "degrade to aggregate STATS2".
 //!
 //! # Protocol v3: byte values
 //!
@@ -90,8 +101,8 @@ use std::io::{self, Read, Write};
 
 use poly_locks_sim::LockKind;
 use poly_meter::MeasuredReading;
-use poly_store::{BatchOp, HistogramSnapshot, StatsSnapshot, WriteBatch, HIST_BUCKETS};
-use poly_trace::{WindowSample, WORDS};
+use poly_store::{BatchOp, HistogramSnapshot, HotKey, StatsSnapshot, WriteBatch, HIST_BUCKETS};
+use poly_trace::{HeatSample, ShardHeat, WindowSample, WORDS};
 
 /// Upper bound on a frame body, enforced on both ends: a corrupt or
 /// hostile length prefix must not become a multi-gigabyte allocation.
@@ -108,6 +119,12 @@ const OP_GET_V: u8 = 0x08;
 const OP_PUT_V: u8 = 0x09;
 const OP_REMOVE_V: u8 = 0x0A;
 const OP_BATCH_V: u8 = 0x0B;
+const OP_STATS_HEAT: u8 = 0x0C;
+
+/// Smallest wire footprint of one shard's heat block (five `u64`
+/// counters plus the top-k count byte) — the bound the decoder checks a
+/// claimed shard count against before allocating for it.
+const SHARD_HEAT_MIN_BYTES: usize = 5 * 8 + 1;
 
 const STATUS_OK: u8 = 0x00;
 const STATUS_ERR: u8 = 0x01;
@@ -142,6 +159,11 @@ pub enum Request {
     /// A byte-valued write batch, applied with one lock acquisition per
     /// shard.
     BatchV(Vec<BatchOp>),
+    /// STATS heat: the server's latest per-shard heat window with
+    /// hot-key sketches, when a heat collector is running. Pre-heat
+    /// servers answer the opcode with an error; clients degrade to
+    /// [`Request::Stats2`].
+    StatsHeat,
 }
 
 /// One server response.
@@ -168,6 +190,9 @@ pub enum Response {
     Stats(Box<WireStats>),
     /// STATS v2 reply: the v1 snapshot plus the latest telemetry window.
     Stats2(Box<WireStatsV2>),
+    /// STATS heat reply: the latest per-shard heat window (`None` when
+    /// the server runs no heat collector or no window has closed yet).
+    StatsHeat(Option<HeatSample>),
     /// The request could not be served.
     Error(String),
 }
@@ -334,6 +359,7 @@ impl Request {
                 }
                 b
             }
+            Request::StatsHeat => vec![OP_STATS_HEAT],
         }
     }
 
@@ -392,6 +418,7 @@ impl Request {
                 }
                 Request::BatchV(ops)
             }
+            OP_STATS_HEAT => Request::StatsHeat,
             op => return Err(bad_frame(&format!("unknown opcode 0x{op:02x}"))),
         };
         c.finish()?;
@@ -525,6 +552,34 @@ impl Response {
                 }
                 b
             }
+            Response::StatsHeat(heat) => {
+                let shard_bytes: usize = heat.as_ref().map_or(0, |h| {
+                    h.shards.iter().map(|s| SHARD_HEAT_MIN_BYTES + s.top_keys.len() * 16).sum()
+                });
+                let mut b = Vec::with_capacity(2 + 28 + shard_bytes);
+                b.push(STATUS_OK);
+                b.push(u8::from(heat.is_some()));
+                if let Some(h) = heat {
+                    put_u64(&mut b, h.window);
+                    put_u64(&mut b, h.start_ns);
+                    put_u64(&mut b, h.end_ns);
+                    put_u32(&mut b, h.shards.len() as u32);
+                    for s in &h.shards {
+                        for v in [s.ops, s.lock_wait_ns, s.lock_hold_ns, s.evictions, s.mem_bytes] {
+                            put_u64(&mut b, v);
+                        }
+                        // The sketch is TOP_KEYS-bounded at the source,
+                        // but the wire field is a u8 — clamp defensively.
+                        let k = s.top_keys.len().min(u8::MAX as usize);
+                        b.push(k as u8);
+                        for hk in &s.top_keys[..k] {
+                            put_u64(&mut b, hk.key);
+                            put_u64(&mut b, hk.count);
+                        }
+                    }
+                }
+                b
+            }
             Response::Error(msg) => {
                 let mut b = Vec::with_capacity(1 + msg.len());
                 b.push(STATUS_ERR);
@@ -575,6 +630,45 @@ impl Response {
                     }
                 };
                 Response::Stats2(Box::new(WireStatsV2 { stats, window }))
+            }
+            Request::StatsHeat => {
+                let heat = match c.u8()? {
+                    0 => None,
+                    _ => {
+                        let window = c.u64()?;
+                        let start_ns = c.u64()?;
+                        let end_ns = c.u64()?;
+                        let n = c.u32()? as usize;
+                        // The claim must fit the frame before any
+                        // allocation sized by it.
+                        if n > c.remaining() / SHARD_HEAT_MIN_BYTES {
+                            return Err(bad_frame("shard count disagrees with frame length"));
+                        }
+                        let mut shards = Vec::with_capacity(n);
+                        for _ in 0..n {
+                            let ops = c.u64()?;
+                            let lock_wait_ns = c.u64()?;
+                            let lock_hold_ns = c.u64()?;
+                            let evictions = c.u64()?;
+                            let mem_bytes = c.u64()?;
+                            let k = c.u8()? as usize;
+                            let mut top_keys = Vec::with_capacity(k);
+                            for _ in 0..k {
+                                top_keys.push(HotKey { key: c.u64()?, count: c.u64()? });
+                            }
+                            shards.push(ShardHeat {
+                                ops,
+                                lock_wait_ns,
+                                lock_hold_ns,
+                                evictions,
+                                mem_bytes,
+                                top_keys,
+                            });
+                        }
+                        Some(HeatSample { window, start_ns, end_ns, shards })
+                    }
+                };
+                Response::StatsHeat(heat)
             }
         };
         c.finish()?;
@@ -722,6 +816,7 @@ mod tests {
                 (u64::MAX, Some(Vec::new())),
             ]),
             Request::BatchV(Vec::new()),
+            Request::StatsHeat,
         ] {
             assert_eq!(round_trip_req(req.clone()), req);
         }
@@ -809,9 +904,46 @@ mod tests {
                     window: None,
                 })),
             ),
+            (Request::StatsHeat, Response::StatsHeat(None)),
+            (Request::StatsHeat, Response::StatsHeat(Some(heat_sample()))),
+            (
+                Request::StatsHeat,
+                Response::StatsHeat(Some(HeatSample {
+                    window: 0,
+                    start_ns: 0,
+                    end_ns: 0,
+                    shards: Vec::new(),
+                })),
+            ),
+            (Request::StatsHeat, Response::Error("unknown opcode 0x0c".into())),
         ];
         for (req, resp) in cases {
             assert_eq!(Response::decode(&resp.encode(), &req).expect("round-trip"), resp);
+        }
+    }
+
+    /// A representative heat window: a hot shard with a sketch, a warm
+    /// shard without one, and an idle shard.
+    fn heat_sample() -> HeatSample {
+        HeatSample {
+            window: 9,
+            start_ns: 450_000_000,
+            end_ns: 500_000_000,
+            shards: vec![
+                ShardHeat {
+                    ops: 40_000,
+                    lock_wait_ns: 7_000_000,
+                    lock_hold_ns: 2_000_000,
+                    evictions: 3,
+                    mem_bytes: 1 << 20,
+                    top_keys: vec![
+                        HotKey { key: 0, count: 32_000 },
+                        HotKey { key: 17, count: 800 },
+                    ],
+                },
+                ShardHeat { ops: 5_000, ..ShardHeat::default() },
+                ShardHeat::default(),
+            ],
         }
     }
 
@@ -873,6 +1005,25 @@ mod tests {
         }))
         .encode();
         assert!(Response::decode(&v2[..v2.len() - 3], &Request::Stats2).is_err());
+        // A heat reply torn inside a shard block, inside the key list,
+        // and right after the shard count.
+        let heat = Response::StatsHeat(Some(heat_sample())).encode();
+        for cut in [heat.len() - 1, heat.len() - 9, 2 + 24 + 4] {
+            assert!(
+                Response::decode(&heat[..cut], &Request::StatsHeat).is_err(),
+                "cut at {cut} must be torn"
+            );
+        }
+        // A heat header claiming more shards than the frame carries must
+        // fail before allocating for them.
+        let mut lying = vec![STATUS_OK, 1];
+        lying.extend_from_slice(&[0u8; 24]); // window/start/end
+        lying.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(Response::decode(&lying, &Request::StatsHeat).is_err());
+        // Trailing bytes after a complete heat reply are a framing error.
+        let mut extra = Response::StatsHeat(None).encode();
+        extra.push(0);
+        assert!(Response::decode(&extra, &Request::StatsHeat).is_err());
     }
 
     #[test]

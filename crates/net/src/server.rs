@@ -23,7 +23,7 @@ use std::time::Duration;
 
 use poly_meter::RaplSampler;
 use poly_store::{PolyStore, WriteBatch};
-use poly_trace::{StoreCollector, TraceRing};
+use poly_trace::{HeatHandle, StoreCollector, TraceRing};
 
 use crate::proto::{read_frame, write_frame, Request, Response, WireStats, WireStatsV2};
 
@@ -161,6 +161,9 @@ pub(crate) struct Inner {
     /// `poly_trace::StoreCollector`): when present, STATS2 replies carry
     /// the latest complete window.
     pub(crate) window: Option<Arc<TraceRing>>,
+    /// Latest per-shard heat window, written by a collector: when
+    /// present, STATSHEAT replies carry it.
+    pub(crate) heat: Option<HeatHandle>,
     pub(crate) stop: AtomicBool,
     pub(crate) live: AtomicUsize,
     pub(crate) counters: NetCounters,
@@ -220,6 +223,7 @@ pub struct ServerBuilder<A: ToSocketAddrs> {
     arch: Arch,
     sampler: Option<Arc<RaplSampler>>,
     ring: Option<Arc<TraceRing>>,
+    heat: Option<HeatHandle>,
     trace_interval: Option<Duration>,
     trace_freq_khz: Option<u64>,
 }
@@ -261,6 +265,18 @@ impl<A: ToSocketAddrs> ServerBuilder<A> {
         self
     }
 
+    /// Answers `STATSHEAT` from an externally owned heat slot (wire a
+    /// `poly_trace::StoreCollector`'s [`heat_handle`] here alongside
+    /// [`ServerBuilder::trace_ring`]). A server-owned collector (from
+    /// [`ServerBuilder::trace_interval`]) wires its own slot
+    /// automatically.
+    ///
+    /// [`heat_handle`]: poly_trace::StoreCollector::heat_handle
+    pub fn heat_handle(mut self, heat: HeatHandle) -> Self {
+        self.heat = Some(heat);
+        self
+    }
+
     /// Spawns a server-owned `StoreCollector` sampling every `interval`,
     /// and answers `STATS2` from its ring. The collector stops with the
     /// server. Overridden by [`ServerBuilder::trace_ring`].
@@ -293,11 +309,13 @@ impl<A: ToSocketAddrs> ServerBuilder<A> {
             _ => None,
         };
         let window = self.ring.or_else(|| collector.as_ref().map(|c| c.ring()));
+        let heat = self.heat.or_else(|| collector.as_ref().map(|c| c.heat_handle()));
         let inner = Arc::new(Inner {
             store,
             cfg: self.cfg,
             sampler: self.sampler,
             window,
+            heat,
             stop: AtomicBool::new(false),
             live: AtomicUsize::new(0),
             counters: NetCounters::default(),
@@ -341,6 +359,7 @@ impl NetServer {
             arch: Arch::Threads,
             sampler: None,
             ring: None,
+            heat: None,
             trace_interval: None,
             trace_freq_khz: None,
         }
@@ -620,6 +639,10 @@ pub(crate) fn execute(req: &Request, inner: &Inner) -> Response {
                 stats: wire_stats(inner),
                 window: inner.window.as_ref().and_then(|ring| ring.latest()),
             }))
+        }
+        Request::StatsHeat => {
+            c.stats_reqs.fetch_add(1, Ordering::Relaxed);
+            Response::StatsHeat(inner.heat.as_ref().and_then(|slot| slot.lock().unwrap().clone()))
         }
     }
 }

@@ -23,6 +23,10 @@ use ColumnType::{Bool, OptF64, OptU64, Str, F64, U64};
 /// The cache columns (`mem_bytes`/`hit_pct`/`evictions`) are optional:
 /// cells that never route through the byte-value store (simulated cells,
 /// or runs recorded before the cache landed) render `null` there.
+///
+/// The heat columns (`shard_skew` = max/mean shard point-ops,
+/// `top_shard_pct` = hottest shard's share) are likewise optional: the
+/// simulator has no per-shard sensor, so sim cells render `null`.
 pub const STORE_CELL: Schema = Schema::new(&[
     Column::new("scenario", Str),
     Column::new("workload", Str),
@@ -52,6 +56,8 @@ pub const STORE_CELL: Schema = Schema::new(&[
     Column::new("mem_bytes", OptU64),
     Column::new("hit_pct", OptF64),
     Column::new("evictions", OptU64),
+    Column::new("shard_skew", OptF64),
+    Column::new("top_shard_pct", OptF64),
     Column::json_only("energy_model", Str),
 ]);
 
@@ -115,6 +121,8 @@ pub const TIMELINE: Schema = Schema::new(&[
     Column::new("mem_bytes", OptU64),
     Column::new("hit_pct", OptF64),
     Column::new("evictions", OptU64),
+    Column::new("shard_skew", OptF64),
+    Column::new("top_shard_pct", OptF64),
 ]);
 
 #[cfg(test)]
@@ -166,6 +174,8 @@ mod tests {
                 "mem_bytes",
                 "hit_pct",
                 "evictions",
+                "shard_skew",
+                "top_shard_pct",
                 "energy_model",
             ]
         );
@@ -175,7 +185,7 @@ mod tests {
             "scenario,workload,transport,server,lock,shards,threads,ops,wall_ms,throughput,p50_ns,\
              p99_ns,max_ns,lock_wait_ns,lock_hold_ns,avg_power_w,energy_j,epo_uj,measured_j,\
              measured_uj_per_op,measured_pkg_j,measured_dram_j,energy_source,freq_khz,freq_applied,\
-             mem_bytes,hit_pct,evictions"
+             mem_bytes,hit_pct,evictions,shard_skew,top_shard_pct"
         );
     }
 
@@ -221,6 +231,8 @@ mod tests {
                 "mem_bytes",
                 "hit_pct",
                 "evictions",
+                "shard_skew",
+                "top_shard_pct",
             ]
         );
     }

@@ -70,7 +70,10 @@ pub use driver::{
 pub use energy::EnergyEstimate;
 pub use metered::{Metered, MeteredConn};
 pub use slab::{Slab, SlabHandle, SLAB_CLASSES};
-pub use stats::{HistogramSnapshot, LatencyHistogram, ShardStats, StatsSnapshot, HIST_BUCKETS};
+pub use stats::{
+    HistogramSnapshot, HotKey, LatencyHistogram, ShardStats, StatsSnapshot, HIST_BUCKETS,
+    SKETCH_SAMPLE, TOP_KEYS,
+};
 pub use store::{PolyStore, StoreConfig};
 pub use workload::{KeyDist, KeySampler, KvMix, KvOp, Rng64, ValueDist, ZipfSampler};
 

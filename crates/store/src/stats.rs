@@ -7,6 +7,73 @@
 //! percentiles.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Capacity of the per-shard SpaceSaving hot-key sketch: how many key
+/// counters each shard tracks (and how many [`StatsSnapshot::top_keys`]
+/// slots a snapshot exposes).
+pub const TOP_KEYS: usize = 8;
+
+/// Point ops between sketch offers: the hot-key path samples 1-in-N so
+/// the sketch costs one relaxed `fetch_add` per op and a tiny mutex only
+/// on the sampled minority.
+pub const SKETCH_SAMPLE: u64 = 8;
+
+/// One estimated hot-key counter from the per-shard SpaceSaving sketch.
+///
+/// `count` is an *estimate* of how many point operations touched `key`
+/// (sampled touches scaled back up by [`SKETCH_SAMPLE`]); SpaceSaving
+/// guarantees it is an upper bound on the true sampled count, so a
+/// genuinely hot key can never be reported colder than it is. A slot
+/// with `count == 0` is empty.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HotKey {
+    /// The tracked key.
+    pub key: u64,
+    /// Estimated point-op touches (upper bound, see type docs).
+    pub count: u64,
+}
+
+/// A bounded SpaceSaving top-k counter summary (Metwally et al.): at most
+/// [`TOP_KEYS`] `(key, count)` slots; an unseen key evicts the current
+/// minimum and inherits its count, so the heaviest keys always survive.
+#[derive(Debug, Default)]
+struct SpaceSaving {
+    entries: Vec<(u64, u64)>,
+}
+
+impl SpaceSaving {
+    fn offer(&mut self, key: u64) {
+        if let Some(e) = self.entries.iter_mut().find(|(k, _)| *k == key) {
+            e.1 += 1;
+            return;
+        }
+        if self.entries.len() < TOP_KEYS {
+            self.entries.push((key, 1));
+            return;
+        }
+        // Replace the minimum-count entry; the newcomer inherits its
+        // count (+1), the classic SpaceSaving overestimate.
+        let min = self
+            .entries
+            .iter_mut()
+            .min_by_key(|(_, c)| *c)
+            .expect("sketch at capacity is non-empty");
+        *min = (key, min.1 + 1);
+    }
+
+    /// The tracked counters, hottest first, scaled back to estimated
+    /// (unsampled) touches.
+    fn top(&self) -> [HotKey; TOP_KEYS] {
+        let mut sorted = self.entries.clone();
+        sorted.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let mut out = [HotKey::default(); TOP_KEYS];
+        for (dst, (key, count)) in out.iter_mut().zip(sorted) {
+            *dst = HotKey { key, count: count.saturating_mul(SKETCH_SAMPLE) };
+        }
+        out
+    }
+}
 
 /// Number of logarithmic latency buckets: bucket 0 holds only the sample
 /// `0`, bucket `i >= 1` holds samples in `[2^(i-1), 2^i)` nanoseconds
@@ -138,6 +205,10 @@ pub struct ShardStats {
     mem_bytes: AtomicU64,
     /// Service time of point operations against this shard.
     op_latency: LatencyHistogram,
+    /// Point ops seen by the hot-key sampler (the 1-in-N gate).
+    sampled: AtomicU64,
+    /// The SpaceSaving hot-key sketch behind [`StatsSnapshot::top_keys`].
+    sketch: Mutex<SpaceSaving>,
 }
 
 impl ShardStats {
@@ -201,6 +272,21 @@ impl ShardStats {
         self.op_latency.record(ns);
     }
 
+    /// Offers a point-op key to the hot-key sketch, 1-in-[`SKETCH_SAMPLE`]
+    /// sampled. The off-sample majority pays one relaxed `fetch_add`; the
+    /// sampled minority takes a tiny uncontended mutex, and a *contended*
+    /// sample is simply dropped (`try_lock`) — the sketch trades accuracy,
+    /// never latency, and like the counters it runs outside the shard
+    /// lock's critical section.
+    pub fn note_key(&self, key: u64) {
+        if !self.sampled.fetch_add(1, Ordering::Relaxed).is_multiple_of(SKETCH_SAMPLE) {
+            return;
+        }
+        if let Ok(mut sketch) = self.sketch.try_lock() {
+            sketch.offer(key);
+        }
+    }
+
     /// Takes a plain-data snapshot.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
@@ -216,6 +302,7 @@ impl ShardStats {
             expired: self.expired.load(Ordering::Relaxed),
             mem_bytes: self.mem_bytes.load(Ordering::Relaxed),
             latency: self.op_latency.snapshot(),
+            top_keys: self.sketch.lock().unwrap_or_else(std::sync::PoisonError::into_inner).top(),
         }
     }
 }
@@ -250,6 +337,12 @@ pub struct StatsSnapshot {
     pub mem_bytes: u64,
     /// Point-op service-time histogram.
     pub latency: HistogramSnapshot,
+    /// Hottest keys by estimated touches, hottest first, empty slots
+    /// zero-count. Like `mem_bytes` this is gauge-shaped:
+    /// [`StatsSnapshot::delta`] carries the later snapshot's sketch and
+    /// [`StatsSnapshot::merge`] folds both sketches keeping the heaviest
+    /// [`TOP_KEYS`].
+    pub top_keys: [HotKey; TOP_KEYS],
 }
 
 impl StatsSnapshot {
@@ -287,6 +380,9 @@ impl StatsSnapshot {
             // Gauge, not counter: the window reports residency at close.
             mem_bytes: self.mem_bytes,
             latency: self.latency.since(&earlier.latency),
+            // The sketch is cumulative; a window reports the keys hot as
+            // of its close.
+            top_keys: self.top_keys,
         }
     }
 
@@ -312,6 +408,22 @@ impl StatsSnapshot {
         // Per-shard residency gauges sum into the store-wide total.
         self.mem_bytes += other.mem_bytes;
         self.latency.merge(&other.latency);
+        // Fold both sketches: sum estimates for shared keys, then keep
+        // the heaviest TOP_KEYS. Shards partition the keyspace, so in
+        // practice this interleaves disjoint lists.
+        let mut pool: Vec<HotKey> = Vec::with_capacity(2 * TOP_KEYS);
+        for hk in self.top_keys.iter().chain(&other.top_keys).filter(|hk| hk.count > 0) {
+            match pool.iter_mut().find(|p| p.key == hk.key) {
+                Some(p) => p.count += hk.count,
+                None => pool.push(*hk),
+            }
+        }
+        pool.sort_by(|a, b| b.count.cmp(&a.count).then(a.key.cmp(&b.key)));
+        let mut merged = [HotKey::default(); TOP_KEYS];
+        for (dst, src) in merged.iter_mut().zip(pool) {
+            *dst = src;
+        }
+        self.top_keys = merged;
     }
 }
 
@@ -499,6 +611,88 @@ mod tests {
         s.record_get(false);
         s.record_get(false);
         assert_eq!(s.snapshot().hit_pct(), Some(50.0));
+    }
+
+    #[test]
+    fn percentile_edge_cases() {
+        // Empty histogram: every percentile is 0, including the extremes.
+        let empty = HistogramSnapshot::default();
+        for p in [0.0, 1.0, 50.0, 100.0] {
+            assert_eq!(empty.percentile(p), 0, "empty histogram at p={p}");
+        }
+        // p = 0.0 clamps to rank 1 — the smallest sample's bucket bound,
+        // never a rank-0 read before the first bucket.
+        let h = LatencyHistogram::new();
+        for ns in [10u64, 2_000, 70_000] {
+            h.record(ns);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.percentile(0.0), 16, "p0 is the min sample's bucket bound");
+        // p = 1.0 with 3 samples: ceil(0.03) clamps to rank 1 too.
+        assert_eq!(s.percentile(1.0), 16);
+        // Single-bucket histogram: every percentile lands in that bucket,
+        // and the observed max caps the reported bound.
+        let h = LatencyHistogram::new();
+        for _ in 0..5 {
+            h.record(9); // all in bucket 4 = [8, 16)
+        }
+        let s = h.snapshot();
+        for p in [0.0, 1.0, 50.0, 100.0] {
+            assert_eq!(s.percentile(p), 9, "single-bucket at p={p}");
+        }
+    }
+
+    #[test]
+    fn delta_keeps_the_later_mem_bytes_even_when_the_earlier_is_larger() {
+        // The gauge is copied from the later snapshot, never differenced:
+        // a shard that shrank must report its (smaller) closing residency,
+        // not a saturated 0 or a wrapped near-u64::MAX value.
+        let earlier = StatsSnapshot { mem_bytes: 1_000, ..StatsSnapshot::default() };
+        let later = StatsSnapshot { mem_bytes: 64, ..StatsSnapshot::default() };
+        assert_eq!(later.delta(&earlier).mem_bytes, 64);
+        // Symmetric direction for completeness: growth also reports the
+        // closing value, not the difference.
+        assert_eq!(earlier.delta(&later).mem_bytes, 1_000);
+    }
+
+    #[test]
+    fn sketch_surfaces_the_heaviest_key() {
+        let s = ShardStats::new();
+        // 800 touches of key 1 → ~100 sampled offers; 20 background keys
+        // at 8 touches each can churn the low slots but never the top.
+        for _ in 0..800 {
+            s.note_key(1);
+        }
+        for k in 100..120u64 {
+            for _ in 0..8 {
+                s.note_key(k);
+            }
+        }
+        let top = s.snapshot().top_keys;
+        assert_eq!(top[0].key, 1, "hottest key leads the sketch: {top:?}");
+        assert!(top[0].count >= 400, "estimate scaled by the sample rate: {top:?}");
+        // Slots are sorted hottest-first and empty slots are zero-count.
+        for pair in top.windows(2) {
+            assert!(pair[0].count >= pair[1].count, "unsorted sketch: {top:?}");
+        }
+    }
+
+    #[test]
+    fn top_keys_merge_keeps_the_heaviest_across_shards() {
+        let mut a = StatsSnapshot::default();
+        a.top_keys[0] = HotKey { key: 1, count: 900 };
+        a.top_keys[1] = HotKey { key: 2, count: 50 };
+        let mut b = StatsSnapshot::default();
+        b.top_keys[0] = HotKey { key: 3, count: 400 };
+        b.top_keys[1] = HotKey { key: 1, count: 100 }; // shared key: sums
+        a.merge(&b);
+        assert_eq!(a.top_keys[0], HotKey { key: 1, count: 1_000 });
+        assert_eq!(a.top_keys[1], HotKey { key: 3, count: 400 });
+        assert_eq!(a.top_keys[2], HotKey { key: 2, count: 50 });
+        assert_eq!(a.top_keys[3], HotKey::default(), "empty slots stay zero");
+        // Delta carries the later sketch as-is (cumulative gauge).
+        let d = a.delta(&b);
+        assert_eq!(d.top_keys, a.top_keys);
     }
 
     #[test]

@@ -400,6 +400,7 @@ impl PolyStore {
         self.record_outcome(idx, &out, mem);
         let stats = &self.shards[idx].stats;
         stats.record_get(out.prev.is_some());
+        stats.note_key(key);
         stats.record_latency(t0.elapsed().as_nanos() as u64);
         out.prev
     }
@@ -426,6 +427,7 @@ impl PolyStore {
         self.record_outcome(idx, &out, mem);
         let stats = &self.shards[idx].stats;
         stats.record_put();
+        stats.note_key(key);
         stats.record_latency(t0.elapsed().as_nanos() as u64);
         out.prev
     }
@@ -450,6 +452,7 @@ impl PolyStore {
         self.record_outcome(idx, &out, mem);
         let stats = &self.shards[idx].stats;
         stats.record_remove();
+        stats.note_key(key);
         stats.record_latency(t0.elapsed().as_nanos() as u64);
         out.prev
     }
@@ -595,12 +598,27 @@ impl PolyStore {
     /// summed into the store-wide residency), plus scan service times
     /// folded into the latency histogram.
     pub fn total_stats(&self) -> StatsSnapshot {
+        self.stats_with_shards().0
+    }
+
+    /// The merged total *and* the per-shard snapshots it was merged from,
+    /// in one snapshot pass. A caller that needs both views coherent —
+    /// the heat collector's telescoping invariant requires Σ per-shard
+    /// point-op deltas == aggregate point-op delta *exactly*, per window —
+    /// must use this instead of calling [`PolyStore::total_stats`] and
+    /// [`PolyStore::shard_stats`] back to back, where ops landing between
+    /// the two passes would break the equality.
+    pub fn stats_with_shards(&self) -> (StatsSnapshot, Vec<StatsSnapshot>) {
+        let shards = self.shard_stats();
         let mut total = StatsSnapshot::default();
-        for s in &self.shards {
-            total.merge(&s.stats.snapshot());
+        for s in &shards {
+            total.merge(s);
         }
+        // Scan service times live store-wide, not per shard; folding them
+        // here touches only the histogram, never point_ops, so the
+        // shard/total point-op equality holds by construction.
         total.latency.merge(&self.scan_latency.snapshot());
-        total
+        (total, shards)
     }
 }
 

@@ -9,6 +9,7 @@
 
 use poly_report::{fmt_f64, fmt_opt_f64, json_escape};
 
+use crate::heat::HeatSample;
 use crate::sample::WindowSample;
 
 /// Builds a Trace Event JSON document from window timelines.
@@ -74,6 +75,36 @@ impl ChromeTrace {
             }
         }
         tid
+    }
+
+    /// Adds one cell's heat windows as one track *per shard* (named
+    /// `"{base}/shard3"`): each shard's windows render as slices whose
+    /// `ops` scale with that shard's share of the load, so a skewed
+    /// keyspace reads directly off the flame view as one dense track
+    /// among idle ones. Returns the number of tracks added (the widest
+    /// window's shard count; shards missing from a narrower window
+    /// render that window as zero ops).
+    pub fn add_shard_tracks(&mut self, base: &str, heat: &[HeatSample]) -> u64 {
+        let shard_count = heat.iter().map(|h| h.shards.len()).max().unwrap_or(0);
+        for shard in 0..shard_count {
+            let windows: Vec<WindowSample> = heat
+                .iter()
+                .map(|h| {
+                    let s = h.shards.get(shard);
+                    WindowSample {
+                        window: h.window,
+                        start_ns: h.start_ns,
+                        end_ns: h.end_ns,
+                        ops: s.map_or(0, |s| s.ops),
+                        lock_wait_ns: s.map_or(0, |s| s.lock_wait_ns),
+                        lock_hold_ns: s.map_or(0, |s| s.lock_hold_ns),
+                        ..WindowSample::default()
+                    }
+                })
+                .collect();
+            self.add_track(&format!("{base}/shard{shard}"), &windows);
+        }
+        shard_count as u64
     }
 
     /// The complete Trace Event JSON document.
@@ -173,6 +204,30 @@ mod tests {
         let json = trace.to_json();
         assert!(json.contains("\"tid\":0"));
         assert!(json.contains("\"tid\":1"));
+    }
+
+    #[test]
+    fn shard_tracks_fan_one_heat_timeline_into_per_shard_flames() {
+        use crate::heat::ShardHeat;
+        let heat = vec![HeatSample {
+            window: 0,
+            start_ns: 0,
+            end_ns: 50_000_000,
+            shards: vec![
+                ShardHeat { ops: 900, lock_wait_ns: 10_000_000, ..ShardHeat::default() },
+                ShardHeat { ops: 100, ..ShardHeat::default() },
+            ],
+        }];
+        let mut trace = ChromeTrace::new();
+        assert_eq!(trace.add_shard_tracks("kv-zipf/local/MUTEXEE/t4", &heat), 2);
+        assert_eq!(trace.tracks(), 2);
+        let json = trace.to_json();
+        assert!(json.contains("\"name\":\"kv-zipf/local/MUTEXEE/t4/shard0\""), "{json}");
+        assert!(json.contains("\"name\":\"kv-zipf/local/MUTEXEE/t4/shard1\""), "{json}");
+        assert!(json.contains("\"ops\":900"), "{json}");
+        assert!(json.contains("\"ops\":100"), "{json}");
+        // Only the contended shard gets a lock-wait child.
+        assert_eq!(json.matches("\"lock-wait\"").count(), 1, "{json}");
     }
 
     #[test]

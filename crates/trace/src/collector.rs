@@ -13,6 +13,7 @@
 //!   lifetime of `store serve`, feeding the ring the STATS v2 frame and
 //!   `store top` read from.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -23,9 +24,18 @@ use poly_store::{
     StatsSnapshot,
 };
 
+use crate::heat::{HeatSample, HeatWindower};
 use crate::ring::TraceRing;
 use crate::sample::WindowSample;
 use crate::windower::Windower;
+
+/// Shared slot holding the collector's most recent closed
+/// [`HeatSample`]: the source the STATS heat opcode answers from.
+/// `None` until the first window closes. A plain mutex (not the
+/// lock-free ring) because heat windows are variable-width — one
+/// [`ShardHeat`](crate::ShardHeat) per shard plus a key list — and the
+/// readers (one frame handler per request) are far off the hot path.
+pub type HeatHandle = Arc<Mutex<Option<HeatSample>>>;
 
 /// Telemetry parameters of a traced run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -211,6 +221,8 @@ pub fn run_load_traced<S: KvService>(
 /// percentiles are service times, not client request latencies.
 pub struct StoreCollector {
     ring: Arc<TraceRing>,
+    heat: HeatHandle,
+    heat_log: Arc<Mutex<VecDeque<HeatSample>>>,
     stop: Arc<AtomicBool>,
     handle: Option<std::thread::JoinHandle<()>>,
 }
@@ -231,16 +243,23 @@ impl StoreCollector {
         freq_khz: Option<u64>,
     ) -> Self {
         let ring = Arc::new(TraceRing::new(capacity));
+        let heat: HeatHandle = Arc::new(Mutex::new(None));
+        let heat_log = Arc::new(Mutex::new(VecDeque::new()));
         let stop = Arc::new(AtomicBool::new(false));
         let thread_ring = Arc::clone(&ring);
+        let thread_heat = Arc::clone(&heat);
+        let thread_heat_log = Arc::clone(&heat_log);
         let thread_stop = Arc::clone(&stop);
         let handle = std::thread::spawn(move || {
             let origin = Instant::now();
             let marks = |stats: &StatsSnapshot| (stats.point_ops(), stats.latency);
-            let stats = store.total_stats();
+            // One snapshot pass feeds both accountings, so a window's
+            // per-shard heat ops sum to its aggregate ops *exactly*.
+            let (stats, shards) = store.stats_with_shards();
             let measured = sampler.as_ref().map(|s| s.reading());
             let (ops, hist) = marks(&stats);
             let mut windower = Windower::open(0, ops, hist, stats, measured, freq_khz);
+            let mut heat_windower = HeatWindower::open(0, shards);
             let slice = poll_slice(interval);
             let mut next = origin + interval;
             while !thread_stop.load(Ordering::Acquire) {
@@ -249,23 +268,46 @@ impl StoreCollector {
                 if now < next {
                     continue;
                 }
-                let stats = store.total_stats();
+                let (stats, shards) = store.stats_with_shards();
                 let measured = sampler.as_ref().map(|s| s.reading());
                 let (ops, hist) = marks(&stats);
                 let now_ns = now.duration_since(origin).as_nanos() as u64;
                 thread_ring.push(&windower.tick(now_ns, ops, hist, stats, measured));
+                let sample = heat_windower.tick(now_ns, &shards);
+                {
+                    let mut log = thread_heat_log.lock().unwrap();
+                    while log.len() >= capacity {
+                        log.pop_front();
+                    }
+                    log.push_back(sample.clone());
+                }
+                *thread_heat.lock().unwrap() = Some(sample);
                 next += interval;
                 if next < now {
                     next = now + interval;
                 }
             }
         });
-        Self { ring, stop, handle: Some(handle) }
+        Self { ring, heat, heat_log, stop, handle: Some(handle) }
     }
 
     /// The ring the windows land in (hand it to the STATS v2 server).
     pub fn ring(&self) -> Arc<TraceRing> {
         Arc::clone(&self.ring)
+    }
+
+    /// The slot holding the most recent closed heat window (hand it to
+    /// the STATS heat server opcode).
+    pub fn heat_handle(&self) -> HeatHandle {
+        Arc::clone(&self.heat)
+    }
+
+    /// Snapshot of the heat windows collected so far, oldest first.
+    /// Bounded like the ring: at most `capacity` windows are kept,
+    /// oldest dropped — the per-window sibling of
+    /// [`TraceRing::snapshot`].
+    pub fn heat_log(&self) -> Vec<HeatSample> {
+        self.heat_log.lock().unwrap().iter().cloned().collect()
     }
 
     /// Stops the collector thread and waits for it (idempotent; also
@@ -406,6 +448,19 @@ mod tests {
         assert!(total_ops > 0);
         assert!(total_ops <= stats.point_ops());
         assert!(windows.iter().all(|w| !w.measured));
+        // The heat log rides the same ticks: one heat window per
+        // aggregate window, per-shard ops summing to the aggregate's
+        // exactly (both sides of each tick read one snapshot pass).
+        let heat = collector.heat_log();
+        assert_eq!(heat.len(), windows.len());
+        for (h, w) in heat.iter().zip(&windows) {
+            assert_eq!(h.window, w.window);
+            assert_eq!((h.start_ns, h.end_ns), (w.start_ns, w.end_ns));
+            assert_eq!(h.shards.len(), 4, "one ShardHeat per store shard");
+            assert_eq!(h.total_ops(), w.ops, "per-shard heat must telescope to the aggregate");
+        }
+        let latest = collector.heat_handle().lock().unwrap().clone();
+        assert_eq!(latest.as_ref(), heat.last(), "handle tracks the last closed window");
         // Stop is idempotent and drop after stop is fine.
         collector.stop();
     }

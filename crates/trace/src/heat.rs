@@ -1,0 +1,317 @@
+//! Per-shard heat telemetry: the contention-point view the aggregate
+//! [`WindowSample`](crate::WindowSample) cannot give.
+//!
+//! The paper's argument is that lock behavior must be measured per
+//! contention point, not modeled in aggregate — and in this store the
+//! contention points are the shards. A [`HeatSample`] is one collector
+//! window broken down by shard: point ops, lock wait/hold, evictions,
+//! the residency gauge, and the shard's hot-key sketch. Per-shard ops
+//! telescope exactly like the aggregate windows do: summing a window's
+//! [`ShardHeat::ops`] across shards reproduces the matching
+//! `WindowSample::ops` when both came from the same snapshot pass
+//! ([`poly_store::PolyStore::stats_with_shards`]) — the invariant the
+//! hot-shard rebalancer and autotuner will steer by.
+
+use std::io::{self, Write};
+
+use poly_report::{fmt_opt_f64, json_escape};
+use poly_store::{HotKey, StatsSnapshot};
+
+use crate::timeline::TimelineCell;
+
+/// One shard's activity over a heat window. Every field but the gauges
+/// is a delta over the window.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ShardHeat {
+    /// Point ops (gets + puts + removes) the shard served in the window.
+    pub ops: u64,
+    /// Shard-lock wait accumulated in the window, nanoseconds.
+    pub lock_wait_ns: u64,
+    /// Shard-lock hold accumulated in the window, nanoseconds.
+    pub lock_hold_ns: u64,
+    /// Entries the CLOCK hand evicted from the shard in the window.
+    pub evictions: u64,
+    /// Resident value bytes in the shard's slab at window close (gauge).
+    pub mem_bytes: u64,
+    /// The shard's hot-key sketch as of window close (cumulative, like
+    /// the gauges): hottest first, zero-count slots dropped.
+    pub top_keys: Vec<HotKey>,
+}
+
+/// One window of per-shard heat, collected beside the aggregate
+/// [`WindowSample`](crate::WindowSample) by the
+/// [`StoreCollector`](crate::StoreCollector).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HeatSample {
+    /// Window index within the run (0-based, contiguous — matches the
+    /// aggregate window pushed at the same tick).
+    pub window: u64,
+    /// Window start, nanoseconds since the collector spawned.
+    pub start_ns: u64,
+    /// Window end, nanoseconds since the collector spawned.
+    pub end_ns: u64,
+    /// Per-shard breakdown, indexed by shard.
+    pub shards: Vec<ShardHeat>,
+}
+
+impl HeatSample {
+    /// Point ops across all shards this window (equals the matching
+    /// aggregate window's `ops` by construction).
+    pub fn total_ops(&self) -> u64 {
+        self.shards.iter().map(|s| s.ops).sum()
+    }
+
+    /// Shard skew: the hottest shard's ops over the mean shard's ops
+    /// (1.0 = perfectly balanced, `shards.len()` = one shard took
+    /// everything). `None` when the window saw no ops.
+    pub fn shard_skew(&self) -> Option<f64> {
+        shard_skew(&self.ops_per_shard())
+    }
+
+    /// Share of the window's point ops the hottest shard absorbed, as a
+    /// percentage. `None` when the window saw no ops.
+    pub fn top_shard_pct(&self) -> Option<f64> {
+        top_shard_pct(&self.ops_per_shard())
+    }
+
+    /// The hottest shard this window (by ops), `None` when idle.
+    pub fn hottest(&self) -> Option<(usize, &ShardHeat)> {
+        self.shards
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.ops > 0)
+            .max_by_key(|(i, s)| (s.ops, usize::MAX - i))
+    }
+
+    fn ops_per_shard(&self) -> Vec<u64> {
+        self.shards.iter().map(|s| s.ops).collect()
+    }
+}
+
+/// Shard skew over per-shard point-op counts: max/mean. `None` when no
+/// shard saw an op (skew of nothing is not 0, it is undefined). Shared
+/// by the per-window view and the aggregate report columns.
+pub fn shard_skew(ops: &[u64]) -> Option<f64> {
+    let total: u64 = ops.iter().sum();
+    if total == 0 || ops.is_empty() {
+        return None;
+    }
+    let max = *ops.iter().max().expect("non-empty");
+    Some(max as f64 * ops.len() as f64 / total as f64)
+}
+
+/// The hottest shard's share of all point ops, percent. `None` when no
+/// shard saw an op.
+pub fn top_shard_pct(ops: &[u64]) -> Option<f64> {
+    let total: u64 = ops.iter().sum();
+    if total == 0 {
+        return None;
+    }
+    let max = *ops.iter().max().expect("nonzero total implies non-empty");
+    Some(max as f64 * 100.0 / total as f64)
+}
+
+/// Per-shard window accounting over cumulative per-shard snapshots —
+/// the per-shard sibling of [`Windower`](crate::Windower), driven by the
+/// same virtual clock so the two stay in lockstep.
+#[derive(Debug)]
+pub struct HeatWindower {
+    window: u64,
+    last_ns: u64,
+    last: Vec<StatsSnapshot>,
+}
+
+impl HeatWindower {
+    /// Opens the accounting at `now_ns` with the per-shard base marks.
+    pub fn open(now_ns: u64, shards: Vec<StatsSnapshot>) -> Self {
+        Self { window: 0, last_ns: now_ns, last: shards }
+    }
+
+    /// Closes the current window at fresh per-shard marks and opens the
+    /// next. Clock regressions clamp to zero-length windows, matching
+    /// the aggregate windower.
+    pub fn tick(&mut self, now_ns: u64, shards: &[StatsSnapshot]) -> HeatSample {
+        let end_ns = now_ns.max(self.last_ns);
+        let heat = HeatSample {
+            window: self.window,
+            start_ns: self.last_ns,
+            end_ns,
+            shards: shards
+                .iter()
+                .zip(&self.last)
+                .map(|(now, last)| {
+                    let d = now.delta(last);
+                    ShardHeat {
+                        ops: d.point_ops(),
+                        lock_wait_ns: d.lock_wait_ns,
+                        lock_hold_ns: d.lock_hold_ns,
+                        evictions: d.evictions,
+                        mem_bytes: d.mem_bytes,
+                        top_keys: now.top_keys.iter().copied().filter(|hk| hk.count > 0).collect(),
+                    }
+                })
+                .collect(),
+        };
+        self.window += 1;
+        self.last_ns = end_ns;
+        self.last = shards.to_vec();
+        heat
+    }
+}
+
+/// Writes one cell's heat windows as heat JSONL records: one line per
+/// shard per window, stamped with the cell identity (the join key back
+/// to the aggregate and timeline rows) and the window-level skew
+/// summaries repeated on every shard row so a single `grep` can filter
+/// by either axis. Hand-rolled flat JSON like the timeline sink, plus
+/// one nested `top_keys` array of `{"key":K,"count":C}` objects.
+pub fn write_heat<W: Write>(
+    w: &mut W,
+    cell: &TimelineCell,
+    samples: &[HeatSample],
+) -> io::Result<()> {
+    for sample in samples {
+        let skew = fmt_opt_f64(sample.shard_skew());
+        let top_pct = fmt_opt_f64(sample.top_shard_pct());
+        for (idx, shard) in sample.shards.iter().enumerate() {
+            let keys: Vec<String> = shard
+                .top_keys
+                .iter()
+                .map(|hk| format!("{{\"key\":{},\"count\":{}}}", hk.key, hk.count))
+                .collect();
+            writeln!(
+                w,
+                "{{\"scenario\":{},\"workload\":{},\"transport\":{},\
+                 \"server\":{},\"lock\":{},\"shards\":{},\"threads\":{},\"seed\":{},\
+                 \"window\":{},\"start_ns\":{},\"end_ns\":{},\"shard\":{},\"ops\":{},\
+                 \"lock_wait_ns\":{},\"lock_hold_ns\":{},\"evictions\":{},\"mem_bytes\":{},\
+                 \"shard_skew\":{},\"top_shard_pct\":{},\"top_keys\":[{}]}}",
+                json_escape(&cell.scenario),
+                json_escape(&cell.workload),
+                json_escape(&cell.transport),
+                json_escape(&cell.server),
+                json_escape(&cell.lock),
+                cell.shards,
+                cell.threads,
+                cell.seed,
+                sample.window,
+                sample.start_ns,
+                sample.end_ns,
+                idx,
+                shard.ops,
+                shard.lock_wait_ns,
+                shard.lock_hold_ns,
+                shard.evictions,
+                shard.mem_bytes,
+                skew,
+                top_pct,
+                keys.join(",")
+            )?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use poly_store::ShardStats;
+
+    fn heat(ops: &[u64]) -> HeatSample {
+        HeatSample {
+            window: 0,
+            start_ns: 0,
+            end_ns: 1_000,
+            shards: ops.iter().map(|&o| ShardHeat { ops: o, ..ShardHeat::default() }).collect(),
+        }
+    }
+
+    #[test]
+    fn skew_summaries() {
+        // Perfectly balanced: skew 1, top share 25%.
+        let h = heat(&[10, 10, 10, 10]);
+        assert_eq!(h.shard_skew(), Some(1.0));
+        assert_eq!(h.top_shard_pct(), Some(25.0));
+        // One shard takes everything: skew = shard count, share 100%.
+        let h = heat(&[0, 40, 0, 0]);
+        assert_eq!(h.shard_skew(), Some(4.0));
+        assert_eq!(h.top_shard_pct(), Some(100.0));
+        assert_eq!(h.hottest().map(|(i, s)| (i, s.ops)), Some((1, 40)));
+        // Idle window: skew is undefined, not 0 or NaN.
+        let h = heat(&[0, 0]);
+        assert_eq!(h.shard_skew(), None);
+        assert_eq!(h.top_shard_pct(), None);
+        assert_eq!(h.hottest().map(|(i, _)| i), None);
+        assert_eq!(shard_skew(&[]), None);
+        assert_eq!(top_shard_pct(&[]), None);
+    }
+
+    #[test]
+    fn heat_windower_deltas_per_shard() {
+        let a = ShardStats::new();
+        let b = ShardStats::new();
+        a.record_get(true);
+        a.record_lock(10, 20);
+        let mut hw = HeatWindower::open(0, vec![a.snapshot(), b.snapshot()]);
+        a.record_put();
+        a.record_lock(5, 7);
+        b.record_remove();
+        b.record_evictions(3);
+        b.set_mem_bytes(64);
+        let h = hw.tick(1_000, &[a.snapshot(), b.snapshot()]);
+        assert_eq!(h.window, 0);
+        assert_eq!((h.start_ns, h.end_ns), (0, 1_000));
+        assert_eq!(h.shards[0].ops, 1, "only the put landed in the window");
+        assert_eq!((h.shards[0].lock_wait_ns, h.shards[0].lock_hold_ns), (5, 7));
+        assert_eq!(h.shards[1].ops, 1);
+        assert_eq!(h.shards[1].evictions, 3);
+        assert_eq!(h.shards[1].mem_bytes, 64, "gauge at window close");
+        assert_eq!(h.total_ops(), 2);
+        // The next tick telescopes from the previous marks.
+        a.record_get(false);
+        let h2 = hw.tick(2_000, &[a.snapshot(), b.snapshot()]);
+        assert_eq!(h2.window, 1);
+        assert_eq!((h2.start_ns, h2.end_ns), (1_000, 2_000));
+        assert_eq!(h2.total_ops(), 1);
+        // A clock regression clamps to a zero-length window.
+        let h3 = hw.tick(500, &[a.snapshot(), b.snapshot()]);
+        assert_eq!((h3.start_ns, h3.end_ns), (2_000, 2_000));
+    }
+
+    #[test]
+    fn heat_rows_render_one_line_per_shard_per_window() {
+        let cell = TimelineCell {
+            scenario: "kv-zipf".into(),
+            workload: "kv/2sh/z1200/g70p25d3s2".into(),
+            transport: "local".into(),
+            server: "none".into(),
+            lock: "MUTEXEE".into(),
+            shards: 2,
+            threads: 2,
+            seed: 42,
+        };
+        let mut sample = heat(&[30, 10]);
+        sample.shards[0].top_keys = vec![HotKey { key: 7, count: 80 }];
+        let mut out = Vec::new();
+        write_heat(&mut out, &cell, &[sample]).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "one row per shard");
+        // Pin the full identity head: json_escape supplies the quotes,
+        // so the format string must not add its own.
+        assert!(
+            lines[0].starts_with(
+                "{\"scenario\":\"kv-zipf\",\"workload\":\"kv/2sh/z1200/g70p25d3s2\",\
+                 \"transport\":\"local\",\"server\":\"none\",\"lock\":\"MUTEXEE\",\
+                 \"shards\":2,\"threads\":2,\"seed\":42,"
+            ),
+            "{}",
+            lines[0]
+        );
+        assert!(lines[0].contains("\"shard\":0,\"ops\":30"), "{}", lines[0]);
+        assert!(lines[0].contains("\"shard_skew\":1.5,\"top_shard_pct\":75"), "{}", lines[0]);
+        assert!(lines[0].contains("\"top_keys\":[{\"key\":7,\"count\":80}]"), "{}", lines[0]);
+        assert!(lines[1].contains("\"shard\":1,\"ops\":10"), "{}", lines[1]);
+        assert!(lines[1].ends_with("\"top_keys\":[]}"), "{}", lines[1]);
+    }
+}

@@ -19,6 +19,10 @@
 //!   aggregate report);
 //! * [`StoreCollector`] — the serve-mode collector watching a
 //!   [`poly_store::PolyStore`] for the server's lifetime;
+//! * [`HeatSample`] / [`HeatWindower`] / [`write_heat`] — the per-shard
+//!   heat layer: windowed per-shard deltas with hot-key sketches,
+//!   collected beside the aggregate windows from the same snapshot pass
+//!   so per-shard ops telescope to the aggregate exactly;
 //! * [`TimelineRow`] / [`write_timeline`] — the `*.timeline.jsonl` sink
 //!   (schema owned by `poly-report`'s `TIMELINE` registry);
 //! * [`ChromeTrace`] — the chrome://tracing (`trace_event`) exporter
@@ -45,14 +49,16 @@
 
 mod chrome;
 mod collector;
+mod heat;
 mod ring;
 mod sample;
 mod timeline;
 mod windower;
 
 pub use chrome::ChromeTrace;
-pub use collector::{run_load_traced, LoadTelemetry, StoreCollector, TraceSpec};
+pub use collector::{run_load_traced, HeatHandle, LoadTelemetry, StoreCollector, TraceSpec};
+pub use heat::{shard_skew, top_shard_pct, write_heat, HeatSample, HeatWindower, ShardHeat};
 pub use ring::TraceRing;
 pub use sample::{WindowSample, WORDS};
-pub use timeline::{write_timeline, TimelineCell, TimelineRow};
+pub use timeline::{write_timeline, write_timeline_with_heat, TimelineCell, TimelineRow};
 pub use windower::Windower;

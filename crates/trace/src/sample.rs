@@ -1,8 +1,10 @@
 //! One telemetry window and its fixed-width word encoding.
 
 /// Number of `u64` words a [`WindowSample`] encodes to — the unit the
-/// lock-free ring stores and the STATS v2 frame carries.
-pub const WORDS: usize = 16;
+/// lock-free ring stores and the STATS v2 frame carries. Alias of
+/// [`WindowSample::WIRE_WORDS`], kept for the existing `[u64; WORDS]`
+/// signatures.
+pub const WORDS: usize = WindowSample::WIRE_WORDS;
 
 /// One window of a run's telemetry: what happened between two collector
 /// ticks.
@@ -54,6 +56,11 @@ pub struct WindowSample {
 }
 
 impl WindowSample {
+    /// Single source of truth for the wire/ring word count. Encoders,
+    /// decoders, and frame-size arithmetic must all derive from this —
+    /// never restate the literal.
+    pub const WIRE_WORDS: usize = 16;
+
     /// Window duration in nanoseconds (saturating; 0 for a degenerate
     /// window).
     pub fn duration_ns(&self) -> u64 {
@@ -184,6 +191,16 @@ mod tests {
             evictions: 40,
             mem_bytes: 1 << 20,
         }
+    }
+
+    #[test]
+    fn wire_words_guards_encoding_drift() {
+        // Adding a WindowSample field without bumping WIRE_WORDS (and the
+        // wire protocol version policy) must fail here, not in a decoder
+        // on the other end of a socket.
+        assert_eq!(WORDS, WindowSample::WIRE_WORDS);
+        assert_eq!(sample().to_words().len(), WindowSample::WIRE_WORDS);
+        assert_eq!(WindowSample::WIRE_WORDS, 16, "bump deliberately, with the STATS frame");
     }
 
     #[test]

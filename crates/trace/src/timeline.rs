@@ -75,6 +75,12 @@ pub struct TimelineRow {
     pub hit_pct: Option<f64>,
     /// Entries evicted by the CLOCK hand in the window.
     pub evictions: Option<u64>,
+    /// Shard skew over the window: hottest shard's point-ops over the
+    /// mean shard's (`None` for emitters without a per-shard sensor —
+    /// simulated cells — or idle windows).
+    pub shard_skew: Option<f64>,
+    /// The hottest shard's share of the window's point ops, percent.
+    pub top_shard_pct: Option<f64>,
 }
 
 impl TimelineRow {
@@ -98,7 +104,20 @@ impl TimelineRow {
             mem_bytes: Some(w.mem_bytes),
             hit_pct: w.hit_pct(),
             evictions: Some(w.evictions),
+            // The aggregate sample cannot see shards; callers with a
+            // matching HeatSample join the skew in via with_heat.
+            shard_skew: None,
+            top_shard_pct: None,
         }
+    }
+
+    /// Joins a matching [`HeatSample`](crate::HeatSample)'s skew
+    /// summaries into the row (the window indices must agree — they do
+    /// when both came from the same collector tick).
+    pub fn with_heat(mut self, heat: &crate::HeatSample) -> Self {
+        self.shard_skew = heat.shard_skew();
+        self.top_shard_pct = heat.top_shard_pct();
+        self
     }
 
     /// Renders the row as one timeline JSONL record for `cell`.
@@ -128,18 +147,37 @@ impl TimelineRow {
             Value::OptU64(self.mem_bytes),
             Value::OptF64(self.hit_pct),
             Value::OptU64(self.evictions),
+            Value::OptF64(self.shard_skew),
+            Value::OptF64(self.top_shard_pct),
         ])
     }
 }
 
-/// Writes one cell's windows as timeline JSONL records.
+/// Writes one cell's windows as timeline JSONL records (heat columns
+/// `null`; use [`write_timeline_with_heat`] when heat windows exist).
 pub fn write_timeline<W: Write>(
     w: &mut W,
     cell: &TimelineCell,
     windows: &[WindowSample],
 ) -> io::Result<()> {
+    write_timeline_with_heat(w, cell, windows, &[])
+}
+
+/// Writes one cell's windows as timeline JSONL records, joining each
+/// window's skew summaries from the heat window with the matching
+/// index (windows without a heat match render the heat columns `null`).
+pub fn write_timeline_with_heat<W: Write>(
+    w: &mut W,
+    cell: &TimelineCell,
+    windows: &[WindowSample],
+    heat: &[crate::HeatSample],
+) -> io::Result<()> {
     for sample in windows {
-        writeln!(w, "{}", TimelineRow::from_window(sample).to_json(cell))?;
+        let mut row = TimelineRow::from_window(sample);
+        if let Some(h) = heat.iter().find(|h| h.window == sample.window) {
+            row = row.with_heat(h);
+        }
+        writeln!(w, "{}", row.to_json(cell))?;
     }
     Ok(())
 }
@@ -190,8 +228,21 @@ mod tests {
              \"start_ns\":100000000,\"end_ns\":150000000,\"ops\":5000,\"throughput\":100000,\
              \"p50_ns\":1024,\"p99_ns\":8192,\"lock_wait_ns\":3000000,\"lock_hold_ns\":1000000,\
              \"measured_pkg_j\":2,\"measured_dram_j\":0,\"measured_w\":40,\
-             \"freq_khz\":1200000,\"mem_bytes\":65536,\"hit_pct\":75,\"evictions\":12}"
+             \"freq_khz\":1200000,\"mem_bytes\":65536,\"hit_pct\":75,\"evictions\":12,\
+             \"shard_skew\":null,\"top_shard_pct\":null}"
         );
+        // Joining a heat window fills the skew columns.
+        let heat = crate::HeatSample {
+            window: 2,
+            start_ns: 100_000_000,
+            end_ns: 150_000_000,
+            shards: vec![
+                crate::ShardHeat { ops: 3_000, ..Default::default() },
+                crate::ShardHeat { ops: 2_000, ..Default::default() },
+            ],
+        };
+        let joined = TimelineRow::from_window(&w).with_heat(&heat).to_json(&cell());
+        assert!(joined.ends_with("\"shard_skew\":1.2,\"top_shard_pct\":60}"), "{joined}");
     }
 
     #[test]
