@@ -52,6 +52,9 @@ fn usage() -> ! {
          \x20 heat <addr> [options]        live per-shard heat map of a serving store\n\
          \x20                              (STATS heat; degrades to the aggregate view\n\
          \x20                              against pre-heat servers)\n\
+         \x20 events <addr> [options]      tail the structured event journal of a serving\n\
+         \x20                              store (EVENTS; degrades to the aggregate view\n\
+         \x20                              against pre-events servers)\n\
          \x20 calibrate <sweep.jsonl>      per-frequency measured/modeled residual table\n\
          \n\
          options (run and sweep):\n\
@@ -119,8 +122,13 @@ fn usage() -> ! {
          \x20 --server threads|epoll       serving architecture (default: threads)\n\
          \x20 --freq K                     cap the host at K kHz while serving (restored at\n\
          \x20                              shutdown)\n\
+         \x20 --metrics-addr HOST:PORT     serve GET /metrics (Prometheus text), /healthz,\n\
+         \x20                              and /vars (JSON) on a sidecar HTTP listener\n\
+         \x20                              (port 0 = OS pick; the bound address prints as\n\
+         \x20                              a second 'metrics <addr>' stdout line)\n\
+         \x20 --events FILE                append every journal event to FILE as JSONL\n\
          \n\
-         options (top and heat only):\n\
+         options (top, heat, and events):\n\
          \x20 --frames N                   refresh N times then exit (default: 0 = forever)\n\
          \n\
          options (calibrate only):\n\
@@ -192,8 +200,14 @@ struct Options {
     /// `--heat FILE`: per-shard heat JSONL sink (one row per shard per
     /// window, hot-key sketches nested).
     heat: Option<String>,
-    /// `--frames N` (top): refresh N times then exit; 0 = forever.
+    /// `--frames N` (top, heat, and events): refresh N times then exit;
+    /// 0 = forever.
     frames: u64,
+    /// `--metrics-addr HOST:PORT` (serve): expose /metrics, /healthz,
+    /// and /vars on a sidecar HTTP listener.
+    metrics_addr: Option<String>,
+    /// `--events FILE` (serve): append every journal event as JSONL.
+    events: Option<String>,
     /// `--value-bytes N`: override the mix's value-size distribution
     /// with fixed N-byte values.
     value_bytes: Option<u32>,
@@ -275,6 +289,8 @@ fn parse_options(args: &[String]) -> Options {
         chrome_out: None,
         heat: None,
         frames: 0,
+        metrics_addr: None,
+        events: None,
         value_bytes: None,
         ttl: None,
         mem_budget: None,
@@ -376,6 +392,8 @@ fn parse_options(args: &[String]) -> Options {
             "--frames" => {
                 opts.frames = value().parse().unwrap_or_else(|_| fail("bad --frames".into()));
             }
+            "--metrics-addr" => opts.metrics_addr = Some(value().to_string()),
+            "--events" => opts.events = Some(value().to_string()),
             "--value-bytes" => {
                 let v = value();
                 let n: u32 = v.parse().unwrap_or_else(|_| fail(format!("bad --value-bytes: {v}")));
@@ -936,6 +954,14 @@ fn cmd_serve(opts: &Options) {
     let lock = *opts.locks.first().unwrap_or(&LockKind::Mutexee);
     let shards = *opts.shards.first().unwrap_or(&32);
     let arch = *opts.servers.first().unwrap_or(&Arch::Threads);
+    // The JSONL event sink goes in first, so even the cap-apply events of
+    // this very startup land in the file.
+    if let Some(path) = &opts.events {
+        let f = std::fs::File::create(path)
+            .unwrap_or_else(|e| fail(format!("cannot create {path}: {e}")));
+        poly_obs::journal().set_sink(Box::new(std::io::BufWriter::new(f)));
+        eprintln!("journaling events to {path}");
+    }
     let store = Arc::new(PolyStore::new(StoreConfig {
         shards,
         lock,
@@ -988,6 +1014,33 @@ fn cmd_serve(opts: &Options) {
     // OS picks); everything else to stderr.
     println!("{}", server.local_addr());
     std::io::stdout().flush().ok();
+    // With --metrics-addr, a sidecar HTTP listener scrapes the same
+    // atomics STATS reads: store counters, serving-path counters, and —
+    // when present — the sampler's joules and the collector's windows.
+    // /healthz reports ready as long as the TCP front-end is serving.
+    let serving = Arc::new(AtomicBool::new(true));
+    let _metrics = opts.metrics_addr.as_deref().map(|addr| {
+        let registry = Arc::new(poly_obs::MetricRegistry::new());
+        store.register_metrics(&registry);
+        server.register_metrics(&registry);
+        if let Some(s) = &sampler {
+            s.register_metrics(&registry);
+        }
+        if let Some(c) = &collector {
+            c.register_metrics(&registry);
+        }
+        let ready = {
+            let serving = Arc::clone(&serving);
+            move || serving.load(Ordering::SeqCst)
+        };
+        let ms = poly_obs::MetricsServer::serve(addr, registry, ready)
+            .unwrap_or_else(|e| fail(format!("binding metrics sidecar {addr}: {e}")));
+        // The second stdout line, for scripts: `metrics <addr>`.
+        println!("metrics {}", ms.local_addr());
+        std::io::stdout().flush().ok();
+        eprintln!("metrics on http://{0}/metrics (also /healthz, /vars)", ms.local_addr());
+        ms
+    });
     eprintln!(
         "serving {} shards under {} on {} ({} architecture; EOF on stdin stops the server)",
         shards,
@@ -1019,6 +1072,7 @@ fn cmd_serve(opts: &Options) {
             Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {}
         }
     }
+    serving.store(false, Ordering::SeqCst);
     server.shutdown();
     if let Some(c) = collector.as_mut() {
         c.stop();
@@ -1026,8 +1080,8 @@ fn cmd_serve(opts: &Options) {
     }
     let net = server.net_stats();
     eprintln!(
-        "served {} connections, {} frames ({} B in, {} B out)",
-        net.connections, net.frames, net.bytes_in, net.bytes_out
+        "served {} connections (peak {} concurrent, {} refused), {} frames ({} B in, {} B out)",
+        net.connections, net.peak_conns, net.refused, net.frames, net.bytes_in, net.bytes_out
     );
     // Per-shard breakdown: where the ops landed and what their locks
     // cost, so a skewed keyspace shows up at shutdown.
@@ -1054,6 +1108,11 @@ fn cmd_serve(opts: &Options) {
             m.samples,
             m.source.label()
         );
+    }
+    if opts.events.is_some() {
+        // Flush and close the JSONL sink so the file is complete the
+        // moment the process exits.
+        poly_obs::journal().take_sink();
     }
 }
 
@@ -1254,6 +1313,67 @@ fn cmd_heat(addr: &str, opts: &Options) {
     }
 }
 
+/// Renders one journal event as a line: seq, wall-clock timestamp,
+/// level, kind, then the key/value fields in emission order.
+fn render_event(e: &poly_obs::Event) {
+    let fields = e.fields.iter().map(|(k, v)| format!(" {k}={v}")).collect::<Vec<_>>().concat();
+    println!("seq {:>6} | ts {} | {:<5} | {}{}", e.seq, e.ts_ms, e.level.label(), e.kind, fields);
+}
+
+/// Tails the structured event journal of a serving store: polls the
+/// EVENTS opcode at `--trace-interval` (default 1s), printing each event
+/// once (the client tracks the last seq it saw and asks for `last + 1`).
+/// The fallback ladder applies one rung up from `store heat`: a
+/// pre-events server answers the opcode with an error and the view
+/// degrades to the aggregate STATS v2 window (marked `src=v2`), then to
+/// cumulative v1 stats (`src=v1`).
+fn cmd_events(addr: &str, opts: &Options) {
+    let interval = opts.trace_interval.unwrap_or(Duration::from_secs(1));
+    let mut conn = dial(addr);
+    let mut speaks_events = true;
+    let mut v2 = true;
+    let mut frame = 0u64;
+    let mut since_seq = 0u64;
+    let mut last_window = u64::MAX;
+    loop {
+        frame += 1;
+        if speaks_events {
+            match conn.events(since_seq) {
+                Ok(events) => {
+                    if events.is_empty() && frame == 1 {
+                        println!(
+                            "no events yet (they appear as caps, evictions, and refusals \
+                                  happen)"
+                        );
+                    }
+                    for e in &events {
+                        render_event(e);
+                        since_seq = e.seq + 1;
+                    }
+                }
+                Err(_) => {
+                    // The error response leaves the connection usable;
+                    // fall through to the aggregate view this same frame
+                    // so --frames 1 still captures something.
+                    speaks_events = false;
+                    eprintln!("server does not speak EVENTS; degrading to the aggregate view");
+                }
+            }
+        }
+        if !speaks_events {
+            if frame > 1 {
+                print!("\x1b[2J\x1b[H");
+            }
+            render_aggregate(&mut conn, addr, &mut v2, &mut last_window, "src=v2 | ");
+        }
+        std::io::stdout().flush().ok();
+        if opts.frames != 0 && frame >= opts.frames {
+            return;
+        }
+        std::thread::sleep(interval);
+    }
+}
+
 fn cmd_sweep(reg: &Registry, opts: &Options) {
     let bases: Vec<(String, KvMix)> = match &opts.scenarios {
         Some(names) => names.iter().map(|n| (n.clone(), lookup_mix(reg, n))).collect(),
@@ -1410,6 +1530,10 @@ fn main() {
         Some("heat") => {
             let Some(addr) = args.get(1) else { fail("heat needs a server address".into()) };
             cmd_heat(addr, &parse_options(&args[2..]));
+        }
+        Some("events") => {
+            let Some(addr) = args.get(1) else { fail("events needs a server address".into()) };
+            cmd_events(addr, &parse_options(&args[2..]));
         }
         Some("calibrate") => {
             let Some(path) = args.get(1) else { fail("calibrate needs a sweep JSONL path".into()) };

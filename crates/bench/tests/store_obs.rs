@@ -1,0 +1,258 @@
+//! End-to-end tests of the observability layer: the acceptance gate for
+//! `--metrics-addr`, `--events`, and `store events`. The conservation
+//! law under test is the telescoping identity — every store counter a
+//! `/metrics` scrape reports at quiesce equals the corresponding
+//! `StatsSnapshot` field exactly, because the collectors read the same
+//! atomics STATS reads — plus the liveness claims: scraping mid-sweep
+//! never errors, `/healthz` gates readiness, a budgeted serve journals
+//! its eviction sweeps where `store events` can tail them, and the view
+//! degrades gracefully against pre-events servers.
+
+use std::io::BufRead;
+use std::process::Command;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+mod common;
+
+/// Spawns `store serve` with a metrics sidecar and returns the child
+/// plus the two parsed stdout lines (serve address, metrics address).
+fn spawn_metered_serve(extra: &[&str]) -> (std::process::Child, String, std::net::SocketAddr) {
+    let mut args = vec!["serve", "--addr", "127.0.0.1:0", "--metrics-addr", "127.0.0.1:0"];
+    args.extend_from_slice(extra);
+    let mut serve = Command::new(env!("CARGO_BIN_EXE_store"))
+        .args(&args)
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("store serve spawns");
+    let (mut addr, mut metrics) = (String::new(), String::new());
+    {
+        let mut reader = std::io::BufReader::new(serve.stdout.take().expect("serve stdout"));
+        reader.read_line(&mut addr).expect("serve prints its address");
+        reader.read_line(&mut metrics).expect("serve prints its metrics address");
+    }
+    let metrics = metrics
+        .trim()
+        .strip_prefix("metrics ")
+        .unwrap_or_else(|| panic!("second stdout line is not 'metrics <addr>': {metrics}"))
+        .parse()
+        .expect("metrics address parses");
+    (serve, addr.trim().to_string(), metrics)
+}
+
+/// One sample's value from a text-exposition body, labels and all.
+fn metric_value(body: &str, name: &str) -> u64 {
+    body.lines()
+        .find(|l| {
+            l.strip_prefix(name).is_some_and(|rest| rest.starts_with(' ') || rest.starts_with('{'))
+        })
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("{name} not in scrape:\n{body}"))
+}
+
+/// The telescoping identity over the wire: a load runs against a metered
+/// serve while a scraper hammers `/metrics` (it must never error
+/// mid-sweep), and at quiesce every scraped store counter equals the
+/// matching `StatsSnapshot` field exactly — same atomics, no sampling
+/// error. `/healthz` answers 200 the whole time and `/vars` stays valid.
+#[test]
+fn metrics_scrape_telescopes_to_stats_at_quiesce() {
+    let (mut serve, addr, metrics) =
+        spawn_metered_serve(&["--shards", "4", "--trace-interval", "10ms"]);
+    let (status, body) = poly_obs::http_get(&metrics, "/healthz").expect("healthz");
+    assert_eq!((status, body.as_str()), (200, "ok\n"));
+
+    // A scraper polls /metrics while the load runs: no scrape may error
+    // or return anything but a well-formed 200.
+    let stop = Arc::new(AtomicBool::new(false));
+    let scraper = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut scrapes = 0u32;
+            while !stop.load(Ordering::SeqCst) {
+                let (status, body) = poly_obs::http_get(&metrics, "/metrics")
+                    .expect("mid-sweep scrape must never error");
+                assert_eq!(status, 200);
+                assert!(body.contains("# TYPE store_gets_total counter"), "no TYPE line");
+                scrapes += 1;
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            scrapes
+        })
+    };
+
+    let sockaddr: std::net::SocketAddr = addr.parse().expect("bound address parses");
+    let mut conn = poly_net::NetConn::dial(sockaddr).expect("dial serve");
+    for key in 0..300u64 {
+        conn.put(key % 64, key).expect("put");
+        if key % 3 == 0 {
+            conn.get(key % 64).expect("get");
+        }
+    }
+    conn.remove(0).expect("remove");
+    conn.scan().expect("scan");
+    stop.store(true, Ordering::SeqCst);
+    let scrapes = scraper.join().expect("scraper thread");
+    assert!(scrapes > 0, "the scraper never got a scrape in");
+
+    // Quiesce: no ops in flight. The scrape and the STATS frame must now
+    // agree exactly, counter for counter.
+    let ws = conn.stats().expect("stats");
+    let s = &ws.stats;
+    let (status, body) = poly_obs::http_get(&metrics, "/metrics").expect("quiesce scrape");
+    assert_eq!(status, 200);
+    for (name, want) in [
+        ("store_gets_total", s.gets),
+        ("store_get_hits_total", s.get_hits),
+        ("store_puts_total", s.puts),
+        ("store_removes_total", s.removes),
+        ("store_scans_total", s.scans),
+        ("store_batches_total", s.batches),
+        ("store_evictions_total", s.evictions),
+        ("store_expired_total", s.expired),
+        ("store_mem_bytes", s.mem_bytes),
+        ("store_op_latency_ns_count", s.latency.count()),
+    ] {
+        assert_eq!(metric_value(&body, name), want, "{name} must telescope to StatsSnapshot");
+    }
+    // The serving-path family is labeled by architecture and counts this
+    // very connection.
+    assert!(metric_value(&body, "net_connections_total{server=\"threads\"}") >= 1);
+    assert!(metric_value(&body, "net_frames_total{server=\"threads\"}") > 300);
+    // The histogram's +Inf bucket closes on the count (cumulative form).
+    let inf = body
+        .lines()
+        .find(|l| l.starts_with("store_op_latency_ns_bucket{le=\"+Inf\"}"))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse::<u64>().ok())
+        .expect("+Inf bucket present");
+    assert_eq!(inf, s.latency.count(), "+Inf bucket == histogram count");
+    // /vars renders the same registry as JSON.
+    let (status, vars) = poly_obs::http_get(&metrics, "/vars").expect("vars");
+    assert_eq!(status, 200);
+    assert!(vars.starts_with('[') && vars.contains("\"store_gets_total\""), "vars: {vars}");
+    // An unknown path is a 404, not a hang or a crash.
+    let (status, _) = poly_obs::http_get(&metrics, "/nope").expect("404 path");
+    assert_eq!(status, 404);
+
+    drop(serve.stdin.take()); // EOF on stdin stops the server
+    let out = serve.wait_with_output().expect("serve exits");
+    assert!(out.status.success());
+    // Satellite: the shutdown summary reports the connection high-water
+    // mark and refusal count from NetStats.
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("peak ") && stderr.contains("refused)"), "summary: {stderr}");
+}
+
+/// `store events` tails at least one eviction event from a live
+/// budgeted serve — the journal wired from the store's sweep path over
+/// the EVENTS opcode to the CLI — and the `--events FILE` sink holds the
+/// same events as JSONL after a graceful shutdown.
+#[test]
+fn events_tails_eviction_sweeps_from_a_budgeted_serve() {
+    let dir = std::env::temp_dir().join(format!("poly-obs-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create output dir");
+    let jsonl = dir.join("events.jsonl");
+    let (mut serve, addr, _metrics) = spawn_metered_serve(&[
+        "--shards",
+        "1",
+        "--mem-budget",
+        "4k",
+        "--events",
+        jsonl.to_str().unwrap(),
+    ]);
+    // Overflow the 4 KiB budget so CLOCK eviction sweeps run and journal.
+    let sockaddr: std::net::SocketAddr = addr.parse().expect("bound address parses");
+    let mut conn = poly_net::NetConn::dial(sockaddr).expect("dial serve");
+    for key in 0..200u64 {
+        conn.put_bytes(key, &[0xAB; 64]).expect("put");
+    }
+    let evictions = conn.stats().expect("stats").stats.evictions;
+    assert!(evictions > 0, "the budget never forced an eviction");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_store"))
+        .args(["events", &addr, "--frames", "1"])
+        .output()
+        .expect("store events executes");
+    drop(serve.stdin.take()); // EOF on stdin stops the server
+    let serve_out = serve.wait_with_output().expect("serve exits");
+    assert!(out.status.success(), "store events failed: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("eviction_sweep"), "no eviction event tailed: {stdout}");
+    assert!(stdout.contains("info"), "events carry their level: {stdout}");
+    assert!(stdout.contains("evicted="), "events carry their fields: {stdout}");
+
+    // The JSONL sink recorded the same kind, one object per line.
+    assert!(serve_out.status.success());
+    let sunk = std::fs::read_to_string(&jsonl).expect("events jsonl written");
+    let sweep = sunk
+        .lines()
+        .find(|l| l.contains("\"kind\":\"eviction_sweep\""))
+        .unwrap_or_else(|| panic!("no eviction_sweep line in {sunk}"));
+    assert!(sweep.starts_with("{\"seq\":") && sweep.ends_with('}'), "malformed line: {sweep}");
+    assert_eq!(common::json_value(sweep, "kind"), "\"eviction_sweep\"");
+    assert_eq!(common::json_value(sweep, "level"), "\"info\"");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The fallback ladder, proven against a fake pre-events server: `store
+/// events` sends the EVENTS opcode, receives the unknown-opcode error an
+/// old server answers with, and degrades to the aggregate STATS v2 view
+/// on the same connection — labeling the degraded frame `src=v2`.
+#[test]
+fn events_degrades_to_the_aggregate_view_against_a_pre_events_server() {
+    use poly_locks_sim::LockKind;
+    use poly_net::proto::{read_frame, write_frame, Request, Response, WireStats, WireStatsV2};
+    use poly_trace::WindowSample;
+    use std::io::Write as _;
+
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind fake server");
+    let addr = listener.local_addr().unwrap();
+    let responder = std::thread::spawn(move || {
+        let (mut sock, _) = listener.accept().expect("accept");
+        while let Ok(Some(body)) = read_frame(&mut sock) {
+            let resp = match Request::decode(&body) {
+                // The pre-events vocabulary: STATS v2 works, the events
+                // opcode is unknown.
+                Ok(Request::Stats2) => Response::Stats2(Box::new(WireStatsV2 {
+                    stats: WireStats {
+                        lock: LockKind::Mutex,
+                        shards: 4,
+                        stats: poly_store::StatsSnapshot::default(),
+                        measured: None,
+                    },
+                    window: Some(WindowSample {
+                        window: 7,
+                        start_ns: 0,
+                        end_ns: 50_000_000,
+                        ops: 1_000,
+                        ..WindowSample::default()
+                    }),
+                })),
+                _ => Response::Error("unknown opcode 0x0d".into()),
+            };
+            write_frame(&mut sock, &resp.encode()).expect("respond");
+            sock.flush().expect("flush");
+        }
+    });
+
+    let out = Command::new(env!("CARGO_BIN_EXE_store"))
+        .args(["events", &addr.to_string(), "--frames", "1"])
+        .output()
+        .expect("store events executes");
+    responder.join().expect("responder thread");
+    assert!(
+        out.status.success(),
+        "degraded events failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("does not speak EVENTS"), "no degradation note: {stderr}");
+    assert!(stdout.contains("src=v2 | window "), "degraded frame not labeled: {stdout}");
+    assert!(!stdout.contains("eviction_sweep"), "event lines rendered without event data");
+}

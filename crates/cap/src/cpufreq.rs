@@ -43,6 +43,16 @@ pub enum CapMechanism {
     PstatePct,
 }
 
+impl CapMechanism {
+    /// Stable lowercase label (event fields and report columns).
+    pub const fn label(self) -> &'static str {
+        match self {
+            CapMechanism::ScalingMax => "scaling_max",
+            CapMechanism::PstatePct => "pstate_pct",
+        }
+    }
+}
+
 /// An applied frequency cap: holds the restore guard for every file
 /// written. Drop it (or let a panic drop it) to restore the host.
 #[derive(Debug)]
@@ -172,7 +182,7 @@ impl CpuCap {
         if khz == 0 {
             return Err(io::Error::new(io::ErrorKind::InvalidInput, "cap frequency must be > 0"));
         }
-        match self.apply_scaling_max(khz) {
+        let result = match self.apply_scaling_max(khz) {
             Ok(g) => Ok(g),
             Err(scaling_err) => {
                 if self.pstate_pct.is_some() {
@@ -181,7 +191,25 @@ impl CpuCap {
                     Err(scaling_err)
                 }
             }
-        }
+        };
+        match &result {
+            Ok(g) => poly_obs::journal().emit(
+                poly_obs::Level::Info,
+                "cap_apply",
+                &[
+                    ("requested_khz", khz.to_string()),
+                    ("applied_khz", g.applied_khz.to_string()),
+                    ("mechanism", g.mechanism.label().to_string()),
+                    ("files", g.files().to_string()),
+                ],
+            ),
+            Err(e) => poly_obs::journal().emit(
+                poly_obs::Level::Warn,
+                "cap_refused",
+                &[("requested_khz", khz.to_string()), ("error", e.to_string())],
+            ),
+        };
+        result
     }
 
     /// The per-policy `scaling_max_freq` path of [`CpuCap::apply`].
@@ -420,6 +448,46 @@ mod tests {
         // Without a readable base frequency the percent is undefined; the
         // apply must error rather than guess.
         assert!(cap.apply(1_200_000).is_err());
+    }
+
+    #[test]
+    fn cap_lifecycle_journals_apply_and_restore_events() {
+        let fake = FakeCpufreq::xeon("journal");
+        let cap = CpuCap::probe_at(fake.root()).unwrap();
+        // The journal is process-wide; only look at events we caused.
+        let since = poly_obs::journal().next_seq();
+        {
+            let _g = cap.apply(1_200_000).expect("cap applies");
+        }
+        let events = poly_obs::journal().tail(since, 64);
+        let apply = events
+            .iter()
+            .find(|e| e.kind == "cap_apply")
+            .expect("apply must journal a cap_apply event");
+        assert_eq!(apply.level, poly_obs::Level::Info);
+        assert!(apply.fields.contains(&("applied_khz".into(), "1200000".into())), "{apply:?}");
+        assert!(apply.fields.contains(&("mechanism".into(), "scaling_max".into())), "{apply:?}");
+        let restore_pos = events.iter().position(|e| e.kind == "cap_restore");
+        assert!(restore_pos.is_some(), "guard drop must journal a cap_restore event");
+        assert_eq!(
+            events.iter().filter(|e| e.kind == "cap_restore").count(),
+            1,
+            "one lifecycle, one restore event: {events:?}"
+        );
+
+        // A failing apply journals a warn-level refusal instead.
+        let pstate_only = FakeCpufreq::new("journal-refused");
+        pstate_only.with_pstate();
+        let broken = CpuCap::probe_at(pstate_only.root()).unwrap();
+        let since = poly_obs::journal().next_seq();
+        assert!(broken.apply(1_200_000).is_err());
+        let refused = poly_obs::journal()
+            .tail(since, 64)
+            .into_iter()
+            .find(|e| e.kind == "cap_refused")
+            .expect("failed apply must journal cap_refused");
+        assert_eq!(refused.level, poly_obs::Level::Warn);
+        assert!(refused.fields.iter().any(|(k, _)| k == "error"), "{refused:?}");
     }
 
     #[test]

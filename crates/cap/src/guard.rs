@@ -54,6 +54,16 @@ impl RestoreGuard {
     /// sysfs error is retried at the next `restore` or at drop instead
     /// of permanently stranding the host capped.
     pub fn restore(&mut self) -> io::Result<()> {
+        // Emitted only while entries remain, so the usual lifecycle
+        // journals exactly one restore (an explicit restore drains the
+        // guard; the later drop has nothing left and stays silent).
+        if !self.entries.is_empty() {
+            poly_obs::journal().emit(
+                poly_obs::Level::Info,
+                "cap_restore",
+                &[("files", self.entries.len().to_string())],
+            );
+        }
         let mut first_err = None;
         let mut failed = Vec::new();
         for (path, prior) in self.entries.drain(..).rev() {

@@ -270,6 +270,53 @@ impl RaplSampler {
         let start = self.inner.state.lock().unwrap().window_start.take()?;
         Some(MeasuredEnergy::between(start, end))
     }
+
+    /// Registers measured-energy metrics into a registry: cumulative
+    /// package and DRAM joules, the poll count, and a derived mean-watts
+    /// gauge over the span since registration. Collectors call
+    /// [`RaplSampler::reading`], so every scrape folds a fresh counter
+    /// snapshot — never a value stale by one polling interval.
+    pub fn register_metrics(self: &std::sync::Arc<Self>, reg: &poly_obs::MetricRegistry) {
+        let s = std::sync::Arc::clone(self);
+        reg.register_counter_f64(
+            "meter_package_joules_total",
+            "Measured package joules since the sampler started.",
+            &[],
+            move || s.reading().package_uj as f64 * 1e-6,
+        );
+        let s = std::sync::Arc::clone(self);
+        reg.register_counter_f64(
+            "meter_dram_joules_total",
+            "Measured DRAM joules since the sampler started.",
+            &[],
+            move || s.reading().dram_uj as f64 * 1e-6,
+        );
+        let s = std::sync::Arc::clone(self);
+        reg.register_counter(
+            "meter_samples_total",
+            "RAPL counter polls folded into the totals.",
+            &[],
+            move || s.reading().samples,
+        );
+        let s = std::sync::Arc::clone(self);
+        let base = self.reading();
+        let origin = std::time::Instant::now();
+        reg.register_gauge(
+            "meter_power_watts",
+            "Mean measured power (package + DRAM) since metrics registration.",
+            &[],
+            move || {
+                let now = s.reading();
+                let secs = origin.elapsed().as_secs_f64();
+                if secs <= 0.0 {
+                    return 0.0;
+                }
+                let uj =
+                    (now.package_uj + now.dram_uj).saturating_sub(base.package_uj + base.dram_uj);
+                uj as f64 * 1e-6 / secs
+            },
+        );
+    }
 }
 
 impl Drop for RaplSampler {
@@ -412,6 +459,32 @@ mod tests {
         let got = r1.package_uj - r0.package_uj;
         assert_eq!(got, expected, "wrap-corrected total diverged");
         assert!(r1.samples - r0.samples >= 16, "background thread barely ran");
+    }
+
+    #[test]
+    fn registered_metrics_report_joules_and_watts() {
+        let fake = FakeRapl::new("sampler-metrics");
+        fake.named_domain("intel-rapl:0", "package-0", 0);
+        fake.named_domain("intel-rapl:0:1", "dram", 0);
+        let s = std::sync::Arc::new(
+            RaplSampler::probe_at(fake.root(), Duration::from_secs(3600)).unwrap().unwrap(),
+        );
+        let reg = poly_obs::MetricRegistry::new();
+        s.register_metrics(&reg);
+        fake.advance(0, 2_000_000);
+        std::fs::write(fake.root().join("intel-rapl:0:1/energy_uj"), "500000").unwrap();
+        std::thread::sleep(Duration::from_millis(5));
+        let snap = reg.snapshot();
+        let read = |name: &str| match &snap.iter().find(|m| m.name == name).unwrap().series[0].value
+        {
+            poly_obs::Sample::F64(x) => *x,
+            poly_obs::Sample::U64(n) => *n as f64,
+            other => panic!("{name}: {other:?}"),
+        };
+        assert!((read("meter_package_joules_total") - 2.0).abs() < 1e-9);
+        assert!((read("meter_dram_joules_total") - 0.5).abs() < 1e-9);
+        assert!(read("meter_samples_total") >= 1.0);
+        assert!(read("meter_power_watts") > 0.0, "2.5 J over a few ms must read as watts");
     }
 
     #[test]

@@ -164,6 +164,19 @@ impl NetConn {
             other => Err(unexpected(&req, &other)),
         }
     }
+
+    /// Fetches the server's journal events with `seq >= since_seq` still
+    /// in its bounded ring, oldest first. A pre-events server answers
+    /// the unknown opcode with an error response, which surfaces here as
+    /// `Err` — callers (e.g. `store events`) degrade to the aggregate
+    /// [`NetConn::stats_v2`].
+    pub fn events(&mut self, since_seq: u64) -> io::Result<Vec<poly_obs::Event>> {
+        let req = Request::Events { since_seq };
+        match self.request(&req)? {
+            Response::Events(events) => Ok(events),
+            other => Err(unexpected(&req, &other)),
+        }
+    }
 }
 
 fn unexpected(req: &Request, resp: &Response) -> io::Error {

@@ -50,6 +50,16 @@
 //! unknown opcode and heat clients degrade to the aggregate `STATS2`
 //! (and from there to v1, as before).
 //!
+//! Every server also answers the `EVENTS` opcode from the process-wide
+//! [`poly_obs::journal`]: the structured events the subsystems emit
+//! (cap applies, eviction sweeps, refused connections) with
+//! `seq >= since_seq`, oldest first — the frame `store events` tails.
+//! The same ladder applies once more: a pre-events server errors the
+//! unknown `0x0D` opcode and the client degrades to the aggregate
+//! `STATS2` view. For pull-based scraping, [`NetServer::register_metrics`]
+//! registers the serving-path counters (connections, refusals, frames,
+//! bytes) with a `poly_obs::MetricRegistry`, labeled by architecture.
+//!
 //! # Example
 //!
 //! ```
@@ -635,6 +645,90 @@ mod tests {
         assert!(err.to_string().contains("unknown opcode"), "{err}");
         drop(conn);
         responder.join().unwrap();
+    }
+
+    #[test]
+    fn events_round_trip_over_loopback_on_both_architectures() {
+        // The journal is process-global, and sibling tests emit into it
+        // concurrently: mark the horizon first, then filter by a kind
+        // unique to this test.
+        for arch in Arch::ALL {
+            let (_server, client) = serve_arch(LockKind::Mutex, 2, arch);
+            let since = poly_obs::journal().next_seq();
+            let kind = format!("net_test_{arch}");
+            poly_obs::journal().emit(poly_obs::Level::Warn, &kind, &[("k", "v".to_string())]);
+            let mut s = client.session().unwrap();
+            let events = s.conn_mut().events(since).unwrap();
+            let mine: Vec<_> = events.iter().filter(|e| e.kind == kind).collect();
+            assert_eq!(mine.len(), 1, "[{arch}] the emitted event crossed the wire");
+            assert_eq!(mine[0].level, poly_obs::Level::Warn, "[{arch}]");
+            assert_eq!(mine[0].fields, vec![("k".to_string(), "v".to_string())], "[{arch}]");
+            // Tailing past the end returns empty, not an error.
+            let next = mine[0].seq + 1;
+            let later = s.conn_mut().events(next).unwrap();
+            assert!(later.iter().all(|e| e.seq >= next), "[{arch}] since_seq is inclusive");
+        }
+    }
+
+    #[test]
+    fn events_error_from_a_pre_events_server_surfaces_as_err() {
+        use crate::proto::{read_frame, write_frame, Response};
+        use std::io::Write;
+
+        // Same shape as the pre-heat responder: an old server answers
+        // the unknown 0x0D opcode with an error response, and
+        // NetConn::events must surface that as Err — the signal
+        // `store events` uses to degrade to the aggregate view.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let responder = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            while let Ok(Some(_)) = read_frame(&mut stream) {
+                let resp = Response::Error("unknown opcode 0x0d".into()).encode();
+                write_frame(&mut stream, &resp).unwrap();
+                stream.flush().unwrap();
+            }
+        });
+        let mut conn = crate::NetConn::dial(addr).unwrap();
+        let err = conn.events(0).expect_err("pre-events server must error the opcode");
+        assert!(err.to_string().contains("unknown opcode"), "{err}");
+        drop(conn);
+        responder.join().unwrap();
+    }
+
+    #[test]
+    fn registered_net_metrics_telescope_to_net_stats() {
+        let reg = poly_obs::MetricRegistry::new();
+        let (server, client) = serve(LockKind::Mutex, 2);
+        server.register_metrics(&reg);
+        let mut s = client.session().unwrap();
+        for k in 0..20 {
+            s.conn_mut().put(k, k).unwrap();
+        }
+        drop(s);
+        let net = server.net_stats();
+        let read = |name: &str| {
+            reg.snapshot()
+                .into_iter()
+                .find(|m| m.name == name)
+                .and_then(|m| {
+                    m.series.first().map(|se| match se.value {
+                        poly_obs::Sample::U64(v) => v,
+                        ref other => panic!("{name}: unexpected sample {other:?}"),
+                    })
+                })
+                .unwrap_or_else(|| panic!("{name} not registered"))
+        };
+        assert_eq!(read("net_connections_total"), net.connections);
+        assert_eq!(read("net_frames_total"), net.frames);
+        assert_eq!(read("net_bytes_in_total"), net.bytes_in);
+        assert_eq!(read("net_bytes_out_total"), net.bytes_out);
+        assert_eq!(read("net_peak_conns"), net.peak_conns);
+        assert_eq!(read("net_refused_total"), net.refused);
+        // The architecture rides as a label on every series.
+        let snap = reg.snapshot();
+        let fam = snap.iter().find(|m| m.name == "net_connections_total").unwrap();
+        assert_eq!(fam.series[0].labels, vec![("server".to_string(), "threads".to_string())]);
     }
 
     #[test]

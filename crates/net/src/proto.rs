@@ -21,6 +21,7 @@
 //! | `REMOVEV` | op `0x0A`, key `u64` |
 //! | `BATCHV` | op `0x0B`, count `u32`, then per write: tag `u8` (1 put / 0 remove), key `u64`, and for puts len `u32` + value bytes |
 //! | `STATSHEAT` | op `0x0C` |
+//! | `EVENTS` | op `0x0D`, since_seq `u64` |
 //!
 //! Responses open with status `0x00` (ok) or `0x01` (error, rest of the
 //! body is a UTF-8 message). Ok payloads: point ops return
@@ -50,6 +51,16 @@
 //! heat collector answers `present = 0`, and a *pre-heat server*
 //! answers the unknown `0x0C` opcode with an error response, which heat
 //! clients treat as "degrade to aggregate STATS2".
+//!
+//! `EVENTS` returns every journal event with `seq >= since_seq` that is
+//! still in the server's bounded ring, oldest first: `count u32`, then
+//! per event `seq u64 + ts_ms u64 + level u8` (the
+//! [`poly_obs::Level`] wire code), a length-prefixed kind string
+//! (`len u32 + bytes`), a field count `u32`, and per field two
+//! length-prefixed strings (key, value). The fallback is one rung up
+//! the same ladder again: a *pre-events server* answers the unknown
+//! `0x0D` opcode with an error response, which `store events` treats as
+//! "degrade to the aggregate STATS2 view".
 //!
 //! # Protocol v3: byte values
 //!
@@ -101,6 +112,7 @@ use std::io::{self, Read, Write};
 
 use poly_locks_sim::LockKind;
 use poly_meter::MeasuredReading;
+use poly_obs::{Event, Level};
 use poly_store::{BatchOp, HistogramSnapshot, HotKey, StatsSnapshot, WriteBatch, HIST_BUCKETS};
 use poly_trace::{HeatSample, ShardHeat, WindowSample, WORDS};
 
@@ -120,11 +132,18 @@ const OP_PUT_V: u8 = 0x09;
 const OP_REMOVE_V: u8 = 0x0A;
 const OP_BATCH_V: u8 = 0x0B;
 const OP_STATS_HEAT: u8 = 0x0C;
+const OP_EVENTS: u8 = 0x0D;
 
 /// Smallest wire footprint of one shard's heat block (five `u64`
 /// counters plus the top-k count byte) — the bound the decoder checks a
 /// claimed shard count against before allocating for it.
 const SHARD_HEAT_MIN_BYTES: usize = 5 * 8 + 1;
+
+/// Smallest wire footprint of one journal event (`seq u64 + ts_ms u64 +
+/// level u8`, an empty kind's `u32` length, and a zero field count) —
+/// the bound the decoder checks a claimed event count against before
+/// allocating for it.
+const EVENT_MIN_BYTES: usize = 8 + 8 + 1 + 4 + 4;
 
 const STATUS_OK: u8 = 0x00;
 const STATUS_ERR: u8 = 0x01;
@@ -164,6 +183,14 @@ pub enum Request {
     /// servers answer the opcode with an error; clients degrade to
     /// [`Request::Stats2`].
     StatsHeat,
+    /// EVENTS: the server's journal events with `seq >= since_seq` still
+    /// held in its bounded ring, oldest first. Pre-events servers answer
+    /// the opcode with an error; clients degrade to [`Request::Stats2`].
+    Events {
+        /// Lowest sequence number of interest (pass the last seen
+        /// `seq + 1` to tail incrementally).
+        since_seq: u64,
+    },
 }
 
 /// One server response.
@@ -193,6 +220,9 @@ pub enum Response {
     /// STATS heat reply: the latest per-shard heat window (`None` when
     /// the server runs no heat collector or no window has closed yet).
     StatsHeat(Option<HeatSample>),
+    /// EVENTS reply: the matching journal events, oldest first (empty
+    /// when nothing at or past `since_seq` is still in the ring).
+    Events(Vec<Event>),
     /// The request could not be served.
     Error(String),
 }
@@ -230,6 +260,11 @@ fn put_u64(buf: &mut Vec<u8>, v: u64) {
     buf.extend_from_slice(&v.to_le_bytes());
 }
 
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
 /// A bounds-checked little-endian reader over one frame body.
 struct Cursor<'a> {
     buf: &'a [u8],
@@ -261,6 +296,12 @@ impl<'a> Cursor<'a> {
 
     fn u64(&mut self) -> io::Result<u64> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn string(&mut self) -> io::Result<String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| bad_frame("non-UTF-8 string in frame"))
     }
 
     fn remaining(&self) -> usize {
@@ -360,6 +401,12 @@ impl Request {
                 b
             }
             Request::StatsHeat => vec![OP_STATS_HEAT],
+            Request::Events { since_seq } => {
+                let mut b = Vec::with_capacity(9);
+                b.push(OP_EVENTS);
+                put_u64(&mut b, *since_seq);
+                b
+            }
         }
     }
 
@@ -419,6 +466,7 @@ impl Request {
                 Request::BatchV(ops)
             }
             OP_STATS_HEAT => Request::StatsHeat,
+            OP_EVENTS => Request::Events { since_seq: c.u64()? },
             op => return Err(bad_frame(&format!("unknown opcode 0x{op:02x}"))),
         };
         c.finish()?;
@@ -580,6 +628,31 @@ impl Response {
                 }
                 b
             }
+            Response::Events(events) => {
+                let bytes: usize = events
+                    .iter()
+                    .map(|e| {
+                        EVENT_MIN_BYTES
+                            + e.kind.len()
+                            + e.fields.iter().map(|(k, v)| 8 + k.len() + v.len()).sum::<usize>()
+                    })
+                    .sum();
+                let mut b = Vec::with_capacity(5 + bytes);
+                b.push(STATUS_OK);
+                put_u32(&mut b, events.len() as u32);
+                for e in events {
+                    put_u64(&mut b, e.seq);
+                    put_u64(&mut b, e.ts_ms);
+                    b.push(e.level.code());
+                    put_str(&mut b, &e.kind);
+                    put_u32(&mut b, e.fields.len() as u32);
+                    for (k, v) in &e.fields {
+                        put_str(&mut b, k);
+                        put_str(&mut b, v);
+                    }
+                }
+                b
+            }
             Response::Error(msg) => {
                 let mut b = Vec::with_capacity(1 + msg.len());
                 b.push(STATUS_ERR);
@@ -669,6 +742,36 @@ impl Response {
                     }
                 };
                 Response::StatsHeat(heat)
+            }
+            Request::Events { .. } => {
+                let n = c.u32()? as usize;
+                // The claim must fit the frame before any allocation
+                // sized by it.
+                if n > c.remaining() / EVENT_MIN_BYTES {
+                    return Err(bad_frame("event count disagrees with frame length"));
+                }
+                let mut events = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let seq = c.u64()?;
+                    let ts_ms = c.u64()?;
+                    let level = Level::from_code(c.u8()?)
+                        .ok_or_else(|| bad_frame("unknown event level"))?;
+                    let kind = c.string()?;
+                    let nf = c.u32()? as usize;
+                    // Every field is at least two empty length-prefixed
+                    // strings: bound the claim before allocating.
+                    if nf > c.remaining() / 8 {
+                        return Err(bad_frame("field count disagrees with frame length"));
+                    }
+                    let mut fields = Vec::with_capacity(nf);
+                    for _ in 0..nf {
+                        let k = c.string()?;
+                        let v = c.string()?;
+                        fields.push((k, v));
+                    }
+                    events.push(Event { seq, ts_ms, level, kind, fields });
+                }
+                Response::Events(events)
             }
         };
         c.finish()?;
@@ -817,6 +920,8 @@ mod tests {
             ]),
             Request::BatchV(Vec::new()),
             Request::StatsHeat,
+            Request::Events { since_seq: 0 },
+            Request::Events { since_seq: u64::MAX },
         ] {
             assert_eq!(round_trip_req(req.clone()), req);
         }
@@ -916,6 +1021,9 @@ mod tests {
                 })),
             ),
             (Request::StatsHeat, Response::Error("unknown opcode 0x0c".into())),
+            (Request::Events { since_seq: 0 }, Response::Events(Vec::new())),
+            (Request::Events { since_seq: 3 }, Response::Events(event_batch())),
+            (Request::Events { since_seq: 0 }, Response::Error("unknown opcode 0x0d".into())),
         ];
         for (req, resp) in cases {
             assert_eq!(Response::decode(&resp.encode(), &req).expect("round-trip"), resp);
@@ -945,6 +1053,73 @@ mod tests {
                 ShardHeat::default(),
             ],
         }
+    }
+
+    /// A representative event batch: a fielded warning, a bare info, and
+    /// an event whose strings exercise the empty and non-ASCII cases.
+    fn event_batch() -> Vec<Event> {
+        vec![
+            Event {
+                seq: 3,
+                ts_ms: 1_700_000_000_123,
+                level: Level::Warn,
+                kind: "cap_refused".into(),
+                fields: vec![
+                    ("requested_khz".into(), "800000".into()),
+                    ("error".into(), "permission denied".into()),
+                ],
+            },
+            Event {
+                seq: 4,
+                ts_ms: 1_700_000_000_456,
+                level: Level::Info,
+                kind: "cap_restore".into(),
+                fields: Vec::new(),
+            },
+            Event {
+                seq: 9,
+                ts_ms: u64::MAX,
+                level: Level::Error,
+                kind: String::new(),
+                fields: vec![(String::new(), "µ-värde".into())],
+            },
+        ]
+    }
+
+    #[test]
+    fn events_are_rejected_when_torn_or_lying() {
+        let req = Request::Events { since_seq: 0 };
+        let full = Response::Events(event_batch()).encode();
+        // Torn inside the last event's value string, inside a kind, and
+        // right after the count.
+        for cut in [full.len() - 1, full.len() - 8, 5] {
+            assert!(Response::decode(&full[..cut], &req).is_err(), "cut at {cut} must be torn");
+        }
+        // Trailing bytes after a complete reply are a framing error.
+        let mut extra = full.clone();
+        extra.push(0);
+        assert!(Response::decode(&extra, &req).is_err());
+        // A count claiming more events than the frame carries must fail
+        // before allocating for them — same for a lying field count.
+        let mut lying = vec![STATUS_OK];
+        lying.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(Response::decode(&lying, &req).is_err());
+        let mut lying_fields = vec![STATUS_OK];
+        lying_fields.extend_from_slice(&1u32.to_le_bytes());
+        lying_fields.extend_from_slice(&[0u8; 17]); // seq + ts + level
+        lying_fields.extend_from_slice(&0u32.to_le_bytes()); // empty kind
+        lying_fields.extend_from_slice(&u32::MAX.to_le_bytes()); // field count
+        assert!(Response::decode(&lying_fields, &req).is_err());
+        // An unknown level code is invalid data, not a panic.
+        let mut bad_level = vec![STATUS_OK];
+        bad_level.extend_from_slice(&1u32.to_le_bytes());
+        bad_level.extend_from_slice(&[0u8; 16]); // seq + ts
+        bad_level.push(9); // no such level
+        bad_level.extend_from_slice(&0u32.to_le_bytes());
+        bad_level.extend_from_slice(&0u32.to_le_bytes());
+        assert!(Response::decode(&bad_level, &req).is_err());
+        // A truncated request (opcode without its since_seq) is torn.
+        assert!(Request::decode(&[OP_EVENTS, 1, 2]).is_err());
     }
 
     #[test]

@@ -194,6 +194,11 @@ impl Inner {
     /// closing — was indistinguishable from a crash on the client side.
     pub(crate) fn refuse(&self, stream: TcpStream) {
         self.counters.refused.fetch_add(1, Ordering::Relaxed);
+        poly_obs::journal().emit(
+            poly_obs::Level::Warn,
+            "conn_refused",
+            &[("max_conns", self.cfg.max_conns.to_string())],
+        );
         stream.set_write_timeout(Some(Duration::from_millis(200))).ok();
         let msg =
             Response::Error(format!("server at capacity ({} connections)", self.cfg.max_conns));
@@ -432,6 +437,33 @@ impl NetServer {
         self.inner.counters.snapshot()
     }
 
+    /// Registers the serving-path counters with a metric registry, each
+    /// series labeled with this server's architecture
+    /// (`{server="threads"}` / `{server="epoll"}`). The collectors read
+    /// the same atomics [`NetServer::net_stats`] snapshots, so a scrape
+    /// at quiesce telescopes exactly to the snapshot.
+    pub fn register_metrics(&self, reg: &poly_obs::MetricRegistry) {
+        let arch = self.arch.label();
+        let counter = |name, help, read: fn(&NetCounters) -> &AtomicU64| {
+            let inner = Arc::clone(&self.inner);
+            reg.register_counter(name, help, &[("server", arch)], move || {
+                read(&inner.counters).load(Ordering::Relaxed)
+            });
+        };
+        counter("net_connections_total", "Connections accepted.", |c| &c.connections);
+        counter("net_refused_total", "Connections refused at capacity.", |c| &c.refused);
+        counter("net_frames_total", "Request frames served.", |c| &c.frames);
+        counter("net_bytes_in_total", "Request body bytes read.", |c| &c.bytes_in);
+        counter("net_bytes_out_total", "Response body bytes written.", |c| &c.bytes_out);
+        let inner = Arc::clone(&self.inner);
+        reg.register_gauge_u64(
+            "net_peak_conns",
+            "Highest simultaneous connection count observed.",
+            &[("server", arch)],
+            move || inner.counters.peak_conns.load(Ordering::Relaxed),
+        );
+    }
+
     /// Stops accepting, wakes idle workers, and joins every serving
     /// thread. Idempotent; also runs on drop.
     pub fn shutdown(&mut self) {
@@ -644,8 +676,16 @@ pub(crate) fn execute(req: &Request, inner: &Inner) -> Response {
             c.stats_reqs.fetch_add(1, Ordering::Relaxed);
             Response::StatsHeat(inner.heat.as_ref().and_then(|slot| slot.lock().unwrap().clone()))
         }
+        Request::Events { since_seq } => {
+            c.stats_reqs.fetch_add(1, Ordering::Relaxed);
+            Response::Events(poly_obs::journal().tail(*since_seq, EVENTS_PER_REPLY))
+        }
     }
 }
+
+/// Cap on events per `EVENTS` reply: bounds the frame size and keeps a
+/// tailing client incremental (it passes the last seen `seq + 1` back).
+const EVENTS_PER_REPLY: usize = 256;
 
 fn wire_stats(inner: &Inner) -> WireStats {
     WireStats {

@@ -1,0 +1,261 @@
+//! Renderers over a registry snapshot: Prometheus text exposition
+//! (format v0.0.4) and a JSON `/vars` dump.
+//!
+//! The histogram layout is the workspace's log histogram: bucket 0
+//! holds only the sample `0`, bucket `i >= 1` holds `[2^(i-1), 2^i)` of
+//! integer nanoseconds, and the final bucket is unbounded. The exact
+//! inclusive upper bound of bucket `i` is therefore `2^i - 1`, which is
+//! what the `le` labels say; the unbounded tail bucket folds into
+//! `+Inf` only. The histogram tracks no sum of samples, so no `_sum`
+//! series is emitted — `_bucket` and `_count` are complete and
+//! self-consistent (`+Inf` == `_count` by construction).
+
+use crate::registry::{MetricSnapshot, Sample};
+
+/// Escapes a `# HELP` body: backslashes and newlines.
+fn escape_help(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Escapes a label value: backslashes, double quotes, and newlines —
+/// the three characters the text format requires escaping.
+fn escape_label(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+/// Renders a label set as `{k="v",...}`; empty string for no labels.
+/// `extra` appends one more pair (the histogram `le`).
+fn label_block(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    let mut pairs: Vec<String> =
+        labels.iter().map(|(k, v)| format!("{k}=\"{}\"", escape_label(v))).collect();
+    if let Some((k, v)) = extra {
+        pairs.push(format!("{k}=\"{}\"", escape_label(v)));
+    }
+    if pairs.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", pairs.join(","))
+    }
+}
+
+fn render_value(v: &Sample) -> String {
+    match v {
+        Sample::U64(n) => n.to_string(),
+        Sample::F64(x) => {
+            if x.is_nan() {
+                "NaN".into()
+            } else if x.is_infinite() {
+                (if *x > 0.0 { "+Inf" } else { "-Inf" }).into()
+            } else {
+                format!("{x}")
+            }
+        }
+        Sample::Hist(_) => unreachable!("histograms render bucket lines, not a scalar"),
+    }
+}
+
+/// Renders a snapshot as Prometheus text exposition format v0.0.4.
+pub fn render_prometheus(snap: &[MetricSnapshot]) -> String {
+    let mut out = String::new();
+    for fam in snap {
+        out.push_str(&format!("# HELP {} {}\n", fam.name, escape_help(&fam.help)));
+        out.push_str(&format!("# TYPE {} {}\n", fam.name, fam.kind.label()));
+        for series in &fam.series {
+            match &series.value {
+                Sample::Hist(buckets) => {
+                    let count: u64 = buckets.iter().sum();
+                    let mut cum = 0u64;
+                    for (i, &c) in buckets.iter().enumerate() {
+                        // The final bucket is unbounded: it has no
+                        // finite le and folds into +Inf below.
+                        if i + 1 == buckets.len() {
+                            break;
+                        }
+                        cum += c;
+                        let le = if i == 0 { 0 } else { (1u64 << i) - 1 };
+                        out.push_str(&format!(
+                            "{}_bucket{} {cum}\n",
+                            fam.name,
+                            label_block(&series.labels, Some(("le", &le.to_string()))),
+                        ));
+                    }
+                    out.push_str(&format!(
+                        "{}_bucket{} {count}\n",
+                        fam.name,
+                        label_block(&series.labels, Some(("le", "+Inf"))),
+                    ));
+                    out.push_str(&format!(
+                        "{}_count{} {count}\n",
+                        fam.name,
+                        label_block(&series.labels, None),
+                    ));
+                }
+                v => {
+                    out.push_str(&format!(
+                        "{}{} {}\n",
+                        fam.name,
+                        label_block(&series.labels, None),
+                        render_value(v),
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Escapes a string for a JSON string literal body.
+pub(crate) fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a snapshot as the `/vars` JSON array: one object per series,
+/// `{"name":...,"kind":...,"labels":{...},"value":...}` (histograms
+/// carry `{"buckets":[...],"count":N}` as their value).
+pub fn render_vars(snap: &[MetricSnapshot]) -> String {
+    let mut rows = Vec::new();
+    for fam in snap {
+        for series in &fam.series {
+            let labels = series
+                .labels
+                .iter()
+                .map(|(k, v)| format!("\"{}\":\"{}\"", json_escape(k), json_escape(v)))
+                .collect::<Vec<_>>()
+                .join(",");
+            let value = match &series.value {
+                Sample::U64(n) => n.to_string(),
+                Sample::F64(x) if x.is_finite() => format!("{x}"),
+                Sample::F64(_) => "null".into(),
+                Sample::Hist(buckets) => {
+                    let count: u64 = buckets.iter().sum();
+                    let list = buckets.iter().map(u64::to_string).collect::<Vec<_>>().join(",");
+                    format!("{{\"buckets\":[{list}],\"count\":{count}}}")
+                }
+            };
+            rows.push(format!(
+                "{{\"name\":\"{}\",\"kind\":\"{}\",\"labels\":{{{labels}}},\"value\":{value}}}",
+                json_escape(&fam.name),
+                fam.kind.label(),
+            ));
+        }
+    }
+    format!("[{}]", rows.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricRegistry;
+
+    #[test]
+    fn help_type_and_value_lines_render() {
+        let reg = MetricRegistry::new();
+        reg.register_counter("store_gets_total", "Point lookups.", &[], || 7);
+        reg.register_gauge_u64("store_mem_bytes", "Resident bytes.", &[], || 512);
+        let text = render_prometheus(&reg.snapshot());
+        assert!(text.contains("# HELP store_gets_total Point lookups.\n"));
+        assert!(text.contains("# TYPE store_gets_total counter\n"));
+        assert!(text.contains("\nstore_gets_total 7\n"));
+        assert!(text.contains("# TYPE store_mem_bytes gauge\n"));
+        assert!(text.contains("\nstore_mem_bytes 512\n"));
+    }
+
+    #[test]
+    fn label_values_escape_quotes_backslashes_and_newlines() {
+        let reg = MetricRegistry::new();
+        reg.register_counter(
+            "odd_total",
+            "odd",
+            &[("path", "a\\b"), ("quote", "say \"hi\""), ("nl", "two\nlines")],
+            || 1,
+        );
+        let text = render_prometheus(&reg.snapshot());
+        assert!(text.contains(r#"nl="two\nlines""#), "newline must escape: {text}");
+        assert!(text.contains(r#"path="a\\b""#), "backslash must escape: {text}");
+        assert!(text.contains(r#"quote="say \"hi\"""#), "quote must escape: {text}");
+        // The raw (unescaped) forms must not leak through.
+        assert!(!text.contains("two\nlines"));
+    }
+
+    #[test]
+    fn help_bodies_escape_backslashes_and_newlines() {
+        let reg = MetricRegistry::new();
+        reg.register_counter("h_total", "line one\nline \\two", &[], || 0);
+        let text = render_prometheus(&reg.snapshot());
+        assert!(text.contains(r"# HELP h_total line one\nline \\two"), "{text}");
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_monotone_and_inf_equals_count() {
+        // The workspace log layout: bucket 0 = {0}, bucket i = [2^(i-1), 2^i).
+        let mut buckets = vec![0u64; 45];
+        buckets[0] = 2; // two zero-ns samples
+        buckets[4] = 3; // three in [8, 16)
+        buckets[10] = 5;
+        buckets[44] = 1; // one in the unbounded tail
+        let reg = MetricRegistry::new();
+        let b = buckets.clone();
+        reg.register_histogram("lat_ns", "latency", &[], move || b.clone());
+        let text = render_prometheus(&reg.snapshot());
+        assert!(text.contains("# TYPE lat_ns histogram\n"));
+        // Parse every bucket line back and check monotonicity.
+        let mut last = 0u64;
+        let mut bounds = Vec::new();
+        for line in text.lines().filter(|l| l.starts_with("lat_ns_bucket")) {
+            let cum: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(cum >= last, "cumulative buckets must be monotone: {line}");
+            last = cum;
+            bounds.push(line.split("le=\"").nth(1).unwrap().split('"').next().unwrap().to_string());
+        }
+        // le bounds: bucket 0 -> "0", bucket i -> 2^i - 1, tail -> +Inf.
+        assert_eq!(bounds[0], "0");
+        assert_eq!(bounds[1], "1");
+        assert_eq!(bounds[4], "15");
+        assert_eq!(bounds.last().unwrap(), "+Inf");
+        assert_eq!(bounds.len(), 45, "44 finite bounds plus +Inf");
+        let total: u64 = buckets.iter().sum();
+        assert_eq!(last, total, "+Inf bucket must equal the sample count");
+        assert!(text.contains(&format!("lat_ns_count {total}\n")));
+        assert!(!text.contains("lat_ns_sum"), "log histograms track no sum");
+    }
+
+    #[test]
+    fn scrapes_render_identically_regardless_of_registration_order() {
+        let a = MetricRegistry::new();
+        a.register_counter("x_total", "x", &[("server", "threads")], || 1);
+        a.register_counter("b_total", "b", &[], || 2);
+        a.register_counter("x_total", "x", &[("server", "epoll")], || 3);
+        let b = MetricRegistry::new();
+        b.register_counter("x_total", "x", &[("server", "epoll")], || 3);
+        b.register_counter("x_total", "x", &[("server", "threads")], || 1);
+        b.register_counter("b_total", "b", &[], || 2);
+        assert_eq!(render_prometheus(&a.snapshot()), render_prometheus(&b.snapshot()));
+    }
+
+    #[test]
+    fn vars_renders_parseable_json_shapes() {
+        let reg = MetricRegistry::new();
+        reg.register_counter("c_total", "c", &[("k", "v\"q")], || 9);
+        reg.register_gauge("w", "watts", &[], || 1.5);
+        reg.register_histogram("h", "h", &[], || vec![1, 0, 2]);
+        let json = render_vars(&reg.snapshot());
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert!(json.contains(r#""name":"c_total""#));
+        assert!(json.contains(r#""k":"v\"q""#), "label values JSON-escape: {json}");
+        assert!(json.contains(r#""value":9"#));
+        assert!(json.contains(r#""value":1.5"#));
+        assert!(json.contains(r#""buckets":[1,0,2],"count":3"#));
+    }
+}

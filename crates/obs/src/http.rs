@@ -1,0 +1,248 @@
+//! The metrics sidecar: a tiny blocking HTTP/1.0 listener serving the
+//! registry to anything that speaks Prometheus.
+//!
+//! One accept thread, one request per connection, `Connection: close` —
+//! the same patient blocking discipline as poly-net's threads server,
+//! shrunk to the three read-only endpoints a scraper needs:
+//!
+//! | endpoint   | body                                          |
+//! |------------|-----------------------------------------------|
+//! | `/metrics` | Prometheus text exposition (format v0.0.4)    |
+//! | `/healthz` | `ok` once the server reports ready, else 503  |
+//! | `/vars`    | JSON snapshot of every series                 |
+//!
+//! Scrapes never block the serving hot path: collectors read the same
+//! relaxed atomics the native stats snapshots read.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::registry::MetricRegistry;
+use crate::{render_prometheus, render_vars};
+
+/// How long one request may take to arrive/drain before the sidecar
+/// drops the connection and moves on.
+const IO_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// The running sidecar; dropping it stops the listener and joins the
+/// accept thread.
+pub struct MetricsServer {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for MetricsServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsServer").field("local_addr", &self.local_addr).finish()
+    }
+}
+
+impl MetricsServer {
+    /// Binds `addr` (port 0 picks a free port) and starts serving
+    /// `registry`. `ready` backs `/healthz`: scrapers and CI gates wait
+    /// on it instead of sleeping.
+    pub fn serve<A: ToSocketAddrs>(
+        addr: A,
+        registry: Arc<MetricRegistry>,
+        ready: impl Fn() -> bool + Send + Sync + 'static,
+    ) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("poly-obs-http".into())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if thread_stop.load(Ordering::Acquire) {
+                        return;
+                    }
+                    if let Ok(stream) = conn {
+                        // One bad client must not wedge the sidecar.
+                        let _ = handle_conn(stream, &registry, &ready);
+                    }
+                }
+            })
+            .expect("spawn metrics sidecar thread");
+        Ok(Self { local_addr, stop, handle: Some(handle) })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        // A blocking accept only notices the flag on its next
+        // connection; a self-connect is that connection.
+        let _ = TcpStream::connect_timeout(&self.local_addr, IO_TIMEOUT);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn handle_conn(
+    stream: TcpStream,
+    registry: &MetricRegistry,
+    ready: &(impl Fn() -> bool + ?Sized),
+) -> io::Result<()> {
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // Drain headers; the request has no body we care about.
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 || line == "\r\n" || line == "\n" {
+            break;
+        }
+    }
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    let mut stream = reader.into_inner();
+    if method != "GET" {
+        return respond(
+            &mut stream,
+            "405 Method Not Allowed",
+            "text/plain",
+            "method not allowed\n",
+        );
+    }
+    // Ignore any query string: /metrics?foo=1 is still /metrics.
+    match path.split('?').next().unwrap_or("") {
+        "/metrics" => {
+            let body = render_prometheus(&registry.snapshot());
+            respond(&mut stream, "200 OK", "text/plain; version=0.0.4; charset=utf-8", &body)
+        }
+        "/healthz" => {
+            if ready() {
+                respond(&mut stream, "200 OK", "text/plain", "ok\n")
+            } else {
+                respond(&mut stream, "503 Service Unavailable", "text/plain", "not ready\n")
+            }
+        }
+        "/vars" => {
+            let body = render_vars(&registry.snapshot());
+            respond(&mut stream, "200 OK", "application/json", &body)
+        }
+        _ => respond(&mut stream, "404 Not Found", "text/plain", "not found\n"),
+    }
+}
+
+fn respond(stream: &mut TcpStream, status: &str, content_type: &str, body: &str) -> io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    )?;
+    stream.flush()
+}
+
+/// One blocking GET against a sidecar: returns `(status_code, body)`.
+/// The client half of [`MetricsServer`], shared by `store events`' CI
+/// smoke, the e2e tests, and anyone scripting against the sidecar
+/// without curl.
+pub fn http_get(addr: &SocketAddr, path: &str) -> io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect_timeout(addr, Duration::from_secs(2))?;
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    write!(stream, "GET {path} HTTP/1.0\r\nHost: poly\r\n\r\n")?;
+    stream.flush()?;
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let code: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed status line"))?;
+    // Skip headers.
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 || line == "\r\n" || line == "\n" {
+            break;
+        }
+    }
+    let mut body = String::new();
+    io::Read::read_to_string(&mut reader, &mut body)?;
+    Ok((code, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    fn test_registry() -> Arc<MetricRegistry> {
+        let reg = MetricRegistry::new();
+        let n = Arc::new(AtomicU64::new(5));
+        reg.register_counter("demo_ops_total", "Demo ops.", &[], move || n.load(Ordering::Relaxed));
+        Arc::new(reg)
+    }
+
+    #[test]
+    fn metrics_endpoint_serves_the_exposition() {
+        let server = MetricsServer::serve("127.0.0.1:0", test_registry(), || true).unwrap();
+        let (code, body) = http_get(&server.local_addr(), "/metrics").unwrap();
+        assert_eq!(code, 200);
+        assert!(body.contains("# TYPE demo_ops_total counter"));
+        assert!(body.contains("demo_ops_total 5"));
+        // Query strings are ignored, and a second scrape works (the
+        // sidecar outlives one connection).
+        let (code, body2) = http_get(&server.local_addr(), "/metrics?x=1").unwrap();
+        assert_eq!(code, 200);
+        assert_eq!(body, body2);
+    }
+
+    #[test]
+    fn healthz_tracks_the_readiness_closure() {
+        let ready = Arc::new(AtomicBool::new(false));
+        let r = Arc::clone(&ready);
+        let server =
+            MetricsServer::serve("127.0.0.1:0", test_registry(), move || r.load(Ordering::Relaxed))
+                .unwrap();
+        let (code, body) = http_get(&server.local_addr(), "/healthz").unwrap();
+        assert_eq!(code, 503, "not ready yet: {body}");
+        ready.store(true, Ordering::Relaxed);
+        let (code, body) = http_get(&server.local_addr(), "/healthz").unwrap();
+        assert_eq!(code, 200);
+        assert_eq!(body, "ok\n");
+    }
+
+    #[test]
+    fn vars_unknown_paths_and_bad_methods() {
+        let server = MetricsServer::serve("127.0.0.1:0", test_registry(), || true).unwrap();
+        let (code, body) = http_get(&server.local_addr(), "/vars").unwrap();
+        assert_eq!(code, 200);
+        assert!(body.contains(r#""name":"demo_ops_total""#));
+        let (code, _) = http_get(&server.local_addr(), "/nope").unwrap();
+        assert_eq!(code, 404);
+        // A non-GET request gets 405, not a hang or a close.
+        let mut raw = TcpStream::connect(server.local_addr()).unwrap();
+        write!(raw, "POST /metrics HTTP/1.0\r\n\r\n").unwrap();
+        let mut resp = String::new();
+        io::Read::read_to_string(&mut BufReader::new(raw), &mut resp).unwrap();
+        assert!(resp.starts_with("HTTP/1.0 405"), "{resp}");
+    }
+
+    #[test]
+    fn drop_stops_the_listener_quickly() {
+        let server = MetricsServer::serve("127.0.0.1:0", test_registry(), || true).unwrap();
+        let addr = server.local_addr();
+        let t0 = std::time::Instant::now();
+        drop(server);
+        assert!(t0.elapsed() < Duration::from_secs(2), "drop hung on the accept thread");
+        // The port is released: a fresh bind to it succeeds (or at
+        // minimum, connecting no longer reaches a serving sidecar).
+        assert!(http_get(&addr, "/metrics").is_err() || TcpListener::bind(addr).is_ok());
+    }
+}

@@ -1,0 +1,305 @@
+//! The structured event journal: a bounded ring of leveled events with
+//! monotonic sequence numbers, a process-wide singleton, and an
+//! optional JSONL sink.
+//!
+//! Counters say *how much*; events say *what happened*: an eviction
+//! sweep, a frequency cap applied or restored, a connection refused at
+//! capacity. Emission is one atomic sequence claim plus one per-slot
+//! mutex (never contended unless two emitters land on the same slot a
+//! full ring apart), so deep layers — the CLOCK hand, the cap guard's
+//! drop path — can emit without threading a handle through every
+//! constructor: they call [`journal()`], the process singleton.
+//!
+//! Readers [`tail`](Journal::tail) from a sequence number; the `EVENTS`
+//! wire opcode and `store events` are thin shells over that.
+
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Capacity of the process-wide journal ring: events older than the
+/// last this-many are overwritten.
+pub const JOURNAL_CAPACITY: usize = 1024;
+
+/// Event severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Normal operation worth recording (a cap applied, a sweep ran).
+    Info,
+    /// Degraded but serving (a connection refused, a cap request failed).
+    Warn,
+    /// Something is broken.
+    Error,
+}
+
+impl Level {
+    /// Stable lowercase label (JSONL and display).
+    pub const fn label(self) -> &'static str {
+        match self {
+            Level::Info => "info",
+            Level::Warn => "warn",
+            Level::Error => "error",
+        }
+    }
+
+    /// Stable wire code.
+    pub const fn code(self) -> u8 {
+        match self {
+            Level::Info => 0,
+            Level::Warn => 1,
+            Level::Error => 2,
+        }
+    }
+
+    /// Decodes a wire code.
+    pub const fn from_code(code: u8) -> Option<Self> {
+        match code {
+            0 => Some(Level::Info),
+            1 => Some(Level::Warn),
+            2 => Some(Level::Error),
+            _ => None,
+        }
+    }
+
+    /// Parses a label (case-insensitive).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "info" => Some(Level::Info),
+            "warn" | "warning" => Some(Level::Warn),
+            "error" => Some(Level::Error),
+            _ => None,
+        }
+    }
+}
+
+/// One journal entry: a static kind plus free-form key/value fields.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Monotonic per-process sequence number (assignment order).
+    pub seq: u64,
+    /// Wall-clock milliseconds since the Unix epoch at emission.
+    pub ts_ms: u64,
+    /// Severity.
+    pub level: Level,
+    /// Static event name (`cap_apply`, `eviction_sweep`, ...).
+    pub kind: String,
+    /// Key/value detail pairs, in emission order.
+    pub fields: Vec<(String, String)>,
+}
+
+impl Event {
+    /// The event as one JSONL line (no trailing newline).
+    pub fn to_jsonl(&self) -> String {
+        let fields = self
+            .fields
+            .iter()
+            .map(|(k, v)| {
+                format!("\"{}\":\"{}\"", crate::expo::json_escape(k), crate::expo::json_escape(v))
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            "{{\"seq\":{},\"ts_ms\":{},\"level\":\"{}\",\"kind\":\"{}\",\"fields\":{{{fields}}}}}",
+            self.seq,
+            self.ts_ms,
+            self.level.label(),
+            crate::expo::json_escape(&self.kind),
+        )
+    }
+}
+
+/// A bounded ring of [`Event`]s with an optional JSONL sink.
+pub struct Journal {
+    seq: AtomicU64,
+    slots: Vec<Mutex<Option<Event>>>,
+    sink: Mutex<Option<Box<dyn Write + Send>>>,
+}
+
+impl std::fmt::Debug for Journal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Journal")
+            .field("capacity", &self.slots.len())
+            .field("next_seq", &self.seq.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Journal {
+    /// A fresh journal holding at most `capacity` events (floored at 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            seq: AtomicU64::new(0),
+            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+            sink: Mutex::new(None),
+        }
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The sequence number the *next* emitted event will take (equals
+    /// the number of events emitted so far).
+    pub fn next_seq(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+
+    /// Installs a JSONL sink: every subsequent event is appended to `w`
+    /// as one line. Replaces any prior sink.
+    pub fn set_sink(&self, w: Box<dyn Write + Send>) {
+        *self.sink.lock().unwrap_or_else(std::sync::PoisonError::into_inner) = Some(w);
+    }
+
+    /// Removes the sink (flushing it), e.g. before process exit.
+    pub fn take_sink(&self) {
+        let mut sink = self.sink.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(w) = sink.as_mut() {
+            let _ = w.flush();
+        }
+        *sink = None;
+    }
+
+    /// Emits one event, returning its sequence number.
+    pub fn emit(&self, level: Level, kind: &str, fields: &[(&str, String)]) -> u64 {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let ts_ms =
+            SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_millis() as u64).unwrap_or(0);
+        let event = Event {
+            seq,
+            ts_ms,
+            level,
+            kind: kind.to_string(),
+            fields: fields.iter().map(|(k, v)| (k.to_string(), v.clone())).collect(),
+        };
+        {
+            let mut sink = self.sink.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            if let Some(w) = sink.as_mut() {
+                let _ = writeln!(w, "{}", event.to_jsonl());
+            }
+        }
+        let slot = (seq % self.slots.len() as u64) as usize;
+        let mut guard = self.slots[slot].lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        // A slower emitter a full ring behind must never clobber a newer
+        // event that already claimed this slot.
+        if guard.as_ref().is_none_or(|prior| prior.seq < seq) {
+            *guard = Some(event);
+        }
+        seq
+    }
+
+    /// Events still resident with `seq >= since_seq`, oldest first, at
+    /// most `max`. A tailing client tracks the last seq it saw and polls
+    /// with `last + 1`.
+    pub fn tail(&self, since_seq: u64, max: usize) -> Vec<Event> {
+        let mut out: Vec<Event> = self
+            .slots
+            .iter()
+            .filter_map(|s| {
+                s.lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .clone()
+                    .filter(|e| e.seq >= since_seq)
+            })
+            .collect();
+        out.sort_by_key(|e| e.seq);
+        out.truncate(max);
+        out
+    }
+}
+
+static JOURNAL: OnceLock<Journal> = OnceLock::new();
+
+/// The process-wide journal every subsystem emits into.
+pub fn journal() -> &'static Journal {
+    JOURNAL.get_or_init(|| Journal::with_capacity(JOURNAL_CAPACITY))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn levels_round_trip_codes_and_labels() {
+        for level in [Level::Info, Level::Warn, Level::Error] {
+            assert_eq!(Level::from_code(level.code()), Some(level));
+            assert_eq!(Level::parse(level.label()), Some(level));
+        }
+        assert_eq!(Level::from_code(9), None);
+        assert_eq!(Level::parse("fatal"), None);
+        assert_eq!(Level::parse("WARNING"), Some(Level::Warn));
+    }
+
+    #[test]
+    fn emit_and_tail_in_sequence_order() {
+        let j = Journal::with_capacity(16);
+        assert_eq!(j.emit(Level::Info, "a", &[("k", "1".into())]), 0);
+        assert_eq!(j.emit(Level::Warn, "b", &[]), 1);
+        assert_eq!(j.emit(Level::Error, "c", &[]), 2);
+        let all = j.tail(0, 100);
+        assert_eq!(all.len(), 3);
+        assert_eq!(all[0].kind, "a");
+        assert_eq!(all[0].fields, [("k".to_string(), "1".to_string())]);
+        assert_eq!(all[2].level, Level::Error);
+        // Tail from a mid-point sees only newer events.
+        let newer = j.tail(2, 100);
+        assert_eq!(newer.len(), 1);
+        assert_eq!(newer[0].kind, "c");
+        assert!(j.tail(3, 100).is_empty());
+        assert_eq!(j.next_seq(), 3);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_max_caps_the_tail() {
+        let j = Journal::with_capacity(4);
+        for i in 0..10u64 {
+            j.emit(Level::Info, &format!("e{i}"), &[]);
+        }
+        let all = j.tail(0, 100);
+        assert_eq!(all.len(), 4, "ring keeps only the last capacity events");
+        assert_eq!(all[0].seq, 6);
+        assert_eq!(all[3].seq, 9);
+        let capped = j.tail(0, 2);
+        assert_eq!(capped.len(), 2);
+        assert_eq!(capped[0].seq, 6, "max keeps the oldest so tailing never skips");
+    }
+
+    #[test]
+    fn sink_receives_jsonl_lines() {
+        #[derive(Clone, Default)]
+        struct Buf(Arc<std::sync::Mutex<Vec<u8>>>);
+        impl std::io::Write for Buf {
+            fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(b);
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let buf = Buf::default();
+        let j = Journal::with_capacity(8);
+        j.set_sink(Box::new(buf.clone()));
+        j.emit(Level::Warn, "cap_refused", &[("error", "permission \"denied\"".into())]);
+        j.take_sink();
+        j.emit(Level::Info, "after", &[]); // sink removed: not written
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        assert_eq!(text.lines().count(), 1);
+        let line = text.lines().next().unwrap();
+        assert!(line.starts_with("{\"seq\":0,"), "{line}");
+        assert!(line.contains("\"level\":\"warn\""));
+        assert!(line.contains("\"kind\":\"cap_refused\""));
+        assert!(line.contains(r#""error":"permission \"denied\"""#), "{line}");
+    }
+
+    #[test]
+    fn global_journal_is_a_singleton() {
+        let a = journal() as *const Journal;
+        let b = journal() as *const Journal;
+        assert_eq!(a, b);
+        assert_eq!(journal().capacity(), JOURNAL_CAPACITY);
+    }
+}

@@ -1,0 +1,54 @@
+//! `poly-obs` — the observability subsystem of the "Unlocking Energy"
+//! reproduction.
+//!
+//! The paper's argument is built on *measured* signals evaluated
+//! continuously; this crate is the always-on sensor surface that makes
+//! a running `store serve` scrapeable by standard tooling, with no
+//! crates.io dependencies (a leaf like `poly-meter`):
+//!
+//! * [`MetricRegistry`] — a pull-based registry of counter/gauge/
+//!   histogram families with label sets. Series are collector closures
+//!   over the *same* atomics the native stats snapshots read, so a
+//!   scrape at quiesce telescopes exactly to `StatsSnapshot` — one
+//!   accounting, two views;
+//! * [`render_prometheus`] / [`render_vars`] — the text exposition
+//!   (format v0.0.4, correct label escaping, cumulative buckets from
+//!   the workspace's log-histogram layout) and a JSON dump;
+//! * [`MetricsServer`] — a tiny blocking HTTP/1.0 sidecar serving
+//!   `GET /metrics`, `/healthz` (readiness), and `/vars`; [`http_get`]
+//!   is its client half;
+//! * [`Journal`] / [`journal()`] — a bounded ring of leveled structured
+//!   events ([`Event`]: monotonic seq, static kind, key/value fields)
+//!   with an optional JSONL sink. The process-wide [`journal()`]
+//!   singleton lets deep layers (the CLOCK hand, the cap guard's drop)
+//!   emit without handle threading; the `EVENTS` wire opcode and
+//!   `store events` tail it remotely.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use poly_obs::{journal, Level, MetricRegistry, MetricsServer, http_get};
+//!
+//! let reg = Arc::new(MetricRegistry::new());
+//! reg.register_counter("demo_ops_total", "Ops served.", &[], || 12);
+//! let server = MetricsServer::serve("127.0.0.1:0", Arc::clone(&reg), || true).unwrap();
+//! let (code, body) = http_get(&server.local_addr(), "/metrics").unwrap();
+//! assert_eq!(code, 200);
+//! assert!(body.contains("demo_ops_total 12"));
+//!
+//! journal().emit(Level::Info, "demo_event", &[("answer", "42".into())]);
+//! assert!(journal().tail(0, 16).iter().any(|e| e.kind == "demo_event"));
+//! ```
+
+#![deny(missing_docs)]
+
+mod expo;
+mod http;
+mod journal;
+mod registry;
+
+pub use expo::{render_prometheus, render_vars};
+pub use http::{http_get, MetricsServer};
+pub use journal::{journal, Event, Journal, Level, JOURNAL_CAPACITY};
+pub use registry::{MetricKind, MetricRegistry, MetricSnapshot, Sample, SeriesSnapshot};

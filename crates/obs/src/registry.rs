@@ -1,0 +1,301 @@
+//! The pull-based metric registry: named families of counters, gauges,
+//! and histograms, each series backed by a collector closure.
+//!
+//! Nothing here is push-based or sampled: a registered series holds a
+//! `Fn() -> Sample` closure reading the *same* atomics the subsystem's
+//! own snapshot path reads (`StatsSnapshot`, `NetStatsSnapshot`,
+//! `MeasuredReading`), so a scrape at quiesce telescopes exactly to the
+//! native stats — there is no second accounting that could drift.
+
+use std::sync::Mutex;
+
+/// What a metric family is, for the `# TYPE` exposition line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonically non-decreasing.
+    Counter,
+    /// Goes up and down; the latest value wins.
+    Gauge,
+    /// Log-scaled bucket counts (the workspace's `HIST_BUCKETS` layout),
+    /// rendered as cumulative Prometheus buckets.
+    Histogram,
+}
+
+impl MetricKind {
+    /// The exposition-format type name.
+    pub const fn label(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// One collected value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Sample {
+    /// An integer counter or gauge reading.
+    U64(u64),
+    /// A float gauge (or float-valued counter, e.g. joules).
+    F64(f64),
+    /// Per-bucket counts in the workspace's log-histogram layout:
+    /// bucket 0 holds only the sample `0`, bucket `i >= 1` holds
+    /// `[2^(i-1), 2^i)`.
+    Hist(Vec<u64>),
+}
+
+type Collector = Box<dyn Fn() -> Sample + Send + Sync>;
+
+struct Series {
+    labels: Vec<(String, String)>,
+    collect: Collector,
+}
+
+struct Family {
+    name: String,
+    help: String,
+    kind: MetricKind,
+    series: Vec<Series>,
+}
+
+/// A collected point-in-time copy of one family, for rendering.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSnapshot {
+    /// Metric family name (`store_gets_total`, ...).
+    pub name: String,
+    /// The `# HELP` line body.
+    pub help: String,
+    /// Counter, gauge, or histogram.
+    pub kind: MetricKind,
+    /// Every registered series, labels sorted, series sorted by labels.
+    pub series: Vec<SeriesSnapshot>,
+}
+
+/// One series of a [`MetricSnapshot`]: its label set and collected value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesSnapshot {
+    /// `(name, value)` label pairs, sorted by name.
+    pub labels: Vec<(String, String)>,
+    /// The collected value.
+    pub value: Sample,
+}
+
+/// The workspace-wide registry every subsystem registers into.
+///
+/// Registration order does not matter: snapshots sort families by name
+/// and series by label set, so two scrapes of the same registry render
+/// identically (deterministic ordering is part of the exposition
+/// contract — diffs of consecutive scrapes must only show value churn).
+#[derive(Default)]
+pub struct MetricRegistry {
+    families: Mutex<Vec<Family>>,
+}
+
+impl std::fmt::Debug for MetricRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let fams = self.families.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        f.debug_struct("MetricRegistry").field("families", &fams.len()).finish()
+    }
+}
+
+impl MetricRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn register(
+        &self,
+        name: &str,
+        help: &str,
+        kind: MetricKind,
+        labels: &[(&str, &str)],
+        collect: Collector,
+    ) {
+        let mut labels: Vec<(String, String)> =
+            labels.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect();
+        labels.sort();
+        let mut fams = self.families.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let series = Series { labels, collect };
+        match fams.iter_mut().find(|f| f.name == name) {
+            // Same family, new label set (e.g. one net_* family per
+            // server architecture): the first registration's help/kind
+            // stand.
+            Some(f) => f.series.push(series),
+            None => fams.push(Family {
+                name: name.to_string(),
+                help: help.to_string(),
+                kind,
+                series: vec![series],
+            }),
+        }
+    }
+
+    /// Registers an integer counter series.
+    pub fn register_counter(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        collect: impl Fn() -> u64 + Send + Sync + 'static,
+    ) {
+        self.register(
+            name,
+            help,
+            MetricKind::Counter,
+            labels,
+            Box::new(move || Sample::U64(collect())),
+        );
+    }
+
+    /// Registers a float-valued counter series (cumulative joules).
+    pub fn register_counter_f64(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        collect: impl Fn() -> f64 + Send + Sync + 'static,
+    ) {
+        self.register(
+            name,
+            help,
+            MetricKind::Counter,
+            labels,
+            Box::new(move || Sample::F64(collect())),
+        );
+    }
+
+    /// Registers an integer gauge series.
+    pub fn register_gauge_u64(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        collect: impl Fn() -> u64 + Send + Sync + 'static,
+    ) {
+        self.register(
+            name,
+            help,
+            MetricKind::Gauge,
+            labels,
+            Box::new(move || Sample::U64(collect())),
+        );
+    }
+
+    /// Registers a float gauge series.
+    pub fn register_gauge(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        collect: impl Fn() -> f64 + Send + Sync + 'static,
+    ) {
+        self.register(
+            name,
+            help,
+            MetricKind::Gauge,
+            labels,
+            Box::new(move || Sample::F64(collect())),
+        );
+    }
+
+    /// Registers a histogram series; the closure returns per-bucket
+    /// counts in the workspace's log-histogram layout (see
+    /// [`Sample::Hist`]).
+    pub fn register_histogram(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        collect: impl Fn() -> Vec<u64> + Send + Sync + 'static,
+    ) {
+        self.register(
+            name,
+            help,
+            MetricKind::Histogram,
+            labels,
+            Box::new(move || Sample::Hist(collect())),
+        );
+    }
+
+    /// Collects every series now, families sorted by name and series by
+    /// label set — the deterministic order both renderers consume.
+    pub fn snapshot(&self) -> Vec<MetricSnapshot> {
+        let fams = self.families.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut out: Vec<MetricSnapshot> = fams
+            .iter()
+            .map(|f| {
+                let mut series: Vec<SeriesSnapshot> = f
+                    .series
+                    .iter()
+                    .map(|s| SeriesSnapshot { labels: s.labels.clone(), value: (s.collect)() })
+                    .collect();
+                series.sort_by(|a, b| a.labels.cmp(&b.labels));
+                MetricSnapshot { name: f.name.clone(), help: f.help.clone(), kind: f.kind, series }
+            })
+            .collect();
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        out
+    }
+
+    /// Number of registered families.
+    pub fn len(&self) -> usize {
+        self.families.lock().unwrap_or_else(std::sync::PoisonError::into_inner).len()
+    }
+
+    /// Whether nothing is registered yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn snapshot_reads_live_values_through_the_closure() {
+        let reg = MetricRegistry::new();
+        let n = Arc::new(AtomicU64::new(0));
+        let n2 = Arc::clone(&n);
+        reg.register_counter("ops_total", "ops", &[], move || n2.load(Ordering::Relaxed));
+        assert_eq!(reg.snapshot()[0].series[0].value, Sample::U64(0));
+        n.store(42, Ordering::Relaxed);
+        assert_eq!(reg.snapshot()[0].series[0].value, Sample::U64(42));
+    }
+
+    #[test]
+    fn families_sort_by_name_and_series_by_labels() {
+        let reg = MetricRegistry::new();
+        reg.register_counter("zz_total", "z", &[], || 1);
+        reg.register_counter("aa_total", "a", &[("server", "threads")], || 2);
+        reg.register_counter(
+            "aa_total",
+            "ignored (first registration wins)",
+            &[("server", "epoll")],
+            || 3,
+        );
+        let snap = reg.snapshot();
+        assert_eq!(snap.len(), 2, "same-name registrations join one family");
+        assert_eq!(snap[0].name, "aa_total");
+        assert_eq!(snap[0].help, "a");
+        assert_eq!(snap[0].series.len(), 2);
+        assert_eq!(snap[0].series[0].labels, [("server".into(), "epoll".into())]);
+        assert_eq!(snap[0].series[1].labels, [("server".into(), "threads".into())]);
+        assert_eq!(snap[1].name, "zz_total");
+        // Deterministic across scrapes: same order every time.
+        assert_eq!(reg.snapshot(), snap);
+    }
+
+    #[test]
+    fn label_pairs_sort_within_a_series() {
+        let reg = MetricRegistry::new();
+        reg.register_gauge_u64("g", "g", &[("zeta", "1"), ("alpha", "2")], || 0);
+        let labels = &reg.snapshot()[0].series[0].labels;
+        assert_eq!(labels[0].0, "alpha");
+        assert_eq!(labels[1].0, "zeta");
+    }
+}

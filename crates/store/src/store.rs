@@ -4,6 +4,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use lockin::{Mutexee, RwLock};
@@ -380,6 +381,19 @@ impl PolyStore {
         let stats = &self.shards[idx].stats;
         if out.evicted > 0 {
             stats.record_evictions(out.evicted);
+            // Counters say how many entries died; the journal says that
+            // a sweep happened, where, and what it reclaimed — the
+            // signal `store events` tails from a budgeted server.
+            poly_obs::journal().emit(
+                poly_obs::Level::Info,
+                "eviction_sweep",
+                &[
+                    ("shard", idx.to_string()),
+                    ("evicted", out.evicted.to_string()),
+                    ("expired", out.expired.to_string()),
+                    ("mem_bytes", mem.to_string()),
+                ],
+            );
         }
         if out.expired > 0 {
             stats.record_expired(out.expired);
@@ -620,6 +634,48 @@ impl PolyStore {
         total.latency.merge(&self.scan_latency.snapshot());
         (total, shards)
     }
+
+    /// Registers the store's counters, residency gauge, and point-op
+    /// service-time histogram into a metric registry. Every collector
+    /// closure reads [`PolyStore::total_stats`] — the same atomics the
+    /// native snapshot path reads — so a scrape at quiesce equals the
+    /// corresponding [`StatsSnapshot`] field exactly.
+    pub fn register_metrics(self: &Arc<Self>, reg: &poly_obs::MetricRegistry) {
+        let counter = |name, help, read: fn(&StatsSnapshot) -> u64| {
+            let store = Arc::clone(self);
+            reg.register_counter(name, help, &[], move || read(&store.total_stats()));
+        };
+        counter("store_gets_total", "Point lookups.", |s| s.gets);
+        counter("store_get_hits_total", "Point lookups that found the key.", |s| s.get_hits);
+        counter("store_puts_total", "Point inserts/updates.", |s| s.puts);
+        counter("store_removes_total", "Point deletions.", |s| s.removes);
+        counter("store_scans_total", "Scan visits to shards.", |s| s.scans);
+        counter("store_batches_total", "Batches applied to shards.", |s| s.batches);
+        counter("store_evictions_total", "Entries evicted by the CLOCK hand.", |s| s.evictions);
+        counter("store_expired_total", "Entries dropped because their TTL lapsed.", |s| s.expired);
+        counter(
+            "store_lock_wait_ns_total",
+            "Cumulative shard-lock acquisition wait, nanoseconds.",
+            |s| s.lock_wait_ns,
+        );
+        counter("store_lock_hold_ns_total", "Cumulative shard-lock hold time, nanoseconds.", |s| {
+            s.lock_hold_ns
+        });
+        let store = Arc::clone(self);
+        reg.register_gauge_u64(
+            "store_mem_bytes",
+            "Live value bytes resident across all shards.",
+            &[],
+            move || store.total_stats().mem_bytes,
+        );
+        let store = Arc::clone(self);
+        reg.register_histogram(
+            "store_op_latency_ns",
+            "Point-op service time, nanoseconds (log-scaled buckets).",
+            &[],
+            move || store.total_stats().latency.buckets.to_vec(),
+        );
+    }
 }
 
 /// The protocol-v2 value view: exactly 8 little-endian bytes decode,
@@ -793,6 +849,63 @@ mod tests {
         assert_eq!(store.get(1), None);
         assert_eq!(store.mem_bytes(), 0);
         assert_eq!(store.total_stats().evictions, 0, "refusal is not eviction");
+    }
+
+    #[test]
+    fn registered_metrics_telescope_to_the_stats_snapshot() {
+        let store = Arc::new(PolyStore::new(StoreConfig {
+            shards: 2,
+            lock: LockKind::Mutex,
+            ..Default::default()
+        }));
+        let reg = poly_obs::MetricRegistry::new();
+        store.register_metrics(&reg);
+        for k in 0..32u64 {
+            store.put_u64(k, k);
+        }
+        store.get_u64(1);
+        store.get_u64(999);
+        store.remove_u64(2);
+        let snap = reg.snapshot();
+        let read = |name: &str| match &snap.iter().find(|m| m.name == name).unwrap().series[0].value
+        {
+            poly_obs::Sample::U64(n) => *n,
+            other => panic!("{name} is not a u64: {other:?}"),
+        };
+        let stats = store.total_stats();
+        assert_eq!(read("store_gets_total"), stats.gets);
+        assert_eq!(read("store_get_hits_total"), stats.get_hits);
+        assert_eq!(read("store_puts_total"), stats.puts);
+        assert_eq!(read("store_removes_total"), stats.removes);
+        assert_eq!(read("store_mem_bytes"), stats.mem_bytes);
+        match &snap.iter().find(|m| m.name == "store_op_latency_ns").unwrap().series[0].value {
+            poly_obs::Sample::Hist(buckets) => {
+                assert_eq!(buckets.iter().sum::<u64>(), stats.latency.count());
+            }
+            other => panic!("histogram sample expected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn eviction_sweeps_journal_events() {
+        let since = poly_obs::journal().next_seq();
+        let store = PolyStore::new(StoreConfig {
+            shards: 1,
+            mem_budget: Some(4 * 64),
+            ..Default::default()
+        });
+        for k in 0..8u64 {
+            store.put(k, &[k as u8; 64]);
+        }
+        assert!(store.total_stats().evictions > 0, "test premise: the budget forced evictions");
+        let events = poly_obs::journal().tail(since, 256);
+        let sweep = events
+            .iter()
+            .find(|e| e.kind == "eviction_sweep")
+            .expect("an eviction must journal a sweep event");
+        assert_eq!(sweep.level, poly_obs::Level::Info);
+        assert!(sweep.fields.contains(&("shard".into(), "0".into())), "{sweep:?}");
+        assert!(sweep.fields.iter().any(|(k, v)| k == "evicted" && v != "0"), "{sweep:?}");
     }
 
     #[test]

@@ -310,6 +310,27 @@ impl StoreCollector {
         self.heat_log.lock().unwrap().iter().cloned().collect()
     }
 
+    /// Registers the collector's telemetry-progress metrics: how many
+    /// windows have closed and the newest window's ordinal and op
+    /// count. Scrapers use these to tell a live-but-idle server from a
+    /// wedged collector without speaking the STATS2 opcode.
+    pub fn register_metrics(&self, reg: &poly_obs::MetricRegistry) {
+        let ring = self.ring();
+        reg.register_counter(
+            "trace_windows_total",
+            "Telemetry windows closed by the collector.",
+            &[],
+            move || ring.pushed(),
+        );
+        let ring = self.ring();
+        reg.register_gauge_u64(
+            "trace_last_window_ops",
+            "Point ops recorded in the newest closed telemetry window.",
+            &[],
+            move || ring.latest().map(|w| w.ops).unwrap_or(0),
+        );
+    }
+
     /// Stops the collector thread and waits for it (idempotent; also
     /// runs on drop).
     pub fn stop(&mut self) {
@@ -461,6 +482,17 @@ mod tests {
         }
         let latest = collector.heat_handle().lock().unwrap().clone();
         assert_eq!(latest.as_ref(), heat.last(), "handle tracks the last closed window");
+        // The registered progress metrics read the same ring.
+        let reg = poly_obs::MetricRegistry::new();
+        collector.register_metrics(&reg);
+        let snap = reg.snapshot();
+        let read = |name: &str| match &snap.iter().find(|m| m.name == name).unwrap().series[0].value
+        {
+            poly_obs::Sample::U64(n) => *n,
+            other => panic!("{name}: {other:?}"),
+        };
+        assert_eq!(read("trace_windows_total"), collector.ring().pushed());
+        assert_eq!(read("trace_last_window_ops"), windows.last().unwrap().ops);
         // Stop is idempotent and drop after stop is fine.
         collector.stop();
     }

@@ -16,6 +16,7 @@ pub use poly_futex;
 pub use poly_locks_sim;
 pub use poly_meter;
 pub use poly_net;
+pub use poly_obs;
 pub use poly_report;
 pub use poly_scenarios;
 pub use poly_sched;
